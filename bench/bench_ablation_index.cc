@@ -1,0 +1,80 @@
+// Ablation A4: segment indexing (the paper's future-work extension,
+// Section VII — "segment indexing techniques to process highly segmented
+// datasets"). Compares the continuous join's linear-scan partner probing
+// against the time-interval SegmentIndex as the number of stored segments
+// grows (many entities, heavily fragmented models).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/operators/join.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace {
+
+std::vector<Segment> MakeSegments(size_t num_keys, size_t per_key,
+                                  double seg_len) {
+  // Interleaved per-key timelines: key k's i-th segment covers
+  // [i*len, (i+1)*len) — a highly segmented multi-entity stream.
+  std::vector<Segment> out;
+  Rng rng(7);
+  for (size_t i = 0; i < per_key; ++i) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      Segment s(static_cast<Key>(k),
+                Interval::ClosedOpen(i * seg_len, (i + 1) * seg_len));
+      s.id = NextSegmentId();
+      s.set_attribute("x", Polynomial({rng.Uniform(0.0, 100.0),
+                                       rng.Uniform(-1.0, 1.0)}));
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+double RunJoin(bool use_index, const std::vector<Segment>& segments,
+               double window) {
+  Predicate pred = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt,
+      Operand::Attribute(AttrRef::Right("x"))));
+  PulseJoinOptions opts;
+  opts.window_seconds = window;
+  opts.match_keys = true;
+  opts.use_segment_index = use_index;
+  PulseJoin join("j", pred, opts);
+  SegmentBatch out;
+  return bench::MeasureSeconds([&] {
+    for (size_t i = 0; i < segments.size(); ++i) {
+      out.clear();
+      (void)join.Process(i % 2, segments[i], &out);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  std::printf(
+      "Ablation A4: segment-indexed join probing vs linear scan\n"
+      "(equi-key join over heavily segmented multi-entity state)\n");
+  bench::SeriesTable table(
+      "A4: join probe cost vs entity count (window holds all segments)",
+      "num_keys", {"scan_s", "indexed_s", "scan/indexed"});
+  for (size_t num_keys : {10, 50, 100, 200, 400}) {
+    const std::vector<Segment> segments =
+        MakeSegments(num_keys, /*per_key=*/200, /*seg_len=*/1.0);
+    const double window = 20.0;  // ~20*num_keys segments live per side
+    const double scan_s = RunJoin(false, segments, window);
+    const double index_s = RunJoin(true, segments, window);
+    table.AddRow(static_cast<double>(num_keys),
+                 {scan_s, index_s, scan_s / index_s});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the linear scan examines every live partner segment per "
+      "arrival (cost grows with the\nkey count); the interval index "
+      "examines only time-overlapping candidates — the win the paper\n"
+      "anticipated for highly segmented datasets.\n");
+  return 0;
+}

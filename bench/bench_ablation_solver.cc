@@ -1,0 +1,64 @@
+// Ablation A2: root-finding strategy comparison. The paper cites Brent's
+// method and Newton's method for the difference-equation rows
+// (Section III-A); this bench measures each strategy over the polynomial
+// degrees Pulse encounters: degree 1 (linear trajectories), degree 2
+// (proximity predicates over linear motion), and higher degrees from
+// model products.
+#include <benchmark/benchmark.h>
+
+#include "math/roots.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace {
+
+// A polynomial with `degree` real roots spread over [0, 10].
+Polynomial MakePolynomial(size_t degree, uint64_t seed) {
+  Rng rng(seed);
+  Polynomial p = Polynomial::Constant(1.0);
+  for (size_t i = 0; i < degree; ++i) {
+    p = p * Polynomial({-rng.Uniform(0.0, 10.0), 1.0});
+  }
+  return p;
+}
+
+void BM_SolveComparison(benchmark::State& state, RootMethod method) {
+  const size_t degree = static_cast<size_t>(state.range(0));
+  std::vector<Polynomial> polys;
+  for (uint64_t s = 0; s < 64; ++s) {
+    polys.push_back(MakePolynomial(degree, s + 1));
+  }
+  const Interval domain = Interval::ClosedOpen(0.0, 10.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    IntervalSet sol =
+        SolveComparison(polys[i % polys.size()], CmpOp::kLt, domain,
+                        method);
+    benchmark::DoNotOptimize(sol);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Auto(benchmark::State& state) {
+  BM_SolveComparison(state, RootMethod::kAuto);
+}
+void BM_NewtonPolish(benchmark::State& state) {
+  BM_SolveComparison(state, RootMethod::kNewtonPolish);
+}
+void BM_Brent(benchmark::State& state) {
+  BM_SolveComparison(state, RootMethod::kBrent);
+}
+void BM_Bisection(benchmark::State& state) {
+  BM_SolveComparison(state, RootMethod::kBisection);
+}
+
+BENCHMARK(BM_Auto)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+BENCHMARK(BM_NewtonPolish)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+BENCHMARK(BM_Brent)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+BENCHMARK(BM_Bisection)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace pulse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Ablation A1: split-heuristic comparison (paper Section IV-C). The
+// paper defines equi-split and gradient-split and frames validation
+// efficiency as an optimization problem; this bench quantifies the
+// choice: with the same output bound, a better apportioning of input
+// margins yields fewer violations (longer-lived bounds) and therefore
+// fewer solver runs.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec MacdSpec() {
+  QuerySpec spec;
+  (void)spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0));
+  MacdParams params;
+  (void)AddMacdQuery(&spec, params);
+  return spec;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t violations = 0;
+  uint64_t validated = 0;
+  uint64_t segments = 0;
+  uint64_t inversions = 0;
+};
+
+RunResult RunWith(const std::shared_ptr<const SplitHeuristic>& split,
+                  const std::vector<Tuple>& trace, double bound) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Relative("s.ap", bound)};
+  opts.split = split;
+  opts.collect_outputs = false;
+  Result<PredictiveRuntime> rt = PredictiveRuntime::Make(MacdSpec(), opts);
+  RunResult out;
+  out.seconds = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) (void)rt->ProcessTuple("nyse", t);
+    (void)rt->Finish();
+  });
+  out.violations = rt->stats().violations;
+  out.validated = rt->stats().tuples_validated;
+  out.segments = rt->stats().segments_pushed;
+  out.inversions = rt->stats().inversions;
+  return out;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  NyseOptions gen_opts;
+  gen_opts.num_symbols = 50;
+  gen_opts.tuple_rate = 3000.0;
+  gen_opts.trades_per_trend = 300;
+  gen_opts.noise = 0.05;
+  const std::vector<Tuple> trace =
+      NyseGenerator(gen_opts).Generate(180000);
+  std::printf("Ablation A1: split heuristics on MACD, %zu trades\n",
+              trace.size());
+
+  bench::SeriesTable table(
+      "A1: equi-split vs gradient-split (MACD, varying bound)",
+      "bound_%",
+      {"equi_violations", "grad_violations", "equi_tps", "grad_tps"});
+  for (double bound : {0.05, 0.02, 0.01, 0.005, 0.002}) {
+    const RunResult equi =
+        RunWith(std::make_shared<EquiSplit>(), trace, bound);
+    const RunResult grad =
+        RunWith(std::make_shared<GradientSplit>(), trace, bound);
+    table.AddRow(bound * 100.0,
+                 {static_cast<double>(equi.violations),
+                  static_cast<double>(grad.violations),
+                  static_cast<double>(trace.size()) / equi.seconds,
+                  static_cast<double>(trace.size()) / grad.seconds});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: gradient-split gives fast-moving models the larger "
+      "margin share, postponing violations\non the attributes most likely "
+      "to drift; equal bounds make the comparison apples-to-apples.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces paper Fig. 5i: filter microbenchmark. Throughput of the
+// continuous-time filter vs the discrete tuple filter as model
+// expressiveness (tuples that fit one model segment) varies, with a 1%
+// error threshold (Fig. 6 parameters: stream rate 6000-20000 tup/s).
+//
+// Paper shape: the tuple filter's throughput is flat (one trivial
+// comparison per tuple); the continuous filter's throughput grows with
+// tuples/segment (the solve amortizes) and crosses over only at a high
+// fit (~1050 tuples/segment in the paper) because a plain filter is the
+// cheapest possible discrete operator.
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.h"
+#include "engine/executor.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+constexpr size_t kTraceTuples = 60000;
+constexpr double kArea = 10000.0;
+
+std::vector<Tuple> MakeTrace(size_t tuples_per_segment) {
+  MovingObjectOptions opts;
+  opts.num_objects = 10;
+  opts.tuple_rate = 10000.0;
+  opts.tuples_per_segment = tuples_per_segment;
+  opts.area = kArea;
+  opts.noise = 0.0;
+  return MovingObjectGenerator(opts).Generate(kTraceTuples);
+}
+
+QuerySpec FilterQuery(size_t tuples_per_segment) {
+  QuerySpec spec;
+  // Horizon: one segment's wall-clock duration (10 objects at 10k tup/s).
+  const double horizon =
+      static_cast<double>(tuples_per_segment) * 10.0 / 10000.0;
+  StreamSpec stream =
+      MovingObjectGenerator::MakeStreamSpec("objects", horizon);
+  (void)spec.AddStream(std::move(stream));
+  FilterSpec filter;
+  filter.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(kArea / 2.0)));
+  spec.AddFilter("filter", QuerySpec::Input::Stream("objects"), filter);
+  return spec;
+}
+
+void BM_TupleFilter(benchmark::State& state) {
+  const std::vector<Tuple> trace =
+      MakeTrace(static_cast<size_t>(state.range(0)));
+  const QuerySpec spec = FilterQuery(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Result<DiscretePlan> plan = BuildDiscretePlan(spec);
+    Result<Executor> exec = Executor::Make(std::move(plan->plan));
+    exec->set_discard_output(true);
+    state.ResumeTiming();
+    for (const Tuple& t : trace) {
+      benchmark::DoNotOptimize(exec->PushTuple("objects", t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
+void BM_PulseFilter(benchmark::State& state) {
+  const std::vector<Tuple> trace =
+      MakeTrace(static_cast<size_t>(state.range(0)));
+  const QuerySpec spec = FilterQuery(state.range(0));
+  uint64_t solves = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PredictiveRuntime::Options opts;
+    opts.bounds = {BoundSpec::Relative("x", 0.01)};  // 1% threshold
+    opts.collect_outputs = false;
+    Result<PredictiveRuntime> rt =
+        PredictiveRuntime::Make(spec, std::move(opts));
+    state.ResumeTiming();
+    for (const Tuple& t : trace) {
+      benchmark::DoNotOptimize(rt->ProcessTuple("objects", t));
+    }
+    solves = rt->stats().segments_pushed;
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+  state.counters["segments"] = static_cast<double>(solves);
+}
+
+BENCHMARK(BM_TupleFilter)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PulseFilter)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pulse
+
+BENCHMARK_MAIN();

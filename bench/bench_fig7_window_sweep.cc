@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 7i: aggregate processing cost vs window size
+// (10-100 s, slide 2 s, 3000 tup/s, 1% threshold).
+//
+// Paper shape: the tuple-based aggregate's cost is linear in the window
+// size (size/slide state increments per tuple) while the segment-based
+// cost stays low and flat — Pulse outperforms beyond ~30 s and costs
+// ~40% of regular processing at a 100 s window.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "engine/executor.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+std::vector<Tuple> MakeTrace(double rate, double duration_s) {
+  MovingObjectOptions opts;
+  opts.num_objects = 10;
+  opts.tuple_rate = rate;
+  opts.tuples_per_segment = 200;
+  opts.noise = 0.0;
+  return MovingObjectGenerator(opts).Generate(
+      static_cast<size_t>(rate * duration_s));
+}
+
+QuerySpec MinQuery(double window) {
+  QuerySpec spec;
+  (void)spec.AddStream(
+      MovingObjectGenerator::MakeStreamSpec("objects", 200.0 * 10 / 3000));
+  AggregateSpec agg;
+  agg.fn = AggFn::kMin;
+  agg.attribute = "x";
+  agg.window_seconds = window;
+  agg.slide_seconds = 2.0;  // Fig. 6: slide 2 s
+  spec.AddAggregate("min", QuerySpec::Input::Stream("objects"), agg);
+  return spec;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  const double kRate = 3000.0;  // Fig. 6: stream rate 3000 tup/s
+  const std::vector<Tuple> trace = MakeTrace(kRate, /*duration_s=*/150.0);
+  std::printf("Fig 7i reproduction: %zu tuples at %.0f tup/s\n",
+              trace.size(), kRate);
+
+  bench::SeriesTable table(
+      "Fig 7i: aggregate processing cost vs window size (1% threshold)",
+      "window_s",
+      {"tuple_cost_s", "pulse_cost_s", "pulse/tuple_ratio"});
+
+  for (double window = 10.0; window <= 100.0; window += 10.0) {
+    const QuerySpec spec = MinQuery(window);
+
+    Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+    Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+    dexec->set_discard_output(true);
+    const double tuple_cost = bench::MeasureSeconds([&] {
+      for (const Tuple& t : trace) {
+        (void)dexec->PushTuple("objects", t);
+      }
+    });
+
+    PredictiveRuntime::Options opts;
+    opts.bounds = {BoundSpec::Relative("agg", 0.01)};
+    opts.collect_outputs = false;
+    Result<PredictiveRuntime> rt =
+        PredictiveRuntime::Make(spec, std::move(opts));
+    const double pulse_cost = bench::MeasureSeconds([&] {
+      for (const Tuple& t : trace) {
+        (void)rt->ProcessTuple("objects", t);
+      }
+    });
+
+    table.AddRow(window, {tuple_cost, pulse_cost, pulse_cost / tuple_cost});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): tuple cost grows ~linearly with window; "
+      "pulse cost stays flat;\ncrossover by ~30 s and pulse ~40%% of tuple "
+      "cost at 100 s.\n");
+  return 0;
+}

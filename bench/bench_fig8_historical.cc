@@ -1,0 +1,124 @@
+// Reproduces paper Fig. 8: historical-processing throughput comparison
+// (min aggregate, window 60 s, slide 2 s, 1% threshold).
+//
+// Paper shape, three series over offered stream rate:
+//   - tuple processing saturates first (15k tup/s in the paper),
+//   - segment processing (online model fitting + continuous query) keeps
+//     scaling past that point,
+//   - the modeling operator alone saturates much higher (~40k tup/s),
+//     showing data fitting is not the bottleneck.
+// Absolute capacities depend on hardware; this bench measures each
+// pipeline's capacity and sweeps offered rates around the *tuple*
+// capacity so the saturation ordering — the figure's content — is
+// directly visible.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "engine/executor.h"
+#include "engine/stream.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec MinQuery() {
+  QuerySpec spec;
+  (void)spec.AddStream(
+      MovingObjectGenerator::MakeStreamSpec("objects", 1.0));
+  AggregateSpec agg;
+  agg.fn = AggFn::kMin;
+  agg.attribute = "x";
+  agg.window_seconds = 60.0;  // Fig. 6: window 60 s
+  agg.slide_seconds = 2.0;    // slide 2 s
+  spec.AddAggregate("min", QuerySpec::Input::Stream("objects"), agg);
+  return spec;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  MovingObjectOptions gen_opts;
+  gen_opts.num_objects = 10;
+  gen_opts.tuple_rate = 3000.0;
+  gen_opts.tuples_per_segment = 300;
+  gen_opts.noise = 0.05;
+  const std::vector<Tuple> trace =
+      MovingObjectGenerator(gen_opts).Generate(450000);  // 150 s of stream
+  const QuerySpec spec = MinQuery();
+  std::printf("Fig 8 reproduction: %zu tuples (min agg, 60 s window)\n",
+              trace.size());
+
+  // Capacity 1: tuple processing.
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+  dexec->set_discard_output(true);
+  // System-level measurement: discrete tuples pass through the engine's
+  // admission queue (Borealis enqueues every tuple before processing;
+  // Pulse's validator and the historical modeler intercept tuples before
+  // the engine — paper Fig. 4).
+  Stream admission("objects.in", MovingObjectGenerator::TupleSchema());
+  const double tuple_s = bench::MeasureSeconds([&] {
+    Tuple queued;
+    for (const Tuple& t : trace) {
+      (void)admission.Push(t);
+      (void)admission.Pop(&queued);
+      (void)dexec->PushTuple("objects", queued);
+    }
+  });
+
+  // Capacity 2: segment processing = online segmentation + Pulse plan.
+  HistoricalRuntime::Options hopts;
+  hopts.segmentation.degree = 1;
+  hopts.segmentation.max_error = 0.5;
+  hopts.segmentation.max_points_per_segment = 400;
+  hopts.collect_outputs = false;
+  Result<HistoricalRuntime> hist = HistoricalRuntime::Make(spec, hopts);
+  const double segment_s = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) (void)hist->ProcessTuple("objects", t);
+    (void)hist->Finish();
+  });
+
+  // Capacity 3: the modeling operator alone (paper's nested plot).
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 1.0);
+  MultiAttributeSegmenter modeler(stream, hopts.segmentation);
+  size_t segments = 0;
+  const double model_s = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) {
+      Result<std::optional<Segment>> r = modeler.Add(t);
+      if (r.ok() && r->has_value()) ++segments;
+    }
+  });
+
+  const double n = static_cast<double>(trace.size());
+  std::printf("\nMeasured capacities (tuples/s):\n");
+  std::printf("  tuple processing  : %12.0f\n", n / tuple_s);
+  std::printf("  segment processing: %12.0f\n", n / segment_s);
+  std::printf("  modeling alone    : %12.0f   (%zu segments fitted)\n",
+              n / model_s, segments);
+
+  // Offered-rate sweep around the tuple capacity: achieved throughput per
+  // series (the paper's y axis).
+  const double c_tuple = n / tuple_s;
+  bench::SeriesTable table(
+      "Fig 8: achieved throughput vs offered rate (tup/s)", "offered_tps",
+      {"tuple_tps", "segment_tps", "modeling_tps"});
+  for (double f = 0.25; f <= 3.01; f += 0.25) {
+    const double offered = f * c_tuple;
+    table.AddRow(
+        offered,
+        {bench::SimulateQueue(trace.size(), tuple_s, offered).achieved_tps,
+         bench::SimulateQueue(trace.size(), segment_s, offered)
+             .achieved_tps,
+         bench::SimulateQueue(trace.size(), model_s, offered)
+             .achieved_tps});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): tuple processing tails off first; segment "
+      "processing scales beyond it;\nmodeling alone saturates highest — "
+      "model fitting is not the bottleneck.\n");
+  return 0;
+}

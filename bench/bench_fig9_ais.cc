@@ -1,0 +1,130 @@
+// Reproduces paper Fig. 9ii: AIS "following" query throughput with a
+// 0.05% error threshold. Series: tuple-based query, Pulse, and segment
+// replay (pre-fitted models pushed directly, the paper's memory-bound
+// upper series).
+//
+// Paper shape: the tuple query saturates at a much lower rate than the
+// NYSE experiment (the query starts with a join rather than aggregates),
+// and Pulse achieves ~4x its throughput.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "engine/executor.h"
+#include "engine/stream.h"
+#include "workload/ais.h"
+#include "workload/queries.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec FollowingSpec() {
+  QuerySpec spec;
+  (void)spec.AddStream(AisGenerator::MakeStreamSpec("ais", 30.0));
+  FollowingParams params;  // paper: join 10 s, avg 600 s slide 10 s
+  params.avg_window = 120.0;  // scaled to the trace length
+  params.avg_slide = 10.0;
+  (void)AddFollowingQuery(&spec, params);
+  return spec;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  AisOptions gen_opts;
+  gen_opts.num_vessels = 40;
+  gen_opts.tuple_rate = 500.0;
+  gen_opts.leg_duration = 120.0;
+  gen_opts.following_fraction = 0.2;
+  gen_opts.noise = 0.5;
+  const std::vector<Tuple> trace =
+      AisGenerator(gen_opts).Generate(120000);  // 240 s of reports
+  const QuerySpec spec = FollowingSpec();
+  std::printf(
+      "Fig 9ii reproduction: following query over %zu synthetic AIS "
+      "reports\n",
+      trace.size());
+
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+  dexec->set_discard_output(true);
+  // System-level measurement: discrete tuples pass through the engine's
+  // admission queue (Borealis enqueues every tuple before processing;
+  // Pulse's validator and the historical modeler intercept tuples before
+  // the engine — paper Fig. 4).
+  Stream admission("ais.in", AisGenerator::TupleSchema());
+  const double tuple_s = bench::MeasureSeconds([&] {
+    Tuple queued;
+    for (const Tuple& t : trace) {
+      (void)admission.Push(t);
+      (void)admission.Pop(&queued);
+      (void)dexec->PushTuple("ais", queued);
+    }
+    (void)dexec->Finish();
+  });
+
+  PredictiveRuntime::Options popts;
+  popts.bounds = {BoundSpec::Relative("avg_dist2", 0.0005)};  // 0.05%
+  popts.collect_outputs = false;
+  Result<PredictiveRuntime> rt = PredictiveRuntime::Make(spec, popts);
+  const double pulse_s = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) (void)rt->ProcessTuple("ais", t);
+    (void)rt->Finish();
+  });
+
+  // Segment replay: fit once, then measure pure segment processing.
+  HistoricalRuntime::Options hopts;
+  hopts.segmentation.degree = 1;
+  hopts.segmentation.max_error = 2.0;
+  hopts.segmentation.max_points_per_segment = 500;
+  hopts.collect_outputs = false;
+  StreamSpec stream = AisGenerator::MakeStreamSpec("ais", 30.0);
+  MultiAttributeSegmenter modeler(stream, hopts.segmentation);
+  std::vector<Segment> segments;
+  for (const Tuple& t : trace) {
+    Result<std::optional<Segment>> r = modeler.Add(t);
+    if (r.ok() && r->has_value()) segments.push_back(std::move(**r));
+  }
+  Result<HistoricalRuntime> hist = HistoricalRuntime::Make(spec, hopts);
+  const double replay_s = bench::MeasureSeconds([&] {
+    for (const Segment& s : segments) {
+      (void)hist->ProcessSegment("ais", s);
+    }
+    (void)hist->Finish();
+  });
+
+  const double n = static_cast<double>(trace.size());
+  std::printf("\nMeasured capacities (tuples/s equivalent):\n");
+  std::printf("  tuple following  : %12.0f\n", n / tuple_s);
+  std::printf("  pulse following  : %12.0f  (validated %llu, violations"
+              " %llu)\n",
+              n / pulse_s,
+              static_cast<unsigned long long>(rt->stats().tuples_validated),
+              static_cast<unsigned long long>(rt->stats().violations));
+  std::printf("  segment replay   : %12.0f  (%zu segments for %zu "
+              "tuples)\n",
+              n / replay_s, segments.size(), trace.size());
+
+  const double c_tuple = n / tuple_s;
+  bench::SeriesTable table(
+      "Fig 9ii: achieved following-query throughput vs offered rate "
+      "(0.05% threshold)",
+      "offered_tps", {"tuple_tps", "pulse_tps", "segment_replay_tps"});
+  for (double f = 0.25; f <= 6.01; f += 0.5) {
+    const double offered = f * c_tuple;
+    table.AddRow(
+        offered,
+        {bench::SimulateQueue(trace.size(), tuple_s, offered).achieved_tps,
+         bench::SimulateQueue(trace.size(), pulse_s, offered).achieved_tps,
+         bench::SimulateQueue(trace.size(), replay_s, offered)
+             .achieved_tps});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): tuple query saturates lowest (join-first "
+      "plan); Pulse reaches ~4x its\nthroughput; segment replay highest "
+      "(bounded by memory, not computation, in the paper).\n");
+  return 0;
+}

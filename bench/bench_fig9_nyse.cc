@@ -1,0 +1,115 @@
+// Reproduces paper Fig. 9i: NYSE MACD query throughput, 1% error
+// threshold. Three series: tuple-based MACD, Pulse (predictive,
+// validation-driven), and historical processing (pre-segmented input, no
+// validation overhead).
+//
+// Paper shape: tuple query tails off first (~4000 tup/s in the paper),
+// Pulse scales ~1.6x further (~6500 tup/s), historical segment processing
+// scales best in this range.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "engine/executor.h"
+#include "engine/stream.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec MacdSpec() {
+  QuerySpec spec;
+  (void)spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0));
+  MacdParams params;  // paper windows: 10 s / 60 s, slide 2 s
+  (void)AddMacdQuery(&spec, params);
+  return spec;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  NyseOptions gen_opts;
+  gen_opts.num_symbols = 50;
+  gen_opts.tuple_rate = 3000.0;
+  gen_opts.trades_per_trend = 300;
+  gen_opts.noise = 0.02;
+  const std::vector<Tuple> trace =
+      NyseGenerator(gen_opts).Generate(360000);  // 120 s of trades
+  const QuerySpec spec = MacdSpec();
+  std::printf("Fig 9i reproduction: MACD over %zu synthetic NYSE trades\n",
+              trace.size());
+
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+  dexec->set_discard_output(true);
+  // System-level measurement: discrete tuples pass through the engine's
+  // admission queue (Borealis enqueues every tuple before processing;
+  // Pulse's validator and the historical modeler intercept tuples before
+  // the engine — paper Fig. 4).
+  Stream admission("nyse.in", NyseGenerator::TupleSchema());
+  const double tuple_s = bench::MeasureSeconds([&] {
+    Tuple queued;
+    for (const Tuple& t : trace) {
+      (void)admission.Push(t);
+      (void)admission.Pop(&queued);
+      (void)dexec->PushTuple("nyse", queued);
+    }
+    (void)dexec->Finish();
+  });
+
+  PredictiveRuntime::Options popts;
+  popts.bounds = {BoundSpec::Relative("s.ap", 0.01)};  // 1% of trade value
+  popts.collect_outputs = false;
+  Result<PredictiveRuntime> rt = PredictiveRuntime::Make(spec, popts);
+  const double pulse_s = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) (void)rt->ProcessTuple("nyse", t);
+    (void)rt->Finish();
+  });
+
+  HistoricalRuntime::Options hopts;
+  hopts.segmentation.degree = 1;
+  hopts.segmentation.max_error = 0.05;
+  hopts.segmentation.max_points_per_segment = 500;
+  hopts.collect_outputs = false;
+  Result<HistoricalRuntime> hist = HistoricalRuntime::Make(spec, hopts);
+  const double hist_s = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) (void)hist->ProcessTuple("nyse", t);
+    (void)hist->Finish();
+  });
+
+  const double n = static_cast<double>(trace.size());
+  std::printf("\nMeasured capacities (tuples/s):\n");
+  std::printf("  tuple MACD       : %12.0f\n", n / tuple_s);
+  std::printf("  pulse MACD       : %12.0f  (validated %llu / pushed %llu"
+              " segments, %llu violations)\n",
+              n / pulse_s,
+              static_cast<unsigned long long>(rt->stats().tuples_validated),
+              static_cast<unsigned long long>(rt->stats().segments_pushed),
+              static_cast<unsigned long long>(rt->stats().violations));
+  std::printf("  historical MACD  : %12.0f  (%llu segments)\n", n / hist_s,
+              static_cast<unsigned long long>(
+                  hist->stats().segments_pushed));
+
+  const double c_tuple = n / tuple_s;
+  bench::SeriesTable table(
+      "Fig 9i: achieved MACD throughput vs offered rate (1% threshold)",
+      "offered_tps", {"tuple_tps", "pulse_tps", "historical_tps"});
+  for (double f = 0.25; f <= 3.01; f += 0.25) {
+    const double offered = f * c_tuple;
+    table.AddRow(
+        offered,
+        {bench::SimulateQueue(trace.size(), tuple_s, offered).achieved_tps,
+         bench::SimulateQueue(trace.size(), pulse_s, offered).achieved_tps,
+         bench::SimulateQueue(trace.size(), hist_s, offered)
+             .achieved_tps});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): tuple MACD saturates first; Pulse "
+      "sustains a higher rate (~1.6x in the paper);\nhistorical segment "
+      "processing scales further still.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 9iii: MACD end-to-end latency vs precision bound
+// (0.1%-20% relative error at a fixed offered rate), with the inset
+// violation counts.
+//
+// Paper shape: latency stays low and flat down to ~0.3% relative error;
+// tighter bounds cause exponentially more precision violations (each one
+// re-runs the solver), processing cost exceeds the arrival budget, and
+// queueing makes latency explode.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec MacdSpec() {
+  QuerySpec spec;
+  (void)spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0));
+  MacdParams params;
+  (void)AddMacdQuery(&spec, params);
+  return spec;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  NyseOptions gen_opts;
+  gen_opts.num_symbols = 50;
+  gen_opts.tuple_rate = 3000.0;  // Fig. 6: 3000 tup/s
+  gen_opts.trades_per_trend = 300;
+  gen_opts.noise = 0.05;  // bid/ask bounce the models cannot predict
+  const std::vector<Tuple> trace =
+      NyseGenerator(gen_opts).Generate(240000);
+  const QuerySpec spec = MacdSpec();
+  std::printf(
+      "Fig 9iii reproduction: MACD latency vs precision, %zu trades at "
+      "3000 tup/s\n",
+      trace.size());
+
+  const double precisions[] = {0.20, 0.10,  0.05,  0.02, 0.01,
+                               0.005, 0.003, 0.002, 0.001};
+
+  // Calibrate the offered rate to a mid-range precision's capacity so
+  // loose bounds keep up and tight bounds overload — the regime of the
+  // paper's fixed 3000 tup/s against its hardware.
+  double calibration_s = 0.0;
+  {
+    PredictiveRuntime::Options opts;
+    opts.bounds = {BoundSpec::Relative("s.ap", 0.01)};
+    opts.collect_outputs = false;
+    Result<PredictiveRuntime> rt = PredictiveRuntime::Make(spec, opts);
+    calibration_s = bench::MeasureSeconds([&] {
+      for (const Tuple& t : trace) (void)rt->ProcessTuple("nyse", t);
+    });
+  }
+  const double offered =
+      0.9 * static_cast<double>(trace.size()) / calibration_s;
+  std::printf("Offered rate (0.9x capacity at 1%%): %.0f tup/s\n", offered);
+
+  bench::SeriesTable table(
+      "Fig 9iii: end-to-end latency vs relative precision bound",
+      "precision_%",
+      {"mean_latency_ms", "violations", "segments_pushed"});
+  for (double precision : precisions) {
+    PredictiveRuntime::Options opts;
+    opts.bounds = {BoundSpec::Relative("s.ap", precision)};
+    opts.collect_outputs = false;
+    Result<PredictiveRuntime> rt = PredictiveRuntime::Make(spec, opts);
+    const double service_s = bench::MeasureSeconds([&] {
+      for (const Tuple& t : trace) (void)rt->ProcessTuple("nyse", t);
+      (void)rt->Finish();
+    });
+    const bench::QueueSummary q =
+        bench::SimulateQueue(trace.size(), service_s, offered);
+    table.AddRow(precision * 100.0,
+                 {q.mean_latency_s * 1e3,
+                  static_cast<double>(rt->stats().violations),
+                  static_cast<double>(rt->stats().segments_pushed)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): latency low/flat for loose bounds; "
+      "violations grow exponentially as the\nbound tightens (inset, log "
+      "scale); beyond the knee the processing capacity drops below the "
+      "offered\nrate and queueing latency explodes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pulse::bench {
+
+double MeasureSeconds(const std::function<void()>& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.ElapsedSeconds();
+}
+
+QueueSummary SimulateQueue(uint64_t n, double total_service_seconds,
+                           double offered_rate) {
+  QueueSummary out;
+  if (n == 0 || total_service_seconds <= 0.0 || offered_rate <= 0.0) {
+    return out;
+  }
+  const double service = total_service_seconds / static_cast<double>(n);
+  out.capacity_tps = 1.0 / service;
+  out.achieved_tps = std::min(offered_rate, out.capacity_tps);
+  const double run_seconds = static_cast<double>(n) / offered_rate;
+  if (offered_rate <= out.capacity_tps) {
+    out.mean_latency_s = service;
+    out.final_backlog = 0.0;
+    return out;
+  }
+  // Overloaded D/D/1: the queue grows linearly for the whole run. Tuple i
+  // arrives at i/rate and completes at i*service; the mean of the
+  // difference over the run is half the final lag.
+  const double lag_per_tuple = service - 1.0 / offered_rate;
+  out.final_backlog = lag_per_tuple * static_cast<double>(n) * offered_rate;
+  out.mean_latency_s =
+      service + 0.5 * lag_per_tuple * static_cast<double>(n);
+  (void)run_seconds;
+  return out;
+}
+
+SeriesTable::SeriesTable(std::string title, std::string x_label,
+                         std::vector<std::string> series_names)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_(std::move(series_names)) {}
+
+void SeriesTable::AddRow(double x, std::vector<double> values) {
+  rows_.emplace_back(x, std::move(values));
+}
+
+void SeriesTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%18s", x_label_.c_str());
+  for (const std::string& s : series_) std::printf("  %18s", s.c_str());
+  std::printf("\n");
+  for (const auto& [x, values] : rows_) {
+    std::printf("%18.4g", x);
+    for (double v : values) std::printf("  %18.4g", v);
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace pulse::bench

@@ -1,0 +1,59 @@
+#ifndef PULSE_BENCH_BENCH_UTIL_H_
+#define PULSE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/tuple.h"
+#include "util/stopwatch.h"
+
+namespace pulse::bench {
+
+/// Measures the wall-clock seconds one call of `fn` takes.
+double MeasureSeconds(const std::function<void()>& fn);
+
+/// Steady-state queueing summary for a stage that needs `total_service`
+/// seconds to process `n` tuples arriving uniformly at `offered_rate`
+/// tuples/second (deterministic arrivals and service, the replay setting
+/// of the paper's experiments).
+///
+/// When the offered rate is below capacity the stage keeps up: achieved
+/// throughput equals the offered rate and latency is the bare service
+/// time. Beyond capacity the queue grows for the whole run, reproducing
+/// the paper's "system is no longer stable, queues grow" tail-offs
+/// (Fig. 8/9) and the exponential latency blow-up (Fig. 9iii).
+struct QueueSummary {
+  double capacity_tps = 0.0;   // n / total_service
+  double achieved_tps = 0.0;   // min(offered, capacity)
+  double mean_latency_s = 0.0; // average completion - arrival
+  double final_backlog = 0.0;  // tuples still queued at end of run
+};
+
+QueueSummary SimulateQueue(uint64_t n, double total_service_seconds,
+                           double offered_rate);
+
+/// Paper-style series table printer: one row per x value, one column per
+/// named series. Used by every bench to emit the rows/series the paper's
+/// figures plot, in addition to google-benchmark's own output.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> series_names);
+
+  void AddRow(double x, std::vector<double> values);
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::pair<double, std::vector<double>>> rows_;
+};
+
+}  // namespace pulse::bench
+
+#endif  // PULSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// Historical what-if analysis: the paper's second operating mode
+// (Section II-A). A recorded stream is modeled ONCE into segments; the
+// compact model then feeds many "parameter sweeping" query variants —
+// here, MACD with a range of short-window sizes — so the modeling cost is
+// amortized across the whole sweep and each variant runs over thousands
+// of segments instead of hundreds of thousands of tuples.
+//
+// Build & run:  ./build/examples/historical_whatif
+#include <cstdio>
+#include <vector>
+
+#include "core/runtime.h"
+#include "util/stopwatch.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+
+using namespace pulse;
+
+int main() {
+  // Record one trading session.
+  NyseOptions gen_options;
+  gen_options.num_symbols = 20;
+  gen_options.tuple_rate = 2000.0;
+  gen_options.trades_per_trend = 400;
+  gen_options.noise = 0.01;
+  const std::vector<Tuple> history =
+      NyseGenerator(gen_options).Generate(200000);
+  std::printf("historical stream: %zu trades\n", history.size());
+
+  // Phase 1: model the history once.
+  SegmentationOptions seg_options;
+  seg_options.degree = 1;
+  seg_options.max_error = 0.05;
+  seg_options.max_points_per_segment = 1000;
+  StreamSpec stream = NyseGenerator::MakeStreamSpec("nyse", 5.0);
+  MultiAttributeSegmenter modeler(stream, seg_options);
+  std::vector<Segment> segments;
+  Stopwatch model_watch;
+  for (const Tuple& t : history) {
+    Result<std::optional<Segment>> r = modeler.Add(t);
+    if (r.ok() && r->has_value()) segments.push_back(std::move(**r));
+  }
+  Result<std::vector<Segment>> rest = modeler.Flush();
+  if (rest.ok()) {
+    for (Segment& s : *rest) segments.push_back(std::move(s));
+  }
+  std::printf("modeled once in %.3f s -> %zu segments (%.0f tuples per "
+              "segment)\n",
+              model_watch.ElapsedSeconds(), segments.size(),
+              static_cast<double>(history.size()) / segments.size());
+
+  // Phase 2: replay the compact model through many query variants.
+  std::printf("\n%12s %14s %14s\n", "short_window", "alert_segments",
+              "sweep_seconds");
+  for (double short_window : {5.0, 10.0, 20.0, 30.0, 45.0}) {
+    QuerySpec spec;
+    Status st = spec.AddStream(stream);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    MacdParams params;
+    params.short_window = short_window;
+    params.long_window = 60.0;
+    params.slide = 2.0;
+    Result<QuerySpec::NodeId> sink = AddMacdQuery(&spec, params);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "%s\n", sink.status().ToString().c_str());
+      return 1;
+    }
+    HistoricalRuntime::Options options;
+    options.segmentation = seg_options;
+    options.collect_outputs = false;
+    Result<HistoricalRuntime> runtime =
+        HistoricalRuntime::Make(spec, options);
+    if (!runtime.ok()) {
+      std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch watch;
+    for (const Segment& s : segments) {
+      st = runtime->ProcessSegment("nyse", s);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    (void)runtime->Finish();
+    std::printf("%12.0f %14llu %14.3f\n", short_window,
+                (unsigned long long)runtime->stats().output_segments,
+                watch.ElapsedSeconds());
+  }
+  std::printf(
+      "\nEach variant consumed %zu segments instead of %zu tuples — the "
+      "modeling cost is paid once\nand amortized across the sweep "
+      "(paper Section II-A, historical processing).\n",
+      segments.size(), history.size());
+  return 0;
+}

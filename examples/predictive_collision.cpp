@@ -1,0 +1,93 @@
+// Predictive collision detection: the paper's motivating query
+// (Section I):
+//
+//   select from objects R join objects S on (R.id <> S.id)
+//   where abs(distance(R.x, R.y, S.x, S.y)) < c
+//
+// Instead of comparing many position samples, Pulse solves the models of
+// the object trajectories analytically: each pair's proximity predicate
+// becomes a polynomial difference equation whose solution is the exact
+// FUTURE time window of the close approach — alerts fire before the
+// objects are actually close (predictive processing, Section II-A).
+//
+// Build & run:  ./build/examples/predictive_collision
+#include <cstdio>
+
+#include "core/operators/join.h"
+#include "core/runtime.h"
+#include "workload/moving_object.h"
+
+using namespace pulse;
+
+int main() {
+  const double kProximity = 50.0;
+
+  QuerySpec spec;
+  // Long horizon: models predict 30 s into the future.
+  Status st = spec.AddStream(
+      MovingObjectGenerator::MakeStreamSpec("objects", /*horizon=*/30.0));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt, kProximity));
+  join.window_seconds = 30.0;
+  join.require_distinct_keys = true;  // R.id <> S.id
+  spec.AddJoin("collision", QuerySpec::Input::Stream("objects"),
+               QuerySpec::Input::Stream("objects"), join);
+
+  PredictiveRuntime::Options options;
+  options.bounds = {BoundSpec::Absolute("left.x", 5.0)};
+  Result<PredictiveRuntime> runtime =
+      PredictiveRuntime::Make(spec, options);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+    return 1;
+  }
+
+  MovingObjectOptions gen_options;
+  gen_options.num_objects = 12;
+  gen_options.tuple_rate = 60.0;
+  gen_options.tuples_per_segment = 600;  // long straight legs
+  gen_options.area = 2000.0;             // dense enough to cross paths
+  gen_options.speed = 25.0;
+  MovingObjectGenerator generator(gen_options);
+
+  size_t alerts = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const Tuple tuple = generator.NextTuple();
+    const double now = tuple.timestamp;
+    st = runtime->ProcessTuple("objects", tuple);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (const Segment& s : runtime->TakeOutputSegments()) {
+      Key a = 0, b = 0;
+      SplitKeys(s.key, &a, &b);
+      const double lead = s.range.lo - now;
+      if (alerts < 15) {
+        std::printf(
+            "collision window: objects %lld and %lld within %.0f units "
+            "during %s (predicted %+.1f s ahead)\n",
+            (long long)a, (long long)b, kProximity,
+            s.range.ToString().c_str(), lead);
+      }
+      ++alerts;
+    }
+  }
+  (void)runtime->Finish();
+
+  const RuntimeStats& stats = runtime->stats();
+  std::printf("\n--- session summary ---\n");
+  std::printf("position reports : %llu\n",
+              (unsigned long long)stats.tuples_in);
+  std::printf("model-validated  : %llu (%.1f%%)\n",
+              (unsigned long long)stats.tuples_validated,
+              100.0 * stats.tuples_validated / stats.tuples_in);
+  std::printf("collision windows: %zu\n", alerts);
+  return 0;
+}

@@ -1,0 +1,216 @@
+// pulse_cli — run an ad-hoc StreamSQL query over a built-in workload.
+//
+//   pulse_cli --workload objects|nyse|ais --tuples N
+//             --query "select * from objects where x < 500"
+//             [--mode predictive|historical] [--bound attr=0.01]
+//             [--sample-rate HZ] [--show K]
+//
+// Examples:
+//   pulse_cli --workload nyse --tuples 50000 --bound s.ap=0.01 --query \
+//     "select symbol, s.ap - l.ap as diff from (select symbol, avg(price) \
+//      as ap from nyse [size 10 advance 2]) as s join (select symbol, \
+//      avg(price) as ap from nyse [size 60 advance 2]) as l on \
+//      (s.symbol = l.symbol) where s.ap > l.ap"
+//
+//   pulse_cli --workload objects --mode historical --tuples 100000 \
+//     --query "select * from objects where x < 2000"
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/parser.h"
+#include "core/runtime.h"
+#include "util/stopwatch.h"
+#include "workload/ais.h"
+#include "workload/moving_object.h"
+#include "workload/nyse.h"
+
+using namespace pulse;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "objects";
+  std::string query;
+  std::string mode = "predictive";
+  size_t tuples = 10000;
+  double sample_rate = 0.0;
+  size_t show = 5;
+  std::vector<BoundSpec> bounds;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --query SQL [--workload objects|nyse|ais] [--tuples N]\n"
+      "          [--mode predictive|historical] [--bound attr=frac]...\n"
+      "          [--sample-rate HZ] [--show K]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      const char* v = next("--workload");
+      if (v == nullptr) return false;
+      out->workload = v;
+    } else if (arg == "--query") {
+      const char* v = next("--query");
+      if (v == nullptr) return false;
+      out->query = v;
+    } else if (arg == "--mode") {
+      const char* v = next("--mode");
+      if (v == nullptr) return false;
+      out->mode = v;
+    } else if (arg == "--tuples") {
+      const char* v = next("--tuples");
+      if (v == nullptr) return false;
+      out->tuples = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--sample-rate") {
+      const char* v = next("--sample-rate");
+      if (v == nullptr) return false;
+      out->sample_rate = std::strtod(v, nullptr);
+    } else if (arg == "--show") {
+      const char* v = next("--show");
+      if (v == nullptr) return false;
+      out->show = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--bound") {
+      const char* v = next("--bound");
+      if (v == nullptr) return false;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) {
+        std::fprintf(stderr, "--bound expects attr=fraction\n");
+        return false;
+      }
+      out->bounds.push_back(BoundSpec::Relative(
+          std::string(v, eq - v), std::strtod(eq + 1, nullptr)));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return !out->query.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+
+  // Declare the chosen workload's stream and build a tuple source.
+  QuerySpec spec;
+  std::function<Tuple()> source;
+  std::string stream_name = options.workload;
+  if (options.workload == "objects") {
+    (void)spec.AddStream(
+        MovingObjectGenerator::MakeStreamSpec("objects", 5.0));
+    auto gen = std::make_shared<MovingObjectGenerator>(MovingObjectOptions{});
+    source = [gen] { return gen->NextTuple(); };
+  } else if (options.workload == "nyse") {
+    (void)spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0));
+    auto gen = std::make_shared<NyseGenerator>(NyseOptions{});
+    source = [gen] { return gen->NextTuple(); };
+  } else if (options.workload == "ais") {
+    (void)spec.AddStream(AisGenerator::MakeStreamSpec("ais", 30.0));
+    auto gen = std::make_shared<AisGenerator>(AisOptions{});
+    source = [gen] { return gen->NextTuple(); };
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 options.workload.c_str());
+    return Usage(argv[0]);
+  }
+
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(&spec, options.query);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 sink.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed query -> %zu operator(s)\n", spec.num_nodes());
+
+  Stopwatch watch;
+  if (options.mode == "historical") {
+    HistoricalRuntime::Options hopts;
+    hopts.segmentation.degree = 1;
+    hopts.segmentation.max_error = 0.1;
+    hopts.segmentation.max_points_per_segment = 1000;
+    Result<HistoricalRuntime> rt = HistoricalRuntime::Make(spec, hopts);
+    if (!rt.ok()) {
+      std::fprintf(stderr, "%s\n", rt.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < options.tuples; ++i) {
+      Status st = rt->ProcessTuple(stream_name, source());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    (void)rt->Finish();
+    const RuntimeStats& stats = rt->stats();
+    std::printf(
+        "historical: %llu tuples -> %llu segments -> %llu result "
+        "segments in %.3f s (%.0f tup/s)\n",
+        (unsigned long long)stats.tuples_in,
+        (unsigned long long)stats.segments_pushed,
+        (unsigned long long)stats.output_segments, watch.ElapsedSeconds(),
+        stats.tuples_in / watch.ElapsedSeconds());
+    std::vector<Segment> outputs = rt->TakeOutputSegments();
+    for (size_t i = 0; i < outputs.size() && i < options.show; ++i) {
+      std::printf("  %s\n", outputs[i].ToString().c_str());
+    }
+    return 0;
+  }
+
+  PredictiveRuntime::Options popts;
+  popts.bounds = options.bounds;
+  popts.sample_rate = options.sample_rate;
+  Result<PredictiveRuntime> rt = PredictiveRuntime::Make(spec, popts);
+  if (!rt.ok()) {
+    std::fprintf(stderr, "%s\n", rt.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < options.tuples; ++i) {
+    Status st = rt->ProcessTuple(stream_name, source());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  (void)rt->Finish();
+  const RuntimeStats& stats = rt->stats();
+  std::printf(
+      "predictive: %llu tuples, %llu validated (%.1f%%), %llu solver "
+      "runs, %llu violations, %llu result segments in %.3f s "
+      "(%.0f tup/s)\n",
+      (unsigned long long)stats.tuples_in,
+      (unsigned long long)stats.tuples_validated,
+      100.0 * stats.tuples_validated / std::max<uint64_t>(1, stats.tuples_in),
+      (unsigned long long)stats.segments_pushed,
+      (unsigned long long)stats.violations,
+      (unsigned long long)stats.output_segments, watch.ElapsedSeconds(),
+      stats.tuples_in / watch.ElapsedSeconds());
+  std::vector<Segment> outputs = rt->TakeOutputSegments();
+  for (size_t i = 0; i < outputs.size() && i < options.show; ++i) {
+    std::printf("  %s\n", outputs[i].ToString().c_str());
+  }
+  if (options.sample_rate > 0.0) {
+    std::vector<Tuple> tuples = rt->TakeOutputTuples();
+    std::printf("sampled %zu result tuples\n", tuples.size());
+    for (size_t i = 0; i < tuples.size() && i < options.show; ++i) {
+      std::printf("  %s\n", tuples[i].ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Vessel-following detector: the paper's AIS scenario (Section V-B).
+//
+// A synthetic Coast-Guard-style feed of vessel positions runs through the
+// "following" query: a continuous self-join on proximity, a derived
+// dist^2 model, a per-pair sliding average, and a HAVING filter. The
+// continuous join solves for the exact time ranges during which two
+// vessels sail within the threshold of each other.
+//
+// Build & run:  ./build/examples/vessel_following
+#include <cstdio>
+#include <set>
+
+#include "core/operators/join.h"
+#include "core/runtime.h"
+#include "workload/ais.h"
+#include "workload/queries.h"
+
+using namespace pulse;
+
+int main() {
+  QuerySpec spec;
+  Status st = spec.AddStream(AisGenerator::MakeStreamSpec("ais", 30.0));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  FollowingParams params;
+  params.join_window = 10.0;
+  params.avg_window = 120.0;
+  params.avg_slide = 10.0;
+  params.threshold = 1000.0;  // paper: having avg(dist) < 1000
+  Result<QuerySpec::NodeId> sink = AddFollowingQuery(&spec, params);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "%s\n", sink.status().ToString().c_str());
+    return 1;
+  }
+
+  PredictiveRuntime::Options options;
+  options.bounds = {BoundSpec::Relative("avg_dist2", 0.0005)};  // 0.05%
+  Result<PredictiveRuntime> runtime =
+      PredictiveRuntime::Make(spec, options);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "%s\n", runtime.status().ToString().c_str());
+    return 1;
+  }
+
+  AisOptions gen_options;
+  gen_options.num_vessels = 30;
+  gen_options.tuple_rate = 200.0;
+  gen_options.leg_duration = 90.0;
+  gen_options.following_fraction = 0.2;
+  gen_options.follow_distance = 400.0;
+  gen_options.noise = 1.0;
+  AisGenerator generator(gen_options);
+  std::printf("ground truth: %zu follower pairs configured\n",
+              generator.follower_pairs().size());
+
+  std::set<std::pair<Key, Key>> detected;
+  for (int i = 0; i < 80000; ++i) {
+    st = runtime->ProcessTuple("ais", generator.NextTuple());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (const Segment& s : runtime->TakeOutputSegments()) {
+      Key a = 0, b = 0;
+      SplitKeys(s.key, &a, &b);
+      auto pair = std::minmax(a, b);
+      if (detected.insert({pair.first, pair.second}).second) {
+        std::printf(
+            "following detected: vessels %lld and %lld during %s\n",
+            (long long)pair.first, (long long)pair.second,
+            s.range.ToString().c_str());
+      }
+    }
+  }
+  (void)runtime->Finish();
+
+  const RuntimeStats& stats = runtime->stats();
+  std::printf("\n--- session summary ---\n");
+  std::printf("reports processed: %llu\n",
+              (unsigned long long)stats.tuples_in);
+  std::printf("model-validated  : %llu (%.1f%%)\n",
+              (unsigned long long)stats.tuples_validated,
+              100.0 * stats.tuples_validated / stats.tuples_in);
+  std::printf("pairs detected   : %zu\n", detected.size());
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "core/equation_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace pulse {
+
+std::string DifferenceEquation::ToString() const {
+  return diff.ToString() + " " + CmpOpToString(op) + " 0";
+}
+
+DifferenceEquation MakeDifferenceEquation(const Polynomial& lhs, CmpOp op,
+                                          const Polynomial& rhs) {
+  return DifferenceEquation{lhs - rhs, op};
+}
+
+size_t EquationSystem::Degree() const {
+  size_t d = 0;
+  for (const DifferenceEquation& row : rows_) {
+    d = std::max(d, row.diff.degree());
+  }
+  return d;
+}
+
+Matrix EquationSystem::CoefficientMatrix() const {
+  const size_t cols = Degree() + 1;
+  Matrix d(rows_.size(), cols);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      d.At(r, c) = rows_[r].diff.coeff(c);
+    }
+  }
+  return d;
+}
+
+IntervalSet EquationSystem::Solve(const Interval& domain,
+                                  RootMethod method) const {
+  if (domain.IsEmpty()) return IntervalSet();
+  IntervalSet solution(domain);
+  for (const DifferenceEquation& row : rows_) {
+    solution = solution.Intersect(SolveComparison(row.diff, row.op, domain,
+                                                  method));
+    if (solution.IsEmpty()) break;
+  }
+  return solution;
+}
+
+bool EquationSystem::QualifiesForLinearEquality() const {
+  if (rows_.empty()) return false;
+  for (const DifferenceEquation& row : rows_) {
+    if (row.op != CmpOp::kEq || row.diff.degree() > 1) return false;
+  }
+  return true;
+}
+
+Result<double> EquationSystem::SolveLinearEquality(
+    const Interval& domain) const {
+  if (!QualifiesForLinearEquality()) {
+    return Status::FailedPrecondition(
+        "system is not all-equality degree <= 1");
+  }
+  // Stack the rows as c1 * t = -c0 and solve by (trivial 1-unknown)
+  // elimination; rows with c1 == 0 are pure consistency constraints.
+  bool have_t = false;
+  double t = 0.0;
+  for (const DifferenceEquation& row : rows_) {
+    const double c0 = row.diff.coeff(0);
+    const double c1 = row.diff.coeff(1);
+    if (std::abs(c1) <= Polynomial::kCoefficientEpsilon) {
+      if (std::abs(c0) > kRootTolerance) {
+        return Status::NotFound("inconsistent constant equality row");
+      }
+      continue;  // 0 = 0: no constraint
+    }
+    const double cand = -c0 / c1;
+    if (!have_t) {
+      t = cand;
+      have_t = true;
+    } else if (std::abs(cand - t) > kRootTolerance *
+                                        std::max(1.0, std::abs(t))) {
+      return Status::NotFound("equality rows have no common solution");
+    }
+  }
+  if (!have_t) {
+    // Every row was 0 = 0: any time in the domain works; pick its start.
+    if (domain.IsEmpty()) return Status::NotFound("empty domain");
+    return domain.lo;
+  }
+  if (!domain.Contains(t)) {
+    return Status::NotFound("solution outside domain");
+  }
+  return t;
+}
+
+double EquationSystem::Slack(const Interval& domain) const {
+  if (rows_.empty()) return 0.0;
+  if (domain.IsEmpty()) return std::numeric_limits<double>::infinity();
+
+  // Candidate minimizers of max_i |p_i(t)|: domain endpoints, roots and
+  // derivative roots of each row, and pairwise crossings |p_i| = |p_j|
+  // (roots of p_i - p_j and p_i + p_j).
+  std::vector<double> candidates = {domain.lo, domain.hi};
+  auto add_roots = [&](const Polynomial& p) {
+    for (double r : FindRealRoots(p, domain.lo, domain.hi)) {
+      candidates.push_back(r);
+    }
+  };
+  for (const DifferenceEquation& row : rows_) {
+    add_roots(row.diff);
+    add_roots(row.diff.Derivative());
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t j = i + 1; j < rows_.size(); ++j) {
+      add_roots(rows_[i].diff - rows_[j].diff);
+      add_roots(rows_[i].diff + rows_[j].diff);
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (double t : candidates) {
+    if (t < domain.lo || t > domain.hi) continue;
+    double max_row = 0.0;
+    for (const DifferenceEquation& row : rows_) {
+      max_row = std::max(max_row, std::abs(row.diff.Evaluate(t)));
+    }
+    best = std::min(best, max_row);
+  }
+  return best;
+}
+
+std::string EquationSystem::ToString() const {
+  std::ostringstream os;
+  os << "EquationSystem{";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << rows_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pulse

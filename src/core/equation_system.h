@@ -1,0 +1,89 @@
+#ifndef PULSE_CORE_EQUATION_SYSTEM_H_
+#define PULSE_CORE_EQUATION_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/matrix.h"
+#include "math/polynomial.h"
+#include "math/roots.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// One row of a simultaneous equation system: a difference polynomial and
+/// the comparison it must satisfy. Produced by the paper's three-step
+/// predicate transform (Section III-A):
+///   1. rewrite x R y in difference form      x - y R 0
+///   2. substitute the continuous models      x(t) - y(t) R 0
+///   3. factorize model coefficients          (x-y)(t) R 0
+struct DifferenceEquation {
+  Polynomial diff;
+  CmpOp op = CmpOp::kEq;
+
+  std::string ToString() const;
+};
+
+/// Builds a difference equation from two attribute models.
+DifferenceEquation MakeDifferenceEquation(const Polynomial& lhs, CmpOp op,
+                                          const Polynomial& rhs);
+
+/// The basic computation element of Pulse (paper Eq. 1): a set of
+/// difference equations that must hold simultaneously, with the single
+/// unknown t. Solving the system yields the time ranges over which a
+/// selective operator produces results.
+class EquationSystem {
+ public:
+  EquationSystem() = default;
+  explicit EquationSystem(std::vector<DifferenceEquation> rows)
+      : rows_(std::move(rows)) {}
+
+  void AddRow(DifferenceEquation row) { rows_.push_back(std::move(row)); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<DifferenceEquation>& rows() const { return rows_; }
+
+  /// Largest polynomial degree across rows.
+  size_t Degree() const;
+
+  /// The paper's difference-equation coefficient matrix D: row i holds the
+  /// coefficients of rows_[i].diff, padded to Degree()+1 columns (constant
+  /// term first, i.e. D * [1, t, t^2, ...]^T evaluates all rows at t).
+  Matrix CoefficientMatrix() const;
+
+  /// General solution algorithm (Section III-A): solve each equation
+  /// independently, intersect the per-row time-range solutions over
+  /// `domain`. Empty result means the predicate never holds within the
+  /// given models' ranges — the operator emits nothing.
+  IntervalSet Solve(const Interval& domain,
+                    RootMethod method = RootMethod::kAuto) const;
+
+  /// Fast path for all-equality systems of degree <= 1 (the equi-join
+  /// case the paper routes to Gaussian elimination): solves the stacked
+  /// linear system for t directly. Returns NotFound when the system has
+  /// no common solution in `domain`, FailedPrecondition when the system
+  /// shape does not qualify for this path.
+  Result<double> SolveLinearEquality(const Interval& domain) const;
+
+  /// True when every row is an equality of degree <= 1.
+  bool QualifiesForLinearEquality() const;
+
+  /// The paper's slack measure (Section IV):
+  ///   slack = min_t ||D t||_inf  over t in `domain`,
+  /// i.e. the smallest maximum-row magnitude — a continuous measure of the
+  /// query's proximity to producing a result. The max-norm ensures no
+  /// mispredicted tuple that could produce results is missed. Exact for
+  /// polynomials: candidates are domain endpoints, per-row derivative
+  /// roots, and pairwise |row_i| = |row_j| crossing points.
+  double Slack(const Interval& domain) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DifferenceEquation> rows_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_EQUATION_SYSTEM_H_

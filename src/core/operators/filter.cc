@@ -1,0 +1,95 @@
+#include "core/operators/filter.h"
+
+#include <set>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+AttrResolver MakeUnaryResolver(const Segment& segment) {
+  return [&segment](const AttrRef& ref) -> Result<Polynomial> {
+    if (ref.side != Side::kLeft) {
+      return Status::InvalidArgument(
+          "unary operator predicate references right side");
+    }
+    return segment.attribute(ref.name);
+  };
+}
+
+PulseFilter::PulseFilter(std::string name, Predicate predicate,
+                         RootMethod method)
+    : PulseOperator(std::move(name)),
+      predicate_(std::move(predicate)),
+      method_(method) {}
+
+Status PulseFilter::Process(size_t port, const Segment& segment,
+                            SegmentBatch* out) {
+  PULSE_CHECK(port == 0);
+  ++metrics_.segments_in;
+  ++metrics_.solves;
+  const AttrResolver resolver = MakeUnaryResolver(segment);
+  PULSE_ASSIGN_OR_RETURN(IntervalSet solution,
+                         predicate_.Solve(resolver, segment.range, method_));
+  for (const Interval& iv : solution.intervals()) {
+    Segment result = segment;
+    result.id = NextSegmentId();
+    result.range = iv;
+    lineage_.Record(result.id, iv, {LineageEntry{0, segment}});
+    out->push_back(std::move(result));
+    ++metrics_.segments_out;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AllocatedBound>> PulseFilter::InvertBound(
+    const Segment& output, const std::string& attribute, double margin,
+    const SplitHeuristic& split) const {
+  const std::vector<LineageEntry>* causes = lineage_.Lookup(output.id);
+  if (causes == nullptr) {
+    return Status::NotFound("no lineage for output segment " +
+                            std::to_string(output.id));
+  }
+  // Dependencies D(o) = translations ∪ inferences: the requested attribute
+  // itself (filters pass attributes through unchanged) plus every
+  // predicate attribute the result is constrained by (Section IV-B).
+  std::set<std::string> deps = {attribute};
+  std::vector<AttrRef> refs;
+  predicate_.CollectAttributes(&refs);
+  for (const AttrRef& ref : refs) deps.insert(ref.name);
+
+  std::vector<const Segment*> inputs;
+  inputs.reserve(causes->size());
+  for (const LineageEntry& e : *causes) inputs.push_back(&e.input);
+
+  std::vector<AllocatedBound> out;
+  for (const std::string& dep : deps) {
+    SplitContext ctx;
+    ctx.output = &output;
+    ctx.attribute = attribute;
+    ctx.margin = margin;
+    ctx.inputs = inputs;
+    ctx.input_attribute = dep;
+    ctx.num_dependencies = deps.size();
+    PULSE_ASSIGN_OR_RETURN(std::vector<AllocatedBound> allocs,
+                           split.Apportion(ctx));
+    for (size_t i = 0; i < allocs.size(); ++i) {
+      allocs[i].port = (*causes)[i].port;
+      allocs[i].segment_id = (*causes)[i].input.id;
+      out.push_back(std::move(allocs[i]));
+    }
+  }
+  return out;
+}
+
+Result<double> PulseFilter::ComputeSlack(const Segment& segment) const {
+  if (!predicate_.IsConjunctive()) {
+    // No single equation system exists; force revalidation.
+    return 0.0;
+  }
+  const AttrResolver resolver = MakeUnaryResolver(segment);
+  PULSE_ASSIGN_OR_RETURN(EquationSystem system,
+                         predicate_.BuildSystem(resolver));
+  return system.Slack(segment.range);
+}
+
+}  // namespace pulse

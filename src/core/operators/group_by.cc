@@ -1,0 +1,70 @@
+#include "core/operators/group_by.h"
+
+#include "util/logging.h"
+
+namespace pulse {
+
+PulseGroupBy::PulseGroupBy(std::string name, InnerFactory factory)
+    : PulseOperator(std::move(name)), factory_(std::move(factory)) {
+  PULSE_CHECK(factory_ != nullptr);
+}
+
+Result<PulseOperator*> PulseGroupBy::GetOrCreate(Key group) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) return it->second.get();
+  PULSE_ASSIGN_OR_RETURN(std::unique_ptr<PulseOperator> inner,
+                         factory_(group));
+  PulseOperator* raw = inner.get();
+  groups_.emplace(group, std::move(inner));
+  return raw;
+}
+
+PulseOperator* PulseGroupBy::group_operator(Key group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+Status PulseGroupBy::Process(size_t port, const Segment& segment,
+                             SegmentBatch* out) {
+  PULSE_CHECK(port == 0);
+  ++metrics_.segments_in;
+  PULSE_ASSIGN_OR_RETURN(PulseOperator * inner, GetOrCreate(segment.key));
+  SegmentBatch inner_out;
+  PULSE_RETURN_IF_ERROR(inner->Process(0, segment, &inner_out));
+  for (Segment& s : inner_out) {
+    s.key = segment.key;  // outputs stay keyed by group
+    out->push_back(std::move(s));
+    ++metrics_.segments_out;
+  }
+  // Roll up inner solver activity so plan-level metrics stay meaningful.
+  metrics_.solves += inner->metrics().solves;
+  inner->metrics().solves = 0;
+  metrics_.state_size = groups_.size();
+  return Status::OK();
+}
+
+Result<std::vector<AllocatedBound>> PulseGroupBy::InvertBound(
+    const Segment& output, const std::string& attribute, double margin,
+    const SplitHeuristic& split) const {
+  PulseOperator* inner = group_operator(output.key);
+  if (inner == nullptr) {
+    return Status::NotFound("no group operator for key " +
+                            std::to_string(output.key));
+  }
+  return inner->InvertBound(output, attribute, margin, split);
+}
+
+Status PulseGroupBy::Flush(SegmentBatch* out) {
+  for (auto& [group, inner] : groups_) {
+    SegmentBatch inner_out;
+    PULSE_RETURN_IF_ERROR(inner->Flush(&inner_out));
+    for (Segment& s : inner_out) {
+      s.key = group;
+      out->push_back(std::move(s));
+      ++metrics_.segments_out;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pulse

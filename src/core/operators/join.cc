@@ -1,0 +1,234 @@
+#include "core/operators/join.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+Key CombineKeys(Key left, Key right) {
+  PULSE_CHECK(left >= 0 && left <= 0x7fffffff);
+  PULSE_CHECK(right >= 0 && right <= 0x7fffffff);
+  return (left << 32) | right;
+}
+
+void SplitKeys(Key combined, Key* left, Key* right) {
+  *left = combined >> 32;
+  *right = combined & 0x7fffffff;
+}
+
+AttrResolver MakeBinaryResolver(const Segment& left, const Segment& right) {
+  return [&left, &right](const AttrRef& ref) -> Result<Polynomial> {
+    const Segment& seg = (ref.side == Side::kLeft) ? left : right;
+    return seg.attribute(ref.name);
+  };
+}
+
+PulseJoin::PulseJoin(std::string name, Predicate predicate,
+                     PulseJoinOptions options)
+    : PulseOperator(std::move(name)),
+      predicate_(std::move(predicate)),
+      options_(std::move(options)) {
+  PULSE_CHECK(options_.window_seconds > 0.0);
+  PULSE_CHECK(!(options_.match_keys && options_.require_distinct_keys));
+}
+
+bool PulseJoin::KeysAdmissible(const Segment& a, const Segment& b) const {
+  if (options_.match_keys && a.key != b.key) return false;
+  if (options_.require_distinct_keys && a.key == b.key) return false;
+  return true;
+}
+
+void PulseJoin::Expire(double now) {
+  const double horizon = now - options_.window_seconds;
+  auto expire_side = [horizon](std::deque<Segment>* side) {
+    while (!side->empty() && side->front().range.hi < horizon) {
+      side->pop_front();
+    }
+  };
+  expire_side(&left_);
+  expire_side(&right_);
+  if (options_.use_segment_index) {
+    left_index_.ExpireBefore(horizon);
+    right_index_.ExpireBefore(horizon);
+  }
+  // The lineage sweep is linear in stored outputs: run it periodically.
+  if (now - last_lineage_expire_ > options_.window_seconds / 16.0) {
+    lineage_.ExpireBefore(horizon);
+    last_lineage_expire_ = now;
+  }
+}
+
+Segment PulseJoin::MakeJoined(const Segment& left, const Segment& right,
+                              const Interval& valid) const {
+  Segment out;
+  out.key = CombineKeys(left.key, right.key);
+  out.range = valid;
+  for (const auto& [name, poly] : left.attributes) {
+    out.attributes[options_.left_prefix + name] = poly;
+  }
+  for (const auto& [name, poly] : right.attributes) {
+    out.attributes[options_.right_prefix + name] = poly;
+  }
+  for (const auto& [name, v] : left.unmodeled) {
+    out.unmodeled[options_.left_prefix + name] = v;
+  }
+  for (const auto& [name, v] : right.unmodeled) {
+    out.unmodeled[options_.right_prefix + name] = v;
+  }
+  out.unmodeled[options_.left_prefix + "key"] =
+      static_cast<double>(left.key);
+  out.unmodeled[options_.right_prefix + "key"] =
+      static_cast<double>(right.key);
+  return out;
+}
+
+Status PulseJoin::MatchPair(const Segment& left, const Segment& right,
+                            SegmentBatch* out) {
+  const Interval overlap = left.range.Intersect(right.range);
+  if (overlap.IsEmpty()) return Status::OK();
+  ++metrics_.solves;
+  const AttrResolver resolver = MakeBinaryResolver(left, right);
+  PULSE_ASSIGN_OR_RETURN(
+      IntervalSet solution,
+      predicate_.Solve(resolver, overlap, options_.method));
+  for (const Interval& iv : solution.intervals()) {
+    Segment joined = MakeJoined(left, right, iv);
+    joined.id = NextSegmentId();
+    lineage_.Record(joined.id, iv,
+                    {LineageEntry{0, left}, LineageEntry{1, right}});
+    out->push_back(std::move(joined));
+    ++metrics_.segments_out;
+  }
+  return Status::OK();
+}
+
+Status PulseJoin::Process(size_t port, const Segment& segment,
+                          SegmentBatch* out) {
+  PULSE_CHECK(port < 2);
+  ++metrics_.segments_in;
+  latest_time_ = std::max(latest_time_, segment.range.lo);
+  Expire(latest_time_);
+  if (options_.use_segment_index) {
+    // Indexed probing (future-work extension): only partner segments
+    // overlapping the newcomer's range are examined.
+    const SegmentIndex& partners =
+        (port == 0) ? right_index_ : left_index_;
+    std::vector<const Segment*> overlaps;
+    if (options_.match_keys) {
+      partners.QueryOverlapsWithKey(segment.range, segment.key, &overlaps);
+    } else {
+      partners.QueryOverlaps(segment.range, &overlaps);
+    }
+    for (const Segment* partner : overlaps) {
+      if (!KeysAdmissible(segment, *partner)) continue;
+      if (port == 0) {
+        PULSE_RETURN_IF_ERROR(MatchPair(segment, *partner, out));
+      } else {
+        PULSE_RETURN_IF_ERROR(MatchPair(*partner, segment, out));
+      }
+    }
+    if (port == 0) {
+      left_index_.Insert(segment);
+    } else {
+      right_index_.Insert(segment);
+    }
+    metrics_.state_size = left_index_.size() + right_index_.size();
+    return Status::OK();
+  }
+  const std::deque<Segment>& partners = (port == 0) ? right_ : left_;
+  for (const Segment& partner : partners) {
+    if (!KeysAdmissible(segment, partner)) continue;
+    if (port == 0) {
+      PULSE_RETURN_IF_ERROR(MatchPair(segment, partner, out));
+    } else {
+      PULSE_RETURN_IF_ERROR(MatchPair(partner, segment, out));
+    }
+  }
+  if (port == 0) {
+    left_.push_back(segment);
+  } else {
+    right_.push_back(segment);
+  }
+  metrics_.state_size = left_.size() + right_.size();
+  return Status::OK();
+}
+
+Result<std::vector<AllocatedBound>> PulseJoin::InvertBound(
+    const Segment& output, const std::string& attribute, double margin,
+    const SplitHeuristic& split) const {
+  const std::vector<LineageEntry>* causes = lineage_.Lookup(output.id);
+  if (causes == nullptr) {
+    return Status::NotFound("no lineage for output segment " +
+                            std::to_string(output.id));
+  }
+  // Bound translation: strip the side prefix to find the input attribute
+  // the output column aliases (Section IV-B, "bound translations").
+  std::set<std::pair<size_t, std::string>> deps;
+  if (attribute.rfind(options_.left_prefix, 0) == 0) {
+    deps.emplace(0, attribute.substr(options_.left_prefix.size()));
+  } else if (attribute.rfind(options_.right_prefix, 0) == 0) {
+    deps.emplace(1, attribute.substr(options_.right_prefix.size()));
+  } else {
+    return Status::InvalidArgument("join output attribute '" + attribute +
+                                   "' lacks a side prefix");
+  }
+  // Inferences: every predicate attribute constrains the result.
+  std::vector<AttrRef> refs;
+  predicate_.CollectAttributes(&refs);
+  for (const AttrRef& ref : refs) {
+    deps.emplace(ref.side == Side::kLeft ? 0 : 1, ref.name);
+  }
+
+  std::vector<AllocatedBound> out;
+  for (const auto& [port, input_attr] : deps) {
+    std::vector<const Segment*> inputs;
+    std::vector<const LineageEntry*> entries;
+    for (const LineageEntry& e : *causes) {
+      if (e.port == port) {
+        inputs.push_back(&e.input);
+        entries.push_back(&e);
+      }
+    }
+    if (inputs.empty()) continue;
+    SplitContext ctx;
+    ctx.output = &output;
+    ctx.attribute = attribute;
+    ctx.margin = margin;
+    ctx.inputs = inputs;
+    ctx.input_attribute = input_attr;
+    ctx.num_dependencies = deps.size();
+    PULSE_ASSIGN_OR_RETURN(std::vector<AllocatedBound> allocs,
+                           split.Apportion(ctx));
+    for (size_t i = 0; i < allocs.size(); ++i) {
+      allocs[i].port = entries[i]->port;
+      allocs[i].segment_id = entries[i]->input.id;
+      out.push_back(std::move(allocs[i]));
+    }
+  }
+  return out;
+}
+
+Result<double> PulseJoin::ComputeSlack(size_t port,
+                                       const Segment& segment) const {
+  if (!predicate_.IsConjunctive()) return 0.0;
+  double slack = std::numeric_limits<double>::infinity();
+  const std::deque<Segment>& partners = (port == 0) ? right_ : left_;
+  for (const Segment& partner : partners) {
+    if (!KeysAdmissible(segment, partner)) continue;
+    const Interval overlap = segment.range.Intersect(partner.range);
+    if (overlap.IsEmpty()) continue;
+    const Segment& l = (port == 0) ? segment : partner;
+    const Segment& r = (port == 0) ? partner : segment;
+    const AttrResolver resolver = MakeBinaryResolver(l, r);
+    PULSE_ASSIGN_OR_RETURN(EquationSystem system,
+                           predicate_.BuildSystem(resolver));
+    slack = std::min(slack, system.Slack(overlap));
+  }
+  return slack;
+}
+
+}  // namespace pulse

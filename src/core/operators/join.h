@@ -1,0 +1,102 @@
+#ifndef PULSE_CORE_OPERATORS_JOIN_H_
+#define PULSE_CORE_OPERATORS_JOIN_H_
+
+#include <deque>
+#include <string>
+
+#include "core/operators/pulse_operator.h"
+#include "core/predicate.h"
+#include "model/segment_index.h"
+
+namespace pulse {
+
+/// Packs a pair of entity keys into one output key. Requires both keys to
+/// fit 32 bits (entity populations in the paper's workloads are far
+/// smaller). Join outputs describe entity *pairs*, and downstream
+/// group-bys (e.g. the AIS following query's GROUP BY id1, id2) group on
+/// this composite.
+Key CombineKeys(Key left, Key right);
+
+/// Inverse of CombineKeys.
+void SplitKeys(Key combined, Key* left, Key* right);
+
+/// Options controlling key handling in the continuous join.
+struct PulseJoinOptions {
+  /// Time window bounding each side's segment buffer, seconds.
+  double window_seconds = 1.0;
+  /// Only match segments with equal keys (hash-partition equi-join on the
+  /// key attribute, e.g. MACD's "S.Symbol = L.Symbol").
+  bool match_keys = false;
+  /// Only match segments with distinct keys (self-join guards such as
+  /// "R.id <> S.id" in the collision query).
+  bool require_distinct_keys = false;
+  /// Attribute name prefixes applied to the joined segment.
+  std::string left_prefix = "left.";
+  std::string right_prefix = "right.";
+  RootMethod method = RootMethod::kAuto;
+  /// Probe partner state through a time-interval SegmentIndex instead of
+  /// a linear buffer scan — the paper's future-work extension for highly
+  /// segmented inputs (Section VII). Same results, different probe cost.
+  bool use_segment_index = false;
+};
+
+/// Continuous-time join (paper Fig. 3, row "Join"): order-based segment
+/// buffers per side; an arriving segment is aligned against every stored
+/// opposite-side segment it overlaps in time (equi-join semantics along
+/// the time dimension, Section III-A), and the system D = [x_i - y_i] is
+/// solved over the overlap. Outputs {(t, x_i, y_i) | D t R 0} — joined
+/// segments carrying both sides' models, valid on the solution ranges.
+class PulseJoin : public PulseOperator {
+ public:
+  PulseJoin(std::string name, Predicate predicate, PulseJoinOptions options);
+
+  size_t num_inputs() const override { return 2; }
+
+  Status Process(size_t port, const Segment& segment,
+                 SegmentBatch* out) override;
+
+  Result<std::vector<AllocatedBound>> InvertBound(
+      const Segment& output, const std::string& attribute, double margin,
+      const SplitHeuristic& split) const override;
+
+  /// Slack against the stored opposite-side segments overlapping
+  /// `segment` (min over partners; +inf when no partner overlaps).
+  Result<double> ComputeSlack(size_t port, const Segment& segment) const;
+
+  size_t left_buffer_size() const {
+    return options_.use_segment_index ? left_index_.size() : left_.size();
+  }
+  size_t right_buffer_size() const {
+    return options_.use_segment_index ? right_index_.size()
+                                      : right_.size();
+  }
+
+  /// Probe statistics when the segment index is enabled (ablation A4).
+  const SegmentIndex& left_index() const { return left_index_; }
+  const SegmentIndex& right_index() const { return right_index_; }
+
+ private:
+  // Solves `left` against `right`; emits joined segments.
+  Status MatchPair(const Segment& left, const Segment& right,
+                   SegmentBatch* out);
+  bool KeysAdmissible(const Segment& a, const Segment& b) const;
+  void Expire(double now);
+  Segment MakeJoined(const Segment& left, const Segment& right,
+                     const Interval& valid) const;
+
+  Predicate predicate_;
+  PulseJoinOptions options_;
+  std::deque<Segment> left_;
+  std::deque<Segment> right_;
+  SegmentIndex left_index_;
+  SegmentIndex right_index_;
+  double latest_time_ = 0.0;
+  double last_lineage_expire_ = 0.0;
+};
+
+/// Resolver mapping kLeft/kRight references onto a segment pair.
+AttrResolver MakeBinaryResolver(const Segment& left, const Segment& right);
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_OPERATORS_JOIN_H_

@@ -1,0 +1,66 @@
+#ifndef PULSE_CORE_OPERATORS_MAP_H_
+#define PULSE_CORE_OPERATORS_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/pulse_operator.h"
+#include "core/predicate.h"
+
+namespace pulse {
+
+/// A derived modeled attribute, computable in both worlds: on polynomials
+/// (continuous plan — polynomial algebra is closed under these forms) and
+/// on tuple values (discrete plan).
+///
+///   kDifference: name = a - b            (MACD's "S.ap - L.ap as diff")
+///   kDistance2:  name = (x1-x2)^2 + (y1-y2)^2
+///                                        (proximity queries' dist^2)
+///
+/// Attribute references address the single input segment (side kLeft);
+/// post-join inputs use the prefixed names ("left.agg").
+struct ComputedAttr {
+  enum class Kind { kDifference, kDistance2 };
+  Kind kind = Kind::kDifference;
+  std::string name;
+
+  AttrRef a, b;              // kDifference: a - b
+  AttrRef x1, y1, x2, y2;    // kDistance2
+
+  static ComputedAttr Difference(std::string name, AttrRef a, AttrRef b);
+  static ComputedAttr Distance2(std::string name, AttrRef x1, AttrRef y1,
+                                AttrRef x2, AttrRef y2);
+
+  /// Continuous form: the derived polynomial for one segment.
+  Result<Polynomial> BuildPolynomial(const AttrResolver& resolver) const;
+
+  /// Discrete form: the derived value for one tuple.
+  Result<double> EvaluateValues(
+      const Predicate::ValueResolver& resolver) const;
+};
+
+/// Continuous-time map/projection: emits segments extended (or replaced)
+/// with derived modeled attributes. Stateless; validity ranges pass
+/// through unchanged.
+class PulseMap : public PulseOperator {
+ public:
+  /// keep_inputs: whether the input attributes survive alongside the
+  /// computed ones.
+  PulseMap(std::string name, std::vector<ComputedAttr> outputs,
+           bool keep_inputs = true);
+
+  Status Process(size_t port, const Segment& segment,
+                 SegmentBatch* out) override;
+
+  Result<std::vector<AllocatedBound>> InvertBound(
+      const Segment& output, const std::string& attribute, double margin,
+      const SplitHeuristic& split) const override;
+
+ private:
+  std::vector<ComputedAttr> outputs_;
+  bool keep_inputs_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_OPERATORS_MAP_H_

@@ -1,0 +1,14 @@
+#include "core/operators/pulse_operator.h"
+
+namespace pulse {
+
+Status PulseOperator::Flush(SegmentBatch* /*out*/) { return Status::OK(); }
+
+Result<std::vector<AllocatedBound>> PulseOperator::InvertBound(
+    const Segment& /*output*/, const std::string& /*attribute*/,
+    double /*margin*/, const SplitHeuristic& /*split*/) const {
+  return Status::Unimplemented("operator '" + name() +
+                               "' does not support bound inversion");
+}
+
+}  // namespace pulse

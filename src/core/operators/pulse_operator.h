@@ -1,0 +1,84 @@
+#ifndef PULSE_CORE_OPERATORS_PULSE_OPERATOR_H_
+#define PULSE_CORE_OPERATORS_PULSE_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/validation/lineage.h"
+#include "core/validation/splits.h"
+#include "model/segment.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace pulse {
+
+/// Counters for a continuous-time operator. `solves` counts equation-
+/// system executions — the quantity Pulse's validation machinery works to
+/// minimize ("the solver executes infrequently and only in the presence
+/// of errors", paper abstract).
+struct PulseOperatorMetrics {
+  uint64_t segments_in = 0;
+  uint64_t segments_out = 0;
+  uint64_t solves = 0;
+  uint64_t state_size = 0;  // last observed buffered segments/pieces
+  uint64_t processing_ns = 0;
+
+  void Reset() { *this = PulseOperatorMetrics(); }
+  double processing_seconds() const {
+    return static_cast<double>(processing_ns) * 1e-9;
+  }
+};
+
+/// Base class of continuous-time operators. Each operator is a closed
+/// equation system: it consumes segments and produces segments, so
+/// segments are the plan's first-class datatype (paper Section III-C).
+/// Update segments drive execution: arrival of a segment triggers
+/// instantiation and solving of the operator's system.
+class PulseOperator {
+ public:
+  explicit PulseOperator(std::string name) : name_(std::move(name)) {}
+  virtual ~PulseOperator() = default;
+
+  PulseOperator(const PulseOperator&) = delete;
+  PulseOperator& operator=(const PulseOperator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual size_t num_inputs() const { return 1; }
+
+  /// Consumes one segment on `port`; appends output segments to `out`.
+  virtual Status Process(size_t port, const Segment& segment,
+                         SegmentBatch* out) = 0;
+
+  /// End-of-stream: emit residual state (e.g. pending window functions).
+  virtual Status Flush(SegmentBatch* out);
+
+  /// Local bound inversion (paper Section IV-B): given an output segment
+  /// this operator produced and a symmetric margin on one of its output
+  /// attributes, apportion conservative margins onto the causing input
+  /// segments (identified through lineage) using `split`. The default
+  /// implementation fails with Unimplemented.
+  virtual Result<std::vector<AllocatedBound>> InvertBound(
+      const Segment& output, const std::string& attribute, double margin,
+      const SplitHeuristic& split) const;
+
+  PulseOperatorMetrics& metrics() { return metrics_; }
+  const PulseOperatorMetrics& metrics() const { return metrics_; }
+
+  /// Lineage recorded by this operator (outputs -> causing inputs), used
+  /// by query inversion.
+  LineageStore& lineage() { return lineage_; }
+  const LineageStore& lineage() const { return lineage_; }
+
+ protected:
+  PulseOperatorMetrics metrics_;
+  LineageStore lineage_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_OPERATORS_PULSE_OPERATOR_H_

@@ -1,0 +1,860 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pulse {
+
+namespace parser_internal {
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto symbol = [&](std::string text, size_t pos) {
+    Token t;
+    t.kind = TokenKind::kSymbol;
+    t.text = std::move(text);
+    t.position = pos;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(input.substr(start, i - start));
+      for (char& ch : t.text) {
+        ch = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+      }
+      t.position = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      const size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' ||
+                       input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      PULSE_ASSIGN_OR_RETURN(t.number,
+                             ParseDouble(input.substr(start, i - start)));
+      t.text = std::string(input.substr(start, i - start));
+      t.position = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-character operators first.
+    if (c == '<' && i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) {
+      symbol(std::string(input.substr(i, 2)), i);
+      i += 2;
+      continue;
+    }
+    if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+      symbol(">=", i);
+      i += 2;
+      continue;
+    }
+    if (std::string_view("()[],.*-+=<>^").find(c) != std::string_view::npos) {
+      symbol(std::string(1, c), i);
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace parser_internal
+
+namespace {
+
+using parser_internal::Token;
+using parser_internal::TokenKind;
+using parser_internal::Tokenize;
+
+// A dotted attribute reference as written in the text.
+struct Qualified {
+  std::string alias;  // empty when unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return alias.empty() ? name : alias + "." + name;
+  }
+};
+
+// One SELECT-list entry.
+struct SelectItem {
+  enum class Kind { kStar, kPlain, kAggregate, kDifference, kDistance };
+  Kind kind = Kind::kStar;
+  std::string output;  // AS alias (may be synthesized)
+  AggFn fn = AggFn::kAvg;
+  Qualified a, b;             // plain: a; agg: a; difference: a - b
+  Qualified x1, y1, x2, y2;   // distance
+};
+
+// A resolved FROM item.
+struct Source {
+  QuerySpec::Input input;
+  std::string alias;
+  // Attribute namespace exposed by this source.
+  std::set<std::string> attributes;
+  // Name of the key attribute flowing through (empty when unknown).
+  std::string key_attribute;
+  // Window attached in the text ([size W advance S]); 0 when absent.
+  double window_size = 0.0;
+  double window_slide = 0.0;
+};
+
+class Parser {
+ public:
+  Parser(QuerySpec* spec, std::vector<Token> tokens)
+      : spec_(spec), tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec::NodeId> ParseStatement();
+  Result<Predicate> ParsePredicateOnly(std::string_view left_alias,
+                                       std::string_view right_alias);
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected '") + std::string(kw) + "'");
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + std::string(sym) + "'");
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " at offset " + std::to_string(Peek().position) +
+        (Peek().kind == TokenKind::kEnd ? " (end of input)"
+                                        : " near '" + Peek().text + "'"));
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) return Error("expected number");
+    return Advance().number;
+  }
+  Result<Qualified> ExpectQualified() {
+    PULSE_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    Qualified q;
+    if (MatchSymbol(".")) {
+      PULSE_ASSIGN_OR_RETURN(q.name, ExpectIdent());
+      q.alias = std::move(first);
+    } else {
+      q.name = std::move(first);
+    }
+    return q;
+  }
+
+  // --- grammar -----------------------------------------------------------
+  Result<std::vector<SelectItem>> ParseSelectList();
+  Result<Source> ParseSource();
+  Result<Predicate> ParsePredicate(const Source* left, const Source* right,
+                                   JoinSpec* join_hints);
+  Result<Predicate> ParseOr(const Source* l, const Source* r, JoinSpec* jh);
+  Result<Predicate> ParseAnd(const Source* l, const Source* r, JoinSpec* jh);
+  Result<Predicate> ParseUnary(const Source* l, const Source* r,
+                               JoinSpec* jh);
+  Result<Predicate> ParseComparison(const Source* l, const Source* r,
+                                    JoinSpec* jh);
+
+  // Resolves a textual reference to a side + bare attribute name.
+  Result<AttrRef> Resolve(const Qualified& q, const Source* left,
+                          const Source* right) const;
+
+  QuerySpec* spec_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  // Output namespace / key attribute of statements parsed so far, keyed
+  // by their sink node (consulted when a sub-select is used as a source).
+  std::map<QuerySpec::NodeId, Source> node_info_;
+};
+
+Result<CmpOp> SymbolToCmpOp(const std::string& sym) {
+  if (sym == "<") return CmpOp::kLt;
+  if (sym == "<=") return CmpOp::kLe;
+  if (sym == "=") return CmpOp::kEq;
+  if (sym == "<>") return CmpOp::kNe;
+  if (sym == ">=") return CmpOp::kGe;
+  if (sym == ">") return CmpOp::kGt;
+  return Status::InvalidArgument("unknown comparison '" + sym + "'");
+}
+
+Result<AggFn> NameToAggFn(const std::string& name) {
+  if (name == "min") return AggFn::kMin;
+  if (name == "max") return AggFn::kMax;
+  if (name == "sum") return AggFn::kSum;
+  if (name == "avg") return AggFn::kAvg;
+  if (name == "count") return AggFn::kCount;
+  return Status::NotFound("not an aggregate: " + name);
+}
+
+Result<AttrRef> Parser::Resolve(const Qualified& q, const Source* left,
+                                const Source* right) const {
+  auto in_namespace = [&](const Source* s) {
+    return s != nullptr &&
+           (s->attributes.empty() || s->attributes.count(q.name) > 0);
+  };
+  if (!q.alias.empty()) {
+    if (left != nullptr && q.alias == left->alias) {
+      if (!in_namespace(left)) {
+        return Status::InvalidArgument("'" + q.ToString() +
+                                       "': no such attribute on '" +
+                                       left->alias + "'");
+      }
+      return AttrRef::Left(q.name);
+    }
+    if (right != nullptr && q.alias == right->alias) {
+      if (!in_namespace(right)) {
+        return Status::InvalidArgument("'" + q.ToString() +
+                                       "': no such attribute on '" +
+                                       right->alias + "'");
+      }
+      return AttrRef::Right(q.name);
+    }
+    return Status::InvalidArgument("unknown source alias '" + q.alias +
+                                   "'");
+  }
+  // Unqualified: prefer the left side, fall back to the right.
+  if (in_namespace(left)) return AttrRef::Left(q.name);
+  if (in_namespace(right)) return AttrRef::Right(q.name);
+  return Status::InvalidArgument("cannot resolve attribute '" + q.name +
+                                 "'");
+}
+
+Result<std::vector<SelectItem>> Parser::ParseSelectList() {
+  std::vector<SelectItem> items;
+  if (MatchSymbol("*")) {
+    items.push_back(SelectItem{});
+    return items;
+  }
+  while (true) {
+    SelectItem item;
+    if (Peek().kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kSymbol &&
+        Peek(1).text == "(") {
+      const std::string fn_name = Peek().text;
+      if (fn_name == "dist") {
+        Advance();
+        (void)Advance();  // '('
+        item.kind = SelectItem::Kind::kDistance;
+        PULSE_ASSIGN_OR_RETURN(item.x1, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol(","));
+        PULSE_ASSIGN_OR_RETURN(item.y1, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol(","));
+        PULSE_ASSIGN_OR_RETURN(item.x2, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol(","));
+        PULSE_ASSIGN_OR_RETURN(item.y2, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.output = "dist2";
+      } else {
+        Result<AggFn> fn = NameToAggFn(fn_name);
+        if (!fn.ok()) return Error("unknown function '" + fn_name + "'");
+        Advance();
+        (void)Advance();  // '('
+        item.kind = SelectItem::Kind::kAggregate;
+        item.fn = *fn;
+        PULSE_ASSIGN_OR_RETURN(item.a, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.output = fn_name + "_" + item.a.name;
+      }
+    } else {
+      PULSE_ASSIGN_OR_RETURN(item.a, ExpectQualified());
+      if (MatchSymbol("-")) {
+        item.kind = SelectItem::Kind::kDifference;
+        PULSE_ASSIGN_OR_RETURN(item.b, ExpectQualified());
+        item.output = item.a.name + "_minus_" + item.b.name;
+      } else {
+        item.kind = SelectItem::Kind::kPlain;
+        item.output = item.a.name;
+      }
+    }
+    if (MatchKeyword("as")) {
+      PULSE_ASSIGN_OR_RETURN(item.output, ExpectIdent());
+    }
+    items.push_back(std::move(item));
+    if (!MatchSymbol(",")) break;
+  }
+  return items;
+}
+
+Result<Source> Parser::ParseSource() {
+  Source src;
+  if (MatchSymbol("(")) {
+    // Sub-select.
+    PULSE_ASSIGN_OR_RETURN(QuerySpec::NodeId node, ParseStatement());
+    PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    src.input = QuerySpec::Input::Node(node);
+    // Namespace and key attribute recorded when the sub-statement parsed.
+    auto it = node_info_.find(node);
+    if (it != node_info_.end()) {
+      src.attributes = it->second.attributes;
+      src.key_attribute = it->second.key_attribute;
+    }
+  } else {
+    PULSE_ASSIGN_OR_RETURN(std::string stream, ExpectIdent());
+    PULSE_ASSIGN_OR_RETURN(StreamSpec decl, spec_->stream(stream));
+    src.input = QuerySpec::Input::Stream(stream);
+    src.alias = stream;
+    for (const Field& f : decl.schema->fields()) {
+      src.attributes.insert(f.name);
+    }
+    src.key_attribute = decl.key_field;
+    // Optional MODEL clause(s): validated against the declaration
+    // (Fig. 1's declarative model specification).
+    if (MatchKeyword("model")) {
+      std::vector<ModelClause> parsed;
+      do {
+        // Re-parse one model definition from the token stream.
+        PULSE_ASSIGN_OR_RETURN(Qualified lhs, ExpectQualified());
+        PULSE_RETURN_IF_ERROR(ExpectSymbol("="));
+        ModelClause clause;
+        clause.modeled_attribute = lhs.name;
+        std::map<size_t, std::string> by_power;
+        while (true) {
+          PULSE_ASSIGN_OR_RETURN(Qualified coeff, ExpectQualified());
+          size_t power = 0;
+          // Optional time factor: '*'? t | t2 | t ^ k.
+          (void)MatchSymbol("*");
+          if (Peek().kind == TokenKind::kIdent && Peek().text == "t") {
+            Advance();
+            power = 1;
+            if (MatchSymbol("^")) {
+              PULSE_ASSIGN_OR_RETURN(double p, ExpectNumber());
+              power = static_cast<size_t>(p);
+            }
+          } else if (Peek().kind == TokenKind::kIdent &&
+                     Peek().text.size() > 1 && Peek().text[0] == 't' &&
+                     std::isdigit(static_cast<unsigned char>(
+                         Peek().text[1]))) {
+            // Paper Fig. 1 writes t^2 as "t2".
+            power = static_cast<size_t>(
+                std::stoul(Advance().text.substr(1)));
+          }
+          if (by_power.count(power) > 0) {
+            return Error("duplicate coefficient for t^" +
+                         std::to_string(power));
+          }
+          by_power[power] = coeff.name;
+          if (!MatchSymbol("+")) break;
+        }
+        for (size_t p = 0; p < by_power.size(); ++p) {
+          auto it = by_power.find(p);
+          if (it == by_power.end()) {
+            return Error("missing coefficient for t^" + std::to_string(p));
+          }
+          clause.coefficient_fields.push_back(it->second);
+        }
+        parsed.push_back(std::move(clause));
+      } while (MatchSymbol(","));
+      // Consistency check against the declared stream models.
+      for (const ModelClause& clause : parsed) {
+        bool found = false;
+        for (const ModelClause& declared : decl.models) {
+          if (declared.modeled_attribute == clause.modeled_attribute) {
+            found = true;
+            if (declared.coefficient_fields !=
+                clause.coefficient_fields) {
+              return Status::InvalidArgument(
+                  "MODEL clause for '" + clause.modeled_attribute +
+                  "' disagrees with the declaration of stream '" + stream +
+                  "'");
+            }
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "MODEL clause names undeclared modeled attribute '" +
+              clause.modeled_attribute + "' on stream '" + stream + "'");
+        }
+      }
+    }
+  }
+  // Optional window.
+  if (MatchSymbol("[")) {
+    PULSE_RETURN_IF_ERROR(ExpectKeyword("size"));
+    PULSE_ASSIGN_OR_RETURN(src.window_size, ExpectNumber());
+    if (!MatchKeyword("advance") && !MatchKeyword("slide")) {
+      return Error("expected 'advance' or 'slide'");
+    }
+    PULSE_ASSIGN_OR_RETURN(src.window_slide, ExpectNumber());
+    PULSE_RETURN_IF_ERROR(ExpectSymbol("]"));
+  }
+  if (MatchKeyword("as")) {
+    PULSE_ASSIGN_OR_RETURN(src.alias, ExpectIdent());
+  }
+  return src;
+}
+
+Result<Predicate> Parser::ParseComparison(const Source* l, const Source* r,
+                                          JoinSpec* jh) {
+  // DIST(...) cmp number.
+  if (Peek().kind == TokenKind::kIdent && Peek().text == "dist" &&
+      Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "(") {
+    Advance();
+    (void)Advance();
+    Qualified qs[4];
+    for (int i = 0; i < 4; ++i) {
+      PULSE_ASSIGN_OR_RETURN(qs[i], ExpectQualified());
+      if (i < 3) PULSE_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+    PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (Peek().kind != TokenKind::kSymbol) {
+      return Error("expected comparison after dist()");
+    }
+    PULSE_ASSIGN_OR_RETURN(CmpOp op, SymbolToCmpOp(Advance().text));
+    PULSE_ASSIGN_OR_RETURN(double threshold, ExpectNumber());
+    AttrRef refs[4];
+    for (int i = 0; i < 4; ++i) {
+      PULSE_ASSIGN_OR_RETURN(refs[i], Resolve(qs[i], l, r));
+    }
+    return Predicate::Comparison(ComparisonTerm::Distance2(
+        refs[0], refs[1], refs[2], refs[3], op, threshold));
+  }
+
+  PULSE_ASSIGN_OR_RETURN(Qualified lhs, ExpectQualified());
+  if (Peek().kind != TokenKind::kSymbol) {
+    return Error("expected comparison operator");
+  }
+  PULSE_ASSIGN_OR_RETURN(CmpOp op, SymbolToCmpOp(Advance().text));
+  PULSE_ASSIGN_OR_RETURN(AttrRef lref, Resolve(lhs, l, r));
+
+  if (Peek().kind == TokenKind::kNumber) {
+    const double value = Advance().number;
+    return Predicate::Comparison(
+        ComparisonTerm::Simple(lref, op, Operand::Constant(value)));
+  }
+  if (MatchSymbol("-")) {
+    PULSE_ASSIGN_OR_RETURN(double value, ExpectNumber());
+    return Predicate::Comparison(
+        ComparisonTerm::Simple(lref, op, Operand::Constant(-value)));
+  }
+  PULSE_ASSIGN_OR_RETURN(Qualified rhs, ExpectQualified());
+  PULSE_ASSIGN_OR_RETURN(AttrRef rref, Resolve(rhs, l, r));
+
+  // Key-attribute handling (paper Section II-B): equality on the two
+  // sides' key attributes becomes a hash-partition equi-join; inequality
+  // becomes a self-join guard. Neither enters the equation system.
+  if (jh != nullptr && l != nullptr && r != nullptr &&
+      lref.side != rref.side && !l->key_attribute.empty() &&
+      !r->key_attribute.empty()) {
+    const std::string& lkey =
+        lref.side == Side::kLeft ? l->key_attribute : r->key_attribute;
+    const std::string& rkey =
+        rref.side == Side::kLeft ? l->key_attribute : r->key_attribute;
+    if (lref.name == lkey && rref.name == rkey) {
+      if (op == CmpOp::kEq) {
+        jh->match_keys = true;
+        return Predicate::And({});
+      }
+      if (op == CmpOp::kNe) {
+        jh->require_distinct_keys = true;
+        return Predicate::And({});
+      }
+    }
+  }
+  // Normalize so the left side of the term is kLeft where possible.
+  if (lref.side == Side::kRight && rref.side == Side::kLeft) {
+    return Predicate::Comparison(ComparisonTerm::Simple(
+        rref, FlipCmpOp(op), Operand::Attribute(lref)));
+  }
+  return Predicate::Comparison(
+      ComparisonTerm::Simple(lref, op, Operand::Attribute(rref)));
+}
+
+Result<Predicate> Parser::ParseUnary(const Source* l, const Source* r,
+                                     JoinSpec* jh) {
+  if (MatchKeyword("not")) {
+    PULSE_ASSIGN_OR_RETURN(Predicate inner, ParseUnary(l, r, jh));
+    return Predicate::Not(std::move(inner));
+  }
+  if (MatchSymbol("(")) {
+    PULSE_ASSIGN_OR_RETURN(Predicate inner, ParseOr(l, r, jh));
+    PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  return ParseComparison(l, r, jh);
+}
+
+Result<Predicate> Parser::ParseAnd(const Source* l, const Source* r,
+                                   JoinSpec* jh) {
+  std::vector<Predicate> terms;
+  PULSE_ASSIGN_OR_RETURN(Predicate first, ParseUnary(l, r, jh));
+  terms.push_back(std::move(first));
+  while (MatchKeyword("and")) {
+    PULSE_ASSIGN_OR_RETURN(Predicate next, ParseUnary(l, r, jh));
+    terms.push_back(std::move(next));
+  }
+  // Drop empty conjunctions produced by absorbed key terms.
+  std::vector<Predicate> kept;
+  for (Predicate& p : terms) {
+    if (p.kind() == Predicate::Kind::kAnd && p.children().empty()) continue;
+    kept.push_back(std::move(p));
+  }
+  if (kept.empty()) return Predicate::And({});
+  if (kept.size() == 1) return std::move(kept[0]);
+  return Predicate::And(std::move(kept));
+}
+
+Result<Predicate> Parser::ParseOr(const Source* l, const Source* r,
+                                  JoinSpec* jh) {
+  std::vector<Predicate> terms;
+  PULSE_ASSIGN_OR_RETURN(Predicate first, ParseAnd(l, r, jh));
+  terms.push_back(std::move(first));
+  while (MatchKeyword("or")) {
+    PULSE_ASSIGN_OR_RETURN(Predicate next, ParseAnd(l, r, jh));
+    terms.push_back(std::move(next));
+  }
+  if (terms.size() == 1) return std::move(terms[0]);
+  return Predicate::Or(std::move(terms));
+}
+
+Result<Predicate> Parser::ParsePredicate(const Source* left,
+                                         const Source* right,
+                                         JoinSpec* join_hints) {
+  return ParseOr(left, right, join_hints);
+}
+
+Result<Predicate> Parser::ParsePredicateOnly(std::string_view left_alias,
+                                             std::string_view right_alias) {
+  Source l, r;
+  l.alias = std::string(left_alias);
+  r.alias = std::string(right_alias);
+  return ParsePredicate(&l, right_alias.empty() ? nullptr : &r, nullptr);
+}
+
+Result<QuerySpec::NodeId> Parser::ParseStatement() {
+  PULSE_RETURN_IF_ERROR(ExpectKeyword("select"));
+  PULSE_ASSIGN_OR_RETURN(std::vector<SelectItem> items, ParseSelectList());
+  PULSE_RETURN_IF_ERROR(ExpectKeyword("from"));
+  PULSE_ASSIGN_OR_RETURN(Source left, ParseSource());
+
+  std::optional<Source> right;
+  JoinSpec join;
+  bool have_join = false;
+  if (MatchKeyword("join")) {
+    have_join = true;
+    PULSE_ASSIGN_OR_RETURN(right, ParseSource());
+    PULSE_RETURN_IF_ERROR(ExpectKeyword("on"));
+    PULSE_RETURN_IF_ERROR(ExpectSymbol("("));
+    PULSE_ASSIGN_OR_RETURN(
+        join.predicate,
+        ParsePredicate(&left, &*right, &join));
+    PULSE_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+
+  std::optional<Predicate> where;
+  if (MatchKeyword("where")) {
+    PULSE_ASSIGN_OR_RETURN(
+        Predicate w,
+        ParsePredicate(&left, have_join ? &*right : nullptr,
+                       have_join ? &join : nullptr));
+    where = std::move(w);
+  }
+
+  std::vector<Qualified> group_by;
+  if (MatchKeyword("group")) {
+    PULSE_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      PULSE_ASSIGN_OR_RETURN(Qualified g, ExpectQualified());
+      group_by.push_back(std::move(g));
+    } while (MatchSymbol(","));
+  }
+
+  std::optional<Predicate> having;
+  if (MatchKeyword("having")) {
+    // HAVING references the aggregate outputs: resolve names loosely.
+    Source agg_ns;
+    for (const SelectItem& item : items) {
+      if (item.kind == SelectItem::Kind::kAggregate) {
+        agg_ns.attributes.insert(item.output);
+      }
+    }
+    PULSE_ASSIGN_OR_RETURN(Predicate h,
+                           ParsePredicate(&agg_ns, nullptr, nullptr));
+    having = std::move(h);
+  }
+
+  // ---- assemble nodes ----------------------------------------------------
+  QuerySpec::Input current = left.input;
+
+  if (have_join) {
+    // WHERE on a join statement folds into the join predicate (the MACD
+    // pattern: ... on (S.Symbol = L.Symbol) where S.ap > L.ap).
+    if (where.has_value()) {
+      if (join.predicate.kind() == Predicate::Kind::kAnd &&
+          join.predicate.children().empty()) {
+        join.predicate = std::move(*where);
+      } else {
+        join.predicate =
+            Predicate::And({std::move(join.predicate), std::move(*where)});
+      }
+      where.reset();
+    }
+    join.window_seconds = std::max(
+        {left.window_size, right->window_size, 1e-3});
+    join.left_prefix = left.alias + ".";
+    join.right_prefix = right->alias + ".";
+    const QuerySpec::NodeId jnode = spec_->AddJoin(
+        "join(" + left.alias + "," + right->alias + ")", left.input,
+        right->input, join);
+    current = QuerySpec::Input::Node(jnode);
+  } else if (where.has_value()) {
+    FilterSpec filter;
+    filter.predicate = std::move(*where);
+    const QuerySpec::NodeId fnode =
+        spec_->AddFilter("where(" + left.alias + ")", current, filter);
+    current = QuerySpec::Input::Node(fnode);
+  }
+
+  // Computed select items -> map node (after the join so prefixed names
+  // resolve; on single sources the bare names resolve directly).
+  std::vector<ComputedAttr> computed;
+  auto prefixed = [&](const Qualified& q) -> std::string {
+    if (!have_join) return q.name;
+    if (q.alias == right->alias) return right->alias + "." + q.name;
+    return left.alias + "." + q.name;
+  };
+  for (const SelectItem& item : items) {
+    if (item.kind == SelectItem::Kind::kDifference) {
+      computed.push_back(ComputedAttr::Difference(
+          item.output, AttrRef::Left(prefixed(item.a)),
+          AttrRef::Left(prefixed(item.b))));
+    } else if (item.kind == SelectItem::Kind::kDistance) {
+      computed.push_back(ComputedAttr::Distance2(
+          item.output, AttrRef::Left(prefixed(item.x1)),
+          AttrRef::Left(prefixed(item.y1)),
+          AttrRef::Left(prefixed(item.x2)),
+          AttrRef::Left(prefixed(item.y2))));
+    }
+  }
+  if (!computed.empty()) {
+    MapSpec map;
+    map.outputs = std::move(computed);
+    map.keep_inputs = true;
+    const QuerySpec::NodeId mnode =
+        spec_->AddMap("select-exprs", current, map);
+    current = QuerySpec::Input::Node(mnode);
+  }
+
+  // Aggregate select items -> aggregate node(s). Implicit grouping: a
+  // plain item alongside an aggregate implies GROUP BY on it (the paper's
+  // MACD sub-selects list "symbol, avg(price)" without GROUP BY).
+  bool has_plain = false;
+  for (const SelectItem& item : items) {
+    if (item.kind == SelectItem::Kind::kPlain) has_plain = true;
+  }
+  for (const SelectItem& item : items) {
+    if (item.kind != SelectItem::Kind::kAggregate) continue;
+    if (left.window_size <= 0.0) {
+      return Status::InvalidArgument(
+          "aggregate '" + item.output +
+          "' requires a window on its source ([size W advance S])");
+    }
+    AggregateSpec agg;
+    agg.fn = item.fn;
+    agg.attribute = prefixed(item.a);
+    agg.output_attribute = item.output;
+    agg.window_seconds = left.window_size;
+    agg.slide_seconds = left.window_slide > 0.0 ? left.window_slide
+                                                : left.window_size;
+    agg.per_key = !group_by.empty() || has_plain;
+    const QuerySpec::NodeId anode =
+        spec_->AddAggregate(item.fn == AggFn::kAvg ? "avg" : "agg",
+                            current, agg);
+    current = QuerySpec::Input::Node(anode);
+  }
+
+  if (having.has_value()) {
+    FilterSpec filter;
+    filter.predicate = std::move(*having);
+    const QuerySpec::NodeId hnode =
+        spec_->AddFilter("having", current, filter);
+    current = QuerySpec::Input::Node(hnode);
+  }
+
+  if (current.is_stream) {
+    // A bare "SELECT * FROM s": materialize a pass-through filter so the
+    // statement owns a node.
+    FilterSpec filter;
+    filter.predicate = Predicate::And({});
+    current = QuerySpec::Input::Node(
+        spec_->AddFilter("passthrough", current, filter));
+  }
+
+  // Record what this statement exposes for enclosing statements: plain
+  // and computed select-item names, aggregate outputs, and the key
+  // attribute flowing through (the left source's key survives filters,
+  // maps and per-key aggregates; joins expose the composite pair key).
+  Source info;
+  for (const SelectItem& item : items) {
+    if (item.kind == SelectItem::Kind::kStar) continue;
+    info.attributes.insert(item.output);
+  }
+  info.key_attribute = left.key_attribute;
+  node_info_[current.node] = std::move(info);
+  return current.node;
+}
+
+}  // namespace
+
+Result<QuerySpec::NodeId> QueryParser::Parse(QuerySpec* spec,
+                                             std::string_view sql) {
+  PULSE_CHECK(spec != nullptr);
+  PULSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(spec, std::move(tokens));
+  PULSE_ASSIGN_OR_RETURN(QuerySpec::NodeId node, parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after statement");
+  }
+  return node;
+}
+
+Result<Predicate> QueryParser::ParsePredicate(std::string_view text,
+                                              std::string_view left_alias,
+                                              std::string_view right_alias) {
+  PULSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(nullptr, std::move(tokens));
+  PULSE_ASSIGN_OR_RETURN(Predicate p,
+                         parser.ParsePredicateOnly(left_alias, right_alias));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing input after predicate");
+  }
+  return p;
+}
+
+Result<ModelClause> QueryParser::ParseModel(std::string_view text,
+                                            std::string_view alias) {
+  PULSE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  // Reuse the statement-level model grammar by parsing "attr = poly".
+  // (Duplicated lightweight logic: lhs '=' coeff (time)? ('+' ...)*.)
+  size_t pos = 0;
+  auto next = [&]() -> const Token& { return tokens[pos]; };
+  auto advance = [&]() -> const Token& { return tokens[pos++]; };
+  auto expect_qualified = [&]() -> Result<std::string> {
+    if (next().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected identifier in model");
+    }
+    std::string first = advance().text;
+    if (next().kind == TokenKind::kSymbol && next().text == ".") {
+      advance();
+      if (next().kind != TokenKind::kIdent) {
+        return Status::InvalidArgument("expected attribute after '.'");
+      }
+      if (!alias.empty() && first != alias) {
+        return Status::InvalidArgument("unknown alias '" + first +
+                                       "' in model");
+      }
+      return advance().text;
+    }
+    return first;
+  };
+  PULSE_ASSIGN_OR_RETURN(std::string lhs, expect_qualified());
+  if (next().kind != TokenKind::kSymbol || next().text != "=") {
+    return Status::InvalidArgument("expected '=' in model clause");
+  }
+  advance();
+  std::map<size_t, std::string> by_power;
+  while (true) {
+    PULSE_ASSIGN_OR_RETURN(std::string coeff, expect_qualified());
+    size_t power = 0;
+    if (next().kind == TokenKind::kSymbol && next().text == "*") advance();
+    if (next().kind == TokenKind::kIdent && next().text == "t") {
+      advance();
+      power = 1;
+      if (next().kind == TokenKind::kSymbol && next().text == "^") {
+        advance();
+        if (next().kind != TokenKind::kNumber) {
+          return Status::InvalidArgument("expected exponent");
+        }
+        power = static_cast<size_t>(advance().number);
+      }
+    } else if (next().kind == TokenKind::kIdent &&
+               next().text.size() > 1 && next().text[0] == 't' &&
+               std::isdigit(static_cast<unsigned char>(next().text[1]))) {
+      power = static_cast<size_t>(std::stoul(advance().text.substr(1)));
+    }
+    if (by_power.count(power) > 0) {
+      return Status::InvalidArgument("duplicate coefficient for t^" +
+                                     std::to_string(power));
+    }
+    by_power[power] = coeff;
+    if (next().kind == TokenKind::kSymbol && next().text == "+") {
+      advance();
+      continue;
+    }
+    break;
+  }
+  if (next().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing input after model clause");
+  }
+  ModelClause clause;
+  clause.modeled_attribute = lhs;
+  for (size_t p = 0; p < by_power.size(); ++p) {
+    auto it = by_power.find(p);
+    if (it == by_power.end()) {
+      return Status::InvalidArgument("missing coefficient for t^" +
+                                     std::to_string(p));
+    }
+    clause.coefficient_fields.push_back(it->second);
+  }
+  return clause;
+}
+
+}  // namespace pulse

@@ -1,0 +1,91 @@
+#ifndef PULSE_CORE_PARSER_H_
+#define PULSE_CORE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Parser for Pulse's StreamSQL-ish query language (the declarative
+/// surface the paper uses throughout — Fig. 1's MODEL clause, the MACD
+/// and "following" queries of Section V-B).
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   statement   := SELECT items FROM source
+///                  (JOIN source ON '(' predicate ')')?
+///                  (WHERE predicate)?
+///                  (GROUP BY qualified)?
+///                  (HAVING predicate)?
+///   source      := stream (MODEL model (',' model)*)? window? (AS ident)?
+///                | '(' statement ')' window? (AS ident)?
+///   window      := '[' SIZE number (ADVANCE|SLIDE) number ']'
+///   model       := qualified '=' poly_expr       e.g. A.x = A.x + A.v*t
+///   items       := '*' | item (',' item)*
+///   item        := qualified (AS ident)?
+///                | aggfn '(' qualified ')' (AS ident)?
+///                | qualified '-' qualified AS ident
+///                | DIST '(' qualified{4} ')' (AS ident)?
+///   predicate   := or_expr with AND / OR / NOT / parentheses; atoms are
+///                  comparisons `operand (< <= = <> >= >) operand` and
+///                  DIST(x1,y1,x2,y2) cmp constant
+///   qualified   := ident | ident '.' ident
+///
+/// Streams referenced in FROM must already be declared on the QuerySpec
+/// (AddStream) — the parser resolves attribute references against their
+/// schemas. MODEL clauses in the text are checked for consistency against
+/// the declared models.
+///
+/// The parse appends operator nodes to the QuerySpec and returns the sink
+/// node id. Key-attribute equality in a join's ON clause becomes
+/// match_keys; key inequality becomes require_distinct_keys (paper
+/// Section II-B key handling). Join attribute prefixes are taken from the
+/// source aliases, so "S.ap" in outer queries resolves naturally.
+class QueryParser {
+ public:
+  /// Parses one statement, appending nodes to `spec`.
+  static Result<QuerySpec::NodeId> Parse(QuerySpec* spec,
+                                         std::string_view sql);
+
+  /// Parses a standalone predicate against a single stream's attributes
+  /// (`alias` optional). Exposed for tests and interactive tooling.
+  static Result<Predicate> ParsePredicate(std::string_view text,
+                                          std::string_view left_alias,
+                                          std::string_view right_alias);
+
+  /// Parses a MODEL definition, e.g. "A.x = A.x + A.v*t" with alias "A":
+  /// returns the modeled attribute and its coefficient fields in degree
+  /// order.
+  static Result<ModelClause> ParseModel(std::string_view text,
+                                        std::string_view alias);
+};
+
+namespace parser_internal {
+
+/// Token kinds produced by the lexer (exposed for unit tests).
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kSymbol,  // punctuation and operators: ( ) [ ] , . * - + = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (lower-cased) or symbol spelling
+  double number = 0.0;
+  size_t position = 0;  // offset in the input, for error messages
+};
+
+/// Splits `input` into tokens; fails on unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace parser_internal
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_PARSER_H_

@@ -1,0 +1,101 @@
+#include "core/query.h"
+
+#include <set>
+
+namespace pulse {
+
+Status QuerySpec::AddStream(StreamSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  if (spec.schema == nullptr) {
+    return Status::InvalidArgument("stream schema must not be null");
+  }
+  if (!spec.schema->HasField(spec.key_field)) {
+    return Status::InvalidArgument("key field '" + spec.key_field +
+                                   "' not in schema of '" + spec.name + "'");
+  }
+  for (const ModelClause& m : spec.models) {
+    for (const std::string& f : m.coefficient_fields) {
+      if (!spec.schema->HasField(f)) {
+        return Status::InvalidArgument("coefficient field '" + f +
+                                       "' not in schema of '" + spec.name +
+                                       "'");
+      }
+    }
+  }
+  auto [it, inserted] = streams_.emplace(spec.name, std::move(spec));
+  if (!inserted) {
+    return Status::AlreadyExists("stream '" + it->first +
+                                 "' already declared");
+  }
+  return Status::OK();
+}
+
+QuerySpec::NodeId QuerySpec::AddFilter(std::string name, Input input,
+                                       FilterSpec spec) {
+  Node node;
+  node.kind = OpKind::kFilter;
+  node.name = std::move(name);
+  node.inputs = {std::move(input)};
+  node.filter = std::make_shared<FilterSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+QuerySpec::NodeId QuerySpec::AddJoin(std::string name, Input left,
+                                     Input right, JoinSpec spec) {
+  Node node;
+  node.kind = OpKind::kJoin;
+  node.name = std::move(name);
+  node.inputs = {std::move(left), std::move(right)};
+  node.join = std::make_shared<JoinSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+QuerySpec::NodeId QuerySpec::AddAggregate(std::string name, Input input,
+                                          AggregateSpec spec) {
+  Node node;
+  node.kind = OpKind::kAggregate;
+  node.name = std::move(name);
+  node.inputs = {std::move(input)};
+  node.aggregate = std::make_shared<AggregateSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+QuerySpec::NodeId QuerySpec::AddMap(std::string name, Input input,
+                                    MapSpec spec) {
+  Node node;
+  node.kind = OpKind::kMap;
+  node.name = std::move(name);
+  node.inputs = {std::move(input)};
+  node.map = std::make_shared<MapSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+Result<StreamSpec> QuerySpec::stream(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' not declared");
+  }
+  return it->second;
+}
+
+std::vector<QuerySpec::NodeId> QuerySpec::SinkNodes() const {
+  std::set<NodeId> consumed;
+  for (const Node& node : nodes_) {
+    for (const Input& in : node.inputs) {
+      if (!in.is_stream) consumed.insert(in.node);
+    }
+  }
+  std::vector<NodeId> sinks;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (consumed.count(id) == 0) sinks.push_back(id);
+  }
+  return sinks;
+}
+
+}  // namespace pulse

@@ -1,0 +1,145 @@
+#ifndef PULSE_CORE_QUERY_H_
+#define PULSE_CORE_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operators/map.h"
+#include "core/predicate.h"
+#include "engine/aggregate.h"
+#include "engine/schema.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Declarative model specification attached to a stream (the paper's
+/// MODEL clause, Section II-B): a modeled attribute is a polynomial in t
+/// whose coefficients come from other attributes of the same tuple. E.g.
+///   MODEL A.x = A.x + A.v t   =>   {"x", {"x", "v"}}
+/// (the self-reference is fine: numerical models are built from actual
+/// input tuples where all coefficient attributes are known).
+struct ModelClause {
+  std::string modeled_attribute;
+  /// Tuple fields providing coefficients c0, c1, ... (degree = size - 1).
+  std::vector<std::string> coefficient_fields;
+};
+
+/// An input stream's declaration: schema, key attribute, and models.
+struct StreamSpec {
+  std::string name;
+  std::shared_ptr<const Schema> schema;
+  /// The key attribute (discrete entity id; int64 field).
+  std::string key_field;
+  std::vector<ModelClause> models;
+  /// Predictive segment validity horizon (seconds): a model built from a
+  /// tuple at time t is assumed valid on [t, t + horizon).
+  double segment_horizon = 1.0;
+};
+
+/// Logical operators of a continuous query. One spec drives both plan
+/// builders: the discrete baseline and the transformed Pulse plan
+/// (Section III-C: operator-by-operator transformation).
+struct FilterSpec {
+  Predicate predicate;
+};
+
+struct JoinSpec {
+  Predicate predicate;
+  double window_seconds = 1.0;
+  /// Equi-join on the key attribute (e.g. "S.Symbol = L.Symbol").
+  bool match_keys = false;
+  /// Self-join guard (e.g. "R.id <> S.id").
+  bool require_distinct_keys = false;
+  std::string left_prefix = "left.";
+  std::string right_prefix = "right.";
+};
+
+/// Derived-attribute projection (paper's select-list expressions, e.g.
+/// "S.ap - L.ap as diff").
+struct MapSpec {
+  std::vector<ComputedAttr> outputs;
+  /// Keep the input attributes alongside the computed ones.
+  bool keep_inputs = true;
+};
+
+struct AggregateSpec {
+  AggFn fn = AggFn::kAvg;
+  /// Input attribute aggregated.
+  std::string attribute;
+  std::string output_attribute = "agg";
+  double window_seconds = 1.0;
+  double slide_seconds = 1.0;
+  /// Aggregate per entity key (GROUP BY key) rather than across keys.
+  bool per_key = false;
+};
+
+/// A logical query: a DAG whose leaves are named streams. Node ids are
+/// dense indices.
+class QuerySpec {
+ public:
+  using NodeId = size_t;
+
+  enum class OpKind { kFilter, kJoin, kAggregate, kMap };
+
+  /// Reference to a node input: either an external stream or another node.
+  struct Input {
+    bool is_stream = false;
+    std::string stream;
+    NodeId node = 0;
+
+    static Input Stream(std::string name) {
+      Input in;
+      in.is_stream = true;
+      in.stream = std::move(name);
+      return in;
+    }
+    static Input Node(NodeId id) {
+      Input in;
+      in.is_stream = false;
+      in.node = id;
+      return in;
+    }
+  };
+
+  struct Node {
+    OpKind kind = OpKind::kFilter;
+    std::string name;
+    std::vector<Input> inputs;
+    // Exactly one of these is meaningful, per kind.
+    std::shared_ptr<FilterSpec> filter;
+    std::shared_ptr<JoinSpec> join;
+    std::shared_ptr<AggregateSpec> aggregate;
+    std::shared_ptr<MapSpec> map;
+  };
+
+  /// Registers a source stream; name must be unique.
+  Status AddStream(StreamSpec spec);
+
+  NodeId AddFilter(std::string name, Input input, FilterSpec spec);
+  NodeId AddJoin(std::string name, Input left, Input right, JoinSpec spec);
+  NodeId AddAggregate(std::string name, Input input, AggregateSpec spec);
+  NodeId AddMap(std::string name, Input input, MapSpec spec);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Stream declaration by name; NotFound when unknown.
+  Result<StreamSpec> stream(const std::string& name) const;
+  const std::map<std::string, StreamSpec>& streams() const {
+    return streams_;
+  }
+
+  /// Nodes no other node consumes (query outputs).
+  std::vector<NodeId> SinkNodes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::map<std::string, StreamSpec> streams_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_QUERY_H_

@@ -1,0 +1,566 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/operators/aggregate.h"
+#include "core/operators/filter.h"
+#include "core/operators/join.h"
+#include "math/linear_system.h"
+#include "model/fitting.h"
+#include "util/logging.h"
+
+namespace pulse {
+namespace {
+
+// Attribute names referenced by operators that consume `stream` directly:
+// only these need validation — an unused modeled attribute cannot change
+// any query result. Returns an empty set when nothing could be resolved
+// (callers then validate everything, the safe default).
+std::set<std::string> CollectStreamAttributes(const QuerySpec& spec,
+                                              const std::string& stream) {
+  std::set<std::string> used;
+  for (const QuerySpec::Node& node : spec.nodes()) {
+    bool consumes = false;
+    for (const QuerySpec::Input& in : node.inputs) {
+      if (in.is_stream && in.stream == stream) consumes = true;
+    }
+    if (!consumes) continue;
+    switch (node.kind) {
+      case QuerySpec::OpKind::kFilter: {
+        std::vector<AttrRef> refs;
+        node.filter->predicate.CollectAttributes(&refs);
+        for (const AttrRef& r : refs) used.insert(r.name);
+        break;
+      }
+      case QuerySpec::OpKind::kJoin: {
+        std::vector<AttrRef> refs;
+        node.join->predicate.CollectAttributes(&refs);
+        for (const AttrRef& r : refs) used.insert(r.name);
+        break;
+      }
+      case QuerySpec::OpKind::kAggregate:
+        used.insert(node.aggregate->attribute);
+        break;
+      case QuerySpec::OpKind::kMap:
+        for (const ComputedAttr& ca : node.map->outputs) {
+          if (ca.kind == ComputedAttr::Kind::kDifference) {
+            used.insert(ca.a.name);
+            used.insert(ca.b.name);
+          } else {
+            used.insert(ca.x1.name);
+            used.insert(ca.y1.name);
+            used.insert(ca.x2.name);
+            used.insert(ca.y2.name);
+          }
+        }
+        break;
+    }
+  }
+  return used;
+}
+
+}  // namespace
+}  // namespace pulse
+
+namespace pulse {
+
+Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
+                                                  Options options) {
+  PredictiveRuntime rt;
+  rt.spec_ = spec;
+  rt.options_ = std::move(options);
+  if (rt.options_.split == nullptr) {
+    rt.options_.split = std::make_shared<EquiSplit>();
+  }
+  PULSE_ASSIGN_OR_RETURN(TransformedPlan transformed, BuildPulsePlan(spec));
+  PULSE_ASSIGN_OR_RETURN(PulseExecutor exec,
+                         PulseExecutor::Make(std::move(transformed.plan)));
+  rt.executor_ = std::make_unique<PulseExecutor>(std::move(exec));
+  rt.inverter_ = std::make_unique<QueryInverter>(&rt.executor_->plan(),
+                                                 rt.options_.split);
+  rt.bound_registry_ = std::make_unique<BoundRegistry>();
+  rt.validator_ =
+      std::make_unique<AlternatingValidator>(rt.bound_registry_.get());
+  for (const auto& [name, stream] : spec.streams()) {
+    PULSE_ASSIGN_OR_RETURN(SegmentModelBuilder builder,
+                           SegmentModelBuilder::Make(stream));
+    StreamState state{std::move(builder), {}, {}};
+    // Pre-resolve the clauses worth validating: modeled attributes the
+    // query references that are also observable on the tuple.
+    const std::set<std::string> used = CollectStreamAttributes(spec, name);
+    // Clause pointers target the builder's own StreamSpec copy; the
+    // vector buffer survives the moves below.
+    for (const ModelClause& clause : state.builder.spec().models) {
+      if (!used.empty() && used.count(clause.modeled_attribute) == 0) {
+        continue;
+      }
+      Result<size_t> idx =
+          stream.schema->IndexOf(clause.modeled_attribute);
+      if (!idx.ok()) continue;  // not observable: cannot validate
+      state.clauses.push_back(ValidationClause{&clause, *idx});
+    }
+    rt.streams_.emplace(name, std::move(state));
+  }
+  if (rt.options_.sample_rate > 0.0) {
+    rt.sampler_.emplace(SamplerOptions{rt.options_.sample_rate, 0.0});
+  }
+  return rt;
+}
+
+double PredictiveRuntime::SourceSlack(const std::string& stream,
+                                      const Segment& segment) {
+  double slack = std::numeric_limits<double>::infinity();
+  const PulsePlan& plan = executor_->plan();
+  for (const PulsePlan::Edge& e : plan.source_bindings(stream)) {
+    PulseOperator* op = plan.node(e.to);
+    if (auto* filter = dynamic_cast<PulseFilter*>(op)) {
+      Result<double> s = filter->ComputeSlack(segment);
+      if (s.ok()) slack = std::min(slack, *s);
+    } else if (auto* join = dynamic_cast<PulseJoin*>(op)) {
+      Result<double> s = join->ComputeSlack(e.port, segment);
+      if (s.ok()) slack = std::min(slack, *s);
+    } else if (auto* agg = dynamic_cast<PulseMinMaxAggregate*>(op)) {
+      Result<double> s = agg->ComputeSlack(segment);
+      if (s.ok()) slack = std::min(slack, *s);
+    } else {
+      // Operators without a selective gate (sum/avg aggregates and their
+      // group-bys) produce no "near miss" notion: a null result there
+      // only means the window has not warmed up. Leave the slack infinite
+      // so the model keeps explaining tuples; accuracy margins take over
+      // once the query produces results and bounds are inverted, and the
+      // segment horizon bounds model staleness regardless.
+    }
+  }
+  return slack;
+}
+
+Status PredictiveRuntime::HandleOutputs(std::vector<Segment> outputs) {
+  const PulsePlan& plan = executor_->plan();
+  const std::vector<PulsePlan::NodeId> sinks = plan.SinkNodes();
+  for (const Segment& out : outputs) {
+    ++stats_.output_segments;
+    // Invert each user bound through whichever sink produced this
+    // segment (identified by lineage ownership).
+    for (const BoundSpec& spec : options_.bounds) {
+      for (PulsePlan::NodeId sink : sinks) {
+        if (plan.node(sink)->lineage().Lookup(out.id) == nullptr) {
+          continue;
+        }
+        Status st = inverter_->InvertForOutput(sink, out, spec,
+                                               bound_registry_.get());
+        if (st.ok()) ++stats_.inversions;
+        break;
+      }
+    }
+    if (sampler_.has_value()) {
+      std::vector<std::string> attrs;
+      for (const auto& [name, _] : out.attributes) attrs.push_back(name);
+      std::vector<Tuple> sampled = sampler_->Sample(out, attrs);
+      stats_.output_tuples += sampled.size();
+      if (options_.collect_outputs) {
+        output_tuples_.insert(output_tuples_.end(), sampled.begin(),
+                              sampled.end());
+      }
+    }
+  }
+  if (options_.collect_outputs) {
+    output_segments_.insert(output_segments_.end(),
+                            std::make_move_iterator(outputs.begin()),
+                            std::make_move_iterator(outputs.end()));
+  }
+  return Status::OK();
+}
+
+void PredictiveRuntime::BindModel(const StreamState& state,
+                                  ActiveModel* model) {
+  model->polys.clear();
+  model->polys.reserve(state.clauses.size());
+  for (const ValidationClause& vc : state.clauses) {
+    auto it = model->segment.attributes.find(vc.clause->modeled_attribute);
+    model->polys.push_back(it == model->segment.attributes.end()
+                               ? nullptr
+                               : &it->second);
+  }
+}
+
+void PredictiveRuntime::RefreshMargins(const StreamState& state, Key key,
+                                       ActiveModel* model) const {
+  model->margins.resize(state.clauses.size());
+  for (size_t i = 0; i < state.clauses.size(); ++i) {
+    model->margins[i] = bound_registry_->Margin(
+        key, state.clauses[i].clause->modeled_attribute);
+  }
+  model->margin_version = bound_registry_->version();
+}
+
+PredictiveRuntime::StreamState* PredictiveRuntime::FindStream(
+    const std::string& name) {
+  if (memo_state_ != nullptr && *memo_name_ == name) return memo_state_;
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return nullptr;
+  memo_name_ = &it->first;
+  memo_state_ = &it->second;
+  return memo_state_;
+}
+
+Status PredictiveRuntime::ProcessTuple(const std::string& stream,
+                                       const Tuple& tuple) {
+  ++stats_.tuples_in;
+  StreamState* state = FindStream(stream);
+  if (state == nullptr) {
+    return Status::NotFound("stream '" + stream + "' not declared");
+  }
+  const SegmentModelBuilder& builder = state->builder;
+  const Key key = builder.KeyOf(tuple);
+
+  // Fast path: the tuple is explained by the active predictive model.
+  // This is what makes Pulse cheap — an explained tuple costs one map hop
+  // plus a polynomial evaluation and comparison per validated attribute,
+  // never touching the solver (paper Section IV).
+  auto cit = state->current.find(key);
+  if (cit != state->current.end() &&
+      cit->second.segment.range.Contains(tuple.timestamp)) {
+    ActiveModel& model = cit->second;
+    if (model.margin_version != bound_registry_->version()) {
+      RefreshMargins(*state, key, &model);
+    }
+    bool explained = true;
+    for (size_t i = 0; i < state->clauses.size(); ++i) {
+      const Polynomial* poly = model.polys[i];
+      if (poly == nullptr) continue;
+      const double actual =
+          tuple.at(state->clauses[i].observed_index).as_double();
+      const double deviation =
+          std::abs(actual - poly->Evaluate(tuple.timestamp));
+      // Accuracy mode checks the inverted margin; slack mode ignores
+      // anything below the recorded slack (Section IV alternation).
+      const double allowance = model.mode == ValidationMode::kAccuracy
+                                   ? model.margins[i]
+                                   : model.slack;
+      if (deviation > allowance) {
+        explained = false;
+        break;
+      }
+    }
+    if (explained) {
+      ++stats_.tuples_validated;
+      return Status::OK();
+    }
+    ++stats_.violations;
+  }
+
+  // Rebuild the model from this tuple and reprocess.
+  PULSE_ASSIGN_OR_RETURN(Segment segment, builder.BuildSegment(tuple));
+  ActiveModel& model = state->current[key];
+  // Backfill horizon gaps: when the previous segment expired shortly
+  // before this tuple, extend the new model backward to its end so
+  // downstream window aggregates see contiguous coverage (the new model
+  // extrapolates over the gap the validated tuples already covered).
+  const double prev_end = model.segment.range.hi;
+  if (!model.segment.range.IsEmpty() && prev_end <= tuple.timestamp &&
+      tuple.timestamp - prev_end <
+          state->builder.spec().segment_horizon) {
+    segment.range.lo = prev_end;
+  }
+  model.segment = segment;
+  BindModel(*state, &model);
+  RefreshMargins(*state, key, &model);
+  PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
+  ++stats_.segments_pushed;
+  std::vector<Segment> outputs = executor_->TakeOutput();
+  const bool produced = !outputs.empty();
+  PULSE_RETURN_IF_ERROR(HandleOutputs(std::move(outputs)));
+  if (produced) {
+    model.mode = ValidationMode::kAccuracy;
+    model.slack = 0.0;
+    validator_->ObserveResult(key, true, 0.0);
+  } else {
+    // Record slack so subsequent tuples take the cheaper slack test
+    // (paper Section IV).
+    const double slack = SourceSlack(stream, model.segment);
+    model.mode = ValidationMode::kSlack;
+    model.slack = slack;
+    validator_->ObserveResult(key, false, slack);
+  }
+  return Status::OK();
+}
+
+Status PredictiveRuntime::Finish() {
+  PULSE_RETURN_IF_ERROR(executor_->Finish());
+  return HandleOutputs(executor_->TakeOutput());
+}
+
+std::vector<Segment> PredictiveRuntime::TakeOutputSegments() {
+  std::vector<Segment> out = std::move(output_segments_);
+  output_segments_.clear();
+  return out;
+}
+
+std::vector<Tuple> PredictiveRuntime::TakeOutputTuples() {
+  std::vector<Tuple> out = std::move(output_tuples_);
+  output_tuples_.clear();
+  return out;
+}
+
+void MultiAttributeSegmenter::Moments::Reset(size_t d) {
+  *this = Moments();
+  degree = std::min(d, kMaxIncrementalDegree);
+}
+
+void MultiAttributeSegmenter::Moments::AddPoint(double tau, double v) {
+  double p = 1.0;
+  for (size_t k = 0; k <= 2 * degree; ++k) {
+    s[k] += p;
+    if (k <= degree) b[k] += v * p;
+    p *= tau;
+  }
+  vv += v * v;
+}
+
+size_t MultiAttributeSegmenter::Moments::Fit(size_t count,
+                                             double* coeffs) const {
+  // Clamp the fitted degree while the piece is short, then solve the
+  // (d+1)x(d+1) normal equations by in-place Gaussian elimination on a
+  // stack buffer.
+  const size_t d = std::min(degree, count - 1);
+  const size_t n = d + 1;
+  double a[(kMaxIncrementalDegree + 1) * (kMaxIncrementalDegree + 2)];
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t k = 0; k < n; ++k) a[j * (n + 1) + k] = s[j + k];
+    a[j * (n + 1) + n] = b[j];
+  }
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * (n + 1) + col]) >
+          std::abs(a[pivot * (n + 1) + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot * (n + 1) + col]) < 1e-12) return 0;
+    if (pivot != col) {
+      for (size_t c = 0; c <= n; ++c) {
+        std::swap(a[col * (n + 1) + c], a[pivot * (n + 1) + c]);
+      }
+    }
+    const double inv = 1.0 / a[col * (n + 1) + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * (n + 1) + col] * inv;
+      for (size_t c = col; c <= n; ++c) {
+        a[r * (n + 1) + c] -= factor * a[col * (n + 1) + c];
+      }
+    }
+  }
+  for (size_t r = n; r-- > 0;) {
+    double acc = a[r * (n + 1) + n];
+    for (size_t c = r + 1; c < n; ++c) acc -= a[r * (n + 1) + c] * coeffs[c];
+    coeffs[r] = acc / a[r * (n + 1) + r];
+  }
+  return n;
+}
+
+double MultiAttributeSegmenter::Moments::Rms(const double* coeffs, size_t n,
+                                             size_t count) const {
+  // RSS = sum v^2 - x^T b for the least-squares solution.
+  double rss = vv;
+  for (size_t k = 0; k < n; ++k) rss -= coeffs[k] * b[k];
+  if (rss < 0.0) rss = 0.0;  // roundoff
+  return std::sqrt(rss / static_cast<double>(count));
+}
+
+MultiAttributeSegmenter::MultiAttributeSegmenter(StreamSpec spec,
+                                                 SegmentationOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  Result<size_t> key_idx = spec_.schema->IndexOf(spec_.key_field);
+  PULSE_CHECK(key_idx.ok());
+  key_index_ = *key_idx;
+  for (const ModelClause& clause : spec_.models) {
+    Result<size_t> idx = spec_.schema->IndexOf(clause.modeled_attribute);
+    PULSE_CHECK(idx.ok());
+    attr_indices_.push_back(*idx);
+  }
+}
+
+void MultiAttributeSegmenter::ResetWith(PerKey* state,
+                                        const Tuple& tuple) const {
+  state->active = true;
+  state->t0 = tuple.timestamp;
+  state->last_t = tuple.timestamp;
+  state->count = 1;
+  state->attrs.resize(attr_indices_.size());
+  for (size_t m = 0; m < attr_indices_.size(); ++m) {
+    state->attrs[m].Reset(options_.degree);
+    state->attrs[m].AddPoint(0.0, tuple.at(attr_indices_[m]).as_double());
+  }
+}
+
+Result<std::optional<Segment>> MultiAttributeSegmenter::CloseSegment(
+    Key key, const PerKey& state) const {
+  if (!state.active || state.count == 0) {
+    return std::optional<Segment>(std::nullopt);
+  }
+  Segment seg;
+  seg.id = NextSegmentId();
+  seg.key = key;
+  const double lo = state.t0;
+  double hi = state.last_t +
+              (options_.extend_to_next ? state.last_gap : 0.0);
+  if (hi <= lo) hi = lo + 1e-9;
+  seg.range = Interval::ClosedOpen(lo, hi);
+  for (size_t m = 0; m < attr_indices_.size(); ++m) {
+    const Moments& mm = state.attrs[m];
+    double buf[kMaxIncrementalDegree + 1];
+    size_t n;
+    if (mm.good_n > 0) {
+      // The cached fit excludes the breaking point.
+      std::copy(mm.good, mm.good + mm.good_n, buf);
+      n = mm.good_n;
+    } else {
+      n = mm.Fit(state.count, buf);
+      if (n == 0) {
+        // Degenerate geometry: fall back to the running mean.
+        buf[0] = mm.b[0] / static_cast<double>(state.count);
+        n = 1;
+      }
+    }
+    // Local-time fit -> absolute-time model.
+    const Polynomial local{std::vector<double>(buf, buf + n)};
+    seg.set_attribute(spec_.models[m].modeled_attribute,
+                      local.Shift(-state.t0));
+  }
+  return std::optional<Segment>(std::move(seg));
+}
+
+Result<std::optional<Segment>> MultiAttributeSegmenter::Add(
+    const Tuple& tuple) {
+  const Key key = tuple.at(key_index_).as_int64();
+  PerKey& state = keys_[key];
+  if (!state.active) {
+    ResetWith(&state, tuple);
+    return std::optional<Segment>(std::nullopt);
+  }
+  state.last_gap = std::max(0.0, tuple.timestamp - state.last_t);
+
+  // Include the point, refit each attribute incrementally, and test the
+  // RMS bound. On acceptance the fit is cached; on a break the piece is
+  // closed from the cached fit (which excludes the breaking point), so
+  // there is neither a trial copy nor a rollback refit on the hot path.
+  const double tau = tuple.timestamp - state.t0;
+  const size_t new_count = state.count + 1;
+  bool breaks = options_.max_points_per_segment > 0 &&
+                new_count > options_.max_points_per_segment;
+  if (!breaks) {
+    for (size_t m = 0; m < attr_indices_.size(); ++m) {
+      state.attrs[m].AddPoint(tau, tuple.at(attr_indices_[m]).as_double());
+    }
+    for (size_t m = 0; m < attr_indices_.size() && !breaks; ++m) {
+      Moments& mm = state.attrs[m];
+      double buf[kMaxIncrementalDegree + 1];
+      const size_t n = mm.Fit(new_count, buf);
+      const bool warmup = new_count <= options_.degree + 1;
+      if (n == 0 ||
+          (!warmup && mm.Rms(buf, n, new_count) > options_.max_error)) {
+        breaks = true;
+        break;
+      }
+      std::copy(buf, buf + n, mm.good);
+      mm.good_n = n;
+    }
+  }
+  if (!breaks) {
+    state.count = new_count;
+    state.last_t = tuple.timestamp;
+    return std::optional<Segment>(std::nullopt);
+  }
+  // The newest tuple broke the piece: close everything before it (from
+  // the cached pre-break fits) and start the next piece from the
+  // breaking tuple.
+  PULSE_ASSIGN_OR_RETURN(std::optional<Segment> closed,
+                         CloseSegment(key, state));
+  ResetWith(&state, tuple);
+  return closed;
+}
+
+Result<std::vector<Segment>> MultiAttributeSegmenter::Flush() {
+  std::vector<Segment> out;
+  for (auto& [key, state] : keys_) {
+    PULSE_ASSIGN_OR_RETURN(std::optional<Segment> closed,
+                           CloseSegment(key, state));
+    if (closed.has_value()) out.push_back(std::move(*closed));
+    state.active = false;
+  }
+  keys_.clear();
+  return out;
+}
+
+Result<HistoricalRuntime> HistoricalRuntime::Make(const QuerySpec& spec,
+                                                  Options options) {
+  HistoricalRuntime rt;
+  rt.spec_ = spec;
+  rt.options_ = std::move(options);
+  PULSE_ASSIGN_OR_RETURN(TransformedPlan transformed, BuildPulsePlan(spec));
+  PULSE_ASSIGN_OR_RETURN(PulseExecutor exec,
+                         PulseExecutor::Make(std::move(transformed.plan)));
+  rt.executor_ = std::make_unique<PulseExecutor>(std::move(exec));
+  rt.executor_->set_discard_output(!rt.options_.collect_outputs);
+  for (const auto& [name, stream] : spec.streams()) {
+    rt.segmenters_.emplace(name,
+                           std::make_unique<MultiAttributeSegmenter>(
+                               stream, rt.options_.segmentation));
+  }
+  return rt;
+}
+
+MultiAttributeSegmenter* HistoricalRuntime::FindSegmenter(
+    const std::string& name) {
+  if (memo_segmenter_ != nullptr && *memo_segmenter_name_ == name) {
+    return memo_segmenter_;
+  }
+  auto it = segmenters_.find(name);
+  if (it == segmenters_.end()) return nullptr;
+  memo_segmenter_name_ = &it->first;
+  memo_segmenter_ = it->second.get();
+  return memo_segmenter_;
+}
+
+Status HistoricalRuntime::ProcessTuple(const std::string& stream,
+                                       const Tuple& tuple) {
+  ++stats_.tuples_in;
+  MultiAttributeSegmenter* segmenter = FindSegmenter(stream);
+  if (segmenter == nullptr) {
+    return Status::NotFound("stream '" + stream + "' not declared");
+  }
+  PULSE_ASSIGN_OR_RETURN(std::optional<Segment> seg, segmenter->Add(tuple));
+  if (seg.has_value()) {
+    PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(*seg)));
+  }
+  return Status::OK();
+}
+
+Status HistoricalRuntime::ProcessSegment(const std::string& stream,
+                                         Segment segment) {
+  const size_t before = executor_->total_output();
+  PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
+  ++stats_.segments_pushed;
+  stats_.output_segments += executor_->total_output() - before;
+  return Status::OK();
+}
+
+Status HistoricalRuntime::Finish() {
+  for (auto& [stream, segmenter] : segmenters_) {
+    PULSE_ASSIGN_OR_RETURN(std::vector<Segment> segs, segmenter->Flush());
+    for (Segment& s : segs) {
+      PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(s)));
+    }
+  }
+  return executor_->Finish();
+}
+
+std::vector<Segment> HistoricalRuntime::TakeOutputSegments() {
+  return executor_->TakeOutput();
+}
+
+}  // namespace pulse

@@ -1,0 +1,256 @@
+#ifndef PULSE_CORE_RUNTIME_H_
+#define PULSE_CORE_RUNTIME_H_
+
+#include <map>
+#include <unordered_map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pulse_plan.h"
+#include "core/query.h"
+#include "core/sampler.h"
+#include "core/transform.h"
+#include "core/validation/bounds.h"
+#include "core/validation/inversion.h"
+#include "core/validation/slack.h"
+#include "core/validation/splits.h"
+#include "engine/tuple.h"
+#include "model/segmentation.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// End-to-end counters for a runtime session.
+struct RuntimeStats {
+  uint64_t tuples_in = 0;
+  /// Tuples explained by the current model within bounds/slack — dropped
+  /// without touching the solver.
+  uint64_t tuples_validated = 0;
+  /// Bound or slack violations (each triggers model rebuild + resolve).
+  uint64_t violations = 0;
+  uint64_t segments_pushed = 0;
+  uint64_t output_segments = 0;
+  uint64_t output_tuples = 0;
+  uint64_t inversions = 0;
+};
+
+/// Online predictive processing (paper Section II-A): models of unseen
+/// data are built from arriving tuples via the MODEL clause, query results
+/// are precomputed off into the future, and subsequent tuples are only
+/// *validated* against the model within inverted accuracy/slack bounds —
+/// the query is re-solved only on violations.
+class PredictiveRuntime {
+ public:
+  struct Options {
+    /// Output accuracy bounds, inverted to the inputs on first results.
+    std::vector<BoundSpec> bounds;
+    /// Split heuristic (default EquiSplit).
+    std::shared_ptr<const SplitHeuristic> split;
+    /// Output sampling rate; 0 keeps results as segments only.
+    double sample_rate = 0.0;
+    /// Retain output segments/tuples in memory (disable for long runs).
+    bool collect_outputs = true;
+  };
+
+  static Result<PredictiveRuntime> Make(const QuerySpec& spec,
+                                        Options options);
+
+  /// Feeds one arriving tuple. Either the tuple validates against the
+  /// current model (cheap path) or the model is rebuilt and pushed
+  /// through the equation-system plan.
+  Status ProcessTuple(const std::string& stream, const Tuple& tuple);
+
+  /// End of input: flush residual operator state.
+  Status Finish();
+
+  const RuntimeStats& stats() const { return stats_; }
+  std::vector<Segment> TakeOutputSegments();
+  std::vector<Tuple> TakeOutputTuples();
+
+  const PulsePlan& plan() const { return executor_->plan(); }
+  const BoundRegistry& bounds() const { return *bound_registry_; }
+  const AlternatingValidator& validator() const { return *validator_; }
+
+ private:
+  PredictiveRuntime() = default;
+
+  // Slack of `segment` against the plan's source operators for `stream`.
+  double SourceSlack(const std::string& stream, const Segment& segment);
+  // Inverts bounds / samples a freshly produced batch of sink outputs and
+  // stores it (when collection is enabled).
+  Status HandleOutputs(std::vector<Segment> outputs);
+
+  QuerySpec spec_;
+  Options options_;
+  // Per-stream runtime state. The tuple hot path touches this once per
+  // tuple, so everything it needs is pre-resolved: the validated model
+  // clauses (only the attributes the query actually references — others
+  // cannot influence results and need no validation), the observed-field
+  // indices, and per-key caches of model polynomials, margins, and the
+  // accuracy/slack mode. The stream lookup is memoized across
+  // consecutive same-stream tuples.
+  struct ValidationClause {
+    const ModelClause* clause = nullptr;
+    size_t observed_index = 0;  // tuple field holding the observed value
+  };
+
+  struct ActiveModel {
+    Segment segment;
+    // Parallel to StreamState::clauses: the model polynomial (pointer
+    // into segment.attributes, stable) and the cached inverted margin.
+    std::vector<const Polynomial*> polys;
+    std::vector<double> margins;
+    uint64_t margin_version = ~uint64_t{0};
+    ValidationMode mode = ValidationMode::kAccuracy;
+    double slack = 0.0;
+  };
+
+  struct StreamState {
+    SegmentModelBuilder builder;
+    std::vector<ValidationClause> clauses;
+    std::map<Key, ActiveModel> current;
+  };
+
+  StreamState* FindStream(const std::string& name);
+  // Rebuilds the polynomial pointers after (re)installing a segment.
+  static void BindModel(const StreamState& state, ActiveModel* model);
+  // Refreshes cached margins from the bound registry.
+  void RefreshMargins(const StreamState& state, Key key,
+                      ActiveModel* model) const;
+
+  std::unique_ptr<PulseExecutor> executor_;
+  std::unique_ptr<QueryInverter> inverter_;
+  std::map<std::string, StreamState> streams_;
+  StreamState* memo_state_ = nullptr;
+  const std::string* memo_name_ = nullptr;
+  // Heap-allocated so the registry's address is stable across moves of
+  // the runtime (the validator holds a pointer to it).
+  std::unique_ptr<BoundRegistry> bound_registry_;
+  std::unique_ptr<AlternatingValidator> validator_;
+  std::optional<Sampler> sampler_;
+  std::vector<Segment> output_segments_;
+  std::vector<Tuple> output_tuples_;
+  RuntimeStats stats_;
+};
+
+/// Joint multi-attribute online segmentation: one piece breaks when ANY
+/// modeled attribute's least-squares fit exceeds the error bound, so a
+/// segment carries a consistent set of models (used by historical
+/// processing to fit e.g. AIS longitude and latitude together).
+///
+/// The fit is maintained *incrementally* through running moments
+/// (Vandermonde normal-equation sums in segment-local time), so each Add
+/// costs O(degree^3) independent of the piece length — this is what lets
+/// the modeling operator outrun tuple-by-tuple query processing in the
+/// paper's Fig. 8. The error bound is enforced on the RMS residual
+/// (computable from the moments); SegmentationOptions::max_error is
+/// interpreted accordingly here.
+class MultiAttributeSegmenter {
+ public:
+  MultiAttributeSegmenter(StreamSpec spec, SegmentationOptions options);
+
+  /// Feeds one tuple (all keys multiplexed; per-key state inside).
+  /// Returns the closed segment when one completes.
+  Result<std::optional<Segment>> Add(const Tuple& tuple);
+
+  /// Closes all pending per-key pieces.
+  Result<std::vector<Segment>> Flush();
+
+ private:
+  /// Hard cap on the incremental path's polynomial degree; keeps the
+  /// per-tuple moment state fixed-size and allocation-free.
+  static constexpr size_t kMaxIncrementalDegree = 4;
+
+  // Running least-squares moments of one attribute in local time
+  // tau = t - t0:  s[k] = sum tau^k (k <= 2d), b[k] = sum v * tau^k
+  // (k <= d), vv = sum v^2. Fixed-capacity so trial copies are memcpys.
+  struct Moments {
+    double s[2 * kMaxIncrementalDegree + 1] = {};
+    double b[kMaxIncrementalDegree + 1] = {};
+    double vv = 0.0;
+    size_t degree = 1;
+
+    // Last accepted fit (the piece to close when the next point breaks).
+    double good[kMaxIncrementalDegree + 1] = {};
+    size_t good_n = 0;
+
+    void Reset(size_t degree);
+    void AddPoint(double tau, double v);
+    // Least-squares coefficients (local time) into `coeffs`; returns the
+    // fitted degree + 1 (0 when singular). Allocation-free.
+    size_t Fit(size_t count, double* coeffs) const;
+    // RMS residual of the fitted coefficients.
+    double Rms(const double* coeffs, size_t n, size_t count) const;
+  };
+
+  struct PerKey {
+    bool active = false;
+    double t0 = 0.0;       // segment-local time origin
+    double last_t = 0.0;   // newest sample time
+    double last_gap = 0.0;
+    size_t count = 0;
+    std::vector<Moments> attrs;  // one per modeled attribute
+  };
+
+  // Builds the closed segment from the current per-key fit state.
+  Result<std::optional<Segment>> CloseSegment(Key key,
+                                              const PerKey& state) const;
+  void ResetWith(PerKey* state, const Tuple& tuple) const;
+
+  StreamSpec spec_;
+  SegmentationOptions options_;
+  size_t key_index_ = 0;
+  std::vector<size_t> attr_indices_;  // tuple field per modeled attribute
+  std::unordered_map<Key, PerKey> keys_;
+};
+
+/// Offline historical processing (paper Section II-A): the modeling
+/// component fits a continuous-time model of the historical stream once;
+/// the resulting segments feed the transformed query (and can be replayed
+/// into many what-if variants, amortizing the modeling cost).
+class HistoricalRuntime {
+ public:
+  struct Options {
+    SegmentationOptions segmentation;
+    double sample_rate = 0.0;
+    bool collect_outputs = true;
+  };
+
+  static Result<HistoricalRuntime> Make(const QuerySpec& spec,
+                                        Options options);
+
+  /// Feeds one historical tuple into the modeler; pushes any completed
+  /// segment through the plan.
+  Status ProcessTuple(const std::string& stream, const Tuple& tuple);
+
+  /// Pushes an already-fitted segment (segment replay mode — the paper's
+  /// "processing segments alone (without modelling)" series in Fig. 9i).
+  Status ProcessSegment(const std::string& stream, Segment segment);
+
+  Status Finish();
+
+  const RuntimeStats& stats() const { return stats_; }
+  std::vector<Segment> TakeOutputSegments();
+  const PulsePlan& plan() const { return executor_->plan(); }
+
+ private:
+  HistoricalRuntime() = default;
+
+  QuerySpec spec_;
+  Options options_;
+  MultiAttributeSegmenter* FindSegmenter(const std::string& name);
+
+  std::unique_ptr<PulseExecutor> executor_;
+  std::map<std::string, std::unique_ptr<MultiAttributeSegmenter>>
+      segmenters_;
+  MultiAttributeSegmenter* memo_segmenter_ = nullptr;
+  const std::string* memo_segmenter_name_ = nullptr;
+  RuntimeStats stats_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_RUNTIME_H_

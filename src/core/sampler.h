@@ -1,0 +1,48 @@
+#ifndef PULSE_CORE_SAMPLER_H_
+#define PULSE_CORE_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/tuple.h"
+#include "model/segment.h"
+
+namespace pulse {
+
+/// Output discretization (paper Section III-C): once a processed segment
+/// reaches an output stream, tuples are produced by sampling it. Selective
+/// operators require a user-defined sampling rate; aggregates infer their
+/// rate from the window slide.
+struct SamplerOptions {
+  /// Samples per second for range outputs.
+  double rate = 10.0;
+  /// When > 0, sample on the absolute grid k * slide (aggregate window
+  /// closes) instead of the rate grid.
+  double slide = 0.0;
+};
+
+/// Samples output segments into discrete tuples.
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions options);
+
+  /// Discretizes one segment. Produced tuples have layout
+  ///   [key:int64, attr0:double, attr1:double, ...]
+  /// with the sample time as the tuple timestamp; `attributes` picks the
+  /// modeled attributes and their order. Point segments produce exactly
+  /// one tuple at their instant.
+  std::vector<Tuple> Sample(const Segment& segment,
+                            const std::vector<std::string>& attributes) const;
+
+  /// Convenience over a batch.
+  std::vector<Tuple> SampleAll(
+      const SegmentBatch& segments,
+      const std::vector<std::string>& attributes) const;
+
+ private:
+  SamplerOptions options_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_SAMPLER_H_

@@ -1,0 +1,80 @@
+#ifndef PULSE_CORE_TRANSFORM_H_
+#define PULSE_CORE_TRANSFORM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pulse_plan.h"
+#include "core/query.h"
+#include "engine/plan.h"
+#include "engine/tuple.h"
+#include "model/segment.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// A discrete (tuple-based) realization of a QuerySpec: the baseline
+/// Borealis-style plan the paper measures Pulse against.
+struct DiscretePlan {
+  QueryPlan plan;
+  /// Output schema of each sink, in QueryPlan::SinkNodes() order.
+  std::vector<std::shared_ptr<const Schema>> sink_schemas;
+};
+
+/// Builds the discrete plan for `spec`: filters and joins become lambda-
+/// predicate tuple operators, aggregates become windowed (optionally
+/// grouped) accumulators, and a composite pair-key column is materialized
+/// after self-joins so downstream GROUP BY (id1, id2) works.
+Result<DiscretePlan> BuildDiscretePlan(const QuerySpec& spec);
+
+/// The Pulse realization of a QuerySpec: the paper's rule-based query
+/// transformation (Section V: "general functionality for rule-based query
+/// transformations... in addition to specialized transformations to our
+/// equation systems"). Maps each logical operator onto its equation-
+/// system implementation.
+struct TransformedPlan {
+  PulsePlan plan;
+  /// QuerySpec node -> PulsePlan node.
+  std::map<QuerySpec::NodeId, PulsePlan::NodeId> node_map;
+};
+
+Result<TransformedPlan> BuildPulsePlan(const QuerySpec& spec);
+
+/// Builds predictive model segments from tuples per a stream's MODEL
+/// clauses (paper Section II-B): coefficient attributes are read off the
+/// tuple, producing one polynomial per modeled attribute in *absolute*
+/// time, valid over [t, t + segment_horizon).
+class SegmentModelBuilder {
+ public:
+  /// Resolves field indices against the stream schema.
+  static Result<SegmentModelBuilder> Make(const StreamSpec& spec);
+
+  /// Builds the segment the MODEL clause implies for this tuple.
+  Result<Segment> BuildSegment(const Tuple& tuple) const;
+
+  /// The entity key of a tuple.
+  Key KeyOf(const Tuple& tuple) const;
+
+  /// Observed value of a modeled attribute on a tuple (for validation).
+  /// Requires the modeled attribute to also exist as a tuple field.
+  Result<double> ObservedValue(const Tuple& tuple,
+                               const std::string& attribute) const;
+
+  const StreamSpec& spec() const { return spec_; }
+
+ private:
+  SegmentModelBuilder() = default;
+
+  StreamSpec spec_;
+  size_t key_index_ = 0;
+  // Per model clause: resolved coefficient field indices.
+  std::vector<std::vector<size_t>> coefficient_indices_;
+  // Modeled attribute name -> tuple field index (when present).
+  std::map<std::string, size_t> observed_indices_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_TRANSFORM_H_

@@ -1,0 +1,76 @@
+#include "core/validation/inversion.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+QueryInverter::QueryInverter(const PulsePlan* plan,
+                             std::shared_ptr<const SplitHeuristic> split)
+    : plan_(plan), split_(std::move(split)) {
+  PULSE_CHECK(plan_ != nullptr);
+  if (split_ == nullptr) split_ = std::make_shared<EquiSplit>();
+}
+
+Status QueryInverter::InvertForOutput(PulsePlan::NodeId sink,
+                                      const Segment& output,
+                                      const BoundSpec& spec,
+                                      BoundRegistry* registry) {
+  // Relative bounds reference the result's magnitude: evaluate the output
+  // model at the middle of its validity range.
+  double reference = 0.0;
+  if (spec.relative) {
+    PULSE_ASSIGN_OR_RETURN(
+        reference,
+        output.EvaluateAttribute(spec.attribute,
+                                 0.5 * (output.range.lo + output.range.hi)));
+  }
+  const double margin = spec.MarginFor(reference);
+  return InvertAtNode(sink, output, spec.attribute, margin, registry, 0);
+}
+
+Status QueryInverter::InvertAtNode(PulsePlan::NodeId node,
+                                   const Segment& output,
+                                   const std::string& attribute,
+                                   double margin, BoundRegistry* registry,
+                                   int depth) {
+  if (depth > 64) {
+    return Status::Internal("bound inversion recursion too deep");
+  }
+  PulseOperator* op = plan_->node(node);
+  PULSE_ASSIGN_OR_RETURN(
+      std::vector<AllocatedBound> allocs,
+      op->InvertBound(output, attribute, margin, *split_));
+  ++inversions_;
+
+  // Resolve allocated segment ids back to the snapshotted input segments
+  // so the walk can continue into upstream producers.
+  std::map<uint64_t, const Segment*> by_id;
+  if (const std::vector<LineageEntry>* causes =
+          op->lineage().Lookup(output.id)) {
+    for (const LineageEntry& e : *causes) by_id[e.input.id] = &e.input;
+  }
+
+  for (const AllocatedBound& ab : allocs) {
+    const std::optional<PulsePlan::NodeId> upstream =
+        plan_->UpstreamOf(node, ab.port);
+    if (!upstream.has_value()) {
+      // Reached a plan source: this is an enforceable input bound.
+      registry->Set(ab.key, ab.attribute, ab.margin);
+      continue;
+    }
+    auto it = by_id.find(ab.segment_id);
+    if (it == by_id.end()) {
+      // Lineage for the intermediate segment expired; fall back to
+      // registering a conservative source-level bound keyed by entity.
+      registry->Set(ab.key, ab.attribute, ab.margin);
+      continue;
+    }
+    PULSE_RETURN_IF_ERROR(InvertAtNode(*upstream, *it->second, ab.attribute,
+                                       ab.margin, registry, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace pulse

@@ -1,0 +1,57 @@
+#ifndef PULSE_CORE_VALIDATION_INVERSION_H_
+#define PULSE_CORE_VALIDATION_INVERSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pulse_plan.h"
+#include "core/validation/bounds.h"
+#include "core/validation/splits.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Whole-query bound inversion (paper Section IV-B, "Query inversion
+/// problem"): given a range of values on an attribute at a query's
+/// output, determine the ranges of query *input* values that produce
+/// those outputs, by recursively applying each operator's local bound
+/// inversion and split heuristic back up the plan.
+///
+/// The walk is driven by observed output segments: lineage identifies the
+/// unique causing inputs at every operator (Properties 1 and 2), each
+/// operator's InvertBound apportions the margin, and allocations that
+/// reach a plan source are recorded as (key, attribute) margins in a
+/// BoundRegistry — the bounds the runtime then validates arriving tuples
+/// against, "completely eliminating the need for executing the
+/// discrete-time query".
+class QueryInverter {
+ public:
+  /// `plan` must outlive the inverter. `split` defaults to EquiSplit.
+  explicit QueryInverter(const PulsePlan* plan,
+                         std::shared_ptr<const SplitHeuristic> split = nullptr);
+
+  /// Inverts `spec` for one output segment produced at `sink` and merges
+  /// the resulting input margins into `registry`. The reference value for
+  /// relative bounds is the output model evaluated mid-range.
+  Status InvertForOutput(PulsePlan::NodeId sink, const Segment& output,
+                         const BoundSpec& spec, BoundRegistry* registry);
+
+  /// Number of operator-level inversions performed (telemetry).
+  uint64_t inversions() const { return inversions_; }
+
+ private:
+  // Recursive walk: apply node's local inversion, recurse into upstream
+  // producers, record source-level margins.
+  Status InvertAtNode(PulsePlan::NodeId node, const Segment& output,
+                      const std::string& attribute, double margin,
+                      BoundRegistry* registry, int depth);
+
+  const PulsePlan* plan_;
+  std::shared_ptr<const SplitHeuristic> split_;
+  uint64_t inversions_ = 0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_VALIDATION_INVERSION_H_

@@ -1,0 +1,33 @@
+#include "core/validation/lineage.h"
+
+#include <atomic>
+
+namespace pulse {
+
+void LineageStore::Record(uint64_t out_id, const Interval& out_range,
+                          std::vector<LineageEntry> causes) {
+  records_[out_id] = OutputRecord{out_range, std::move(causes)};
+}
+
+const std::vector<LineageEntry>* LineageStore::Lookup(uint64_t out_id) const {
+  auto it = records_.find(out_id);
+  if (it == records_.end()) return nullptr;
+  return &it->second.causes;
+}
+
+void LineageStore::ExpireBefore(double t) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.out_range.hi < t) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t NextSegmentId() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace pulse

@@ -1,0 +1,55 @@
+#ifndef PULSE_CORE_VALIDATION_LINEAGE_H_
+#define PULSE_CORE_VALIDATION_LINEAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/segment.h"
+
+namespace pulse {
+
+/// One input segment that contributed to an output segment. The full
+/// segment is snapshotted: the paper maintains "these inputs as query
+/// lineage, compactly as model segments" (Section IV), and the gradient
+/// split heuristic needs the input coefficients.
+struct LineageEntry {
+  size_t port = 0;  // which operator input it arrived on
+  Segment input;    // snapshot of the causing segment
+};
+
+/// Per-operator lineage: output segment id -> the input segments that
+/// caused it. Query inversion relies on exactly this mapping
+/// (Section IV-B): continuous-time operators produce temporal sub-ranges
+/// (Property 1) and modeled attributes are functional dependents of keys
+/// (Property 2), so the causing set is unique.
+class LineageStore {
+ public:
+  /// Records the causes of output `out_id`, whose validity is `out_range`.
+  void Record(uint64_t out_id, const Interval& out_range,
+              std::vector<LineageEntry> causes);
+
+  /// Causes of `out_id`, or nullptr when unknown (e.g. already expired).
+  const std::vector<LineageEntry>* Lookup(uint64_t out_id) const;
+
+  /// Drops records for outputs that ended before `t` (state bounded by
+  /// reference-timestamp monotonicity).
+  void ExpireBefore(double t);
+
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+ private:
+  struct OutputRecord {
+    Interval out_range;
+    std::vector<LineageEntry> causes;
+  };
+  std::map<uint64_t, OutputRecord> records_;
+};
+
+/// Allocates process-wide unique segment ids.
+uint64_t NextSegmentId();
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_VALIDATION_LINEAGE_H_

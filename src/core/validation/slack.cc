@@ -1,0 +1,63 @@
+#include "core/validation/slack.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+AlternatingValidator::AlternatingValidator(const BoundRegistry* bounds)
+    : bounds_(bounds) {
+  PULSE_CHECK(bounds_ != nullptr);
+}
+
+void AlternatingValidator::ObserveResult(Key key, bool produced_output,
+                                         double slack) {
+  KeyState& state = states_[key];
+  if (produced_output) {
+    state.mode = ValidationMode::kAccuracy;
+    state.slack = 0.0;
+  } else {
+    state.mode = ValidationMode::kSlack;
+    state.slack = slack;
+  }
+}
+
+bool AlternatingValidator::Validate(Key key, std::string_view attribute,
+                                    double predicted, double actual) {
+  auto it = states_.find(key);
+  const KeyState state = (it != states_.end()) ? it->second : KeyState{};
+  const double deviation = std::abs(actual - predicted);
+  if (state.mode == ValidationMode::kAccuracy) {
+    ++accuracy_checks_;
+    if (bounds_->Within(key, attribute, predicted, actual)) return true;
+    ++violations_;
+    return false;
+  }
+  ++slack_checks_;
+  // A deviation below the slack cannot flip any predicate row (max-norm
+  // argument, Section IV), so the tuple is ignorable.
+  if (deviation < state.slack) return true;
+  ++violations_;
+  return false;
+}
+
+ValidationMode AlternatingValidator::mode(Key key) const {
+  auto it = states_.find(key);
+  return it == states_.end() ? ValidationMode::kAccuracy : it->second.mode;
+}
+
+double AlternatingValidator::slack(Key key) const {
+  auto it = states_.find(key);
+  if (it == states_.end()) return std::numeric_limits<double>::infinity();
+  return it->second.slack;
+}
+
+void AlternatingValidator::ResetCounters() {
+  accuracy_checks_ = 0;
+  slack_checks_ = 0;
+  violations_ = 0;
+}
+
+}  // namespace pulse

@@ -1,0 +1,67 @@
+#ifndef PULSE_CORE_VALIDATION_SLACK_H_
+#define PULSE_CORE_VALIDATION_SLACK_H_
+
+#include <cstdint>
+#include <string_view>
+#include <map>
+#include <string>
+
+#include "core/validation/bounds.h"
+#include "model/segment.h"
+
+namespace pulse {
+
+/// Validation mode per entity (paper Section IV): Pulse alternates
+/// between accuracy validation (the previous input produced results, so
+/// arriving tuples are checked against inverted accuracy bounds) and
+/// slack validation (the previous input yielded a null result; arriving
+/// tuples are ignored until their deviation from the model exceeds the
+/// slack — the distance to the nearest predicate flip).
+enum class ValidationMode { kAccuracy, kSlack };
+
+/// Per-key validation state machine with counters. This is the component
+/// that lets the solver run "infrequently and only in the presence of
+/// errors, or no previously known results".
+class AlternatingValidator {
+ public:
+  /// `bounds` must outlive the validator.
+  explicit AlternatingValidator(const BoundRegistry* bounds);
+
+  /// Records the outcome of the last solve for `key`: whether it produced
+  /// output, and — when it did not — the slack of the equation system.
+  void ObserveResult(Key key, bool produced_output, double slack);
+
+  /// Checks one arriving tuple value against the model prediction.
+  /// Returns true when the tuple is *explained*: within the accuracy
+  /// margin (accuracy mode) or within the slack (slack mode). An
+  /// explained tuple is dropped without touching the solver. False means
+  /// a violation: the caller must rebuild the model and reprocess.
+  bool Validate(Key key, std::string_view attribute, double predicted,
+                double actual);
+
+  ValidationMode mode(Key key) const;
+
+  /// Registered slack for `key` (infinity when never observed null).
+  double slack(Key key) const;
+
+  uint64_t accuracy_checks() const { return accuracy_checks_; }
+  uint64_t slack_checks() const { return slack_checks_; }
+  uint64_t violations() const { return violations_; }
+  void ResetCounters();
+
+ private:
+  struct KeyState {
+    ValidationMode mode = ValidationMode::kAccuracy;
+    double slack = 0.0;
+  };
+
+  const BoundRegistry* bounds_;
+  std::map<Key, KeyState> states_;
+  uint64_t accuracy_checks_ = 0;
+  uint64_t slack_checks_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_VALIDATION_SLACK_H_

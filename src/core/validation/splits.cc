@@ -1,0 +1,84 @@
+#include "core/validation/splits.h"
+
+#include <cmath>
+
+namespace pulse {
+
+namespace {
+
+// Mean |d model/dt| of `attribute` over the output validity range — the
+// gradient weight of one input. Falls back to 0 for missing attributes
+// (unmodeled inputs cannot drift).
+double GradientWeight(const Segment& input, const std::string& attribute,
+                      const Interval& range) {
+  auto it = input.attributes.find(attribute);
+  if (it == input.attributes.end()) return 0.0;
+  const Polynomial d = it->second.Derivative();
+  if (d.IsZero()) return 0.0;
+  if (range.Length() <= 0.0) return std::abs(d.Evaluate(range.lo));
+  // Mean absolute derivative approximated by |mean derivative| plus the
+  // endpoint magnitudes (cheap, conservative-enough weighting).
+  const double mean = std::abs(d.Integrate(range.lo, range.hi)) /
+                      range.Length();
+  const double ends =
+      0.5 * (std::abs(d.Evaluate(range.lo)) + std::abs(d.Evaluate(range.hi)));
+  return std::max(mean, ends);
+}
+
+}  // namespace
+
+Result<std::vector<AllocatedBound>> EquiSplit::Apportion(
+    const SplitContext& ctx) const {
+  if (ctx.inputs.empty()) {
+    return Status::InvalidArgument("EquiSplit: no causing inputs");
+  }
+  const double n = static_cast<double>(ctx.inputs.size()) *
+                   static_cast<double>(std::max<size_t>(1, ctx.num_dependencies));
+  std::vector<AllocatedBound> out;
+  out.reserve(ctx.inputs.size());
+  for (const Segment* input : ctx.inputs) {
+    out.push_back(AllocatedBound{input->key, ctx.input_attribute,
+                                 ctx.margin / n});
+  }
+  return out;
+}
+
+Result<std::vector<AllocatedBound>> GradientSplit::Apportion(
+    const SplitContext& ctx) const {
+  if (ctx.inputs.empty()) {
+    return Status::InvalidArgument("GradientSplit: no causing inputs");
+  }
+  const Interval range =
+      ctx.output != nullptr ? ctx.output->range : ctx.inputs[0]->range;
+  std::vector<double> weights;
+  weights.reserve(ctx.inputs.size());
+  double total = 0.0;
+  for (const Segment* input : ctx.inputs) {
+    const double w = GradientWeight(*input, ctx.input_attribute, range);
+    weights.push_back(w);
+    total += w;
+  }
+  const double deps =
+      static_cast<double>(std::max<size_t>(1, ctx.num_dependencies));
+  std::vector<AllocatedBound> out;
+  out.reserve(ctx.inputs.size());
+  if (total <= 0.0) {
+    // All models constant: degenerate to equi-split.
+    const double n = static_cast<double>(ctx.inputs.size()) * deps;
+    for (const Segment* input : ctx.inputs) {
+      out.push_back(AllocatedBound{input->key, ctx.input_attribute,
+                                   ctx.margin / n});
+    }
+    return out;
+  }
+  // Proportional shares sum to margin/deps: conservative (the allocated
+  // input ranges never exceed the output range, Section IV-C).
+  for (size_t i = 0; i < ctx.inputs.size(); ++i) {
+    const double share = weights[i] / total;
+    out.push_back(AllocatedBound{ctx.inputs[i]->key, ctx.input_attribute,
+                                 ctx.margin * share / deps});
+  }
+  return out;
+}
+
+}  // namespace pulse

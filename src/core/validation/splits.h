@@ -1,0 +1,103 @@
+#ifndef PULSE_CORE_VALIDATION_SPLITS_H_
+#define PULSE_CORE_VALIDATION_SPLITS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/segment.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Inputs to a split heuristic (paper Section IV-C): the output segment
+/// (its key ok and coefficients oc), the output bound, and the causing
+/// input segments (keys ikp..ikq with coefficients ica). The result
+/// allocates a bound to exactly the keys that caused the output.
+struct SplitContext {
+  /// The output segment whose bound is being apportioned.
+  const Segment* output = nullptr;
+  /// The output attribute the bound applies to.
+  std::string attribute;
+  /// Symmetric output margin (half the [ol, ou] width).
+  double margin = 0.0;
+  /// Causing input segments (from lineage).
+  std::vector<const Segment*> inputs;
+  /// The attribute on the inputs that feeds the output attribute.
+  std::string input_attribute;
+  /// |D(o)| = |translations(o) ∪ inferences(o)|: how many attribute
+  /// dependencies share this bound (Section IV-B/IV-C).
+  size_t num_dependencies = 1;
+};
+
+/// Allocation of a symmetric margin to one input (key, attribute).
+/// `port` and `segment_id` identify the causing input segment so whole-
+/// query inversion can keep walking upstream.
+struct AllocatedBound {
+  Key key = 0;
+  std::string attribute;
+  double margin = 0.0;
+  size_t port = 0;
+  uint64_t segment_id = 0;
+};
+
+/// Strategy apportioning an output bound across the causing inputs.
+/// Implementations must be conservative: two-sided input margins whose
+/// effect on the output cannot exceed the output margin (Section IV-C).
+/// Pulse also exposes this interface for user-defined heuristics.
+class SplitHeuristic {
+ public:
+  virtual ~SplitHeuristic() = default;
+  virtual std::string name() const = 0;
+  virtual Result<std::vector<AllocatedBound>> Apportion(
+      const SplitContext& ctx) const = 0;
+};
+
+/// Equi-split (paper Section IV-C): uniform allocation,
+///   margin_i = margin / (|inputs| * |D(o)|).
+class EquiSplit : public SplitHeuristic {
+ public:
+  std::string name() const override { return "equi"; }
+  Result<std::vector<AllocatedBound>> Apportion(
+      const SplitContext& ctx) const override;
+};
+
+/// Gradient split (paper Section IV-C): weights each input by the
+/// magnitude of its model's time derivative over the output's validity
+/// range, normalized across inputs — fast-moving models receive a larger
+/// share of the bound, slow models a tight one, which postpones
+/// violations on the attributes most likely to drift.
+class GradientSplit : public SplitHeuristic {
+ public:
+  std::string name() const override { return "gradient"; }
+  Result<std::vector<AllocatedBound>> Apportion(
+      const SplitContext& ctx) const override;
+};
+
+/// Adapter for user-defined split functions (the paper exposes exactly
+/// this extension point: "Pulse supports the specification of
+/// user-defined split heuristics by exposing a function interface").
+class UserSplit : public SplitHeuristic {
+ public:
+  using Fn = std::function<Result<std::vector<AllocatedBound>>(
+      const SplitContext&)>;
+
+  UserSplit(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  Result<std::vector<AllocatedBound>> Apportion(
+      const SplitContext& ctx) const override {
+    return fn_(ctx);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_VALIDATION_SPLITS_H_

@@ -1,0 +1,98 @@
+#ifndef PULSE_ENGINE_AGGREGATE_H_
+#define PULSE_ENGINE_AGGREGATE_H_
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace pulse {
+
+/// Aggregate functions of the discrete engine. Pulse's continuous
+/// transform covers min/max/sum/avg; count is frequency-based and exists
+/// only here (paper Section III-B, "Transformation Limitations").
+enum class AggFn { kMin, kMax, kSum, kAvg, kCount };
+
+const char* AggFnToString(AggFn fn);
+
+/// Sliding-window specification: StreamSQL's "[size w advance s]".
+/// A window closing at time c covers [c - size, c).
+struct WindowSpec {
+  double size = 1.0;
+  double slide = 1.0;
+};
+
+/// Incremental accumulator for one open window.
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+
+  void Update(double v) {
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++count;
+  }
+
+  /// Final value under `fn`; empty windows yield NaN except count = 0.
+  double Finalize(AggFn fn) const;
+};
+
+/// Event-time sliding-window aggregate over one value field.
+///
+/// Window k closes at origin + size + k*slide where origin is the first
+/// tuple's timestamp. Each arriving tuple updates every open window whose
+/// range contains it — the per-tuple cost is linear in size/slide, the
+/// behaviour the paper's Fig. 7i measures for the discrete baseline.
+/// Results are emitted when event time passes a window's close.
+class WindowedAggregate : public Operator {
+ public:
+  /// `output_field` names the single output column (plus the window close
+  /// time as the tuple timestamp).
+  WindowedAggregate(std::string name,
+                    std::shared_ptr<const Schema> input_schema,
+                    WindowSpec window, AggFn fn, size_t value_field,
+                    std::string output_field = "agg");
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return output_schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+  Status AdvanceTime(double t, std::vector<Tuple>* out) override;
+  Status Flush(std::vector<Tuple>* out) override;
+
+  size_t open_windows() const { return windows_.size(); }
+
+ private:
+  struct OpenWindow {
+    double close = 0.0;
+    AggState state;
+  };
+
+  // Creates windows so that every window containing `t` exists.
+  void EnsureWindows(double t);
+  // Emits and retires windows whose close time is <= `t`.
+  void CloseThrough(double t, std::vector<Tuple>* out);
+  void EmitWindow(const OpenWindow& w, std::vector<Tuple>* out);
+
+  std::shared_ptr<const Schema> input_schema_;
+  std::shared_ptr<const Schema> output_schema_;
+  WindowSpec window_;
+  AggFn fn_;
+  size_t value_field_;
+
+  bool have_origin_ = false;
+  double next_close_ = 0.0;  // close time of the next window to create
+  std::deque<OpenWindow> windows_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_AGGREGATE_H_

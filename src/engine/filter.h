@@ -1,0 +1,91 @@
+#ifndef PULSE_ENGINE_FILTER_H_
+#define PULSE_ENGINE_FILTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+#include "math/roots.h"
+
+namespace pulse {
+
+/// One side of a structured comparison: a field reference or a constant.
+struct Comparand {
+  enum class Kind { kField, kConstant };
+  Kind kind = Kind::kConstant;
+  size_t field = 0;
+  Value constant;
+
+  static Comparand FieldRef(size_t index) {
+    Comparand c;
+    c.kind = Kind::kField;
+    c.field = index;
+    return c;
+  }
+  static Comparand Const(Value v) {
+    Comparand c;
+    c.kind = Kind::kConstant;
+    c.constant = std::move(v);
+    return c;
+  }
+
+  const Value& Resolve(const Tuple& t) const {
+    return kind == Kind::kField ? t.at(field) : constant;
+  }
+};
+
+/// A structured predicate term `lhs R rhs` over tuple fields. Structured
+/// (rather than opaque lambda) terms are what the Pulse query transform
+/// rewrites into difference equations.
+struct FieldComparison {
+  size_t lhs_field = 0;
+  CmpOp op = CmpOp::kEq;
+  Comparand rhs;
+};
+
+/// Evaluates one comparison against a tuple.
+bool EvaluateComparison(const Tuple& tuple, const FieldComparison& cmp);
+
+/// Discrete stream filter: passes tuples satisfying the conjunction of
+/// all comparisons. Schema passes through unchanged.
+class ComparisonFilter : public Operator {
+ public:
+  ComparisonFilter(std::string name, std::shared_ptr<const Schema> schema,
+                   std::vector<FieldComparison> predicate);
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<FieldComparison> predicate_;
+};
+
+/// Filter with an arbitrary boolean function, for predicates the
+/// structured form cannot express (used by baseline-only queries).
+class LambdaFilter : public Operator {
+ public:
+  LambdaFilter(std::string name, std::shared_ptr<const Schema> schema,
+               std::function<bool(const Tuple&)> predicate);
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::function<bool(const Tuple&)> predicate_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_FILTER_H_

@@ -1,0 +1,63 @@
+#ifndef PULSE_ENGINE_GROUP_BY_H_
+#define PULSE_ENGINE_GROUP_BY_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/aggregate.h"
+#include "engine/operator.h"
+
+namespace pulse {
+
+/// Hash/tree-grouped sliding-window aggregate: one AggState per group per
+/// open window. Output tuples carry (group key, aggregate value) with the
+/// window close time as timestamp. This is the discrete counterpart of
+/// Pulse's per-group equation-system state (paper Fig. 3, "Aggregate
+/// group-by": hash-based group-by, state for f per group).
+class GroupedWindowedAggregate : public Operator {
+ public:
+  GroupedWindowedAggregate(std::string name,
+                           std::shared_ptr<const Schema> input_schema,
+                           WindowSpec window, AggFn fn, size_t value_field,
+                           size_t group_field,
+                           std::string output_field = "agg");
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return output_schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+  Status AdvanceTime(double t, std::vector<Tuple>* out) override;
+  Status Flush(std::vector<Tuple>* out) override;
+
+  size_t open_windows() const { return windows_.size(); }
+
+ private:
+  struct OpenWindow {
+    double close = 0.0;
+    std::map<Value, AggState> groups;
+  };
+
+  void EnsureWindows(double t);
+  void CloseThrough(double t, std::vector<Tuple>* out);
+  void EmitWindow(const OpenWindow& w, std::vector<Tuple>* out);
+
+  std::shared_ptr<const Schema> input_schema_;
+  std::shared_ptr<const Schema> output_schema_;
+  WindowSpec window_;
+  AggFn fn_;
+  size_t value_field_;
+  size_t group_field_;
+
+  bool have_origin_ = false;
+  double next_close_ = 0.0;
+  std::deque<OpenWindow> windows_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_GROUP_BY_H_

@@ -1,0 +1,72 @@
+#ifndef PULSE_ENGINE_JOIN_H_
+#define PULSE_ENGINE_JOIN_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+#include "math/roots.h"
+
+namespace pulse {
+
+/// A structured join predicate term comparing a left field to a right
+/// field: left.lhs_field R right.rhs_field.
+struct JoinComparison {
+  size_t lhs_field = 0;
+  CmpOp op = CmpOp::kEq;
+  size_t rhs_field = 0;
+};
+
+/// Nested-loops sliding-window join: the paper's discrete baseline
+/// (Section V-A, Fig. 5iii / 7ii). Each side buffers tuples for
+/// `window_seconds`; an arrival on one side probes the other side's whole
+/// buffer, giving the quadratic comparison count the paper observes.
+///
+/// The predicate has a structured conjunction plus an optional extra
+/// lambda (for e.g. "R.id <> S.id" guards combined with distance terms).
+class SlidingWindowJoin : public Operator {
+ public:
+  SlidingWindowJoin(std::string name,
+                    std::shared_ptr<const Schema> left_schema,
+                    std::shared_ptr<const Schema> right_schema,
+                    double window_seconds,
+                    std::vector<JoinComparison> predicate,
+                    std::function<bool(const Tuple&, const Tuple&)>
+                        extra_predicate = nullptr,
+                    const std::string& left_prefix = "left.",
+                    const std::string& right_prefix = "right.");
+
+  size_t num_inputs() const override { return 2; }
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return output_schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+  Status AdvanceTime(double t, std::vector<Tuple>* out) override;
+
+  size_t left_buffer_size() const { return left_.size(); }
+  size_t right_buffer_size() const { return right_.size(); }
+
+ private:
+  bool Matches(const Tuple& left, const Tuple& right);
+  void Expire(double now);
+
+  std::shared_ptr<const Schema> left_schema_;
+  std::shared_ptr<const Schema> right_schema_;
+  std::shared_ptr<const Schema> output_schema_;
+  double window_seconds_;
+  std::vector<JoinComparison> predicate_;
+  std::function<bool(const Tuple&, const Tuple&)> extra_predicate_;
+  std::deque<Tuple> left_;
+  std::deque<Tuple> right_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_JOIN_H_

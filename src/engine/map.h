@@ -1,0 +1,46 @@
+#ifndef PULSE_ENGINE_MAP_H_
+#define PULSE_ENGINE_MAP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace pulse {
+
+/// One output column of a Map: a name, a type and an expression over the
+/// input tuple. Simple projections use FieldExpr; computed columns (e.g.
+/// the MACD "S.ap - L.ap as diff") use arbitrary expressions.
+struct MapColumn {
+  Field field;
+  std::function<Value(const Tuple&)> expr;
+
+  /// Pass-through projection of input column `index`.
+  static MapColumn FieldExpr(Field out_field, size_t index) {
+    return MapColumn{std::move(out_field),
+                     [index](const Tuple& t) { return t.at(index); }};
+  }
+};
+
+/// Stateless 1-to-1 map/projection operator.
+class MapOperator : public Operator {
+ public:
+  MapOperator(std::string name, std::vector<MapColumn> columns);
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+ private:
+  std::vector<MapColumn> columns_;
+  std::shared_ptr<const Schema> schema_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_MAP_H_

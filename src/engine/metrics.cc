@@ -1,0 +1,15 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+
+namespace pulse {
+
+std::string OperatorMetrics::ToString() const {
+  std::ostringstream os;
+  os << "in=" << tuples_in << " out=" << tuples_out
+     << " invocations=" << invocations << " comparisons=" << comparisons
+     << " cpu_s=" << processing_seconds();
+  return os.str();
+}
+
+}  // namespace pulse

@@ -1,0 +1,33 @@
+#ifndef PULSE_ENGINE_METRICS_H_
+#define PULSE_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pulse {
+
+/// Per-operator counters used by the benchmark harness to report the
+/// paper's processing-cost and throughput series. Counters are plain
+/// (single-threaded executor).
+struct OperatorMetrics {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t invocations = 0;
+  /// Predicate/state evaluations: the join microbenchmark's "number of
+  /// comparisons" driver (paper Fig. 5iii discussion).
+  uint64_t comparisons = 0;
+  /// Wall-clock nanoseconds spent inside Process/AdvanceTime.
+  uint64_t processing_ns = 0;
+
+  void Reset() { *this = OperatorMetrics(); }
+
+  double processing_seconds() const {
+    return static_cast<double>(processing_ns) * 1e-9;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_METRICS_H_

@@ -1,0 +1,11 @@
+#include "engine/operator.h"
+
+namespace pulse {
+
+Status Operator::AdvanceTime(double /*t*/, std::vector<Tuple>* /*out*/) {
+  return Status::OK();
+}
+
+Status Operator::Flush(std::vector<Tuple>* /*out*/) { return Status::OK(); }
+
+}  // namespace pulse

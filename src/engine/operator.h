@@ -1,0 +1,62 @@
+#ifndef PULSE_ENGINE_OPERATOR_H_
+#define PULSE_ENGINE_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/schema.h"
+#include "engine/tuple.h"
+#include "util/status.h"
+
+namespace pulse {
+
+/// Base class of all discrete stream operators (the Borealis-style tuple
+/// substrate the paper builds on and benchmarks against).
+///
+/// Operators are push-based and single-threaded: the executor calls
+/// Process() per input tuple and routes emitted tuples downstream.
+/// Event time advances with tuple timestamps; AdvanceTime() delivers
+/// punctuation so windowed operators can close windows even when one
+/// input goes quiet. Flush() drains terminal state at end-of-stream.
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of input ports (1 for unary operators, 2 for joins).
+  virtual size_t num_inputs() const { return 1; }
+
+  /// Output schema; resolved at construction from input schema(s).
+  virtual std::shared_ptr<const Schema> output_schema() const = 0;
+
+  /// Consumes one tuple on `port`, appending any outputs to `out`.
+  virtual Status Process(size_t port, const Tuple& input,
+                         std::vector<Tuple>* out) = 0;
+
+  /// Observes that event time has reached `t` (punctuation). Default:
+  /// no-op.
+  virtual Status AdvanceTime(double t, std::vector<Tuple>* out);
+
+  /// End-of-stream: emit any residual state. Default: no-op.
+  virtual Status Flush(std::vector<Tuple>* out);
+
+  OperatorMetrics& metrics() { return metrics_; }
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  OperatorMetrics metrics_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_OPERATOR_H_

@@ -1,0 +1,85 @@
+#include "engine/plan.h"
+
+#include <deque>
+
+namespace pulse {
+
+QueryPlan::NodeId QueryPlan::AddOperator(std::shared_ptr<Operator> op) {
+  nodes_.push_back(std::move(op));
+  edges_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+Status QueryPlan::Connect(NodeId from, NodeId to, size_t port) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: node id out of range");
+  }
+  if (port >= nodes_[to]->num_inputs()) {
+    return Status::InvalidArgument("Connect: port " + std::to_string(port) +
+                                   " out of range for operator '" +
+                                   nodes_[to]->name() + "'");
+  }
+  edges_[from].push_back(Edge{to, port});
+  return Status::OK();
+}
+
+Status QueryPlan::BindSource(const std::string& stream, NodeId to,
+                             size_t port) {
+  if (to >= nodes_.size()) {
+    return Status::InvalidArgument("BindSource: node id out of range");
+  }
+  if (port >= nodes_[to]->num_inputs()) {
+    return Status::InvalidArgument("BindSource: port out of range");
+  }
+  sources_[stream].push_back(Edge{to, port});
+  return Status::OK();
+}
+
+const std::vector<QueryPlan::Edge>& QueryPlan::source_bindings(
+    const std::string& stream) const {
+  static const std::vector<Edge>* empty = new std::vector<Edge>();
+  auto it = sources_.find(stream);
+  return it == sources_.end() ? *empty : it->second;
+}
+
+std::vector<std::string> QueryPlan::source_names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, _] : sources_) names.push_back(name);
+  return names;
+}
+
+std::vector<QueryPlan::NodeId> QueryPlan::SinkNodes() const {
+  std::vector<NodeId> sinks;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (edges_[id].empty()) sinks.push_back(id);
+  }
+  return sinks;
+}
+
+Result<std::vector<QueryPlan::NodeId>> QueryPlan::TopologicalOrder() const {
+  std::vector<size_t> indegree(nodes_.size(), 0);
+  for (const auto& out : edges_) {
+    for (const Edge& e : out) ++indegree[e.to];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const Edge& e : edges_[id]) {
+      if (--indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("query plan contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace pulse

@@ -1,0 +1,65 @@
+#ifndef PULSE_ENGINE_PLAN_H_
+#define PULSE_ENGINE_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// A dataflow query plan: a DAG of operators plus bindings from named
+/// input streams to operator input ports. Built once, then executed by an
+/// Executor. Node ids are dense indices assigned by AddOperator.
+class QueryPlan {
+ public:
+  using NodeId = size_t;
+
+  struct Edge {
+    NodeId to = 0;
+    size_t port = 0;
+  };
+
+  QueryPlan() = default;
+  QueryPlan(QueryPlan&&) = default;
+  QueryPlan& operator=(QueryPlan&&) = default;
+
+  /// Registers an operator; returns its node id.
+  NodeId AddOperator(std::shared_ptr<Operator> op);
+
+  /// Routes `from`'s output tuples into input `port` of `to`.
+  Status Connect(NodeId from, NodeId to, size_t port = 0);
+
+  /// Routes tuples pushed on the named external stream into `to`:`port`.
+  /// A stream may feed multiple operators (fan-out).
+  Status BindSource(const std::string& stream, NodeId to, size_t port = 0);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  Operator* node(NodeId id) const { return nodes_[id].get(); }
+  const std::vector<Edge>& downstream(NodeId id) const {
+    return edges_[id];
+  }
+  /// Bindings for a named source stream (empty when unknown).
+  const std::vector<Edge>& source_bindings(const std::string& stream) const;
+
+  /// All registered source stream names.
+  std::vector<std::string> source_names() const;
+
+  /// Nodes with no outgoing edges: their outputs are the query result.
+  std::vector<NodeId> SinkNodes() const;
+
+  /// Topological order of nodes; fails on cycles.
+  Result<std::vector<NodeId>> TopologicalOrder() const;
+
+ private:
+  std::vector<std::shared_ptr<Operator>> nodes_;
+  std::vector<std::vector<Edge>> edges_;
+  std::map<std::string, std::vector<Edge>> sources_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_PLAN_H_

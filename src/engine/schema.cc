@@ -1,0 +1,47 @@
+#include "engine/schema.h"
+
+#include <sstream>
+
+namespace pulse {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("schema has no field '" + name + "'");
+  }
+  return it->second;
+}
+
+std::shared_ptr<const Schema> Schema::Concat(const Schema& left,
+                                             const Schema& right,
+                                             const std::string& left_prefix,
+                                             const std::string& right_prefix) {
+  std::vector<Field> fields;
+  fields.reserve(left.num_fields() + right.num_fields());
+  for (const Field& f : left.fields()) {
+    fields.push_back({left_prefix + f.name, f.type});
+  }
+  for (const Field& f : right.fields()) {
+    fields.push_back({right_prefix + f.name, f.type});
+  }
+  return Make(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeToString(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pulse

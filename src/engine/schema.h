@@ -1,0 +1,59 @@
+#ifndef PULSE_ENGINE_SCHEMA_H_
+#define PULSE_ENGINE_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// One column of a stream schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// An immutable stream schema shared by all tuples of a stream. Schemas
+/// are resolved once at plan-build time; operators then address fields by
+/// index, keeping the per-tuple hot path name-free.
+class Schema {
+ public:
+  explicit Schema(std::vector<Field> fields);
+
+  /// Shared immutable schema.
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column called `name`; NotFound when absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Concatenation for join outputs. Column names are prefixed
+  /// ("left.x", "right.x") to avoid collisions.
+  static std::shared_ptr<const Schema> Concat(
+      const Schema& left, const Schema& right,
+      const std::string& left_prefix = "left.",
+      const std::string& right_prefix = "right.");
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_SCHEMA_H_

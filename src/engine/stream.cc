@@ -1,0 +1,32 @@
+#include "engine/stream.h"
+
+#include "util/logging.h"
+
+namespace pulse {
+
+Stream::Stream(std::string name, std::shared_ptr<const Schema> schema,
+               size_t capacity)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      capacity_(capacity) {
+  PULSE_CHECK(schema_ != nullptr);
+}
+
+Status Stream::Push(Tuple tuple) {
+  if (capacity_ > 0 && queue_.size() >= capacity_) {
+    return Status::Capacity("stream '" + name_ + "' full (" +
+                            std::to_string(capacity_) + ")");
+  }
+  queue_.push_back(std::move(tuple));
+  if (queue_.size() > high_watermark_) high_watermark_ = queue_.size();
+  return Status::OK();
+}
+
+bool Stream::Pop(Tuple* tuple) {
+  if (queue_.empty()) return false;
+  *tuple = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+}  // namespace pulse

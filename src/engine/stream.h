@@ -1,0 +1,47 @@
+#ifndef PULSE_ENGINE_STREAM_H_
+#define PULSE_ENGINE_STREAM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "engine/schema.h"
+#include "engine/tuple.h"
+#include "util/status.h"
+
+namespace pulse {
+
+/// A named, schema-typed tuple queue. Streams connect external sources to
+/// query plans and model the engine's admission queues: when a bounded
+/// stream overflows, Push fails with Capacity — the "system is no longer
+/// stable, queues grow" regime the paper reports at saturation
+/// (Section V-C).
+class Stream {
+ public:
+  /// capacity == 0 means unbounded.
+  Stream(std::string name, std::shared_ptr<const Schema> schema,
+         size_t capacity = 0);
+
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+
+  Status Push(Tuple tuple);
+  bool Pop(Tuple* tuple);
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Largest queue length observed (congestion indicator).
+  size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const Schema> schema_;
+  size_t capacity_;
+  size_t high_watermark_ = 0;
+  std::deque<Tuple> queue_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_STREAM_H_

@@ -1,0 +1,29 @@
+#include "engine/tuple.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pulse {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  Tuple out;
+  out.timestamp = std::max(left.timestamp, right.timestamp);
+  out.values.reserve(left.values.size() + right.values.size());
+  out.values.insert(out.values.end(), left.values.begin(), left.values.end());
+  out.values.insert(out.values.end(), right.values.begin(),
+                    right.values.end());
+  return out;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "@" << timestamp << " (";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pulse

@@ -1,0 +1,36 @@
+#ifndef PULSE_ENGINE_TUPLE_H_
+#define PULSE_ENGINE_TUPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/value.h"
+
+namespace pulse {
+
+/// A discrete stream tuple. `timestamp` is the paper's reference temporal
+/// attribute: monotonically non-decreasing per stream and globally
+/// synchronized across sources (Section II-B). Field layout is dictated by
+/// the stream's Schema.
+struct Tuple {
+  double timestamp = 0.0;
+  std::vector<Value> values;
+
+  Tuple() = default;
+  Tuple(double ts, std::vector<Value> vals)
+      : timestamp(ts), values(std::move(vals)) {}
+
+  const Value& at(size_t i) const { return values[i]; }
+  Value& at(size_t i) { return values[i]; }
+
+  /// Concatenates two tuples (join output); the later timestamp wins.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  std::string ToString() const;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_TUPLE_H_

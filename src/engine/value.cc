@@ -1,0 +1,40 @@
+#include "engine/value.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pulse {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    PULSE_CHECK(is_string() && other.is_string());
+    return as_string() < other.as_string();
+  }
+  return as_double() < other.as_double();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(as_int64());
+    case ValueType::kDouble:
+      return FormatDouble(as_double());
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+}  // namespace pulse

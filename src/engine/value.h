@@ -1,0 +1,68 @@
+#ifndef PULSE_ENGINE_VALUE_H_
+#define PULSE_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace pulse {
+
+/// Runtime type of a tuple field.
+enum class ValueType { kInt64, kDouble, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed tuple field. The discrete engine processes generic
+/// relational tuples; Pulse's modeled attributes are always kDouble, keys
+/// are kInt64, and symbols/labels are kString.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                 // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                  // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  // Guard against the bool->int64 implicit surprise.
+  Value(bool) = delete;
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_int64() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 fields coerce to double; strings are an error
+  /// (callers validate types at plan-build time).
+  double as_double() const {
+    if (is_int64()) return static_cast<double>(std::get<int64_t>(v_));
+    return std::get<double>(v_);
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering within the same type; numeric types compare numerically
+  /// across int64/double.
+  bool operator<(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_VALUE_H_

@@ -1,0 +1,202 @@
+#include "math/interval_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+
+// Orders lower endpoints; at equal values a closed endpoint precedes an
+// open one (it covers more on the left).
+bool LowerEndpointLess(const Interval& a, const Interval& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return !a.lo_open && b.lo_open;
+}
+
+}  // namespace
+
+Interval Interval::Intersect(const Interval& other) const {
+  Interval out;
+  if (lo > other.lo) {
+    out.lo = lo;
+    out.lo_open = lo_open;
+  } else if (other.lo > lo) {
+    out.lo = other.lo;
+    out.lo_open = other.lo_open;
+  } else {
+    out.lo = lo;
+    out.lo_open = lo_open || other.lo_open;
+  }
+  if (hi < other.hi) {
+    out.hi = hi;
+    out.hi_open = hi_open;
+  } else if (other.hi < hi) {
+    out.hi = other.hi;
+    out.hi_open = other.hi_open;
+  } else {
+    out.hi = hi;
+    out.hi_open = hi_open || other.hi_open;
+  }
+  return out;
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  if (IsPoint()) {
+    os << "{" << lo << "}";
+    return os.str();
+  }
+  os << (lo_open ? "(" : "[") << lo << ", " << hi << (hi_open ? ")" : "]");
+  return os.str();
+}
+
+IntervalSet IntervalSet::FromIntervals(std::vector<Interval> intervals) {
+  IntervalSet out;
+  out.intervals_ = std::move(intervals);
+  out.Normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::All() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return IntervalSet(Interval::Closed(-kInf, kInf));
+}
+
+void IntervalSet::Add(const Interval& iv) {
+  if (iv.IsEmpty()) return;
+  intervals_.push_back(iv);
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  std::vector<Interval> kept;
+  kept.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    if (!iv.IsEmpty()) kept.push_back(iv);
+  }
+  std::sort(kept.begin(), kept.end(), LowerEndpointLess);
+
+  std::vector<Interval> merged;
+  for (const Interval& iv : kept) {
+    if (merged.empty()) {
+      merged.push_back(iv);
+      continue;
+    }
+    Interval& last = merged.back();
+    // Mergeable when the intervals overlap or touch at a covered point:
+    // [a,b) + [b,c) touch at b which [b,c) covers; (a,b) + (b,c) leave b
+    // uncovered and must stay separate.
+    const bool overlaps = iv.lo < last.hi;
+    const bool touches = iv.lo == last.hi && !(iv.lo_open && last.hi_open);
+    if (overlaps || touches) {
+      if (iv.hi > last.hi) {
+        last.hi = iv.hi;
+        last.hi_open = iv.hi_open;
+      } else if (iv.hi == last.hi && !iv.hi_open) {
+        last.hi_open = false;
+      }
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return FromIntervals(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    Interval cand = intervals_[i].Intersect(other.intervals_[j]);
+    if (!cand.IsEmpty()) out.push_back(cand);
+    // Advance whichever interval ends first.
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    if (a.hi < b.hi || (a.hi == b.hi && a.hi_open && !b.hi_open)) {
+      ++i;
+    } else if (b.hi < a.hi || (a.hi == b.hi && b.hi_open && !a.hi_open)) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return FromIntervals(std::move(out));
+}
+
+IntervalSet IntervalSet::Complement(const Interval& domain) const {
+  if (domain.IsEmpty()) return IntervalSet();
+  std::vector<Interval> out;
+  // Walk the clipped intervals; gaps between them (with flipped endpoint
+  // openness) form the complement.
+  double cursor = domain.lo;
+  bool cursor_open = domain.lo_open;
+  for (const Interval& raw : intervals_) {
+    Interval iv = raw.Intersect(domain);
+    if (iv.IsEmpty()) continue;
+    Interval gap{cursor, iv.lo, cursor_open, !iv.lo_open};
+    if (!gap.IsEmpty()) out.push_back(gap);
+    cursor = iv.hi;
+    cursor_open = !iv.hi_open;
+  }
+  Interval tail{cursor, domain.hi, cursor_open, domain.hi_open};
+  if (!tail.IsEmpty()) out.push_back(tail);
+  return FromIntervals(std::move(out));
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  if (IsEmpty()) return IntervalSet();
+  const Interval hull{Min(), Max(), false, false};
+  return Intersect(other.Complement(hull));
+}
+
+bool IntervalSet::Contains(double t) const {
+  // Binary search for the first interval whose upper endpoint reaches t.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](const Interval& iv, double value) { return iv.hi < value; });
+  for (; it != intervals_.end() && it->lo <= t; ++it) {
+    if (it->Contains(t)) return true;
+  }
+  return false;
+}
+
+double IntervalSet::TotalLength() const {
+  double total = 0.0;
+  for (const Interval& iv : intervals_) total += iv.Length();
+  return total;
+}
+
+double IntervalSet::Min() const {
+  PULSE_CHECK(!intervals_.empty());
+  return intervals_.front().lo;
+}
+
+double IntervalSet::Max() const {
+  PULSE_CHECK(!intervals_.empty());
+  return intervals_.back().hi;
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << intervals_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pulse

@@ -1,0 +1,131 @@
+#ifndef PULSE_MATH_INTERVAL_SET_H_
+#define PULSE_MATH_INTERVAL_SET_H_
+
+#include <string>
+#include <vector>
+
+namespace pulse {
+
+/// A real interval with independently open/closed endpoints.
+///
+/// Equation-system solutions need all four flavours: segment validity
+/// ranges are half-open [tl, tu) (paper Section II-B), inequality
+/// predicates produce open or closed ranges depending on strictness, and
+/// equality predicates produce degenerate point intervals [r, r].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool lo_open = false;
+  bool hi_open = false;
+
+  static Interval Closed(double lo, double hi) {
+    return {lo, hi, false, false};
+  }
+  static Interval Open(double lo, double hi) { return {lo, hi, true, true}; }
+  static Interval ClosedOpen(double lo, double hi) {
+    return {lo, hi, false, true};
+  }
+  static Interval OpenClosed(double lo, double hi) {
+    return {lo, hi, true, false};
+  }
+  /// The single point {t}.
+  static Interval Point(double t) { return {t, t, false, false}; }
+
+  /// Empty if the endpoints cross, or coincide with any open end.
+  bool IsEmpty() const {
+    if (lo > hi) return true;
+    if (lo == hi) return lo_open || hi_open;
+    return false;
+  }
+
+  /// True for the degenerate single-point interval.
+  bool IsPoint() const { return lo == hi && !lo_open && !hi_open; }
+
+  /// Membership test honouring endpoint openness.
+  bool Contains(double t) const {
+    if (t < lo || t > hi) return false;
+    if (t == lo && lo_open) return false;
+    if (t == hi && hi_open) return false;
+    return true;
+  }
+
+  /// hi - lo (zero for points and empty intervals).
+  double Length() const { return IsEmpty() ? 0.0 : hi - lo; }
+
+  /// Set intersection; may be empty.
+  Interval Intersect(const Interval& other) const;
+
+  /// True when the two intervals share at least one point.
+  bool Intersects(const Interval& other) const {
+    return !Intersect(other).IsEmpty();
+  }
+
+  bool operator==(const Interval& other) const {
+    return lo == other.lo && hi == other.hi && lo_open == other.lo_open &&
+           hi_open == other.hi_open;
+  }
+
+  /// e.g. "[0, 1)", "{3}".
+  std::string ToString() const;
+};
+
+/// A normalized union of disjoint intervals, kept sorted by lower endpoint.
+/// This is the solution domain of a simultaneous equation system: each
+/// predicate row contributes an IntervalSet and the system's solution is
+/// their intersection (paper Section III-A).
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  /// Singleton set.
+  explicit IntervalSet(const Interval& iv) { Add(iv); }
+
+  /// Set from arbitrary (possibly overlapping, unsorted) intervals.
+  static IntervalSet FromIntervals(std::vector<Interval> intervals);
+
+  /// The full real line.
+  static IntervalSet All();
+
+  /// Inserts an interval, merging as needed.
+  void Add(const Interval& iv);
+
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersect(const IntervalSet& other) const;
+
+  /// Complement relative to `domain`.
+  IntervalSet Complement(const Interval& domain) const;
+
+  /// this \ other.
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  bool Contains(double t) const;
+  bool IsEmpty() const { return intervals_.empty(); }
+
+  /// Sum of interval lengths (points contribute 0).
+  double TotalLength() const;
+
+  /// Smallest lower endpoint; invalid to call on the empty set.
+  double Min() const;
+  /// Largest upper endpoint; invalid to call on the empty set.
+  double Max() const;
+
+  size_t size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+  /// e.g. "{[0, 1), {2}, (3, 4]}".
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> intervals_;  // sorted, disjoint, non-empty
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_MATH_INTERVAL_SET_H_

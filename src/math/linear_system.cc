@@ -1,0 +1,159 @@
+#include "math/linear_system.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+constexpr double kSingularEpsilon = 1e-12;
+}  // namespace
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kSingularEpsilon) {
+      return Status::NumericError("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      a.At(r, col) = 0.0;
+      for (size_t c = col + 1; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= a.At(r, c) * x[c];
+    x[r] = acc / a.At(r, r);
+  }
+  return x;
+}
+
+Result<LuDecomposition> LuDecompose(Matrix a) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("LuDecompose: matrix not square");
+  }
+  LuDecomposition out;
+  out.perm.resize(n);
+  for (size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kSingularEpsilon) {
+      return Status::NumericError("LuDecompose: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(out.perm[col], out.perm[pivot]);
+      out.permutation_sign = -out.permutation_sign;
+    }
+    const double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.At(r, col) * inv;
+      a.At(r, col) = factor;  // store L strictly below the diagonal
+      for (size_t c = col + 1; c < n; ++c) {
+        a.At(r, c) -= factor * a.At(col, c);
+      }
+    }
+  }
+  out.lu = std::move(a);
+  return out;
+}
+
+Result<std::vector<double>> LuDecomposition::Solve(
+    const std::vector<double>& b) const {
+  const size_t n = lu.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("LuDecomposition::Solve: shape mismatch");
+  }
+  // Apply permutation, then L y = P b (forward), then U x = y (backward).
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = b[perm[i]];
+  for (size_t r = 1; r < n; ++r) {
+    double acc = y[r];
+    for (size_t c = 0; c < r; ++c) acc -= lu.At(r, c) * y[c];
+    y[r] = acc;
+  }
+  for (size_t r = n; r-- > 0;) {
+    double acc = y[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= lu.At(r, c) * y[c];
+    const double d = lu.At(r, r);
+    if (std::abs(d) < kSingularEpsilon) {
+      return Status::NumericError("LuDecomposition::Solve: zero pivot");
+    }
+    y[r] = acc / d;
+  }
+  return y;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = permutation_sign;
+  for (size_t i = 0; i < lu.rows(); ++i) det *= lu.At(i, i);
+  return det;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument(
+        "SolveLeastSquares: underdetermined system (rows < cols)");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLeastSquares: shape mismatch");
+  }
+  const Matrix at = a.Transpose();
+  const Matrix normal = at * a;
+  const std::vector<double> rhs = at * b;
+  return SolveLinearSystem(normal, rhs);
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  PULSE_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecompose(a));
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    PULSE_ASSIGN_OR_RETURN(std::vector<double> col, lu.Solve(e));
+    for (size_t r = 0; r < n; ++r) inv.At(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace pulse

@@ -1,0 +1,47 @@
+#ifndef PULSE_MATH_LINEAR_SYSTEM_H_
+#define PULSE_MATH_LINEAR_SYSTEM_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square with rows() == b.size(). Fails with NumericError when
+/// A is (numerically) singular. This is the "efficient numerical algorithm"
+/// fast path the paper applies to all-equality predicate systems
+/// (Section III-A).
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b);
+
+/// LU factorization with row pivoting: P A = L U. Reusable across multiple
+/// right-hand sides.
+struct LuDecomposition {
+  Matrix lu;                   // L (unit diagonal, below) and U (on/above)
+  std::vector<size_t> perm;    // row permutation
+  int permutation_sign = 1;    // +1 / -1, for the determinant
+
+  /// Solves A x = b using the stored factors.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+  /// det(A) = sign * prod(diag(U)).
+  double Determinant() const;
+};
+
+/// Factorizes square A; fails with NumericError when singular.
+Result<LuDecomposition> LuDecompose(Matrix a);
+
+/// Least squares: minimizes ||A x - b||_2 via the normal equations
+/// (A^T A) x = A^T b. Suited to the small well-conditioned Vandermonde
+/// systems of polynomial model fitting. Requires rows >= cols.
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Matrix inverse via LU; fails when singular.
+Result<Matrix> Invert(const Matrix& a);
+
+}  // namespace pulse
+
+#endif  // PULSE_MATH_LINEAR_SYSTEM_H_

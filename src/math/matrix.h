@@ -1,0 +1,77 @@
+#ifndef PULSE_MATH_MATRIX_H_
+#define PULSE_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pulse {
+
+/// Small dense row-major matrix of doubles.
+///
+/// Pulse's equation systems are tiny (rows = predicate conjuncts, columns =
+/// polynomial degree + 1; see paper Eq. 1), as are the normal-equation
+/// systems used by model fitting, so a simple dense representation with
+/// O(n^3) factorizations is the right tool — this plays the role the
+/// original implementation delegated to GSL.
+class Matrix {
+ public:
+  /// 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols from row-major data (size must match).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix from rows; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& other) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// True if every element differs by at most tol.
+  bool AlmostEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// sqrt(sum of squared elements).
+  double FrobeniusNorm() const;
+
+  /// Max row sum of absolute values (the induced infinity norm).
+  double InfinityNorm() const;
+
+  /// Row-major backing store.
+  const std::vector<double>& data() const { return data_; }
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_MATH_MATRIX_H_

@@ -1,0 +1,202 @@
+#include "math/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "math/roots.h"
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+
+// Binomial coefficient C(n, k) as double; n stays small (model degrees).
+double Binomial(size_t n, size_t k) {
+  double result = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+Polynomial::Polynomial(std::initializer_list<double> coeffs)
+    : coeffs_(coeffs) {
+  Trim();
+}
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  Trim();
+}
+
+Polynomial Polynomial::Constant(double c) { return Polynomial({c}); }
+
+Polynomial Polynomial::Monomial(double c, size_t power) {
+  std::vector<double> coeffs(power + 1, 0.0);
+  coeffs[power] = c;
+  return Polynomial(std::move(coeffs));
+}
+
+void Polynomial::Trim() {
+  while (!coeffs_.empty() &&
+         std::abs(coeffs_.back()) <= kCoefficientEpsilon) {
+    coeffs_.pop_back();
+  }
+}
+
+double Polynomial::Evaluate(double t) const {
+  double acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * t + coeffs_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::Derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial();
+  std::vector<double> d(coeffs_.size() - 1);
+  for (size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::Antiderivative() const {
+  if (coeffs_.empty()) return Polynomial();
+  std::vector<double> a(coeffs_.size() + 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    a[i + 1] = coeffs_[i] / static_cast<double>(i + 1);
+  }
+  return Polynomial(std::move(a));
+}
+
+double Polynomial::Integrate(double lo, double hi) const {
+  Polynomial anti = Antiderivative();
+  return anti.Evaluate(hi) - anti.Evaluate(lo);
+}
+
+Polynomial Polynomial::Shift(double shift) const {
+  // p(t + s) = sum_i c_i (t + s)^i
+  //          = sum_i c_i sum_{k<=i} C(i,k) s^{i-k} t^k.
+  if (coeffs_.empty() || shift == 0.0) return *this;
+  std::vector<double> out(coeffs_.size(), 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    double s_pow = 1.0;  // shift^{i-k}, built from k = i downward
+    for (size_t k = i + 1; k-- > 0;) {
+      out[k] += coeffs_[i] * Binomial(i, k) * s_pow;
+      s_pow *= shift;
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::ScaleArgument(double s) const {
+  std::vector<double> out(coeffs_.size());
+  double s_pow = 1.0;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    out[i] = coeffs_[i] * s_pow;
+    s_pow *= s;
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()),
+                          0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (size_t i = 0; i < other.coeffs_.size(); ++i) out[i] += other.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()),
+                          0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (size_t i = 0; i < other.coeffs_.size(); ++i) out[i] -= other.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  if (coeffs_.empty() || other.coeffs_.empty()) return Polynomial();
+  std::vector<double> out(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> out(coeffs_);
+  for (double& c : out) c *= scalar;
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-() const { return *this * -1.0; }
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  *this = *this + other;
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  *this = *this - other;
+  return *this;
+}
+
+bool Polynomial::AlmostEquals(const Polynomial& other, double tol) const {
+  size_t n = std::max(coeffs_.size(), other.coeffs_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (std::abs(coeff(i) - other.coeff(i)) > tol) return false;
+  }
+  return true;
+}
+
+double Polynomial::MaxAbsDifference(const Polynomial& other, double lo,
+                                    double hi) const {
+  PULSE_CHECK(lo <= hi);
+  const Polynomial diff = *this - other;
+  if (diff.IsZero()) return 0.0;
+  double max_abs =
+      std::max(std::abs(diff.Evaluate(lo)), std::abs(diff.Evaluate(hi)));
+  // Interior extrema occur at roots of the derivative.
+  const std::vector<double> critical =
+      FindRealRoots(diff.Derivative(), lo, hi);
+  for (double t : critical) {
+    max_abs = std::max(max_abs, std::abs(diff.Evaluate(t)));
+  }
+  return max_abs;
+}
+
+std::string Polynomial::ToString() const {
+  if (coeffs_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    double c = coeffs_[i];
+    if (std::abs(c) <= kCoefficientEpsilon && coeffs_.size() > 1) continue;
+    if (first) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    double a = std::abs(c);
+    if (i == 0) {
+      os << a;
+    } else {
+      if (a != 1.0) os << a << "*";
+      os << "t";
+      if (i > 1) os << "^" << i;
+    }
+    first = false;
+  }
+  if (first) return "0";
+  return os.str();
+}
+
+}  // namespace pulse

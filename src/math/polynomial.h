@@ -1,0 +1,110 @@
+#ifndef PULSE_MATH_POLYNOMIAL_H_
+#define PULSE_MATH_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pulse {
+
+/// Dense univariate polynomial with real coefficients:
+///   p(t) = c[0] + c[1]*t + c[2]*t^2 + ... + c[d]*t^d.
+///
+/// This is the continuous-time model class of the paper (Section II-B):
+/// a modeled stream attribute is a(t) = sum_i c_{a,i} t^i with non-negative
+/// exponents. Polynomials are value types; all operations return new
+/// polynomials. Coefficients with |c| <= kCoefficientEpsilon are trimmed
+/// from the high end so degree() reflects the numerically meaningful degree.
+class Polynomial {
+ public:
+  /// Coefficients below this magnitude are treated as zero when trimming
+  /// and when classifying the polynomial's degree for root finding.
+  static constexpr double kCoefficientEpsilon = 1e-12;
+
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// From low-order-first coefficients: Polynomial({1, 2}) is 1 + 2t.
+  Polynomial(std::initializer_list<double> coeffs);
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// The constant polynomial c.
+  static Polynomial Constant(double c);
+
+  /// The monomial c * t^power.
+  static Polynomial Monomial(double c, size_t power);
+
+  /// Degree after trimming; the zero polynomial has degree 0.
+  size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+  /// True if all coefficients are (numerically) zero.
+  bool IsZero() const { return coeffs_.empty(); }
+
+  /// Coefficient of t^i; zero when i exceeds the stored degree.
+  double coeff(size_t i) const {
+    return i < coeffs_.size() ? coeffs_[i] : 0.0;
+  }
+
+  /// Low-order-first coefficients (trimmed; empty for the zero polynomial).
+  const std::vector<double>& coeffs() const { return coeffs_; }
+
+  /// Horner evaluation of p(t).
+  double Evaluate(double t) const;
+
+  /// First derivative dp/dt.
+  Polynomial Derivative() const;
+
+  /// Antiderivative with zero constant term: P(t) with P'(t) = p(t), P(0)=0.
+  Polynomial Antiderivative() const;
+
+  /// Definite integral over [lo, hi].
+  double Integrate(double lo, double hi) const;
+
+  /// p(t + shift), expanded via the binomial theorem. Used by the sum/avg
+  /// aggregate's tail integral where terms of the form (t - w)^i appear
+  /// (paper Section III-B): Shift(-w) rewrites p(t - w) as a polynomial
+  /// in t.
+  Polynomial Shift(double shift) const;
+
+  /// p(s * t): rescales the time axis.
+  Polynomial ScaleArgument(double s) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+  Polynomial operator-() const;
+
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
+
+  /// Exact coefficient-wise equality (post-trim).
+  bool operator==(const Polynomial& other) const {
+    return coeffs_ == other.coeffs_;
+  }
+
+  /// True if every |coeff difference| <= tol.
+  bool AlmostEquals(const Polynomial& other, double tol = 1e-9) const;
+
+  /// Maximum absolute deviation |p(t) - q(t)| sampled on [lo, hi].
+  /// Exact for this class (difference is a polynomial whose extrema are
+  /// interrogated via its derivative's roots).
+  double MaxAbsDifference(const Polynomial& other, double lo, double hi) const;
+
+  /// Human-readable form, e.g. "1 + 2*t - 0.5*t^2".
+  std::string ToString() const;
+
+ private:
+  void Trim();
+
+  std::vector<double> coeffs_;  // low-order first; empty == zero polynomial
+};
+
+inline Polynomial operator*(double scalar, const Polynomial& p) {
+  return p * scalar;
+}
+
+}  // namespace pulse
+
+#endif  // PULSE_MATH_POLYNOMIAL_H_

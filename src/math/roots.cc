@@ -1,0 +1,505 @@
+#include "math/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Deduplicates a sorted root list to kRootTolerance.
+void DedupeRoots(std::vector<double>* roots) {
+  std::sort(roots->begin(), roots->end());
+  auto last = std::unique(roots->begin(), roots->end(),
+                          [](double a, double b) {
+                            return std::abs(a - b) <= kRootTolerance;
+                          });
+  roots->erase(last, roots->end());
+}
+
+// Keeps only roots inside the closed [lo, hi] (with tolerance snap at the
+// boundary so closed-form roundoff does not drop boundary roots).
+void ClipRoots(double lo, double hi, std::vector<double>* roots) {
+  std::vector<double> kept;
+  for (double r : *roots) {
+    if (r < lo - kRootTolerance || r > hi + kRootTolerance) continue;
+    kept.push_back(std::clamp(r, lo, hi));
+  }
+  *roots = std::move(kept);
+}
+
+// Closed-form roots of degree <= 3 (unclipped).
+std::vector<double> ClosedFormRoots(const Polynomial& p) {
+  std::vector<double> roots;
+  const size_t d = p.degree();
+  if (p.IsZero() || d == 0) return roots;
+  if (d == 1) {
+    roots.push_back(-p.coeff(0) / p.coeff(1));
+    return roots;
+  }
+  if (d == 2) {
+    const double a = p.coeff(2);
+    const double b = p.coeff(1);
+    const double c = p.coeff(0);
+    const double disc = b * b - 4.0 * a * c;
+    if (disc < 0.0) return roots;
+    if (disc == 0.0) {
+      roots.push_back(-b / (2.0 * a));
+      return roots;
+    }
+    // Numerically stable quadratic formula (avoid cancellation).
+    const double q = -0.5 * (b + std::copysign(std::sqrt(disc), b));
+    roots.push_back(q / a);
+    if (q != 0.0) {
+      roots.push_back(c / q);
+    } else {
+      roots.push_back(0.0);
+    }
+    return roots;
+  }
+  // Cubic: normalize to t^3 + a2 t^2 + a1 t + a0, depress, then use the
+  // trigonometric method (three real roots) or Cardano (one real root).
+  const double inv = 1.0 / p.coeff(3);
+  const double a2 = p.coeff(2) * inv;
+  const double a1 = p.coeff(1) * inv;
+  const double a0 = p.coeff(0) * inv;
+  const double shift = a2 / 3.0;
+  const double q = a1 - a2 * a2 / 3.0;
+  const double r =
+      2.0 * a2 * a2 * a2 / 27.0 - a2 * a1 / 3.0 + a0;
+  const double disc = q * q * q / 27.0 + r * r / 4.0;
+  if (disc > 0.0) {
+    const double sq = std::sqrt(disc);
+    const double u = std::cbrt(-r / 2.0 + sq);
+    const double v = std::cbrt(-r / 2.0 - sq);
+    roots.push_back(u + v - shift);
+  } else if (disc == 0.0) {
+    if (r == 0.0 && q == 0.0) {
+      roots.push_back(-shift);
+    } else {
+      const double u = std::cbrt(-r / 2.0);
+      roots.push_back(2.0 * u - shift);
+      roots.push_back(-u - shift);
+    }
+  } else {
+    const double rho = std::sqrt(-q * q * q / 27.0);
+    const double theta = std::acos(std::clamp(-r / (2.0 * rho), -1.0, 1.0));
+    const double mag = 2.0 * std::sqrt(-q / 3.0);
+    for (int k = 0; k < 3; ++k) {
+      roots.push_back(mag * std::cos((theta + 2.0 * kPi * k) / 3.0) - shift);
+    }
+  }
+  return roots;
+}
+
+// Plain bisection on a bracket with sign(f(a)) != sign(f(b)).
+double Bisect(const Polynomial& p, double a, double b, double tol) {
+  double fa = p.Evaluate(a);
+  for (int i = 0; i < 200 && (b - a) > tol; ++i) {
+    const double m = 0.5 * (a + b);
+    const double fm = p.Evaluate(m);
+    if (fm == 0.0) return m;
+    if ((fa < 0.0) == (fm < 0.0)) {
+      a = m;
+      fa = fm;
+    } else {
+      b = m;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+// Converges a bracketed root using the chosen method.
+double ConvergeInBracket(const Polynomial& p, double a, double b,
+                         RootMethod method) {
+  switch (method) {
+    case RootMethod::kBisection:
+      return Bisect(p, a, b, kRootTolerance);
+    case RootMethod::kNewtonPolish: {
+      Result<double> r = NewtonRoot(p, 0.5 * (a + b));
+      if (r.ok() && *r >= a - kRootTolerance && *r <= b + kRootTolerance) {
+        return std::clamp(*r, a, b);
+      }
+      return Bisect(p, a, b, kRootTolerance);
+    }
+    case RootMethod::kBrent:
+    case RootMethod::kAuto:
+    case RootMethod::kClosedForm: {
+      Result<double> r = BrentRoot(
+          [&p](double t) { return p.Evaluate(t); }, a, b);
+      if (r.ok()) return *r;
+      return Bisect(p, a, b, kRootTolerance);
+    }
+  }
+  return Bisect(p, a, b, kRootTolerance);
+}
+
+// Counts sign changes of the Sturm sequence evaluated at x.
+int SturmSignChanges(const std::vector<Polynomial>& sturm, double x) {
+  int changes = 0;
+  int prev = 0;
+  for (const Polynomial& q : sturm) {
+    const double v = q.Evaluate(x);
+    const int sign = (v > kRootTolerance) - (v < -kRootTolerance);
+    if (sign == 0) continue;
+    if (prev != 0 && sign != prev) ++changes;
+    prev = sign;
+  }
+  return changes;
+}
+
+// Recursively isolates single-root brackets of square-free p in (lo, hi]
+// and converges each.
+void IsolateAndSolve(const Polynomial& p,
+                     const std::vector<Polynomial>& sturm, double lo,
+                     double hi, RootMethod method,
+                     std::vector<double>* roots, int depth = 0) {
+  const int n = CountRootsInInterval(sturm, lo, hi);
+  if (n == 0) return;
+  if (hi - lo <= kRootTolerance || depth > 96) {
+    roots->push_back(0.5 * (lo + hi));
+    return;
+  }
+  if (n == 1) {
+    const double flo = p.Evaluate(lo);
+    const double fhi = p.Evaluate(hi);
+    if ((flo < 0.0) != (fhi < 0.0)) {
+      roots->push_back(ConvergeInBracket(p, lo, hi, method));
+      return;
+    }
+    // Root of even local behaviour at an endpoint or a tangency inside:
+    // keep subdividing until we either bracket by sign or collapse.
+  }
+  const double mid = 0.5 * (lo + hi);
+  IsolateAndSolve(p, sturm, lo, mid, method, roots, depth + 1);
+  IsolateAndSolve(p, sturm, mid, hi, method, roots, depth + 1);
+}
+
+}  // namespace
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+CmpOp FlipCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+CmpOp NegateCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+bool CmpOpIncludesEquality(CmpOp op) {
+  return op == CmpOp::kLe || op == CmpOp::kGe || op == CmpOp::kEq;
+}
+
+void DividePolynomials(const Polynomial& num, const Polynomial& den,
+                       Polynomial* quot, Polynomial* rem) {
+  PULSE_CHECK(!den.IsZero());
+  std::vector<double> r(num.coeffs());
+  const size_t dn = den.degree();
+  const double lead = den.coeff(dn);
+  if (r.size() < dn + 1) {
+    *quot = Polynomial();
+    *rem = num;
+    return;
+  }
+  std::vector<double> q(r.size() - dn, 0.0);
+  for (size_t i = r.size() - 1;; --i) {  // top coefficient downwards
+    const double factor = r[i] / lead;
+    q[i - dn] = factor;
+    for (size_t k = 0; k <= dn; ++k) {
+      r[i - dn + k] -= factor * den.coeff(k);
+    }
+    if (i == dn) break;
+  }
+  r.resize(dn);
+  *quot = Polynomial(std::move(q));
+  *rem = Polynomial(std::move(r));
+}
+
+Polynomial PolynomialGcd(const Polynomial& a, const Polynomial& b) {
+  Polynomial x = a;
+  Polynomial y = b;
+  while (!y.IsZero()) {
+    Polynomial q, r;
+    DividePolynomials(x, y, &q, &r);
+    x = y;
+    y = r;
+    // Normalize to keep coefficients in range across iterations.
+    if (!y.IsZero()) {
+      const double lead = y.coeff(y.degree());
+      if (std::abs(lead) > 0.0) y = y * (1.0 / lead);
+    }
+  }
+  if (!x.IsZero()) {
+    const double lead = x.coeff(x.degree());
+    x = x * (1.0 / lead);
+  }
+  return x;
+}
+
+std::vector<Polynomial> SturmSequence(const Polynomial& p) {
+  std::vector<Polynomial> seq;
+  seq.push_back(p);
+  Polynomial d = p.Derivative();
+  if (d.IsZero()) return seq;
+  seq.push_back(d);
+  while (seq.back().degree() > 0) {
+    Polynomial q, r;
+    DividePolynomials(seq[seq.size() - 2], seq.back(), &q, &r);
+    if (r.IsZero()) break;
+    seq.push_back(-r);
+  }
+  return seq;
+}
+
+int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
+                         double b) {
+  return SturmSignChanges(sturm, a) - SturmSignChanges(sturm, b);
+}
+
+std::vector<double> FindRealRoots(const Polynomial& p, double lo, double hi,
+                                  RootMethod method) {
+  std::vector<double> roots;
+  if (p.IsZero() || lo > hi) return roots;
+  const size_t d = p.degree();
+  if (d == 0) return roots;  // non-zero constant: no roots
+
+  const bool closed_form_ok = d <= 3;
+  if ((method == RootMethod::kAuto || method == RootMethod::kClosedForm) &&
+      closed_form_ok) {
+    roots = ClosedFormRoots(p);
+    ClipRoots(lo, hi, &roots);
+    DedupeRoots(&roots);
+    return roots;
+  }
+  if (method == RootMethod::kClosedForm) {
+    // No closed form beyond cubics; ablation callers see the gap.
+    return roots;
+  }
+
+  // Square-free reduction so Sturm counting sees each root once.
+  Polynomial sf = p;
+  const Polynomial g = PolynomialGcd(p, p.Derivative());
+  if (g.degree() > 0) {
+    Polynomial q, r;
+    DividePolynomials(p, g, &q, &r);
+    if (!q.IsZero()) sf = q;
+  }
+  const std::vector<Polynomial> sturm = SturmSequence(sf);
+  // Nudge the window outwards so boundary roots are counted (Sturm counts
+  // roots in (a, b]).
+  IsolateAndSolve(sf, sturm, lo - kRootTolerance, hi + kRootTolerance,
+                  method, &roots);
+  ClipRoots(lo, hi, &roots);
+  DedupeRoots(&roots);
+  return roots;
+}
+
+Result<double> BrentRoot(const std::function<double(double)>& f, double a,
+                         double b, double tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if ((fa < 0.0) == (fb < 0.0)) {
+    return Status::InvalidArgument("BrentRoot: interval does not bracket");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double s = b;
+  double d = 0.0;
+  bool mflag = true;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (fb == 0.0 || std::abs(b - a) < tol) return b;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double lo = (3.0 * a + b) / 4.0;
+    const bool out_of_range = !((s > std::min(lo, b)) && (s < std::max(lo, b)));
+    const bool slow_mflag =
+        mflag && std::abs(s - b) >= std::abs(b - c) / 2.0;
+    const bool slow_noflag =
+        !mflag && std::abs(s - b) >= std::abs(c - d) / 2.0;
+    const bool tiny_mflag = mflag && std::abs(b - c) < tol;
+    const bool tiny_noflag = !mflag && std::abs(c - d) < tol;
+    if (out_of_range || slow_mflag || slow_noflag || tiny_mflag ||
+        tiny_noflag) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa < 0.0) != (fs < 0.0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+Result<double> NewtonRoot(const Polynomial& p, double x0, double tol,
+                          int max_iter) {
+  const Polynomial d = p.Derivative();
+  double x = x0;
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = p.Evaluate(x);
+    if (std::abs(fx) < tol) return x;
+    const double dfx = d.Evaluate(x);
+    if (std::abs(dfx) < 1e-300) {
+      return Status::NumericError("NewtonRoot: derivative vanished");
+    }
+    const double next = x - fx / dfx;
+    if (!std::isfinite(next)) {
+      return Status::NumericError("NewtonRoot: diverged");
+    }
+    if (std::abs(next - x) < tol) return next;
+    x = next;
+  }
+  return Status::NumericError("NewtonRoot: no convergence");
+}
+
+IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
+                            const Interval& domain, RootMethod method) {
+  if (domain.IsEmpty()) return IntervalSet();
+  // Everywhere-zero polynomial: predicate truth is constant in t.
+  if (p.IsZero()) {
+    if (op == CmpOp::kEq || op == CmpOp::kLe || op == CmpOp::kGe) {
+      return IntervalSet(domain);
+    }
+    return IntervalSet();
+  }
+  // Constant non-zero polynomial.
+  if (p.degree() == 0) {
+    const double v = p.coeff(0);
+    const bool holds = (op == CmpOp::kLt && v < 0.0) ||
+                       (op == CmpOp::kLe && v <= 0.0) ||
+                       (op == CmpOp::kEq && v == 0.0) ||
+                       (op == CmpOp::kNe && v != 0.0) ||
+                       (op == CmpOp::kGe && v >= 0.0) ||
+                       (op == CmpOp::kGt && v > 0.0);
+    return holds ? IntervalSet(domain) : IntervalSet();
+  }
+
+  std::vector<double> roots = FindRealRoots(p, domain.lo, domain.hi, method);
+
+  if (op == CmpOp::kEq) {
+    IntervalSet out;
+    std::vector<Interval> points;
+    for (double r : roots) {
+      if (domain.Contains(r)) points.push_back(Interval::Point(r));
+    }
+    return IntervalSet::FromIntervals(std::move(points));
+  }
+  if (op == CmpOp::kNe) {
+    IntervalSet eq = SolveComparison(p, CmpOp::kEq, domain, method);
+    return eq.Complement(domain);
+  }
+
+  // Inequalities: sign-test the open cells between consecutive roots.
+  const bool want_negative = (op == CmpOp::kLt || op == CmpOp::kLe);
+  const bool include_boundary = CmpOpIncludesEquality(op);
+  std::vector<double> cuts;
+  cuts.push_back(domain.lo);
+  for (double r : roots) {
+    if (r > domain.lo && r < domain.hi) cuts.push_back(r);
+  }
+  cuts.push_back(domain.hi);
+
+  std::vector<Interval> cells;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double a = cuts[i];
+    const double b = cuts[i + 1];
+    if (b <= a) continue;
+    const double mid = 0.5 * (a + b);
+    const double v = p.Evaluate(mid);
+    const bool holds = want_negative ? (v < 0.0) : (v > 0.0);
+    if (!holds) continue;
+    Interval cell;
+    cell.lo = a;
+    cell.hi = b;
+    // Interior cuts are roots: open for strict ops, closed otherwise.
+    const bool a_is_domain = (i == 0);
+    const bool b_is_domain = (i + 2 == cuts.size());
+    cell.lo_open = a_is_domain ? domain.lo_open : !include_boundary;
+    cell.hi_open = b_is_domain ? domain.hi_open : !include_boundary;
+    cells.push_back(cell);
+  }
+  // Non-strict ops additionally admit boundary roots even when no adjacent
+  // cell holds (e.g. tangency points of p <= 0 with p > 0 around them).
+  if (include_boundary) {
+    for (double r : roots) {
+      if (domain.Contains(r)) cells.push_back(Interval::Point(r));
+    }
+  }
+  return IntervalSet::FromIntervals(std::move(cells));
+}
+
+}  // namespace pulse

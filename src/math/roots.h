@@ -1,0 +1,87 @@
+#ifndef PULSE_MATH_ROOTS_H_
+#define PULSE_MATH_ROOTS_H_
+
+#include <functional>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Comparison operators appearing in predicates (paper Section III-A:
+/// "<, <=, =, !=, >=, >").
+enum class CmpOp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+/// SQL-ish spelling: "<", "<=", "=", "<>", ">=", ">".
+const char* CmpOpToString(CmpOp op);
+
+/// The operator R' such that (x R y) == (y R' x). kEq/kNe are symmetric.
+CmpOp FlipCmpOp(CmpOp op);
+
+/// The operator !R: negation of the comparison.
+CmpOp NegateCmpOp(CmpOp op);
+
+/// True when `op` admits equality (kLe, kGe, kEq).
+bool CmpOpIncludesEquality(CmpOp op);
+
+/// Root-finding strategy selection for FindRealRoots.
+///  - kAuto: closed forms through degree 3, Sturm bisection above.
+///  - kClosedForm: fails (returns empty) above degree 3; for ablation.
+///  - kNewtonPolish: Sturm isolation, Newton convergence inside brackets.
+///  - kBrent: Sturm isolation, Brent convergence inside brackets.
+///  - kBisection: Sturm isolation, plain bisection (reference, slowest).
+enum class RootMethod { kAuto, kClosedForm, kNewtonPolish, kBrent,
+                        kBisection };
+
+/// Absolute tolerance used to deduplicate and converge roots.
+inline constexpr double kRootTolerance = 1e-10;
+
+/// All real roots of p in the closed interval [lo, hi], ascending and
+/// deduplicated to kRootTolerance. Multiple roots are reported once
+/// (the polynomial is made square-free before isolation). The zero
+/// polynomial yields no roots (callers handle the everywhere-zero case).
+std::vector<double> FindRealRoots(const Polynomial& p, double lo, double hi,
+                                  RootMethod method = RootMethod::kAuto);
+
+/// Brent's method (Brent 1973, the paper's cited solver) on a bracketing
+/// interval: requires sign(f(a)) != sign(f(b)). Combines bisection, secant
+/// and inverse quadratic interpolation.
+Result<double> BrentRoot(const std::function<double(double)>& f, double a,
+                         double b, double tol = kRootTolerance,
+                         int max_iter = 128);
+
+/// Newton-Raphson on a polynomial from the initial guess x0. Fails with
+/// NumericError on divergence or a vanishing derivative.
+Result<double> NewtonRoot(const Polynomial& p, double x0,
+                          double tol = kRootTolerance, int max_iter = 64);
+
+/// Polynomial long division: num = quot * den + rem, deg(rem) < deg(den).
+/// `den` must be non-zero.
+void DividePolynomials(const Polynomial& num, const Polynomial& den,
+                       Polynomial* quot, Polynomial* rem);
+
+/// Greatest common divisor by the Euclidean algorithm (monic-normalized).
+Polynomial PolynomialGcd(const Polynomial& a, const Polynomial& b);
+
+/// Sturm sequence of p: p0 = p, p1 = p', p_{k+1} = -rem(p_{k-1}, p_k).
+std::vector<Polynomial> SturmSequence(const Polynomial& p);
+
+/// Number of distinct real roots of (square-free) p in (a, b], via Sturm
+/// sign-change counting.
+int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
+                         double b);
+
+/// Solves the scalar comparison p(t) R 0 over `domain`, returning the set
+/// of times where the predicate holds. This is one row of the paper's
+/// simultaneous equation system (Eq. 1): root finding plus sign tests
+/// yields a set of time ranges (Section III-A). Equality rows produce
+/// point intervals; strict inequalities produce open boundaries.
+IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
+                            const Interval& domain,
+                            RootMethod method = RootMethod::kAuto);
+
+}  // namespace pulse
+
+#endif  // PULSE_MATH_ROOTS_H_

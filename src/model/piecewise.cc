@@ -1,0 +1,154 @@
+#include "model/piecewise.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "math/roots.h"
+#include "util/logging.h"
+
+namespace pulse {
+
+IntervalSet PiecewiseModel::Domain() const {
+  std::vector<Interval> ranges;
+  ranges.reserve(pieces_.size());
+  for (const Piece& p : pieces_) ranges.push_back(p.range);
+  return IntervalSet::FromIntervals(std::move(ranges));
+}
+
+std::optional<double> PiecewiseModel::Evaluate(double t) const {
+  auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), t,
+      [](const Piece& p, double value) { return p.range.hi < value; });
+  for (; it != pieces_.end() && it->range.lo <= t; ++it) {
+    if (it->range.Contains(t)) return it->poly.Evaluate(t);
+  }
+  return std::nullopt;
+}
+
+void PiecewiseModel::Overwrite(const Piece& piece) {
+  if (piece.range.IsEmpty()) return;
+  // Locate the contiguous span of pieces the newcomer touches (pieces_
+  // stays sorted and disjoint, so a binary search bounds the edit to the
+  // affected span — the aggregate state can hold thousands of pieces).
+  auto first = std::lower_bound(
+      pieces_.begin(), pieces_.end(), piece.range.lo,
+      [](const Piece& p, double lo) { return p.range.hi < lo; });
+  std::vector<Piece> replacement;
+  auto last = first;
+  for (; last != pieces_.end() && last->range.lo <= piece.range.hi;
+       ++last) {
+    if (!last->range.Intersects(piece.range)) {
+      replacement.push_back(*last);
+      continue;
+    }
+    Piece head = *last;
+    head.range.hi = piece.range.lo;
+    head.range.hi_open = !piece.range.lo_open;
+    if (!head.range.IsEmpty()) replacement.push_back(std::move(head));
+    Piece tail = *last;
+    tail.range.lo = piece.range.hi;
+    tail.range.lo_open = !piece.range.hi_open;
+    if (!tail.range.IsEmpty()) replacement.push_back(std::move(tail));
+  }
+  replacement.push_back(piece);
+  std::sort(replacement.begin(), replacement.end(),
+            [](const Piece& a, const Piece& b) {
+              if (a.range.lo != b.range.lo) return a.range.lo < b.range.lo;
+              return !a.range.lo_open && b.range.lo_open;
+            });
+  auto it = pieces_.erase(first, last);
+  pieces_.insert(it, std::make_move_iterator(replacement.begin()),
+                 std::make_move_iterator(replacement.end()));
+  CoalesceAround(piece.range);
+}
+
+IntervalSet PiecewiseModel::MergeEnvelope(const Piece& candidate,
+                                          bool is_min) {
+  if (candidate.range.IsEmpty()) return IntervalSet();
+  // Binary-search the span of stored pieces the candidate can touch; the
+  // state may hold thousands of pieces and only a handful overlap.
+  auto first = std::lower_bound(
+      pieces_.begin(), pieces_.end(), candidate.range.lo,
+      [](const Piece& p, double lo) { return p.range.hi < lo; });
+  auto last = first;
+  std::vector<Interval> covered;
+  while (last != pieces_.end() && last->range.lo <= candidate.range.hi) {
+    covered.push_back(last->range);
+    ++last;
+  }
+
+  // 1. Ranges where no envelope exists yet: the candidate fills them.
+  const IntervalSet cand_range(candidate.range);
+  IntervalSet won =
+      cand_range.Difference(IntervalSet::FromIntervals(std::move(covered)));
+
+  // 2. Ranges where the candidate beats the stored envelope. One
+  // difference equation per overlapped piece: (cand - s)(t) R 0 with
+  // R = '<' for min, '>' for max (paper Section III-B).
+  const CmpOp op = is_min ? CmpOp::kLt : CmpOp::kGt;
+  for (auto it = first; it != last; ++it) {
+    const Interval overlap = it->range.Intersect(candidate.range);
+    if (overlap.IsEmpty()) continue;
+    const Polynomial diff = candidate.poly - it->poly;
+    won = won.Union(SolveComparison(diff, op, overlap));
+  }
+
+  // 3. Install the candidate over every range it won. Point wins carry no
+  // measure and do not change the stored function.
+  for (const Interval& iv : won.intervals()) {
+    if (iv.IsPoint()) continue;
+    Overwrite(Piece{iv, candidate.poly});
+  }
+  return won;
+}
+
+void PiecewiseModel::ExpireBefore(double t) {
+  std::vector<Piece> kept;
+  for (Piece& p : pieces_) {
+    if (p.range.hi <= t) continue;  // entirely before the horizon
+    if (p.range.lo < t) {
+      p.range.lo = t;
+      p.range.lo_open = false;
+    }
+    if (!p.range.IsEmpty()) kept.push_back(std::move(p));
+  }
+  pieces_ = std::move(kept);
+}
+
+std::string PiecewiseModel::ToString() const {
+  std::ostringstream os;
+  os << "Piecewise{";
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << pieces_[i].range.ToString() << ": " << pieces_[i].poly.ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+void PiecewiseModel::CoalesceAround(const Interval& touched) {
+  // Merge adjacent pieces that share the same polynomial (keeps the state
+  // compact when the same candidate wins neighbouring cells). Only the
+  // neighbourhood of `touched` can have new merge opportunities.
+  if (pieces_.size() < 2) return;
+  auto begin = std::lower_bound(
+      pieces_.begin(), pieces_.end(), touched.lo,
+      [](const Piece& p, double lo) { return p.range.hi < lo; });
+  if (begin != pieces_.begin()) --begin;
+  size_t i = static_cast<size_t>(begin - pieces_.begin());
+  while (i + 1 < pieces_.size() && pieces_[i].range.lo <= touched.hi) {
+    Piece& cur = pieces_[i];
+    Piece& next = pieces_[i + 1];
+    const bool touches = cur.range.hi == next.range.lo &&
+                         !(cur.range.hi_open && next.range.lo_open);
+    if (touches && cur.poly == next.poly) {
+      cur.range.hi = next.range.hi;
+      cur.range.hi_open = next.range.hi_open;
+      pieces_.erase(pieces_.begin() + i + 1);
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace pulse

@@ -1,0 +1,67 @@
+#ifndef PULSE_MODEL_PIECEWISE_H_
+#define PULSE_MODEL_PIECEWISE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+
+namespace pulse {
+
+/// One piece of a piecewise polynomial: a polynomial valid on a time range.
+struct Piece {
+  Interval range;
+  Polynomial poly;
+};
+
+/// A piecewise polynomial function s(t) over disjoint, ordered time ranges.
+///
+/// This is the continuous internal state of Pulse's min/max aggregates
+/// (paper Section III-B): "the partially aggregated model s(t) forms a
+/// lower (or upper) envelope of the model functions". It also backs model
+/// lineage snapshots during query inversion.
+class PiecewiseModel {
+ public:
+  PiecewiseModel() = default;
+
+  bool empty() const { return pieces_.empty(); }
+  size_t size() const { return pieces_.size(); }
+  const std::vector<Piece>& pieces() const { return pieces_; }
+
+  /// The union of piece ranges.
+  IntervalSet Domain() const;
+
+  /// Evaluates s(t); nullopt when t lies outside every piece.
+  std::optional<double> Evaluate(double t) const;
+
+  /// Inserts a piece with *update semantics*: the new piece overrides any
+  /// previously stored piece over the overlap (predecessors are truncated
+  /// or split). Keeps pieces ordered and disjoint.
+  void Overwrite(const Piece& piece);
+
+  /// Folds `candidate` into the envelope over `candidate.range`:
+  /// afterwards s(t) = min(s(t), p(t)) (is_min) or max(s(t), p(t)) over
+  /// that range; where s was undefined, p fills in. Returns the set of
+  /// times where the envelope CHANGED to the candidate — exactly the
+  /// ranges for which a min/max aggregate must emit updated results.
+  IntervalSet MergeEnvelope(const Piece& candidate, bool is_min);
+
+  /// Drops all pieces entirely before `t` and trims pieces straddling it.
+  /// Used for window expiry (state bounded by reference-timestamp
+  /// monotonicity, Section II-B).
+  void ExpireBefore(double t);
+
+  std::string ToString() const;
+
+ private:
+  // Merges equal adjacent pieces in the neighbourhood of `touched`.
+  void CoalesceAround(const Interval& touched);
+
+  std::vector<Piece> pieces_;  // ordered by range.lo, pairwise disjoint
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_MODEL_PIECEWISE_H_

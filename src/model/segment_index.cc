@@ -1,0 +1,87 @@
+#include "model/segment_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pulse {
+
+void SegmentIndex::Insert(Segment segment) {
+  // Find the sorted position from the back (arrivals are near-ordered).
+  size_t pos = entries_.size();
+  while (pos > 0 && entries_[pos - 1].segment.range.lo > segment.range.lo) {
+    --pos;
+  }
+  Entry entry;
+  entry.segment = std::move(segment);
+  entries_.insert(entries_.begin() + pos, std::move(entry));
+  RebuildMaxEnd(pos);
+}
+
+void SegmentIndex::RebuildMaxEnd(size_t from) {
+  double running =
+      from == 0 ? -std::numeric_limits<double>::infinity()
+                : entries_[from - 1].max_end;
+  for (size_t i = from; i < entries_.size(); ++i) {
+    running = std::max(running, entries_[i].segment.range.hi);
+    entries_[i].max_end = running;
+  }
+}
+
+void SegmentIndex::ExpireBefore(double t) {
+  // Streamed state expires from the front; stragglers behind a fresh
+  // front expire on a later call. The remaining max_end values keep the
+  // popped entries' contributions — still valid (conservative) monotone
+  // upper bounds, so queries stay correct without a rebuild; a full
+  // recomputation runs only once the accumulated slack gets large.
+  size_t popped = 0;
+  while (!entries_.empty() && entries_.front().segment.range.hi < t) {
+    entries_.pop_front();
+    ++popped;
+  }
+  popped_since_rebuild_ += popped;
+  if (popped_since_rebuild_ > entries_.size()) {
+    RebuildMaxEnd(0);
+    popped_since_rebuild_ = 0;
+  }
+}
+
+size_t SegmentIndex::LowerCandidate(double a) const {
+  // max_end is monotone nondecreasing: binary search the first entry
+  // whose running max end reaches `a`. Earlier entries (and everything
+  // before them) end strictly before `a` and cannot overlap.
+  size_t lo = 0;
+  size_t hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].max_end < a) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void SegmentIndex::QueryOverlaps(const Interval& range,
+                                 std::vector<const Segment*>* out) const {
+  QueryOverlapsWithKey(range, std::numeric_limits<Key>::min(), out);
+}
+
+void SegmentIndex::QueryOverlapsWithKey(
+    const Interval& range, Key key,
+    std::vector<const Segment*>* out) const {
+  const bool any_key = key == std::numeric_limits<Key>::min();
+  const size_t start = LowerCandidate(range.lo);
+  for (size_t i = start; i < entries_.size(); ++i) {
+    const Segment& s = entries_[i].segment;
+    if (s.range.lo > range.hi) break;  // sorted by lo: no more overlaps
+    ++probes_examined_;
+    if (!any_key && s.key != key) continue;
+    if (s.range.Intersects(range)) {
+      out->push_back(&s);
+      ++probes_matched_;
+    }
+  }
+}
+
+}  // namespace pulse

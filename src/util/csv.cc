@@ -1,0 +1,48 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace pulse {
+
+Result<CsvReader> CsvReader::Open(const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  return CsvReader(std::move(in), delim);
+}
+
+bool CsvReader::Next(std::vector<std::string>* row) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (TrimWhitespace(line).empty()) continue;
+    *row = SplitString(line, delim_);
+    return true;
+  }
+  return false;
+}
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path, char delim) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  return CsvWriter(std::move(out), delim);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("write failure on close");
+  out_.close();
+  return Status::OK();
+}
+
+}  // namespace pulse

@@ -1,0 +1,61 @@
+#ifndef PULSE_UTIL_CSV_H_
+#define PULSE_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace pulse {
+
+/// Minimal CSV reader for workload replay files. No quoting support: the
+/// traces we generate are plain numeric fields. Rows are vectors of string
+/// fields; header handling is up to the caller.
+class CsvReader {
+ public:
+  /// Opens `path`; fails with IoError if unreadable.
+  static Result<CsvReader> Open(const std::string& path, char delim = ',');
+
+  /// Reads the next row into `row`. Returns false at EOF.
+  /// Blank lines are skipped.
+  bool Next(std::vector<std::string>* row);
+
+  CsvReader(CsvReader&&) = default;
+  CsvReader& operator=(CsvReader&&) = default;
+
+ private:
+  CsvReader(std::ifstream in, char delim)
+      : in_(std::move(in)), delim_(delim) {}
+
+  std::ifstream in_;
+  char delim_;
+};
+
+/// Minimal CSV writer for bench results (one file per experiment series).
+class CsvWriter {
+ public:
+  /// Creates/truncates `path`; fails with IoError on failure.
+  static Result<CsvWriter> Open(const std::string& path, char delim = ',');
+
+  /// Writes one row; fields are emitted verbatim.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and reports any stream error.
+  Status Close();
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+ private:
+  CsvWriter(std::ofstream out, char delim)
+      : out_(std::move(out)), delim_(delim) {}
+
+  std::ofstream out_;
+  char delim_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_CSV_H_

@@ -1,0 +1,54 @@
+#ifndef PULSE_UTIL_LOGGING_H_
+#define PULSE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pulse {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level emitted by PULSE_LOG. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Used via PULSE_LOG only.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pulse
+
+/// PULSE_LOG(INFO) << "message"; levels: DEBUG, INFO, WARNING, ERROR.
+#define PULSE_LOG(level)                                              \
+  ::pulse::internal::LogMessage(::pulse::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+/// Invariant check active in all build types. Aborts with location info.
+#define PULSE_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pulse::internal::CheckFailed(#cond, __FILE__, __LINE__);            \
+    }                                                                       \
+  } while (false)
+
+namespace pulse::internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace pulse::internal
+
+#endif  // PULSE_UTIL_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef PULSE_UTIL_RESULT_H_
+#define PULSE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace pulse {
+
+/// Value-or-Status, the library's fallible-return type (Arrow's
+/// arrow::Result idiom). A Result is either OK and holds a T, or holds a
+/// non-OK Status. Accessing the value of a failed Result is a programming
+/// error caught by assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a (non-OK) status: `return st;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Status requires a value; use Result(T)");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK unless value_ is absent.
+  std::optional<T> value_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error Status on failure.
+/// Usage: PULSE_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define PULSE_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define PULSE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define PULSE_ASSIGN_OR_RETURN_NAME(x, y) PULSE_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define PULSE_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  PULSE_ASSIGN_OR_RETURN_IMPL(                                              \
+      PULSE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_RESULT_H_

@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  PULSE_CHECK(n >= 1);
+  PULSE_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.Uniform(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace pulse

@@ -1,0 +1,68 @@
+#ifndef PULSE_UTIL_RNG_H_
+#define PULSE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pulse {
+
+/// Deterministic random number source shared by the workload generators.
+/// A thin wrapper over std::mt19937_64 so every generator takes an explicit
+/// seed and experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed inter-arrival with the given rate (1/mean).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integers over {0, ..., n-1} with skew parameter s.
+/// Used to model skewed key popularity (e.g. trade volume per NYSE symbol).
+/// Sampling is O(log n) by inverse-CDF binary search over precomputed
+/// cumulative weights.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_RNG_H_

@@ -1,0 +1,99 @@
+#ifndef PULSE_UTIL_STATUS_H_
+#define PULSE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pulse {
+
+/// Error categories used across the library. The set intentionally mirrors
+/// the coarse-grained codes used by storage engines (RocksDB/Arrow style):
+/// callers branch on the category, messages carry the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kNumericError,   // solver divergence, ill-conditioned systems, NaNs
+  kCapacity,       // queue overflow / resource exhaustion
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a value. Cheap to copy in
+/// the OK case (no allocation). Functions on hot paths return Status (or
+/// Result<T>) instead of throwing: exceptions are not used in this library.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Capacity(std::string msg) {
+    return Status(StatusCode::kCapacity, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller. Use inside functions returning
+/// Status.
+#define PULSE_RETURN_IF_ERROR(expr)           \
+  do {                                        \
+    ::pulse::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef PULSE_UTIL_STOPWATCH_H_
+#define PULSE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pulse {
+
+/// Monotonic wall-clock timer used by benchmark harnesses and the engine's
+/// throughput/latency metrics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_STOPWATCH_H_

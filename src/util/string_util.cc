@@ -1,0 +1,86 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace pulse {
+
+std::vector<std::string> SplitString(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty numeric field");
+  // strtod needs a NUL-terminated buffer.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing characters in double: '" + buf +
+                                   "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing characters in integer: '" + buf +
+                                   "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace pulse

@@ -1,0 +1,34 @@
+#ifndef PULSE_UTIL_STRING_UTIL_H_
+#define PULSE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pulse {
+
+/// Splits `input` on `delim`; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Strict double parse of the full string; fails on trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Strict int64 parse of the full string; fails on trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Formats a double compactly (up to 12 significant digits, no trailing
+/// zeros), for CSV output and bench reports.
+std::string FormatDouble(double v);
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,127 @@
+#include "workload/ais.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+}  // namespace
+
+AisGenerator::AisGenerator(AisOptions options)
+    : options_(options), rng_(options.seed) {
+  PULSE_CHECK(options_.num_vessels > 0);
+  PULSE_CHECK(options_.tuple_rate > 0.0);
+  now_ = options_.start_time;
+  vessels_.resize(options_.num_vessels);
+  for (size_t i = 0; i < vessels_.size(); ++i) {
+    VesselState& v = vessels_[i];
+    v.x = rng_.Uniform(0.0, options_.area);
+    v.y = rng_.Uniform(0.0, options_.area);
+    v.last_update = now_;
+    NewLeg(&v, now_);
+  }
+  // Configure followers: vessel i shadows vessel i-1 for the configured
+  // fraction (never vessel 0; leaders are non-followers).
+  const size_t num_followers = static_cast<size_t>(
+      options_.following_fraction * static_cast<double>(vessels_.size()));
+  for (size_t k = 0; k < num_followers && 2 * k + 1 < vessels_.size();
+       ++k) {
+    const size_t follower = 2 * k + 1;
+    const size_t leader = 2 * k;
+    vessels_[follower].is_follower = true;
+    vessels_[follower].leader = leader;
+    // Start the follower at the configured offset from its leader.
+    vessels_[follower].x = vessels_[leader].x + options_.follow_distance;
+    vessels_[follower].y = vessels_[leader].y;
+    follower_pairs_.emplace_back(follower, leader);
+  }
+}
+
+std::shared_ptr<const Schema> AisGenerator::TupleSchema() {
+  return Schema::Make({{"id", ValueType::kInt64},
+                       {"x", ValueType::kDouble},
+                       {"vx", ValueType::kDouble},
+                       {"y", ValueType::kDouble},
+                       {"vy", ValueType::kDouble}});
+}
+
+StreamSpec AisGenerator::MakeStreamSpec(std::string name,
+                                        double segment_horizon) {
+  StreamSpec spec;
+  spec.name = std::move(name);
+  spec.schema = TupleSchema();
+  spec.key_field = "id";
+  spec.models = {{"x", {"x", "vx"}}, {"y", {"y", "vy"}}};
+  spec.segment_horizon = segment_horizon;
+  return spec;
+}
+
+void AisGenerator::NewLeg(VesselState* v, double t) {
+  const double angle = rng_.Uniform(0.0, kTwoPi);
+  const double speed = options_.speed * rng_.Uniform(0.6, 1.4);
+  v->vx = speed * std::cos(angle);
+  v->vy = speed * std::sin(angle);
+  v->next_leg_change = t + options_.leg_duration * rng_.Uniform(0.5, 1.5);
+}
+
+void AisGenerator::AdvanceVessel(size_t idx, double t) {
+  VesselState& v = vessels_[idx];
+  if (v.is_follower) {
+    // Shadow the leader: advance the leader first, then hold station at
+    // the offset with the leader's velocity.
+    AdvanceVessel(v.leader, t);
+    const VesselState& leader = vessels_[v.leader];
+    v.x = leader.x + options_.follow_distance;
+    v.y = leader.y;
+    v.vx = leader.vx;
+    v.vy = leader.vy;
+    v.last_update = t;
+    return;
+  }
+  const double dt = t - v.last_update;
+  if (dt <= 0.0) return;
+  v.x += v.vx * dt;
+  v.y += v.vy * dt;
+  v.last_update = t;
+  if (t >= v.next_leg_change) NewLeg(&v, t);
+  // Stay in the operating area.
+  if (v.x < 0.0 || v.x > options_.area) {
+    v.vx = -v.vx;
+    v.x = std::clamp(v.x, 0.0, options_.area);
+  }
+  if (v.y < 0.0 || v.y > options_.area) {
+    v.vy = -v.vy;
+    v.y = std::clamp(v.y, 0.0, options_.area);
+  }
+}
+
+Tuple AisGenerator::NextTuple() {
+  const size_t idx = next_vessel_;
+  next_vessel_ = (next_vessel_ + 1) % vessels_.size();
+  AdvanceVessel(idx, now_);
+  const VesselState& v = vessels_[idx];
+
+  Tuple t;
+  t.timestamp = now_;
+  const double nx =
+      options_.noise > 0.0 ? rng_.Gaussian(0.0, options_.noise) : 0.0;
+  const double ny =
+      options_.noise > 0.0 ? rng_.Gaussian(0.0, options_.noise) : 0.0;
+  t.values = {Value(static_cast<int64_t>(idx)), Value(v.x + nx),
+              Value(v.vx), Value(v.y + ny), Value(v.vy)};
+  now_ += 1.0 / options_.tuple_rate;
+  return t;
+}
+
+std::vector<Tuple> AisGenerator::Generate(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextTuple());
+  return out;
+}
+
+}  // namespace pulse

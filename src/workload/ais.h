@@ -1,0 +1,92 @@
+#ifndef PULSE_WORKLOAD_AIS_H_
+#define PULSE_WORKLOAD_AIS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/tuple.h"
+#include "util/rng.h"
+
+namespace pulse {
+
+/// Synthetic AIS-like vessel track feed.
+///
+/// The paper uses six days of U.S. Coast Guard Automatic Identification
+/// System data (vessel id, time, longitude, longitudinal velocity,
+/// latitude, latitudinal velocity). That trace is not redistributable;
+/// this generator substitutes simulated vessels sailing waypoint legs at
+/// near-constant velocity with small noise — preserving the two features
+/// the "following" query depends on: near-linear trajectories (so linear
+/// models fit long segments) and sustained pairwise proximity episodes
+/// (a configurable fraction of vessels shadows another vessel).
+struct AisOptions {
+  size_t num_vessels = 50;
+  /// Aggregate report rate (tuples/second).
+  double tuple_rate = 500.0;
+  /// Mean vessel speed (distance units/second).
+  double speed = 5.0;
+  /// Seconds per constant-velocity leg.
+  double leg_duration = 60.0;
+  /// Operating area [0, area]^2.
+  double area = 100000.0;
+  /// Fraction of vessels that follow (shadow) another vessel.
+  double following_fraction = 0.2;
+  /// Offset kept by a follower from its leader.
+  double follow_distance = 500.0;
+  /// Positional noise per report.
+  double noise = 0.0;
+  double start_time = 0.0;
+  uint64_t seed = 42;
+};
+
+class AisGenerator {
+ public:
+  explicit AisGenerator(AisOptions options);
+
+  /// Schema (id:int64, x:double, vx:double, y:double, vy:double) — the
+  /// paper's (lon, lon velocity, lat, lat velocity) in planar units.
+  static std::shared_ptr<const Schema> TupleSchema();
+
+  /// Stream spec with MODELs x = x + vx*t, y = y + vy*t.
+  static StreamSpec MakeStreamSpec(std::string name,
+                                   double segment_horizon);
+
+  Tuple NextTuple();
+  std::vector<Tuple> Generate(size_t n);
+
+  double now() const { return now_; }
+
+  /// Vessels configured as followers (index -> leader index), for test
+  /// ground truth.
+  const std::vector<std::pair<size_t, size_t>>& follower_pairs() const {
+    return follower_pairs_;
+  }
+
+ private:
+  struct VesselState {
+    double x = 0.0;
+    double y = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+    double last_update = 0.0;
+    double next_leg_change = 0.0;
+    // Follower behaviour: shadow `leader` at follow_distance.
+    bool is_follower = false;
+    size_t leader = 0;
+  };
+
+  void AdvanceVessel(size_t idx, double t);
+  void NewLeg(VesselState* v, double t);
+
+  AisOptions options_;
+  Rng rng_;
+  std::vector<VesselState> vessels_;
+  std::vector<std::pair<size_t, size_t>> follower_pairs_;
+  size_t next_vessel_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_AIS_H_

@@ -1,0 +1,108 @@
+#include "workload/moving_object.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+}  // namespace
+
+MovingObjectGenerator::MovingObjectGenerator(MovingObjectOptions options)
+    : options_(options), rng_(options.seed) {
+  PULSE_CHECK(options_.num_objects > 0);
+  PULSE_CHECK(options_.tuple_rate > 0.0);
+  PULSE_CHECK(options_.tuples_per_segment > 0);
+  now_ = options_.start_time;
+  objects_.resize(options_.num_objects);
+  for (ObjectState& obj : objects_) {
+    obj.x = rng_.Uniform(0.0, options_.area);
+    obj.y = rng_.Uniform(0.0, options_.area);
+    obj.last_update = now_;
+    Retarget(&obj);
+  }
+}
+
+std::shared_ptr<const Schema> MovingObjectGenerator::TupleSchema() {
+  return Schema::Make({{"id", ValueType::kInt64},
+                       {"x", ValueType::kDouble},
+                       {"y", ValueType::kDouble},
+                       {"vx", ValueType::kDouble},
+                       {"vy", ValueType::kDouble}});
+}
+
+StreamSpec MovingObjectGenerator::MakeStreamSpec(std::string name,
+                                                 double segment_horizon) {
+  StreamSpec spec;
+  spec.name = std::move(name);
+  spec.schema = TupleSchema();
+  spec.key_field = "id";
+  spec.models = {{"x", {"x", "vx"}}, {"y", {"y", "vy"}}};
+  spec.segment_horizon = segment_horizon;
+  return spec;
+}
+
+void MovingObjectGenerator::Retarget(ObjectState* obj) {
+  const double angle = rng_.Uniform(0.0, kTwoPi);
+  const double speed = options_.speed * rng_.Uniform(0.5, 1.5);
+  obj->vx = speed * std::cos(angle);
+  obj->vy = speed * std::sin(angle);
+  obj->samples_since_turn = 0;
+}
+
+void MovingObjectGenerator::AdvanceObject(ObjectState* obj, double t) {
+  const double dt = t - obj->last_update;
+  obj->x += obj->vx * dt;
+  obj->y += obj->vy * dt;
+  obj->last_update = t;
+  // Reflect at the world boundary, flipping velocity.
+  if (obj->x < 0.0) {
+    obj->x = -obj->x;
+    obj->vx = -obj->vx;
+  } else if (obj->x > options_.area) {
+    obj->x = 2.0 * options_.area - obj->x;
+    obj->vx = -obj->vx;
+  }
+  if (obj->y < 0.0) {
+    obj->y = -obj->y;
+    obj->vy = -obj->vy;
+  } else if (obj->y > options_.area) {
+    obj->y = 2.0 * options_.area - obj->y;
+    obj->vy = -obj->vy;
+  }
+}
+
+Tuple MovingObjectGenerator::NextTuple() {
+  const size_t idx = next_object_;
+  next_object_ = (next_object_ + 1) % objects_.size();
+  ObjectState& obj = objects_[idx];
+  AdvanceObject(&obj, now_);
+  if (obj.samples_since_turn >= options_.tuples_per_segment) {
+    Retarget(&obj);
+  }
+  ++obj.samples_since_turn;
+
+  Tuple t;
+  t.timestamp = now_;
+  const double nx = options_.noise > 0.0
+                        ? rng_.Gaussian(0.0, options_.noise)
+                        : 0.0;
+  const double ny = options_.noise > 0.0
+                        ? rng_.Gaussian(0.0, options_.noise)
+                        : 0.0;
+  t.values = {Value(static_cast<int64_t>(idx)), Value(obj.x + nx),
+              Value(obj.y + ny), Value(obj.vx), Value(obj.vy)};
+  now_ += 1.0 / options_.tuple_rate;
+  return t;
+}
+
+std::vector<Tuple> MovingObjectGenerator::Generate(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextTuple());
+  return out;
+}
+
+}  // namespace pulse

@@ -1,0 +1,80 @@
+#ifndef PULSE_WORKLOAD_MOVING_OBJECT_H_
+#define PULSE_WORKLOAD_MOVING_OBJECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/tuple.h"
+#include "util/rng.h"
+
+namespace pulse {
+
+/// Synthetic moving-object workload (paper Section V-A): two-dimensional
+/// position tuples with schema (id, x, y, vx, vy). Objects move with
+/// piecewise-constant velocity; the number of samples between velocity
+/// changes controls *model expressiveness* — "the number of tuples that
+/// fit a single model segment", the x-axis of the paper's
+/// microbenchmarks (Fig. 5).
+struct MovingObjectOptions {
+  size_t num_objects = 10;
+  /// Aggregate tuple rate across all objects (tuples/second).
+  double tuple_rate = 1000.0;
+  /// Samples per object between velocity changes = tuples that fit one
+  /// linear model segment.
+  size_t tuples_per_segment = 100;
+  /// Mean speed (units/second).
+  double speed = 10.0;
+  /// World is the square [0, area]^2 (objects reflect off walls).
+  double area = 10000.0;
+  /// Gaussian positional noise per emitted sample (0 = models are exact).
+  double noise = 0.0;
+  double start_time = 0.0;
+  uint64_t seed = 42;
+};
+
+class MovingObjectGenerator {
+ public:
+  explicit MovingObjectGenerator(MovingObjectOptions options);
+
+  /// Schema (id:int64, x:double, y:double, vx:double, vy:double).
+  static std::shared_ptr<const Schema> TupleSchema();
+
+  /// Stream declaration with MODEL clauses x = x + vx*t, y = y + vy*t
+  /// (paper Fig. 1 style) and the given predictive horizon.
+  static StreamSpec MakeStreamSpec(std::string name,
+                                   double segment_horizon);
+
+  /// Next sample, round-robin across objects, timestamps spaced at
+  /// 1/tuple_rate.
+  Tuple NextTuple();
+
+  /// Convenience: the next n tuples.
+  std::vector<Tuple> Generate(size_t n);
+
+  /// Event time of the next tuple.
+  double now() const { return now_; }
+
+ private:
+  struct ObjectState {
+    double x = 0.0;
+    double y = 0.0;
+    double vx = 0.0;
+    double vy = 0.0;
+    double last_update = 0.0;
+    size_t samples_since_turn = 0;
+  };
+
+  void AdvanceObject(ObjectState* obj, double t);
+  void Retarget(ObjectState* obj);
+
+  MovingObjectOptions options_;
+  Rng rng_;
+  std::vector<ObjectState> objects_;
+  size_t next_object_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_MOVING_OBJECT_H_

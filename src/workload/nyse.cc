@@ -1,0 +1,83 @@
+#include "workload/nyse.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+NyseGenerator::NyseGenerator(NyseOptions options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.num_symbols, options.zipf_skew) {
+  PULSE_CHECK(options_.num_symbols > 0);
+  PULSE_CHECK(options_.tuple_rate > 0.0);
+  PULSE_CHECK(options_.trades_per_trend > 0);
+  now_ = options_.start_time;
+  symbols_.resize(options_.num_symbols);
+  for (SymbolState& sym : symbols_) {
+    sym.price = options_.base_price * rng_.Uniform(0.5, 2.0);
+    sym.last_update = now_;
+    Retrend(&sym);
+  }
+}
+
+std::shared_ptr<const Schema> NyseGenerator::TupleSchema() {
+  return Schema::Make({{"symbol", ValueType::kInt64},
+                       {"price", ValueType::kDouble},
+                       {"dprice", ValueType::kDouble},
+                       {"qty", ValueType::kInt64}});
+}
+
+StreamSpec NyseGenerator::MakeStreamSpec(std::string name,
+                                         double segment_horizon) {
+  StreamSpec spec;
+  spec.name = std::move(name);
+  spec.schema = TupleSchema();
+  spec.key_field = "symbol";
+  spec.models = {{"price", {"price", "dprice"}}};
+  spec.segment_horizon = segment_horizon;
+  return spec;
+}
+
+void NyseGenerator::Retrend(SymbolState* sym) {
+  // New drift: random direction and magnitude around options_.drift.
+  const double magnitude = options_.drift * rng_.Uniform(0.2, 1.8);
+  sym->drift = rng_.Bernoulli(0.5) ? magnitude : -magnitude;
+  sym->trades_since_trend = 0;
+}
+
+Tuple NyseGenerator::NextTuple() {
+  const size_t idx = zipf_.Sample(rng_);
+  SymbolState& sym = symbols_[idx];
+  const double dt = now_ - sym.last_update;
+  sym.price += sym.drift * dt;
+  sym.last_update = now_;
+  // Keep prices positive: bounce the trend off the floor.
+  if (sym.price < 1.0) {
+    sym.price = 2.0 - sym.price;
+    sym.drift = std::abs(sym.drift);
+  }
+  if (sym.trades_since_trend >= options_.trades_per_trend) {
+    Retrend(&sym);
+  }
+  ++sym.trades_since_trend;
+
+  Tuple t;
+  t.timestamp = now_;
+  const double noise =
+      options_.noise > 0.0 ? rng_.Gaussian(0.0, options_.noise) : 0.0;
+  t.values = {Value(static_cast<int64_t>(idx)), Value(sym.price + noise),
+              Value(sym.drift), Value(rng_.UniformInt(100, 1000))};
+  now_ += 1.0 / options_.tuple_rate;
+  return t;
+}
+
+std::vector<Tuple> NyseGenerator::Generate(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextTuple());
+  return out;
+}
+
+}  // namespace pulse

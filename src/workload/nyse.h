@@ -1,0 +1,76 @@
+#ifndef PULSE_WORKLOAD_NYSE_H_
+#define PULSE_WORKLOAD_NYSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/tuple.h"
+#include "util/rng.h"
+
+namespace pulse {
+
+/// Synthetic NYSE TAQ-like trade feed.
+///
+/// The paper replays trade prices from the January 2006 TAQ release
+/// (schema: time, symbol, price, quantity). That dataset is proprietary;
+/// this generator substitutes a per-symbol trending random walk that
+/// preserves the properties the MACD experiment depends on: piecewise-
+/// smooth per-key price series whose local drift fits low-degree
+/// polynomials, interleaved across many symbols with Zipf-skewed trade
+/// frequency. The `dprice` field exposes the symbol's current drift
+/// (price change per second) so predictive MODEL clauses can build
+/// linear price models, mirroring how the original system fit trends.
+struct NyseOptions {
+  size_t num_symbols = 100;
+  /// Aggregate trade rate (tuples/second).
+  double tuple_rate = 3000.0;
+  double base_price = 50.0;
+  /// Price drift magnitude ($/second) while a trend lasts.
+  double drift = 0.02;
+  /// Trades per symbol between drift changes.
+  size_t trades_per_trend = 200;
+  /// Per-trade price noise (bid/ask bounce), in dollars.
+  double noise = 0.0;
+  /// Zipf skew for symbol popularity (0 = uniform).
+  double zipf_skew = 0.8;
+  double start_time = 0.0;
+  uint64_t seed = 42;
+};
+
+class NyseGenerator {
+ public:
+  explicit NyseGenerator(NyseOptions options);
+
+  /// Schema (symbol:int64, price:double, dprice:double, qty:int64).
+  static std::shared_ptr<const Schema> TupleSchema();
+
+  /// Stream spec with MODEL price = price + dprice * t.
+  static StreamSpec MakeStreamSpec(std::string name,
+                                   double segment_horizon);
+
+  Tuple NextTuple();
+  std::vector<Tuple> Generate(size_t n);
+
+  double now() const { return now_; }
+
+ private:
+  struct SymbolState {
+    double price = 0.0;
+    double drift = 0.0;
+    double last_update = 0.0;
+    size_t trades_since_trend = 0;
+  };
+
+  void Retrend(SymbolState* sym);
+
+  NyseOptions options_;
+  Rng rng_;
+  ZipfDistribution zipf_;
+  std::vector<SymbolState> symbols_;
+  double now_ = 0.0;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_NYSE_H_

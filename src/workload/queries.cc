@@ -1,0 +1,96 @@
+#include "workload/queries.h"
+
+namespace pulse {
+
+Result<QuerySpec::NodeId> AddMacdQuery(QuerySpec* spec,
+                                       const MacdParams& params) {
+  PULSE_ASSIGN_OR_RETURN(StreamSpec stream, spec->stream(params.stream));
+  (void)stream;
+
+  AggregateSpec short_agg;
+  short_agg.fn = AggFn::kAvg;
+  short_agg.attribute = "price";
+  short_agg.output_attribute = "ap";
+  short_agg.window_seconds = params.short_window;
+  short_agg.slide_seconds = params.slide;
+  short_agg.per_key = true;
+  const QuerySpec::NodeId s = spec->AddAggregate(
+      "macd.short", QuerySpec::Input::Stream(params.stream), short_agg);
+
+  AggregateSpec long_agg = short_agg;
+  long_agg.window_seconds = params.long_window;
+  const QuerySpec::NodeId l = spec->AddAggregate(
+      "macd.long", QuerySpec::Input::Stream(params.stream), long_agg);
+
+  // Join on symbol where the short-term average exceeds the long-term:
+  // "on (S.Symbol = L.Symbol) where S.ap > L.ap".
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("ap"), CmpOp::kGt,
+      Operand::Attribute(AttrRef::Right("ap"))));
+  join.window_seconds = params.join_window;
+  join.match_keys = true;
+  join.left_prefix = "s.";
+  join.right_prefix = "l.";
+  const QuerySpec::NodeId j =
+      spec->AddJoin("macd.join", QuerySpec::Input::Node(s),
+                    QuerySpec::Input::Node(l), join);
+
+  // "S.ap - L.ap as diff".
+  MapSpec map;
+  map.outputs = {ComputedAttr::Difference("diff", AttrRef::Left("s.ap"),
+                                          AttrRef::Left("l.ap"))};
+  map.keep_inputs = true;
+  return spec->AddMap("macd.diff", QuerySpec::Input::Node(j), map);
+}
+
+Result<QuerySpec::NodeId> AddFollowingQuery(QuerySpec* spec,
+                                            const FollowingParams& params) {
+  PULSE_ASSIGN_OR_RETURN(StreamSpec stream, spec->stream(params.stream));
+  (void)stream;
+
+  // Self-join: distinct vessels within pruning distance of each other.
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt,
+      params.prune_factor * params.threshold));
+  join.window_seconds = params.join_window;
+  join.require_distinct_keys = true;
+  join.left_prefix = "s1.";
+  join.right_prefix = "s2.";
+  const QuerySpec::NodeId j = spec->AddJoin(
+      "following.join", QuerySpec::Input::Stream(params.stream),
+      QuerySpec::Input::Stream(params.stream), join);
+
+  // dist^2 between the pair (sqrt substitution, see header).
+  MapSpec map;
+  map.outputs = {ComputedAttr::Distance2(
+      "dist2", AttrRef::Left("s1.x"), AttrRef::Left("s1.y"),
+      AttrRef::Left("s2.x"), AttrRef::Left("s2.y"))};
+  map.keep_inputs = false;
+  const QuerySpec::NodeId m =
+      spec->AddMap("following.dist", QuerySpec::Input::Node(j), map);
+
+  // avg(dist^2) per vessel pair over the long window.
+  AggregateSpec agg;
+  agg.fn = AggFn::kAvg;
+  agg.attribute = "dist2";
+  agg.output_attribute = "avg_dist2";
+  agg.window_seconds = params.avg_window;
+  agg.slide_seconds = params.avg_slide;
+  agg.per_key = true;
+  const QuerySpec::NodeId a =
+      spec->AddAggregate("following.avg", QuerySpec::Input::Node(m), agg);
+
+  // HAVING avg(dist) < threshold  ==  avg(dist^2) < threshold^2 (both
+  // plans use the squared form; see header note).
+  FilterSpec having;
+  having.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("avg_dist2"), CmpOp::kLt,
+      Operand::Constant(params.threshold * params.threshold)));
+  return spec->AddFilter("following.having", QuerySpec::Input::Node(a),
+                         having);
+}
+
+}  // namespace pulse

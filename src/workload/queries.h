@@ -1,0 +1,68 @@
+#ifndef PULSE_WORKLOAD_QUERIES_H_
+#define PULSE_WORKLOAD_QUERIES_H_
+
+#include <string>
+
+#include "core/query.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Parameters of the paper's MACD (moving average convergence/divergence)
+/// query over the NYSE feed (Section V-B):
+///
+///   select symbol, S.ap - L.ap as diff from
+///     (select symbol, avg(price) as ap from stream S[size 10 advance 2])
+///       as S
+///     join
+///     (select symbol, avg(price) as ap from stream S[size 60 advance 2])
+///       as L
+///     on (S.Symbol = L.Symbol) where S.ap > L.ap
+struct MacdParams {
+  std::string stream = "nyse";
+  double short_window = 10.0;
+  double long_window = 60.0;
+  double slide = 2.0;
+  /// Join buffer window (seconds of aggregate outputs held per side).
+  double join_window = 4.0;
+};
+
+/// Builds the MACD query over an already-declared stream in `spec`
+/// (the stream must have a "price" modeled attribute keyed by symbol).
+/// Returns the sink node id of the final diff map.
+Result<QuerySpec::NodeId> AddMacdQuery(QuerySpec* spec,
+                                       const MacdParams& params);
+
+/// Parameters of the paper's vessel "following" query over the AIS feed
+/// (Section V-B):
+///
+///   select Candidates.id1, Candidates.id2, avg(dist)
+///   (select S1.id as id1, S2.id as id2,
+///           sqrt(pow(S1.x-S2.x,2) + pow(S1.y-S2.y,2)) as dist
+///    from S[size 10 advance 1] as S1 join S as S2[size 10 advance 1]
+///    on (S1.id <> S2.id)) [size 600 advance 10] as Candidates
+///   group by id1, id2 having avg(dist) < 1000
+///
+/// Substitution note (documented in DESIGN.md): sqrt is not polynomial,
+/// so both plans compute dist^2 and aggregate avg(dist^2) with the HAVING
+/// threshold squared — identical semantics on both the discrete baseline
+/// and the Pulse plan, preserving a fair comparison. A candidate-pruning
+/// distance predicate (dist < prune_factor * threshold) bounds the
+/// otherwise-cross-product join, as a proximity tracker would.
+struct FollowingParams {
+  std::string stream = "ais";
+  double join_window = 10.0;
+  double avg_window = 600.0;
+  double avg_slide = 10.0;
+  double threshold = 1000.0;
+  double prune_factor = 4.0;
+};
+
+/// Builds the following query; returns the sink node id of the HAVING
+/// filter.
+Result<QuerySpec::NodeId> AddFollowingQuery(QuerySpec* spec,
+                                            const FollowingParams& params);
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_QUERIES_H_

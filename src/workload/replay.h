@@ -1,0 +1,37 @@
+#ifndef PULSE_WORKLOAD_REPLAY_H_
+#define PULSE_WORKLOAD_REPLAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/tuple.h"
+#include "util/result.h"
+
+namespace pulse {
+
+/// Persists a recorded tuple trace as CSV (timestamp first, then fields
+/// in schema order) and loads it back — the paper's experiments "replay
+/// from disk into Pulse" (Section V-B). Rates are applied by the caller;
+/// the trace itself carries event time.
+class TraceFile {
+ public:
+  /// Writes `tuples` to `path`, with a header row.
+  static Status Write(const std::string& path, const Schema& schema,
+                      const std::vector<Tuple>& tuples);
+
+  /// Loads a trace; field types follow `schema`.
+  static Result<std::vector<Tuple>> Load(const std::string& path,
+                                         const Schema& schema);
+};
+
+/// Rescales a trace's event time so the same data plays at a different
+/// stream rate (the paper's "stream replay rates" axis): timestamps are
+/// compressed/stretched around the trace start by `factor`.
+std::vector<Tuple> RescaleRate(const std::vector<Tuple>& trace,
+                               double factor);
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_REPLAY_H_

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/filter.h"
+#include "engine/join.h"
+#include "engine/plan.h"
+
+namespace pulse {
+namespace {
+
+std::shared_ptr<const Schema> VSchema() {
+  return Schema::Make(
+      {{"id", ValueType::kInt64}, {"v", ValueType::kDouble}});
+}
+
+Tuple VTuple(double ts, int64_t id, double v) {
+  return Tuple(ts, {Value(id), Value(v)});
+}
+
+std::shared_ptr<LambdaFilter> GtFilter(double threshold) {
+  return std::make_shared<LambdaFilter>(
+      "gt", VSchema(), [threshold](const Tuple& t) {
+        return t.at(1).as_double() > threshold;
+      });
+}
+
+TEST(QueryPlan, ConnectValidation) {
+  QueryPlan plan;
+  auto id = plan.AddOperator(GtFilter(0.0));
+  EXPECT_FALSE(plan.Connect(id, 99, 0).ok());
+  EXPECT_FALSE(plan.Connect(id, id, 5).ok());  // port out of range
+  EXPECT_TRUE(plan.BindSource("s", id, 0).ok());
+  EXPECT_FALSE(plan.BindSource("s", 99, 0).ok());
+}
+
+TEST(QueryPlan, TopologicalOrderLinearChain) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  auto b = plan.AddOperator(GtFilter(1.0));
+  auto c = plan.AddOperator(GtFilter(2.0));
+  ASSERT_TRUE(plan.Connect(a, b).ok());
+  ASSERT_TRUE(plan.Connect(b, c).ok());
+  Result<std::vector<QueryPlan::NodeId>> order = plan.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<QueryPlan::NodeId>{a, b, c}));
+  EXPECT_EQ(plan.SinkNodes(), std::vector<QueryPlan::NodeId>{c});
+}
+
+TEST(QueryPlan, CycleDetected) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  auto b = plan.AddOperator(GtFilter(1.0));
+  ASSERT_TRUE(plan.Connect(a, b).ok());
+  ASSERT_TRUE(plan.Connect(b, a).ok());
+  EXPECT_FALSE(plan.TopologicalOrder().ok());
+}
+
+TEST(Executor, PushThroughChain) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(1.0));
+  auto b = plan.AddOperator(GtFilter(2.0));
+  ASSERT_TRUE(plan.Connect(a, b).ok());
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushTuple("in", VTuple(0, 1, 5.0)).ok());
+  ASSERT_TRUE(exec->PushTuple("in", VTuple(1, 1, 1.5)).ok());  // fails b
+  ASSERT_TRUE(exec->PushTuple("in", VTuple(2, 1, 0.5)).ok());  // fails a
+  EXPECT_EQ(exec->output().size(), 1u);
+  EXPECT_DOUBLE_EQ(exec->output()[0].at(1).as_double(), 5.0);
+  EXPECT_EQ(exec->total_output(), 1u);
+}
+
+TEST(Executor, UnknownStreamFails) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->PushTuple("nope", VTuple(0, 1, 1.0)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Executor, FanOutToTwoConsumers) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  auto b = plan.AddOperator(GtFilter(10.0));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  ASSERT_TRUE(plan.BindSource("in", b, 0).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushTuple("in", VTuple(0, 1, 20.0)).ok());
+  // Both sinks pass: two outputs.
+  EXPECT_EQ(exec->output().size(), 2u);
+}
+
+TEST(Executor, JoinPlanWithTwoSources) {
+  QueryPlan plan;
+  auto schema = VSchema();
+  auto join = plan.AddOperator(std::make_shared<SlidingWindowJoin>(
+      "j", schema, schema, 10.0,
+      std::vector<JoinComparison>{{0, CmpOp::kEq, 0}}));
+  ASSERT_TRUE(plan.BindSource("l", join, 0).ok());
+  ASSERT_TRUE(plan.BindSource("r", join, 1).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushTuple("l", VTuple(0.0, 7, 1.0)).ok());
+  ASSERT_TRUE(exec->PushTuple("r", VTuple(0.5, 7, 2.0)).ok());
+  ASSERT_TRUE(exec->PushTuple("r", VTuple(0.6, 8, 2.0)).ok());
+  EXPECT_EQ(exec->output().size(), 1u);
+}
+
+TEST(Executor, CallbackAndDiscard) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  size_t seen = 0;
+  exec->set_output_callback([&](const Tuple&) { ++seen; });
+  exec->set_discard_output(true);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(exec->PushTuple("in", VTuple(i, 1, 1.0)).ok());
+  }
+  EXPECT_EQ(seen, 5u);
+  EXPECT_TRUE(exec->output().empty());
+  EXPECT_EQ(exec->total_output(), 5u);
+}
+
+TEST(Executor, TakeOutputDrains) {
+  QueryPlan plan;
+  auto a = plan.AddOperator(GtFilter(0.0));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  Result<Executor> exec = Executor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushTuple("in", VTuple(0, 1, 1.0)).ok());
+  EXPECT_EQ(exec->TakeOutput().size(), 1u);
+  EXPECT_TRUE(exec->output().empty());
+}
+
+}  // namespace
+}  // namespace pulse

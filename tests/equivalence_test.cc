@@ -1,0 +1,168 @@
+// Randomized continuous-vs-discrete equivalence: for randomly generated
+// piecewise models, the time ranges the Pulse operators report must agree
+// with pointwise evaluation of the same predicates on densely sampled
+// values — the semantic contract of the paper's transformation (modulo
+// the discretization differences of Section IV-A, which dense sampling
+// away from roots avoids).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/filter.h"
+#include "core/operators/join.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace {
+
+Polynomial RandomPolynomial(Rng& rng, size_t degree) {
+  std::vector<double> coeffs;
+  coeffs.push_back(rng.Uniform(-20.0, 20.0));
+  for (size_t i = 1; i <= degree; ++i) {
+    coeffs.push_back(rng.Uniform(-4.0, 4.0) / static_cast<double>(i * i));
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+class RandomFilterEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFilterEquivalence, SolutionMatchesPointwise) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t degree = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+    const double threshold = rng.Uniform(-15.0, 15.0);
+    const CmpOp op = static_cast<CmpOp>(rng.UniformInt(0, 5));
+    Segment seg(1, Interval::ClosedOpen(0.0, 10.0));
+    seg.id = NextSegmentId();
+    seg.set_attribute("x", RandomPolynomial(rng, degree));
+
+    PulseFilter filter("f", Predicate::Comparison(ComparisonTerm::Simple(
+                                AttrRef::Left("x"), op,
+                                Operand::Constant(threshold))));
+    SegmentBatch out;
+    ASSERT_TRUE(filter.Process(0, seg, &out).ok());
+    IntervalSet solution;
+    for (const Segment& s : out) solution.Add(s.range);
+
+    const Polynomial x = *seg.attribute("x");
+    for (double t = 0.0137; t < 10.0; t += 0.0713) {
+      const double v = x.Evaluate(t) - threshold;
+      if (std::abs(v) < 1e-6) continue;  // too close to a root to judge
+      bool expected = false;
+      switch (op) {
+        case CmpOp::kLt:
+          expected = v < 0;
+          break;
+        case CmpOp::kLe:
+          expected = v <= 0;
+          break;
+        case CmpOp::kEq:
+          expected = v == 0;
+          break;
+        case CmpOp::kNe:
+          expected = v != 0;
+          break;
+        case CmpOp::kGe:
+          expected = v >= 0;
+          break;
+        case CmpOp::kGt:
+          expected = v > 0;
+          break;
+      }
+      EXPECT_EQ(solution.Contains(t), expected)
+          << "trial " << trial << " op " << CmpOpToString(op) << " t=" << t
+          << " x(t)-c=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFilterEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+class RandomJoinEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomJoinEquivalence, JoinRangesMatchPointwise) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Segment l(1, Interval::ClosedOpen(0.0, 8.0));
+    l.id = NextSegmentId();
+    l.set_attribute("x", RandomPolynomial(rng, 2));
+    Segment r(2, Interval::ClosedOpen(rng.Uniform(0.0, 2.0),
+                                      rng.Uniform(5.0, 8.0)));
+    r.id = NextSegmentId();
+    r.set_attribute("x", RandomPolynomial(rng, 2));
+
+    Predicate pred = Predicate::Comparison(ComparisonTerm::Simple(
+        AttrRef::Left("x"), CmpOp::kLt,
+        Operand::Attribute(AttrRef::Right("x"))));
+    PulseJoinOptions opts;
+    opts.window_seconds = 100.0;
+    PulseJoin join("j", pred, opts);
+    SegmentBatch out;
+    ASSERT_TRUE(join.Process(0, l, &out).ok());
+    ASSERT_TRUE(join.Process(1, r, &out).ok());
+    IntervalSet solution;
+    for (const Segment& s : out) solution.Add(s.range);
+
+    const Polynomial lx = *l.attribute("x");
+    const Polynomial rx = *r.attribute("x");
+    for (double t = 0.0191; t < 8.0; t += 0.0531) {
+      const bool both_valid =
+          l.range.Contains(t) && r.range.Contains(t);
+      const double diff = lx.Evaluate(t) - rx.Evaluate(t);
+      if (std::abs(diff) < 1e-6) continue;
+      EXPECT_EQ(solution.Contains(t), both_valid && diff < 0.0)
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomJoinEquivalence,
+                         ::testing::Values(11, 22, 33));
+
+class RandomDistanceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDistanceEquivalence, ProximityRangesMatchPointwise) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto make = [&](Key key) {
+      Segment s(key, Interval::ClosedOpen(0.0, 10.0));
+      s.id = NextSegmentId();
+      s.set_attribute("x", RandomPolynomial(rng, 1));
+      s.set_attribute("y", RandomPolynomial(rng, 1));
+      return s;
+    };
+    Segment l = make(1);
+    Segment r = make(2);
+    const double c = rng.Uniform(1.0, 25.0);
+    Predicate pred = Predicate::Comparison(ComparisonTerm::Distance2(
+        AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+        AttrRef::Right("y"), CmpOp::kLt, c));
+    PulseJoinOptions opts;
+    opts.window_seconds = 100.0;
+    opts.require_distinct_keys = true;
+    PulseJoin join("j", pred, opts);
+    SegmentBatch out;
+    ASSERT_TRUE(join.Process(0, l, &out).ok());
+    ASSERT_TRUE(join.Process(1, r, &out).ok());
+    IntervalSet solution;
+    for (const Segment& s : out) solution.Add(s.range);
+
+    for (double t = 0.0171; t < 10.0; t += 0.0611) {
+      const double dx = l.attribute("x")->Evaluate(t) -
+                        r.attribute("x")->Evaluate(t);
+      const double dy = l.attribute("y")->Evaluate(t) -
+                        r.attribute("y")->Evaluate(t);
+      const double margin = dx * dx + dy * dy - c * c;
+      if (std::abs(margin) < 1e-5) continue;
+      EXPECT_EQ(solution.Contains(t), margin < 0.0)
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistanceEquivalence,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,95 @@
+#include "model/fitting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+std::vector<Sample> SamplePoly(const Polynomial& p, double lo, double hi,
+                               size_t n) {
+  std::vector<Sample> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(n - 1);
+    out.push_back(Sample{t, p.Evaluate(t)});
+  }
+  return out;
+}
+
+TEST(FitPolynomial, RecoversExactLine) {
+  Polynomial truth({2.0, -1.5});
+  Result<Polynomial> fit = FitPolynomial(SamplePoly(truth, 0, 10, 20), 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->AlmostEquals(truth, 1e-8));
+}
+
+TEST(FitPolynomial, RecoversExactQuadratic) {
+  Polynomial truth({1.0, 0.5, -0.25});
+  Result<Polynomial> fit = FitPolynomial(SamplePoly(truth, -5, 5, 30), 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->AlmostEquals(truth, 1e-7));
+}
+
+TEST(FitPolynomial, NeedsEnoughSamples) {
+  std::vector<Sample> two = {{0.0, 1.0}, {1.0, 2.0}};
+  EXPECT_FALSE(FitPolynomial(two, 2).ok());
+  EXPECT_TRUE(FitPolynomial(two, 1).ok());
+}
+
+TEST(FitPolynomial, LeastSquaresMinimizesResiduals) {
+  // Points off a line by symmetric offsets: best line is the middle one.
+  std::vector<Sample> pts = {{0.0, 0.0 + 1.0},
+                             {1.0, 2.0 - 1.0},
+                             {2.0, 4.0 + 1.0},
+                             {3.0, 6.0 - 1.0}};
+  Result<Polynomial> fit = FitPolynomial(pts, 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coeff(1), 2.0, 0.45);
+  const double rms = RmsResidual(*fit, pts);
+  // Any other line must not beat the least-squares RMS.
+  Polynomial alt({0.0, 2.0});
+  EXPECT_LE(rms, RmsResidual(alt, pts) + 1e-12);
+}
+
+TEST(Residuals, MaxAndRms) {
+  Polynomial p({0.0});
+  std::vector<Sample> pts = {{0.0, 3.0}, {1.0, -4.0}};
+  EXPECT_DOUBLE_EQ(MaxAbsResidual(p, pts), 4.0);
+  EXPECT_NEAR(RmsResidual(p, pts), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(RmsResidual(p, {}), 0.0);
+}
+
+TEST(FitConvenience, ConstantIsMean) {
+  std::vector<Sample> pts = {{0.0, 1.0}, {1.0, 3.0}, {2.0, 5.0}};
+  Result<Polynomial> c = FitConstant(pts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->coeff(0), 3.0, 1e-10);
+  Result<Polynomial> l = FitLine(pts);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->coeff(1), 2.0, 1e-10);
+}
+
+// Degree sweep: exact recovery for degrees 0..5.
+class FitDegreeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FitDegreeSweep, ExactRecovery) {
+  const size_t d = GetParam();
+  std::vector<double> coeffs;
+  for (size_t i = 0; i <= d; ++i) {
+    coeffs.push_back(((i % 2 == 0) ? 1.0 : -1.0) * (0.3 + 0.1 * i));
+  }
+  Polynomial truth{std::vector<double>(coeffs)};
+  Result<Polynomial> fit =
+      FitPolynomial(SamplePoly(truth, -2.0, 2.0, 3 * (d + 2)), d);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->AlmostEquals(truth, 1e-6))
+      << fit->ToString() << " vs " << truth.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FitDegreeSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,240 @@
+// End-to-end integration: the canonical NYSE MACD and AIS following
+// queries run through both the discrete baseline and the Pulse plan, and
+// the two must agree on result structure within the configured error
+// tolerances (paper Sections V-B/V-C; exact equivalence is not expected —
+// Observations 1 and 2 in Section IV-A document the false-positive /
+// false-negative semantics).
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/join.h"
+#include "core/runtime.h"
+#include "core/transform.h"
+#include "engine/executor.h"
+#include "workload/ais.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+
+namespace pulse {
+namespace {
+
+TEST(MacdIntegration, PulsePlanProducesCrossoverResults) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 4.0)).ok());
+  MacdParams params;
+  params.short_window = 4.0;
+  params.long_window = 12.0;
+  params.slide = 1.0;
+  ASSERT_TRUE(AddMacdQuery(&spec, params).ok());
+
+  Result<TransformedPlan> tplan = BuildPulsePlan(spec);
+  ASSERT_TRUE(tplan.ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(tplan->plan));
+  ASSERT_TRUE(exec.ok());
+
+  // One symbol whose price rises then falls: the short average crosses
+  // above the long average during the rise.
+  auto push = [&](double lo, double hi, double p0, double drift) {
+    Segment s(7, Interval::ClosedOpen(lo, hi));
+    s.set_attribute("price", Polynomial({p0, drift}).Shift(-lo));
+    ASSERT_TRUE(exec->PushSegment("nyse", s).ok());
+  };
+  push(0.0, 30.0, 100.0, 1.0);    // rising: short avg > long avg
+  push(30.0, 60.0, 130.0, -1.0);  // falling: crossover flips
+
+  ASSERT_FALSE(exec->output().empty());
+  for (const Segment& out : exec->output()) {
+    ASSERT_TRUE(out.has_attribute("diff"));
+    // The join predicate guarantees s.ap > l.ap wherever results exist:
+    // diff must be positive across each output range.
+    const Polynomial diff = *out.attribute("diff");
+    const double mid = 0.5 * (out.range.lo + out.range.hi);
+    EXPECT_GT(diff.Evaluate(mid), -1e-6)
+        << "diff negative at " << mid << " in " << out.range.ToString();
+  }
+  // Outputs exist during the rising phase (short > long there).
+  IntervalSet covered;
+  for (const Segment& out : exec->output()) covered.Add(out.range);
+  EXPECT_TRUE(covered.Contains(25.0));
+}
+
+TEST(MacdIntegration, DiscreteAndPulseAgreeOnCrossoverTimes) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 4.0)).ok());
+  MacdParams params;
+  params.short_window = 4.0;
+  params.long_window = 12.0;
+  params.slide = 1.0;
+  ASSERT_TRUE(AddMacdQuery(&spec, params).ok());
+
+  // Discrete run over a dense sampling of the same price path.
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(dplan.ok());
+  Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+  ASSERT_TRUE(dexec.ok());
+  auto price = [](double t) {
+    return t < 30.0 ? 100.0 + t : 130.0 - (t - 30.0);
+  };
+  for (double t = 0.0; t < 60.0; t += 0.05) {
+    Tuple tuple(t, {Value(int64_t{7}), Value(price(t)),
+                    Value(t < 30.0 ? 1.0 : -1.0), Value(int64_t{100})});
+    ASSERT_TRUE(dexec->PushTuple("nyse", tuple).ok());
+  }
+  ASSERT_TRUE(dexec->Finish().ok());
+  ASSERT_FALSE(dexec->output().empty());
+
+  // Pulse run over the exact segment models of the same path.
+  Result<TransformedPlan> tplan = BuildPulsePlan(spec);
+  ASSERT_TRUE(tplan.ok());
+  Result<PulseExecutor> pexec = PulseExecutor::Make(std::move(tplan->plan));
+  ASSERT_TRUE(pexec.ok());
+  Segment rise(7, Interval::ClosedOpen(0.0, 30.0));
+  rise.set_attribute("price", Polynomial({100.0, 1.0}));
+  Segment fall(7, Interval::ClosedOpen(30.0, 60.0));
+  fall.set_attribute("price", Polynomial({160.0, -1.0}));
+  ASSERT_TRUE(pexec->PushSegment("nyse", rise).ok());
+  ASSERT_TRUE(pexec->PushSegment("nyse", fall).ok());
+  IntervalSet pulse_times;
+  for (const Segment& s : pexec->output()) pulse_times.Add(s.range);
+  ASSERT_FALSE(pulse_times.IsEmpty());
+
+  // Every discrete result in the steady rising regime falls inside the
+  // continuous solution (tolerate boundary effects of 2 * slide).
+  size_t checked = 0;
+  for (const Tuple& t : dexec->output()) {
+    if (t.timestamp < 14.0 || t.timestamp > 28.0) continue;
+    EXPECT_TRUE(pulse_times.Contains(t.timestamp))
+        << "discrete MACD result at t=" << t.timestamp
+        << " missing from the continuous solution "
+        << pulse_times.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(FollowingIntegration, DetectsShadowingVesselPair) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(AisGenerator::MakeStreamSpec("ais", 20.0)).ok());
+  FollowingParams params;
+  params.join_window = 50.0;
+  params.avg_window = 20.0;
+  params.avg_slide = 5.0;
+  params.threshold = 100.0;
+  ASSERT_TRUE(AddFollowingQuery(&spec, params).ok());
+
+  Result<TransformedPlan> tplan = BuildPulsePlan(spec);
+  ASSERT_TRUE(tplan.ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(tplan->plan));
+  ASSERT_TRUE(exec.ok());
+
+  // Vessel 1 and its shadow at offset 50 (< threshold); vessel 3 far away.
+  auto push = [&](Key id, double x0, double y0, double vx) {
+    Segment s(id, Interval::ClosedOpen(0.0, 100.0));
+    s.set_attribute("x", Polynomial({x0, vx}));
+    s.set_attribute("y", Polynomial({y0}));
+    ASSERT_TRUE(exec->PushSegment("ais", s).ok());
+  };
+  push(1, 0.0, 0.0, 2.0);
+  push(2, 50.0, 0.0, 2.0);       // follower of 1
+  push(3, 100000.0, 50000.0, -2.0);  // unrelated
+
+  ASSERT_TRUE(exec->Finish().ok());
+  ASSERT_FALSE(exec->output().empty());
+  bool found_pair = false;
+  for (const Segment& out : exec->output()) {
+    Key l = 0, r = 0;
+    SplitKeys(out.key, &l, &r);
+    const std::pair<Key, Key> pair = {std::min(l, r), std::max(l, r)};
+    EXPECT_EQ(pair, (std::pair<Key, Key>{1, 2}))
+        << "unexpected following pair " << l << "," << r;
+    if (pair == std::pair<Key, Key>{1, 2}) found_pair = true;
+    // avg(dist^2) stays below threshold^2 on every reported range.
+    const Polynomial avg = *out.attribute("avg_dist2");
+    const double mid = 0.5 * (out.range.lo + out.range.hi);
+    EXPECT_LT(avg.Evaluate(mid),
+              params.threshold * params.threshold + 1e-6);
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(FollowingIntegration, DiscretePlanAgreesOnPair) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(AisGenerator::MakeStreamSpec("ais", 20.0)).ok());
+  FollowingParams params;
+  params.join_window = 5.0;
+  params.avg_window = 20.0;
+  params.avg_slide = 5.0;
+  params.threshold = 100.0;
+  ASSERT_TRUE(AddFollowingQuery(&spec, params).ok());
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(dplan.ok());
+  Result<Executor> exec = Executor::Make(std::move(dplan->plan));
+  ASSERT_TRUE(exec.ok());
+  // Sampled tracks of the same 3-vessel scenario.
+  for (double t = 0.0; t < 100.0; t += 0.5) {
+    auto push = [&](int64_t id, double x, double y, double vx) {
+      Tuple tuple(t, {Value(id), Value(x), Value(vx), Value(y),
+                      Value(0.0)});
+      ASSERT_TRUE(exec->PushTuple("ais", tuple).ok());
+    };
+    push(1, 2.0 * t, 0.0, 2.0);
+    push(2, 50.0 + 2.0 * t, 0.0, 2.0);
+    push(3, 100000.0 - 2.0 * t, 50000.0, -2.0);
+  }
+  ASSERT_TRUE(exec->Finish().ok());
+  ASSERT_FALSE(exec->output().empty());
+  // Output schema: (group=pair_key, avg_dist2); the HAVING filter kept
+  // only the close pair, in both orders.
+  for (const Tuple& t : exec->output()) {
+    Key l = 0, r = 0;
+    SplitKeys(t.at(0).as_int64(), &l, &r);
+    EXPECT_EQ(std::min(l, r), 1);
+    EXPECT_EQ(std::max(l, r), 2);
+    EXPECT_LT(t.at(1).as_double(), params.threshold * params.threshold);
+  }
+}
+
+TEST(PredictiveEndToEnd, NyseFeedThroughMacd) {
+  // Full predictive pipeline on generated NYSE data: models built from
+  // tuples, validated, query solved on violations only.
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 10.0)).ok());
+  MacdParams params;
+  params.short_window = 2.0;
+  params.long_window = 6.0;
+  params.slide = 1.0;
+  ASSERT_TRUE(AddMacdQuery(&spec, params).ok());
+
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Relative("diff", 0.01)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(spec, std::move(opts));
+  ASSERT_TRUE(rt.ok());
+
+  NyseOptions gen_opts;
+  gen_opts.num_symbols = 5;
+  gen_opts.tuple_rate = 100.0;
+  gen_opts.trades_per_trend = 50;
+  gen_opts.noise = 0.0;
+  NyseGenerator gen(gen_opts);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(rt->ProcessTuple("nyse", gen.NextTuple()).ok());
+  }
+  ASSERT_TRUE(rt->Finish().ok());
+  const RuntimeStats& stats = rt->stats();
+  EXPECT_EQ(stats.tuples_in, 2000u);
+  // The whole point of Pulse: most tuples validate against the model and
+  // never reach the solver.
+  EXPECT_GT(stats.tuples_validated, stats.segments_pushed);
+  EXPECT_GT(stats.output_segments, 0u);
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,202 @@
+#include "core/validation/inversion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators/aggregate.h"
+#include "core/operators/filter.h"
+#include "core/operators/join.h"
+#include "core/operators/map.h"
+#include "core/pulse_plan.h"
+
+namespace pulse {
+namespace {
+
+Segment Seg(Key key, double lo, double hi, double c0, double c1,
+            const std::string& attr = "x") {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.id = NextSegmentId();
+  s.set_attribute(attr, Polynomial({c0, c1}));
+  return s;
+}
+
+Predicate LessThan(const std::string& attr, double c) {
+  return Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left(attr), CmpOp::kLt, Operand::Constant(c)));
+}
+
+TEST(PulsePlan, UpstreamLookup) {
+  PulsePlan plan;
+  auto a = plan.AddOperator(
+      std::make_shared<PulseFilter>("a", LessThan("x", 5.0)));
+  auto b = plan.AddOperator(
+      std::make_shared<PulseFilter>("b", LessThan("x", 3.0)));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  ASSERT_TRUE(plan.Connect(a, b, 0).ok());
+  EXPECT_FALSE(plan.UpstreamOf(a, 0).has_value());  // fed by stream
+  ASSERT_TRUE(plan.UpstreamOf(b, 0).has_value());
+  EXPECT_EQ(*plan.UpstreamOf(b, 0), a);
+  EXPECT_EQ(plan.SinkNodes(), std::vector<PulsePlan::NodeId>{b});
+}
+
+TEST(PulseExecutor, SegmentsFlowThroughChain) {
+  PulsePlan plan;
+  auto a = plan.AddOperator(
+      std::make_shared<PulseFilter>("a", LessThan("x", 8.0)));
+  auto b = plan.AddOperator(
+      std::make_shared<PulseFilter>("b", LessThan("x", 5.0)));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  ASSERT_TRUE(plan.Connect(a, b, 0).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushSegment("in", Seg(1, 0.0, 10.0, 0.0, 1.0)).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+  EXPECT_NEAR(exec->output()[0].range.hi, 5.0, 1e-9);
+  EXPECT_EQ(exec->total_output(), 1u);
+  EXPECT_FALSE(exec->PushSegment("zzz", Seg(1, 0, 1, 0, 0)).ok());
+}
+
+TEST(QueryInverter, SingleFilterChain) {
+  PulsePlan plan;
+  auto f = plan.AddOperator(
+      std::make_shared<PulseFilter>("f", LessThan("x", 5.0)));
+  ASSERT_TRUE(plan.BindSource("in", f, 0).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushSegment("in", Seg(3, 0.0, 10.0, 0.0, 1.0)).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+
+  QueryInverter inverter(&exec->plan());
+  BoundRegistry registry;
+  ASSERT_TRUE(inverter
+                  .InvertForOutput(f, exec->output()[0],
+                                   BoundSpec::Absolute("x", 0.5), &registry)
+                  .ok());
+  EXPECT_DOUBLE_EQ(registry.Margin(3, "x"), 0.5);
+  EXPECT_EQ(inverter.inversions(), 1u);
+}
+
+TEST(QueryInverter, TwoFilterChainPropagatesUpstream) {
+  PulsePlan plan;
+  auto a = plan.AddOperator(
+      std::make_shared<PulseFilter>("a", LessThan("x", 8.0)));
+  auto b = plan.AddOperator(
+      std::make_shared<PulseFilter>("b", LessThan("x", 5.0)));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  ASSERT_TRUE(plan.Connect(a, b, 0).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushSegment("in", Seg(7, 0.0, 10.0, 0.0, 1.0)).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+
+  QueryInverter inverter(&exec->plan());
+  BoundRegistry registry;
+  ASSERT_TRUE(inverter
+                  .InvertForOutput(b, exec->output()[0],
+                                   BoundSpec::Absolute("x", 0.4), &registry)
+                  .ok());
+  // Walked through both filters to the source.
+  EXPECT_EQ(inverter.inversions(), 2u);
+  const double margin = registry.Margin(7, "x");
+  EXPECT_GT(margin, 0.0);
+  EXPECT_LE(margin, 0.4);
+}
+
+TEST(QueryInverter, RelativeBoundUsesOutputMagnitude) {
+  PulsePlan plan;
+  auto f = plan.AddOperator(
+      std::make_shared<PulseFilter>("f", LessThan("x", 1000.0)));
+  ASSERT_TRUE(plan.BindSource("in", f, 0).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  // Constant model of value 50: 1% relative bound -> margin 0.5.
+  ASSERT_TRUE(exec->PushSegment("in", Seg(1, 0.0, 10.0, 50.0, 0.0)).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+  QueryInverter inverter(&exec->plan());
+  BoundRegistry registry;
+  ASSERT_TRUE(inverter
+                  .InvertForOutput(f, exec->output()[0],
+                                   BoundSpec::Relative("x", 0.01),
+                                   &registry)
+                  .ok());
+  EXPECT_NEAR(registry.Margin(1, "x"), 0.5, 1e-9);
+}
+
+TEST(QueryInverter, JoinApportionsToBothSources) {
+  Predicate cross = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt,
+      Operand::Attribute(AttrRef::Right("x"))));
+  PulseJoinOptions o;
+  o.window_seconds = 100.0;
+  PulsePlan plan;
+  auto j = plan.AddOperator(std::make_shared<PulseJoin>("j", cross, o));
+  ASSERT_TRUE(plan.BindSource("l", j, 0).ok());
+  ASSERT_TRUE(plan.BindSource("r", j, 1).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushSegment("l", Seg(1, 0.0, 10.0, 0.0, 1.0)).ok());
+  ASSERT_TRUE(exec->PushSegment("r", Seg(2, 0.0, 10.0, 20.0, -1.0)).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+  QueryInverter inverter(&exec->plan(),
+                         std::make_shared<GradientSplit>());
+  BoundRegistry registry;
+  ASSERT_TRUE(inverter
+                  .InvertForOutput(j, exec->output()[0],
+                                   BoundSpec::Absolute("left.x", 1.0),
+                                   &registry)
+                  .ok());
+  // Both sources received (finite) margins on x.
+  EXPECT_LT(registry.Margin(1, "x"), 1.0);
+  EXPECT_LT(registry.Margin(2, "x"), 1.0);
+}
+
+TEST(QueryInverter, AggregateThenFilterChain) {
+  PulseAggregateOptions ao;
+  ao.fn = AggFn::kAvg;
+  ao.input_attribute = "x";
+  ao.output_attribute = "agg";
+  ao.window_seconds = 2.0;
+  PulsePlan plan;
+  Result<std::unique_ptr<PulseOperator>> agg =
+      MakePulseAggregate("avg", ao);
+  ASSERT_TRUE(agg.ok());
+  auto a = plan.AddOperator(std::move(*agg));
+  auto f = plan.AddOperator(
+      std::make_shared<PulseFilter>("f", LessThan("agg", 1e9)));
+  ASSERT_TRUE(plan.BindSource("in", a, 0).ok());
+  ASSERT_TRUE(plan.Connect(a, f, 0).ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan));
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(exec->PushSegment("in", Seg(4, 0.0, 10.0, 1.0, 0.5)).ok());
+  ASSERT_FALSE(exec->output().empty());
+  QueryInverter inverter(&exec->plan());
+  BoundRegistry registry;
+  ASSERT_TRUE(inverter
+                  .InvertForOutput(f, exec->output()[0],
+                                   BoundSpec::Absolute("agg", 0.8),
+                                   &registry)
+                  .ok());
+  // The avg inversion is 1-Lipschitz; the filter divides across its
+  // dependency set. Margin must be positive and conservative.
+  const double margin = registry.Margin(4, "x");
+  EXPECT_GT(margin, 0.0);
+  EXPECT_LE(margin, 0.8 + 1e-12);
+}
+
+TEST(QueryInverter, MissingLineageFails) {
+  PulsePlan plan;
+  auto f = plan.AddOperator(
+      std::make_shared<PulseFilter>("f", LessThan("x", 5.0)));
+  ASSERT_TRUE(plan.BindSource("in", f, 0).ok());
+  QueryInverter inverter(&plan);
+  BoundRegistry registry;
+  Segment fake(1, Interval::ClosedOpen(0.0, 1.0));
+  fake.id = 987654;
+  EXPECT_FALSE(inverter
+                   .InvertForOutput(f, fake,
+                                    BoundSpec::Absolute("x", 0.1),
+                                    &registry)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pulse

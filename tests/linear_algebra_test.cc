@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/linear_system.h"
+#include "math/matrix.h"
+
+namespace pulse {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.0);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose().AlmostEquals(m));
+}
+
+TEST(Matrix, MultiplyMatrixAndVector) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{5.0, 6.0}, {7.0, 8.0}});
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  std::vector<double> v = a * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}});
+  Matrix b = Matrix::FromRows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 3.0)(0, 1), 6.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m = Matrix::FromRows({{3.0, 4.0}, {0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.InfinityNorm(), 7.0);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  // x + y = 3; 2x - y = 0 -> x = 1, y = 2.
+  Matrix a = Matrix::FromRows({{1.0, 1.0}, {2.0, -1.0}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {3.0, 0.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // First pivot is zero: partial pivoting must row-swap.
+  Matrix a = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularFails) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {2.0, 4.0}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericError);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchFails) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(LuDecompose, SolveMultipleRhs) {
+  Matrix a = Matrix::FromRows(
+      {{4.0, 3.0, 0.0}, {3.0, 4.0, -1.0}, {0.0, -1.0, 4.0}});
+  Result<LuDecomposition> lu = LuDecompose(a);
+  ASSERT_TRUE(lu.ok());
+  for (const std::vector<double>& b :
+       {std::vector<double>{1.0, 0.0, 0.0},
+        std::vector<double>{2.0, -1.0, 3.0}}) {
+    Result<std::vector<double>> x = lu->Solve(b);
+    ASSERT_TRUE(x.ok());
+    std::vector<double> back = a * *x;
+    for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-10);
+  }
+}
+
+TEST(LuDecompose, Determinant) {
+  Matrix a = Matrix::FromRows({{2.0, 0.0}, {0.0, 3.0}});
+  Result<LuDecomposition> lu = LuDecompose(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 6.0, 1e-12);
+  // Permutation sign handled: swap-needing matrix.
+  Matrix b = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  Result<LuDecomposition> lub = LuDecompose(b);
+  ASSERT_TRUE(lub.ok());
+  EXPECT_NEAR(lub->Determinant(), -1.0, 1e-12);
+}
+
+TEST(SolveLeastSquares, ExactFitWhenSquare) {
+  Matrix a = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  Result<std::vector<double>> x = SolveLeastSquares(a, {5.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 5.0, 1e-12);
+}
+
+TEST(SolveLeastSquares, OverdeterminedLine) {
+  // Fit y = a + b t to noisy-free points on y = 2 + 3t.
+  std::vector<double> ts = {0.0, 1.0, 2.0, 3.0, 4.0};
+  Matrix a(ts.size(), 2);
+  std::vector<double> b(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    a.At(i, 0) = 1.0;
+    a.At(i, 1) = ts[i];
+    b[i] = 2.0 + 3.0 * ts[i];
+  }
+  Result<std::vector<double>> x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(SolveLeastSquares, UnderdeterminedFails) {
+  Matrix a(1, 2);
+  EXPECT_FALSE(SolveLeastSquares(a, {1.0}).ok());
+}
+
+TEST(Invert, RoundTrip) {
+  Matrix a = Matrix::FromRows({{4.0, 7.0}, {2.0, 6.0}});
+  Result<Matrix> inv = Invert(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE((a * *inv).AlmostEquals(Matrix::Identity(2), 1e-10));
+}
+
+TEST(Invert, SingularFails) {
+  Matrix a = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_FALSE(Invert(a).ok());
+}
+
+// Property sweep over sizes: random-ish SPD-like systems solve and verify.
+class LinearSolveSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LinearSolveSweep, SolvesDiagonallyDominant) {
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a.At(i, j) = std::sin(static_cast<double>(i * 31 + j * 17));
+      row_sum += std::abs(a.At(i, j));
+    }
+    a.At(i, i) = row_sum + 1.0;  // strictly diagonally dominant
+    b[i] = std::cos(static_cast<double>(i));
+  }
+  Result<std::vector<double>> x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  std::vector<double> back = a * *x;
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearSolveSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,275 @@
+#include "core/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pulse_plan.h"
+#include "core/transform.h"
+#include "engine/executor.h"
+#include "workload/ais.h"
+#include "workload/moving_object.h"
+#include "workload/nyse.h"
+
+namespace pulse {
+namespace {
+
+using parser_internal::Token;
+using parser_internal::TokenKind;
+using parser_internal::Tokenize;
+
+TEST(Tokenizer, IdentifiersLowercasedAndNumbers) {
+  Result<std::vector<Token>> tokens = Tokenize("SELECT Price 3.5 [size 10]");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 8u);  // select price 3.5 [ size 10 ] END
+  EXPECT_EQ((*tokens)[0].text, "select");
+  EXPECT_EQ((*tokens)[1].text, "price");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 3.5);
+  EXPECT_EQ((*tokens)[3].text, "[");
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kEnd);
+}
+
+TEST(Tokenizer, MultiCharOperators) {
+  Result<std::vector<Token>> tokens = Tokenize("a <= b <> c >= d < e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+  EXPECT_EQ((*tokens)[5].text, ">=");
+  EXPECT_EQ((*tokens)[7].text, "<");
+}
+
+TEST(Tokenizer, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+TEST(ParseModel, PaperFigureOneForms) {
+  // Paper Fig. 1: "A.x = A.x + A.v t" and "B.y = B.v t + B.a t2".
+  Result<ModelClause> a = QueryParser::ParseModel("A.x = A.x + A.v t", "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->modeled_attribute, "x");
+  EXPECT_EQ(a->coefficient_fields, (std::vector<std::string>{"x", "v"}));
+
+  Result<ModelClause> b =
+      QueryParser::ParseModel("B.y = B.c + B.v t + B.a t2", "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->modeled_attribute, "y");
+  EXPECT_EQ(b->coefficient_fields,
+            (std::vector<std::string>{"c", "v", "a"}));
+}
+
+TEST(ParseModel, CaretExponentAndStarForms) {
+  Result<ModelClause> m =
+      QueryParser::ParseModel("x = p0 + p1*t + p2*t^2", "");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->coefficient_fields,
+            (std::vector<std::string>{"p0", "p1", "p2"}));
+}
+
+TEST(ParseModel, RejectsGaps) {
+  // t^2 term without a t^1 coefficient.
+  EXPECT_FALSE(QueryParser::ParseModel("x = a + b t2", "").ok());
+  EXPECT_FALSE(QueryParser::ParseModel("x = a + b t + c t", "").ok());
+}
+
+TEST(ParsePredicate, ComparisonForms) {
+  Result<Predicate> p = QueryParser::ParsePredicate("r.x < 5", "r", "");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "L.x < 5");
+
+  p = QueryParser::ParsePredicate("r.x >= s.y", "r", "s");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "L.x >= R.y");
+
+  p = QueryParser::ParsePredicate("r.x < -2.5", "r", "");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "L.x < -2.5");
+}
+
+TEST(ParsePredicate, BooleanStructure) {
+  Result<Predicate> p = QueryParser::ParsePredicate(
+      "r.x < 5 and (r.y > 2 or not r.z = 0)", "r", "");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "(L.x < 5 AND (L.y > 2 OR NOT L.z = 0))");
+}
+
+TEST(ParsePredicate, DistanceForm) {
+  Result<Predicate> p = QueryParser::ParsePredicate(
+      "dist(r.x, r.y, s.x, s.y) < 1000", "r", "s");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsConjunctive());
+  EXPECT_NE(p->ToString().find("dist"), std::string::npos);
+}
+
+TEST(ParsePredicate, NormalizesRightLeftComparison) {
+  // "s.y > r.x" flips to keep the left side on the left input.
+  Result<Predicate> p = QueryParser::ParsePredicate("s.y > r.x", "r", "s");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "L.x < R.y");
+}
+
+TEST(ParsePredicate, Errors) {
+  EXPECT_FALSE(QueryParser::ParsePredicate("r.x <", "r", "").ok());
+  EXPECT_FALSE(QueryParser::ParsePredicate("q.x < 5", "r", "s").ok());
+  EXPECT_FALSE(QueryParser::ParsePredicate("r.x < 5 extra", "r", "").ok());
+}
+
+QuerySpec ObjectSpec() {
+  QuerySpec spec;
+  EXPECT_TRUE(
+      spec.AddStream(MovingObjectGenerator::MakeStreamSpec("objects", 5.0))
+          .ok());
+  return spec;
+}
+
+TEST(ParseQuery, SimpleFilter) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec, "select * from objects where x < 500");
+  ASSERT_TRUE(sink.ok());
+  ASSERT_EQ(spec.num_nodes(), 1u);
+  EXPECT_EQ(spec.node(*sink).kind, QuerySpec::OpKind::kFilter);
+  // Both plans build from the parsed spec.
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, PassthroughSelectStar) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink =
+      QueryParser::Parse(&spec, "select * from objects");
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(spec.node(*sink).kind, QuerySpec::OpKind::kFilter);
+}
+
+TEST(ParseQuery, ModelClauseValidatedAgainstDeclaration) {
+  QuerySpec spec = ObjectSpec();
+  // Matches the declared MODEL x = x + vx t.
+  EXPECT_TRUE(QueryParser::Parse(&spec,
+                                 "select * from objects model "
+                                 "objects.x = objects.x + objects.vx t "
+                                 "where x < 100")
+                  .ok());
+  // Disagrees with the declaration.
+  QuerySpec spec2 = ObjectSpec();
+  EXPECT_FALSE(QueryParser::Parse(&spec2,
+                                  "select * from objects model "
+                                  "objects.x = objects.y + objects.vy t "
+                                  "where x < 100")
+                   .ok());
+}
+
+TEST(ParseQuery, WindowedAggregateWithGroupBy) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0)).ok());
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec,
+      "select symbol, avg(price) as ap from nyse [size 10 advance 2]");
+  ASSERT_TRUE(sink.ok());
+  const QuerySpec::Node& node = spec.node(*sink);
+  ASSERT_EQ(node.kind, QuerySpec::OpKind::kAggregate);
+  EXPECT_EQ(node.aggregate->fn, AggFn::kAvg);
+  EXPECT_EQ(node.aggregate->attribute, "price");
+  EXPECT_EQ(node.aggregate->output_attribute, "ap");
+  EXPECT_DOUBLE_EQ(node.aggregate->window_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(node.aggregate->slide_seconds, 2.0);
+  // "symbol" in the select list implies per-key grouping (the paper's
+  // MACD sub-select form).
+  EXPECT_TRUE(node.aggregate->per_key);
+}
+
+TEST(ParseQuery, AggregateRequiresWindow) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0)).ok());
+  EXPECT_FALSE(
+      QueryParser::Parse(&spec, "select avg(price) from nyse").ok());
+}
+
+TEST(ParseQuery, PaperMacdQueryVerbatim) {
+  // The paper's MACD query (Section V-B), modulo StreamSQL spelling.
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 5.0)).ok());
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(&spec, R"(
+      select symbol, s.ap - l.ap as diff from
+        (select symbol, avg(price) as ap from nyse [size 10 advance 2])
+          as s
+        join
+        (select symbol, avg(price) as ap from nyse [size 60 advance 2])
+          as l
+        on (s.symbol = l.symbol) where s.ap > l.ap)");
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  // Nodes: short agg, long agg, join, diff map.
+  ASSERT_EQ(spec.num_nodes(), 4u);
+  const QuerySpec::Node& join = spec.node(2);
+  ASSERT_EQ(join.kind, QuerySpec::OpKind::kJoin);
+  EXPECT_TRUE(join.join->match_keys);  // S.Symbol = L.Symbol absorbed
+  EXPECT_EQ(join.join->left_prefix, "s.");
+  const QuerySpec::Node& map = spec.node(*sink);
+  ASSERT_EQ(map.kind, QuerySpec::OpKind::kMap);
+  EXPECT_EQ(map.map->outputs[0].name, "diff");
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, PaperFollowingQueryVerbatim) {
+  // The paper's AIS following query, with dist() for
+  // sqrt(pow(..)+pow(..)) (documented substitution).
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(AisGenerator::MakeStreamSpec("ais", 30.0)).ok());
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(&spec, R"(
+      select avg(dist2) as avg_dist2 from
+        (select dist(s1.x, s1.y, s2.x, s2.y) as dist2
+         from ais [size 10 advance 1] as s1
+         join ais [size 10 advance 1] as s2
+         on (s1.id <> s2.id and dist(s1.x, s1.y, s2.x, s2.y) < 4000))
+        [size 600 advance 10] as candidates
+      group by id1, id2 having avg_dist2 < 1000000)");
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  // join, dist map, aggregate, having filter.
+  ASSERT_EQ(spec.num_nodes(), 4u);
+  const QuerySpec::Node& join = spec.node(0);
+  ASSERT_EQ(join.kind, QuerySpec::OpKind::kJoin);
+  EXPECT_TRUE(join.join->require_distinct_keys);  // S1.id <> S2.id
+  const QuerySpec::Node& agg = spec.node(2);
+  ASSERT_EQ(agg.kind, QuerySpec::OpKind::kAggregate);
+  EXPECT_DOUBLE_EQ(agg.aggregate->window_seconds, 600.0);
+  EXPECT_TRUE(agg.aggregate->per_key);
+  EXPECT_EQ(spec.node(*sink).kind, QuerySpec::OpKind::kFilter);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, ParsedFilterExecutesLikeHandBuilt) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec, "select * from objects where x < 5 and y > 1");
+  ASSERT_TRUE(sink.ok());
+  Result<TransformedPlan> plan = BuildPulsePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan->plan));
+  ASSERT_TRUE(exec.ok());
+  Segment seg(1, Interval::ClosedOpen(0.0, 10.0));
+  seg.set_attribute("x", Polynomial({0.0, 1.0}));   // x = t
+  seg.set_attribute("y", Polynomial({0.0, 0.5}));   // y = t/2
+  ASSERT_TRUE(exec->PushSegment("objects", seg).ok());
+  // x < 5 on [0,5); y > 1 on (2,10): intersection (2, 5).
+  ASSERT_EQ(exec->output().size(), 1u);
+  EXPECT_NEAR(exec->output()[0].range.lo, 2.0, 1e-9);
+  EXPECT_NEAR(exec->output()[0].range.hi, 5.0, 1e-9);
+}
+
+TEST(ParseQuery, Errors) {
+  QuerySpec spec = ObjectSpec();
+  EXPECT_FALSE(QueryParser::Parse(&spec, "selekt * from objects").ok());
+  EXPECT_FALSE(QueryParser::Parse(&spec, "select * from missing").ok());
+  EXPECT_FALSE(
+      QueryParser::Parse(&spec, "select * from objects trailing").ok());
+  EXPECT_FALSE(QueryParser::Parse(
+                   &spec, "select * from objects where zzz < 1")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,169 @@
+#include "model/piecewise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+TEST(PiecewiseModel, EmptyModel) {
+  PiecewiseModel m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.Evaluate(1.0).has_value());
+  EXPECT_TRUE(m.Domain().IsEmpty());
+}
+
+TEST(PiecewiseModel, OverwriteAndEvaluate) {
+  PiecewiseModel m;
+  m.Overwrite(Piece{Interval::ClosedOpen(0.0, 2.0), Polynomial({1.0})});
+  m.Overwrite(Piece{Interval::ClosedOpen(2.0, 4.0), Polynomial({2.0})});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(3.0), 2.0);
+  EXPECT_FALSE(m.Evaluate(5.0).has_value());
+}
+
+TEST(PiecewiseModel, OverwriteSplitsExisting) {
+  PiecewiseModel m;
+  m.Overwrite(Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({1.0})});
+  m.Overwrite(Piece{Interval::ClosedOpen(4.0, 6.0), Polynomial({9.0})});
+  EXPECT_DOUBLE_EQ(*m.Evaluate(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(5.0), 9.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(8.0), 1.0);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(PiecewiseModel, MergeEnvelopeFillsUncoveredRange) {
+  PiecewiseModel m;
+  IntervalSet won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 2.0), Polynomial({5.0})},
+      /*is_min=*/true);
+  EXPECT_DOUBLE_EQ(won.TotalLength(), 2.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(1.0), 5.0);
+}
+
+TEST(PiecewiseModel, MinEnvelopeKeepsSmaller) {
+  PiecewiseModel m;
+  m.MergeEnvelope(Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({5.0})},
+                  true);
+  // Candidate above the envelope: wins nothing.
+  IntervalSet won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({7.0})}, true);
+  EXPECT_DOUBLE_EQ(won.TotalLength(), 0.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(3.0), 5.0);
+  // Candidate below: wins everywhere it extends.
+  won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(2.0, 4.0), Polynomial({1.0})}, true);
+  EXPECT_DOUBLE_EQ(won.TotalLength(), 2.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(*m.Evaluate(5.0), 5.0);
+}
+
+TEST(PiecewiseModel, MinEnvelopeCrossingLines) {
+  // Envelope 10 - t vs candidate t: candidate is smaller before t = 5.
+  PiecewiseModel m;
+  m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({10.0, -1.0})},
+      true);
+  IntervalSet won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({0.0, 1.0})}, true);
+  EXPECT_NEAR(won.TotalLength(), 5.0, 1e-9);
+  EXPECT_NEAR(*m.Evaluate(2.0), 2.0, 1e-9);   // candidate line
+  EXPECT_NEAR(*m.Evaluate(8.0), 2.0, 1e-9);   // original line 10 - t
+  // Envelope value is min of the two lines everywhere.
+  for (double t = 0.25; t < 10.0; t += 0.5) {
+    EXPECT_NEAR(*m.Evaluate(t), std::min(t, 10.0 - t), 1e-9) << t;
+  }
+}
+
+TEST(PiecewiseModel, MaxEnvelopeCrossingLines) {
+  PiecewiseModel m;
+  m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({10.0, -1.0})},
+      false);
+  m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({0.0, 1.0})},
+      false);
+  for (double t = 0.25; t < 10.0; t += 0.5) {
+    EXPECT_NEAR(*m.Evaluate(t), std::max(t, 10.0 - t), 1e-9) << t;
+  }
+}
+
+TEST(PiecewiseModel, EnvelopeWithQuadratic) {
+  // Parabola (t-5)^2 + 1 dips below the constant 5 near its vertex.
+  PiecewiseModel m;
+  m.MergeEnvelope(Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({5.0})},
+                  true);
+  IntervalSet won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({26.0, -10.0, 1.0})},
+      true);
+  // (t-5)^2 + 1 < 5  <=>  |t-5| < 2  <=>  t in (3, 7).
+  EXPECT_NEAR(won.TotalLength(), 4.0, 1e-6);
+  EXPECT_NEAR(*m.Evaluate(5.0), 1.0, 1e-9);
+  EXPECT_NEAR(*m.Evaluate(2.0), 5.0, 1e-9);
+}
+
+TEST(PiecewiseModel, ReturnedWinSetMatchesChangedRegion) {
+  PiecewiseModel m;
+  m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({0.0, 1.0})}, true);
+  IntervalSet won = m.MergeEnvelope(
+      Piece{Interval::ClosedOpen(0.0, 10.0), Polynomial({3.0})}, true);
+  // Constant 3 beats line t exactly for t > 3.
+  ASSERT_FALSE(won.IsEmpty());
+  EXPECT_NEAR(won.Min(), 3.0, 1e-9);
+  EXPECT_NEAR(won.Max(), 10.0, 1e-9);
+}
+
+TEST(PiecewiseModel, ExpireBefore) {
+  PiecewiseModel m;
+  m.Overwrite(Piece{Interval::ClosedOpen(0.0, 2.0), Polynomial({1.0})});
+  m.Overwrite(Piece{Interval::ClosedOpen(2.0, 4.0), Polynomial({2.0})});
+  m.ExpireBefore(3.0);
+  EXPECT_FALSE(m.Evaluate(1.0).has_value());
+  EXPECT_DOUBLE_EQ(*m.Evaluate(3.5), 2.0);
+  // Straddling piece trimmed, not dropped.
+  EXPECT_DOUBLE_EQ(m.pieces().front().range.lo, 3.0);
+  m.ExpireBefore(100.0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(PiecewiseModel, AdjacentIdenticalPiecesCoalesce) {
+  PiecewiseModel m;
+  m.Overwrite(Piece{Interval::ClosedOpen(0.0, 1.0), Polynomial({1.0})});
+  m.Overwrite(Piece{Interval::ClosedOpen(1.0, 2.0), Polynomial({1.0})});
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// Property sweep: after merging N random lines, the envelope equals the
+// pointwise min/max of all lines at every probe.
+class EnvelopeSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EnvelopeSweep, MatchesPointwiseExtremum) {
+  const bool is_min = GetParam();
+  PiecewiseModel m;
+  std::vector<Polynomial> lines;
+  for (int i = 0; i < 8; ++i) {
+    // Deterministic pseudo-random slopes/intercepts.
+    const double slope = std::sin(i * 1.7) * 3.0;
+    const double intercept = std::cos(i * 2.3) * 10.0;
+    lines.push_back(Polynomial({intercept, slope}));
+    m.MergeEnvelope(Piece{Interval::ClosedOpen(0.0, 20.0), lines.back()},
+                    is_min);
+  }
+  for (double t = 0.1; t < 20.0; t += 0.37) {
+    double expected = lines[0].Evaluate(t);
+    for (const Polynomial& l : lines) {
+      expected = is_min ? std::min(expected, l.Evaluate(t))
+                        : std::max(expected, l.Evaluate(t));
+    }
+    ASSERT_TRUE(m.Evaluate(t).has_value()) << t;
+    EXPECT_NEAR(*m.Evaluate(t), expected, 1e-7) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MinAndMax, EnvelopeSweep, ::testing::Bool());
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,164 @@
+#include "math/polynomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+TEST(Polynomial, DefaultIsZero) {
+  Polynomial p;
+  EXPECT_TRUE(p.IsZero());
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_DOUBLE_EQ(p.Evaluate(12.3), 0.0);
+}
+
+TEST(Polynomial, TrimsTrailingZeros) {
+  Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1u);
+  EXPECT_EQ(p.coeffs().size(), 2u);
+}
+
+TEST(Polynomial, TrimsToZeroPolynomial) {
+  Polynomial p({0.0, 0.0});
+  EXPECT_TRUE(p.IsZero());
+}
+
+TEST(Polynomial, EvaluateHorner) {
+  // 2 - 3t + t^2 at t = 5: 2 - 15 + 25 = 12.
+  Polynomial p({2.0, -3.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.Evaluate(5.0), 12.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(0.0), 2.0);
+}
+
+TEST(Polynomial, ConstantAndMonomial) {
+  EXPECT_DOUBLE_EQ(Polynomial::Constant(7.0).Evaluate(100.0), 7.0);
+  Polynomial m = Polynomial::Monomial(3.0, 2);
+  EXPECT_EQ(m.degree(), 2u);
+  EXPECT_DOUBLE_EQ(m.Evaluate(4.0), 48.0);
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial a({1.0, 2.0});        // 1 + 2t
+  Polynomial b({3.0, 0.0, 1.0});   // 3 + t^2
+  Polynomial sum = a + b;          // 4 + 2t + t^2
+  EXPECT_DOUBLE_EQ(sum.Evaluate(2.0), 12.0);
+  Polynomial diff = b - a;         // 2 - 2t + t^2
+  EXPECT_DOUBLE_EQ(diff.Evaluate(3.0), 5.0);
+  Polynomial prod = a * b;         // (1+2t)(3+t^2)
+  EXPECT_DOUBLE_EQ(prod.Evaluate(2.0), (1 + 4) * (3 + 4));
+  EXPECT_EQ(prod.degree(), 3u);
+  Polynomial neg = -a;
+  EXPECT_DOUBLE_EQ(neg.Evaluate(1.0), -3.0);
+  Polynomial scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.Evaluate(1.0), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).Evaluate(1.0), 6.0);
+}
+
+TEST(Polynomial, SubtractionCancelsToZero) {
+  Polynomial a({1.0, 2.0, 3.0});
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(Polynomial, CompoundAssignment) {
+  Polynomial a({1.0});
+  a += Polynomial({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.Evaluate(2.0), 3.0);
+  a -= Polynomial({1.0});
+  EXPECT_DOUBLE_EQ(a.Evaluate(2.0), 2.0);
+}
+
+TEST(Polynomial, Derivative) {
+  // d/dt (1 + 2t + 3t^2) = 2 + 6t.
+  Polynomial p({1.0, 2.0, 3.0});
+  Polynomial d = p.Derivative();
+  EXPECT_EQ(d.degree(), 1u);
+  EXPECT_DOUBLE_EQ(d.Evaluate(2.0), 14.0);
+  EXPECT_TRUE(Polynomial::Constant(5.0).Derivative().IsZero());
+  EXPECT_TRUE(Polynomial().Derivative().IsZero());
+}
+
+TEST(Polynomial, AntiderivativeInvertsDerivative) {
+  Polynomial p({4.0, -2.0, 9.0});
+  Polynomial anti = p.Antiderivative();
+  EXPECT_TRUE(anti.Derivative().AlmostEquals(p));
+  EXPECT_DOUBLE_EQ(anti.Evaluate(0.0), 0.0);
+}
+
+TEST(Polynomial, DefiniteIntegral) {
+  // Integral of 2t over [0, 3] is 9.
+  Polynomial p({0.0, 2.0});
+  EXPECT_NEAR(p.Integrate(0.0, 3.0), 9.0, 1e-12);
+  // Reversed limits negate.
+  EXPECT_NEAR(p.Integrate(3.0, 0.0), -9.0, 1e-12);
+}
+
+TEST(Polynomial, ShiftMatchesDirectEvaluation) {
+  Polynomial p({1.0, -2.0, 0.5, 0.25});
+  const double s = 1.75;
+  Polynomial shifted = p.Shift(s);
+  for (double t = -3.0; t <= 3.0; t += 0.5) {
+    EXPECT_NEAR(shifted.Evaluate(t), p.Evaluate(t + s), 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Polynomial, ShiftByWindowExpandsBinomially) {
+  // The sum-aggregate tail integral uses p(t - w); verify Shift(-w).
+  Polynomial p({0.0, 0.0, 1.0});  // t^2
+  Polynomial q = p.Shift(-2.0);   // (t-2)^2 = 4 - 4t + t^2
+  EXPECT_NEAR(q.coeff(0), 4.0, 1e-12);
+  EXPECT_NEAR(q.coeff(1), -4.0, 1e-12);
+  EXPECT_NEAR(q.coeff(2), 1.0, 1e-12);
+}
+
+TEST(Polynomial, ScaleArgument) {
+  Polynomial p({1.0, 1.0, 1.0});
+  Polynomial q = p.ScaleArgument(2.0);
+  for (double t = -2.0; t <= 2.0; t += 0.25) {
+    EXPECT_NEAR(q.Evaluate(t), p.Evaluate(2.0 * t), 1e-12);
+  }
+}
+
+TEST(Polynomial, MaxAbsDifferenceFindsInteriorExtremum) {
+  // p - q = t^2 - 1 on [-2, 2]: max |.| is 3 at the endpoints; on [-1, 1]
+  // the interior extremum at t=0 gives 1.
+  Polynomial p({0.0, 0.0, 1.0});
+  Polynomial q({1.0});
+  EXPECT_NEAR(p.MaxAbsDifference(q, -2.0, 2.0), 3.0, 1e-9);
+  EXPECT_NEAR(p.MaxAbsDifference(q, -1.0, 1.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.MaxAbsDifference(p, -5.0, 5.0), 0.0);
+}
+
+TEST(Polynomial, ToString) {
+  EXPECT_EQ(Polynomial().ToString(), "0");
+  EXPECT_EQ(Polynomial::Constant(3.0).ToString(), "3");
+  Polynomial p({1.0, 2.0});
+  EXPECT_EQ(p.ToString(), "1 + 2*t");
+}
+
+// Property-style sweep: (p*q)' == p'q + pq' for assorted polynomials.
+class PolynomialProductRule
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PolynomialProductRule, DerivativeOfProduct) {
+  auto [da, db] = GetParam();
+  std::vector<double> ca, cb;
+  for (int i = 0; i <= da; ++i) ca.push_back(0.5 * i + 1.0);
+  for (int i = 0; i <= db; ++i) cb.push_back(1.5 * i - 2.0);
+  Polynomial a{std::vector<double>(ca)};
+  Polynomial b{std::vector<double>(cb)};
+  Polynomial lhs = (a * b).Derivative();
+  Polynomial rhs = a.Derivative() * b + a * b.Derivative();
+  EXPECT_TRUE(lhs.AlmostEquals(rhs, 1e-9))
+      << lhs.ToString() << " vs " << rhs.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degrees, PolynomialProductRule,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 1),
+                      std::make_pair(2, 1), std::make_pair(3, 2),
+                      std::make_pair(4, 4), std::make_pair(5, 3)));
+
+}  // namespace
+}  // namespace pulse

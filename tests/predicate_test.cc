@@ -1,0 +1,254 @@
+#include "core/predicate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+// Resolver with fixed models: x(t) = t, y(t) = 10 - t, c(t) = 5.
+AttrResolver FixedResolver() {
+  return [](const AttrRef& ref) -> Result<Polynomial> {
+    if (ref.name == "x") return Polynomial({0.0, 1.0});
+    if (ref.name == "y") return Polynomial({10.0, -1.0});
+    if (ref.name == "c") return Polynomial({5.0});
+    return Status::NotFound("unknown attribute " + ref.name);
+  };
+}
+
+TEST(ComparisonTerm, ToStringForms) {
+  ComparisonTerm simple = ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(5.0));
+  EXPECT_EQ(simple.ToString(), "L.x < 5");
+  ComparisonTerm attr = ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kEq, Operand::Attribute(AttrRef::Right("y")));
+  EXPECT_EQ(attr.ToString(), "L.x = R.y");
+  ComparisonTerm dist = ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt, 3.0);
+  EXPECT_NE(dist.ToString().find("dist"), std::string::npos);
+}
+
+TEST(Predicate, ComparisonSolve) {
+  // x < 5 with x = t: holds on [0, 5).
+  Predicate p = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(5.0)));
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::ClosedOpen(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->Contains(4.9));
+  EXPECT_FALSE(sol->Contains(5.0));
+}
+
+TEST(Predicate, AttributeVsAttribute) {
+  // x = y: t = 10 - t -> t = 5 (a point: equality join output).
+  Predicate p = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kEq,
+      Operand::Attribute(AttrRef::Left("y"))));
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->size(), 1u);
+  EXPECT_TRUE(sol->intervals()[0].IsPoint());
+  EXPECT_NEAR(sol->intervals()[0].lo, 5.0, 1e-9);
+}
+
+TEST(Predicate, AndIntersects) {
+  // x > 2 AND x < 7 -> t in (2, 7).
+  Predicate p = Predicate::And(
+      {Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kGt, Operand::Constant(2.0))),
+       Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(7.0)))});
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->Contains(5.0));
+  EXPECT_FALSE(sol->Contains(2.0));
+  EXPECT_FALSE(sol->Contains(8.0));
+}
+
+TEST(Predicate, OrUnions) {
+  Predicate p = Predicate::Or(
+      {Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(2.0))),
+       Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kGt, Operand::Constant(8.0)))});
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->Contains(1.0));
+  EXPECT_TRUE(sol->Contains(9.0));
+  EXPECT_FALSE(sol->Contains(5.0));
+}
+
+TEST(Predicate, NotComplements) {
+  Predicate p = Predicate::Not(Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(5.0))));
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->Contains(3.0));
+  EXPECT_TRUE(sol->Contains(5.0));  // NOT(x < 5) includes x == 5
+  EXPECT_TRUE(sol->Contains(7.0));
+}
+
+TEST(Predicate, DistanceTermSolvesProximity) {
+  // Objects at x1 = (t, 0) and x2 = (10 - t, 0): distance < 4 when
+  // |2t - 10| < 4, i.e. t in (3, 7).
+  AttrResolver resolver = [](const AttrRef& ref) -> Result<Polynomial> {
+    if (ref.side == Side::kLeft && ref.name == "x")
+      return Polynomial({0.0, 1.0});
+    if (ref.side == Side::kRight && ref.name == "x")
+      return Polynomial({10.0, -1.0});
+    return Polynomial();  // y components zero
+  };
+  Predicate p = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt, 4.0));
+  Result<IntervalSet> sol =
+      p.Solve(resolver, Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->Contains(2.9));
+  EXPECT_TRUE(sol->Contains(5.0));
+  EXPECT_FALSE(sol->Contains(7.1));
+}
+
+TEST(Predicate, IsConjunctive) {
+  Predicate leaf = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(1.0)));
+  EXPECT_TRUE(leaf.IsConjunctive());
+  EXPECT_TRUE(Predicate::And({leaf, leaf}).IsConjunctive());
+  EXPECT_FALSE(Predicate::Or({leaf, leaf}).IsConjunctive());
+  EXPECT_FALSE(Predicate::Not(leaf).IsConjunctive());
+  EXPECT_FALSE(
+      Predicate::And({leaf, Predicate::Or({leaf, leaf})}).IsConjunctive());
+}
+
+TEST(Predicate, BuildSystemFromConjunction) {
+  Predicate p = Predicate::And(
+      {Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kGt, Operand::Constant(2.0))),
+       Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("x"), CmpOp::kLt,
+           Operand::Attribute(AttrRef::Left("y"))))});
+  Result<EquationSystem> sys = p.BuildSystem(FixedResolver());
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ(sys->num_rows(), 2u);
+  // Solving the system directly matches Predicate::Solve.
+  IntervalSet via_system = sys->Solve(Interval::Closed(0.0, 10.0));
+  Result<IntervalSet> via_pred =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(via_pred.ok());
+  for (double t = 0.0; t <= 10.0; t += 0.1) {
+    EXPECT_EQ(via_system.Contains(t), via_pred->Contains(t)) << t;
+  }
+}
+
+TEST(Predicate, BuildSystemRejectsDisjunction) {
+  Predicate leaf = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(1.0)));
+  Result<EquationSystem> sys =
+      Predicate::Or({leaf, leaf}).BuildSystem(FixedResolver());
+  EXPECT_FALSE(sys.ok());
+  EXPECT_EQ(sys.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Predicate, CollectAttributes) {
+  Predicate p = Predicate::And(
+      {Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("a"), CmpOp::kLt,
+           Operand::Attribute(AttrRef::Right("b")))),
+       Predicate::Comparison(ComparisonTerm::Distance2(
+           AttrRef::Left("x1"), AttrRef::Left("y1"), AttrRef::Right("x2"),
+           AttrRef::Right("y2"), CmpOp::kLt, 1.0))});
+  std::vector<AttrRef> refs;
+  p.CollectAttributes(&refs);
+  EXPECT_EQ(refs.size(), 6u);
+}
+
+TEST(Predicate, EvaluateOnValues) {
+  Predicate p = Predicate::And(
+      {Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("a"), CmpOp::kGt, Operand::Constant(1.0))),
+       Predicate::Comparison(ComparisonTerm::Simple(
+           AttrRef::Left("a"), CmpOp::kLe,
+           Operand::Attribute(AttrRef::Left("b"))))});
+  auto resolver = [](const AttrRef& ref) -> Result<double> {
+    if (ref.name == "a") return 2.0;
+    if (ref.name == "b") return 3.0;
+    return Status::NotFound("?");
+  };
+  Result<bool> r = p.EvaluateOnValues(resolver);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // Distance form.
+  Predicate d = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("a"), AttrRef::Left("b"), AttrRef::Left("a"),
+      AttrRef::Left("a"), CmpOp::kLt, 1.5));
+  // Points (2,3) and (2,2): distance 1 < 1.5.
+  Result<bool> rd = d.EvaluateOnValues(resolver);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_TRUE(*rd);
+}
+
+TEST(Predicate, EvaluateOnValuesBooleanStructure) {
+  auto resolver = [](const AttrRef& ref) -> Result<double> {
+    return ref.name == "a" ? 1.0 : 5.0;
+  };
+  Predicate lt = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("a"), CmpOp::kLt, Operand::Constant(0.0)));
+  Predicate gt = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("b"), CmpOp::kGt, Operand::Constant(0.0)));
+  EXPECT_FALSE(*Predicate::And({lt, gt}).EvaluateOnValues(resolver));
+  EXPECT_TRUE(*Predicate::Or({lt, gt}).EvaluateOnValues(resolver));
+  EXPECT_TRUE(*Predicate::Not(lt).EvaluateOnValues(resolver));
+}
+
+TEST(Predicate, SolveErrorsOnMissingAttribute) {
+  Predicate p = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("nope"), CmpOp::kLt, Operand::Constant(0.0)));
+  Result<IntervalSet> sol =
+      p.Solve(FixedResolver(), Interval::Closed(0.0, 1.0));
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(Predicate, ToStringNested) {
+  Predicate leaf = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(1.0)));
+  Predicate p = Predicate::Not(Predicate::Or({leaf, leaf}));
+  EXPECT_EQ(p.ToString(), "NOT (L.x < 1 OR L.x < 1)");
+}
+
+// Continuous vs discrete consistency: the solved time ranges agree with
+// pointwise evaluation of the same predicate on sampled model values.
+class ContinuousDiscreteAgreement
+    : public ::testing::TestWithParam<CmpOp> {};
+
+TEST_P(ContinuousDiscreteAgreement, Agree) {
+  const CmpOp op = GetParam();
+  Predicate p = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), op, Operand::Attribute(AttrRef::Left("y"))));
+  AttrResolver models = FixedResolver();
+  Result<IntervalSet> sol = p.Solve(models, Interval::Closed(0.0, 10.0));
+  ASSERT_TRUE(sol.ok());
+  for (double t = 0.05; t < 10.0; t += 0.173) {
+    auto values = [&](const AttrRef& ref) -> Result<double> {
+      PULSE_ASSIGN_OR_RETURN(Polynomial poly, models(ref));
+      return poly.Evaluate(t);
+    };
+    Result<bool> discrete = p.EvaluateOnValues(values);
+    ASSERT_TRUE(discrete.ok());
+    EXPECT_EQ(sol->Contains(t), *discrete)
+        << CmpOpToString(op) << " at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ContinuousDiscreteAgreement,
+                         ::testing::Values(CmpOp::kLt, CmpOp::kLe,
+                                           CmpOp::kEq, CmpOp::kNe,
+                                           CmpOp::kGe, CmpOp::kGt));
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,219 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/aggregate.h"
+#include "core/operators/group_by.h"
+#include "core/operators/map.h"
+
+namespace pulse {
+namespace {
+
+Segment Seg(Key key, double lo, double hi,
+            std::vector<std::pair<std::string, Polynomial>> attrs) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.id = NextSegmentId();
+  for (auto& [name, poly] : attrs) s.set_attribute(name, poly);
+  return s;
+}
+
+TEST(ComputedAttr, DifferencePolynomialAndValues) {
+  ComputedAttr diff = ComputedAttr::Difference("d", AttrRef::Left("a"),
+                                               AttrRef::Left("b"));
+  AttrResolver polys = [](const AttrRef& ref) -> Result<Polynomial> {
+    return ref.name == "a" ? Polynomial({5.0, 1.0}) : Polynomial({2.0});
+  };
+  Result<Polynomial> p = diff.BuildPolynomial(polys);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->Evaluate(1.0), 4.0, 1e-12);
+  Predicate::ValueResolver values = [](const AttrRef& ref) -> Result<double> {
+    return ref.name == "a" ? 5.0 : 2.0;
+  };
+  Result<double> v = diff.EvaluateValues(values);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.0);
+}
+
+TEST(ComputedAttr, Distance2Forms) {
+  ComputedAttr d2 = ComputedAttr::Distance2(
+      "dist2", AttrRef::Left("x1"), AttrRef::Left("y1"),
+      AttrRef::Left("x2"), AttrRef::Left("y2"));
+  Predicate::ValueResolver values = [](const AttrRef& ref) -> Result<double> {
+    if (ref.name == "x1") return 0.0;
+    if (ref.name == "y1") return 0.0;
+    if (ref.name == "x2") return 3.0;
+    return 4.0;
+  };
+  Result<double> v = d2.EvaluateValues(values);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 25.0);
+}
+
+TEST(PulseMap, ComputesDerivedModel) {
+  PulseMap m("m", {ComputedAttr::Difference("d", AttrRef::Left("a"),
+                                            AttrRef::Left("b"))});
+  SegmentBatch out;
+  ASSERT_TRUE(m.Process(0,
+                        Seg(1, 0.0, 10.0,
+                            {{"a", Polynomial({3.0, 1.0})},
+                             {"b", Polynomial({1.0})}}),
+                        &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].has_attribute("d"));
+  EXPECT_TRUE(out[0].has_attribute("a"));  // keep_inputs default
+  EXPECT_NEAR(out[0].attribute("d")->Evaluate(2.0), 4.0, 1e-12);
+}
+
+TEST(PulseMap, DropInputsMode) {
+  PulseMap m("m",
+             {ComputedAttr::Difference("d", AttrRef::Left("a"),
+                                       AttrRef::Left("b"))},
+             /*keep_inputs=*/false);
+  SegmentBatch out;
+  ASSERT_TRUE(m.Process(0,
+                        Seg(1, 0.0, 10.0,
+                            {{"a", Polynomial({3.0})},
+                             {"b", Polynomial({1.0})}}),
+                        &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].has_attribute("a"));
+  EXPECT_TRUE(out[0].has_attribute("d"));
+}
+
+TEST(PulseMap, Distance2OnJoinedSegment) {
+  PulseMap m("m", {ComputedAttr::Distance2(
+                      "dist2", AttrRef::Left("s1.x"), AttrRef::Left("s1.y"),
+                      AttrRef::Left("s2.x"), AttrRef::Left("s2.y"))});
+  SegmentBatch out;
+  ASSERT_TRUE(m.Process(0,
+                        Seg(1, 0.0, 10.0,
+                            {{"s1.x", Polynomial({0.0, 1.0})},
+                             {"s1.y", Polynomial()},
+                             {"s2.x", Polynomial({10.0, -1.0})},
+                             {"s2.y", Polynomial()}}),
+                        &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  // dist2(t) = (2t - 10)^2.
+  EXPECT_NEAR(out[0].attribute("dist2")->Evaluate(5.0), 0.0, 1e-9);
+  EXPECT_NEAR(out[0].attribute("dist2")->Evaluate(7.0), 16.0, 1e-9);
+}
+
+TEST(PulseMap, InvertBoundSplitsDifference) {
+  PulseMap m("m", {ComputedAttr::Difference("d", AttrRef::Left("a"),
+                                            AttrRef::Left("b"))});
+  SegmentBatch out;
+  ASSERT_TRUE(m.Process(0,
+                        Seg(4, 0.0, 10.0,
+                            {{"a", Polynomial({3.0, 1.0})},
+                             {"b", Polynomial({1.0})}}),
+                        &out)
+                  .ok());
+  EquiSplit split;
+  Result<std::vector<AllocatedBound>> allocs =
+      m.InvertBound(out[0], "d", 0.2, split);
+  ASSERT_TRUE(allocs.ok());
+  // Two dependencies, each at margin * 1/2 (Lipschitz share).
+  ASSERT_EQ(allocs->size(), 2u);
+  double total = 0.0;
+  for (const AllocatedBound& ab : *allocs) total += ab.margin;
+  EXPECT_NEAR(total, 0.2, 1e-12);
+}
+
+TEST(PulseMap, InvertBoundPassthroughAttribute) {
+  PulseMap m("m", {ComputedAttr::Difference("d", AttrRef::Left("a"),
+                                            AttrRef::Left("b"))});
+  SegmentBatch out;
+  ASSERT_TRUE(m.Process(0,
+                        Seg(4, 0.0, 10.0,
+                            {{"a", Polynomial({3.0})},
+                             {"b", Polynomial({1.0})}}),
+                        &out)
+                  .ok());
+  EquiSplit split;
+  // "a" is not a computed output: passthrough identity.
+  Result<std::vector<AllocatedBound>> allocs =
+      m.InvertBound(out[0], "a", 0.3, split);
+  ASSERT_TRUE(allocs.ok());
+  ASSERT_EQ(allocs->size(), 1u);
+  EXPECT_EQ((*allocs)[0].attribute, "a");
+  EXPECT_NEAR((*allocs)[0].margin, 0.3, 1e-12);
+}
+
+PulseGroupBy::InnerFactory MinFactory(double window = 100.0) {
+  return [window](Key) -> Result<std::unique_ptr<PulseOperator>> {
+    PulseAggregateOptions o;
+    o.fn = AggFn::kMin;
+    o.input_attribute = "v";
+    o.window_seconds = window;
+    return MakePulseAggregate("inner", o);
+  };
+}
+
+TEST(PulseGroupBy, RoutesByKeyAndRekeysOutput) {
+  PulseGroupBy g("g", MinFactory());
+  SegmentBatch out;
+  Segment a = Seg(1, 0.0, 10.0, {{"v", Polynomial({5.0})}});
+  Segment b = Seg(2, 0.0, 10.0, {{"v", Polynomial({3.0})}});
+  ASSERT_TRUE(g.Process(0, a, &out).ok());
+  ASSERT_TRUE(g.Process(0, b, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  // Each group has its own envelope: key 2's constant 3 does not displace
+  // key 1's constant 5.
+  EXPECT_EQ(out[0].key, 1);
+  EXPECT_EQ(out[1].key, 2);
+  EXPECT_EQ(g.num_groups(), 2u);
+}
+
+TEST(PulseGroupBy, GroupStateIsolated) {
+  PulseGroupBy g("g", MinFactory());
+  SegmentBatch out;
+  ASSERT_TRUE(
+      g.Process(0, Seg(1, 0.0, 10.0, {{"v", Polynomial({5.0})}}), &out)
+          .ok());
+  out.clear();
+  // Higher value in the SAME group: no output.
+  ASSERT_TRUE(
+      g.Process(0, Seg(1, 0.0, 10.0, {{"v", Polynomial({9.0})}}), &out)
+          .ok());
+  EXPECT_TRUE(out.empty());
+  // Same value in a DIFFERENT group: fresh envelope, output produced.
+  ASSERT_TRUE(
+      g.Process(0, Seg(2, 0.0, 10.0, {{"v", Polynomial({9.0})}}), &out)
+          .ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PulseGroupBy, InvertBoundDelegates) {
+  PulseGroupBy g("g", MinFactory());
+  SegmentBatch out;
+  ASSERT_TRUE(
+      g.Process(0, Seg(5, 0.0, 10.0, {{"v", Polynomial({5.0})}}), &out)
+          .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EquiSplit split;
+  Result<std::vector<AllocatedBound>> allocs =
+      g.InvertBound(out[0], "agg", 0.5, split);
+  ASSERT_TRUE(allocs.ok());
+  ASSERT_EQ(allocs->size(), 1u);
+  EXPECT_EQ((*allocs)[0].key, 5);
+  // Unknown group.
+  Segment fake(99, Interval::ClosedOpen(0.0, 1.0));
+  fake.id = 424242;
+  EXPECT_FALSE(g.InvertBound(fake, "agg", 0.5, split).ok());
+}
+
+TEST(PulseGroupBy, FactoryFailurePropagates) {
+  PulseGroupBy g("g", [](Key) -> Result<std::unique_ptr<PulseOperator>> {
+    return Status::Unimplemented("nope");
+  });
+  SegmentBatch out;
+  EXPECT_FALSE(
+      g.Process(0, Seg(1, 0.0, 1.0, {{"v", Polynomial({1.0})}}), &out)
+          .ok());
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,237 @@
+#include "core/runtime.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/moving_object.h"
+#include "workload/nyse.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec FilterQuerySpec(double threshold, double horizon = 5.0) {
+  QuerySpec spec;
+  EXPECT_TRUE(spec.AddStream(MovingObjectGenerator::MakeStreamSpec(
+                                 "objects", horizon))
+                  .ok());
+  FilterSpec filter;
+  filter.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(threshold)));
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"), filter);
+  return spec;
+}
+
+Tuple ObjectTuple(double ts, int64_t id, double x, double vx) {
+  return Tuple(ts,
+               {Value(id), Value(x), Value(0.0), Value(vx), Value(0.0)});
+}
+
+TEST(PredictiveRuntime, FirstTupleBuildsModelAndSolves) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().tuples_in, 1u);
+  EXPECT_EQ(rt->stats().segments_pushed, 1u);
+  // x < 100 always holds: one output segment, bound inverted.
+  EXPECT_EQ(rt->stats().output_segments, 1u);
+  EXPECT_GE(rt->stats().inversions, 1u);
+}
+
+TEST(PredictiveRuntime, AccurateTuplesAreValidatedNotReprocessed) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  // Model: x = t (from x=0, vx=1 at t=0).
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  // Tuples exactly on the model: validated, no new segments.
+  for (double t = 0.5; t < 4.5; t += 0.5) {
+    ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(t, 1, t, 1.0))
+                    .ok());
+  }
+  EXPECT_EQ(rt->stats().segments_pushed, 1u);
+  EXPECT_EQ(rt->stats().tuples_validated, 8u);
+  EXPECT_EQ(rt->stats().violations, 0u);
+}
+
+TEST(PredictiveRuntime, DeviationTriggersReprocessing) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  // Actual x deviates from the model prediction by 3 > margin.
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(1.0, 1, 4.0, 1.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().violations, 1u);
+  EXPECT_EQ(rt->stats().segments_pushed, 2u);
+}
+
+TEST(PredictiveRuntime, ExpiredHorizonRebuildsWithoutViolation) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  Result<PredictiveRuntime> rt = PredictiveRuntime::Make(
+      FilterQuerySpec(100.0, /*horizon=*/1.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  // t=2 is past the horizon [0,1): new segment, not a violation.
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(2.0, 1, 2.0, 1.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().violations, 0u);
+  EXPECT_EQ(rt->stats().segments_pushed, 2u);
+}
+
+TEST(PredictiveRuntime, PerKeyModels) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.1, 2, 50.0, -1.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().segments_pushed, 2u);
+  // Each follows its own model.
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(1.0, 1, 1.0, 1.0))
+                  .ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(1.1, 2, 49.0, -1.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().tuples_validated, 2u);
+}
+
+TEST(PredictiveRuntime, SlackModeSuppressesNearMisses) {
+  // Filter x < 10 with a model far above the threshold: null result with
+  // large slack; subsequent small deviations are ignored via slack
+  // validation even though they exceed the accuracy bound.
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.01)};
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(10.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  // Model x = 50 (constant): filter never fires; slack = 40.
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 50.0, 0.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().output_segments, 0u);
+  EXPECT_EQ(rt->validator().mode(1), ValidationMode::kSlack);
+  // Deviation 5 < slack 40: ignored.
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(1.0, 1, 45.0, 0.0))
+                  .ok());
+  EXPECT_EQ(rt->stats().tuples_validated, 1u);
+  EXPECT_EQ(rt->stats().segments_pushed, 1u);
+}
+
+TEST(PredictiveRuntime, SampledTupleOutputs) {
+  PredictiveRuntime::Options opts;
+  opts.bounds = {BoundSpec::Absolute("x", 0.5)};
+  opts.sample_rate = 10.0;
+  Result<PredictiveRuntime> rt =
+      PredictiveRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rt->ProcessTuple("objects", ObjectTuple(0.0, 1, 0.0, 1.0))
+                  .ok());
+  // Output segment [0, 5) sampled at 10 Hz: 50 tuples.
+  std::vector<Tuple> tuples = rt->TakeOutputTuples();
+  EXPECT_EQ(tuples.size(), 50u);
+  EXPECT_EQ(rt->stats().output_tuples, 50u);
+}
+
+TEST(MultiAttributeSegmenter, JointBreakOnAnyAttribute) {
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 1.0);
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.1;
+  MultiAttributeSegmenter seg(stream, opts);
+  // x linear throughout; y kinks at t = 5.
+  std::optional<Segment> emitted;
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 0.1;
+    const double y = t < 5.0 ? t : 10.0 - t;
+    Tuple tuple(t, {Value(int64_t{1}), Value(t), Value(y), Value(1.0),
+                    Value(0.0)});
+    Result<std::optional<Segment>> r = seg.Add(tuple);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value() && !emitted.has_value()) emitted = **r;
+  }
+  ASSERT_TRUE(emitted.has_value());
+  // First segment ends near the kink at t = 5.
+  EXPECT_NEAR(emitted->range.hi, 5.0, 0.6);
+  EXPECT_TRUE(emitted->has_attribute("x"));
+  EXPECT_TRUE(emitted->has_attribute("y"));
+}
+
+TEST(MultiAttributeSegmenter, FlushEmitsResiduals) {
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 1.0);
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 10.0;
+  MultiAttributeSegmenter seg(stream, opts);
+  for (int i = 0; i < 10; ++i) {
+    Tuple tuple(i * 0.1, {Value(int64_t{1}), Value(1.0 * i), Value(0.0),
+                          Value(1.0), Value(0.0)});
+    ASSERT_TRUE(seg.Add(tuple).ok());
+  }
+  Result<std::vector<Segment>> rest = seg.Flush();
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_EQ((*rest)[0].key, 1);
+}
+
+TEST(HistoricalRuntime, SegmentsFlowThroughQuery) {
+  HistoricalRuntime::Options opts;
+  opts.segmentation.degree = 1;
+  opts.segmentation.max_error = 0.05;
+  Result<HistoricalRuntime> rt =
+      HistoricalRuntime::Make(FilterQuerySpec(100.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  // A piecewise-linear x trace: sliding-window fitting emits segments
+  // which pass the (always-true) filter.
+  for (int i = 0; i < 300; ++i) {
+    const double t = i * 0.05;
+    const double x = t < 7.5 ? 2.0 * t : 30.0 - 2.0 * t;
+    ASSERT_TRUE(
+        rt->ProcessTuple("objects", ObjectTuple(t, 1, x, 0.0)).ok());
+  }
+  ASSERT_TRUE(rt->Finish().ok());
+  EXPECT_EQ(rt->stats().tuples_in, 300u);
+  EXPECT_GE(rt->stats().segments_pushed, 2u);
+  EXPECT_GE(rt->stats().output_segments, rt->stats().segments_pushed);
+  std::vector<Segment> outputs = rt->TakeOutputSegments();
+  EXPECT_FALSE(outputs.empty());
+}
+
+TEST(HistoricalRuntime, DirectSegmentReplay) {
+  HistoricalRuntime::Options opts;
+  Result<HistoricalRuntime> rt =
+      HistoricalRuntime::Make(FilterQuerySpec(5.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  Segment seg(1, Interval::ClosedOpen(0.0, 10.0));
+  seg.set_attribute("x", Polynomial({0.0, 1.0}));
+  seg.set_attribute("y", Polynomial());
+  ASSERT_TRUE(rt->ProcessSegment("objects", seg).ok());
+  std::vector<Segment> outputs = rt->TakeOutputSegments();
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_NEAR(outputs[0].range.hi, 5.0, 1e-9);
+}
+
+TEST(HistoricalRuntime, UnknownStreamFails) {
+  HistoricalRuntime::Options opts;
+  Result<HistoricalRuntime> rt =
+      HistoricalRuntime::Make(FilterQuerySpec(5.0), std::move(opts));
+  ASSERT_TRUE(rt.ok());
+  EXPECT_FALSE(
+      rt->ProcessTuple("zzz", ObjectTuple(0.0, 1, 0.0, 0.0)).ok());
+}
+
+}  // namespace
+}  // namespace pulse

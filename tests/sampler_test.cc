@@ -1,0 +1,108 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+Segment Seg(Key key, Interval range, Polynomial x) {
+  Segment s(key, range);
+  s.set_attribute("x", std::move(x));
+  return s;
+}
+
+TEST(Sampler, RangeSegmentOnRateGrid) {
+  Sampler sampler(SamplerOptions{10.0, 0.0});
+  Segment s = Seg(7, Interval::ClosedOpen(0.0, 1.0), Polynomial({0.0, 2.0}));
+  std::vector<Tuple> out = sampler.Sample(s, {"x"});
+  ASSERT_EQ(out.size(), 10u);  // t = 0.0, 0.1, ..., 0.9
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(out[9].timestamp, 0.9);
+  // Layout: [key, x].
+  EXPECT_EQ(out[0].at(0).as_int64(), 7);
+  EXPECT_NEAR(out[3].at(1).as_double(), 0.6, 1e-12);
+}
+
+TEST(Sampler, GridIsAbsoluteAcrossSegments) {
+  // Samples land on k*step regardless of segment start, so consecutive
+  // segments produce one uniformly spaced output stream.
+  Sampler sampler(SamplerOptions{4.0, 0.0});
+  Segment a = Seg(1, Interval::ClosedOpen(0.1, 0.6), Polynomial({1.0}));
+  Segment b = Seg(1, Interval::ClosedOpen(0.6, 1.1), Polynomial({2.0}));
+  std::vector<Tuple> out = sampler.SampleAll({a, b}, {"x"});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 0.25);
+  EXPECT_DOUBLE_EQ(out[1].timestamp, 0.5);
+  EXPECT_DOUBLE_EQ(out[2].timestamp, 0.75);
+  EXPECT_DOUBLE_EQ(out[3].timestamp, 1.0);
+}
+
+TEST(Sampler, PointSegmentYieldsOneTuple) {
+  // Equality-produced point results (paper Section III-C) sample exactly
+  // once, at the instant.
+  Sampler sampler(SamplerOptions{10.0, 0.0});
+  Segment s = Seg(2, Interval::Point(0.123), Polynomial({5.0}));
+  std::vector<Tuple> out = sampler.Sample(s, {"x"});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 0.123);
+  EXPECT_DOUBLE_EQ(out[0].at(1).as_double(), 5.0);
+}
+
+TEST(Sampler, EmptySegmentYieldsNothing) {
+  Sampler sampler(SamplerOptions{10.0, 0.0});
+  Segment s = Seg(1, Interval::ClosedOpen(1.0, 1.0), Polynomial({1.0}));
+  EXPECT_TRUE(sampler.Sample(s, {"x"}).empty());
+}
+
+TEST(Sampler, SlideGridForAggregates) {
+  // Aggregates infer their output rate from the window slide (paper
+  // Section III-C): samples at k * slide.
+  Sampler sampler(SamplerOptions{0.0, 2.0});
+  Segment s = Seg(1, Interval::ClosedOpen(3.0, 11.0), Polynomial({0.0, 1.0}));
+  std::vector<Tuple> out = sampler.Sample(s, {"x"});
+  ASSERT_EQ(out.size(), 4u);  // t = 4, 6, 8, 10
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 4.0);
+  EXPECT_DOUBLE_EQ(out[3].timestamp, 10.0);
+}
+
+TEST(Sampler, OpenLowerBoundSkipsBoundaryPoint) {
+  Sampler sampler(SamplerOptions{1.0, 0.0});
+  Segment s = Seg(1, Interval::OpenClosed(2.0, 4.0), Polynomial({1.0}));
+  std::vector<Tuple> out = sampler.Sample(s, {"x"});
+  // t = 3, 4 (2 excluded by the open bound; 4 included by the closed one).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 3.0);
+  EXPECT_DOUBLE_EQ(out[1].timestamp, 4.0);
+}
+
+TEST(Sampler, MissingAttributeSamplesZero) {
+  Sampler sampler(SamplerOptions{1.0, 0.0});
+  Segment s = Seg(1, Interval::ClosedOpen(0.0, 2.0), Polynomial({1.0}));
+  std::vector<Tuple> out = sampler.Sample(s, {"zzz"});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].at(1).as_double(), 0.0);
+}
+
+TEST(Sampler, NoFloatDriftOverLongRanges) {
+  // Integer grid stepping: the sample count over [0, 1000) at 10 Hz is
+  // exactly 10000 (accumulated += drift would add or drop samples).
+  Sampler sampler(SamplerOptions{10.0, 0.0});
+  Segment s = Seg(1, Interval::ClosedOpen(0.0, 1000.0), Polynomial({1.0}));
+  EXPECT_EQ(sampler.Sample(s, {"x"}).size(), 10000u);
+}
+
+class SamplerRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplerRateSweep, CountMatchesRateTimesLength) {
+  const double rate = GetParam();
+  Sampler sampler(SamplerOptions{rate, 0.0});
+  Segment s = Seg(1, Interval::ClosedOpen(0.0, 10.0), Polynomial({1.0}));
+  const size_t n = sampler.Sample(s, {"x"}).size();
+  EXPECT_NEAR(static_cast<double>(n), rate * 10.0, 1.0) << "rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplerRateSweep,
+                         ::testing::Values(0.5, 1.0, 3.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace pulse

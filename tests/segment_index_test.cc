@@ -1,0 +1,184 @@
+#include "model/segment_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operators/join.h"
+
+namespace pulse {
+namespace {
+
+Segment Seg(Key key, double lo, double hi, double value = 0.0) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.id = NextSegmentId();
+  s.set_attribute("x", Polynomial({value}));
+  return s;
+}
+
+std::vector<const Segment*> Query(const SegmentIndex& index, double lo,
+                                  double hi) {
+  std::vector<const Segment*> out;
+  index.QueryOverlaps(Interval::ClosedOpen(lo, hi), &out);
+  return out;
+}
+
+TEST(SegmentIndex, EmptyIndex) {
+  SegmentIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(Query(index, 0.0, 100.0).empty());
+}
+
+TEST(SegmentIndex, BasicOverlapQueries) {
+  SegmentIndex index;
+  index.Insert(Seg(1, 0.0, 2.0));
+  index.Insert(Seg(2, 2.0, 4.0));
+  index.Insert(Seg(3, 4.0, 6.0));
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(Query(index, 0.5, 1.5).size(), 1u);
+  EXPECT_EQ(Query(index, 1.5, 4.5).size(), 3u);
+  EXPECT_TRUE(Query(index, 6.0, 9.0).empty());
+  // Half-open semantics: [2,4) does not overlap [0,2).
+  std::vector<const Segment*> out;
+  index.QueryOverlaps(Interval::ClosedOpen(2.0, 3.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->key, 2);
+}
+
+TEST(SegmentIndex, NearOrderedInsertions) {
+  SegmentIndex index;
+  index.Insert(Seg(1, 10.0, 12.0));
+  index.Insert(Seg(2, 9.5, 11.0));  // slightly out of order
+  index.Insert(Seg(3, 11.0, 13.0));
+  EXPECT_EQ(Query(index, 9.6, 9.8).size(), 1u);
+  EXPECT_EQ(Query(index, 10.5, 11.5).size(), 3u);
+}
+
+TEST(SegmentIndex, LongSegmentAmongShortOnes) {
+  // The running-max augmentation must not let a long early segment be
+  // skipped by the lower-bound search.
+  SegmentIndex index;
+  index.Insert(Seg(1, 0.0, 100.0));  // long
+  for (int i = 1; i < 50; ++i) {
+    index.Insert(Seg(i + 1, i * 1.0, i * 1.0 + 0.5));
+  }
+  std::vector<const Segment*> out = Query(index, 80.0, 81.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->key, 1);
+}
+
+TEST(SegmentIndex, KeyedQueries) {
+  SegmentIndex index;
+  index.Insert(Seg(1, 0.0, 10.0));
+  index.Insert(Seg(2, 0.0, 10.0));
+  index.Insert(Seg(1, 10.0, 20.0));
+  std::vector<const Segment*> out;
+  index.QueryOverlapsWithKey(Interval::ClosedOpen(5.0, 15.0), 1, &out);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Segment* s : out) EXPECT_EQ(s->key, 1);
+}
+
+TEST(SegmentIndex, ExpireBefore) {
+  SegmentIndex index;
+  for (int i = 0; i < 20; ++i) {
+    index.Insert(Seg(i, i * 1.0, i * 1.0 + 1.0));
+  }
+  index.ExpireBefore(10.0);
+  EXPECT_LE(index.size(), 11u);
+  EXPECT_TRUE(Query(index, 0.0, 8.0).empty());
+  EXPECT_FALSE(Query(index, 15.0, 16.0).empty());
+}
+
+TEST(SegmentIndex, ProbeCountersTrackSelectivity) {
+  SegmentIndex index;
+  for (int i = 0; i < 100; ++i) {
+    index.Insert(Seg(i, i * 1.0, i * 1.0 + 1.0));
+  }
+  (void)Query(index, 50.0, 51.0);
+  // The index should examine only a neighbourhood, not all 100 entries.
+  EXPECT_LT(index.probes_examined(), 10u);
+  EXPECT_GE(index.probes_matched(), 1u);
+}
+
+// Property sweep: indexed queries return exactly the brute-force set.
+class SegmentIndexSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentIndexSweep, MatchesBruteForce) {
+  const int seed = GetParam();
+  SegmentIndex index;
+  std::vector<Segment> all;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    // Deterministic pseudo-random lengths and small reorderings.
+    const double len = 0.5 + ((i * seed) % 7) * 0.7;
+    const double jitter = ((i * 31 + seed) % 3) * 0.2 - 0.2;
+    Segment s = Seg(i % 5, t + jitter, t + jitter + len);
+    all.push_back(s);
+    index.Insert(s);
+    t += 0.8;
+  }
+  for (double q = 0.0; q < 170.0; q += 7.3) {
+    const Interval probe = Interval::ClosedOpen(q, q + 2.0);
+    std::vector<const Segment*> got;
+    index.QueryOverlaps(probe, &got);
+    size_t expected = 0;
+    for (const Segment& s : all) {
+      if (s.range.Intersects(probe)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "probe at " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentIndexSweep,
+                         ::testing::Values(1, 2, 3, 5, 11));
+
+TEST(PulseJoinWithIndex, SameResultsAsScanJoin) {
+  Predicate pred = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt,
+      Operand::Attribute(AttrRef::Right("x"))));
+  PulseJoinOptions scan_opts;
+  scan_opts.window_seconds = 50.0;
+  PulseJoinOptions index_opts = scan_opts;
+  index_opts.use_segment_index = true;
+  PulseJoin scan("scan", pred, scan_opts);
+  PulseJoin indexed("indexed", pred, index_opts);
+
+  SegmentBatch scan_out, index_out;
+  for (int i = 0; i < 40; ++i) {
+    Segment l(1, Interval::ClosedOpen(i * 1.0, i * 1.0 + 2.0));
+    l.id = NextSegmentId();
+    l.set_attribute("x", Polynomial({static_cast<double>(i % 7)}));
+    Segment r(2, Interval::ClosedOpen(i * 1.0 + 0.5, i * 1.0 + 2.5));
+    r.id = NextSegmentId();
+    r.set_attribute("x", Polynomial({static_cast<double>((i + 3) % 7)}));
+    ASSERT_TRUE(scan.Process(0, l, &scan_out).ok());
+    ASSERT_TRUE(scan.Process(1, r, &scan_out).ok());
+    ASSERT_TRUE(indexed.Process(0, l, &index_out).ok());
+    ASSERT_TRUE(indexed.Process(1, r, &index_out).ok());
+  }
+  ASSERT_EQ(scan_out.size(), index_out.size());
+  for (size_t i = 0; i < scan_out.size(); ++i) {
+    EXPECT_EQ(scan_out[i].range.ToString(),
+              index_out[i].range.ToString());
+    EXPECT_EQ(scan_out[i].key, index_out[i].key);
+  }
+}
+
+TEST(PulseJoinWithIndex, MatchKeysUsesKeyedProbe) {
+  Predicate pred = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLe,
+      Operand::Attribute(AttrRef::Right("x"))));
+  PulseJoinOptions opts;
+  opts.window_seconds = 100.0;
+  opts.match_keys = true;
+  opts.use_segment_index = true;
+  PulseJoin join("j", pred, opts);
+  SegmentBatch out;
+  ASSERT_TRUE(join.Process(1, Seg(1, 0.0, 10.0, 5.0), &out).ok());
+  ASSERT_TRUE(join.Process(1, Seg(2, 0.0, 10.0, 5.0), &out).ok());
+  ASSERT_TRUE(join.Process(0, Seg(1, 0.0, 10.0, 1.0), &out).ok());
+  // Only the same-key partner matches.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, CombineKeys(1, 1));
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,114 @@
+#include "model/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+Segment MakeSeg(Key key, double lo, double hi, double c0, double c1) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.set_attribute("x", Polynomial({c0, c1}));
+  return s;
+}
+
+TEST(Segment, AttributeAccess) {
+  Segment s = MakeSeg(7, 0.0, 1.0, 1.0, 2.0);
+  EXPECT_TRUE(s.has_attribute("x"));
+  EXPECT_FALSE(s.has_attribute("y"));
+  Result<Polynomial> p = s.attribute("x");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->Evaluate(0.5), 2.0);
+  EXPECT_FALSE(s.attribute("missing").ok());
+  EXPECT_EQ(s.attribute("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Segment, EvaluateAttributeExtrapolates) {
+  // Predictive use: evaluation beyond the validity range is allowed.
+  Segment s = MakeSeg(1, 0.0, 1.0, 0.0, 10.0);
+  Result<double> v = s.EvaluateAttribute("x", 2.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 20.0);
+}
+
+TEST(Segment, ClipTo) {
+  Segment s = MakeSeg(1, 0.0, 10.0, 0.0, 1.0);
+  Segment c = s.ClipTo(Interval::ClosedOpen(5.0, 20.0));
+  EXPECT_DOUBLE_EQ(c.range.lo, 5.0);
+  EXPECT_DOUBLE_EQ(c.range.hi, 10.0);
+  // Attributes survive clipping unchanged.
+  EXPECT_DOUBLE_EQ(c.attribute("x")->Evaluate(7.0), 7.0);
+  Segment empty = s.ClipTo(Interval::ClosedOpen(20.0, 30.0));
+  EXPECT_TRUE(empty.range.IsEmpty());
+}
+
+TEST(Segment, OverlapsInTime) {
+  Segment a = MakeSeg(1, 0.0, 5.0, 0, 0);
+  Segment b = MakeSeg(2, 4.0, 8.0, 0, 0);
+  Segment c = MakeSeg(3, 5.0, 8.0, 0, 0);
+  EXPECT_TRUE(a.OverlapsInTime(b));
+  EXPECT_FALSE(a.OverlapsInTime(c));  // [0,5) and [5,8) share no point
+}
+
+TEST(Segment, ToStringMentionsKeyAndModel) {
+  Segment s = MakeSeg(42, 0.0, 1.0, 1.0, 2.0);
+  s.unmodeled["flag"] = 3.0;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("key=42"), std::string::npos);
+  EXPECT_NE(str.find("x(t)="), std::string::npos);
+  EXPECT_NE(str.find("flag"), std::string::npos);
+}
+
+TEST(ApplySegmentUpdate, SuccessorOverridesOverlap) {
+  // Paper Section II-B: for two temporally overlapping segments the
+  // successor acts as an update for the overlap.
+  std::vector<Segment> timeline;
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 0.0, 10.0, 0.0, 1.0));
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 5.0, 15.0, 100.0, 0.0));
+  ASSERT_EQ(timeline.size(), 2u);
+  // Predecessor truncated to [0, 5).
+  EXPECT_DOUBLE_EQ(timeline[0].range.lo, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[0].range.hi, 5.0);
+  EXPECT_DOUBLE_EQ(timeline[1].range.lo, 5.0);
+  EXPECT_DOUBLE_EQ(timeline[1].range.hi, 15.0);
+}
+
+TEST(ApplySegmentUpdate, FullyCoveredSegmentDropped) {
+  std::vector<Segment> timeline;
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 2.0, 4.0, 0.0, 0.0));
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 0.0, 10.0, 1.0, 0.0));
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline[0].range.lo, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[0].range.hi, 10.0);
+}
+
+TEST(ApplySegmentUpdate, InteriorUpdateSplitsPredecessor) {
+  std::vector<Segment> timeline;
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 0.0, 10.0, 0.0, 1.0));
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 4.0, 6.0, 99.0, 0.0));
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_DOUBLE_EQ(timeline[0].range.hi, 4.0);
+  EXPECT_DOUBLE_EQ(timeline[1].range.lo, 4.0);
+  EXPECT_DOUBLE_EQ(timeline[1].range.hi, 6.0);
+  EXPECT_DOUBLE_EQ(timeline[2].range.lo, 6.0);
+  EXPECT_DOUBLE_EQ(timeline[2].range.hi, 10.0);
+  // Timeline stays sorted and tiles without gaps.
+  for (size_t i = 0; i + 1 < timeline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(timeline[i].range.hi, timeline[i + 1].range.lo);
+  }
+}
+
+TEST(ApplySegmentUpdate, NonOverlappingAppends) {
+  std::vector<Segment> timeline;
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 0.0, 1.0, 0.0, 0.0));
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 1.0, 2.0, 0.0, 0.0));
+  EXPECT_EQ(timeline.size(), 2u);
+}
+
+TEST(ApplySegmentUpdate, EmptyIncomingIgnored) {
+  std::vector<Segment> timeline;
+  ApplySegmentUpdate(&timeline, MakeSeg(1, 5.0, 5.0, 0.0, 0.0));
+  EXPECT_TRUE(timeline.empty());
+}
+
+}  // namespace
+}  // namespace pulse

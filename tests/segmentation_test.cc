@@ -1,0 +1,153 @@
+#include "model/segmentation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pulse {
+namespace {
+
+// A piecewise-linear signal with breakpoints every `period` samples.
+std::vector<Sample> PiecewiseLinearSignal(size_t n, size_t period,
+                                          double dt = 0.1) {
+  std::vector<Sample> out;
+  double value = 0.0;
+  double slope = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && i % period == 0) {
+      slope = -slope * 1.5;  // sharp slope change
+    }
+    value += slope * dt;
+    out.push_back(Sample{static_cast<double>(i) * dt, value});
+  }
+  return out;
+}
+
+TEST(SlidingWindowSegmenter, SingleLineNeverBreaks) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.01;
+  SlidingWindowSegmenter seg(opts);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_FALSE(
+        seg.Add(Sample{static_cast<double>(i), 2.0 * i + 1.0}).has_value());
+  }
+  auto last = seg.Flush();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->num_points, 500u);
+  EXPECT_LE(last->max_error, opts.max_error);
+}
+
+TEST(SlidingWindowSegmenter, BreaksAtSlopeChanges) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.05;
+  std::vector<FittedSegment> segs = SlidingWindowSegmentation(
+      PiecewiseLinearSignal(1000, 100), opts);
+  // ~10 true pieces; allow some slack either way.
+  EXPECT_GE(segs.size(), 8u);
+  EXPECT_LE(segs.size(), 20u);
+  for (const FittedSegment& s : segs) {
+    EXPECT_LE(s.max_error, opts.max_error * 1.0001) << "bound violated";
+  }
+}
+
+TEST(SlidingWindowSegmenter, SegmentsTileTime) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.05;
+  std::vector<FittedSegment> segs = SlidingWindowSegmentation(
+      PiecewiseLinearSignal(600, 75), opts);
+  for (size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_NEAR(segs[i].range.hi, segs[i + 1].range.lo, 1e-6)
+        << "gap between pieces " << i << " and " << i + 1;
+  }
+}
+
+TEST(SlidingWindowSegmenter, MaxPointsCapForcesBreaks) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 1e9;  // never break on error
+  opts.max_points_per_segment = 50;
+  std::vector<FittedSegment> segs = SlidingWindowSegmentation(
+      PiecewiseLinearSignal(500, 1000000), opts);
+  ASSERT_GE(segs.size(), 9u);
+  for (size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_LE(segs[i].num_points, 50u);
+  }
+}
+
+TEST(BottomUpSegmentation, RespectsErrorBound) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.05;
+  std::vector<FittedSegment> segs =
+      BottomUpSegmentation(PiecewiseLinearSignal(400, 50), opts);
+  EXPECT_GE(segs.size(), 6u);
+  for (const FittedSegment& s : segs) {
+    EXPECT_LE(s.max_error, opts.max_error * 1.0001);
+  }
+  // Sum of represented points equals the input size.
+  size_t total = 0;
+  for (const FittedSegment& s : segs) total += s.num_points;
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(BottomUpSegmentation, MergesCoherentData) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.5;
+  // A single line: everything merges into one segment.
+  std::vector<Sample> line;
+  for (size_t i = 0; i < 64; ++i) {
+    line.push_back(Sample{static_cast<double>(i), 3.0 * i});
+  }
+  std::vector<FittedSegment> segs = BottomUpSegmentation(line, opts);
+  EXPECT_EQ(segs.size(), 1u);
+}
+
+TEST(SwabSegmentation, ProducesBoundedErrorPieces) {
+  SegmentationOptions opts;
+  opts.degree = 1;
+  opts.max_error = 0.05;
+  std::vector<FittedSegment> segs =
+      SwabSegmentation(PiecewiseLinearSignal(800, 100), opts, 64);
+  EXPECT_GE(segs.size(), 6u);
+  size_t total = 0;
+  for (const FittedSegment& s : segs) total += s.num_points;
+  EXPECT_EQ(total, 800u);
+}
+
+TEST(Segmentation, EmptyInput) {
+  SegmentationOptions opts;
+  EXPECT_TRUE(SlidingWindowSegmentation({}, opts).empty());
+  EXPECT_TRUE(BottomUpSegmentation({}, opts).empty());
+  EXPECT_TRUE(SwabSegmentation({}, opts).empty());
+}
+
+// Compression sweep: tighter bounds produce more segments.
+class ErrorBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErrorBoundSweep, SegmentCountDecreasesWithLooserBound) {
+  SegmentationOptions tight;
+  tight.degree = 1;
+  tight.max_error = GetParam();
+  SegmentationOptions loose = tight;
+  loose.max_error = GetParam() * 10.0;
+  // Noisy sine wave: error bound controls compression.
+  std::vector<Sample> wave;
+  for (size_t i = 0; i < 500; ++i) {
+    const double t = i * 0.05;
+    wave.push_back(Sample{t, std::sin(t)});
+  }
+  const size_t tight_count = SlidingWindowSegmentation(wave, tight).size();
+  const size_t loose_count = SlidingWindowSegmentation(wave, loose).size();
+  EXPECT_GE(tight_count, loose_count);
+  EXPECT_GE(tight_count, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ErrorBoundSweep,
+                         ::testing::Values(0.001, 0.01, 0.05));
+
+}  // namespace
+}  // namespace pulse

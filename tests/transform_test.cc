@@ -1,0 +1,220 @@
+#include "core/transform.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/filter.h"
+#include "core/operators/group_by.h"
+#include "core/operators/join.h"
+#include "engine/executor.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+QuerySpec SpecWithObjects() {
+  QuerySpec spec;
+  EXPECT_TRUE(
+      spec.AddStream(MovingObjectGenerator::MakeStreamSpec("objects", 1.0))
+          .ok());
+  return spec;
+}
+
+Predicate XLessThan(double c) {
+  return Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(c)));
+}
+
+TEST(QuerySpec, StreamValidation) {
+  QuerySpec spec;
+  StreamSpec bad;
+  bad.name = "s";
+  bad.schema = Schema::Make({{"a", ValueType::kDouble}});
+  bad.key_field = "missing";
+  EXPECT_FALSE(spec.AddStream(bad).ok());
+  bad.key_field = "a";
+  bad.models = {{"m", {"nope"}}};
+  EXPECT_FALSE(spec.AddStream(bad).ok());
+  bad.models = {};
+  EXPECT_TRUE(spec.AddStream(bad).ok());
+  EXPECT_FALSE(spec.AddStream(bad).ok());  // duplicate
+  EXPECT_TRUE(spec.stream("s").ok());
+  EXPECT_FALSE(spec.stream("zzz").ok());
+}
+
+TEST(QuerySpec, SinkNodes) {
+  QuerySpec spec = SpecWithObjects();
+  auto f1 = spec.AddFilter("f1", QuerySpec::Input::Stream("objects"),
+                           FilterSpec{XLessThan(5.0)});
+  auto f2 = spec.AddFilter("f2", QuerySpec::Input::Node(f1),
+                           FilterSpec{XLessThan(3.0)});
+  EXPECT_EQ(spec.SinkNodes(), std::vector<QuerySpec::NodeId>{f2});
+}
+
+TEST(BuildPulsePlan, FilterChain) {
+  QuerySpec spec = SpecWithObjects();
+  auto f1 = spec.AddFilter("f1", QuerySpec::Input::Stream("objects"),
+                           FilterSpec{XLessThan(5.0)});
+  spec.AddFilter("f2", QuerySpec::Input::Node(f1),
+                 FilterSpec{XLessThan(3.0)});
+  Result<TransformedPlan> plan = BuildPulsePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.num_nodes(), 2u);
+  EXPECT_NE(dynamic_cast<PulseFilter*>(plan->plan.node(0)), nullptr);
+  EXPECT_EQ(plan->plan.source_bindings("objects").size(), 1u);
+}
+
+TEST(BuildPulsePlan, GroupedAggregateUsesGroupBy) {
+  QuerySpec spec = SpecWithObjects();
+  AggregateSpec agg;
+  agg.fn = AggFn::kAvg;
+  agg.attribute = "x";
+  agg.window_seconds = 2.0;
+  agg.slide_seconds = 1.0;
+  agg.per_key = true;
+  spec.AddAggregate("a", QuerySpec::Input::Stream("objects"), agg);
+  Result<TransformedPlan> plan = BuildPulsePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(dynamic_cast<PulseGroupBy*>(plan->plan.node(0)), nullptr);
+}
+
+TEST(BuildPulsePlan, CountAggregateRejected) {
+  QuerySpec spec = SpecWithObjects();
+  AggregateSpec agg;
+  agg.fn = AggFn::kCount;
+  agg.attribute = "x";
+  spec.AddAggregate("a", QuerySpec::Input::Stream("objects"), agg);
+  EXPECT_FALSE(BuildPulsePlan(spec).ok());
+}
+
+TEST(BuildDiscretePlan, FilterMatchesPredicate) {
+  QuerySpec spec = SpecWithObjects();
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"),
+                 FilterSpec{XLessThan(5.0)});
+  Result<DiscretePlan> plan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  Result<Executor> exec = Executor::Make(std::move(plan->plan));
+  ASSERT_TRUE(exec.ok());
+  // x = 3 passes, x = 7 does not.
+  Tuple pass(0.0, {Value(int64_t{1}), Value(3.0), Value(0.0), Value(0.0),
+                   Value(0.0)});
+  Tuple fail(0.1, {Value(int64_t{1}), Value(7.0), Value(0.0), Value(0.0),
+                   Value(0.0)});
+  ASSERT_TRUE(exec->PushTuple("objects", pass).ok());
+  ASSERT_TRUE(exec->PushTuple("objects", fail).ok());
+  EXPECT_EQ(exec->output().size(), 1u);
+}
+
+TEST(BuildDiscretePlan, JoinAddsPairKeyColumn) {
+  QuerySpec spec = SpecWithObjects();
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt,
+      Operand::Attribute(AttrRef::Right("x"))));
+  join.window_seconds = 10.0;
+  join.require_distinct_keys = true;
+  spec.AddJoin("j", QuerySpec::Input::Stream("objects"),
+               QuerySpec::Input::Stream("objects"), join);
+  Result<DiscretePlan> plan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->sink_schemas.size(), 1u);
+  EXPECT_TRUE(plan->sink_schemas[0]->HasField("pair_key"));
+  EXPECT_TRUE(plan->sink_schemas[0]->HasField("left.x"));
+}
+
+TEST(BuildDiscretePlan, MapComputesDifference) {
+  QuerySpec spec = SpecWithObjects();
+  MapSpec map;
+  map.outputs = {ComputedAttr::Difference("dx", AttrRef::Left("x"),
+                                          AttrRef::Left("y"))};
+  spec.AddMap("m", QuerySpec::Input::Stream("objects"), map);
+  Result<DiscretePlan> plan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  Result<Executor> exec = Executor::Make(std::move(plan->plan));
+  ASSERT_TRUE(exec.ok());
+  Tuple t(0.0, {Value(int64_t{1}), Value(7.0), Value(3.0), Value(0.0),
+                Value(0.0)});
+  ASSERT_TRUE(exec->PushTuple("objects", t).ok());
+  ASSERT_EQ(exec->output().size(), 1u);
+  // Columns: passthrough (5) + dx.
+  EXPECT_DOUBLE_EQ(exec->output()[0].values.back().as_double(), 4.0);
+}
+
+TEST(SegmentModelBuilder, BuildsSegmentFromModelClause) {
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 2.0);
+  Result<SegmentModelBuilder> builder = SegmentModelBuilder::Make(stream);
+  ASSERT_TRUE(builder.ok());
+  // Object 5 at position (100, 50) with velocity (2, -1) at t=10.
+  Tuple t(10.0, {Value(int64_t{5}), Value(100.0), Value(50.0), Value(2.0),
+                 Value(-1.0)});
+  Result<Segment> seg = builder->BuildSegment(t);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->key, 5);
+  EXPECT_DOUBLE_EQ(seg->range.lo, 10.0);
+  EXPECT_DOUBLE_EQ(seg->range.hi, 12.0);
+  // Models in absolute time: x(10) = 100, x(11) = 102; y(11) = 49.
+  EXPECT_NEAR(seg->attribute("x")->Evaluate(10.0), 100.0, 1e-9);
+  EXPECT_NEAR(seg->attribute("x")->Evaluate(11.0), 102.0, 1e-9);
+  EXPECT_NEAR(seg->attribute("y")->Evaluate(11.0), 49.0, 1e-9);
+}
+
+TEST(SegmentModelBuilder, ObservedValueAndKey) {
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 2.0);
+  Result<SegmentModelBuilder> builder = SegmentModelBuilder::Make(stream);
+  ASSERT_TRUE(builder.ok());
+  Tuple t(10.0, {Value(int64_t{5}), Value(100.0), Value(50.0), Value(2.0),
+                 Value(-1.0)});
+  EXPECT_EQ(builder->KeyOf(t), 5);
+  Result<double> x = builder->ObservedValue(t, "x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 100.0);
+  EXPECT_FALSE(builder->ObservedValue(t, "zzz").ok());
+}
+
+TEST(SegmentModelBuilder, RejectsBadSpec) {
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 0.0);
+  EXPECT_FALSE(SegmentModelBuilder::Make(stream).ok());
+}
+
+// Cross-check: the discrete and Pulse filter plans agree on which times
+// pass, for a linear trajectory sampled densely.
+TEST(TransformAgreement, FilterDiscreteVsPulse) {
+  QuerySpec spec = SpecWithObjects();
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"),
+                 FilterSpec{XLessThan(5.0)});
+
+  Result<DiscretePlan> dplan = BuildDiscretePlan(spec);
+  ASSERT_TRUE(dplan.ok());
+  Result<Executor> dexec = Executor::Make(std::move(dplan->plan));
+  ASSERT_TRUE(dexec.ok());
+
+  Result<TransformedPlan> pplan = BuildPulsePlan(spec);
+  ASSERT_TRUE(pplan.ok());
+  Result<PulseExecutor> pexec = PulseExecutor::Make(std::move(pplan->plan));
+  ASSERT_TRUE(pexec.ok());
+
+  // Trajectory x(t) = t - 3 on [0, 20): x < 5 until t = 8.
+  Segment seg(1, Interval::ClosedOpen(0.0, 20.0));
+  seg.set_attribute("x", Polynomial({-3.0, 1.0}));
+  seg.set_attribute("y", Polynomial());
+  ASSERT_TRUE(pexec->PushSegment("objects", seg).ok());
+  IntervalSet pulse_pass;
+  for (const Segment& s : pexec->output()) pulse_pass.Add(s.range);
+
+  for (double t = 0.05; t < 20.0; t += 0.1) {
+    Tuple tuple(t, {Value(int64_t{1}), Value(t - 3.0), Value(0.0),
+                    Value(1.0), Value(0.0)});
+    ASSERT_TRUE(dexec->PushTuple("objects", tuple).ok());
+  }
+  // Count: discrete passes should equal the sampled measure of the pulse
+  // solution ranges.
+  size_t expected = 0;
+  for (double t = 0.05; t < 20.0; t += 0.1) {
+    if (pulse_pass.Contains(t)) ++expected;
+  }
+  EXPECT_EQ(dexec->output().size(), expected);
+}
+
+}  // namespace
+}  // namespace pulse

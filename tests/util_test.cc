@@ -1,0 +1,190 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace pulse {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kOutOfRange, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kNumericError,
+        StatusCode::kCapacity, StatusCode::kIoError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  PULSE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  PULSE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(99), 99);
+  EXPECT_EQ(ok.value_or(99), 21);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  Result<int> r = DoublePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StringUtil, SplitJoin) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings(parts, "|"), "a|b||c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtil, ParseDouble) {
+  Result<double> r = ParseDouble(" 3.25 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 3.25);
+  EXPECT_FALSE(ParseDouble("3.5abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_TRUE(ParseDouble("-1e10").ok());
+}
+
+TEST(StringUtil, ParseInt64) {
+  Result<int64_t> r = ParseInt64("-42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, -42);
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int64_t n = rng.UniformInt(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(Zipf, SkewPrefersLowRanks) {
+  Rng rng(11);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  // Uniform degenerate case.
+  ZipfDistribution flat(10, 0.0);
+  std::vector<int> fc(10, 0);
+  for (int i = 0; i < 10000; ++i) ++fc[flat.Sample(rng)];
+  for (int c : fc) EXPECT_GT(c, 700);
+}
+
+TEST(Csv, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pulse_csv_test.csv")
+          .string();
+  {
+    Result<CsvWriter> w = CsvWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    w->WriteRow({"a", "b", "c"});
+    w->WriteRow({"1", "2.5", "x"});
+    ASSERT_TRUE(w->Close().ok());
+  }
+  {
+    Result<CsvReader> r = CsvReader::Open(path);
+    ASSERT_TRUE(r.ok());
+    std::vector<std::string> row;
+    ASSERT_TRUE(r->Next(&row));
+    EXPECT_EQ(row.size(), 3u);
+    ASSERT_TRUE(r->Next(&row));
+    EXPECT_EQ(row[1], "2.5");
+    EXPECT_FALSE(r->Next(&row));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, OpenMissingFileFails) {
+  Result<CsvReader> r = CsvReader::Open("/nonexistent/path/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pulse

@@ -1,0 +1,214 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/transform.h"
+#include "workload/ais.h"
+#include "workload/moving_object.h"
+#include "workload/nyse.h"
+#include "workload/queries.h"
+#include "workload/replay.h"
+
+namespace pulse {
+namespace {
+
+TEST(MovingObjectGenerator, SchemaAndDeterminism) {
+  MovingObjectOptions opts;
+  opts.seed = 99;
+  MovingObjectGenerator a(opts), b(opts);
+  for (int i = 0; i < 50; ++i) {
+    Tuple ta = a.NextTuple();
+    Tuple tb = b.NextTuple();
+    EXPECT_EQ(ta.ToString(), tb.ToString());
+  }
+  EXPECT_EQ(MovingObjectGenerator::TupleSchema()->num_fields(), 5u);
+}
+
+TEST(MovingObjectGenerator, RateAndRoundRobin) {
+  MovingObjectOptions opts;
+  opts.num_objects = 4;
+  opts.tuple_rate = 100.0;
+  MovingObjectGenerator gen(opts);
+  std::vector<Tuple> tuples = gen.Generate(8);
+  // Timestamps spaced at 1/rate.
+  EXPECT_NEAR(tuples[1].timestamp - tuples[0].timestamp, 0.01, 1e-12);
+  // Round-robin ids.
+  EXPECT_EQ(tuples[0].at(0).as_int64(), 0);
+  EXPECT_EQ(tuples[1].at(0).as_int64(), 1);
+  EXPECT_EQ(tuples[4].at(0).as_int64(), 0);
+}
+
+TEST(MovingObjectGenerator, LinearBetweenTurnsMatchesModel) {
+  // With zero noise, consecutive samples of one object obey
+  // x' = x + vx * dt exactly while the velocity is unchanged.
+  MovingObjectOptions opts;
+  opts.num_objects = 1;
+  opts.tuple_rate = 10.0;
+  opts.tuples_per_segment = 1000;  // no turn within this test
+  opts.noise = 0.0;
+  opts.area = 1e9;  // no wall reflections
+  MovingObjectGenerator gen(opts);
+  Tuple prev = gen.NextTuple();
+  for (int i = 0; i < 100; ++i) {
+    Tuple cur = gen.NextTuple();
+    const double dt = cur.timestamp - prev.timestamp;
+    EXPECT_NEAR(cur.at(1).as_double(),
+                prev.at(1).as_double() + prev.at(3).as_double() * dt,
+                1e-9);
+    prev = cur;
+  }
+}
+
+TEST(MovingObjectGenerator, VelocityChangesEveryKSamples) {
+  MovingObjectOptions opts;
+  opts.num_objects = 1;
+  opts.tuples_per_segment = 10;
+  opts.area = 1e9;
+  MovingObjectGenerator gen(opts);
+  std::vector<Tuple> tuples = gen.Generate(40);
+  std::set<double> velocities;
+  for (const Tuple& t : tuples) velocities.insert(t.at(3).as_double());
+  // 40 samples / 10 per segment: about 4 distinct velocities.
+  EXPECT_GE(velocities.size(), 3u);
+  EXPECT_LE(velocities.size(), 6u);
+}
+
+TEST(NyseGenerator, PricesPositiveAndTrendy) {
+  NyseOptions opts;
+  opts.num_symbols = 10;
+  NyseGenerator gen(opts);
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = gen.NextTuple();
+    EXPECT_GT(t.at(1).as_double(), 0.0);
+    EXPECT_GE(t.at(0).as_int64(), 0);
+    EXPECT_LT(t.at(0).as_int64(), 10);
+  }
+}
+
+TEST(NyseGenerator, ZipfSkewsSymbolFrequency) {
+  NyseOptions opts;
+  opts.num_symbols = 50;
+  opts.zipf_skew = 1.2;
+  NyseGenerator gen(opts);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[gen.NextTuple().at(0).as_int64()];
+  }
+  EXPECT_GT(counts[0], counts[25] * 3);
+}
+
+TEST(NyseGenerator, DriftFieldPredictsPrice) {
+  NyseOptions opts;
+  opts.num_symbols = 1;
+  opts.noise = 0.0;
+  opts.trades_per_trend = 100000;
+  NyseGenerator gen(opts);
+  Tuple prev = gen.NextTuple();
+  for (int i = 0; i < 200; ++i) {
+    Tuple cur = gen.NextTuple();
+    const double dt = cur.timestamp - prev.timestamp;
+    EXPECT_NEAR(cur.at(1).as_double(),
+                prev.at(1).as_double() + prev.at(2).as_double() * dt,
+                1e-9);
+    prev = cur;
+  }
+}
+
+TEST(AisGenerator, FollowersStayClose) {
+  AisOptions opts;
+  opts.num_vessels = 20;
+  opts.following_fraction = 0.3;
+  opts.noise = 0.0;
+  AisGenerator gen(opts);
+  ASSERT_FALSE(gen.follower_pairs().empty());
+  // Track positions over time.
+  std::map<int64_t, std::pair<double, double>> last_pos;
+  for (int i = 0; i < 5000; ++i) {
+    Tuple t = gen.NextTuple();
+    last_pos[t.at(0).as_int64()] = {t.at(1).as_double(),
+                                    t.at(3).as_double()};
+  }
+  for (const auto& [follower, leader] : gen.follower_pairs()) {
+    const auto [fx, fy] = last_pos.at(follower);
+    const auto [lx, ly] = last_pos.at(leader);
+    const double dist = std::hypot(fx - lx, fy - ly);
+    EXPECT_LE(dist, opts.follow_distance * 1.5)
+        << "follower " << follower << " strayed";
+  }
+}
+
+TEST(AisGenerator, SchemaMatchesStreamSpec) {
+  StreamSpec spec = AisGenerator::MakeStreamSpec("ais", 5.0);
+  EXPECT_EQ(spec.key_field, "id");
+  EXPECT_EQ(spec.models.size(), 2u);
+  EXPECT_TRUE(spec.schema->HasField("vx"));
+}
+
+TEST(TraceFile, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pulse_trace_test.csv")
+          .string();
+  MovingObjectGenerator gen(MovingObjectOptions{});
+  std::vector<Tuple> tuples = gen.Generate(25);
+  const auto schema = MovingObjectGenerator::TupleSchema();
+  ASSERT_TRUE(TraceFile::Write(path, *schema, tuples).ok());
+  Result<std::vector<Tuple>> loaded = TraceFile::Load(path, *schema);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_NEAR((*loaded)[i].timestamp, tuples[i].timestamp, 1e-9);
+    EXPECT_EQ((*loaded)[i].at(0).as_int64(), tuples[i].at(0).as_int64());
+    EXPECT_NEAR((*loaded)[i].at(1).as_double(),
+                tuples[i].at(1).as_double(), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RescaleRate, CompressesTime) {
+  std::vector<Tuple> trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(Tuple(10.0 + i, {Value(int64_t{1})}));
+  }
+  std::vector<Tuple> fast = RescaleRate(trace, 2.0);
+  EXPECT_DOUBLE_EQ(fast[0].timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(fast[9].timestamp, 14.5);
+}
+
+TEST(Queries, MacdSpecBuilds) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(NyseGenerator::MakeStreamSpec("nyse", 2.0)).ok());
+  Result<QuerySpec::NodeId> sink = AddMacdQuery(&spec, MacdParams{});
+  ASSERT_TRUE(sink.ok());
+  // short agg, long agg, join, diff map.
+  EXPECT_EQ(spec.num_nodes(), 4u);
+  EXPECT_EQ(spec.SinkNodes().size(), 1u);
+  // Both plans build.
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(Queries, FollowingSpecBuilds) {
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(AisGenerator::MakeStreamSpec("ais", 10.0)).ok());
+  Result<QuerySpec::NodeId> sink =
+      AddFollowingQuery(&spec, FollowingParams{});
+  ASSERT_TRUE(sink.ok());
+  // join, dist map, avg, having.
+  EXPECT_EQ(spec.num_nodes(), 4u);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(Queries, MissingStreamFails) {
+  QuerySpec spec;
+  EXPECT_FALSE(AddMacdQuery(&spec, MacdParams{}).ok());
+  EXPECT_FALSE(AddFollowingQuery(&spec, FollowingParams{}).ok());
+}
+
+}  // namespace
+}  // namespace pulse
