@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_historical.dir/bench_fig8_historical.cc.o"
+  "CMakeFiles/bench_fig8_historical.dir/bench_fig8_historical.cc.o.d"
+  "bench_fig8_historical"
+  "bench_fig8_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

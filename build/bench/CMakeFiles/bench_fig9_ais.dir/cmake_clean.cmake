@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ais.dir/bench_fig9_ais.cc.o"
+  "CMakeFiles/bench_fig9_ais.dir/bench_fig9_ais.cc.o.d"
+  "bench_fig9_ais"
+  "bench_fig9_ais.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ais.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nyse.dir/bench_fig9_nyse.cc.o"
+  "CMakeFiles/bench_fig9_nyse.dir/bench_fig9_nyse.cc.o.d"
+  "bench_fig9_nyse"
+  "bench_fig9_nyse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nyse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pulse_bench_util.dir/bench_util.cc.o.d"
+  "libpulse_bench_util.a"
+  "libpulse_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_whatif.dir/historical_whatif.cpp.o"
+  "CMakeFiles/historical_whatif.dir/historical_whatif.cpp.o.d"
+  "historical_whatif"
+  "historical_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

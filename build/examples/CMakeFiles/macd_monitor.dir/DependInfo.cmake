@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/macd_monitor.cpp" "examples/CMakeFiles/macd_monitor.dir/macd_monitor.cpp.o" "gcc" "examples/CMakeFiles/macd_monitor.dir/macd_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pulse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

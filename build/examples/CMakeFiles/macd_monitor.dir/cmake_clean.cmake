@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macd_monitor.dir/macd_monitor.cpp.o"
+  "CMakeFiles/macd_monitor.dir/macd_monitor.cpp.o.d"
+  "macd_monitor"
+  "macd_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macd_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_collision.dir/predictive_collision.cpp.o"
+  "CMakeFiles/predictive_collision.dir/predictive_collision.cpp.o.d"
+  "predictive_collision"
+  "predictive_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

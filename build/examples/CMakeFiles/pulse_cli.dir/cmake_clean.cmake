@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_cli.dir/pulse_cli.cpp.o"
+  "CMakeFiles/pulse_cli.dir/pulse_cli.cpp.o.d"
+  "pulse_cli"
+  "pulse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

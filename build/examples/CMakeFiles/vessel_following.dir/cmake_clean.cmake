@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vessel_following.dir/vessel_following.cpp.o"
+  "CMakeFiles/vessel_following.dir/vessel_following.cpp.o.d"
+  "vessel_following"
+  "vessel_following.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vessel_following.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

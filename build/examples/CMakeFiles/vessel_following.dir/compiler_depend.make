@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vessel_following.
+# This may be replaced when dependencies are built.

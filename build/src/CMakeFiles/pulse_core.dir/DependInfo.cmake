@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/equation_system.cc" "src/CMakeFiles/pulse_core.dir/core/equation_system.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/equation_system.cc.o.d"
+  "/root/repo/src/core/operators/aggregate.cc" "src/CMakeFiles/pulse_core.dir/core/operators/aggregate.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/aggregate.cc.o.d"
+  "/root/repo/src/core/operators/filter.cc" "src/CMakeFiles/pulse_core.dir/core/operators/filter.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/filter.cc.o.d"
+  "/root/repo/src/core/operators/group_by.cc" "src/CMakeFiles/pulse_core.dir/core/operators/group_by.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/group_by.cc.o.d"
+  "/root/repo/src/core/operators/join.cc" "src/CMakeFiles/pulse_core.dir/core/operators/join.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/join.cc.o.d"
+  "/root/repo/src/core/operators/map.cc" "src/CMakeFiles/pulse_core.dir/core/operators/map.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/map.cc.o.d"
+  "/root/repo/src/core/operators/pulse_operator.cc" "src/CMakeFiles/pulse_core.dir/core/operators/pulse_operator.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/operators/pulse_operator.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/CMakeFiles/pulse_core.dir/core/parser.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/parser.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/pulse_core.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/pulse_plan.cc" "src/CMakeFiles/pulse_core.dir/core/pulse_plan.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/pulse_plan.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/pulse_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/pulse_core.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/pulse_core.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/sampler.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/CMakeFiles/pulse_core.dir/core/transform.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/transform.cc.o.d"
+  "/root/repo/src/core/validation/bounds.cc" "src/CMakeFiles/pulse_core.dir/core/validation/bounds.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/validation/bounds.cc.o.d"
+  "/root/repo/src/core/validation/inversion.cc" "src/CMakeFiles/pulse_core.dir/core/validation/inversion.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/validation/inversion.cc.o.d"
+  "/root/repo/src/core/validation/lineage.cc" "src/CMakeFiles/pulse_core.dir/core/validation/lineage.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/validation/lineage.cc.o.d"
+  "/root/repo/src/core/validation/slack.cc" "src/CMakeFiles/pulse_core.dir/core/validation/slack.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/validation/slack.cc.o.d"
+  "/root/repo/src/core/validation/splits.cc" "src/CMakeFiles/pulse_core.dir/core/validation/splits.cc.o" "gcc" "src/CMakeFiles/pulse_core.dir/core/validation/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pulse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

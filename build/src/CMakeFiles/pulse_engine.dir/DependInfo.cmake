@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/CMakeFiles/pulse_engine.dir/engine/aggregate.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/aggregate.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/pulse_engine.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/filter.cc" "src/CMakeFiles/pulse_engine.dir/engine/filter.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/filter.cc.o.d"
+  "/root/repo/src/engine/group_by.cc" "src/CMakeFiles/pulse_engine.dir/engine/group_by.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/group_by.cc.o.d"
+  "/root/repo/src/engine/join.cc" "src/CMakeFiles/pulse_engine.dir/engine/join.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/join.cc.o.d"
+  "/root/repo/src/engine/map.cc" "src/CMakeFiles/pulse_engine.dir/engine/map.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/map.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/CMakeFiles/pulse_engine.dir/engine/metrics.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/metrics.cc.o.d"
+  "/root/repo/src/engine/operator.cc" "src/CMakeFiles/pulse_engine.dir/engine/operator.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/operator.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/pulse_engine.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/plan.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/CMakeFiles/pulse_engine.dir/engine/schema.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/schema.cc.o.d"
+  "/root/repo/src/engine/stream.cc" "src/CMakeFiles/pulse_engine.dir/engine/stream.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/stream.cc.o.d"
+  "/root/repo/src/engine/tuple.cc" "src/CMakeFiles/pulse_engine.dir/engine/tuple.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/tuple.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/CMakeFiles/pulse_engine.dir/engine/value.cc.o" "gcc" "src/CMakeFiles/pulse_engine.dir/engine/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

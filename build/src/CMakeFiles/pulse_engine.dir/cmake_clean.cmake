@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_engine.dir/engine/aggregate.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/aggregate.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/filter.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/filter.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/group_by.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/group_by.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/join.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/join.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/map.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/map.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/metrics.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/metrics.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/operator.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/operator.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/plan.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/plan.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/schema.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/schema.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/stream.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/stream.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/tuple.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/tuple.cc.o.d"
+  "CMakeFiles/pulse_engine.dir/engine/value.cc.o"
+  "CMakeFiles/pulse_engine.dir/engine/value.cc.o.d"
+  "libpulse_engine.a"
+  "libpulse_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/interval_set.cc" "src/CMakeFiles/pulse_math.dir/math/interval_set.cc.o" "gcc" "src/CMakeFiles/pulse_math.dir/math/interval_set.cc.o.d"
+  "/root/repo/src/math/linear_system.cc" "src/CMakeFiles/pulse_math.dir/math/linear_system.cc.o" "gcc" "src/CMakeFiles/pulse_math.dir/math/linear_system.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/pulse_math.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/pulse_math.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/polynomial.cc" "src/CMakeFiles/pulse_math.dir/math/polynomial.cc.o" "gcc" "src/CMakeFiles/pulse_math.dir/math/polynomial.cc.o.d"
+  "/root/repo/src/math/roots.cc" "src/CMakeFiles/pulse_math.dir/math/roots.cc.o" "gcc" "src/CMakeFiles/pulse_math.dir/math/roots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

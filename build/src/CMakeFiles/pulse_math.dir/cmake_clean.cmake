@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_math.dir/math/interval_set.cc.o"
+  "CMakeFiles/pulse_math.dir/math/interval_set.cc.o.d"
+  "CMakeFiles/pulse_math.dir/math/linear_system.cc.o"
+  "CMakeFiles/pulse_math.dir/math/linear_system.cc.o.d"
+  "CMakeFiles/pulse_math.dir/math/matrix.cc.o"
+  "CMakeFiles/pulse_math.dir/math/matrix.cc.o.d"
+  "CMakeFiles/pulse_math.dir/math/polynomial.cc.o"
+  "CMakeFiles/pulse_math.dir/math/polynomial.cc.o.d"
+  "CMakeFiles/pulse_math.dir/math/roots.cc.o"
+  "CMakeFiles/pulse_math.dir/math/roots.cc.o.d"
+  "libpulse_math.a"
+  "libpulse_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/fitting.cc" "src/CMakeFiles/pulse_model.dir/model/fitting.cc.o" "gcc" "src/CMakeFiles/pulse_model.dir/model/fitting.cc.o.d"
+  "/root/repo/src/model/piecewise.cc" "src/CMakeFiles/pulse_model.dir/model/piecewise.cc.o" "gcc" "src/CMakeFiles/pulse_model.dir/model/piecewise.cc.o.d"
+  "/root/repo/src/model/segment.cc" "src/CMakeFiles/pulse_model.dir/model/segment.cc.o" "gcc" "src/CMakeFiles/pulse_model.dir/model/segment.cc.o.d"
+  "/root/repo/src/model/segment_index.cc" "src/CMakeFiles/pulse_model.dir/model/segment_index.cc.o" "gcc" "src/CMakeFiles/pulse_model.dir/model/segment_index.cc.o.d"
+  "/root/repo/src/model/segmentation.cc" "src/CMakeFiles/pulse_model.dir/model/segmentation.cc.o" "gcc" "src/CMakeFiles/pulse_model.dir/model/segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pulse_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pulse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_model.dir/model/fitting.cc.o"
+  "CMakeFiles/pulse_model.dir/model/fitting.cc.o.d"
+  "CMakeFiles/pulse_model.dir/model/piecewise.cc.o"
+  "CMakeFiles/pulse_model.dir/model/piecewise.cc.o.d"
+  "CMakeFiles/pulse_model.dir/model/segment.cc.o"
+  "CMakeFiles/pulse_model.dir/model/segment.cc.o.d"
+  "CMakeFiles/pulse_model.dir/model/segment_index.cc.o"
+  "CMakeFiles/pulse_model.dir/model/segment_index.cc.o.d"
+  "CMakeFiles/pulse_model.dir/model/segmentation.cc.o"
+  "CMakeFiles/pulse_model.dir/model/segmentation.cc.o.d"
+  "libpulse_model.a"
+  "libpulse_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

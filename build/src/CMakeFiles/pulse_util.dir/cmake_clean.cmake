@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_util.dir/util/csv.cc.o"
+  "CMakeFiles/pulse_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/pulse_util.dir/util/logging.cc.o"
+  "CMakeFiles/pulse_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/pulse_util.dir/util/rng.cc.o"
+  "CMakeFiles/pulse_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/pulse_util.dir/util/status.cc.o"
+  "CMakeFiles/pulse_util.dir/util/status.cc.o.d"
+  "CMakeFiles/pulse_util.dir/util/string_util.cc.o"
+  "CMakeFiles/pulse_util.dir/util/string_util.cc.o.d"
+  "libpulse_util.a"
+  "libpulse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_workload.dir/workload/ais.cc.o"
+  "CMakeFiles/pulse_workload.dir/workload/ais.cc.o.d"
+  "CMakeFiles/pulse_workload.dir/workload/moving_object.cc.o"
+  "CMakeFiles/pulse_workload.dir/workload/moving_object.cc.o.d"
+  "CMakeFiles/pulse_workload.dir/workload/nyse.cc.o"
+  "CMakeFiles/pulse_workload.dir/workload/nyse.cc.o.d"
+  "CMakeFiles/pulse_workload.dir/workload/queries.cc.o"
+  "CMakeFiles/pulse_workload.dir/workload/queries.cc.o.d"
+  "CMakeFiles/pulse_workload.dir/workload/replay.cc.o"
+  "CMakeFiles/pulse_workload.dir/workload/replay.cc.o.d"
+  "libpulse_workload.a"
+  "libpulse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

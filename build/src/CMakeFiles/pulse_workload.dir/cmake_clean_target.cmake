@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpulse_workload.a"
+)

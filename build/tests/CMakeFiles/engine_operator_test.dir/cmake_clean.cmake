@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_operator_test.dir/engine_operator_test.cc.o"
+  "CMakeFiles/engine_operator_test.dir/engine_operator_test.cc.o.d"
+  "engine_operator_test"
+  "engine_operator_test.pdb"
+  "engine_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equation_system_test.dir/equation_system_test.cc.o"
+  "CMakeFiles/equation_system_test.dir/equation_system_test.cc.o.d"
+  "equation_system_test"
+  "equation_system_test.pdb"
+  "equation_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equation_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_algebra_test.dir/linear_algebra_test.cc.o"
+  "CMakeFiles/linear_algebra_test.dir/linear_algebra_test.cc.o.d"
+  "linear_algebra_test"
+  "linear_algebra_test.pdb"
+  "linear_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

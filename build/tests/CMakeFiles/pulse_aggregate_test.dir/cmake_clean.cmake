@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_aggregate_test.dir/pulse_aggregate_test.cc.o"
+  "CMakeFiles/pulse_aggregate_test.dir/pulse_aggregate_test.cc.o.d"
+  "pulse_aggregate_test"
+  "pulse_aggregate_test.pdb"
+  "pulse_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_filter_test.dir/pulse_filter_test.cc.o"
+  "CMakeFiles/pulse_filter_test.dir/pulse_filter_test.cc.o.d"
+  "pulse_filter_test"
+  "pulse_filter_test.pdb"
+  "pulse_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

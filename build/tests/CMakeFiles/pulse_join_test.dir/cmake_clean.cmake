@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_join_test.dir/pulse_join_test.cc.o"
+  "CMakeFiles/pulse_join_test.dir/pulse_join_test.cc.o.d"
+  "pulse_join_test"
+  "pulse_join_test.pdb"
+  "pulse_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

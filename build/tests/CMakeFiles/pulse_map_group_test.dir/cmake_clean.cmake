@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_map_group_test.dir/pulse_map_group_test.cc.o"
+  "CMakeFiles/pulse_map_group_test.dir/pulse_map_group_test.cc.o.d"
+  "pulse_map_group_test"
+  "pulse_map_group_test.pdb"
+  "pulse_map_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_map_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
