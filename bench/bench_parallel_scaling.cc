@@ -1,0 +1,167 @@
+// Parallel solver scaling on the Fig. 7 proximity-join workload.
+//
+// The workload is the paper's Fig. 7ii moving-object self-join (distance
+// predicate => one degree-4 equation system per overlapping segment
+// pair), driven in historical/segment mode so the equation-system solver
+// dominates and widened to a multi-second window so every pushed segment
+// probes a meaningful partner population. The same trace is replayed at
+// 1/2/4/8 solver threads (ParallelOptions::num_threads); tuples/sec and
+// speedup vs the serial run are printed and written to
+// BENCH_parallel_scaling.json.
+//
+// Expected shape: near-linear speedup while threads <= physical cores
+// (the per-pair solves are independent; only id assignment and lineage
+// recording stay serial), flattening at the core count. On hosts with
+// fewer cores than a configuration's thread count the extra threads
+// time-slice one core and the speedup stays ~1x — the JSON records
+// hardware_concurrency so trajectories from different hosts stay
+// comparable.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/runtime.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+constexpr double kArea = 1000.0;
+constexpr size_t kNumObjects = 32;
+constexpr double kRate = 800.0;      // aggregate tuples/second
+constexpr double kDuration = 60.0;   // seconds of stream
+constexpr size_t kTuplesPerModel = 40;
+constexpr double kWindowSeconds = 4.0;
+
+std::vector<Tuple> MakeTrace() {
+  MovingObjectOptions opts;
+  opts.num_objects = kNumObjects;
+  opts.tuple_rate = kRate;
+  opts.tuples_per_segment = kTuplesPerModel;
+  opts.area = kArea;
+  opts.noise = 0.0;
+  return MovingObjectGenerator(opts).Generate(
+      static_cast<size_t>(kRate * kDuration));
+}
+
+QuerySpec ProximityJoin() {
+  QuerySpec spec;
+  (void)spec.AddStream(MovingObjectGenerator::MakeStreamSpec(
+      "objects", 100.0 * kNumObjects / kRate));
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt, kArea / 10.0));
+  join.window_seconds = kWindowSeconds;
+  join.require_distinct_keys = true;
+  spec.AddJoin("join", QuerySpec::Input::Stream("objects"),
+               QuerySpec::Input::Stream("objects"), join);
+  return spec;
+}
+
+struct RunResult {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double tuples_per_sec = 0.0;
+  uint64_t tasks_spawned = 0;
+  uint64_t solves = 0;
+};
+
+RunResult RunOnce(const std::vector<Tuple>& trace, size_t threads) {
+  const QuerySpec spec = ProximityJoin();
+  HistoricalRuntime::Options opts;
+  opts.segmentation.degree = 1;
+  opts.segmentation.max_error = 0.5;
+  opts.segmentation.max_points_per_segment = kTuplesPerModel;
+  opts.collect_outputs = false;
+  opts.parallel.num_threads = threads;
+  Result<HistoricalRuntime> rt = HistoricalRuntime::Make(spec, opts);
+  if (!rt.ok()) {
+    std::fprintf(stderr, "runtime setup failed: %s\n",
+                 rt.status().ToString().c_str());
+    return RunResult{};
+  }
+  RunResult result;
+  result.threads = threads;
+  result.seconds = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) {
+      (void)rt->ProcessTuple("objects", t);
+    }
+    (void)rt->Finish();
+  });
+  result.tuples_per_sec = static_cast<double>(trace.size()) / result.seconds;
+  result.tasks_spawned = rt->stats().tasks_spawned;
+  for (size_t n = 0; n < rt->plan().num_nodes(); ++n) {
+    result.solves += rt->plan().node(n)->metrics().solves;
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main() {
+  using namespace pulse;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Parallel scaling: Fig. 7 proximity join, %zu objects, %g s of "
+      "stream, window %g s (host reports %u hardware threads)\n",
+      kNumObjects, kDuration, kWindowSeconds, cores);
+
+  const std::vector<Tuple> trace = MakeTrace();
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  bench::SeriesTable table(
+      "Parallel equation-system solving: tuples/sec vs solver threads",
+      "threads", {"tuples_per_sec", "speedup", "solves", "tasks_spawned"});
+
+  std::vector<RunResult> results;
+  double serial_tps = 0.0;
+  for (size_t threads : thread_counts) {
+    const RunResult r = RunOnce(trace, threads);
+    if (r.threads == 0) return 1;
+    if (threads == 1) serial_tps = r.tuples_per_sec;
+    results.push_back(r);
+    table.AddRow(static_cast<double>(threads),
+                 {r.tuples_per_sec, r.tuples_per_sec / serial_tps,
+                  static_cast<double>(r.solves),
+                  static_cast<double>(r.tasks_spawned)});
+  }
+  table.Print();
+
+  std::FILE* json = std::fopen("BENCH_parallel_scaling.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"workload\": \"fig7_proximity_join\",\n"
+               "  \"num_objects\": %zu,\n"
+               "  \"window_seconds\": %g,\n"
+               "  \"tuples\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"results\": [\n",
+               kNumObjects, kWindowSeconds, trace.size(), cores);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"seconds\": %.6f, "
+                 "\"tuples_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"solves\": %llu, \"tasks_spawned\": %llu}%s\n",
+                 r.threads, r.seconds, r.tuples_per_sec,
+                 r.tuples_per_sec / serial_tps,
+                 static_cast<unsigned long long>(r.solves),
+                 static_cast<unsigned long long>(r.tasks_spawned),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf(
+      "\nWrote BENCH_parallel_scaling.json. Expected shape: near-linear "
+      "speedup up to the\nphysical core count (>= 2.5x at 4 threads on a "
+      ">= 4-core host); ~1x on fewer cores.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the threaded code.
+#
+#   scripts/check.sh            # full build + ctest + TSan thread tests
+#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only
+#
+# Run from anywhere; build trees land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== SKIP_TSAN=1: done =="
+  exit 0
+fi
+
+echo "== TSan: thread_pool_test + runtime_test (-DPULSE_TSAN=ON) =="
+cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
+cmake --build "$repo/build-tsan" -j "$jobs" --target thread_pool_test runtime_test
+
+# halt_on_error makes a race fail the script, not just print a warning.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$repo/build-tsan/tests/thread_pool_test"
+"$repo/build-tsan/tests/runtime_test"
+
+echo "== all checks passed =="

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace pulse {
 
 std::string DifferenceEquation::ToString() const {
@@ -128,6 +130,24 @@ double EquationSystem::Slack(const Interval& domain) const {
     best = std::min(best, max_row);
   }
   return best;
+}
+
+Result<std::vector<IntervalSet>> SolveSystems(
+    const std::vector<EquationSystemTask>& tasks, RootMethod method,
+    ThreadPool* pool) {
+  std::vector<IntervalSet> solutions(tasks.size());
+  auto solve_one = [&](size_t i) -> Status {
+    solutions[i] = tasks[i].system.Solve(tasks[i].domain, method);
+    return Status::OK();
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && tasks.size() > 1) {
+    PULSE_RETURN_IF_ERROR(pool->ParallelFor(tasks.size(), solve_one));
+  } else {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      PULSE_RETURN_IF_ERROR(solve_one(i));
+    }
+  }
+  return solutions;
 }
 
 std::string EquationSystem::ToString() const {

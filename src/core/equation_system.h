@@ -12,6 +12,8 @@
 
 namespace pulse {
 
+class ThreadPool;
+
 /// One row of a simultaneous equation system: a difference polynomial and
 /// the comparison it must satisfy. Produced by the paper's three-step
 /// predicate transform (Section III-A):
@@ -83,6 +85,24 @@ class EquationSystem {
  private:
   std::vector<DifferenceEquation> rows_;
 };
+
+/// One independent solve instance for batch execution: an equation
+/// system plus the time domain to solve it over. Instances share no
+/// state, which is what makes the batch embarrassingly parallel.
+struct EquationSystemTask {
+  EquationSystem system;
+  Interval domain;
+};
+
+/// Solves every task independently — the per-segment / per-segment-pair
+/// fan-out of the parallel runtime (docs/CONCURRENCY.md). Root-finding
+/// and sign-testing shard across `pool` when it has more than one thread
+/// (nullptr or single-thread pools solve inline on the caller), and
+/// solutions are returned in task order, so the concatenated result is
+/// deterministic regardless of execution interleaving.
+Result<std::vector<IntervalSet>> SolveSystems(
+    const std::vector<EquationSystemTask>& tasks,
+    RootMethod method = RootMethod::kAuto, ThreadPool* pool = nullptr);
 
 }  // namespace pulse
 

@@ -1,6 +1,10 @@
 #include "core/operators/group_by.h"
 
+#include <utility>
+#include <vector>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace pulse {
 
@@ -55,11 +59,31 @@ Result<std::vector<AllocatedBound>> PulseGroupBy::InvertBound(
 }
 
 Status PulseGroupBy::Flush(SegmentBatch* out) {
+  // Shard the per-group flush across the pool: each group owns a
+  // disjoint inner operator (per-shard state), so shards are fully
+  // independent. Each shard writes only its own batch slot; the merge
+  // below walks groups in ascending key order (groups_ is an ordered
+  // map), which keeps the emitted batch identical to a serial flush up
+  // to engine-assigned segment ids.
+  std::vector<std::pair<Key, PulseOperator*>> shards;
+  shards.reserve(groups_.size());
   for (auto& [group, inner] : groups_) {
-    SegmentBatch inner_out;
-    PULSE_RETURN_IF_ERROR(inner->Flush(&inner_out));
-    for (Segment& s : inner_out) {
-      s.key = group;
+    shards.emplace_back(group, inner.get());
+  }
+  std::vector<SegmentBatch> batches(shards.size());
+  auto flush_one = [&](size_t i) -> Status {
+    return shards[i].second->Flush(&batches[i]);
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && shards.size() > 1) {
+    PULSE_RETURN_IF_ERROR(pool_->ParallelFor(shards.size(), flush_one));
+  } else {
+    for (size_t i = 0; i < shards.size(); ++i) {
+      PULSE_RETURN_IF_ERROR(flush_one(i));
+    }
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (Segment& s : batches[i]) {
+      s.key = shards[i].first;
       out->push_back(std::move(s));
       ++metrics_.segments_out;
     }

@@ -4,8 +4,10 @@
 #include <limits>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace pulse {
 
@@ -86,22 +88,74 @@ Segment PulseJoin::MakeJoined(const Segment& left, const Segment& right,
   return out;
 }
 
-Status PulseJoin::MatchPair(const Segment& left, const Segment& right,
-                            SegmentBatch* out) {
-  const Interval overlap = left.range.Intersect(right.range);
-  if (overlap.IsEmpty()) return Status::OK();
-  ++metrics_.solves;
-  const AttrResolver resolver = MakeBinaryResolver(left, right);
-  PULSE_ASSIGN_OR_RETURN(
-      IntervalSet solution,
-      predicate_.Solve(resolver, overlap, options_.method));
-  for (const Interval& iv : solution.intervals()) {
-    Segment joined = MakeJoined(left, right, iv);
-    joined.id = NextSegmentId();
-    lineage_.Record(joined.id, iv,
-                    {LineageEntry{0, left}, LineageEntry{1, right}});
-    out->push_back(std::move(joined));
-    ++metrics_.segments_out;
+Status PulseJoin::MatchPartners(size_t port, const Segment& segment,
+                                const std::vector<const Segment*>& partners,
+                                SegmentBatch* out) {
+  struct Pair {
+    const Segment* left;
+    const Segment* right;
+    Interval overlap;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(partners.size());
+  for (const Segment* partner : partners) {
+    if (!KeysAdmissible(segment, *partner)) continue;
+    const Segment* left = (port == 0) ? &segment : partner;
+    const Segment* right = (port == 0) ? partner : &segment;
+    const Interval overlap = left->range.Intersect(right->range);
+    if (overlap.IsEmpty()) continue;
+    pairs.push_back(Pair{left, right, overlap});
+  }
+  if (pairs.empty()) return Status::OK();
+  metrics_.solves += pairs.size();
+
+  // Each pair is an independent equation system: fan the solves out
+  // across the pool. Conjunctive predicates (the common case) go through
+  // the EquationSystem batch API; boolean trees solve the full predicate
+  // per pair. Both keep solutions in pair order.
+  std::vector<IntervalSet> solutions;
+  if (predicate_.IsConjunctive()) {
+    std::vector<EquationSystemTask> tasks;
+    tasks.reserve(pairs.size());
+    for (const Pair& p : pairs) {
+      PULSE_ASSIGN_OR_RETURN(
+          EquationSystem system,
+          predicate_.BuildSystem(MakeBinaryResolver(*p.left, *p.right)));
+      tasks.push_back(EquationSystemTask{std::move(system), p.overlap});
+    }
+    PULSE_ASSIGN_OR_RETURN(solutions,
+                           SolveSystems(tasks, options_.method, pool_));
+  } else {
+    solutions.resize(pairs.size());
+    auto solve_one = [&](size_t i) -> Status {
+      const Pair& p = pairs[i];
+      const AttrResolver resolver = MakeBinaryResolver(*p.left, *p.right);
+      PULSE_ASSIGN_OR_RETURN(
+          solutions[i],
+          predicate_.Solve(resolver, p.overlap, options_.method));
+      return Status::OK();
+    };
+    if (pool_ != nullptr && pool_->num_threads() > 1 && pairs.size() > 1) {
+      PULSE_RETURN_IF_ERROR(pool_->ParallelFor(pairs.size(), solve_one));
+    } else {
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        PULSE_RETURN_IF_ERROR(solve_one(i));
+      }
+    }
+  }
+
+  // Serial emission in pair order: segment ids, lineage, and output
+  // order are identical to the single-threaded engine's.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    for (const Interval& iv : solutions[i].intervals()) {
+      Segment joined = MakeJoined(*pairs[i].left, *pairs[i].right, iv);
+      joined.id = NextSegmentId();
+      lineage_.Record(joined.id, iv,
+                      {LineageEntry{0, *pairs[i].left},
+                       LineageEntry{1, *pairs[i].right}});
+      out->push_back(std::move(joined));
+      ++metrics_.segments_out;
+    }
   }
   return Status::OK();
 }
@@ -123,14 +177,7 @@ Status PulseJoin::Process(size_t port, const Segment& segment,
     } else {
       partners.QueryOverlaps(segment.range, &overlaps);
     }
-    for (const Segment* partner : overlaps) {
-      if (!KeysAdmissible(segment, *partner)) continue;
-      if (port == 0) {
-        PULSE_RETURN_IF_ERROR(MatchPair(segment, *partner, out));
-      } else {
-        PULSE_RETURN_IF_ERROR(MatchPair(*partner, segment, out));
-      }
-    }
+    PULSE_RETURN_IF_ERROR(MatchPartners(port, segment, overlaps, out));
     if (port == 0) {
       left_index_.Insert(segment);
     } else {
@@ -140,14 +187,10 @@ Status PulseJoin::Process(size_t port, const Segment& segment,
     return Status::OK();
   }
   const std::deque<Segment>& partners = (port == 0) ? right_ : left_;
-  for (const Segment& partner : partners) {
-    if (!KeysAdmissible(segment, partner)) continue;
-    if (port == 0) {
-      PULSE_RETURN_IF_ERROR(MatchPair(segment, partner, out));
-    } else {
-      PULSE_RETURN_IF_ERROR(MatchPair(partner, segment, out));
-    }
-  }
+  std::vector<const Segment*> candidates;
+  candidates.reserve(partners.size());
+  for (const Segment& partner : partners) candidates.push_back(&partner);
+  PULSE_RETURN_IF_ERROR(MatchPartners(port, segment, candidates, out));
   if (port == 0) {
     left_.push_back(segment);
   } else {

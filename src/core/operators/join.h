@@ -76,9 +76,14 @@ class PulseJoin : public PulseOperator {
   const SegmentIndex& right_index() const { return right_index_; }
 
  private:
-  // Solves `left` against `right`; emits joined segments.
-  Status MatchPair(const Segment& left, const Segment& right,
-                   SegmentBatch* out);
+  // Solves `segment` (arrived on `port`) against every admissible stored
+  // partner. Root-finding fans out across the operator's thread pool
+  // when one is installed; emission (ids, lineage, output order) stays
+  // on the calling thread in partner order, so parallel and serial runs
+  // produce identical batches.
+  Status MatchPartners(size_t port, const Segment& segment,
+                       const std::vector<const Segment*>& partners,
+                       SegmentBatch* out);
   bool KeysAdmissible(const Segment& a, const Segment& b) const;
   void Expire(double now);
   Segment MakeJoined(const Segment& left, const Segment& right,

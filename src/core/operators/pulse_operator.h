@@ -8,21 +8,25 @@
 #include "core/validation/lineage.h"
 #include "core/validation/splits.h"
 #include "model/segment.h"
+#include "util/atomic_counter.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace pulse {
 
+class ThreadPool;
+
 /// Counters for a continuous-time operator. `solves` counts equation-
 /// system executions — the quantity Pulse's validation machinery works to
 /// minimize ("the solver executes infrequently and only in the presence
-/// of errors", paper abstract).
+/// of errors", paper abstract). Counters are relaxed atomics so the
+/// bench harness stays truthful when solves fan out across a ThreadPool.
 struct PulseOperatorMetrics {
-  uint64_t segments_in = 0;
-  uint64_t segments_out = 0;
-  uint64_t solves = 0;
-  uint64_t state_size = 0;  // last observed buffered segments/pieces
-  uint64_t processing_ns = 0;
+  RelaxedCounter segments_in = 0;
+  RelaxedCounter segments_out = 0;
+  RelaxedCounter solves = 0;
+  RelaxedCounter state_size = 0;  // last observed buffered segments/pieces
+  RelaxedCounter processing_ns = 0;
 
   void Reset() { *this = PulseOperatorMetrics(); }
   double processing_seconds() const {
@@ -66,6 +70,13 @@ class PulseOperator {
   PulseOperatorMetrics& metrics() { return metrics_; }
   const PulseOperatorMetrics& metrics() const { return metrics_; }
 
+  /// Installs the solver thread pool (nullptr = serial, the default).
+  /// Operators with independent work units — join partner matching,
+  /// group-by flush — fan out across it; all others ignore it. The pool
+  /// must outlive the operator's last Process/Flush call.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   /// Lineage recorded by this operator (outputs -> causing inputs), used
   /// by query inversion.
   LineageStore& lineage() { return lineage_; }
@@ -74,6 +85,7 @@ class PulseOperator {
  protected:
   PulseOperatorMetrics metrics_;
   LineageStore lineage_;
+  ThreadPool* pool_ = nullptr;
 
  private:
   std::string name_;

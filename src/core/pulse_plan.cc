@@ -97,6 +97,12 @@ Result<PulseExecutor> PulseExecutor::Make(PulsePlan plan) {
   return exec;
 }
 
+void PulseExecutor::set_thread_pool(ThreadPool* pool) {
+  for (PulsePlan::NodeId id = 0; id < plan_.num_nodes(); ++id) {
+    plan_.node(id)->set_thread_pool(pool);
+  }
+}
+
 void PulseExecutor::DeliverToSink(const Segment& segment) {
   ++total_output_;
   if (callback_) callback_(segment);

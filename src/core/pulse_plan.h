@@ -75,6 +75,11 @@ class PulseExecutor {
   }
   void set_discard_output(bool discard) { discard_output_ = discard; }
 
+  /// Installs `pool` (nullptr = serial) on every operator in the plan so
+  /// fan-out-capable operators shard their solves across it. The pool
+  /// must outlive the executor's last Push/Finish call.
+  void set_thread_pool(ThreadPool* pool);
+
   const PulsePlan& plan() const { return plan_; }
   PulsePlan& plan() { return plan_; }
 

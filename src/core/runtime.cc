@@ -79,6 +79,10 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
   PULSE_ASSIGN_OR_RETURN(PulseExecutor exec,
                          PulseExecutor::Make(std::move(transformed.plan)));
   rt.executor_ = std::make_unique<PulseExecutor>(std::move(exec));
+  if (rt.options_.parallel.num_threads > 1) {
+    rt.pool_ = std::make_unique<ThreadPool>(rt.options_.parallel.num_threads);
+    rt.executor_->set_thread_pool(rt.pool_.get());
+  }
   rt.inverter_ = std::make_unique<QueryInverter>(&rt.executor_->plan(),
                                                  rt.options_.split);
   rt.bound_registry_ = std::make_unique<BoundRegistry>();
@@ -108,6 +112,12 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
     rt.sampler_.emplace(SamplerOptions{rt.options_.sample_rate, 0.0});
   }
   return rt;
+}
+
+void PredictiveRuntime::SyncParallelStats() {
+  if (pool_ == nullptr) return;
+  stats_.tasks_spawned = pool_->tasks_spawned();
+  stats_.parallel_solve_ns = pool_->parallel_ns();
 }
 
 double PredictiveRuntime::SourceSlack(const std::string& stream,
@@ -270,6 +280,7 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
   RefreshMargins(*state, key, &model);
   PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
   ++stats_.segments_pushed;
+  SyncParallelStats();
   std::vector<Segment> outputs = executor_->TakeOutput();
   const bool produced = !outputs.empty();
   PULSE_RETURN_IF_ERROR(HandleOutputs(std::move(outputs)));
@@ -290,6 +301,7 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
 
 Status PredictiveRuntime::Finish() {
   PULSE_RETURN_IF_ERROR(executor_->Finish());
+  SyncParallelStats();
   return HandleOutputs(executor_->TakeOutput());
 }
 
@@ -506,6 +518,10 @@ Result<HistoricalRuntime> HistoricalRuntime::Make(const QuerySpec& spec,
                          PulseExecutor::Make(std::move(transformed.plan)));
   rt.executor_ = std::make_unique<PulseExecutor>(std::move(exec));
   rt.executor_->set_discard_output(!rt.options_.collect_outputs);
+  if (rt.options_.parallel.num_threads > 1) {
+    rt.pool_ = std::make_unique<ThreadPool>(rt.options_.parallel.num_threads);
+    rt.executor_->set_thread_pool(rt.pool_.get());
+  }
   for (const auto& [name, stream] : spec.streams()) {
     rt.segmenters_.emplace(name,
                            std::make_unique<MultiAttributeSegmenter>(
@@ -540,12 +556,19 @@ Status HistoricalRuntime::ProcessTuple(const std::string& stream,
   return Status::OK();
 }
 
+void HistoricalRuntime::SyncParallelStats() {
+  if (pool_ == nullptr) return;
+  stats_.tasks_spawned = pool_->tasks_spawned();
+  stats_.parallel_solve_ns = pool_->parallel_ns();
+}
+
 Status HistoricalRuntime::ProcessSegment(const std::string& stream,
                                          Segment segment) {
   const size_t before = executor_->total_output();
   PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
   ++stats_.segments_pushed;
   stats_.output_segments += executor_->total_output() - before;
+  SyncParallelStats();
   return Status::OK();
 }
 
@@ -556,7 +579,9 @@ Status HistoricalRuntime::Finish() {
       PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(s)));
     }
   }
-  return executor_->Finish();
+  PULSE_RETURN_IF_ERROR(executor_->Finish());
+  SyncParallelStats();
+  return Status::OK();
 }
 
 std::vector<Segment> HistoricalRuntime::TakeOutputSegments() {

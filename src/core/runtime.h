@@ -20,8 +20,20 @@
 #include "engine/tuple.h"
 #include "model/segmentation.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace pulse {
+
+/// Degree of parallelism for equation-system solving. Work units are the
+/// independent solves of one push — join segment-pairs and group-by
+/// shards (see docs/CONCURRENCY.md for the full threading model).
+struct ParallelOptions {
+  /// Total solver threads, counting the thread that pushes tuples. The
+  /// default 1 creates no pool and is byte-identical to the serial
+  /// engine; n > 1 spawns n-1 workers shared by every operator in the
+  /// plan.
+  size_t num_threads = 1;
+};
 
 /// End-to-end counters for a runtime session.
 struct RuntimeStats {
@@ -35,6 +47,10 @@ struct RuntimeStats {
   uint64_t output_segments = 0;
   uint64_t output_tuples = 0;
   uint64_t inversions = 0;
+  /// Worker tasks handed to the solver thread pool (0 when serial).
+  uint64_t tasks_spawned = 0;
+  /// Wall-clock nanoseconds spent inside parallel solve fan-outs.
+  uint64_t parallel_solve_ns = 0;
 };
 
 /// Online predictive processing (paper Section II-A): models of unseen
@@ -53,6 +69,8 @@ class PredictiveRuntime {
     double sample_rate = 0.0;
     /// Retain output segments/tuples in memory (disable for long runs).
     bool collect_outputs = true;
+    /// Solver fan-out; default is serial execution.
+    ParallelOptions parallel;
   };
 
   static Result<PredictiveRuntime> Make(const QuerySpec& spec,
@@ -82,6 +100,8 @@ class PredictiveRuntime {
   // Inverts bounds / samples a freshly produced batch of sink outputs and
   // stores it (when collection is enabled).
   Status HandleOutputs(std::vector<Segment> outputs);
+  // Mirrors the pool's cumulative counters into stats_ (slow path only).
+  void SyncParallelStats();
 
   QuerySpec spec_;
   Options options_;
@@ -121,6 +141,10 @@ class PredictiveRuntime {
   void RefreshMargins(const StreamState& state, Key key,
                       ActiveModel* model) const;
 
+  // Heap-allocated so the pool's address is stable across moves of the
+  // runtime (operators hold a raw pointer to it). Declared before the
+  // executor so operators never outlive the pool they point at.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<PulseExecutor> executor_;
   std::unique_ptr<QueryInverter> inverter_;
   std::map<std::string, StreamState> streams_;
@@ -217,6 +241,8 @@ class HistoricalRuntime {
     SegmentationOptions segmentation;
     double sample_rate = 0.0;
     bool collect_outputs = true;
+    /// Solver fan-out; default is serial execution.
+    ParallelOptions parallel;
   };
 
   static Result<HistoricalRuntime> Make(const QuerySpec& spec,
@@ -242,7 +268,10 @@ class HistoricalRuntime {
   QuerySpec spec_;
   Options options_;
   MultiAttributeSegmenter* FindSegmenter(const std::string& name);
+  void SyncParallelStats();
 
+  // Declared before the executor: see PredictiveRuntime::pool_.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<PulseExecutor> executor_;
   std::map<std::string, std::unique_ptr<MultiAttributeSegmenter>>
       segmenters_;

@@ -4,20 +4,23 @@
 #include <cstdint>
 #include <string>
 
+#include "util/atomic_counter.h"
+
 namespace pulse {
 
 /// Per-operator counters used by the benchmark harness to report the
-/// paper's processing-cost and throughput series. Counters are plain
-/// (single-threaded executor).
+/// paper's processing-cost and throughput series. Counters are relaxed
+/// atomics so they stay truthful if an operator is ever driven from a
+/// ThreadPool shard (see docs/CONCURRENCY.md).
 struct OperatorMetrics {
-  uint64_t tuples_in = 0;
-  uint64_t tuples_out = 0;
-  uint64_t invocations = 0;
+  RelaxedCounter tuples_in = 0;
+  RelaxedCounter tuples_out = 0;
+  RelaxedCounter invocations = 0;
   /// Predicate/state evaluations: the join microbenchmark's "number of
   /// comparisons" driver (paper Fig. 5iii discussion).
-  uint64_t comparisons = 0;
+  RelaxedCounter comparisons = 0;
   /// Wall-clock nanoseconds spent inside Process/AdvanceTime.
-  uint64_t processing_ns = 0;
+  RelaxedCounter processing_ns = 0;
 
   void Reset() { *this = OperatorMetrics(); }
 

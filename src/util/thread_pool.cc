@@ -1,0 +1,180 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace pulse {
+namespace {
+
+Status RunGuarded(const std::function<Status()>& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("pool task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("pool task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [fn = std::move(fn)] { return RunGuarded(fn); });
+  std::future<Status> result = task->get_future();
+  if (workers_.empty()) {
+    tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+    (*task)();
+    return result;
+  }
+  Enqueue([task] { (*task)(); });
+  return result;
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto account = [&](Status st) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    parallel_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+        std::memory_order_relaxed);
+    return st;
+  };
+
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      Status st = RunGuarded([&fn, i] { return fn(i); });
+      if (!st.ok()) return account(std::move(st));
+    }
+    return account(Status::OK());
+  }
+
+  // Dynamic chunking: small enough to balance uneven solve costs, large
+  // enough that the fetch_add per chunk is noise next to a root-find.
+  const size_t parallelism = std::min(num_threads(), n);
+  const size_t chunk = std::max<size_t>(1, n / (parallelism * 4));
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  size_t err_index = n;
+  Status err;
+
+  auto run_chunks = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        Status st = RunGuarded([&fn, i] { return fn(i); });
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (i < err_index) {
+            err_index = i;
+            err = std::move(st);
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  // The completion state must outlive this frame: a helper's final
+  // notify_all can race with the caller returning (and unwinding stack
+  // locals) once it observes remaining == 0, so the state is shared-owned
+  // by every helper closure and released only when the closure dies.
+  struct Completion {
+    std::atomic<size_t> remaining;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  const size_t helpers = parallelism - 1;
+  auto done = std::make_shared<Completion>();
+  done->remaining.store(helpers, std::memory_order_relaxed);
+  for (size_t h = 0; h < helpers; ++h) {
+    Enqueue([&run_chunks, done]() {
+      run_chunks();
+      if (done->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done->done_mu);
+        done->done_cv.notify_all();
+      }
+    });
+  }
+  run_chunks();
+
+  // Wait for the helper shards, draining other queued tasks meanwhile so
+  // a ParallelFor issued from inside a pool task cannot deadlock on its
+  // own queued helpers.
+  while (done->remaining.load(std::memory_order_acquire) != 0) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(done->done_mu);
+    done->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return done->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    return account(std::move(err));
+  }
+  return account(Status::OK());
+}
+
+}  // namespace pulse

@@ -1,0 +1,81 @@
+#ifndef PULSE_UTIL_THREAD_POOL_H_
+#define PULSE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pulse {
+
+/// Fixed-size worker pool used to fan equation-system solving out across
+/// cores (see docs/CONCURRENCY.md for the threading model).
+///
+/// `num_threads` is the *total* parallelism of a ParallelFor, counting the
+/// calling thread: ThreadPool(1) spawns no workers and runs everything
+/// inline, so a pool-equipped runtime with one thread behaves
+/// byte-identically to the serial engine.
+///
+/// The pool never lets an exception escape a task: bodies are wrapped and
+/// any throw is converted to Status::Internal (this library is
+/// exception-free by convention, see util/status.h).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism: worker threads plus the calling thread.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Hands `fn` to a worker (runs inline when the pool has no workers).
+  /// A thrown exception surfaces as Status::Internal in the future.
+  std::future<Status> Submit(std::function<Status()> fn);
+
+  /// Runs fn(i) for every i in [0, n), sharding index chunks across the
+  /// workers with the caller participating. Blocks until every claimed
+  /// chunk finished. Safe to call from inside a pool task: the caller
+  /// helps drain the queue while waiting, so nested fan-outs cannot
+  /// deadlock. The first error (lowest index among failing chunks that
+  /// ran) is returned and stops further chunks from being claimed;
+  /// chunks already running complete. fn must be safe to invoke
+  /// concurrently from several threads for distinct i.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+  /// Cumulative count of tasks handed to workers (Submit calls plus
+  /// ParallelFor helper shards). Feeds RuntimeStats::tasks_spawned.
+  uint64_t tasks_spawned() const {
+    return tasks_spawned_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative wall-clock nanoseconds spent inside ParallelFor calls
+  /// (serial fallbacks included). Feeds RuntimeStats::parallel_solve_ns.
+  uint64_t parallel_ns() const {
+    return parallel_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<uint64_t> tasks_spawned_{0};
+  std::atomic<uint64_t> parallel_ns_{0};
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_THREAD_POOL_H_

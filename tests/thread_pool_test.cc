@@ -1,0 +1,229 @@
+// Exercises the solver thread pool: ParallelFor coverage, exception and
+// Status propagation, nesting, and the end-to-end determinism guarantee —
+// parallel and serial equation-system solving produce identical interval
+// sets (docs/CONCURRENCY.md).
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/equation_system.h"
+#include "core/operators/join.h"
+#include "core/predicate.h"
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  Status st = pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_GT(pool.tasks_spawned(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  size_t sum = 0;  // no synchronization: everything runs on this thread
+  Status st = pool.ParallelFor(100, [&](size_t i) {
+    sum += i;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(sum, 4950u);
+  EXPECT_EQ(pool.tasks_spawned(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  Status st = pool.ParallelFor(0, [&](size_t) {
+    ADD_FAILURE() << "body must not run";
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesStatusErrors) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelFor(1000, [&](size_t i) {
+    if (i == 137) return Status::NumericError("diverged at 137");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kNumericError);
+  EXPECT_NE(st.message().find("137"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForConvertsExceptionsToStatus) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelFor(64, [&](size_t i) -> Status {
+    if (i == 7) throw std::runtime_error("boom");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndReturnsStatus) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<Status> fut = pool.Submit([&] {
+    ran.store(true);
+    return Status::OK();
+  });
+  EXPECT_TRUE(fut.get().ok());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitConvertsExceptionsToStatus) {
+  ThreadPool pool(2);
+  std::future<Status> fut =
+      pool.Submit([]() -> Status { throw std::logic_error("bad task"); });
+  Status st = fut.get();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("bad task"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  Status st = pool.ParallelFor(4, [&](size_t) {
+    return pool.ParallelFor(16, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForAccumulatesWallClock) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(
+      pool.ParallelFor(32, [](size_t) { return Status::OK(); }).ok());
+  EXPECT_GT(pool.parallel_ns(), 0u);
+}
+
+// --- Determinism: the acceptance property of the parallel runtime. ---
+
+Polynomial RandomPolynomial(Rng* rng, size_t degree) {
+  std::vector<double> coeffs(degree + 1);
+  for (double& c : coeffs) c = rng->Uniform(-5.0, 5.0);
+  return Polynomial(std::move(coeffs));
+}
+
+// 100 random piecewise inputs: each task is an equation system built
+// from random difference polynomials (the per-piece system an operator
+// instantiates), solved over that piece's time range.
+std::vector<EquationSystemTask> RandomSystems(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EquationSystemTask> tasks;
+  tasks.reserve(100);
+  constexpr CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq,
+                            CmpOp::kNe, CmpOp::kGe, CmpOp::kGt};
+  for (int k = 0; k < 100; ++k) {
+    EquationSystem system;
+    const int rows = static_cast<int>(rng.UniformInt(1, 3));
+    for (int r = 0; r < rows; ++r) {
+      const size_t degree = static_cast<size_t>(rng.UniformInt(1, 4));
+      const CmpOp op = kOps[rng.UniformInt(0, 5)];
+      system.AddRow(DifferenceEquation{RandomPolynomial(&rng, degree), op});
+    }
+    const double lo = rng.Uniform(0.0, 5.0);
+    tasks.push_back(EquationSystemTask{
+        std::move(system),
+        Interval::ClosedOpen(lo, lo + rng.Uniform(0.5, 10.0))});
+  }
+  return tasks;
+}
+
+TEST(ParallelSolveDeterminismTest, MatchesSerialOn100RandomPiecewiseInputs) {
+  const std::vector<EquationSystemTask> tasks = RandomSystems(20260807);
+
+  Result<std::vector<IntervalSet>> serial =
+      SolveSystems(tasks, RootMethod::kAuto, nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  ThreadPool pool(4);
+  Result<std::vector<IntervalSet>> parallel =
+      SolveSystems(tasks, RootMethod::kAuto, &pool);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i], (*parallel)[i])
+        << "task " << i << ": serial=" << (*serial)[i].ToString()
+        << " parallel=" << (*parallel)[i].ToString();
+  }
+}
+
+// Same property one layer up: a pool-equipped PulseJoin must emit the
+// same output segments (ranges, keys, models) as the serial join, in the
+// same order. Engine-assigned segment ids are excluded — they come from
+// a global counter shared by both operators under test.
+TEST(ParallelSolveDeterminismTest, ParallelJoinEmitsIdenticalSegments) {
+  auto make_join = [] {
+    PulseJoinOptions options;
+    options.window_seconds = 100.0;
+    options.require_distinct_keys = true;
+    return PulseJoin(
+        "join",
+        Predicate::Comparison(ComparisonTerm::Distance2(
+            AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+            AttrRef::Right("y"), CmpOp::kLt, 40.0)),
+        options);
+  };
+  PulseJoin serial_join = make_join();
+  PulseJoin parallel_join = make_join();
+  ThreadPool pool(4);
+  parallel_join.set_thread_pool(&pool);
+
+  Rng rng(7);
+  std::vector<Segment> inputs;
+  for (int i = 0; i < 60; ++i) {
+    Segment s;
+    s.key = i % 6;
+    const double t0 = rng.Uniform(0.0, 20.0);
+    s.range = Interval::ClosedOpen(t0, t0 + rng.Uniform(1.0, 4.0));
+    s.set_attribute("x", RandomPolynomial(&rng, 1));
+    s.set_attribute("y", RandomPolynomial(&rng, 1));
+    inputs.push_back(std::move(s));
+  }
+
+  SegmentBatch serial_out;
+  SegmentBatch parallel_out;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const size_t port = i % 2;
+    ASSERT_TRUE(serial_join.Process(port, inputs[i], &serial_out).ok());
+    ASSERT_TRUE(parallel_join.Process(port, inputs[i], &parallel_out).ok());
+  }
+
+  ASSERT_GT(serial_out.size(), 0u) << "workload produced no joins";
+  ASSERT_EQ(serial_out.size(), parallel_out.size());
+  for (size_t i = 0; i < serial_out.size(); ++i) {
+    const Segment& a = serial_out[i];
+    const Segment& b = parallel_out[i];
+    EXPECT_EQ(a.key, b.key) << "segment " << i;
+    EXPECT_EQ(a.range, b.range) << "segment " << i;
+    EXPECT_EQ(a.attributes, b.attributes) << "segment " << i;
+    EXPECT_EQ(a.unmodeled, b.unmodeled) << "segment " << i;
+  }
+  EXPECT_EQ(serial_join.metrics().solves, parallel_join.metrics().solves);
+}
+
+}  // namespace
+}  // namespace pulse
