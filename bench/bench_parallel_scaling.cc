@@ -110,7 +110,21 @@ int main() {
       kNumObjects, kDuration, kWindowSeconds, cores);
 
   const std::vector<Tuple> trace = MakeTrace();
-  const size_t thread_counts[] = {1, 2, 4, 8};
+  // Cap the sweep at the host's core count: thread counts beyond it
+  // time-slice one core and measure scheduler overhead, not scaling.
+  // When hardware_concurrency is unknown (0) the full sweep runs and
+  // each row's core_bound flag marks configurations that may be
+  // over-subscribed.
+  std::vector<size_t> thread_counts;
+  for (size_t threads : {1, 2, 4, 8}) {
+    if (cores > 0 && threads > cores) {
+      std::printf(
+          "  (skipping %zu threads: exceeds %u hardware threads)\n",
+          threads, cores);
+      continue;
+    }
+    thread_counts.push_back(threads);
+  }
 
   bench::SeriesTable table(
       "Parallel equation-system solving: tuples/sec vs solver threads",
@@ -147,14 +161,17 @@ int main() {
                kNumObjects, kWindowSeconds, trace.size(), cores);
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
+    const bool core_bound = cores > 0 && r.threads > cores;
     std::fprintf(json,
                  "    {\"threads\": %zu, \"seconds\": %.6f, "
                  "\"tuples_per_sec\": %.1f, \"speedup\": %.3f, "
-                 "\"solves\": %llu, \"tasks_spawned\": %llu}%s\n",
+                 "\"solves\": %llu, \"tasks_spawned\": %llu, "
+                 "\"core_bound\": %s}%s\n",
                  r.threads, r.seconds, r.tuples_per_sec,
                  r.tuples_per_sec / serial_tps,
                  static_cast<unsigned long long>(r.solves),
                  static_cast<unsigned long long>(r.tasks_spawned),
+                 core_bound ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the threaded code.
+# Tier-1 verification plus sanitizer passes and a solver-hot-path
+# performance gate.
 #
-#   scripts/check.sh            # full build + ctest + TSan thread tests
-#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only
+#   scripts/check.sh               # build + ctest + TSan + ASan + bench gate
+#   SKIP_TSAN=1 scripts/check.sh   # skip the ThreadSanitizer pass
+#   SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan pass
+#   SKIP_BENCH=1 scripts/check.sh  # skip the bench regression gate
 #
-# Run from anywhere; build trees land in <repo>/build and <repo>/build-tsan.
+# Run from anywhere; build trees land in <repo>/build, <repo>/build-tsan
+# and <repo>/build-asan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,17 +20,99 @@ cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
-  echo "== SKIP_TSAN=1: done =="
-  exit 0
+  echo "== SKIP_TSAN=1: skipping ThreadSanitizer pass =="
+else
+  echo "== TSan: threaded tests (-DPULSE_TSAN=ON) =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target thread_pool_test runtime_test solve_cache_test
+
+  # halt_on_error makes a race fail the script, not just print a warning.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/thread_pool_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/runtime_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/solve_cache_test"
 fi
 
-echo "== TSan: thread_pool_test + runtime_test (-DPULSE_TSAN=ON) =="
-cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
-cmake --build "$repo/build-tsan" -j "$jobs" --target thread_pool_test runtime_test
+if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== SKIP_ASAN=1: skipping ASan/UBSan pass =="
+else
+  echo "== ASan+UBSan: tier-1 tests (-DPULSE_ASAN=ON) =="
+  cmake -B "$repo/build-asan" -S "$repo" -DPULSE_ASAN=ON
+  cmake --build "$repo/build-asan" -j "$jobs"
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+fi
 
-# halt_on_error makes a race fail the script, not just print a warning.
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-"$repo/build-tsan/tests/thread_pool_test"
-"$repo/build-tsan/tests/runtime_test"
+if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== SKIP_BENCH=1: skipping solver hot-path regression gate =="
+else
+  echo "== bench gate: solver hot path vs checked-in baseline =="
+  baseline="$repo/BENCH_solver_hotpath.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "no checked-in BENCH_solver_hotpath.json; skipping gate"
+  else
+    cmake --build "$repo/build" -j "$jobs" --target bench_solver_hotpath
+    # A scenario passes when either its raw tuples/sec or its
+    # calibration-normalized throughput (tuples per op of the fixed FP
+    # kernel timed in the same window — see bench_solver_hotpath.cc) is
+    # within 10% of the checked-in baseline: raw holds when the host is
+    # as fast as at recording time, normalized holds when it is not. A
+    # real code regression fails both, on every attempt; transient load
+    # skew does not, so the gate retries up to 3 runs.
+    gate_ok=0
+    for attempt in 1 2 3; do
+      workdir="$(mktemp -d)"
+      (cd "$workdir" && "$repo/build/bench/bench_solver_hotpath" \
+        > /dev/null)
+      if python3 - "$baseline" "$workdir/BENCH_solver_hotpath.json" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["scenario"]: r for r in doc["results"]}
+
+def score(row):
+    calib = row.get("calibration_ops_per_sec", 0.0)
+    return row["tuples_per_sec"] / calib if calib > 0 else None
+
+THRESHOLD = 0.90
+base, fresh = load(sys.argv[1]), load(sys.argv[2])
+failed = False
+for scenario, ref in sorted(base.items()):
+    got = fresh.get(scenario)
+    if got is None:
+        print(f"  {scenario}: missing from fresh run"); failed = True
+        continue
+    raw = got["tuples_per_sec"] / ref["tuples_per_sec"]
+    ref_score, got_score = score(ref), score(got)
+    norm = got_score / ref_score if ref_score and got_score else raw
+    ratio = max(raw, norm)
+    flag = "FAIL" if ratio < THRESHOLD else "ok"
+    print(f"  {scenario}: {got['tuples_per_sec']:.0f} vs baseline "
+          f"{ref['tuples_per_sec']:.0f} tuples/s "
+          f"(raw {raw:.2f}x, normalized {norm:.2f}x) {flag}")
+    if ratio < THRESHOLD:
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+      then
+        gate_ok=1
+        rm -rf "$workdir"
+        break
+      fi
+      rm -rf "$workdir"
+      echo "  bench gate attempt $attempt failed; retrying..."
+    done
+    if [[ "$gate_ok" != "1" ]]; then
+      echo "solver hot path regressed >10% vs checked-in baseline" >&2
+      exit 1
+    fi
+  fi
+fi
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/solve_cache.h"
 #include "util/thread_pool.h"
 
 namespace pulse {
@@ -13,9 +14,10 @@ std::string DifferenceEquation::ToString() const {
   return diff.ToString() + " " + CmpOpToString(op) + " 0";
 }
 
-DifferenceEquation MakeDifferenceEquation(const Polynomial& lhs, CmpOp op,
+DifferenceEquation MakeDifferenceEquation(Polynomial lhs, CmpOp op,
                                           const Polynomial& rhs) {
-  return DifferenceEquation{lhs - rhs, op};
+  lhs.SubInPlace(rhs);
+  return DifferenceEquation{std::move(lhs), op};
 }
 
 size_t EquationSystem::Degree() const {
@@ -39,14 +41,45 @@ Matrix EquationSystem::CoefficientMatrix() const {
 
 IntervalSet EquationSystem::Solve(const Interval& domain,
                                   RootMethod method) const {
-  if (domain.IsEmpty()) return IntervalSet();
-  IntervalSet solution(domain);
-  for (const DifferenceEquation& row : rows_) {
-    solution = solution.Intersect(SolveComparison(row.diff, row.op, domain,
-                                                  method));
-    if (solution.IsEmpty()) break;
-  }
+  SolveScratch scratch;
+  IntervalSet solution;
+  SolveInto(domain, method, &scratch, nullptr, &solution);
   return solution;
+}
+
+void EquationSystem::SolveInto(const Interval& domain, RootMethod method,
+                               SolveScratch* scratch, SolveCache* cache,
+                               IntervalSet* out) const {
+  if (domain.IsEmpty()) {
+    out->Clear();
+    return;
+  }
+  if (rows_.empty()) {
+    out->AssignInterval(domain);
+    return;
+  }
+  // The first row solves directly into *out (SolveComparisonInto clips to
+  // the domain, so out == domain ∩ row0 with no explicit intersection);
+  // later rows solve into the scratch set and intersect in.
+  bool first = true;
+  for (const DifferenceEquation& row : rows_) {
+    IntervalSet* target = first ? out : &scratch->row_solution;
+    const bool hit = cache != nullptr &&
+                     cache->Lookup(row.diff, row.op, domain, method, target);
+    if (!hit) {
+      SolveComparisonInto(row.diff, row.op, domain, method, &scratch->roots,
+                          target);
+      if (cache != nullptr) {
+        cache->Insert(row.diff, row.op, domain, method, *target);
+      }
+    }
+    if (!first) {
+      out->IntersectWith(scratch->row_solution,
+                         &scratch->roots.interval_scratch);
+    }
+    first = false;
+    if (out->IsEmpty()) break;
+  }
 }
 
 bool EquationSystem::QualifiesForLinearEquality() const {
@@ -132,21 +165,35 @@ double EquationSystem::Slack(const Interval& domain) const {
   return best;
 }
 
-Result<std::vector<IntervalSet>> SolveSystems(
-    const std::vector<EquationSystemTask>& tasks, RootMethod method,
-    ThreadPool* pool) {
-  std::vector<IntervalSet> solutions(tasks.size());
+Status SolveSystemsInto(const EquationSystemTask* tasks, size_t n,
+                        RootMethod method, ThreadPool* pool,
+                        SolveCache* cache,
+                        std::vector<IntervalSet>* solutions) {
+  solutions->resize(n);
   auto solve_one = [&](size_t i) -> Status {
-    solutions[i] = tasks[i].system.Solve(tasks[i].domain, method);
+    // Per-thread scratch: warm buffers across tasks and batches, and no
+    // sharing between workers (TSan-clean under ParallelFor).
+    static thread_local SolveScratch scratch;
+    tasks[i].system.SolveInto(tasks[i].domain, method, &scratch, cache,
+                              &(*solutions)[i]);
     return Status::OK();
   };
-  if (pool != nullptr && pool->num_threads() > 1 && tasks.size() > 1) {
-    PULSE_RETURN_IF_ERROR(pool->ParallelFor(tasks.size(), solve_one));
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    PULSE_RETURN_IF_ERROR(pool->ParallelFor(n, solve_one));
   } else {
-    for (size_t i = 0; i < tasks.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       PULSE_RETURN_IF_ERROR(solve_one(i));
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<IntervalSet>> SolveSystems(
+    const std::vector<EquationSystemTask>& tasks, RootMethod method,
+    ThreadPool* pool, SolveCache* cache) {
+  std::vector<IntervalSet> solutions;
+  PULSE_RETURN_IF_ERROR(SolveSystemsInto(tasks.data(), tasks.size(), method,
+                                         pool, cache, &solutions));
   return solutions;
 }
 

@@ -12,7 +12,16 @@
 
 namespace pulse {
 
+class SolveCache;
 class ThreadPool;
+
+/// Caller-provided scratch for system solving: the root-finding scratch
+/// plus the per-row solution set the intersection loop reuses. One per
+/// thread (SolveSystems keeps a thread_local instance per worker).
+struct SolveScratch {
+  RootScratch roots;
+  IntervalSet row_solution;
+};
 
 /// One row of a simultaneous equation system: a difference polynomial and
 /// the comparison it must satisfy. Produced by the paper's three-step
@@ -27,8 +36,10 @@ struct DifferenceEquation {
   std::string ToString() const;
 };
 
-/// Builds a difference equation from two attribute models.
-DifferenceEquation MakeDifferenceEquation(const Polynomial& lhs, CmpOp op,
+/// Builds a difference equation from two attribute models. `lhs` is taken
+/// by value: it becomes the row's difference polynomial in place, so
+/// callers that are done with it should std::move it in.
+DifferenceEquation MakeDifferenceEquation(Polynomial lhs, CmpOp op,
                                           const Polynomial& rhs);
 
 /// The basic computation element of Pulse (paper Eq. 1): a set of
@@ -42,6 +53,18 @@ class EquationSystem {
       : rows_(std::move(rows)) {}
 
   void AddRow(DifferenceEquation row) { rows_.push_back(std::move(row)); }
+
+  /// Moves every row of `other` onto the end of this system.
+  void AddRowsFrom(EquationSystem&& other) {
+    for (DifferenceEquation& row : other.rows_) {
+      rows_.push_back(std::move(row));
+    }
+    other.rows_.clear();
+  }
+
+  /// Drops all rows but keeps the row vector's capacity, so a reused
+  /// system rebuilds without reallocating (the join's task scratch).
+  void Clear() { rows_.clear(); }
 
   size_t num_rows() const { return rows_.size(); }
   const std::vector<DifferenceEquation>& rows() const { return rows_; }
@@ -60,6 +83,14 @@ class EquationSystem {
   /// given models' ranges — the operator emits nothing.
   IntervalSet Solve(const Interval& domain,
                     RootMethod method = RootMethod::kAuto) const;
+
+  /// Scratch/cache form of Solve: writes the solution into *out, reusing
+  /// scratch buffers across calls. When `cache` is non-null, each row's
+  /// comparison solve is looked up in (and on miss inserted into) the
+  /// cache — with exact keys the result is bit-identical either way.
+  void SolveInto(const Interval& domain, RootMethod method,
+                 SolveScratch* scratch, SolveCache* cache,
+                 IntervalSet* out) const;
 
   /// Fast path for all-equality systems of degree <= 1 (the equi-join
   /// case the paper routes to Gaussian elimination): solves the stacked
@@ -99,10 +130,23 @@ struct EquationSystemTask {
 /// and sign-testing shard across `pool` when it has more than one thread
 /// (nullptr or single-thread pools solve inline on the caller), and
 /// solutions are returned in task order, so the concatenated result is
-/// deterministic regardless of execution interleaving.
+/// deterministic regardless of execution interleaving. Each executing
+/// thread keeps a thread_local SolveScratch, so the batch allocates
+/// nothing once those are warm; `cache` (optional) memoizes per-row
+/// solves across tasks and batches.
 Result<std::vector<IntervalSet>> SolveSystems(
     const std::vector<EquationSystemTask>& tasks,
-    RootMethod method = RootMethod::kAuto, ThreadPool* pool = nullptr);
+    RootMethod method = RootMethod::kAuto, ThreadPool* pool = nullptr,
+    SolveCache* cache = nullptr);
+
+/// Buffer-reusing form of SolveSystems: solves tasks[0..n) into
+/// *solutions (resized to n; interval storage of previous batches is
+/// reused). This is the per-push hot path of the join — combined with a
+/// caller-owned task scratch it makes the fan-out allocation-free.
+Status SolveSystemsInto(const EquationSystemTask* tasks, size_t n,
+                        RootMethod method, ThreadPool* pool,
+                        SolveCache* cache,
+                        std::vector<IntervalSet>* solutions);
 
 }  // namespace pulse
 

@@ -28,8 +28,13 @@ Status PulseFilter::Process(size_t port, const Segment& segment,
   ++metrics_.segments_in;
   ++metrics_.solves;
   const AttrResolver resolver = MakeUnaryResolver(segment);
-  PULSE_ASSIGN_OR_RETURN(IntervalSet solution,
-                         predicate_.Solve(resolver, segment.range, method_));
+  // Filters solve on the pushing thread only, so one warm scratch (and
+  // its reused solution set) serves every Process call.
+  static thread_local SolveScratch scratch;
+  IntervalSet solution;
+  PULSE_RETURN_IF_ERROR(predicate_.SolveInto(resolver, segment.range,
+                                             method_, &scratch,
+                                             solve_cache_, &solution));
   for (const Interval& iv : solution.intervals()) {
     Segment result = segment;
     result.id = NextSegmentId();

@@ -18,9 +18,18 @@ Result<PulseOperator*> PulseGroupBy::GetOrCreate(Key group) {
   if (it != groups_.end()) return it->second.get();
   PULSE_ASSIGN_OR_RETURN(std::unique_ptr<PulseOperator> inner,
                          factory_(group));
+  // Inner operators share the group-by's solve cache (identical systems
+  // recur across groups) but not the thread pool — parallelism stays at
+  // the per-group flush fan-out below.
+  inner->set_solve_cache(solve_cache_);
   PulseOperator* raw = inner.get();
   groups_.emplace(group, std::move(inner));
   return raw;
+}
+
+void PulseGroupBy::set_solve_cache(SolveCache* cache) {
+  PulseOperator::set_solve_cache(cache);
+  for (auto& [group, inner] : groups_) inner->set_solve_cache(cache);
 }
 
 PulseOperator* PulseGroupBy::group_operator(Key group) const {

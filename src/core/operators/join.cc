@@ -112,27 +112,32 @@ Status PulseJoin::MatchPartners(size_t port, const Segment& segment,
   // Each pair is an independent equation system: fan the solves out
   // across the pool. Conjunctive predicates (the common case) go through
   // the EquationSystem batch API; boolean trees solve the full predicate
-  // per pair. Both keep solutions in pair order.
-  std::vector<IntervalSet> solutions;
+  // per pair. Both keep solutions in pair order. Task and solution
+  // buffers are operator members reused across pushes (grown, never
+  // shrunk), so once warm the fan-out performs no allocation.
+  std::vector<IntervalSet>& solutions = solution_scratch_;
   if (predicate_.IsConjunctive()) {
-    std::vector<EquationSystemTask> tasks;
-    tasks.reserve(pairs.size());
-    for (const Pair& p : pairs) {
-      PULSE_ASSIGN_OR_RETURN(
-          EquationSystem system,
-          predicate_.BuildSystem(MakeBinaryResolver(*p.left, *p.right)));
-      tasks.push_back(EquationSystemTask{std::move(system), p.overlap});
+    if (task_scratch_.size() < pairs.size()) {
+      task_scratch_.resize(pairs.size());
     }
-    PULSE_ASSIGN_OR_RETURN(solutions,
-                           SolveSystems(tasks, options_.method, pool_));
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& p = pairs[i];
+      PULSE_RETURN_IF_ERROR(predicate_.BuildSystemInto(
+          MakeBinaryResolver(*p.left, *p.right), &task_scratch_[i].system));
+      task_scratch_[i].domain = p.overlap;
+    }
+    PULSE_RETURN_IF_ERROR(SolveSystemsInto(task_scratch_.data(),
+                                           pairs.size(), options_.method,
+                                           pool_, solve_cache_, &solutions));
   } else {
     solutions.resize(pairs.size());
     auto solve_one = [&](size_t i) -> Status {
+      static thread_local SolveScratch scratch;
       const Pair& p = pairs[i];
       const AttrResolver resolver = MakeBinaryResolver(*p.left, *p.right);
-      PULSE_ASSIGN_OR_RETURN(
-          solutions[i],
-          predicate_.Solve(resolver, p.overlap, options_.method));
+      PULSE_RETURN_IF_ERROR(
+          predicate_.SolveInto(resolver, p.overlap, options_.method,
+                               &scratch, solve_cache_, &solutions[i]));
       return Status::OK();
     };
     if (pool_ != nullptr && pool_->num_threads() > 1 && pairs.size() > 1) {

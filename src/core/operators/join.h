@@ -91,6 +91,12 @@ class PulseJoin : public PulseOperator {
 
   Predicate predicate_;
   PulseJoinOptions options_;
+  // Per-push scratch for the conjunctive fan-out, reused across pushes
+  // so pair-system construction and solution collection stop allocating
+  // once warm (docs/PERFORMANCE.md). Only MatchPartners (serial, calling
+  // thread) touches them; entries are grown, never shrunk.
+  std::vector<EquationSystemTask> task_scratch_;
+  std::vector<IntervalSet> solution_scratch_;
   std::deque<Segment> left_;
   std::deque<Segment> right_;
   SegmentIndex left_index_;

@@ -14,6 +14,7 @@
 
 namespace pulse {
 
+class SolveCache;
 class ThreadPool;
 
 /// Counters for a continuous-time operator. `solves` counts equation-
@@ -77,6 +78,14 @@ class PulseOperator {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Installs the shared solve cache (nullptr = uncached, the default).
+  /// Selective operators — filter, join, group-by children — memoize
+  /// per-row comparison solves through it. The cache must outlive the
+  /// operator's last Process/Flush call. Virtual so containers (group-by)
+  /// can forward the cache to operators they own.
+  virtual void set_solve_cache(SolveCache* cache) { solve_cache_ = cache; }
+  SolveCache* solve_cache() const { return solve_cache_; }
+
   /// Lineage recorded by this operator (outputs -> causing inputs), used
   /// by query inversion.
   LineageStore& lineage() { return lineage_; }
@@ -86,6 +95,7 @@ class PulseOperator {
   PulseOperatorMetrics metrics_;
   LineageStore lineage_;
   ThreadPool* pool_ = nullptr;
+  SolveCache* solve_cache_ = nullptr;
 
  private:
   std::string name_;

@@ -1,6 +1,9 @@
 #include "core/predicate.h"
 
 #include <sstream>
+#include <utility>
+
+#include "core/solve_cache.h"
 
 namespace pulse {
 
@@ -91,74 +94,114 @@ Result<DifferenceEquation> Predicate::BuildRow(const ComparisonTerm& term,
     } else {
       rhs = Polynomial::Constant(term.rhs.constant);
     }
-    return MakeDifferenceEquation(lhs, term.op, rhs);
+    return MakeDifferenceEquation(std::move(lhs), term.op, rhs);
   }
-  // Distance term: (x1-x2)^2 + (y1-y2)^2 - c^2 R 0.
-  PULSE_ASSIGN_OR_RETURN(Polynomial x1, resolver(term.x1));
-  PULSE_ASSIGN_OR_RETURN(Polynomial y1, resolver(term.y1));
+  // Distance term: (x1-x2)^2 + (y1-y2)^2 - c^2 R 0, built with fused
+  // in-place ops — inline SBO storage end to end for degree <= 3 models.
+  PULSE_ASSIGN_OR_RETURN(Polynomial dx, resolver(term.x1));
   PULSE_ASSIGN_OR_RETURN(Polynomial x2, resolver(term.x2));
+  dx.SubInPlace(x2);
+  PULSE_ASSIGN_OR_RETURN(Polynomial dy, resolver(term.y1));
   PULSE_ASSIGN_OR_RETURN(Polynomial y2, resolver(term.y2));
-  const Polynomial dx = x1 - x2;
-  const Polynomial dy = y1 - y2;
-  Polynomial diff = dx * dx + dy * dy -
-                    Polynomial::Constant(term.threshold * term.threshold);
+  dy.SubInPlace(y2);
+  Polynomial diff;
+  Polynomial::Mul(dx, dx, &diff);
+  Polynomial dy2;
+  Polynomial::Mul(dy, dy, &dy2);
+  diff.AddInPlace(dy2);
+  diff.SubInPlace(Polynomial::Constant(term.threshold * term.threshold));
   return DifferenceEquation{std::move(diff), term.op};
 }
 
 Result<EquationSystem> Predicate::BuildSystem(
     const AttrResolver& resolver) const {
+  EquationSystem system;
+  PULSE_RETURN_IF_ERROR(BuildSystemInto(resolver, &system));
+  return system;
+}
+
+Status Predicate::BuildSystemInto(const AttrResolver& resolver,
+                                  EquationSystem* out) const {
   if (!IsConjunctive()) {
     return Status::FailedPrecondition(
         "BuildSystem requires a conjunctive predicate");
   }
-  EquationSystem system;
+  out->Clear();
+  return AppendSystemRows(resolver, out);
+}
+
+Status Predicate::AppendSystemRows(const AttrResolver& resolver,
+                                   EquationSystem* out) const {
   if (kind_ == Kind::kComparison) {
     PULSE_ASSIGN_OR_RETURN(DifferenceEquation row,
                            BuildRow(term_, resolver));
-    system.AddRow(std::move(row));
-    return system;
+    out->AddRow(std::move(row));
+    return Status::OK();
   }
   for (const Predicate& c : children_) {
-    PULSE_ASSIGN_OR_RETURN(EquationSystem sub, c.BuildSystem(resolver));
-    for (const DifferenceEquation& row : sub.rows()) {
-      system.AddRow(row);
-    }
+    PULSE_RETURN_IF_ERROR(c.AppendSystemRows(resolver, out));
   }
-  return system;
+  return Status::OK();
 }
 
 Result<IntervalSet> Predicate::Solve(const AttrResolver& resolver,
                                      const Interval& domain,
                                      RootMethod method) const {
+  SolveScratch scratch;
+  IntervalSet out;
+  PULSE_RETURN_IF_ERROR(
+      SolveInto(resolver, domain, method, &scratch, nullptr, &out));
+  return out;
+}
+
+Status Predicate::SolveInto(const AttrResolver& resolver,
+                            const Interval& domain, RootMethod method,
+                            SolveScratch* scratch, SolveCache* cache,
+                            IntervalSet* out) const {
   switch (kind_) {
     case Kind::kComparison: {
       PULSE_ASSIGN_OR_RETURN(DifferenceEquation row,
                              BuildRow(term_, resolver));
-      return SolveComparison(row.diff, row.op, domain, method);
+      if (cache != nullptr &&
+          cache->Lookup(row.diff, row.op, domain, method, out)) {
+        return Status::OK();
+      }
+      SolveComparisonInto(row.diff, row.op, domain, method, &scratch->roots,
+                          out);
+      if (cache != nullptr) {
+        cache->Insert(row.diff, row.op, domain, method, *out);
+      }
+      return Status::OK();
     }
     case Kind::kAnd: {
-      IntervalSet acc(domain);
+      out->AssignInterval(domain);
+      // Local accumulator per recursion level: child solves reuse the
+      // shared scratch below this frame.
+      IntervalSet sub;
       for (const Predicate& c : children_) {
-        PULSE_ASSIGN_OR_RETURN(IntervalSet sub,
-                               c.Solve(resolver, domain, method));
-        acc = acc.Intersect(sub);
-        if (acc.IsEmpty()) break;
+        PULSE_RETURN_IF_ERROR(
+            c.SolveInto(resolver, domain, method, scratch, cache, &sub));
+        out->IntersectWith(sub, &scratch->roots.interval_scratch);
+        if (out->IsEmpty()) break;
       }
-      return acc;
+      return Status::OK();
     }
     case Kind::kOr: {
-      IntervalSet acc;
+      out->Clear();
+      IntervalSet sub;
       for (const Predicate& c : children_) {
-        PULSE_ASSIGN_OR_RETURN(IntervalSet sub,
-                               c.Solve(resolver, domain, method));
-        acc = acc.Union(sub);
+        PULSE_RETURN_IF_ERROR(
+            c.SolveInto(resolver, domain, method, scratch, cache, &sub));
+        out->UnionWith(sub);
       }
-      return acc;
+      return Status::OK();
     }
     case Kind::kNot: {
-      PULSE_ASSIGN_OR_RETURN(IntervalSet sub,
-                             children_[0].Solve(resolver, domain, method));
-      return sub.Complement(domain);
+      IntervalSet sub;
+      PULSE_RETURN_IF_ERROR(children_[0].SolveInto(resolver, domain, method,
+                                                   scratch, cache, &sub));
+      sub.ComplementInto(domain, out);
+      return Status::OK();
     }
   }
   return Status::Internal("unknown predicate kind");

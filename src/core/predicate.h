@@ -14,6 +14,8 @@
 
 namespace pulse {
 
+class SolveCache;
+
 /// Which input of an operator an attribute reference addresses. Unary
 /// operators use kLeft only; joins use both ("R.x" vs "S.x").
 enum class Side { kLeft, kRight };
@@ -117,6 +119,13 @@ class Predicate {
   /// FailedPrecondition on non-conjunctive trees.
   Result<EquationSystem> BuildSystem(const AttrResolver& resolver) const;
 
+  /// Buffer-reusing form of BuildSystem: clears *out (keeping its row
+  /// capacity) and appends the rows directly — no per-call row-vector
+  /// allocation once the reused system is warm (the join's per-pair hot
+  /// path).
+  Status BuildSystemInto(const AttrResolver& resolver,
+                         EquationSystem* out) const;
+
   /// Builds the difference equation for one comparison term.
   static Result<DifferenceEquation> BuildRow(const ComparisonTerm& term,
                                              const AttrResolver& resolver);
@@ -125,6 +134,13 @@ class Predicate {
   Result<IntervalSet> Solve(const AttrResolver& resolver,
                             const Interval& domain,
                             RootMethod method = RootMethod::kAuto) const;
+
+  /// Scratch/cache form of Solve: writes into *out, reusing scratch
+  /// buffers; leaf comparison solves consult `cache` when non-null (see
+  /// SolveCache — with exact keys the output is bit-identical).
+  Status SolveInto(const AttrResolver& resolver, const Interval& domain,
+                   RootMethod method, SolveScratch* scratch,
+                   SolveCache* cache, IntervalSet* out) const;
 
   /// Collects every attribute reference in the tree (the inversion
   /// machinery's "inferences": attributes constrained by predicates,
@@ -141,6 +157,10 @@ class Predicate {
   std::string ToString() const;
 
  private:
+  // Recursive worker of BuildSystemInto: appends this subtree's rows.
+  Status AppendSystemRows(const AttrResolver& resolver,
+                          EquationSystem* out) const;
+
   Kind kind_ = Kind::kComparison;
   ComparisonTerm term_;
   std::vector<Predicate> children_;

@@ -103,6 +103,12 @@ void PulseExecutor::set_thread_pool(ThreadPool* pool) {
   }
 }
 
+void PulseExecutor::set_solve_cache(SolveCache* cache) {
+  for (PulsePlan::NodeId id = 0; id < plan_.num_nodes(); ++id) {
+    plan_.node(id)->set_solve_cache(cache);
+  }
+}
+
 void PulseExecutor::DeliverToSink(const Segment& segment) {
   ++total_output_;
   if (callback_) callback_(segment);

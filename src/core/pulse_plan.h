@@ -80,6 +80,11 @@ class PulseExecutor {
   /// must outlive the executor's last Push/Finish call.
   void set_thread_pool(ThreadPool* pool);
 
+  /// Installs `cache` (nullptr = uncached) on every operator in the plan
+  /// so selective operators memoize row solves. The cache must outlive
+  /// the executor's last Push/Finish call.
+  void set_solve_cache(SolveCache* cache);
+
   const PulsePlan& plan() const { return plan_; }
   PulsePlan& plan() { return plan_; }
 

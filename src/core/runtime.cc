@@ -83,6 +83,10 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
     rt.pool_ = std::make_unique<ThreadPool>(rt.options_.parallel.num_threads);
     rt.executor_->set_thread_pool(rt.pool_.get());
   }
+  if (rt.options_.solve_cache.has_value()) {
+    rt.solve_cache_ = std::make_unique<SolveCache>(*rt.options_.solve_cache);
+    rt.executor_->set_solve_cache(rt.solve_cache_.get());
+  }
   rt.inverter_ = std::make_unique<QueryInverter>(&rt.executor_->plan(),
                                                  rt.options_.split);
   rt.bound_registry_ = std::make_unique<BoundRegistry>();
@@ -115,9 +119,14 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
 }
 
 void PredictiveRuntime::SyncParallelStats() {
-  if (pool_ == nullptr) return;
-  stats_.tasks_spawned = pool_->tasks_spawned();
-  stats_.parallel_solve_ns = pool_->parallel_ns();
+  if (pool_ != nullptr) {
+    stats_.tasks_spawned = pool_->tasks_spawned();
+    stats_.parallel_solve_ns = pool_->parallel_ns();
+  }
+  if (solve_cache_ != nullptr) {
+    stats_.solve_cache_hits = solve_cache_->hits();
+    stats_.solve_cache_misses = solve_cache_->misses();
+  }
 }
 
 double PredictiveRuntime::SourceSlack(const std::string& stream,
@@ -438,8 +447,9 @@ Result<std::optional<Segment>> MultiAttributeSegmenter::CloseSegment(
         n = 1;
       }
     }
-    // Local-time fit -> absolute-time model.
-    const Polynomial local{std::vector<double>(buf, buf + n)};
+    // Local-time fit -> absolute-time model (straight from the stack
+    // buffer into inline polynomial storage).
+    const Polynomial local{buf, n};
     seg.set_attribute(spec_.models[m].modeled_attribute,
                       local.Shift(-state.t0));
   }
@@ -522,6 +532,10 @@ Result<HistoricalRuntime> HistoricalRuntime::Make(const QuerySpec& spec,
     rt.pool_ = std::make_unique<ThreadPool>(rt.options_.parallel.num_threads);
     rt.executor_->set_thread_pool(rt.pool_.get());
   }
+  if (rt.options_.solve_cache.has_value()) {
+    rt.solve_cache_ = std::make_unique<SolveCache>(*rt.options_.solve_cache);
+    rt.executor_->set_solve_cache(rt.solve_cache_.get());
+  }
   for (const auto& [name, stream] : spec.streams()) {
     rt.segmenters_.emplace(name,
                            std::make_unique<MultiAttributeSegmenter>(
@@ -557,9 +571,14 @@ Status HistoricalRuntime::ProcessTuple(const std::string& stream,
 }
 
 void HistoricalRuntime::SyncParallelStats() {
-  if (pool_ == nullptr) return;
-  stats_.tasks_spawned = pool_->tasks_spawned();
-  stats_.parallel_solve_ns = pool_->parallel_ns();
+  if (pool_ != nullptr) {
+    stats_.tasks_spawned = pool_->tasks_spawned();
+    stats_.parallel_solve_ns = pool_->parallel_ns();
+  }
+  if (solve_cache_ != nullptr) {
+    stats_.solve_cache_hits = solve_cache_->hits();
+    stats_.solve_cache_misses = solve_cache_->misses();
+  }
 }
 
 Status HistoricalRuntime::ProcessSegment(const std::string& stream,

@@ -12,6 +12,7 @@
 #include "core/pulse_plan.h"
 #include "core/query.h"
 #include "core/sampler.h"
+#include "core/solve_cache.h"
 #include "core/transform.h"
 #include "core/validation/bounds.h"
 #include "core/validation/inversion.h"
@@ -51,6 +52,10 @@ struct RuntimeStats {
   uint64_t tasks_spawned = 0;
   /// Wall-clock nanoseconds spent inside parallel solve fan-outs.
   uint64_t parallel_solve_ns = 0;
+  /// Row solves answered from / missed by the solve cache (both 0 when
+  /// the cache is disabled).
+  uint64_t solve_cache_hits = 0;
+  uint64_t solve_cache_misses = 0;
 };
 
 /// Online predictive processing (paper Section II-A): models of unseen
@@ -71,6 +76,10 @@ class PredictiveRuntime {
     bool collect_outputs = true;
     /// Solver fan-out; default is serial execution.
     ParallelOptions parallel;
+    /// Difference-polynomial solve memoization; nullopt disables. The
+    /// default (exact keys) is deterministic: output is bit-identical to
+    /// an uncached run.
+    std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
   };
 
   static Result<PredictiveRuntime> Make(const QuerySpec& spec,
@@ -91,6 +100,7 @@ class PredictiveRuntime {
   const PulsePlan& plan() const { return executor_->plan(); }
   const BoundRegistry& bounds() const { return *bound_registry_; }
   const AlternatingValidator& validator() const { return *validator_; }
+  SolveCache* solve_cache() const { return solve_cache_.get(); }
 
  private:
   PredictiveRuntime() = default;
@@ -145,6 +155,8 @@ class PredictiveRuntime {
   // runtime (operators hold a raw pointer to it). Declared before the
   // executor so operators never outlive the pool they point at.
   std::unique_ptr<ThreadPool> pool_;
+  // Same lifetime rules as pool_: operators hold a raw pointer.
+  std::unique_ptr<SolveCache> solve_cache_;
   std::unique_ptr<PulseExecutor> executor_;
   std::unique_ptr<QueryInverter> inverter_;
   std::map<std::string, StreamState> streams_;
@@ -243,6 +255,11 @@ class HistoricalRuntime {
     bool collect_outputs = true;
     /// Solver fan-out; default is serial execution.
     ParallelOptions parallel;
+    /// Difference-polynomial solve memoization; nullopt disables. Replay
+    /// runs (ProcessSegment over a previously fitted trace) hit the cache
+    /// heavily — identical difference polynomials recur across what-if
+    /// variants of one model set.
+    std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
   };
 
   static Result<HistoricalRuntime> Make(const QuerySpec& spec,
@@ -261,6 +278,7 @@ class HistoricalRuntime {
   const RuntimeStats& stats() const { return stats_; }
   std::vector<Segment> TakeOutputSegments();
   const PulsePlan& plan() const { return executor_->plan(); }
+  SolveCache* solve_cache() const { return solve_cache_.get(); }
 
  private:
   HistoricalRuntime() = default;
@@ -272,6 +290,7 @@ class HistoricalRuntime {
 
   // Declared before the executor: see PredictiveRuntime::pool_.
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SolveCache> solve_cache_;
   std::unique_ptr<PulseExecutor> executor_;
   std::map<std::string, std::unique_ptr<MultiAttributeSegmenter>>
       segmenters_;

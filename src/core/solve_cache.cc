@@ -1,0 +1,145 @@
+#include "core/solve_cache.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pulse {
+
+namespace {
+
+// Bit pattern of v, with -0.0 folded onto +0.0 so the two (equal) values
+// share cache entries.
+uint64_t DoubleBits(double v) {
+  if (v == 0.0) v = 0.0;
+  return std::bit_cast<uint64_t>(v);
+}
+
+// Snaps v to the quantization grid (quantum > 0).
+double Quantize(double v, double quantum) {
+  return std::nearbyint(v / quantum) * quantum;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(SolveCacheOptions options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.capacity < options_.shards) {
+    options_.capacity = options_.shards;
+  }
+  per_shard_capacity_ = options_.capacity / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool SolveCache::MakeKey(const Polynomial& diff, CmpOp op,
+                         const Interval& domain, RootMethod method,
+                         Key* key) const {
+  const size_t n = diff.IsZero() ? 0 : diff.degree() + 1;
+  if (n > Polynomial::kInlineCoefficients) return false;
+  key->coeffs.fill(0);
+  const bool quantized = options_.quantum > 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double c = diff.coeff(i);
+    key->coeffs[i] =
+        DoubleBits(quantized ? Quantize(c, options_.quantum) : c);
+  }
+  key->domain_lo = DoubleBits(
+      quantized ? Quantize(domain.lo, options_.quantum) : domain.lo);
+  key->domain_hi = DoubleBits(
+      quantized ? Quantize(domain.hi, options_.quantum) : domain.hi);
+  key->size = static_cast<uint32_t>(n);
+  key->op = static_cast<uint8_t>(op);
+  key->method = static_cast<uint8_t>(method);
+  key->lo_open = domain.lo_open ? 1 : 0;
+  key->hi_open = domain.hi_open ? 1 : 0;
+  return true;
+}
+
+size_t SolveCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the packed words; the key is plain old data.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t word) {
+    h ^= word;
+    h *= 1099511628211ull;
+  };
+  for (uint64_t w : k.coeffs) mix(w);
+  mix(k.domain_lo);
+  mix(k.domain_hi);
+  mix(static_cast<uint64_t>(k.size) | (static_cast<uint64_t>(k.op) << 32) |
+      (static_cast<uint64_t>(k.method) << 40) |
+      (static_cast<uint64_t>(k.lo_open) << 48) |
+      (static_cast<uint64_t>(k.hi_open) << 56));
+  return static_cast<size_t>(h);
+}
+
+SolveCache::Shard& SolveCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool SolveCache::Lookup(const Polynomial& diff, CmpOp op,
+                        const Interval& domain, RootMethod method,
+                        IntervalSet* out) {
+  Key key;
+  if (!MakeKey(diff, op, domain, method, &key)) return false;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.current.find(key);
+    if (it != shard.current.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    it = shard.previous.find(key);
+    if (it != shard.previous.end()) {
+      // Promote so another generation of reuse keeps the entry alive.
+      *out = it->second;
+      shard.current.emplace(key, it->second);
+      shard.previous.erase(it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void SolveCache::Insert(const Polynomial& diff, CmpOp op,
+                        const Interval& domain, RootMethod method,
+                        const IntervalSet& solution) {
+  Key key;
+  if (!MakeKey(diff, op, domain, method, &key)) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.current.size() >= per_shard_capacity_) {
+    shard.previous = std::move(shard.current);
+    shard.current.clear();
+  }
+  shard.current.insert_or_assign(key, solution);
+}
+
+size_t SolveCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->current.size() + shard->previous.size();
+  }
+  return total;
+}
+
+void SolveCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->current.clear();
+    shard->previous.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pulse

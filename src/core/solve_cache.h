@@ -1,0 +1,137 @@
+#ifndef PULSE_CORE_SOLVE_CACHE_H_
+#define PULSE_CORE_SOLVE_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "math/roots.h"
+
+namespace pulse {
+
+/// Configuration for SolveCache.
+struct SolveCacheOptions {
+  /// Total cached row solutions across all shards. When a shard exceeds
+  /// its share, its previous generation is dropped (generation sweep —
+  /// cheaper than strict LRU and never touches cold entries on the hot
+  /// path).
+  size_t capacity = 1 << 16;
+
+  /// Mutex shards. Lookups hash to a shard, so contention under
+  /// ParallelFor is 1/shards of a single-lock design.
+  size_t shards = 16;
+
+  /// Coefficient quantization step for KEY EQUALITY. The default 0 keys
+  /// on exact bit patterns, which guarantees cache-on output is
+  /// byte-identical to cache-off output (a hit replays precisely the
+  /// solution that would have been recomputed). A positive quantum snaps
+  /// coefficients and domain endpoints to multiples of `quantum` before
+  /// comparison: near-identical systems then share entries — more hits on
+  /// noisy workloads — at the cost of answers drawn from a system up to
+  /// quantum/2 away per coefficient. See docs/PERFORMANCE.md for the
+  /// trade-off discussion. Determinism tests run with quantum == 0.
+  double quantum = 0.0;
+};
+
+/// Memoizes per-row comparison solves: difference polynomial + comparator
+/// + solve domain + root method -> IntervalSet solution.
+///
+/// Motivation (ISSUE 2): constant-coefficient motion models produce
+/// identical difference polynomials across many segment pairs and across
+/// replays of the same trace, so equation-system solves are highly
+/// redundant. The cache sits under EquationSystem::Solve / SolveSystems
+/// and Predicate::Solve, making the second and later identical row solves
+/// a hash lookup instead of root isolation.
+///
+/// Thread safety: sharded mutex map, safe under ParallelFor (PR 1).
+/// Lookup/Insert take one shard lock each; hit/miss counters are relaxed
+/// atomics. Entries are immutable once inserted.
+///
+/// Only rows whose difference polynomial fits the Polynomial inline
+/// buffer (degree <= 7) are cached; higher degrees keep the key fixed
+/// size and are rare enough that caching them is not worth the key
+/// allocation.
+class SolveCache {
+ public:
+  explicit SolveCache(SolveCacheOptions options = {});
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// On hit copies the cached solution into *out and returns true.
+  /// Returns false (and counts a miss) otherwise. Rows that are not
+  /// cacheable (degree > 7) return false without counting.
+  bool Lookup(const Polynomial& diff, CmpOp op, const Interval& domain,
+              RootMethod method, IntervalSet* out);
+
+  /// Stores a freshly computed solution. No-op for uncacheable rows.
+  void Insert(const Polynomial& diff, CmpOp op, const Interval& domain,
+              RootMethod method, const IntervalSet& solution);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Cached entries across shards and generations (approximate under
+  /// concurrent inserts).
+  size_t size() const;
+
+  void Clear();
+
+  const SolveCacheOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    // Bit patterns of the (possibly quantized) coefficients, zero-padded
+    // beyond `size` so equality is a plain member comparison.
+    std::array<uint64_t, Polynomial::kInlineCoefficients> coeffs;
+    uint64_t domain_lo = 0;
+    uint64_t domain_hi = 0;
+    uint32_t size = 0;
+    uint8_t op = 0;
+    uint8_t method = 0;
+    uint8_t lo_open = 0;
+    uint8_t hi_open = 0;
+
+    bool operator==(const Key& other) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  using Map = std::unordered_map<Key, IntervalSet, KeyHash>;
+
+  // Two-generation shard: lookups consult `current` then `previous`;
+  // inserts go to `current`. When `current` fills its share, it becomes
+  // `previous` and the old `previous` is dropped — every entry survives
+  // at least one full generation, recently reused entries are re-promoted
+  // on hit.
+  struct Shard {
+    std::mutex mu;
+    Map current;
+    Map previous;
+  };
+
+  bool MakeKey(const Polynomial& diff, CmpOp op, const Interval& domain,
+               RootMethod method, Key* key) const;
+  Shard& ShardFor(const Key& key);
+
+  SolveCacheOptions options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_SOLVE_CACHE_H_

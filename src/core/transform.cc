@@ -409,14 +409,16 @@ Result<Segment> SegmentModelBuilder::BuildSegment(const Tuple& tuple) const {
   seg.range = Interval::ClosedOpen(tuple.timestamp,
                                    tuple.timestamp + spec_.segment_horizon);
   for (size_t m = 0; m < spec_.models.size(); ++m) {
-    std::vector<double> coeffs;
-    coeffs.reserve(coefficient_indices_[m].size());
-    for (size_t idx : coefficient_indices_[m]) {
-      coeffs.push_back(tuple.at(idx).as_double());
-    }
     // The MODEL clause is written in segment-local time (the delta
     // attribute); shift to absolute time for plan-wide composition.
-    const Polynomial local(std::move(coeffs));
+    // Coefficients go straight into (inline) polynomial storage.
+    Polynomial local;
+    local.Resize(coefficient_indices_[m].size());
+    size_t c = 0;
+    for (size_t idx : coefficient_indices_[m]) {
+      local[c++] = tuple.at(idx).as_double();
+    }
+    local.TrimInPlace();
     seg.set_attribute(spec_.models[m].modeled_attribute,
                       local.Shift(-tuple.timestamp));
   }

@@ -74,20 +74,20 @@ void IntervalSet::Add(const Interval& iv) {
 }
 
 void IntervalSet::Normalize() {
-  std::vector<Interval> kept;
-  kept.reserve(intervals_.size());
-  for (const Interval& iv : intervals_) {
-    if (!iv.IsEmpty()) kept.push_back(iv);
-  }
-  std::sort(kept.begin(), kept.end(), LowerEndpointLess);
+  // Fully in place: drop empties, sort, merge with a write cursor. No
+  // allocation happens once the vector's capacity is warm — this routine
+  // runs on every solver result (docs/PERFORMANCE.md).
+  intervals_.erase(std::remove_if(intervals_.begin(), intervals_.end(),
+                                  [](const Interval& iv) {
+                                    return iv.IsEmpty();
+                                  }),
+                   intervals_.end());
+  std::sort(intervals_.begin(), intervals_.end(), LowerEndpointLess);
 
-  std::vector<Interval> merged;
-  for (const Interval& iv : kept) {
-    if (merged.empty()) {
-      merged.push_back(iv);
-      continue;
-    }
-    Interval& last = merged.back();
+  size_t w = 0;  // index of the last merged interval
+  for (size_t r = 1; r < intervals_.size(); ++r) {
+    const Interval& iv = intervals_[r];
+    Interval& last = intervals_[w];
     // Mergeable when the intervals overlap or touch at a covered point:
     // [a,b) + [b,c) touch at b which [b,c) covers; (a,b) + (b,c) leave b
     // uncovered and must stay separate.
@@ -101,58 +101,102 @@ void IntervalSet::Normalize() {
         last.hi_open = false;
       }
     } else {
-      merged.push_back(iv);
+      intervals_[++w] = iv;
     }
   }
-  intervals_ = std::move(merged);
+  if (!intervals_.empty()) intervals_.resize(w + 1);
 }
 
 IntervalSet IntervalSet::Union(const IntervalSet& other) const {
-  std::vector<Interval> all = intervals_;
-  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
-  return FromIntervals(std::move(all));
+  IntervalSet out = *this;
+  out.UnionWith(other);
+  return out;
 }
 
-IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
-  std::vector<Interval> out;
+void IntervalSet::UnionWith(const IntervalSet& other) {
+  intervals_.insert(intervals_.end(), other.intervals_.begin(),
+                    other.intervals_.end());
+  Normalize();
+}
+
+void IntervalSet::Assign(std::vector<Interval>* intervals) {
+  intervals_.swap(*intervals);
+  Normalize();
+}
+
+void IntervalSet::AssignInterval(const Interval& iv) {
+  intervals_.clear();
+  if (!iv.IsEmpty()) intervals_.push_back(iv);
+}
+
+namespace {
+
+// Merge-intersects two sorted disjoint interval lists into `out`
+// (cleared first). The result is sorted and disjoint by construction, so
+// no Normalize pass is needed.
+void IntersectInto(const std::vector<Interval>& a,
+                   const std::vector<Interval>& b,
+                   std::vector<Interval>* out) {
+  out->clear();
   size_t i = 0;
   size_t j = 0;
-  while (i < intervals_.size() && j < other.intervals_.size()) {
-    Interval cand = intervals_[i].Intersect(other.intervals_[j]);
-    if (!cand.IsEmpty()) out.push_back(cand);
+  while (i < a.size() && j < b.size()) {
+    Interval cand = a[i].Intersect(b[j]);
+    if (!cand.IsEmpty()) out->push_back(cand);
     // Advance whichever interval ends first.
-    const Interval& a = intervals_[i];
-    const Interval& b = other.intervals_[j];
-    if (a.hi < b.hi || (a.hi == b.hi && a.hi_open && !b.hi_open)) {
+    const Interval& x = a[i];
+    const Interval& y = b[j];
+    if (x.hi < y.hi || (x.hi == y.hi && x.hi_open && !y.hi_open)) {
       ++i;
-    } else if (b.hi < a.hi || (a.hi == b.hi && b.hi_open && !a.hi_open)) {
+    } else if (y.hi < x.hi || (x.hi == y.hi && y.hi_open && !x.hi_open)) {
       ++j;
     } else {
       ++i;
       ++j;
     }
   }
-  return FromIntervals(std::move(out));
+}
+
+}  // namespace
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  IntersectInto(intervals_, other.intervals_, &out.intervals_);
+  return out;
+}
+
+void IntervalSet::IntersectWith(const IntervalSet& other,
+                                std::vector<Interval>* scratch) {
+  IntersectInto(intervals_, other.intervals_, scratch);
+  intervals_.swap(*scratch);
 }
 
 IntervalSet IntervalSet::Complement(const Interval& domain) const {
-  if (domain.IsEmpty()) return IntervalSet();
-  std::vector<Interval> out;
+  IntervalSet out;
+  ComplementInto(domain, &out);
+  return out;
+}
+
+void IntervalSet::ComplementInto(const Interval& domain,
+                                 IntervalSet* out) const {
+  PULSE_CHECK(out != this);
+  out->intervals_.clear();
+  if (domain.IsEmpty()) return;
   // Walk the clipped intervals; gaps between them (with flipped endpoint
-  // openness) form the complement.
+  // openness) form the complement. Clipped intervals stay sorted and
+  // disjoint, so the gaps do too: no Normalize pass is needed.
   double cursor = domain.lo;
   bool cursor_open = domain.lo_open;
   for (const Interval& raw : intervals_) {
     Interval iv = raw.Intersect(domain);
     if (iv.IsEmpty()) continue;
     Interval gap{cursor, iv.lo, cursor_open, !iv.lo_open};
-    if (!gap.IsEmpty()) out.push_back(gap);
+    if (!gap.IsEmpty()) out->intervals_.push_back(gap);
     cursor = iv.hi;
     cursor_open = !iv.hi_open;
   }
   Interval tail{cursor, domain.hi, cursor_open, domain.hi_open};
-  if (!tail.IsEmpty()) out.push_back(tail);
-  return FromIntervals(std::move(out));
+  if (!tail.IsEmpty()) out->intervals_.push_back(tail);
 }
 
 IntervalSet IntervalSet::Difference(const IntervalSet& other) const {

@@ -96,6 +96,31 @@ class IntervalSet {
   /// Complement relative to `domain`.
   IntervalSet Complement(const Interval& domain) const;
 
+  /// In-place forms for the solver hot path (no allocation once the
+  /// receiver's buffers are warm; see docs/PERFORMANCE.md).
+
+  /// Replaces the contents with *intervals (normalizing). Buffers are
+  /// swapped, so the receiver reuses its capacity across solves and the
+  /// caller's vector keeps a warm buffer for the next call.
+  void Assign(std::vector<Interval>* intervals);
+
+  /// Resets to the single interval `iv` (empty when iv is empty).
+  void AssignInterval(const Interval& iv);
+
+  /// this = this ∪ other, in place.
+  void UnionWith(const IntervalSet& other);
+
+  /// this = this ∩ other. `scratch` provides the temporary buffer (its
+  /// capacity is recycled across calls).
+  void IntersectWith(const IntervalSet& other,
+                     std::vector<Interval>* scratch);
+
+  /// *out = complement of this relative to `domain`, reusing out's
+  /// storage. `out` must not alias this.
+  void ComplementInto(const Interval& domain, IntervalSet* out) const;
+
+  void Clear() { intervals_.clear(); }
+
   /// this \ other.
   IntervalSet Difference(const IntervalSet& other) const;
 

@@ -1,7 +1,9 @@
 #include "math/polynomial.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "math/roots.h"
@@ -21,57 +23,159 @@ double Binomial(size_t n, size_t k) {
   return result;
 }
 
+// Allocation proxy for the bench harness: one tick per coefficient buffer
+// that left the inline storage.
+std::atomic<uint64_t> g_heap_allocations{0};
+
 }  // namespace
 
-Polynomial::Polynomial(std::initializer_list<double> coeffs)
-    : coeffs_(coeffs) {
+uint64_t Polynomial::heap_allocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+void Polynomial::Reserve(size_t n, bool preserve) {
+  if (n <= capacity_) return;
+  size_t cap = capacity_;
+  while (cap < n) cap *= 2;
+  double* heap = new double[cap];
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (preserve && size_ > 0) {
+    std::memcpy(heap, data_, size_ * sizeof(double));
+  }
+  if (data_ != inline_) delete[] data_;
+  data_ = heap;
+  capacity_ = cap;
+}
+
+Polynomial::~Polynomial() {
+  if (data_ != inline_) delete[] data_;
+}
+
+Polynomial::Polynomial(const Polynomial& other) {
+  Reserve(other.size_, false);
+  size_ = other.size_;
+  std::memcpy(data_, other.data_, size_ * sizeof(double));
+}
+
+void Polynomial::MoveFrom(Polynomial&& other) noexcept {
+  if (other.data_ != other.inline_) {
+    // Steal the heap buffer.
+    if (data_ != inline_) delete[] data_;
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    other.data_ = other.inline_;
+    other.capacity_ = kInlineCoefficients;
+    other.size_ = 0;
+    return;
+  }
+  // Inline source: copy the (small) payload; keep our own buffer if it is
+  // already big enough.
+  if (capacity_ < other.size_) {
+    // Only possible when we are inline too (capacity_ >= kInline... and
+    // other.size_ <= kInlineCoefficients), so this never triggers; kept
+    // for clarity.
+    Reserve(other.size_, false);
+  }
+  size_ = other.size_;
+  std::memcpy(data_, other.data_, size_ * sizeof(double));
+  other.size_ = 0;
+}
+
+Polynomial::Polynomial(Polynomial&& other) noexcept {
+  MoveFrom(std::move(other));
+}
+
+Polynomial& Polynomial::operator=(const Polynomial& other) {
+  if (this == &other) return *this;
+  Reserve(other.size_, false);
+  size_ = other.size_;
+  std::memcpy(data_, other.data_, size_ * sizeof(double));
+  return *this;
+}
+
+Polynomial& Polynomial::operator=(Polynomial&& other) noexcept {
+  if (this == &other) return *this;
+  MoveFrom(std::move(other));
+  return *this;
+}
+
+Polynomial::Polynomial(std::initializer_list<double> coeffs) {
+  Assign(coeffs.begin(), coeffs.size());
+}
+
+Polynomial::Polynomial(std::vector<double> coeffs) {
+  Assign(coeffs.data(), coeffs.size());
+}
+
+Polynomial::Polynomial(const double* coeffs, size_t n) { Assign(coeffs, n); }
+
+void Polynomial::Assign(const double* coeffs, size_t n) {
+  Reserve(n, false);
+  size_ = n;
+  if (n > 0) std::memmove(data_, coeffs, n * sizeof(double));
   Trim();
 }
 
-Polynomial::Polynomial(std::vector<double> coeffs)
-    : coeffs_(std::move(coeffs)) {
-  Trim();
+void Polynomial::Resize(size_t n) {
+  Reserve(n, true);
+  for (size_t i = size_; i < n; ++i) data_[i] = 0.0;
+  size_ = n;
 }
 
-Polynomial Polynomial::Constant(double c) { return Polynomial({c}); }
+Polynomial Polynomial::Constant(double c) { return Polynomial(&c, 1); }
 
 Polynomial Polynomial::Monomial(double c, size_t power) {
-  std::vector<double> coeffs(power + 1, 0.0);
-  coeffs[power] = c;
-  return Polynomial(std::move(coeffs));
+  Polynomial p;
+  p.Resize(power + 1);
+  p.data_[power] = c;
+  p.Trim();
+  return p;
 }
 
 void Polynomial::Trim() {
-  while (!coeffs_.empty() &&
-         std::abs(coeffs_.back()) <= kCoefficientEpsilon) {
-    coeffs_.pop_back();
+  while (size_ > 0 && std::abs(data_[size_ - 1]) <= kCoefficientEpsilon) {
+    --size_;
   }
 }
 
 double Polynomial::Evaluate(double t) const {
   double acc = 0.0;
-  for (size_t i = coeffs_.size(); i-- > 0;) {
-    acc = acc * t + coeffs_[i];
+  for (size_t i = size_; i-- > 0;) {
+    acc = acc * t + data_[i];
   }
   return acc;
 }
 
 Polynomial Polynomial::Derivative() const {
-  if (coeffs_.size() <= 1) return Polynomial();
-  std::vector<double> d(coeffs_.size() - 1);
-  for (size_t i = 1; i < coeffs_.size(); ++i) {
-    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  Polynomial d;
+  DerivativeInto(&d);
+  return d;
+}
+
+void Polynomial::DerivativeInto(Polynomial* out) const {
+  PULSE_CHECK(out != this);
+  if (size_ <= 1) {
+    out->size_ = 0;
+    return;
   }
-  return Polynomial(std::move(d));
+  out->Reserve(size_ - 1, false);
+  out->size_ = size_ - 1;
+  for (size_t i = 1; i < size_; ++i) {
+    out->data_[i - 1] = data_[i] * static_cast<double>(i);
+  }
+  out->Trim();
 }
 
 Polynomial Polynomial::Antiderivative() const {
-  if (coeffs_.empty()) return Polynomial();
-  std::vector<double> a(coeffs_.size() + 1, 0.0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    a[i + 1] = coeffs_[i] / static_cast<double>(i + 1);
+  Polynomial a;
+  if (size_ == 0) return a;
+  a.Resize(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) {
+    a.data_[i + 1] = data_[i] / static_cast<double>(i + 1);
   }
-  return Polynomial(std::move(a));
+  a.Trim();
+  return a;
 }
 
 double Polynomial::Integrate(double lo, double hi) const {
@@ -82,75 +186,127 @@ double Polynomial::Integrate(double lo, double hi) const {
 Polynomial Polynomial::Shift(double shift) const {
   // p(t + s) = sum_i c_i (t + s)^i
   //          = sum_i c_i sum_{k<=i} C(i,k) s^{i-k} t^k.
-  if (coeffs_.empty() || shift == 0.0) return *this;
-  std::vector<double> out(coeffs_.size(), 0.0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
+  if (size_ == 0 || shift == 0.0) return *this;
+  Polynomial out;
+  out.Resize(size_);
+  for (size_t i = 0; i < size_; ++i) {
     double s_pow = 1.0;  // shift^{i-k}, built from k = i downward
     for (size_t k = i + 1; k-- > 0;) {
-      out[k] += coeffs_[i] * Binomial(i, k) * s_pow;
+      out.data_[k] += data_[i] * Binomial(i, k) * s_pow;
       s_pow *= shift;
     }
   }
-  return Polynomial(std::move(out));
+  out.Trim();
+  return out;
 }
 
 Polynomial Polynomial::ScaleArgument(double s) const {
-  std::vector<double> out(coeffs_.size());
+  Polynomial out;
+  out.Reserve(size_, false);
+  out.size_ = size_;
   double s_pow = 1.0;
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    out[i] = coeffs_[i] * s_pow;
+  for (size_t i = 0; i < size_; ++i) {
+    out.data_[i] = data_[i] * s_pow;
     s_pow *= s;
   }
-  return Polynomial(std::move(out));
+  out.Trim();
+  return out;
 }
 
 Polynomial Polynomial::operator+(const Polynomial& other) const {
-  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()),
-                          0.0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
-  for (size_t i = 0; i < other.coeffs_.size(); ++i) out[i] += other.coeffs_[i];
-  return Polynomial(std::move(out));
+  Polynomial out = *this;
+  out.AddInPlace(other);
+  return out;
 }
 
 Polynomial Polynomial::operator-(const Polynomial& other) const {
-  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()),
-                          0.0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
-  for (size_t i = 0; i < other.coeffs_.size(); ++i) out[i] -= other.coeffs_[i];
-  return Polynomial(std::move(out));
+  Polynomial out = *this;
+  out.SubInPlace(other);
+  return out;
+}
+
+void Polynomial::AddInPlace(const Polynomial& other) {
+  if (other.size_ > size_) Resize(other.size_);
+  for (size_t i = 0; i < other.size_; ++i) data_[i] += other.data_[i];
+  Trim();
+}
+
+void Polynomial::SubInPlace(const Polynomial& other) {
+  if (other.size_ > size_) Resize(other.size_);
+  for (size_t i = 0; i < other.size_; ++i) data_[i] -= other.data_[i];
+  Trim();
+}
+
+void Polynomial::ScaleInPlace(double s) {
+  for (size_t i = 0; i < size_; ++i) data_[i] *= s;
+  Trim();
+}
+
+void Polynomial::Sub(const Polynomial& a, const Polynomial& b,
+                     Polynomial* out) {
+  if (out == &a) {
+    out->SubInPlace(b);
+    return;
+  }
+  if (out == &b) {
+    // out = a - out: negate, then add a.
+    out->ScaleInPlace(-1.0);
+    out->AddInPlace(a);
+    return;
+  }
+  const size_t n = std::max(a.size_, b.size_);
+  out->Reserve(n, false);
+  out->size_ = n;
+  for (size_t i = 0; i < n; ++i) {
+    out->data_[i] = (i < a.size_ ? a.data_[i] : 0.0) -
+                    (i < b.size_ ? b.data_[i] : 0.0);
+  }
+  out->Trim();
+}
+
+void Polynomial::Mul(const Polynomial& a, const Polynomial& b,
+                     Polynomial* out) {
+  PULSE_CHECK(out != &a && out != &b);
+  if (a.size_ == 0 || b.size_ == 0) {
+    out->size_ = 0;
+    return;
+  }
+  const size_t n = a.size_ + b.size_ - 1;
+  out->Reserve(n, false);
+  out->size_ = n;
+  std::fill(out->data_, out->data_ + n, 0.0);
+  for (size_t i = 0; i < a.size_; ++i) {
+    for (size_t j = 0; j < b.size_; ++j) {
+      out->data_[i + j] += a.data_[i] * b.data_[j];
+    }
+  }
+  out->Trim();
 }
 
 Polynomial Polynomial::operator*(const Polynomial& other) const {
-  if (coeffs_.empty() || other.coeffs_.empty()) return Polynomial();
-  std::vector<double> out(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
-      out[i + j] += coeffs_[i] * other.coeffs_[j];
-    }
-  }
-  return Polynomial(std::move(out));
+  Polynomial out;
+  Mul(*this, other, &out);
+  return out;
 }
 
 Polynomial Polynomial::operator*(double scalar) const {
-  std::vector<double> out(coeffs_);
-  for (double& c : out) c *= scalar;
-  return Polynomial(std::move(out));
+  Polynomial out = *this;
+  out.ScaleInPlace(scalar);
+  return out;
 }
 
 Polynomial Polynomial::operator-() const { return *this * -1.0; }
 
-Polynomial& Polynomial::operator+=(const Polynomial& other) {
-  *this = *this + other;
-  return *this;
-}
-
-Polynomial& Polynomial::operator-=(const Polynomial& other) {
-  *this = *this - other;
-  return *this;
+bool Polynomial::operator==(const Polynomial& other) const {
+  if (size_ != other.size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    if (data_[i] != other.data_[i]) return false;
+  }
+  return true;
 }
 
 bool Polynomial::AlmostEquals(const Polynomial& other, double tol) const {
-  size_t n = std::max(coeffs_.size(), other.coeffs_.size());
+  size_t n = std::max(size_, other.size_);
   for (size_t i = 0; i < n; ++i) {
     if (std::abs(coeff(i) - other.coeff(i)) > tol) return false;
   }
@@ -174,12 +330,12 @@ double Polynomial::MaxAbsDifference(const Polynomial& other, double lo,
 }
 
 std::string Polynomial::ToString() const {
-  if (coeffs_.empty()) return "0";
+  if (size_ == 0) return "0";
   std::ostringstream os;
   bool first = true;
-  for (size_t i = 0; i < coeffs_.size(); ++i) {
-    double c = coeffs_[i];
-    if (std::abs(c) <= kCoefficientEpsilon && coeffs_.size() > 1) continue;
+  for (size_t i = 0; i < size_; ++i) {
+    double c = data_[i];
+    if (std::abs(c) <= kCoefficientEpsilon && size_ > 1) continue;
     if (first) {
       if (c < 0) os << "-";
     } else {

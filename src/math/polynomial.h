@@ -2,7 +2,9 @@
 #define PULSE_MATH_POLYNOMIAL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,14 +15,25 @@ namespace pulse {
 ///
 /// This is the continuous-time model class of the paper (Section II-B):
 /// a modeled stream attribute is a(t) = sum_i c_{a,i} t^i with non-negative
-/// exponents. Polynomials are value types; all operations return new
-/// polynomials. Coefficients with |c| <= kCoefficientEpsilon are trimmed
-/// from the high end so degree() reflects the numerically meaningful degree.
+/// exponents. Polynomials are value types. Coefficients with
+/// |c| <= kCoefficientEpsilon are trimmed from the high end so degree()
+/// reflects the numerically meaningful degree.
+///
+/// Storage is small-buffer optimized: up to kInlineCoefficients
+/// coefficients (degree <= 7 — every difference polynomial of the paper's
+/// low-degree motion/price models, including the squared distance
+/// predicate over cubic models) live inline with no heap allocation.
+/// Higher degrees spill to the heap; spills are counted so benchmarks can
+/// report an allocations proxy (docs/PERFORMANCE.md).
 class Polynomial {
  public:
   /// Coefficients below this magnitude are treated as zero when trimming
   /// and when classifying the polynomial's degree for root finding.
   static constexpr double kCoefficientEpsilon = 1e-12;
+
+  /// Inline coefficient capacity (degree <= kInlineCoefficients - 1 needs
+  /// no heap allocation).
+  static constexpr size_t kInlineCoefficients = 8;
 
   /// The zero polynomial.
   Polynomial() = default;
@@ -29,6 +42,15 @@ class Polynomial {
   Polynomial(std::initializer_list<double> coeffs);
   explicit Polynomial(std::vector<double> coeffs);
 
+  /// From a raw low-order-first coefficient buffer (no vector detour).
+  Polynomial(const double* coeffs, size_t n);
+
+  ~Polynomial();
+  Polynomial(const Polynomial& other);
+  Polynomial(Polynomial&& other) noexcept;
+  Polynomial& operator=(const Polynomial& other);
+  Polynomial& operator=(Polynomial&& other) noexcept;
+
   /// The constant polynomial c.
   static Polynomial Constant(double c);
 
@@ -36,18 +58,37 @@ class Polynomial {
   static Polynomial Monomial(double c, size_t power);
 
   /// Degree after trimming; the zero polynomial has degree 0.
-  size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+  size_t degree() const { return size_ == 0 ? 0 : size_ - 1; }
 
   /// True if all coefficients are (numerically) zero.
-  bool IsZero() const { return coeffs_.empty(); }
+  bool IsZero() const { return size_ == 0; }
 
   /// Coefficient of t^i; zero when i exceeds the stored degree.
-  double coeff(size_t i) const {
-    return i < coeffs_.size() ? coeffs_[i] : 0.0;
-  }
+  double coeff(size_t i) const { return i < size_ ? data_[i] : 0.0; }
 
-  /// Low-order-first coefficients (trimmed; empty for the zero polynomial).
-  const std::vector<double>& coeffs() const { return coeffs_; }
+  /// Low-order-first coefficients (trimmed; empty for the zero
+  /// polynomial).
+  std::span<const double> coeffs() const { return {data_, size_}; }
+
+  /// True when the coefficients live in the inline buffer (no heap).
+  bool is_inline() const { return data_ == inline_; }
+
+  /// Replaces the coefficients (trimming), reusing existing storage.
+  void Assign(const double* coeffs, size_t n);
+
+  /// Mutable coefficient access for scratch-based math kernels
+  /// (polynomial division, Sturm chains). `i` must be < size.
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  /// Resizes to exactly n coefficients; new slots are zero-filled, no
+  /// trimming happens. Kernel support — callers must TrimInPlace() before
+  /// handing the polynomial back to degree-sensitive code.
+  void Resize(size_t n);
+
+  /// Drops numerically-zero leading coefficients (public form of the
+  /// invariant maintenance for kernels that edit coefficients in place).
+  void TrimInPlace() { Trim(); }
 
   /// Horner evaluation of p(t).
   double Evaluate(double t) const;
@@ -55,7 +96,12 @@ class Polynomial {
   /// First derivative dp/dt.
   Polynomial Derivative() const;
 
-  /// Antiderivative with zero constant term: P(t) with P'(t) = p(t), P(0)=0.
+  /// Writes dp/dt into *out, reusing its storage. `out` must not alias
+  /// this.
+  void DerivativeInto(Polynomial* out) const;
+
+  /// Antiderivative with zero constant term: P(t) with P'(t) = p(t),
+  /// P(0)=0.
   Polynomial Antiderivative() const;
 
   /// Definite integral over [lo, hi].
@@ -76,13 +122,33 @@ class Polynomial {
   Polynomial operator*(double scalar) const;
   Polynomial operator-() const;
 
-  Polynomial& operator+=(const Polynomial& other);
-  Polynomial& operator-=(const Polynomial& other);
+  Polynomial& operator+=(const Polynomial& other) {
+    AddInPlace(other);
+    return *this;
+  }
+  Polynomial& operator-=(const Polynomial& other) {
+    SubInPlace(other);
+    return *this;
+  }
+
+  /// this += other, without allocating while both fit inline.
+  void AddInPlace(const Polynomial& other);
+
+  /// this -= other, without allocating while both fit inline.
+  void SubInPlace(const Polynomial& other);
+
+  /// this *= s, in place.
+  void ScaleInPlace(double s);
+
+  /// *out = a - b, reusing out's storage. Aliasing with a or b is
+  /// allowed.
+  static void Sub(const Polynomial& a, const Polynomial& b, Polynomial* out);
+
+  /// *out = a * b, reusing out's storage. `out` must not alias a or b.
+  static void Mul(const Polynomial& a, const Polynomial& b, Polynomial* out);
 
   /// Exact coefficient-wise equality (post-trim).
-  bool operator==(const Polynomial& other) const {
-    return coeffs_ == other.coeffs_;
-  }
+  bool operator==(const Polynomial& other) const;
 
   /// True if every |coeff difference| <= tol.
   bool AlmostEquals(const Polynomial& other, double tol = 1e-9) const;
@@ -95,10 +161,21 @@ class Polynomial {
   /// Human-readable form, e.g. "1 + 2*t - 0.5*t^2".
   std::string ToString() const;
 
+  /// Process-wide count of coefficient buffers that spilled to the heap
+  /// (degree > 7). The solver hot path should keep this flat; the bench
+  /// harness reports the delta as an allocations proxy.
+  static uint64_t heap_allocations();
+
  private:
   void Trim();
+  // Grows capacity to at least n, preserving contents when `preserve`.
+  void Reserve(size_t n, bool preserve);
+  void MoveFrom(Polynomial&& other) noexcept;
 
-  std::vector<double> coeffs_;  // low-order first; empty == zero polynomial
+  size_t size_ = 0;
+  size_t capacity_ = kInlineCoefficients;
+  double* data_ = inline_;                 // inline_ or heap allocation
+  double inline_[kInlineCoefficients];
 };
 
 inline Polynomial operator*(double scalar, const Polynomial& p) {

@@ -24,32 +24,32 @@ void DedupeRoots(std::vector<double>* roots) {
 // Keeps only roots inside the closed [lo, hi] (with tolerance snap at the
 // boundary so closed-form roundoff does not drop boundary roots).
 void ClipRoots(double lo, double hi, std::vector<double>* roots) {
-  std::vector<double> kept;
+  size_t w = 0;
   for (double r : *roots) {
     if (r < lo - kRootTolerance || r > hi + kRootTolerance) continue;
-    kept.push_back(std::clamp(r, lo, hi));
+    (*roots)[w++] = std::clamp(r, lo, hi);
   }
-  *roots = std::move(kept);
+  roots->resize(w);
 }
 
-// Closed-form roots of degree <= 3 (unclipped).
-std::vector<double> ClosedFormRoots(const Polynomial& p) {
-  std::vector<double> roots;
+// Closed-form roots of degree <= 3, appended to *roots (unclipped).
+void ClosedFormRootsInto(const Polynomial& p, std::vector<double>* out) {
+  std::vector<double>& roots = *out;
   const size_t d = p.degree();
-  if (p.IsZero() || d == 0) return roots;
+  if (p.IsZero() || d == 0) return;
   if (d == 1) {
     roots.push_back(-p.coeff(0) / p.coeff(1));
-    return roots;
+    return;
   }
   if (d == 2) {
     const double a = p.coeff(2);
     const double b = p.coeff(1);
     const double c = p.coeff(0);
     const double disc = b * b - 4.0 * a * c;
-    if (disc < 0.0) return roots;
+    if (disc < 0.0) return;
     if (disc == 0.0) {
       roots.push_back(-b / (2.0 * a));
-      return roots;
+      return;
     }
     // Numerically stable quadratic formula (avoid cancellation).
     const double q = -0.5 * (b + std::copysign(std::sqrt(disc), b));
@@ -59,7 +59,7 @@ std::vector<double> ClosedFormRoots(const Polynomial& p) {
     } else {
       roots.push_back(0.0);
     }
-    return roots;
+    return;
   }
   // Cubic: normalize to t^3 + a2 t^2 + a1 t + a0, depress, then use the
   // trigonometric method (three real roots) or Cardano (one real root).
@@ -93,7 +93,6 @@ std::vector<double> ClosedFormRoots(const Polynomial& p) {
       roots.push_back(mag * std::cos((theta + 2.0 * kPi * k) / 3.0) - shift);
     }
   }
-  return roots;
 }
 
 // Plain bisection on a bracket with sign(f(a)) != sign(f(b)).
@@ -241,16 +240,23 @@ bool CmpOpIncludesEquality(CmpOp op) {
 void DividePolynomials(const Polynomial& num, const Polynomial& den,
                        Polynomial* quot, Polynomial* rem) {
   PULSE_CHECK(!den.IsZero());
-  std::vector<double> r(num.coeffs());
+  PULSE_CHECK(quot != rem && quot != &num && quot != &den && rem != &den);
+  const size_t n = num.IsZero() ? 0 : num.degree() + 1;
   const size_t dn = den.degree();
   const double lead = den.coeff(dn);
-  if (r.size() < dn + 1) {
+  if (n < dn + 1) {
+    if (rem != &num) *rem = num;
     *quot = Polynomial();
-    *rem = num;
     return;
   }
-  std::vector<double> q(r.size() - dn, 0.0);
-  for (size_t i = r.size() - 1;; --i) {  // top coefficient downwards
+  // Long division in place on rem's buffer: no vector temporaries, no
+  // allocation while both polynomials fit the inline storage.
+  if (rem != &num) *rem = num;
+  Polynomial& r = *rem;
+  Polynomial& q = *quot;
+  q.Resize(n - dn);
+  for (size_t i = 0; i < n - dn; ++i) q[i] = 0.0;
+  for (size_t i = n - 1;; --i) {  // top coefficient downwards
     const double factor = r[i] / lead;
     q[i - dn] = factor;
     for (size_t k = 0; k <= dn; ++k) {
@@ -258,9 +264,9 @@ void DividePolynomials(const Polynomial& num, const Polynomial& den,
     }
     if (i == dn) break;
   }
-  r.resize(dn);
-  *quot = Polynomial(std::move(q));
-  *rem = Polynomial(std::move(r));
+  r.Resize(dn);
+  r.TrimInPlace();
+  q.TrimInPlace();
 }
 
 Polynomial PolynomialGcd(const Polynomial& a, const Polynomial& b) {
@@ -285,18 +291,33 @@ Polynomial PolynomialGcd(const Polynomial& a, const Polynomial& b) {
 }
 
 std::vector<Polynomial> SturmSequence(const Polynomial& p) {
-  std::vector<Polynomial> seq;
-  seq.push_back(p);
-  Polynomial d = p.Derivative();
-  if (d.IsZero()) return seq;
-  seq.push_back(d);
-  while (seq.back().degree() > 0) {
-    Polynomial q, r;
-    DividePolynomials(seq[seq.size() - 2], seq.back(), &q, &r);
-    if (r.IsZero()) break;
-    seq.push_back(-r);
+  RootScratch scratch;
+  SturmSequenceInto(p, &scratch);
+  return std::move(scratch.sturm);
+}
+
+void SturmSequenceInto(const Polynomial& p, RootScratch* scratch) {
+  std::vector<Polynomial>& seq = scratch->sturm;
+  // Reuse existing entries (and their coefficient buffers) in place.
+  auto entry = [&seq](size_t i) -> Polynomial& {
+    if (i == seq.size()) seq.emplace_back();
+    return seq[i];
+  };
+  size_t n = 0;
+  entry(n++) = p;
+  p.DerivativeInto(&entry(n));
+  if (!seq[n].IsZero()) {
+    ++n;
+    while (seq[n - 1].degree() > 0) {
+      DividePolynomials(seq[n - 2], seq[n - 1], &scratch->quot,
+                        &scratch->rem);
+      if (scratch->rem.IsZero()) break;
+      scratch->rem.ScaleInPlace(-1.0);
+      std::swap(entry(n), scratch->rem);
+      ++n;
+    }
   }
-  return seq;
+  seq.resize(n);
 }
 
 int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
@@ -306,40 +327,52 @@ int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
 
 std::vector<double> FindRealRoots(const Polynomial& p, double lo, double hi,
                                   RootMethod method) {
-  std::vector<double> roots;
-  if (p.IsZero() || lo > hi) return roots;
-  const size_t d = p.degree();
-  if (d == 0) return roots;  // non-zero constant: no roots
+  RootScratch scratch;
+  FindRealRootsInto(p, lo, hi, method, &scratch);
+  return std::move(scratch.roots);
+}
 
+void FindRealRootsInto(const Polynomial& p, double lo, double hi,
+                       RootMethod method, RootScratch* scratch) {
+  std::vector<double>& roots = scratch->roots;
+  roots.clear();
+  if (p.IsZero() || lo > hi) return;
+  const size_t d = p.degree();
+  if (d == 0) return;  // non-zero constant: no roots
+
+  // Closed-form dispatch happens before any Sturm machinery is built:
+  // degree <= 3 covers every difference polynomial of the paper's
+  // low-degree motion models and never touches the scratch polynomials.
   const bool closed_form_ok = d <= 3;
   if ((method == RootMethod::kAuto || method == RootMethod::kClosedForm) &&
       closed_form_ok) {
-    roots = ClosedFormRoots(p);
+    ClosedFormRootsInto(p, &roots);
     ClipRoots(lo, hi, &roots);
     DedupeRoots(&roots);
-    return roots;
+    return;
   }
   if (method == RootMethod::kClosedForm) {
     // No closed form beyond cubics; ablation callers see the gap.
-    return roots;
+    return;
   }
 
   // Square-free reduction so Sturm counting sees each root once.
-  Polynomial sf = p;
-  const Polynomial g = PolynomialGcd(p, p.Derivative());
+  scratch->square_free = p;
+  p.DerivativeInto(&scratch->derivative);
+  const Polynomial g = PolynomialGcd(p, scratch->derivative);
   if (g.degree() > 0) {
-    Polynomial q, r;
-    DividePolynomials(p, g, &q, &r);
-    if (!q.IsZero()) sf = q;
+    DividePolynomials(p, g, &scratch->quot, &scratch->rem);
+    if (!scratch->quot.IsZero()) {
+      std::swap(scratch->square_free, scratch->quot);
+    }
   }
-  const std::vector<Polynomial> sturm = SturmSequence(sf);
+  SturmSequenceInto(scratch->square_free, scratch);
   // Nudge the window outwards so boundary roots are counted (Sturm counts
   // roots in (a, b]).
-  IsolateAndSolve(sf, sturm, lo - kRootTolerance, hi + kRootTolerance,
-                  method, &roots);
+  IsolateAndSolve(scratch->square_free, scratch->sturm,
+                  lo - kRootTolerance, hi + kRootTolerance, method, &roots);
   ClipRoots(lo, hi, &roots);
   DedupeRoots(&roots);
-  return roots;
 }
 
 Result<double> BrentRoot(const std::function<double(double)>& f, double a,
@@ -428,13 +461,27 @@ Result<double> NewtonRoot(const Polynomial& p, double x0, double tol,
 
 IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
                             const Interval& domain, RootMethod method) {
-  if (domain.IsEmpty()) return IntervalSet();
+  RootScratch scratch;
+  IntervalSet out;
+  SolveComparisonInto(p, op, domain, method, &scratch, &out);
+  return out;
+}
+
+void SolveComparisonInto(const Polynomial& p, CmpOp op,
+                         const Interval& domain, RootMethod method,
+                         RootScratch* scratch, IntervalSet* out) {
+  if (domain.IsEmpty()) {
+    out->Clear();
+    return;
+  }
   // Everywhere-zero polynomial: predicate truth is constant in t.
   if (p.IsZero()) {
     if (op == CmpOp::kEq || op == CmpOp::kLe || op == CmpOp::kGe) {
-      return IntervalSet(domain);
+      out->AssignInterval(domain);
+    } else {
+      out->Clear();
     }
-    return IntervalSet();
+    return;
   }
   // Constant non-zero polynomial.
   if (p.degree() == 0) {
@@ -445,35 +492,45 @@ IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
                        (op == CmpOp::kNe && v != 0.0) ||
                        (op == CmpOp::kGe && v >= 0.0) ||
                        (op == CmpOp::kGt && v > 0.0);
-    return holds ? IntervalSet(domain) : IntervalSet();
+    if (holds) {
+      out->AssignInterval(domain);
+    } else {
+      out->Clear();
+    }
+    return;
   }
 
-  std::vector<double> roots = FindRealRoots(p, domain.lo, domain.hi, method);
+  if (op == CmpOp::kNe) {
+    SolveComparisonInto(p, CmpOp::kEq, domain, method, scratch,
+                        &scratch->set_scratch);
+    scratch->set_scratch.ComplementInto(domain, out);
+    return;
+  }
+
+  FindRealRootsInto(p, domain.lo, domain.hi, method, scratch);
+  const std::vector<double>& roots = scratch->roots;
+  std::vector<Interval>& cells = scratch->cells;
+  cells.clear();
 
   if (op == CmpOp::kEq) {
-    IntervalSet out;
-    std::vector<Interval> points;
     for (double r : roots) {
-      if (domain.Contains(r)) points.push_back(Interval::Point(r));
+      if (domain.Contains(r)) cells.push_back(Interval::Point(r));
     }
-    return IntervalSet::FromIntervals(std::move(points));
-  }
-  if (op == CmpOp::kNe) {
-    IntervalSet eq = SolveComparison(p, CmpOp::kEq, domain, method);
-    return eq.Complement(domain);
+    out->Assign(&cells);
+    return;
   }
 
   // Inequalities: sign-test the open cells between consecutive roots.
   const bool want_negative = (op == CmpOp::kLt || op == CmpOp::kLe);
   const bool include_boundary = CmpOpIncludesEquality(op);
-  std::vector<double> cuts;
+  std::vector<double>& cuts = scratch->cuts;
+  cuts.clear();
   cuts.push_back(domain.lo);
   for (double r : roots) {
     if (r > domain.lo && r < domain.hi) cuts.push_back(r);
   }
   cuts.push_back(domain.hi);
 
-  std::vector<Interval> cells;
   for (size_t i = 0; i + 1 < cuts.size(); ++i) {
     const double a = cuts[i];
     const double b = cuts[i + 1];
@@ -499,7 +556,7 @@ IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
       if (domain.Contains(r)) cells.push_back(Interval::Point(r));
     }
   }
-  return IntervalSet::FromIntervals(std::move(cells));
+  out->Assign(&cells);
 }
 
 }  // namespace pulse

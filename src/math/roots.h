@@ -38,12 +38,45 @@ enum class RootMethod { kAuto, kClosedForm, kNewtonPolish, kBrent,
 /// Absolute tolerance used to deduplicate and converge roots.
 inline constexpr double kRootTolerance = 1e-10;
 
+/// Caller-provided scratch for the root-finding / comparison-solving hot
+/// path. All temporary buffers (Sturm chain, root lists, sign-test cells)
+/// live here so repeated solves reuse warm storage instead of allocating
+/// (docs/PERFORMANCE.md). A scratch is single-threaded state: parallel
+/// solvers keep one per worker (thread_local in SolveSystems).
+struct RootScratch {
+  // Reused Sturm chain; entries beyond the current chain keep their
+  // coefficient buffers warm.
+  std::vector<Polynomial> sturm;
+  // Root accumulator for FindRealRootsInto.
+  std::vector<double> roots;
+  // Sign-test cut points (domain endpoints + interior roots).
+  std::vector<double> cuts;
+  // Candidate solution intervals before normalization.
+  std::vector<Interval> cells;
+  // Temporary buffer for IntervalSet::IntersectWith at solver call sites.
+  std::vector<Interval> interval_scratch;
+  // Scratch set for complement-based paths (kNe).
+  IntervalSet set_scratch;
+  // Polynomial temporaries for square-free reduction and division.
+  Polynomial square_free;
+  Polynomial derivative;
+  Polynomial quot;
+  Polynomial rem;
+};
+
 /// All real roots of p in the closed interval [lo, hi], ascending and
 /// deduplicated to kRootTolerance. Multiple roots are reported once
 /// (the polynomial is made square-free before isolation). The zero
 /// polynomial yields no roots (callers handle the everywhere-zero case).
 std::vector<double> FindRealRoots(const Polynomial& p, double lo, double hi,
                                   RootMethod method = RootMethod::kAuto);
+
+/// Scratch form of FindRealRoots: leaves the roots in scratch->roots
+/// (cleared first). Degree <= 3 dispatches to closed forms before any
+/// Sturm machinery is touched; no allocation happens once the scratch is
+/// warm and the polynomial fits the inline buffer.
+void FindRealRootsInto(const Polynomial& p, double lo, double hi,
+                       RootMethod method, RootScratch* scratch);
 
 /// Brent's method (Brent 1973, the paper's cited solver) on a bracketing
 /// interval: requires sign(f(a)) != sign(f(b)). Combines bisection, secant
@@ -68,6 +101,10 @@ Polynomial PolynomialGcd(const Polynomial& a, const Polynomial& b);
 /// Sturm sequence of p: p0 = p, p1 = p', p_{k+1} = -rem(p_{k-1}, p_k).
 std::vector<Polynomial> SturmSequence(const Polynomial& p);
 
+/// Scratch form: builds the chain into scratch->sturm, reusing the
+/// vector and each entry's coefficient storage across calls.
+void SturmSequenceInto(const Polynomial& p, RootScratch* scratch);
+
 /// Number of distinct real roots of (square-free) p in (a, b], via Sturm
 /// sign-change counting.
 int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
@@ -81,6 +118,12 @@ int CountRootsInInterval(const std::vector<Polynomial>& sturm, double a,
 IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
                             const Interval& domain,
                             RootMethod method = RootMethod::kAuto);
+
+/// Scratch form of SolveComparison: writes the solution into *out,
+/// reusing both the scratch buffers and out's interval storage.
+void SolveComparisonInto(const Polynomial& p, CmpOp op,
+                         const Interval& domain, RootMethod method,
+                         RootScratch* scratch, IntervalSet* out);
 
 }  // namespace pulse
 

@@ -1,6 +1,9 @@
 #include "math/polynomial.h"
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -159,6 +162,149 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 1),
                       std::make_pair(2, 1), std::make_pair(3, 2),
                       std::make_pair(4, 4), std::make_pair(5, 3)));
+
+// --- Small-buffer optimization ---------------------------------------
+
+std::vector<double> Ramp(size_t n) {
+  std::vector<double> c(n);
+  for (size_t i = 0; i < n; ++i) c[i] = static_cast<double>(i + 1);
+  return c;
+}
+
+TEST(PolynomialSbo, InlineUpToDegreeSeven) {
+  for (size_t n = 0; n <= Polynomial::kInlineCoefficients; ++n) {
+    Polynomial p{Ramp(n)};
+    EXPECT_TRUE(p.is_inline()) << "n=" << n;
+  }
+}
+
+TEST(PolynomialSbo, SpillsToHeapAtDegreeEight) {
+  const uint64_t before = Polynomial::heap_allocations();
+  Polynomial p{Ramp(Polynomial::kInlineCoefficients + 1)};  // degree 8
+  EXPECT_FALSE(p.is_inline());
+  EXPECT_EQ(p.degree(), Polynomial::kInlineCoefficients);
+  EXPECT_GT(Polynomial::heap_allocations(), before);
+  for (size_t i = 0; i <= Polynomial::kInlineCoefficients; ++i) {
+    EXPECT_DOUBLE_EQ(p.coeff(i), static_cast<double>(i + 1));
+  }
+}
+
+TEST(PolynomialSbo, InlineConstructionDoesNotCountHeapAllocations) {
+  const uint64_t before = Polynomial::heap_allocations();
+  Polynomial p({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});  // degree 7
+  Polynomial q = p;
+  Polynomial r = std::move(q);
+  r.AddInPlace(p);
+  r.SubInPlace(p);
+  r.ScaleInPlace(2.0);
+  EXPECT_EQ(Polynomial::heap_allocations(), before);
+}
+
+TEST(PolynomialSbo, TrimAcrossSpillBoundary) {
+  // Degree 9 buffer whose high coefficients are zero: after trimming the
+  // value is degree 2 and must compare equal to an inline-built twin.
+  std::vector<double> c(10, 0.0);
+  c[0] = 1.0;
+  c[1] = -2.0;
+  c[2] = 3.0;
+  Polynomial p{std::move(c)};
+  EXPECT_EQ(p.degree(), 2u);
+  EXPECT_EQ(p, Polynomial({1.0, -2.0, 3.0}));
+}
+
+TEST(PolynomialSbo, CopyOfHeapPolynomialIsIndependent) {
+  Polynomial p{Ramp(12)};
+  Polynomial q = p;
+  EXPECT_EQ(p, q);
+  q.ScaleInPlace(2.0);
+  EXPECT_DOUBLE_EQ(p.coeff(11), 12.0);
+  EXPECT_DOUBLE_EQ(q.coeff(11), 24.0);
+}
+
+TEST(PolynomialSbo, MoveFromHeapStealsBuffer) {
+  Polynomial p{Ramp(12)};
+  const uint64_t before = Polynomial::heap_allocations();
+  Polynomial q = std::move(p);
+  EXPECT_FALSE(q.is_inline());
+  EXPECT_EQ(q.degree(), 11u);
+  // Stealing the heap buffer must not allocate again.
+  EXPECT_EQ(Polynomial::heap_allocations(), before);
+}
+
+TEST(PolynomialSbo, MoveFromInlineCopiesAndStaysValid) {
+  Polynomial p({1.0, 2.0, 3.0});
+  Polynomial q = std::move(p);
+  EXPECT_TRUE(q.is_inline());
+  EXPECT_EQ(q, Polynomial({1.0, 2.0, 3.0}));
+}
+
+TEST(PolynomialSbo, AssignReusesStorageAcrossSizes) {
+  Polynomial p{Ramp(12)};  // heap
+  const double small[] = {5.0, 6.0};
+  p.Assign(small, 2);
+  EXPECT_EQ(p, Polynomial({5.0, 6.0}));
+  std::vector<double> big = Ramp(10);
+  p.Assign(big.data(), big.size());
+  EXPECT_EQ(p.degree(), 9u);
+  EXPECT_DOUBLE_EQ(p.coeff(9), 10.0);
+}
+
+TEST(PolynomialSbo, ResizeZeroFillsNewSlotsOnly) {
+  Polynomial p({1.0, 2.0});
+  p.Resize(5);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_DOUBLE_EQ(p[4], 0.0);
+  p[4] = 3.0;
+  p.TrimInPlace();
+  EXPECT_EQ(p.degree(), 4u);
+  // Shrinking keeps the low coefficients.
+  p.Resize(2);
+  p.TrimInPlace();
+  EXPECT_EQ(p, Polynomial({1.0, 2.0}));
+}
+
+TEST(PolynomialSbo, InPlaceOpsMatchOperatorForms) {
+  Polynomial a({1.0, 2.0, 3.0});
+  Polynomial b({-4.0, 5.0});
+  Polynomial sum = a + b;
+  Polynomial diff = a - b;
+  Polynomial x = a;
+  x.AddInPlace(b);
+  EXPECT_EQ(x, sum);
+  x = a;
+  x.SubInPlace(b);
+  EXPECT_EQ(x, diff);
+  Polynomial out;
+  Polynomial::Sub(a, b, &out);
+  EXPECT_EQ(out, diff);
+  // Aliased Sub: out == a.
+  out = a;
+  Polynomial::Sub(out, b, &out);
+  EXPECT_EQ(out, diff);
+  Polynomial prod;
+  Polynomial::Mul(a, b, &prod);
+  EXPECT_EQ(prod, a * b);
+}
+
+TEST(PolynomialSbo, SubCancellationTrims) {
+  Polynomial a({1.0, 2.0, 3.0});
+  Polynomial b({0.0, 2.0, 3.0});
+  Polynomial out;
+  Polynomial::Sub(a, b, &out);
+  EXPECT_EQ(out.degree(), 0u);
+  EXPECT_EQ(out, Polynomial::Constant(1.0));
+  a.SubInPlace(a);
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(PolynomialSbo, DerivativeIntoReusesStorage) {
+  Polynomial p({1.0, 2.0, 3.0, 4.0});
+  Polynomial out{Ramp(12)};  // out arrives with unrelated heap state
+  p.DerivativeInto(&out);
+  EXPECT_EQ(out, p.Derivative());
+}
 
 }  // namespace
 }  // namespace pulse

@@ -282,5 +282,77 @@ INSTANTIATE_TEST_SUITE_P(AllOps, SolveComparisonSweep,
                                            CmpOp::kEq, CmpOp::kNe,
                                            CmpOp::kGe, CmpOp::kGt));
 
+// --- Scratch reuse ----------------------------------------------------
+
+TEST(RootScratch, ReuseAcrossDifferingDegrees) {
+  // One scratch, a mixed-degree solve sequence: high-degree Sturm solves
+  // leave long chains and wide buffers behind; subsequent low-degree
+  // (closed-form) and mid-degree solves must not be confused by the
+  // leftover state. Every scratch result must match the allocating API.
+  RootScratch scratch;
+  const std::vector<Polynomial> sequence = {
+      FromRoots({-3.0, -1.0, 0.5, 2.0, 4.0}),  // degree 5: Sturm path
+      FromRoots({1.0, 2.0}),                   // degree 2: closed form
+      FromRoots({-4.0, -2.0, 0.0, 1.0, 2.5, 3.0, 4.5}),  // degree 7
+      Polynomial({-1.0, 1.0}),                 // degree 1
+      FromRoots({0.0, 0.0, 1.0}),              // repeated root
+      FromRoots({-3.0, -1.0, 0.5, 2.0, 4.0}),  // degree 5 again
+  };
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    const Polynomial& p = sequence[i];
+    const std::vector<double> expected =
+        FindRealRoots(p, -5.0, 5.0, RootMethod::kAuto);
+    FindRealRootsInto(p, -5.0, 5.0, RootMethod::kAuto, &scratch);
+    ASSERT_EQ(scratch.roots.size(), expected.size()) << "solve " << i;
+    for (size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_NEAR(scratch.roots[r], expected[r], 1e-8)
+          << "solve " << i << " root " << r;
+    }
+  }
+}
+
+TEST(RootScratch, SturmChainShrinksCleanly) {
+  // A long chain followed by a short one: the reused vector must report
+  // the short chain's length, not the warm capacity.
+  RootScratch scratch;
+  const Polynomial deep = FromRoots({-2.0, -1.0, 0.0, 1.0, 2.0, 3.0});
+  SturmSequenceInto(deep, &scratch);
+  const size_t deep_len = scratch.sturm.size();
+  EXPECT_EQ(deep_len, SturmSequence(deep).size());
+
+  const Polynomial shallow = FromRoots({1.0, 4.0});
+  SturmSequenceInto(shallow, &scratch);
+  EXPECT_LT(scratch.sturm.size(), deep_len);
+  const std::vector<Polynomial> expected = SturmSequence(shallow);
+  ASSERT_EQ(scratch.sturm.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(scratch.sturm[i].AlmostEquals(expected[i], 1e-9))
+        << "chain entry " << i;
+  }
+}
+
+TEST(RootScratch, SolveComparisonIntoMatchesAllocatingForm) {
+  RootScratch scratch;
+  IntervalSet out;
+  const Interval domain{-5.0, 5.0};
+  const std::vector<Polynomial> polys = {
+      FromRoots({-1.0, 1.0, 3.0}),
+      FromRoots({0.5, 2.0}),
+      Polynomial({2.0}),   // constant, no roots
+      Polynomial(),        // zero polynomial
+      FromRoots({-4.0, -3.0, -2.0, 2.0, 3.5}),
+  };
+  for (const Polynomial& p : polys) {
+    for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq, CmpOp::kNe,
+                     CmpOp::kGe, CmpOp::kGt}) {
+      const IntervalSet expected =
+          SolveComparison(p, op, domain, RootMethod::kAuto);
+      SolveComparisonInto(p, op, domain, RootMethod::kAuto, &scratch, &out);
+      EXPECT_EQ(out, expected)
+          << p.ToString() << " " << CmpOpToString(op);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pulse

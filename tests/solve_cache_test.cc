@@ -1,0 +1,305 @@
+// SolveCache unit behavior plus the acceptance property of ISSUE 2: a
+// cache-equipped run produces output identical to an uncached run — on
+// 100 random equation systems, through SolveSystems with a thread pool,
+// and end-to-end on the Fig. 7 proximity-join workload.
+#include "core/solve_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/equation_system.h"
+#include "core/predicate.h"
+#include "core/runtime.h"
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "math/roots.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+constexpr Interval kDomain{0.0, 10.0};
+
+TEST(SolveCacheTest, MissThenHitReturnsIdenticalSolution) {
+  SolveCache cache;
+  const Polynomial p({-4.0, 0.0, 1.0});  // roots at +-2
+  IntervalSet out;
+  EXPECT_FALSE(
+      cache.Lookup(p, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const IntervalSet solution =
+      SolveComparison(p, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(p, CmpOp::kLt, kDomain, RootMethod::kAuto, solution);
+  EXPECT_TRUE(
+      cache.Lookup(p, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+  EXPECT_EQ(out, solution);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCacheTest, KeyDiscriminatesOpDomainAndMethod) {
+  SolveCache cache;
+  const Polynomial p({-1.0, 1.0});
+  const IntervalSet solution =
+      SolveComparison(p, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(p, CmpOp::kLt, kDomain, RootMethod::kAuto, solution);
+
+  IntervalSet out;
+  EXPECT_FALSE(
+      cache.Lookup(p, CmpOp::kLe, kDomain, RootMethod::kAuto, &out));
+  EXPECT_FALSE(cache.Lookup(p, CmpOp::kLt, Interval{0.0, 9.0},
+                            RootMethod::kAuto, &out));
+  EXPECT_FALSE(
+      cache.Lookup(p, CmpOp::kLt, kDomain, RootMethod::kBisection, &out));
+  const Polynomial q({-1.0, 1.0000001});
+  EXPECT_FALSE(
+      cache.Lookup(q, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+  EXPECT_TRUE(
+      cache.Lookup(p, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+}
+
+TEST(SolveCacheTest, HighDegreeRowsAreNotCached) {
+  SolveCache cache;
+  std::vector<double> coeffs(Polynomial::kInlineCoefficients + 1, 0.0);
+  coeffs.back() = 1.0;
+  coeffs.front() = -1.0;
+  const Polynomial p{std::move(coeffs)};  // degree 8: spills inline buffer
+  const IntervalSet solution =
+      SolveComparison(p, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(p, CmpOp::kLt, kDomain, RootMethod::kAuto, solution);
+  EXPECT_EQ(cache.size(), 0u);
+  IntervalSet out;
+  EXPECT_FALSE(
+      cache.Lookup(p, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+  // Uncacheable rows do not distort the hit/miss accounting.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SolveCacheTest, GenerationSweepBoundsSizeAndKeepsRecentEntries) {
+  SolveCacheOptions options;
+  options.capacity = 64;
+  options.shards = 1;
+  SolveCache cache(options);
+  const IntervalSet solution(kDomain);
+  for (int i = 0; i < 1000; ++i) {
+    const Polynomial p({static_cast<double>(i), 1.0});
+    cache.Insert(p, CmpOp::kLt, kDomain, RootMethod::kAuto, solution);
+  }
+  // current + previous generations: never more than 2x the budget.
+  EXPECT_LE(cache.size(), 2u * options.capacity);
+  // The newest entry survives the sweeps.
+  IntervalSet out;
+  EXPECT_TRUE(cache.Lookup(Polynomial({999.0, 1.0}), CmpOp::kLt, kDomain,
+                           RootMethod::kAuto, &out));
+}
+
+TEST(SolveCacheTest, QuantizedKeysMergeNearbyCoefficients) {
+  SolveCacheOptions options;
+  options.quantum = 1e-6;
+  SolveCache cache(options);
+  const Polynomial p({-1.0, 1.0});
+  const IntervalSet solution =
+      SolveComparison(p, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(p, CmpOp::kLt, kDomain, RootMethod::kAuto, solution);
+  // A coefficient perturbation below quantum/2 lands on the same key.
+  const Polynomial near({-1.0 + 1e-8, 1.0});
+  IntervalSet out;
+  EXPECT_TRUE(
+      cache.Lookup(near, CmpOp::kLt, kDomain, RootMethod::kAuto, &out));
+  EXPECT_EQ(out, solution);
+}
+
+// --- Determinism: cache-on == cache-off -------------------------------
+
+Polynomial RandomPolynomial(Rng* rng, size_t degree) {
+  std::vector<double> coeffs(degree + 1);
+  for (double& c : coeffs) c = rng->Uniform(-5.0, 5.0);
+  return Polynomial(std::move(coeffs));
+}
+
+std::vector<EquationSystemTask> RandomSystems(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EquationSystemTask> tasks;
+  tasks.reserve(100);
+  constexpr CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq,
+                            CmpOp::kNe, CmpOp::kGe, CmpOp::kGt};
+  for (int k = 0; k < 100; ++k) {
+    EquationSystem system;
+    const int rows = static_cast<int>(rng.UniformInt(1, 3));
+    for (int r = 0; r < rows; ++r) {
+      const size_t degree = static_cast<size_t>(rng.UniformInt(1, 4));
+      const CmpOp op = kOps[rng.UniformInt(0, 5)];
+      system.AddRow(DifferenceEquation{RandomPolynomial(&rng, degree), op});
+    }
+    const double lo = rng.Uniform(0.0, 5.0);
+    tasks.push_back(EquationSystemTask{
+        std::move(system),
+        Interval::ClosedOpen(lo, lo + rng.Uniform(0.5, 10.0))});
+  }
+  return tasks;
+}
+
+TEST(SolveCacheDeterminismTest, MatchesUncachedOn100RandomSystems) {
+  // Duplicate the task list so the cached run actually hits: the second
+  // half re-solves the first half's systems from the cache.
+  std::vector<EquationSystemTask> tasks = RandomSystems(20260807);
+  const size_t unique = tasks.size();
+  for (size_t i = 0; i < unique; ++i) {
+    EquationSystemTask copy;
+    copy.system = tasks[i].system;
+    copy.domain = tasks[i].domain;
+    tasks.push_back(std::move(copy));
+  }
+
+  Result<std::vector<IntervalSet>> uncached =
+      SolveSystems(tasks, RootMethod::kAuto, nullptr, nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+
+  SolveCache cache;
+  Result<std::vector<IntervalSet>> cached =
+      SolveSystems(tasks, RootMethod::kAuto, nullptr, &cache);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+
+  ASSERT_EQ(uncached->size(), cached->size());
+  for (size_t i = 0; i < uncached->size(); ++i) {
+    EXPECT_EQ((*uncached)[i], (*cached)[i])
+        << "task " << i << ": uncached=" << (*uncached)[i].ToString()
+        << " cached=" << (*cached)[i].ToString();
+  }
+  EXPECT_GT(cache.hits(), 0u) << "duplicated tasks produced no hits";
+}
+
+TEST(SolveCacheDeterminismTest, MatchesUncachedUnderThreadPool) {
+  const std::vector<EquationSystemTask> tasks = RandomSystems(4242);
+  Result<std::vector<IntervalSet>> uncached =
+      SolveSystems(tasks, RootMethod::kAuto, nullptr, nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+
+  SolveCache cache;
+  ThreadPool pool(4);
+  Result<std::vector<IntervalSet>> cached =
+      SolveSystems(tasks, RootMethod::kAuto, &pool, &cache);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+
+  ASSERT_EQ(uncached->size(), cached->size());
+  for (size_t i = 0; i < uncached->size(); ++i) {
+    EXPECT_EQ((*uncached)[i], (*cached)[i]) << "task " << i;
+  }
+}
+
+// End-to-end on the Fig. 7 workload: a cache-enabled HistoricalRuntime
+// must emit segment-for-segment identical output to a cache-disabled one.
+QuerySpec Fig7Spec() {
+  QuerySpec spec;
+  (void)spec.AddStream(
+      MovingObjectGenerator::MakeStreamSpec("objects", 10.0));
+  JoinSpec join;
+  join.predicate = Predicate::Comparison(ComparisonTerm::Distance2(
+      AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+      AttrRef::Right("y"), CmpOp::kLt, 100.0));
+  join.window_seconds = 2.0;
+  join.require_distinct_keys = true;
+  spec.AddJoin("join", QuerySpec::Input::Stream("objects"),
+               QuerySpec::Input::Stream("objects"), join);
+  return spec;
+}
+
+TEST(SolveCacheDeterminismTest, Fig7JoinOutputIdenticalCacheOnAndOff) {
+  MovingObjectOptions gen;
+  gen.num_objects = 8;
+  gen.tuple_rate = 200.0;
+  gen.tuples_per_segment = 20;
+  gen.area = 1000.0;
+  gen.noise = 0.0;
+  const std::vector<Tuple> trace = MovingObjectGenerator(gen).Generate(4000);
+
+  auto run = [&](bool with_cache) {
+    HistoricalRuntime::Options opts;
+    opts.segmentation.degree = 1;
+    opts.segmentation.max_error = 0.5;
+    opts.segmentation.max_points_per_segment = 20;
+    opts.collect_outputs = true;
+    if (!with_cache) opts.solve_cache.reset();
+    Result<HistoricalRuntime> rt = HistoricalRuntime::Make(Fig7Spec(), opts);
+    EXPECT_TRUE(rt.ok()) << rt.status();
+    for (const Tuple& t : trace) {
+      EXPECT_TRUE(rt->ProcessTuple("objects", t).ok());
+    }
+    EXPECT_TRUE(rt->Finish().ok());
+    return std::make_pair(rt->TakeOutputSegments(), rt->stats());
+  };
+
+  const auto [cached_out, cached_stats] = run(true);
+  const auto [uncached_out, uncached_stats] = run(false);
+
+  ASSERT_GT(uncached_out.size(), 0u) << "workload produced no joins";
+  ASSERT_EQ(cached_out.size(), uncached_out.size());
+  for (size_t i = 0; i < cached_out.size(); ++i) {
+    const Segment& a = cached_out[i];
+    const Segment& b = uncached_out[i];
+    EXPECT_EQ(a.key, b.key) << "segment " << i;
+    EXPECT_EQ(a.range, b.range) << "segment " << i;
+    EXPECT_EQ(a.attributes, b.attributes) << "segment " << i;
+    EXPECT_EQ(a.unmodeled, b.unmodeled) << "segment " << i;
+  }
+  // The disabled runtime reports no cache traffic; the enabled one
+  // counted every row solve as a hit or a miss.
+  EXPECT_EQ(uncached_stats.solve_cache_hits, 0u);
+  EXPECT_EQ(uncached_stats.solve_cache_misses, 0u);
+  EXPECT_GT(cached_stats.solve_cache_hits + cached_stats.solve_cache_misses,
+            0u);
+}
+
+TEST(SolveCacheDeterminismTest, SegmentReplayHitsTheCache) {
+  // Pushing one fitted segment list twice re-solves identical difference
+  // polynomials: pass 2 should be answered from the cache.
+  MovingObjectOptions gen;
+  gen.num_objects = 8;
+  gen.tuple_rate = 200.0;
+  gen.tuples_per_segment = 20;
+  gen.area = 1000.0;
+  gen.noise = 0.0;
+  const std::vector<Tuple> trace = MovingObjectGenerator(gen).Generate(2000);
+
+  HistoricalRuntime::Options opts;
+  opts.segmentation.degree = 1;
+  opts.segmentation.max_error = 0.5;
+  opts.segmentation.max_points_per_segment = 20;
+  opts.collect_outputs = false;
+  StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 10.0);
+  MultiAttributeSegmenter modeler(stream, opts.segmentation);
+  std::vector<Segment> segments;
+  for (const Tuple& t : trace) {
+    Result<std::optional<Segment>> r = modeler.Add(t);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) segments.push_back(std::move(**r));
+  }
+  ASSERT_GT(segments.size(), 0u);
+
+  Result<HistoricalRuntime> rt = HistoricalRuntime::Make(Fig7Spec(), opts);
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  for (const Segment& s : segments) {
+    ASSERT_TRUE(rt->ProcessSegment("objects", s).ok());
+  }
+  const uint64_t pass1_hits = rt->stats().solve_cache_hits;
+  const uint64_t pass1_misses = rt->stats().solve_cache_misses;
+  for (const Segment& s : segments) {
+    ASSERT_TRUE(rt->ProcessSegment("objects", s).ok());
+  }
+  ASSERT_TRUE(rt->Finish().ok());
+  const uint64_t pass2_hits = rt->stats().solve_cache_hits - pass1_hits;
+  const uint64_t pass2_misses =
+      rt->stats().solve_cache_misses - pass1_misses;
+  ASSERT_GT(pass2_hits + pass2_misses, 0u);
+  // Pass 2's rows are exact repeats of pass 1's: expect a dominant hit
+  // rate (new cross-pass segment pairs contribute the few misses).
+  EXPECT_GT(pass2_hits, pass2_misses);
+}
+
+}  // namespace
+}  // namespace pulse
