@@ -1,0 +1,125 @@
+// Fuzz target: IntervalSet normalization and set algebra.
+//
+// Invariants exercised (violations abort):
+//  - After any Add sequence the representation is normalized: sorted,
+//    disjoint, no empty members.
+//  - Pointwise membership matches a boolean reference computed from the
+//    raw (pre-normalization) intervals, at endpoints and midpoints.
+//  - Union / Intersect / Complement / Difference agree pointwise with
+//    boolean algebra over the membership predicate.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "math/interval_set.h"
+
+#include "fuzz_util.h"
+
+namespace {
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_interval_set invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+pulse::Interval TakeInterval(pulse::fuzz::FuzzInput& in) {
+  double lo = in.TakeDouble(100.0);
+  double hi = in.TakeDouble(100.0);
+  if (in.TakeBelow(4) == 0) hi = lo;  // bias toward degenerate intervals
+  if (hi < lo) std::swap(lo, hi);
+  pulse::Interval iv;
+  iv.lo = lo;
+  iv.hi = hi;
+  iv.lo_open = in.TakeBelow(2) == 1;
+  iv.hi_open = in.TakeBelow(2) == 1;
+  return iv;
+}
+
+bool RawContains(const std::vector<pulse::Interval>& raw, double t) {
+  for (const pulse::Interval& iv : raw) {
+    if (iv.Contains(t)) return true;
+  }
+  return false;
+}
+
+void CheckNormalized(const pulse::IntervalSet& s) {
+  const auto& ivs = s.intervals();
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    Check(!ivs[i].IsEmpty(), "empty member after normalization");
+    if (i > 0) {
+      Check(ivs[i - 1].lo <= ivs[i].lo, "members out of order");
+      Check(!ivs[i - 1].Intersects(ivs[i]), "members overlap");
+    }
+  }
+}
+
+// Probe points: all endpoints, their neighborhoods, and pair midpoints.
+std::vector<double> ProbePoints(const std::vector<pulse::Interval>& raw) {
+  std::vector<double> pts;
+  for (const pulse::Interval& iv : raw) {
+    for (double t : {iv.lo, iv.hi}) {
+      pts.push_back(t);
+      pts.push_back(t - 1e-9);
+      pts.push_back(t + 1e-9);
+    }
+    if (iv.hi > iv.lo) pts.push_back(0.5 * (iv.lo + iv.hi));
+  }
+  return pts;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pulse::fuzz::FuzzInput in(data, size);
+
+  const size_t n_a = 1 + in.TakeBelow(8);
+  const size_t n_b = in.TakeBelow(8);
+  std::vector<pulse::Interval> raw_a, raw_b;
+  pulse::IntervalSet a, b;
+  for (size_t i = 0; i < n_a; ++i) {
+    raw_a.push_back(TakeInterval(in));
+    a.Add(raw_a.back());
+    CheckNormalized(a);
+  }
+  for (size_t i = 0; i < n_b; ++i) {
+    raw_b.push_back(TakeInterval(in));
+    b.Add(raw_b.back());
+  }
+  CheckNormalized(b);
+
+  const pulse::IntervalSet uni = a.Union(b);
+  const pulse::IntervalSet inter = a.Intersect(b);
+  const pulse::IntervalSet diff = a.Difference(b);
+  const pulse::Interval domain = pulse::Interval::Closed(-200.0, 200.0);
+  const pulse::IntervalSet comp = a.Complement(domain);
+  CheckNormalized(uni);
+  CheckNormalized(inter);
+  CheckNormalized(diff);
+  CheckNormalized(comp);
+
+  std::vector<double> pts = ProbePoints(raw_a);
+  const std::vector<double> pts_b = ProbePoints(raw_b);
+  pts.insert(pts.end(), pts_b.begin(), pts_b.end());
+  pts.push_back(0.0);
+
+  for (double t : pts) {
+    const bool in_a = RawContains(raw_a, t);
+    const bool in_b = RawContains(raw_b, t);
+    Check(a.Contains(t) == in_a, "membership != raw reference");
+    Check(b.Contains(t) == in_b, "membership != raw reference (b)");
+    Check(uni.Contains(t) == (in_a || in_b), "union algebra mismatch");
+    Check(inter.Contains(t) == (in_a && in_b),
+          "intersection algebra mismatch");
+    Check(diff.Contains(t) == (in_a && !in_b),
+          "difference algebra mismatch");
+    if (domain.Contains(t)) {
+      Check(comp.Contains(t) == !in_a, "complement algebra mismatch");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fuzz target: the StreamSQL parser plus both plan builders.
+//
+// Invariants exercised:
+//  - QueryParser::Parse never crashes, whatever the input text; it either
+//    returns a node id or a clean error Status.
+//  - A successful parse always yields a QuerySpec that both
+//    BuildDiscretePlan and BuildPulsePlan accept or reject cleanly (a
+//    parse that passes validation but produces an un-buildable spec is a
+//    parser bug).
+//  - ParsePredicate / ParseModel never crash on the same input.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/parser.h"
+#include "core/query.h"
+#include "core/transform.h"
+#include "engine/schema.h"
+
+#include "fuzz_util.h"
+
+namespace {
+
+pulse::QuerySpec MakeSpecWithStreams() {
+  pulse::QuerySpec spec;
+  auto schema = pulse::Schema::Make({{"id", pulse::ValueType::kInt64},
+                                     {"x", pulse::ValueType::kDouble},
+                                     {"y", pulse::ValueType::kDouble}});
+  for (const char* name : {"s", "t"}) {
+    pulse::StreamSpec stream;
+    stream.name = name;
+    stream.schema = schema;
+    stream.key_field = "id";
+    stream.models = {{"x", {"x"}}, {"y", {"y"}}};
+    stream.segment_horizon = 1.0;
+    // Declarations are static and well-formed; only the query text is
+    // attacker-controlled.
+    if (!spec.AddStream(std::move(stream)).ok()) std::abort();
+  }
+  return spec;
+}
+
+// Structure-aware mode: raw bytes almost never spell a keyword, so when
+// the first byte is 0xFF the rest of the input indexes a token dictionary
+// and the target parses the resulting token soup. This reaches the
+// statement grammar (joins, windows, GROUP BY) from random inputs too,
+// not just from corpus mutations.
+std::string TokenSoup(pulse::fuzz::FuzzInput& in) {
+  static const char* kTokens[] = {
+      "select", "from",   "where", "join",  "on",     "group", "by",
+      "having", "as",     "model", "and",   "or",     "not",   "avg",
+      "min",    "max",    "sum",   "count", "dist",   "size",  "advance",
+      "slide",  "*",      ",",     ".",     "(",      ")",     "[",
+      "]",      "<",      "<=",    "=",     "<>",     ">=",    ">",
+      "-",      "+",      "s",     "t",     "u",      "id",    "x",
+      "y",      "1",      "2.5",   "0.5",   "10",     "-3",    "1e9",
+  };
+  constexpr size_t kNumTokens = sizeof(kTokens) / sizeof(kTokens[0]);
+  std::string text;
+  while (in.remaining() > 0) {
+    text += kTokens[in.TakeByte() % kNumTokens];
+    text += ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pulse::fuzz::FuzzInput in(data, size);
+  std::string text;
+  if (size > 0 && data[0] == 0xFF) {
+    in.TakeByte();
+    text = TokenSoup(in);
+  } else {
+    text = in.TakeRemainingString();
+  }
+
+  pulse::QuerySpec spec = MakeSpecWithStreams();
+  pulse::Result<pulse::QuerySpec::NodeId> parsed =
+      pulse::QueryParser::Parse(&spec, text);
+  if (parsed.ok()) {
+    // Whatever parses must be buildable-or-cleanly-rejected by both
+    // realizations of the spec.
+    (void)pulse::BuildDiscretePlan(spec);
+    (void)pulse::BuildPulsePlan(spec);
+  }
+
+  (void)pulse::QueryParser::ParsePredicate(text, "s", "t");
+  (void)pulse::QueryParser::ParseModel(text, "s");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fuzz target: polynomial root finding and scalar comparison solving.
+//
+// Invariants exercised (violations abort):
+//  - FindRealRoots returns roots inside [lo, hi], sorted ascending.
+//  - SolveComparison returns a normalized IntervalSet whose intervals all
+//    lie inside the query domain.
+//  - Sign consistency: at the midpoint of every returned interval of
+//    measurable length, the polynomial satisfies the comparison up to a
+//    scale-aware tolerance (roots are found numerically, so exact sign at
+//    boundaries is not required — interiors must agree).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "math/roots.h"
+
+#include "fuzz_util.h"
+
+namespace {
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_roots invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  pulse::fuzz::FuzzInput in(data, size);
+
+  const size_t degree = in.TakeBelow(8);
+  std::vector<double> coeffs;
+  coeffs.reserve(degree + 1);
+  double coeff_scale = 0.0;
+  for (size_t i = 0; i <= degree; ++i) {
+    coeffs.push_back(in.TakeDouble(1e6));
+    coeff_scale = std::max(coeff_scale, std::fabs(coeffs.back()));
+  }
+  pulse::Polynomial p(std::move(coeffs));
+
+  double lo = in.TakeDouble(1e3);
+  double hi = in.TakeDouble(1e3);
+  if (hi < lo) std::swap(lo, hi);
+
+  const std::vector<double> roots = pulse::FindRealRoots(p, lo, hi);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Check(std::isfinite(roots[i]), "non-finite root");
+    Check(roots[i] >= lo - 1e-9 && roots[i] <= hi + 1e-9,
+          "root outside requested range");
+    if (i > 0) Check(roots[i - 1] <= roots[i], "roots not sorted");
+  }
+
+  static const pulse::CmpOp kOps[] = {pulse::CmpOp::kLt, pulse::CmpOp::kLe,
+                                      pulse::CmpOp::kEq, pulse::CmpOp::kNe,
+                                      pulse::CmpOp::kGe, pulse::CmpOp::kGt};
+  const pulse::CmpOp op = kOps[in.TakeBelow(6)];
+  const pulse::Interval domain = pulse::Interval::Closed(lo, hi);
+  const pulse::IntervalSet sol = pulse::SolveComparison(p, op, domain);
+
+  const auto& ivs = sol.intervals();
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    Check(!ivs[i].IsEmpty(), "normalized set holds an empty interval");
+    Check(ivs[i].lo >= lo - 1e-9 && ivs[i].hi <= hi + 1e-9,
+          "solution escapes the domain");
+    if (i > 0) Check(ivs[i - 1].hi <= ivs[i].lo + 1e-12,
+                     "solution intervals out of order");
+
+    if (ivs[i].Length() < 1e-6) continue;  // boundary-dominated: skip
+    const double mid = 0.5 * (ivs[i].lo + ivs[i].hi);
+    const double v = p.Evaluate(mid);
+    // Scale-aware slop: value magnitudes grow like coeff_scale * |t|^deg.
+    const double span = std::max(std::fabs(lo), std::fabs(hi));
+    const double tol =
+        1e-6 * std::max(1.0, coeff_scale * std::pow(std::max(1.0, span),
+                                                    static_cast<double>(
+                                                        p.degree())));
+    switch (op) {
+      case pulse::CmpOp::kLt:
+      case pulse::CmpOp::kLe:
+        Check(v <= tol, "midpoint violates < / <=");
+        break;
+      case pulse::CmpOp::kGt:
+      case pulse::CmpOp::kGe:
+        Check(v >= -tol, "midpoint violates > / >=");
+        break;
+      case pulse::CmpOp::kEq:
+        Check(std::fabs(v) <= tol, "midpoint violates ==");
+        break;
+      case pulse::CmpOp::kNe:
+        break;  // complement of isolated points: any value admissible
+    }
+  }
+  return 0;
+}

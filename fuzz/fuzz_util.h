@@ -1,0 +1,69 @@
+#ifndef PULSE_FUZZ_FUZZ_UTIL_H_
+#define PULSE_FUZZ_FUZZ_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pulse {
+namespace fuzz {
+
+/// Deterministic byte-stream reader for fuzz inputs. Reads past the end
+/// return zeros, so every input prefix decodes to a well-defined value
+/// sequence (libFuzzer mutates lengths freely).
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t TakeByte() {
+    if (pos_ >= size_) return 0;
+    return data_[pos_++];
+  }
+
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | TakeByte();
+    return v;
+  }
+
+  /// Uniform-ish integer in [0, n) driven by input bytes (n > 0).
+  uint32_t TakeBelow(uint32_t n) { return TakeU32() % n; }
+
+  /// A finite double in [-scale, scale]; raw IEEE bit patterns from the
+  /// input are sanitized (NaN/inf/huge collapse to a bounded value) so
+  /// invariant checks stay meaningful.
+  double TakeDouble(double scale) {
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits = (bits << 8) | TakeByte();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    if (!std::isfinite(v)) {
+      v = static_cast<double>(bits >> 40);  // fall back to integer bits
+    }
+    // Fold into [-scale, scale] without losing low-order entropy.
+    v = std::fmod(v, scale);
+    if (!std::isfinite(v)) v = 0.0;
+    return v;
+  }
+
+  /// The rest of the input as text (for grammar-shaped targets).
+  std::string TakeRemainingString() {
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  size_ - pos_);
+    pos_ = size_;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace pulse
+
+#endif  // PULSE_FUZZ_FUZZ_UTIL_H_

@@ -2,13 +2,14 @@
 # Tier-1 verification plus sanitizer passes and a solver-hot-path
 # performance gate.
 #
-#   scripts/check.sh               # build + ctest + TSan + ASan + bench gate
+#   scripts/check.sh               # build + ctest + TSan + ASan + fuzz + bench
 #   SKIP_TSAN=1 scripts/check.sh   # skip the ThreadSanitizer pass
 #   SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan pass
+#   SKIP_FUZZ=1 scripts/check.sh   # skip the fuzz-smoke stage
 #   SKIP_BENCH=1 scripts/check.sh  # skip the bench regression gate
 #
-# Run from anywhere; build trees land in <repo>/build, <repo>/build-tsan
-# and <repo>/build-asan.
+# Run from anywhere; build trees land in <repo>/build, <repo>/build-tsan,
+# <repo>/build-asan and <repo>/build-fuzz.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,15 +26,20 @@ else
   echo "== TSan: threaded tests (-DPULSE_TSAN=ON) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target thread_pool_test runtime_test solve_cache_test
+    --target thread_pool_test runtime_test solve_cache_test \
+             differential_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
+  # differential_test runs the metamorphic parallel variants
+  # (num_threads = 4) of every generated case under TSan.
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/thread_pool_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/runtime_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/solve_cache_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/differential_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -45,6 +51,36 @@ else
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=0 ${ASAN_OPTIONS:-}" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
     ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+fi
+
+if [[ "${SKIP_FUZZ:-0}" == "1" ]]; then
+  echo "== SKIP_FUZZ=1: skipping fuzz-smoke stage =="
+else
+  echo "== fuzz smoke: corpus replay + bounded random runs (-DPULSE_FUZZ=ON) =="
+  cmake -B "$repo/build-fuzz" -S "$repo" -DPULSE_FUZZ=ON -DPULSE_ASAN=ON
+  cmake --build "$repo/build-fuzz" -j "$jobs" \
+    --target fuzz_parser fuzz_roots fuzz_interval_set
+
+  have_libfuzzer="$(grep -c '^PULSE_HAVE_LIBFUZZER:INTERNAL=1' \
+    "$repo/build-fuzz/CMakeCache.txt" || true)"
+  for target in parser roots interval_set; do
+    bin="$repo/build-fuzz/fuzz/fuzz_$target"
+    corpus="$repo/tests/corpus/$target"
+    export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0 ${ASAN_OPTIONS:-}"
+    export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+    if [[ "$have_libfuzzer" == "1" ]]; then
+      # Real coverage-guided fuzzing, time-boxed per target. Crashers are
+      # written to the current directory; see docs/TESTING.md for triage.
+      "$bin" "$corpus" -max_total_time=30 -print_final_stats=1
+    else
+      # Replay driver (g++ toolchain, no libFuzzer runtime): every corpus
+      # file plus a seeded random smoke — same invariants, no coverage
+      # guidance. The iteration count approximates ~30s of fuzzing under
+      # ASan; override the seed to diversify successive CI runs.
+      "$bin" "$corpus"/*
+      "$bin" --rand 500000 "${FUZZ_SEED:-1}"
+    fi
+  done
 fi
 
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then

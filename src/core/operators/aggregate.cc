@@ -44,6 +44,11 @@ Status PulseMinMaxAggregate::Process(size_t port, const Segment& segment,
       state_.MergeEnvelope(Piece{segment.range, poly}, is_min_);
   for (const Interval& iv : changed.intervals()) {
     if (iv.IsPoint()) continue;  // tangency: no change of measure
+    if (options_.finalize) {
+      OverrideInsert(FinalPiece{Interval::ClosedOpen(iv.lo, iv.hi), poly,
+                                segment.key, segment});
+      continue;
+    }
     Segment result;
     result.id = NextSegmentId();
     result.key = 0;  // aggregate spans all input keys
@@ -55,7 +60,75 @@ Status PulseMinMaxAggregate::Process(size_t port, const Segment& segment,
     out->push_back(std::move(result));
     ++metrics_.segments_out;
   }
+  if (options_.finalize) {
+    // Inputs arrive ordered by range.lo, so every change going forward
+    // starts at or after this segment's lo: everything before it is
+    // settled and safe to release downstream.
+    EmitSettled(segment.range.lo, out);
+  }
   metrics_.state_size = state_.size();
+  return Status::OK();
+}
+
+void PulseMinMaxAggregate::OverrideInsert(FinalPiece piece) {
+  // Trim existing coverage overlapping the newcomer (the newcomer is the
+  // later word on those times), keeping any left/right remainders, then
+  // splice the newcomer in at its time-ordered position.
+  std::deque<FinalPiece> next;
+  bool inserted = false;
+  for (FinalPiece& p : pending_) {
+    if (p.range.hi <= piece.range.lo) {
+      next.push_back(std::move(p));
+      continue;
+    }
+    if (p.range.lo >= piece.range.hi) {
+      if (!inserted) {
+        next.push_back(piece);
+        inserted = true;
+      }
+      next.push_back(std::move(p));
+      continue;
+    }
+    if (p.range.lo < piece.range.lo) {
+      FinalPiece left = p;
+      left.range = Interval::ClosedOpen(p.range.lo, piece.range.lo);
+      if (!left.range.IsEmpty()) next.push_back(std::move(left));
+    }
+    if (!inserted) {
+      next.push_back(piece);
+      inserted = true;
+    }
+    if (p.range.hi > piece.range.hi) {
+      FinalPiece right = std::move(p);
+      right.range = Interval::ClosedOpen(piece.range.hi, right.range.hi);
+      if (!right.range.IsEmpty()) next.push_back(std::move(right));
+    }
+  }
+  if (!inserted) next.push_back(std::move(piece));
+  pending_ = std::move(next);
+}
+
+Segment PulseMinMaxAggregate::MakeOutput(const FinalPiece& piece) {
+  Segment result;
+  result.id = NextSegmentId();
+  result.key = 0;  // aggregate spans all input keys
+  result.range = piece.range;
+  result.set_attribute(options_.output_attribute, piece.poly);
+  result.unmodeled["arg_key"] = static_cast<double>(piece.arg_key);
+  lineage_.Record(result.id, piece.range, {LineageEntry{0, piece.cause}});
+  ++metrics_.segments_out;
+  return result;
+}
+
+void PulseMinMaxAggregate::EmitSettled(double watermark, SegmentBatch* out) {
+  while (!pending_.empty() && pending_.front().range.hi <= watermark) {
+    out->push_back(MakeOutput(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
+Status PulseMinMaxAggregate::Flush(SegmentBatch* out) {
+  EmitSettled(std::numeric_limits<double>::infinity(), out);
   return Status::OK();
 }
 

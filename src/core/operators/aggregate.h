@@ -25,6 +25,18 @@ struct PulseAggregateOptions {
   /// output rate").
   double slide_seconds = 1.0;
   RootMethod method = RootMethod::kAuto;
+  /// min/max only. By default the envelope aggregate emits every *changed*
+  /// range eagerly, which gives downstream consumers an override protocol:
+  /// a later segment replaces earlier coverage where their ranges overlap.
+  /// Operators that drop segments (filters, i.e. HAVING) cannot express
+  /// "this range was retracted", so stale passing slices of an overridden
+  /// envelope piece would leak through. With `finalize` set the aggregate
+  /// instead buffers changes and emits each envelope piece exactly once,
+  /// append-only in time order, as soon as it can no longer change — i.e.
+  /// once the input low-watermark (max range.lo seen; inputs must arrive
+  /// ordered by range.lo) has passed the piece. The tail is emitted on
+  /// Flush. Composed plans (BuildPulsePlan) always set this.
+  bool finalize = false;
 };
 
 /// Continuous-time min/max aggregate (paper Section III-B, Fig. 3 row
@@ -44,6 +56,8 @@ class PulseMinMaxAggregate : public PulseOperator {
   Status Process(size_t port, const Segment& segment,
                  SegmentBatch* out) override;
 
+  Status Flush(SegmentBatch* out) override;
+
   Result<std::vector<AllocatedBound>> InvertBound(
       const Segment& output, const std::string& attribute, double margin,
       const SplitHeuristic& split) const override;
@@ -55,11 +69,27 @@ class PulseMinMaxAggregate : public PulseOperator {
   const PiecewiseModel& state() const { return state_; }
 
  private:
+  /// One settled-envelope piece awaiting emission (finalize mode).
+  struct FinalPiece {
+    Interval range;
+    Polynomial poly;
+    Key arg_key = 0;
+    Segment cause;  // causing input, for lineage
+  };
+
+  // Overrides pending_ coverage on `range` with the new piece.
+  void OverrideInsert(FinalPiece piece);
+  // Emits (and drops) pending pieces wholly before `watermark`.
+  void EmitSettled(double watermark, SegmentBatch* out);
+  Segment MakeOutput(const FinalPiece& piece);
+
   PulseAggregateOptions options_;
   bool is_min_;
   PiecewiseModel state_;
   double latest_time_ = 0.0;
   double last_expire_ = 0.0;
+  /// finalize mode: settled-envelope track, time-ordered, non-overlapping.
+  std::deque<FinalPiece> pending_;
 };
 
 /// Continuous-time sum/avg aggregate via *window functions* (paper

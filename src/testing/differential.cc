@@ -1,0 +1,682 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/operators/join.h"
+#include "core/runtime.h"
+#include "core/transform.h"
+#include "engine/executor.h"
+#include "util/logging.h"
+
+namespace pulse {
+namespace testing {
+
+namespace {
+
+// Allowed slop when locating a time inside solver-produced coverage:
+// root refinement stops at kRootTolerance (1e-10), so any boundary of a
+// Pulse validity range is within that of the exact predicate root.
+constexpr double kTimeGuard = 1e-6;
+// Identifies "the same instant" across representations (grid timestamps
+// are re-derived by identical fp accumulation, so this only absorbs the
+// round trip through close-index arithmetic).
+constexpr double kGridEps = 1e-9;
+
+double Tol(double bound) { return 1e-6 * std::max(1.0, bound); }
+
+bool Near(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+bool CmpHolds(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+// The sample grid, re-derived with the exact fp accumulation ToTuples
+// uses so timestamps match bitwise.
+std::vector<double> SampleGrid(const StreamWorkload& ws, double dt) {
+  std::vector<double> grid;
+  for (double t = ws.t_begin; t < ws.t_end - 1e-12; t += dt) {
+    grid.push_back(t);
+  }
+  return grid;
+}
+
+// Per-key view of Pulse sink output: segments in arrival order (the
+// last segment covering an instant is the current model — update
+// semantics) plus their coverage union.
+struct PulseTrack {
+  std::vector<const Segment*> segments;
+  IntervalSet coverage;
+};
+
+std::map<Key, PulseTrack> IndexByKey(const std::vector<Segment>& segments) {
+  std::map<Key, PulseTrack> out;
+  for (const Segment& s : segments) {
+    if (s.range.IsEmpty()) continue;
+    PulseTrack& track = out[s.key];
+    track.segments.push_back(&s);
+    track.coverage.Add(s.range);
+  }
+  return out;
+}
+
+// Last-arriving segment covering t; with `slack` > 0, ranges are widened
+// by slack (hairline cracks between solver-produced ranges).
+const Segment* FindCovering(const PulseTrack& track, double t,
+                            double slack) {
+  for (auto it = track.segments.rbegin(); it != track.segments.rend();
+       ++it) {
+    if ((*it)->range.Contains(t)) return *it;
+  }
+  if (slack > 0.0) {
+    for (auto it = track.segments.rbegin(); it != track.segments.rend();
+         ++it) {
+      const Interval& r = (*it)->range;
+      if (!r.IsEmpty() && t >= r.lo - slack && t <= r.hi + slack) {
+        return *it;
+      }
+    }
+  }
+  return nullptr;
+}
+
+double DistanceToCoverage(const IntervalSet& coverage, double t) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Interval& iv : coverage.intervals()) {
+    if (iv.Contains(t)) return 0.0;
+    best = std::min(best, std::min(std::fabs(t - iv.lo),
+                                   std::fabs(t - iv.hi)));
+  }
+  return best;
+}
+
+// True when [t - guard, t + guard] lies inside the coverage (interior
+// instants, where both representations must agree unconditionally).
+bool StrictlyInside(const IntervalSet& coverage, double t, double guard) {
+  return coverage.Contains(t) && coverage.Contains(t - guard) &&
+         coverage.Contains(t + guard);
+}
+
+class Reporter {
+ public:
+  Reporter(DiffReport* report, size_t max) : report_(report), max_(max) {}
+
+  void Add(Divergence d) {
+    ++report_->divergence_count;
+    if (report_->divergences.size() < max_) {
+      report_->divergences.push_back(std::move(d));
+    }
+  }
+
+  bool full() const { return report_->divergence_count >= max_; }
+
+ private:
+  DiffReport* report_;
+  size_t max_;
+};
+
+// ---------------------------------------------------------------------
+// Runs
+
+struct DiscreteRun {
+  std::vector<Tuple> output;
+  std::shared_ptr<const Schema> schema;
+};
+
+Result<DiscreteRun> RunDiscrete(const GeneratedCase& kase) {
+  PULSE_ASSIGN_OR_RETURN(DiscretePlan dp, BuildDiscretePlan(kase.spec));
+  if (dp.sink_schemas.size() != 1) {
+    return Status::InvalidArgument(
+        "differential cases must have exactly one sink");
+  }
+  DiscreteRun run;
+  run.schema = dp.sink_schemas[0];
+  PULSE_ASSIGN_OR_RETURN(Executor exec, Executor::Make(std::move(dp.plan)));
+
+  // Merge the per-stream tuple sequences into one arrival order:
+  // timestamp-major, stream declaration order within a timestamp (stable
+  // sort keeps each stream's internal key order).
+  struct Item {
+    size_t stream;
+    Tuple tuple;
+  };
+  std::vector<Item> items;
+  for (size_t i = 0; i < kase.workloads.size(); ++i) {
+    for (Tuple& t : kase.workloads[i].ToTuples(kase.sample_dt)) {
+      items.push_back(Item{i, std::move(t)});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.tuple.timestamp < b.tuple.timestamp;
+                   });
+  for (const Item& item : items) {
+    PULSE_RETURN_IF_ERROR(
+        exec.PushTuple(kase.workloads[item.stream].name, item.tuple));
+  }
+  PULSE_RETURN_IF_ERROR(exec.Finish());
+  run.output = exec.TakeOutput();
+  return run;
+}
+
+// Segment arrival order shared by every metamorphic variant.
+struct SegmentFeed {
+  std::vector<std::pair<size_t, Segment>> items;  // (workload idx, segment)
+};
+
+SegmentFeed MakeSegmentFeed(const GeneratedCase& kase) {
+  SegmentFeed feed;
+  for (size_t i = 0; i < kase.workloads.size(); ++i) {
+    for (Segment& s : kase.workloads[i].ToSegments()) {
+      feed.items.push_back({i, std::move(s)});
+    }
+  }
+  std::stable_sort(feed.items.begin(), feed.items.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.range.lo < b.second.range.lo;
+                   });
+  return feed;
+}
+
+Result<std::vector<Segment>> RunPulse(const GeneratedCase& kase,
+                                      const SegmentFeed& feed,
+                                      size_t num_threads, bool cache) {
+  HistoricalRuntime::Options options;
+  options.collect_outputs = true;
+  options.parallel.num_threads = num_threads;
+  if (!cache) options.solve_cache = std::nullopt;
+  PULSE_ASSIGN_OR_RETURN(HistoricalRuntime rt,
+                         HistoricalRuntime::Make(kase.spec, options));
+  for (const auto& [stream_idx, segment] : feed.items) {
+    PULSE_RETURN_IF_ERROR(
+        rt.ProcessSegment(kase.workloads[stream_idx].name, segment));
+  }
+  PULSE_RETURN_IF_ERROR(rt.Finish());
+  return rt.TakeOutputSegments();
+}
+
+// ---------------------------------------------------------------------
+// Metamorphic comparison: byte-identical modulo segment ids (the global
+// id counter advances across runs).
+
+bool SameInterval(const Interval& a, const Interval& b) {
+  return a.lo == b.lo && a.hi == b.hi && a.lo_open == b.lo_open &&
+         a.hi_open == b.hi_open;
+}
+
+bool SamePolynomial(const Polynomial& a, const Polynomial& b) {
+  if (a.degree() != b.degree() || a.IsZero() != b.IsZero()) return false;
+  for (size_t i = 0; i <= a.degree(); ++i) {
+    if (a.coeff(i) != b.coeff(i)) return false;
+  }
+  return true;
+}
+
+std::string CompareVariant(const std::vector<Segment>& base,
+                           const std::vector<Segment>& other) {
+  if (base.size() != other.size()) {
+    return "segment count " + std::to_string(other.size()) + " vs " +
+           std::to_string(base.size());
+  }
+  for (size_t i = 0; i < base.size(); ++i) {
+    const Segment& a = base[i];
+    const Segment& b = other[i];
+    if (a.key != b.key) {
+      return "segment " + std::to_string(i) + ": key " +
+             std::to_string(b.key) + " vs " + std::to_string(a.key);
+    }
+    if (!SameInterval(a.range, b.range)) {
+      return "segment " + std::to_string(i) + ": range " +
+             b.range.ToString() + " vs " + a.range.ToString();
+    }
+    if (a.attributes.size() != b.attributes.size()) {
+      return "segment " + std::to_string(i) + ": attribute count differs";
+    }
+    for (const auto& [name, poly] : a.attributes) {
+      auto it = b.attributes.find(name);
+      if (it == b.attributes.end()) {
+        return "segment " + std::to_string(i) + ": attribute '" + name +
+               "' missing";
+      }
+      if (!SamePolynomial(poly, it->second)) {
+        return "segment " + std::to_string(i) + ": attribute '" + name +
+               "' polynomial differs";
+      }
+    }
+    if (a.unmodeled != b.unmodeled) {
+      return "segment " + std::to_string(i) + ": unmodeled differs";
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------
+// Pointwise matcher (filter / join / map sinks)
+
+Status MatchPointwise(const GeneratedCase& kase, const DiscreteRun& discrete,
+                      const std::vector<Segment>& pulse,
+                      Reporter* reporter) {
+  const std::map<Key, PulseTrack> by_key = IndexByKey(pulse);
+  PULSE_ASSIGN_OR_RETURN(size_t key_idx,
+                         discrete.schema->IndexOf(kase.sink.key_field));
+  double vb = 0.0;
+  for (const StreamWorkload& ws : kase.workloads) {
+    vb = std::max(vb, ws.value_bound);
+  }
+  // Derived attributes (diff, dist^2-free here) stay O(2 vb).
+  const double value_tol = Tol(2.0 * vb);
+
+  // Attribute name -> discrete field index, resolved once.
+  std::map<std::string, size_t> field_of;
+  for (size_t i = 0; i < discrete.schema->num_fields(); ++i) {
+    field_of[discrete.schema->field(i).name] = i;
+  }
+
+  // Direction A: every discrete sink tuple must lie in the Pulse
+  // coverage of its key, with matching attribute values.
+  const StreamWorkload& grid_ws = kase.workloads[0];
+  std::map<std::pair<Key, int64_t>, size_t> discrete_present;
+  for (const Tuple& tuple : discrete.output) {
+    if (reporter->full()) return Status::OK();
+    const Key key = tuple.at(key_idx).as_int64();
+    const int64_t j = static_cast<int64_t>(
+        std::llround((tuple.timestamp - grid_ws.t_begin) / kase.sample_dt));
+    ++discrete_present[{key, j}];
+
+    auto it = by_key.find(key);
+    const Segment* covering =
+        it == by_key.end()
+            ? nullptr
+            : FindCovering(it->second, tuple.timestamp, kTimeGuard);
+    if (covering == nullptr) {
+      reporter->Add(Divergence{
+          "pointwise.uncovered", tuple.timestamp, key, "", 0.0, 0.0,
+          "discrete sink tuple has no Pulse validity range (coverage "
+          "distance " +
+              std::to_string(it == by_key.end()
+                                 ? std::numeric_limits<double>::infinity()
+                                 : DistanceToCoverage(it->second.coverage,
+                                                      tuple.timestamp)) +
+              ")"});
+      continue;
+    }
+    for (const auto& [name, poly] : covering->attributes) {
+      auto fit = field_of.find(name);
+      if (fit == field_of.end()) continue;  // not observable discretely
+      const double expected = poly.Evaluate(tuple.timestamp);
+      const double actual = tuple.at(fit->second).as_double();
+      if (!Near(expected, actual, value_tol)) {
+        reporter->Add(Divergence{"pointwise.value", tuple.timestamp, key,
+                                 name, expected, actual,
+                                 "model value vs discrete tuple value"});
+      }
+    }
+  }
+  for (const auto& [loc, count] : discrete_present) {
+    if (count > 1) {
+      reporter->Add(Divergence{
+          "pointwise.duplicate",
+          grid_ws.t_begin + static_cast<double>(loc.second) * kase.sample_dt,
+          loc.first, "", 1.0, static_cast<double>(count),
+          "duplicate discrete sink tuples for one (key, instant)"});
+    }
+  }
+
+  // Direction B: every grid instant strictly inside a key's Pulse
+  // coverage must have produced a discrete sink tuple.
+  const std::vector<double> grid = SampleGrid(grid_ws, kase.sample_dt);
+  for (const auto& [key, track] : by_key) {
+    for (size_t j = 0; j < grid.size(); ++j) {
+      if (reporter->full()) return Status::OK();
+      if (!StrictlyInside(track.coverage, grid[j], kTimeGuard)) continue;
+      auto it = discrete_present.find({key, static_cast<int64_t>(j)});
+      if (it == discrete_present.end()) {
+        reporter->Add(Divergence{
+            "pointwise.missing", grid[j], key, "", 0.0, 0.0,
+            "instant inside Pulse validity has no discrete sink tuple"});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Aggregate-series matcher (windowed aggregate sinks, optional HAVING)
+
+Status MatchAggregate(const GeneratedCase& kase, const DiscreteRun& discrete,
+                      const std::vector<Segment>& pulse,
+                      Reporter* reporter) {
+  const SinkInfo& sink = kase.sink;
+  const StreamWorkload& ws = kase.workloads[0];
+  const std::string& attr = "x";
+  const double w = sink.window_seconds;
+  const double slide = sink.slide_seconds;
+  const bool is_minmax =
+      sink.fn == AggFn::kMin || sink.fn == AggFn::kMax;
+  const std::vector<double> grid = SampleGrid(ws, kase.sample_dt);
+  const double t_last = grid.back();
+  const std::map<Key, PulseTrack> by_key = IndexByKey(pulse);
+  const double vb = ws.value_bound;
+  // Continuous sum values scale with the window length.
+  const double scale = sink.fn == AggFn::kSum ? vb * w : vb;
+  const double value_tol = Tol(scale);
+  // HAVING comparability guard: each engine's filter input is checked
+  // against that engine's own oracle, so the guard only absorbs the
+  // oracle-vs-engine fp gap, not the discretization gap.
+  const double having_guard = Tol(scale);
+
+  PULSE_ASSIGN_OR_RETURN(size_t value_idx,
+                         discrete.schema->IndexOf(sink.value_attribute));
+  size_t group_idx = 0;
+  if (sink.per_key) {
+    PULSE_ASSIGN_OR_RETURN(group_idx, discrete.schema->IndexOf("group"));
+  }
+
+  std::vector<Key> groups;
+  if (sink.per_key) {
+    for (const KeyTrack& track : ws.tracks) groups.push_back(track.key);
+  } else {
+    groups.push_back(0);  // pseudo-group spanning all keys
+  }
+
+  // Index discrete output by (close index, group). Tuples past the last
+  // grid time are Flush()-emitted partial windows — explained, ignored.
+  std::map<std::pair<int64_t, Key>, double> discrete_at;
+  for (const Tuple& tuple : discrete.output) {
+    if (tuple.timestamp > t_last + kGridEps) continue;
+    const int64_t k =
+        static_cast<int64_t>(std::llround((tuple.timestamp - w) / slide));
+    if (k < 0 || !Near(tuple.timestamp, w + static_cast<double>(k) * slide,
+                       kGridEps)) {
+      reporter->Add(Divergence{"aggregate.close_time", tuple.timestamp, 0,
+                               sink.value_attribute, 0.0, 0.0,
+                               "discrete output at a non-close timestamp"});
+      continue;
+    }
+    const Key g =
+        sink.per_key ? tuple.at(group_idx).as_int64() : Key{0};
+    auto [it, inserted] =
+        discrete_at.insert({{k, g}, tuple.at(value_idx).as_double()});
+    if (!inserted) {
+      reporter->Add(Divergence{"aggregate.duplicate", tuple.timestamp, g,
+                               sink.value_attribute, 0.0, 0.0,
+                               "duplicate discrete close for one group"});
+    }
+  }
+
+  // Per close and group: the discrete grid oracle replays the windowed
+  // accumulator bit-exactly (same samples, same update order), so the
+  // discrete engine is held to exact agreement; the continuous oracle
+  // integrates the ground-truth polynomials for the Pulse side.
+  size_t matched_closes = 0;
+  for (int64_t k = 0;; ++k) {
+    const double close = w + static_cast<double>(k) * slide;
+    if (close > t_last + kGridEps) break;
+    for (const Key g : groups) {
+      if (reporter->full()) return Status::OK();
+      // Discrete oracle: replicate membership fp (c > t && c <= t + w)
+      // and the (time-major, key-minor) update order of the engine.
+      AggState state;
+      for (const double t : grid) {
+        if (!(close > t && close <= t + w)) continue;
+        for (const KeyTrack& track : ws.tracks) {
+          if (sink.per_key && track.key != g) continue;
+          const TrackPiece* piece = track.PieceAt(t);
+          if (piece == nullptr) continue;
+          state.Update(piece->attrs.at(attr).Evaluate(t));
+        }
+      }
+      auto it = discrete_at.find({k, g});
+      if (state.count == 0) {
+        if (it != discrete_at.end()) {
+          reporter->Add(Divergence{"aggregate.unexpected", close, g,
+                                   sink.value_attribute, 0.0, it->second,
+                                   "discrete close for an empty window"});
+        }
+        continue;
+      }
+      const double v_d = state.Finalize(sink.fn);
+      bool skip_presence = false;
+      bool expected_d = true;
+      if (sink.having) {
+        skip_presence =
+            Near(v_d, sink.having_threshold, 1e-9 * std::max(1.0, scale));
+        expected_d = CmpHolds(v_d, sink.having_op, sink.having_threshold);
+      }
+      if (!skip_presence) {
+        if (expected_d && it == discrete_at.end()) {
+          reporter->Add(Divergence{"aggregate.missing", close, g,
+                                   sink.value_attribute, v_d, 0.0,
+                                   "discrete close missing"});
+        } else if (!expected_d && it != discrete_at.end()) {
+          reporter->Add(Divergence{
+              "aggregate.having", close, g, sink.value_attribute, v_d,
+              it->second, "discrete close present despite HAVING"});
+        }
+      }
+      if (it != discrete_at.end() && expected_d &&
+          !Near(it->second, v_d, Tol(scale))) {
+        reporter->Add(Divergence{"aggregate.value", close, g,
+                                 sink.value_attribute, v_d, it->second,
+                                 "discrete aggregate vs grid oracle"});
+      }
+      ++matched_closes;
+
+      if (is_minmax) continue;  // Pulse min/max checked in instant space
+
+      // Pulse sum/avg: the window function at this close must equal the
+      // exact integral of the ground-truth model.
+      const Key track_key = sink.per_key ? g : ws.tracks[0].key;
+      const Key pulse_key = sink.per_key ? g : Key{0};
+      std::optional<double> integral =
+          ws.Integral(track_key, attr, close - w, close);
+      if (!integral.has_value()) continue;
+      double v_c = *integral;
+      if (sink.fn == AggFn::kAvg) v_c /= w;
+      bool expected_c = true;
+      bool skip_c = false;
+      if (sink.having) {
+        skip_c = Near(v_c, sink.having_threshold, having_guard);
+        expected_c = CmpHolds(v_c, sink.having_op, sink.having_threshold);
+      }
+      auto pit = by_key.find(pulse_key);
+      const Segment* covering =
+          pit == by_key.end()
+              ? nullptr
+              : FindCovering(pit->second, close, kGridEps);
+      if (skip_c) continue;
+      if (expected_c) {
+        if (covering == nullptr) {
+          reporter->Add(Divergence{"aggregate.pulse_missing", close, g,
+                                   sink.value_attribute, v_c, 0.0,
+                                   "close not covered by Pulse window "
+                                   "function output"});
+          continue;
+        }
+        const auto poly = covering->attribute(sink.value_attribute);
+        if (!poly.ok()) {
+          reporter->Add(Divergence{"aggregate.pulse_attr", close, g,
+                                   sink.value_attribute, v_c, 0.0,
+                                   poly.status().message()});
+          continue;
+        }
+        const double actual = poly->Evaluate(close);
+        if (!Near(actual, v_c, value_tol)) {
+          reporter->Add(Divergence{"aggregate.pulse_value", close, g,
+                                   sink.value_attribute, v_c, actual,
+                                   "window function vs exact integral"});
+        }
+      } else if (covering != nullptr &&
+                 covering->range.Contains(close)) {
+        reporter->Add(Divergence{"aggregate.pulse_having", close, g,
+                                 sink.value_attribute, v_c, 0.0,
+                                 "Pulse coverage despite HAVING"});
+      }
+    }
+  }
+  if (matched_closes == 0) {
+    reporter->Add(Divergence{"aggregate.no_closes", 0.0, 0, "", 0.0, 0.0,
+                             "no comparable window closes (workload too "
+                             "short for the window?)"});
+  }
+
+  // Pulse min/max: the envelope output is instantaneous (the continuous
+  // aggregate of paper Fig. 2) — validate the reconstructed envelope
+  // against the ground-truth extremum at every grid instant.
+  if (is_minmax) {
+    const bool is_min = sink.fn == AggFn::kMin;
+    for (const Key g : groups) {
+      const Key pulse_key = sink.per_key ? g : Key{0};
+      auto pit = by_key.find(pulse_key);
+      for (const double t : grid) {
+        if (reporter->full()) return Status::OK();
+        std::optional<double> env =
+            sink.per_key ? ws.Value(g, attr, t)
+                         : ws.Envelope(attr, t, is_min);
+        if (!env.has_value()) continue;
+        bool expected = true;
+        if (sink.having) {
+          if (Near(*env, sink.having_threshold, having_guard)) continue;
+          expected =
+              CmpHolds(*env, sink.having_op, sink.having_threshold);
+        }
+        const Segment* covering =
+            pit == by_key.end()
+                ? nullptr
+                : FindCovering(pit->second, t, kGridEps);
+        if (expected) {
+          if (covering == nullptr) {
+            reporter->Add(Divergence{"aggregate.envelope_missing", t, g,
+                                     sink.value_attribute, *env, 0.0,
+                                     "instant not covered by envelope "
+                                     "output"});
+            continue;
+          }
+          const auto poly = covering->attribute(sink.value_attribute);
+          if (!poly.ok()) {
+            reporter->Add(Divergence{"aggregate.envelope_attr", t, g,
+                                     sink.value_attribute, *env, 0.0,
+                                     poly.status().message()});
+            continue;
+          }
+          const double actual = poly->Evaluate(t);
+          if (!Near(actual, *env, value_tol)) {
+            reporter->Add(Divergence{"aggregate.envelope_value", t, g,
+                                     sink.value_attribute, *env, actual,
+                                     "envelope vs ground-truth extremum"});
+          }
+        } else if (covering != nullptr && covering->range.Contains(t)) {
+          reporter->Add(Divergence{"aggregate.envelope_having", t, g,
+                                   sink.value_attribute, *env, 0.0,
+                                   "envelope coverage despite HAVING"});
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Divergence::ToString() const {
+  std::ostringstream os;
+  os << check << " @t=" << time << " key=" << key;
+  if (!attribute.empty()) os << " attr=" << attribute;
+  os << " expected=" << expected << " actual=" << actual;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::string DiffReport::ToString() const {
+  std::ostringstream os;
+  os << "case " << description << ": " << divergence_count
+     << " divergence(s), " << discrete_output_tuples
+     << " discrete tuples, " << pulse_output_segments
+     << " pulse segments";
+  for (const Divergence& d : divergences) {
+    os << "\n  " << d.ToString();
+  }
+  if (divergence_count > divergences.size()) {
+    os << "\n  ... " << (divergence_count - divergences.size())
+       << " more suppressed";
+  }
+  if (divergence_count > 0) {
+    os << "\n  replay: RunDifferentialSeed(" << seed << ")";
+  }
+  return os.str();
+}
+
+Result<DiffReport> RunDifferential(const GeneratedCase& kase,
+                                   const DiffOptions& options) {
+  DiffReport report;
+  report.seed = kase.seed;
+  report.description = kase.description;
+  Reporter reporter(&report, options.max_divergences);
+
+  PULSE_ASSIGN_OR_RETURN(DiscreteRun discrete, RunDiscrete(kase));
+  report.discrete_output_tuples = discrete.output.size();
+
+  const SegmentFeed feed = MakeSegmentFeed(kase);
+  PULSE_ASSIGN_OR_RETURN(std::vector<Segment> base,
+                         RunPulse(kase, feed, 1, true));
+  report.pulse_output_segments = base.size();
+
+  // Metamorphic variants: solve cache off, parallel solver, both — each
+  // must reproduce the base run byte-identically (modulo segment ids).
+  const struct {
+    const char* name;
+    size_t threads;
+    bool cache;
+  } variants[] = {
+      {"cache_off", 1, false},
+      {"parallel", options.parallel_threads, true},
+      {"parallel_cache_off", options.parallel_threads, false},
+  };
+  for (const auto& v : variants) {
+    PULSE_ASSIGN_OR_RETURN(std::vector<Segment> got,
+                           RunPulse(kase, feed, v.threads, v.cache));
+    const std::string mismatch = CompareVariant(base, got);
+    if (!mismatch.empty()) {
+      reporter.Add(Divergence{std::string("metamorphic.") + v.name, 0.0, 0,
+                              "", 0.0, 0.0, mismatch});
+    }
+  }
+
+  if (kase.sink.kind == SinkInfo::Kind::kPointwise) {
+    PULSE_RETURN_IF_ERROR(
+        MatchPointwise(kase, discrete, base, &reporter));
+  } else {
+    PULSE_RETURN_IF_ERROR(
+        MatchAggregate(kase, discrete, base, &reporter));
+  }
+  return report;
+}
+
+Result<DiffReport> RunDifferentialSeed(uint64_t seed,
+                                       const PlanGenOptions& gen,
+                                       const DiffOptions& options) {
+  PULSE_ASSIGN_OR_RETURN(GeneratedCase kase, GenerateCase(seed, gen));
+  return RunDifferential(kase, options);
+}
+
+}  // namespace testing
+}  // namespace pulse

@@ -1,0 +1,72 @@
+#ifndef PULSE_TESTING_DIFFERENTIAL_H_
+#define PULSE_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "testing/plan_gen.h"
+#include "util/result.h"
+
+namespace pulse {
+namespace testing {
+
+/// One observed disagreement. The harness reports the first few in full
+/// (time, key, attribute, both values) so a failure is actionable without
+/// rerunning under a debugger.
+struct Divergence {
+  /// Which check fired, e.g. "pointwise.uncovered", "aggregate.value",
+  /// "metamorphic.threads4".
+  std::string check;
+  double time = 0.0;
+  Key key = 0;
+  std::string attribute;
+  double expected = 0.0;
+  double actual = 0.0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct DiffOptions {
+  /// Thread count of the parallel metamorphic variants (the N in the
+  /// threads-1-vs-N comparison).
+  size_t parallel_threads = 4;
+  /// Stop collecting divergences past this count (a broken operator
+  /// would otherwise report one per grid point).
+  size_t max_divergences = 8;
+};
+
+/// Result of one differential run. `ok()` means: the discrete engine and
+/// the Pulse runtime agreed everywhere the bound-aware matcher requires
+/// agreement, and all metamorphic Pulse variants (solve cache on/off,
+/// serial/parallel) produced byte-identical output.
+struct DiffReport {
+  uint64_t seed = 0;
+  std::string description;
+  std::vector<Divergence> divergences;
+  /// Total divergence count (reporting stops at max_divergences).
+  size_t divergence_count = 0;
+  size_t discrete_output_tuples = 0;
+  size_t pulse_output_segments = 0;
+
+  bool ok() const { return divergence_count == 0; }
+  /// Failure message including the replay seed.
+  std::string ToString() const;
+};
+
+/// Runs `kase` through the discrete executor (densely sampled tuples) and
+/// the Pulse runtime (exact model segments, four metamorphic variants),
+/// then matches outputs per kase.sink (see docs/TESTING.md for the oracle
+/// design and tolerance rationale).
+Result<DiffReport> RunDifferential(const GeneratedCase& kase,
+                                   const DiffOptions& options = {});
+
+/// Convenience wrapper: GenerateCase(seed) + RunDifferential.
+Result<DiffReport> RunDifferentialSeed(uint64_t seed,
+                                       const PlanGenOptions& gen = {},
+                                       const DiffOptions& options = {});
+
+}  // namespace testing
+}  // namespace pulse
+
+#endif  // PULSE_TESTING_DIFFERENTIAL_H_

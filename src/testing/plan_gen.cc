@@ -1,0 +1,331 @@
+#include "testing/plan_gen.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pulse {
+namespace testing {
+
+const char* PlanArchetypeToString(PlanArchetype a) {
+  switch (a) {
+    case PlanArchetype::kFilterChain:
+      return "filter_chain";
+    case PlanArchetype::kJoin:
+      return "join";
+    case PlanArchetype::kSelfJoin:
+      return "self_join";
+    case PlanArchetype::kAggregate:
+      return "aggregate";
+    case PlanArchetype::kGroupBy:
+      return "group_by";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Inequality comparison ops only: equality predicates hold on isolated
+// points of continuous trajectories (paper Section IV-A discusses the
+// resulting discrete/continuous mismatch), so the random generator sticks
+// to ops where both engines answer over full-measure time ranges. The
+// kEq case is covered by dedicated regression tests.
+CmpOp RandomIneqOp(Rng& rng) {
+  static const CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                               CmpOp::kGe};
+  return kOps[rng.UniformInt(0, 3)];
+}
+
+const std::string& Pick(Rng& rng, const std::vector<std::string>& v) {
+  return v[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+// Random comparison atom. `right_attrs` empty => unary predicate (all
+// references on side kLeft); otherwise binary (join) predicates may
+// reference both sides, including the proximity dist^2 form when both
+// sides expose x and y.
+Predicate RandomAtom(Rng& rng, const std::vector<std::string>& left_attrs,
+                     const std::vector<std::string>& right_attrs,
+                     double scale) {
+  const bool binary = !right_attrs.empty();
+  if (binary) {
+    const bool has_xy = [&] {
+      auto has = [](const std::vector<std::string>& v,
+                    const char* n) {
+        for (const std::string& s : v) {
+          if (s == n) return true;
+        }
+        return false;
+      };
+      return has(left_attrs, "x") && has(left_attrs, "y") &&
+             has(right_attrs, "x") && has(right_attrs, "y");
+    }();
+    const int64_t roll = rng.UniformInt(0, has_xy ? 3 : 2);
+    if (roll == 3) {
+      // dist((L.x, L.y), (R.x, R.y)) R threshold.
+      return Predicate::Comparison(ComparisonTerm::Distance2(
+          AttrRef::Left("x"), AttrRef::Left("y"), AttrRef::Right("x"),
+          AttrRef::Right("y"), RandomIneqOp(rng),
+          rng.Uniform(0.3, 1.5) * scale));
+    }
+    if (roll == 2) {
+      // L.a R constant.
+      return Predicate::Comparison(ComparisonTerm::Simple(
+          AttrRef::Left(Pick(rng, left_attrs)), RandomIneqOp(rng),
+          Operand::Constant(rng.Uniform(-0.8, 0.8) * scale)));
+    }
+    // L.a R R.b (roll 0/1 biases toward cross-side comparisons).
+    return Predicate::Comparison(ComparisonTerm::Simple(
+        AttrRef::Left(Pick(rng, left_attrs)), RandomIneqOp(rng),
+        Operand::Attribute(AttrRef::Right(Pick(rng, right_attrs)))));
+  }
+  if (left_attrs.size() >= 2 && rng.Bernoulli(0.3)) {
+    // a R b across two attributes of the one input.
+    const std::string& a = Pick(rng, left_attrs);
+    std::string b = Pick(rng, left_attrs);
+    while (b == a) b = Pick(rng, left_attrs);
+    return Predicate::Comparison(ComparisonTerm::Simple(
+        AttrRef::Left(a), RandomIneqOp(rng),
+        Operand::Attribute(AttrRef::Left(std::move(b)))));
+  }
+  return Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left(Pick(rng, left_attrs)), RandomIneqOp(rng),
+      Operand::Constant(rng.Uniform(-0.8, 0.8) * scale)));
+}
+
+// Random boolean tree of depth <= `depth` over comparison atoms.
+Predicate RandomPredicate(Rng& rng, int depth,
+                          const std::vector<std::string>& left_attrs,
+                          const std::vector<std::string>& right_attrs,
+                          double scale) {
+  if (depth <= 0 || rng.Bernoulli(0.4)) {
+    return RandomAtom(rng, left_attrs, right_attrs, scale);
+  }
+  const int64_t roll = rng.UniformInt(0, 9);
+  if (roll < 4) {
+    std::vector<Predicate> kids;
+    kids.push_back(
+        RandomPredicate(rng, depth - 1, left_attrs, right_attrs, scale));
+    kids.push_back(
+        RandomPredicate(rng, depth - 1, left_attrs, right_attrs, scale));
+    return Predicate::And(std::move(kids));
+  }
+  if (roll < 8) {
+    std::vector<Predicate> kids;
+    kids.push_back(
+        RandomPredicate(rng, depth - 1, left_attrs, right_attrs, scale));
+    kids.push_back(
+        RandomPredicate(rng, depth - 1, left_attrs, right_attrs, scale));
+    return Predicate::Or(std::move(kids));
+  }
+  return Predicate::Not(
+      RandomPredicate(rng, depth - 1, left_attrs, right_attrs, scale));
+}
+
+// StreamSpec for a generated workload. Replay pushes fitted segments
+// directly, so the MODEL clauses are the trivial degree-0 self-models —
+// present for spec completeness (segmenter construction), unused.
+StreamSpec MakeStreamSpec(const StreamWorkload& ws) {
+  StreamSpec spec;
+  spec.name = ws.name;
+  spec.schema = ws.MakeSchema();
+  spec.key_field = "id";
+  for (const std::string& attr : ws.attributes) {
+    spec.models.push_back(ModelClause{attr, {attr}});
+  }
+  spec.segment_horizon = ws.t_end - ws.t_begin;
+  return spec;
+}
+
+size_t RandomKeys(Rng& rng, const WorkloadGenOptions& o, size_t lo_floor) {
+  const size_t lo = std::max(o.min_keys, lo_floor);
+  const size_t hi = std::max(o.max_keys, lo);
+  return static_cast<size_t>(rng.UniformInt(static_cast<int64_t>(lo),
+                                            static_cast<int64_t>(hi)));
+}
+
+double PickWindow(Rng& rng) {
+  static const double kW[] = {1.0, 1.5, 2.0};
+  return kW[rng.UniformInt(0, 2)];
+}
+
+double PickSlide(Rng& rng) {
+  static const double kS[] = {0.25, 0.5, 1.0};
+  return kS[rng.UniformInt(0, 2)];
+}
+
+}  // namespace
+
+Result<GeneratedCase> GenerateCase(uint64_t seed,
+                                   const PlanGenOptions& options) {
+  Rng rng(seed);
+  GeneratedCase out;
+  out.seed = seed;
+  out.sample_dt = options.sample_dt;
+  const double scale = options.workload.value_scale;
+  // The discrete sliding-window join is a band join in time; on the
+  // shared sample grid a sub-grid window keeps exactly the co-temporal
+  // pairs, which is what the continuous join's time-alignment computes
+  // (docs/TESTING.md, "Join window").
+  const double join_window = 0.5 * options.sample_dt;
+
+  if (options.archetypes.empty()) {
+    static const PlanArchetype kAll[] = {
+        PlanArchetype::kFilterChain, PlanArchetype::kJoin,
+        PlanArchetype::kSelfJoin, PlanArchetype::kAggregate,
+        PlanArchetype::kGroupBy};
+    out.archetype = kAll[rng.UniformInt(0, 4)];
+  } else {
+    out.archetype = options.archetypes[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(options.archetypes.size()) - 1))];
+  }
+
+  std::ostringstream desc;
+  desc << "seed=" << seed << " " << PlanArchetypeToString(out.archetype);
+
+  switch (out.archetype) {
+    case PlanArchetype::kFilterChain: {
+      StreamWorkload ws = GenerateStreamWorkload(
+          rng, "s", {"x", "y"}, RandomKeys(rng, options.workload, 1),
+          options.workload);
+      PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(ws)));
+      const int n_filters = rng.Bernoulli(0.4) ? 2 : 1;
+      QuerySpec::Input in = QuerySpec::Input::Stream("s");
+      for (int i = 0; i < n_filters; ++i) {
+        FilterSpec fs{RandomPredicate(rng, 2, ws.attributes, {}, scale)};
+        desc << " filter[" << fs.predicate.ToString() << "]";
+        in = QuerySpec::Input::Node(
+            out.spec.AddFilter("f" + std::to_string(i), in, std::move(fs)));
+      }
+      out.workloads.push_back(std::move(ws));
+      out.sink.kind = SinkInfo::Kind::kPointwise;
+      out.sink.key_field = "id";
+      break;
+    }
+
+    case PlanArchetype::kJoin:
+    case PlanArchetype::kSelfJoin: {
+      const bool self = out.archetype == PlanArchetype::kSelfJoin;
+      JoinSpec js;
+      js.window_seconds = join_window;
+      QuerySpec::Input left = QuerySpec::Input::Stream("a");
+      QuerySpec::Input right = QuerySpec::Input::Stream("b");
+      std::vector<std::string> attrs = {"x", "y"};
+      if (self) {
+        StreamWorkload ws = GenerateStreamWorkload(
+            rng, "s", attrs, RandomKeys(rng, options.workload, 2),
+            options.workload);
+        PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(ws)));
+        out.workloads.push_back(std::move(ws));
+        left = right = QuerySpec::Input::Stream("s");
+        js.require_distinct_keys = true;
+        js.predicate =
+            rng.Bernoulli(0.6)
+                ? Predicate::Comparison(ComparisonTerm::Distance2(
+                      AttrRef::Left("x"), AttrRef::Left("y"),
+                      AttrRef::Right("x"), AttrRef::Right("y"),
+                      RandomIneqOp(rng), rng.Uniform(0.3, 1.5) * scale))
+                : RandomPredicate(rng, 1, attrs, attrs, scale);
+      } else {
+        StreamWorkload wa = GenerateStreamWorkload(
+            rng, "a", attrs, RandomKeys(rng, options.workload, 1),
+            options.workload);
+        StreamWorkload wb = GenerateStreamWorkload(
+            rng, "b", attrs, RandomKeys(rng, options.workload, 1),
+            options.workload);
+        PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(wa)));
+        PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(wb)));
+        out.workloads.push_back(std::move(wa));
+        out.workloads.push_back(std::move(wb));
+        js.match_keys = rng.Bernoulli(0.5);
+        js.predicate = RandomPredicate(rng, 2, attrs, attrs, scale);
+      }
+      desc << (js.match_keys ? " match_keys" : "") << " on ["
+           << js.predicate.ToString() << "]";
+      QuerySpec::Input cur = QuerySpec::Input::Node(
+          out.spec.AddJoin("join", left, right, std::move(js)));
+      // Optional post-join stages over the prefixed joined attributes.
+      const std::vector<std::string> joined = {"left.x", "left.y",
+                                               "right.x", "right.y"};
+      if (rng.Bernoulli(0.4)) {
+        FilterSpec fs{RandomPredicate(rng, 1, joined, {}, scale)};
+        desc << " post_filter[" << fs.predicate.ToString() << "]";
+        cur = QuerySpec::Input::Node(
+            out.spec.AddFilter("post", cur, std::move(fs)));
+      }
+      if (rng.Bernoulli(0.4)) {
+        MapSpec ms;
+        ms.outputs.push_back(ComputedAttr::Difference(
+            "diff", AttrRef::Left("left.x"), AttrRef::Left("right.x")));
+        ms.keep_inputs = true;
+        desc << " map[diff]";
+        cur = QuerySpec::Input::Node(
+            out.spec.AddMap("proj", cur, std::move(ms)));
+      }
+      out.sink.kind = SinkInfo::Kind::kPointwise;
+      out.sink.key_field = "pair_key";
+      break;
+    }
+
+    case PlanArchetype::kAggregate:
+    case PlanArchetype::kGroupBy: {
+      const bool grouped = out.archetype == PlanArchetype::kGroupBy;
+      static const AggFn kFns[] = {AggFn::kMin, AggFn::kMax, AggFn::kSum,
+                                   AggFn::kAvg};
+      const AggFn fn = kFns[rng.UniformInt(0, 3)];
+      // The non-grouped continuous sum/avg models one contiguous track
+      // (overlapping keys would truncate each other's stored pieces), so
+      // those cases generate a single-key stream.
+      size_t keys;
+      if (grouped) {
+        keys = RandomKeys(rng, options.workload, 2);
+      } else if (fn == AggFn::kSum || fn == AggFn::kAvg) {
+        keys = 1;
+      } else {
+        keys = RandomKeys(rng, options.workload, 1);
+      }
+      StreamWorkload ws = GenerateStreamWorkload(rng, "s", {"x"}, keys,
+                                                 options.workload);
+      AggregateSpec as;
+      as.fn = fn;
+      as.attribute = "x";
+      as.window_seconds = PickWindow(rng);
+      as.slide_seconds = PickSlide(rng);
+      as.per_key = grouped;
+      desc << " " << AggFnToString(fn) << "(x) w=" << as.window_seconds
+           << " slide=" << as.slide_seconds << " keys=" << keys;
+      out.sink.kind = SinkInfo::Kind::kAggregateSeries;
+      out.sink.fn = fn;
+      out.sink.window_seconds = as.window_seconds;
+      out.sink.slide_seconds = as.slide_seconds;
+      out.sink.per_key = grouped;
+      out.sink.value_attribute = as.output_attribute;
+      out.sink.key_field = grouped ? "group" : "";
+      PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(ws)));
+      QuerySpec::Input cur = QuerySpec::Input::Node(out.spec.AddAggregate(
+          "agg", QuerySpec::Input::Stream("s"), std::move(as)));
+      out.workloads.push_back(std::move(ws));
+      // HAVING over the aggregate. Excluded for sum: the discrete sum
+      // (sample count scaled) and continuous sum (time integral) live on
+      // different scales, so a shared threshold is meaningless there.
+      if (fn != AggFn::kSum && rng.Bernoulli(0.4)) {
+        out.sink.having = true;
+        out.sink.having_op = RandomIneqOp(rng);
+        out.sink.having_threshold = rng.Uniform(-0.6, 0.6) * scale;
+        FilterSpec fs{Predicate::Comparison(ComparisonTerm::Simple(
+            AttrRef::Left(out.sink.value_attribute), out.sink.having_op,
+            Operand::Constant(out.sink.having_threshold)))};
+        desc << " having[" << fs.predicate.ToString() << "]";
+        out.spec.AddFilter("having", cur, std::move(fs));
+      }
+      break;
+    }
+  }
+
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace testing
+}  // namespace pulse

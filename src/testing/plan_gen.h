@@ -1,0 +1,93 @@
+#ifndef PULSE_TESTING_PLAN_GEN_H_
+#define PULSE_TESTING_PLAN_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "testing/workload_gen.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace testing {
+
+/// Shapes of generated query plans. Every operator kind of the paper's
+/// transformation is covered; chains exercise operator composition.
+enum class PlanArchetype {
+  /// stream -> filter [-> filter] (random boolean predicate trees).
+  kFilterChain,
+  /// streamA join streamB [-> filter] [-> map diff]; co-temporal band
+  /// join (window = dt/2, see docs/TESTING.md).
+  kJoin,
+  /// stream self-join with require_distinct_keys (proximity-style).
+  kSelfJoin,
+  /// stream -> windowed aggregate (min/max/sum/avg) [-> HAVING filter].
+  kAggregate,
+  /// stream -> per-key aggregate (GROUP BY id) [-> HAVING filter].
+  kGroupBy,
+};
+
+const char* PlanArchetypeToString(PlanArchetype a);
+
+/// Everything the differential matcher needs to know about the sink.
+struct SinkInfo {
+  enum class Kind {
+    /// Sink emits per-entity values on the raw sample grid (filters,
+    /// joins, maps): the match is pointwise and exact.
+    kPointwise,
+    /// Sink emits windowed-aggregate series (possibly HAVING-filtered):
+    /// the match is at window-close times with discretization-aware
+    /// tolerances.
+    kAggregateSeries,
+  };
+  Kind kind = Kind::kPointwise;
+
+  /// Name of the sink schema field carrying the entity key ("id" for
+  /// unary chains, "pair_key" after joins, "group" after grouped
+  /// aggregates). Empty when the sink is keyless (global aggregate).
+  std::string key_field;
+
+  // kAggregateSeries only:
+  AggFn fn = AggFn::kAvg;
+  double window_seconds = 1.0;
+  double slide_seconds = 1.0;
+  bool per_key = false;
+  /// Aggregate output attribute name.
+  std::string value_attribute = "agg";
+  /// HAVING filter over the aggregate output (agg `op` threshold).
+  bool having = false;
+  CmpOp having_op = CmpOp::kGt;
+  double having_threshold = 0.0;
+};
+
+/// One generated differential case: a logical query plus the ground-truth
+/// workload of every stream it reads, replayable from its seed alone.
+struct GeneratedCase {
+  uint64_t seed = 0;
+  PlanArchetype archetype = PlanArchetype::kFilterChain;
+  QuerySpec spec;
+  std::vector<StreamWorkload> workloads;
+  /// Global sample grid period (tuples at j * sample_dt).
+  double sample_dt = 0.05;
+  SinkInfo sink;
+  /// Human-readable one-liner for failure messages.
+  std::string description;
+};
+
+struct PlanGenOptions {
+  WorkloadGenOptions workload;
+  double sample_dt = 0.05;
+  /// Restrict generation to a subset of archetypes (empty = all).
+  std::vector<PlanArchetype> archetypes;
+};
+
+/// Generates the case for `seed` deterministically: same seed, same
+/// options => identical case, so any reported failure replays exactly.
+Result<GeneratedCase> GenerateCase(uint64_t seed,
+                                   const PlanGenOptions& options = {});
+
+}  // namespace testing
+}  // namespace pulse
+
+#endif  // PULSE_TESTING_PLAN_GEN_H_

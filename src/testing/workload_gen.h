@@ -1,0 +1,112 @@
+#ifndef PULSE_TESTING_WORKLOAD_GEN_H_
+#define PULSE_TESTING_WORKLOAD_GEN_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "engine/tuple.h"
+#include "model/segment.h"
+#include "util/rng.h"
+
+namespace pulse {
+namespace testing {
+
+/// Knobs of the random piecewise-polynomial stream generator. Defaults
+/// are sized so a generated case solves in well under a millisecond —
+/// the differential suite replays hundreds of them in tier-1.
+struct WorkloadGenOptions {
+  /// Every track covers exactly [0, duration).
+  double duration = 6.0;
+  size_t min_keys = 1;
+  size_t max_keys = 3;
+  /// Pieces per key track (each a random polynomial over its range).
+  size_t min_pieces = 1;
+  size_t max_pieces = 4;
+  /// Polynomial degree per piece, drawn uniformly in [0, max_degree].
+  size_t max_degree = 3;
+  /// Constant-term scale; higher-order coefficients shrink with order so
+  /// values stay O(value_scale) over a piece.
+  double value_scale = 10.0;
+};
+
+/// One polynomial piece of a key's track. `range` is half-open [lo, hi);
+/// the polynomial is stored in absolute time (same convention segments
+/// use on the wire).
+struct TrackPiece {
+  Interval range = Interval::ClosedOpen(0.0, 0.0);
+  std::map<std::string, Polynomial> attrs;
+};
+
+/// The full ground-truth trajectory of one entity: contiguous pieces
+/// exactly partitioning [0, duration).
+struct KeyTrack {
+  Key key = 0;
+  std::vector<TrackPiece> pieces;
+
+  /// Value of `attr` at absolute time t, or nullopt outside every piece.
+  std::optional<double> Value(const std::string& attr, double t) const;
+
+  /// The piece whose range contains t, or nullptr.
+  const TrackPiece* PieceAt(double t) const;
+};
+
+/// A generated stream: the single source of truth both representations
+/// are derived from. Segments carry the piece polynomials exactly;
+/// tuples sample the same polynomials on the global grid j * dt — so any
+/// disagreement between the two engines is a processing divergence, not
+/// input noise.
+struct StreamWorkload {
+  std::string name;
+  std::vector<std::string> attributes;
+  std::vector<KeyTrack> tracks;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  /// sup |attr(t)| over all pieces (sampled bound; used for tolerances).
+  double value_bound = 0.0;
+  /// sup |d attr/dt| over all pieces (sampled bound; discretization-error
+  /// tolerances in the differential matcher scale with dt * this).
+  double derivative_bound = 0.0;
+
+  /// Exact continuous representation: one segment per (key, piece), in
+  /// (range.lo, key) order — the order the harness replays them in.
+  std::vector<Segment> ToSegments() const;
+
+  /// Dense discrete representation: one tuple per (grid time, key) where
+  /// the key's track covers the grid time, ordered by (time, key).
+  /// Field layout matches MakeSchema(): [id, attributes...].
+  std::vector<Tuple> ToTuples(double dt) const;
+
+  /// Schema {id: int64, <attr>: double ...}.
+  std::shared_ptr<const Schema> MakeSchema() const;
+
+  /// Ground-truth value of `attr` for `key` at time t.
+  std::optional<double> Value(Key key, const std::string& attr,
+                              double t) const;
+
+  /// Cross-key instantaneous envelope: min (or max) over all keys whose
+  /// track covers t. nullopt when no key covers t.
+  std::optional<double> Envelope(const std::string& attr, double t,
+                                 bool is_min) const;
+
+  /// Exact integral of `attr` for `key` over [lo, hi] via piecewise
+  /// antiderivatives (the continuous sum/avg oracle).
+  std::optional<double> Integral(Key key, const std::string& attr,
+                                 double lo, double hi) const;
+};
+
+/// Generates one stream: `num_keys` tracks over [0, duration), each
+/// split into random contiguous pieces with random bounded polynomials
+/// per attribute. Deterministic in `rng`.
+StreamWorkload GenerateStreamWorkload(Rng& rng, std::string name,
+                                      std::vector<std::string> attributes,
+                                      size_t num_keys,
+                                      const WorkloadGenOptions& options = {});
+
+}  // namespace testing
+}  // namespace pulse
+
+#endif  // PULSE_TESTING_WORKLOAD_GEN_H_

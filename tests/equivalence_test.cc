@@ -5,15 +5,25 @@
 // the discretization differences of Section IV-A, which dense sampling
 // away from roots avoids).
 #include <cmath>
+#include <optional>
 
 #include <gtest/gtest.h>
 
+#include "core/operators/aggregate.h"
 #include "core/operators/filter.h"
+#include "core/operators/group_by.h"
 #include "core/operators/join.h"
+#include "testing/workload_gen.h"
 #include "util/rng.h"
 
 namespace pulse {
 namespace {
+
+// Test-name suffix for seed-parameterized suites: failures show the seed
+// itself ("/seed101"), not an opaque value index, so any report replays.
+std::string SeedName(const ::testing::TestParamInfo<int>& info) {
+  return "seed" + std::to_string(info.param);
+}
 
 Polynomial RandomPolynomial(Rng& rng, size_t degree) {
   std::vector<double> coeffs;
@@ -77,7 +87,8 @@ TEST_P(RandomFilterEquivalence, SolutionMatchesPointwise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFilterEquivalence,
-                         ::testing::Values(101, 202, 303, 404, 505));
+                         ::testing::Values(101, 202, 303, 404, 505),
+                         SeedName);
 
 class RandomJoinEquivalence : public ::testing::TestWithParam<int> {};
 
@@ -118,7 +129,7 @@ TEST_P(RandomJoinEquivalence, JoinRangesMatchPointwise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomJoinEquivalence,
-                         ::testing::Values(11, 22, 33));
+                         ::testing::Values(11, 22, 33), SeedName);
 
 class RandomDistanceEquivalence : public ::testing::TestWithParam<int> {};
 
@@ -162,7 +173,200 @@ TEST_P(RandomDistanceEquivalence, ProximityRangesMatchPointwise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistanceEquivalence,
-                         ::testing::Values(7, 17, 27));
+                         ::testing::Values(7, 17, 27), SeedName);
+
+// Reconstructs the aggregate's value at time t from emitted segments:
+// segments arrive in emission order and later emissions override earlier
+// coverage, so the last covering segment wins.
+std::optional<double> EmittedValue(const SegmentBatch& out,
+                                   const std::string& attr, double t) {
+  for (auto it = out.rbegin(); it != out.rend(); ++it) {
+    if (!it->range.Contains(t)) continue;
+    Result<Polynomial> poly = it->attribute(attr);
+    if (!poly.ok()) return std::nullopt;
+    return poly->Evaluate(t);
+  }
+  return std::nullopt;
+}
+
+class RandomMinMaxEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMinMaxEquivalence, EnvelopeMatchesGroundTruth) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const bool is_min = rng.Bernoulli(0.5);
+    const size_t keys = static_cast<size_t>(rng.UniformInt(1, 4));
+    testing::StreamWorkload ws =
+        testing::GenerateStreamWorkload(rng, "s", {"x"}, keys);
+
+    PulseAggregateOptions opts;
+    opts.fn = is_min ? AggFn::kMin : AggFn::kMax;
+    opts.input_attribute = "x";
+    opts.window_seconds = 2.0;
+    PulseMinMaxAggregate agg("a", opts);
+    SegmentBatch out;
+    for (const Segment& seg : ws.ToSegments()) {
+      ASSERT_TRUE(agg.Process(0, seg, &out).ok());
+    }
+
+    for (double t = 0.0173; t < ws.t_end; t += 0.0719) {
+      const std::optional<double> expected = ws.Envelope("x", t, is_min);
+      const std::optional<double> actual = EmittedValue(out, "agg", t);
+      if (!expected.has_value()) continue;  // gap in every track
+      ASSERT_TRUE(actual.has_value())
+          << "seed " << GetParam() << " trial " << trial << " t=" << t
+          << ": envelope has no emitted coverage";
+      EXPECT_NEAR(*actual, *expected, 1e-6)
+          << "seed " << GetParam() << " trial " << trial << " t=" << t
+          << " fn=" << (is_min ? "min" : "max");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMinMaxEquivalence,
+                         ::testing::Values(41, 42, 43, 44), SeedName);
+
+// Finalize mode must describe the same envelope as the eager protocol,
+// with a stronger output contract: append-only, non-overlapping ranges
+// (regression for the HAVING-after-min/max staleness bug; see
+// docs/TESTING.md).
+class RandomMinMaxFinalizeEquivalence
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMinMaxFinalizeEquivalence, SettledEmissionMatchesGroundTruth) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const bool is_min = rng.Bernoulli(0.5);
+    const size_t keys = static_cast<size_t>(rng.UniformInt(1, 4));
+    testing::StreamWorkload ws =
+        testing::GenerateStreamWorkload(rng, "s", {"x"}, keys);
+
+    PulseAggregateOptions opts;
+    opts.fn = is_min ? AggFn::kMin : AggFn::kMax;
+    opts.input_attribute = "x";
+    opts.window_seconds = 2.0;
+    opts.finalize = true;
+    PulseMinMaxAggregate agg("a", opts);
+    SegmentBatch out;
+    for (const Segment& seg : ws.ToSegments()) {
+      ASSERT_TRUE(agg.Process(0, seg, &out).ok());
+    }
+    ASSERT_TRUE(agg.Flush(&out).ok());
+
+    // Append-only contract: ranges non-overlapping and time-ordered.
+    for (size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1].range.hi, out[i].range.lo + 1e-12)
+          << "seed " << GetParam() << " trial " << trial
+          << ": finalized output overlaps or runs backwards at " << i;
+    }
+
+    for (double t = 0.0173; t < ws.t_end; t += 0.0719) {
+      const std::optional<double> expected = ws.Envelope("x", t, is_min);
+      const std::optional<double> actual = EmittedValue(out, "agg", t);
+      if (!expected.has_value()) continue;
+      ASSERT_TRUE(actual.has_value())
+          << "seed " << GetParam() << " trial " << trial << " t=" << t;
+      EXPECT_NEAR(*actual, *expected, 1e-6)
+          << "seed " << GetParam() << " trial " << trial << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMinMaxFinalizeEquivalence,
+                         ::testing::Values(51, 52, 53, 54), SeedName);
+
+class RandomSumAvgEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSumAvgEquivalence, WindowFunctionMatchesIntegral) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const bool is_sum = rng.Bernoulli(0.5);
+    const double w = 1.0 + rng.UniformInt(0, 1);  // 1 or 2 seconds
+    // Window functions assume one contiguous coverage track: single key.
+    testing::StreamWorkload ws =
+        testing::GenerateStreamWorkload(rng, "s", {"x"}, 1);
+
+    PulseAggregateOptions opts;
+    opts.fn = is_sum ? AggFn::kSum : AggFn::kAvg;
+    opts.input_attribute = "x";
+    opts.window_seconds = w;
+    opts.slide_seconds = 0.5;
+    PulseSumAvgAggregate agg("a", opts);
+    SegmentBatch out;
+    for (const Segment& seg : ws.ToSegments()) {
+      ASSERT_TRUE(agg.Process(0, seg, &out).ok());
+    }
+
+    for (const Segment& s : out) {
+      for (double t = s.range.lo + 1e-6; t < s.range.hi; t += 0.1) {
+        if (t - w < ws.t_begin - 1e-9) continue;  // partial window
+        const std::optional<double> integral =
+            ws.Integral(1, "x", t - w, t);
+        ASSERT_TRUE(integral.has_value());
+        const double expected = is_sum ? *integral : *integral / w;
+        Result<Polynomial> poly = s.attribute("agg");
+        ASSERT_TRUE(poly.ok());
+        EXPECT_NEAR(poly->Evaluate(t), expected,
+                    1e-6 * std::max(1.0, std::fabs(expected)))
+            << "seed " << GetParam() << " trial " << trial << " t=" << t
+            << " fn=" << (is_sum ? "sum" : "avg") << " w=" << w;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSumAvgEquivalence,
+                         ::testing::Values(61, 62, 63, 64), SeedName);
+
+class RandomGroupByEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGroupByEquivalence, PerGroupAggregateMatchesGroundTruth) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const bool is_min = rng.Bernoulli(0.5);
+    const size_t keys = static_cast<size_t>(rng.UniformInt(2, 4));
+    testing::StreamWorkload ws =
+        testing::GenerateStreamWorkload(rng, "s", {"x"}, keys);
+
+    PulseAggregateOptions opts;
+    opts.fn = is_min ? AggFn::kMin : AggFn::kMax;
+    opts.input_attribute = "x";
+    opts.window_seconds = 2.0;
+    opts.finalize = true;
+    PulseGroupBy group_by(
+        "g", [opts](Key) -> Result<std::unique_ptr<PulseOperator>> {
+          return MakePulseAggregate("inner", opts);
+        });
+    SegmentBatch out;
+    for (const Segment& seg : ws.ToSegments()) {
+      ASSERT_TRUE(group_by.Process(0, seg, &out).ok());
+    }
+    ASSERT_TRUE(group_by.Flush(&out).ok());
+
+    // Per group, the "envelope" over one key is just that key's value.
+    for (const testing::KeyTrack& track : ws.tracks) {
+      SegmentBatch group_out;
+      for (const Segment& s : out) {
+        if (s.key == track.key) group_out.push_back(s);
+      }
+      for (double t = 0.0173; t < ws.t_end; t += 0.0719) {
+        const std::optional<double> expected = track.Value("x", t);
+        const std::optional<double> actual =
+            EmittedValue(group_out, "agg", t);
+        if (!expected.has_value()) continue;
+        ASSERT_TRUE(actual.has_value())
+            << "seed " << GetParam() << " trial " << trial << " group "
+            << track.key << " t=" << t;
+        EXPECT_NEAR(*actual, *expected, 1e-6)
+            << "seed " << GetParam() << " trial " << trial << " group "
+            << track.key << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGroupByEquivalence,
+                         ::testing::Values(71, 72, 73), SeedName);
 
 }  // namespace
 }  // namespace pulse

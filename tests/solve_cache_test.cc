@@ -145,6 +145,7 @@ std::vector<EquationSystemTask> RandomSystems(uint64_t seed) {
 }
 
 TEST(SolveCacheDeterminismTest, MatchesUncachedOn100RandomSystems) {
+  SCOPED_TRACE("replay: RandomSystems(20260807)");
   // Duplicate the task list so the cached run actually hits: the second
   // half re-solves the first half's systems from the cache.
   std::vector<EquationSystemTask> tasks = RandomSystems(20260807);
@@ -175,6 +176,7 @@ TEST(SolveCacheDeterminismTest, MatchesUncachedOn100RandomSystems) {
 }
 
 TEST(SolveCacheDeterminismTest, MatchesUncachedUnderThreadPool) {
+  SCOPED_TRACE("replay: RandomSystems(4242)");
   const std::vector<EquationSystemTask> tasks = RandomSystems(4242);
   Result<std::vector<IntervalSet>> uncached =
       SolveSystems(tasks, RootMethod::kAuto, nullptr, nullptr);

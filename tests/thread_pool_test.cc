@@ -152,6 +152,7 @@ std::vector<EquationSystemTask> RandomSystems(uint64_t seed) {
 }
 
 TEST(ParallelSolveDeterminismTest, MatchesSerialOn100RandomPiecewiseInputs) {
+  SCOPED_TRACE("replay: RandomSystems(20260807)");
   const std::vector<EquationSystemTask> tasks = RandomSystems(20260807);
 
   Result<std::vector<IntervalSet>> serial =
@@ -192,6 +193,7 @@ TEST(ParallelSolveDeterminismTest, ParallelJoinEmitsIdenticalSegments) {
   ThreadPool pool(4);
   parallel_join.set_thread_pool(&pool);
 
+  SCOPED_TRACE("replay: Rng(7) join workload");
   Rng rng(7);
   std::vector<Segment> inputs;
   for (int i = 0; i < 60; ++i) {
