@@ -22,6 +22,7 @@
 
 #include "bench_util.h"
 #include "core/runtime.h"
+#include "obs/metrics.h"
 #include "workload/moving_object.h"
 
 namespace pulse {
@@ -66,6 +67,9 @@ struct RunResult {
   double tuples_per_sec = 0.0;
   uint64_t tasks_spawned = 0;
   uint64_t solves = 0;
+  // Registry snapshot after the run; the widest configuration's snapshot
+  // becomes the BENCH JSON `metrics` block (parallel cpu/wall counters).
+  obs::MetricsSnapshot metrics;
 };
 
 RunResult RunOnce(const std::vector<Tuple>& trace, size_t threads) {
@@ -95,13 +99,14 @@ RunResult RunOnce(const std::vector<Tuple>& trace, size_t threads) {
   for (size_t n = 0; n < rt->plan().num_nodes(); ++n) {
     result.solves += rt->plan().node(n)->metrics().solves;
   }
+  result.metrics = rt->metrics()->Snapshot();
   return result;
 }
 
 }  // namespace
 }  // namespace pulse
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pulse;
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf(
@@ -144,41 +149,32 @@ int main() {
   }
   table.Print();
 
-  std::FILE* json = std::fopen("BENCH_parallel_scaling.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel_scaling.json\n");
-    return 1;
+  bench::BenchReport report("parallel_scaling");
+  report.ParamString("workload", "fig7_proximity_join");
+  report.ParamUint("num_objects", kNumObjects);
+  report.ParamDouble("window_seconds", kWindowSeconds);
+  report.ParamUint("tuples", trace.size());
+  report.ParamUint("hardware_concurrency", cores);
+  for (const RunResult& r : results) {
+    report.AddRow()
+        .Uint("threads", r.threads)
+        .Double("seconds", r.seconds)
+        .Double("tuples_per_sec", r.tuples_per_sec)
+        .Double("speedup", r.tuples_per_sec / serial_tps)
+        .Uint("solves", r.solves)
+        .Uint("tasks_spawned", r.tasks_spawned)
+        .Bool("core_bound", cores > 0 && r.threads > cores);
   }
-  std::fprintf(json,
-               "{\n"
-               "  \"bench\": \"parallel_scaling\",\n"
-               "  \"workload\": \"fig7_proximity_join\",\n"
-               "  \"num_objects\": %zu,\n"
-               "  \"window_seconds\": %g,\n"
-               "  \"tuples\": %zu,\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"results\": [\n",
-               kNumObjects, kWindowSeconds, trace.size(), cores);
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    const bool core_bound = cores > 0 && r.threads > cores;
-    std::fprintf(json,
-                 "    {\"threads\": %zu, \"seconds\": %.6f, "
-                 "\"tuples_per_sec\": %.1f, \"speedup\": %.3f, "
-                 "\"solves\": %llu, \"tasks_spawned\": %llu, "
-                 "\"core_bound\": %s}%s\n",
-                 r.threads, r.seconds, r.tuples_per_sec,
-                 r.tuples_per_sec / serial_tps,
-                 static_cast<unsigned long long>(r.solves),
-                 static_cast<unsigned long long>(r.tasks_spawned),
-                 core_bound ? "true" : "false",
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
+  // The widest configuration's registry snapshot (the run whose
+  // runtime/parallel_solve_{cpu,wall}_ns counters matter most).
+  report.AttachMetrics(results.back().metrics);
+  if (!report.WriteFile("BENCH_parallel_scaling.json")) return 1;
   std::printf(
       "\nWrote BENCH_parallel_scaling.json. Expected shape: near-linear "
       "speedup up to the\nphysical core count (>= 2.5x at 4 threads on a "
       ">= 4-core host); ~1x on fewer cores.\n");
+  if (!bench::HandleMetricsOutFlag(argc, argv, results.back().metrics)) {
+    return 1;
+  }
   return 0;
 }

@@ -41,6 +41,7 @@
 #include "bench_util.h"
 #include "core/runtime.h"
 #include "math/polynomial.h"
+#include "obs/metrics.h"
 #include "workload/ais.h"
 #include "workload/moving_object.h"
 #include "workload/queries.h"
@@ -110,6 +111,9 @@ struct ScenarioResult {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   double cache_hit_rate = 0.0;
+  // Full registry snapshot of the kept rep's runtime (op counters, span
+  // histograms) — embedded as the BENCH JSON `metrics` block.
+  obs::MetricsSnapshot metrics;
 };
 
 // One repetition's raw measurements.
@@ -120,6 +124,7 @@ struct RepData {
   uint64_t heap_allocations = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 double NormalizedScore(double seconds, size_t tuples, double calib) {
@@ -140,13 +145,14 @@ RepData MedianRep(std::vector<RepData> reps, size_t tuples) {
   return reps[reps.size() / 2];
 }
 
-void AdoptRep(const RepData& rep, ScenarioResult* r) {
+void AdoptRep(RepData rep, ScenarioResult* r) {
   r->seconds = rep.seconds;
   r->calibration_ops_per_sec = rep.calib;
   r->solves = rep.solves;
   r->heap_allocations = rep.heap_allocations;
   r->cache_hits = rep.cache_hits;
   r->cache_misses = rep.cache_misses;
+  r->metrics = std::move(rep.metrics);
 }
 
 // Sink keeping the calibration loop observable.
@@ -218,6 +224,7 @@ ScenarioResult RunFig7(const std::vector<Tuple>& trace) {
     r.heap_allocations = Polynomial::heap_allocations() - allocs_before;
     r.cache_hits = rt->stats().solve_cache_hits;
     r.cache_misses = rt->stats().solve_cache_misses;
+    r.metrics = rt->metrics()->Snapshot();
     reps.push_back(r);
   }
   AdoptRep(MedianRep(std::move(reps), trace.size()), &best);
@@ -275,6 +282,7 @@ ScenarioResult RunAis() {
     r.heap_allocations = Polynomial::heap_allocations() - allocs_before;
     r.cache_hits = rt->stats().solve_cache_hits;
     r.cache_misses = rt->stats().solve_cache_misses;
+    r.metrics = rt->metrics()->Snapshot();
     reps.push_back(r);
   }
   AdoptRep(MedianRep(std::move(reps), trace.size()), &best);
@@ -333,6 +341,7 @@ ScenarioResult RunReplay(const std::vector<Tuple>& trace) {
     r.heap_allocations = Polynomial::heap_allocations() - allocs_before;
     r.cache_hits = rt->stats().solve_cache_hits - hits_before;
     r.cache_misses = rt->stats().solve_cache_misses - misses_before;
+    r.metrics = rt->metrics()->Snapshot();
     reps.push_back(r);
   }
   AdoptRep(MedianRep(std::move(reps), trace.size()), &best);
@@ -355,7 +364,7 @@ void PrintScenario(const ScenarioResult& r) {
 }  // namespace
 }  // namespace pulse
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pulse;
   std::printf(
       "Solver hot path: SBO polynomials + scratch root finding + solve "
@@ -376,38 +385,28 @@ int main() {
       kFig7PreChangeTuplesPerSec,
       fig7.tuples_per_sec / kFig7PreChangeTuplesPerSec);
 
-  std::FILE* json = std::fopen("BENCH_solver_hotpath.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_solver_hotpath.json\n");
-    return 1;
+  bench::BenchReport report("solver_hotpath");
+  report.ParamUint("repeats", static_cast<uint64_t>(kRepeats));
+  report.ParamDouble("fig7_prechange_tuples_per_sec",
+                     kFig7PreChangeTuplesPerSec);
+  for (const ScenarioResult* r : {&fig7, &ais, &replay}) {
+    report.AddRow()
+        .String("scenario", r->name)
+        .Uint("tuples", r->tuples)
+        .Double("seconds", r->seconds)
+        .Double("tuples_per_sec", r->tuples_per_sec)
+        .Double("calibration_ops_per_sec", r->calibration_ops_per_sec)
+        .Uint("solves", r->solves)
+        .Uint("poly_heap_allocations", r->heap_allocations)
+        .Uint("cache_hits", r->cache_hits)
+        .Uint("cache_misses", r->cache_misses)
+        .Double("cache_hit_rate", r->cache_hit_rate);
   }
-  std::fprintf(json,
-               "{\n"
-               "  \"bench\": \"solver_hotpath\",\n"
-               "  \"repeats\": %d,\n"
-               "  \"fig7_prechange_tuples_per_sec\": %.0f,\n"
-               "  \"results\": [\n",
-               kRepeats, kFig7PreChangeTuplesPerSec);
-  const ScenarioResult* all[] = {&fig7, &ais, &replay};
-  for (size_t i = 0; i < 3; ++i) {
-    const ScenarioResult& r = *all[i];
-    std::fprintf(json,
-                 "    {\"scenario\": \"%s\", \"tuples\": %zu, "
-                 "\"seconds\": %.6f, \"tuples_per_sec\": %.1f, "
-                 "\"calibration_ops_per_sec\": %.1f, "
-                 "\"solves\": %llu, \"poly_heap_allocations\": %llu, "
-                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-                 "\"cache_hit_rate\": %.4f}%s\n",
-                 r.name, r.tuples, r.seconds, r.tuples_per_sec,
-                 r.calibration_ops_per_sec,
-                 static_cast<unsigned long long>(r.solves),
-                 static_cast<unsigned long long>(r.heap_allocations),
-                 static_cast<unsigned long long>(r.cache_hits),
-                 static_cast<unsigned long long>(r.cache_misses),
-                 r.cache_hit_rate, i + 1 < 3 ? "," : "");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
+  // The metrics block carries the kept fig7 rep's registry snapshot —
+  // the scenario the metrics-overhead gate normalizes on.
+  report.AttachMetrics(fig7.metrics);
+  if (!report.WriteFile("BENCH_solver_hotpath.json")) return 1;
   std::printf("\nWrote BENCH_solver_hotpath.json.\n");
+  if (!bench::HandleMetricsOutFlag(argc, argv, fig7.metrics)) return 1;
   return 0;
 }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+
+#include "obs/export.h"
+#include "util/json.h"
 
 namespace pulse::bench {
 
@@ -58,6 +62,171 @@ void SeriesTable::Print() const {
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchReport::ParamUint(const std::string& key, uint64_t value) {
+  Param p;
+  p.key = key;
+  p.kind = Row::Kind::kUint;
+  p.u = value;
+  params_.push_back(std::move(p));
+}
+
+void BenchReport::ParamDouble(const std::string& key, double value) {
+  Param p;
+  p.key = key;
+  p.kind = Row::Kind::kDouble;
+  p.d = value;
+  params_.push_back(std::move(p));
+}
+
+void BenchReport::ParamString(const std::string& key, std::string value) {
+  Param p;
+  p.key = key;
+  p.kind = Row::Kind::kString;
+  p.s = std::move(value);
+  params_.push_back(std::move(p));
+}
+
+BenchReport::Row& BenchReport::Row::Uint(const std::string& key,
+                                         uint64_t value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kUint;
+  f.u = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Double(const std::string& key,
+                                           double value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kDouble;
+  f.d = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Bool(const std::string& key,
+                                         bool value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kBool;
+  f.b = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::String(const std::string& key,
+                                           std::string value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kString;
+  f.s = std::move(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void BenchReport::AttachMetrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_ = snapshot;
+  has_metrics_ = true;
+}
+
+std::string BenchReport::ToJson() const {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("bench").String(name_);
+  w.Key("schema_version").Uint(2);
+  w.Key("params").BeginObject();
+  for (const Param& p : params_) {
+    switch (p.kind) {
+      case Row::Kind::kUint:
+        w.Key(p.key).Uint(p.u);
+        break;
+      case Row::Kind::kDouble:
+        w.Key(p.key).Double(p.d);
+        break;
+      case Row::Kind::kString:
+        w.Key(p.key).String(p.s);
+        break;
+      case Row::Kind::kBool:
+        break;  // params are scalar-only; bool unused
+    }
+  }
+  w.EndObject();
+  w.Key("results").BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    for (const Row::Field& f : row.fields_) {
+      switch (f.kind) {
+        case Row::Kind::kUint:
+          w.Key(f.key).Uint(f.u);
+          break;
+        case Row::Kind::kDouble:
+          w.Key(f.key).Double(f.d);
+          break;
+        case Row::Kind::kBool:
+          w.Key(f.key).Bool(f.b);
+          break;
+        case Row::Kind::kString:
+          w.Key(f.key).String(f.s);
+          break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  if (has_metrics_ && !metrics_.empty()) {
+    w.Key("metrics");
+    obs::WriteJson(metrics_, w);
+  }
+  w.EndObject();
+  std::string doc = w.Take();
+  doc += '\n';
+  return doc;
+}
+
+bool BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string doc = ToJson();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool HandleMetricsOutFlag(int argc, char** argv,
+                          const obs::MetricsSnapshot& snapshot) {
+  constexpr const char kFlag[] = "--metrics-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) != 0) {
+      std::fprintf(stderr, "usage: %s [--metrics-out=PATH]\n", argv[0]);
+      return false;
+    }
+    const std::string path = argv[i] + sizeof(kFlag) - 1;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = obs::ToPrometheus(snapshot);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("Wrote metrics to %s.\n", path.c_str());
+  }
+  return true;
 }
 
 }  // namespace pulse::bench

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/tuple.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace pulse::bench {
@@ -53,6 +54,92 @@ class SeriesTable {
   std::vector<std::string> series_;
   std::vector<std::pair<double, std::vector<double>>> rows_;
 };
+
+/// The one writer for checked-in BENCH_*.json documents. Every bench
+/// that persists results goes through this class so the top-level schema
+/// cannot drift between hand-rolled fprintf call sites (the drift this
+/// replaced: bench_parallel_scaling kept params at the top level while
+/// bench_solver_hotpath mixed them with reference figures).
+///
+/// Emitted document (tests/bench_schema_test.cc validates it):
+///
+///   {
+///     "bench": "<name>",
+///     "schema_version": 2,
+///     "params": { ... scalar workload/configuration values ... },
+///     "results": [ {row}, ... ],     // field names chosen per bench
+///     "metrics": { counters/gauges/histograms }   // optional snapshot
+///   }
+///
+/// Row field names are free-form but stable: scripts/check.sh parses
+/// rows by name ("scenario", "tuples_per_sec", ...), so renames are a
+/// gate-breaking change.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Scalar parameters (the `params` block), insertion-ordered.
+  void ParamUint(const std::string& key, uint64_t value);
+  void ParamDouble(const std::string& key, double value);
+  void ParamString(const std::string& key, std::string value);
+
+  /// One `results` row; set fields in emission order.
+  class Row {
+   public:
+    Row& Uint(const std::string& key, uint64_t value);
+    Row& Double(const std::string& key, double value);
+    Row& Bool(const std::string& key, bool value);
+    Row& String(const std::string& key, std::string value);
+
+   private:
+    friend class BenchReport;
+    enum class Kind { kUint, kDouble, kBool, kString };
+    struct Field {
+      std::string key;
+      Kind kind;
+      uint64_t u = 0;
+      double d = 0.0;
+      bool b = false;
+      std::string s;
+    };
+    std::vector<Field> fields_;
+  };
+
+  Row& AddRow();
+
+  /// Attaches a registry snapshot as the `metrics` block (omitted when
+  /// never called or the snapshot is empty — e.g. under PULSE_NO_METRICS).
+  void AttachMetrics(const obs::MetricsSnapshot& snapshot);
+
+  /// The complete document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a message on stderr) when the
+  /// file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Param {
+    std::string key;
+    Row::Kind kind;
+    uint64_t u = 0;
+    double d = 0.0;
+    std::string s;
+  };
+
+  std::string name_;
+  std::vector<Param> params_;
+  std::vector<Row> rows_;
+  obs::MetricsSnapshot metrics_;
+  bool has_metrics_ = false;
+};
+
+/// Shared handling of the one CLI flag benches accept:
+/// `--metrics-out=PATH` writes `snapshot` in Prometheus text format to
+/// PATH after the run. Returns false on an unrecognized argument or an
+/// unwritable path (after printing a usage message).
+bool HandleMetricsOutFlag(int argc, char** argv,
+                          const obs::MetricsSnapshot& snapshot);
 
 }  // namespace pulse::bench
 

@@ -7,9 +7,10 @@
 #   SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan pass
 #   SKIP_FUZZ=1 scripts/check.sh   # skip the fuzz-smoke stage
 #   SKIP_BENCH=1 scripts/check.sh  # skip the bench regression gate
+#   SKIP_METRICS_GATE=1 ...        # skip the metrics-overhead micro-gate
 #
 # Run from anywhere; build trees land in <repo>/build, <repo>/build-tsan,
-# <repo>/build-asan and <repo>/build-fuzz.
+# <repo>/build-asan, <repo>/build-fuzz and <repo>/build-nometrics.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,12 +27,16 @@ else
   echo "== TSan: threaded tests (-DPULSE_TSAN=ON) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target thread_pool_test runtime_test solve_cache_test \
-             differential_test
+    --target metrics_registry_test thread_pool_test runtime_test \
+             solve_cache_test differential_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
   # differential_test runs the metamorphic parallel variants
-  # (num_threads = 4) of every generated case under TSan.
+  # (num_threads = 4) of every generated case under TSan;
+  # metrics_registry_test hammers one registry from 8 writer threads
+  # while snapshotting (the registry's lock-free hot path must be clean).
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/metrics_registry_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/thread_pool_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
@@ -148,6 +153,64 @@ EOF
       echo "solver hot path regressed >10% vs checked-in baseline" >&2
       exit 1
     fi
+  fi
+fi
+
+if [[ "${SKIP_METRICS_GATE:-0}" == "1" ]]; then
+  echo "== SKIP_METRICS_GATE=1: skipping metrics-overhead micro-gate =="
+else
+  echo "== metrics gate: registry overhead vs -DPULSE_NO_METRICS =="
+  # The observability layer promises a near-free hot path: every counter
+  # bump is one relaxed atomic add and spans are two clock reads. This
+  # gate runs the solver hot-path bench once with the registry enabled
+  # (the normal build) and once compiled out, and fails when the
+  # enabled build's calibration-normalized fig7_join_1t throughput is
+  # more than 3% below the compiled-out build's. Both figures are
+  # normalized by the fixed FP calibration kernel timed in the same
+  # window, so host-speed drift between the two runs cancels out;
+  # transient load skew is absorbed by up to 3 attempts.
+  cmake --build "$repo/build" -j "$jobs" --target bench_solver_hotpath
+  cmake -B "$repo/build-nometrics" -S "$repo" -DPULSE_NO_METRICS=ON
+  cmake --build "$repo/build-nometrics" -j "$jobs" \
+    --target bench_solver_hotpath
+  metrics_gate_ok=0
+  for attempt in 1 2 3; do
+    workdir="$(mktemp -d)"
+    (cd "$workdir" && "$repo/build/bench/bench_solver_hotpath" \
+      > /dev/null && mv BENCH_solver_hotpath.json with_metrics.json)
+    (cd "$workdir" && "$repo/build-nometrics/bench/bench_solver_hotpath" \
+      > /dev/null && mv BENCH_solver_hotpath.json no_metrics.json)
+    if python3 - "$workdir/with_metrics.json" "$workdir/no_metrics.json" <<'EOF'
+import json, sys
+
+def fig7_score(path):
+    with open(path) as f:
+        doc = json.load(f)
+    row = {r["scenario"]: r for r in doc["results"]}["fig7_join_1t"]
+    calib = row.get("calibration_ops_per_sec", 0.0)
+    return row["tuples_per_sec"] / calib if calib > 0 else None
+
+MAX_OVERHEAD = 0.03
+with_m, without_m = fig7_score(sys.argv[1]), fig7_score(sys.argv[2])
+if with_m is None or without_m is None:
+    print("  calibration figure missing; cannot normalize"); sys.exit(1)
+ratio = with_m / without_m
+flag = "FAIL" if ratio < 1.0 - MAX_OVERHEAD else "ok"
+print(f"  fig7_join_1t normalized throughput: metrics {ratio:.3f}x of "
+      f"no-metrics build (allowed >= {1.0 - MAX_OVERHEAD:.2f}) {flag}")
+sys.exit(1 if ratio < 1.0 - MAX_OVERHEAD else 0)
+EOF
+    then
+      metrics_gate_ok=1
+      rm -rf "$workdir"
+      break
+    fi
+    rm -rf "$workdir"
+    echo "  metrics gate attempt $attempt failed; retrying..."
+  done
+  if [[ "$metrics_gate_ok" != "1" ]]; then
+    echo "metrics registry overhead exceeds 3% on the solver hot path" >&2
+    exit 1
   fi
 fi
 

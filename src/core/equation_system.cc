@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/solve_cache.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace pulse {
@@ -169,6 +170,7 @@ Status SolveSystemsInto(const EquationSystemTask* tasks, size_t n,
                         RootMethod method, ThreadPool* pool,
                         SolveCache* cache,
                         std::vector<IntervalSet>* solutions) {
+  PULSE_SPAN("solve/batch");
   solutions->resize(n);
   auto solve_one = [&](size_t i) -> Status {
     // Per-thread scratch: warm buffers across tasks and batches, and no

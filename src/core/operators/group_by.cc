@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +69,7 @@ Result<std::vector<AllocatedBound>> PulseGroupBy::InvertBound(
 }
 
 Status PulseGroupBy::Flush(SegmentBatch* out) {
+  PULSE_SPAN("group_by/flush");
   // Shard the per-group flush across the pool: each group owns a
   // disjoint inner operator (per-shard state), so shards are fully
   // independent. Each shard writes only its own batch slot; the merge

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -108,6 +109,7 @@ Status PulseJoin::MatchPartners(size_t port, const Segment& segment,
   }
   if (pairs.empty()) return Status::OK();
   metrics_.solves += pairs.size();
+  PULSE_SPAN("join/match_partners");
 
   // Each pair is an independent equation system: fan the solves out
   // across the pool. Conjunctive predicates (the common case) go through

@@ -8,6 +8,7 @@
 #include "core/validation/lineage.h"
 #include "core/validation/splits.h"
 #include "model/segment.h"
+#include "obs/op_metrics.h"
 #include "util/atomic_counter.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -16,24 +17,6 @@ namespace pulse {
 
 class SolveCache;
 class ThreadPool;
-
-/// Counters for a continuous-time operator. `solves` counts equation-
-/// system executions — the quantity Pulse's validation machinery works to
-/// minimize ("the solver executes infrequently and only in the presence
-/// of errors", paper abstract). Counters are relaxed atomics so the
-/// bench harness stays truthful when solves fan out across a ThreadPool.
-struct PulseOperatorMetrics {
-  RelaxedCounter segments_in = 0;
-  RelaxedCounter segments_out = 0;
-  RelaxedCounter solves = 0;
-  RelaxedCounter state_size = 0;  // last observed buffered segments/pieces
-  RelaxedCounter processing_ns = 0;
-
-  void Reset() { *this = PulseOperatorMetrics(); }
-  double processing_seconds() const {
-    return static_cast<double>(processing_ns) * 1e-9;
-  }
-};
 
 /// Base class of continuous-time operators. Each operator is a closed
 /// equation system: it consumes segments and produces segments, so

@@ -109,6 +109,32 @@ void PulseExecutor::set_solve_cache(SolveCache* cache) {
   }
 }
 
+void PulseExecutor::set_metrics_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  views_ = obs::ViewGroup();  // drop any previous binding
+  node_hists_.assign(plan_.num_nodes(), nullptr);
+  if (registry == nullptr) return;
+  registry->BindViews(&views_);
+  for (PulsePlan::NodeId id = 0; id < plan_.num_nodes(); ++id) {
+    PulseOperator* op = plan_.node(id);
+    RegisterOperatorViews(views_, op->name(), op->metrics());
+    node_hists_[id] =
+        registry->GetHistogram("op/" + op->name() + "/process_ns");
+  }
+}
+
+Status PulseExecutor::RunNode(PulsePlan::NodeId id, size_t port,
+                              const Segment& segment, SegmentBatch* out) {
+  PulseOperator* op = plan_.node(id);
+  if constexpr (obs::kMetricsEnabled) {
+    if (registry_ != nullptr) {
+      obs::Span span(node_hists_[id], &op->metrics().processing_ns);
+      return op->Process(port, segment, out);
+    }
+  }
+  return op->Process(port, segment, out);
+}
+
 void PulseExecutor::DeliverToSink(const Segment& segment) {
   ++total_output_;
   if (callback_) callback_(segment);
@@ -138,8 +164,7 @@ Status PulseExecutor::Drain(PulsePlan::NodeId from, SegmentBatch segments) {
     Work w = std::move(pending.front());
     pending.pop_front();
     outs.clear();
-    PULSE_RETURN_IF_ERROR(
-        plan_.node(w.node)->Process(w.port, w.segment, &outs));
+    PULSE_RETURN_IF_ERROR(RunNode(w.node, w.port, w.segment, &outs));
     route(w.node, outs);
   }
   return Status::OK();
@@ -152,10 +177,10 @@ Status PulseExecutor::PushSegment(const std::string& stream,
     return Status::NotFound("no operator bound to stream '" + stream + "'");
   }
   if (segment.id == 0) segment.id = NextSegmentId();
+  PULSE_SPAN("executor/push_segment");
   for (const auto& e : bindings) {
     SegmentBatch outs;
-    PULSE_RETURN_IF_ERROR(
-        plan_.node(e.to)->Process(e.port, segment, &outs));
+    PULSE_RETURN_IF_ERROR(RunNode(e.to, e.port, segment, &outs));
     PULSE_RETURN_IF_ERROR(Drain(e.to, std::move(outs)));
   }
   return Status::OK();

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/operators/pulse_operator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/result.h"
 
 namespace pulse {
@@ -85,6 +87,15 @@ class PulseExecutor {
   /// the executor's last Push/Finish call.
   void set_solve_cache(SolveCache* cache);
 
+  /// Publishes every operator's counters into `registry` under the
+  /// unified op/<name>/... naming scheme (docs/OBSERVABILITY.md) and
+  /// enables per-operator Process latency histograms
+  /// (op/<name>/process_ns). The registry must outlive the executor
+  /// (same rule as the pool and cache); the views this call binds are
+  /// released by the executor's destruction. Pass nullptr to detach.
+  void set_metrics_registry(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+
   const PulsePlan& plan() const { return plan_; }
   PulsePlan& plan() { return plan_; }
 
@@ -93,6 +104,10 @@ class PulseExecutor {
 
   Status Drain(PulsePlan::NodeId from, SegmentBatch segments);
   void DeliverToSink(const Segment& segment);
+  // One Process call, timed into the operator's processing_ns counter
+  // and its op/<name>/process_ns histogram when a registry is attached.
+  Status RunNode(PulsePlan::NodeId id, size_t port, const Segment& segment,
+                 SegmentBatch* out);
 
   PulsePlan plan_;
   std::vector<PulsePlan::NodeId> topo_order_;
@@ -100,6 +115,11 @@ class PulseExecutor {
   uint64_t total_output_ = 0;
   std::function<void(const Segment&)> callback_;
   bool discard_output_ = false;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::ViewGroup views_;
+  // Parallel to plan_ nodes; resolved once in set_metrics_registry so
+  // the Process hot path never does a name lookup.
+  std::vector<obs::Histogram*> node_hists_;
 };
 
 }  // namespace pulse

@@ -10,6 +10,7 @@
 #include "core/operators/join.h"
 #include "math/linear_system.h"
 #include "model/fitting.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace pulse {
@@ -87,6 +88,14 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
     rt.solve_cache_ = std::make_unique<SolveCache>(*rt.options_.solve_cache);
     rt.executor_->set_solve_cache(rt.solve_cache_.get());
   }
+  if (rt.options_.metrics != nullptr) {
+    rt.metrics_ = rt.options_.metrics;
+  } else {
+    rt.owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    rt.metrics_ = rt.owned_metrics_.get();
+  }
+  rt.executor_->set_metrics_registry(rt.metrics_);
+  rt.BindRuntimeCounters();
   rt.inverter_ = std::make_unique<QueryInverter>(&rt.executor_->plan(),
                                                  rt.options_.split);
   rt.bound_registry_ = std::make_unique<BoundRegistry>();
@@ -118,15 +127,59 @@ Result<PredictiveRuntime> PredictiveRuntime::Make(const QuerySpec& spec,
   return rt;
 }
 
+void PredictiveRuntime::BindRuntimeCounters() {
+  c_tuples_in_ = metrics_->GetCounter("runtime/tuples_in");
+  c_tuples_validated_ = metrics_->GetCounter("runtime/tuples_validated");
+  c_violations_ = metrics_->GetCounter("runtime/violations");
+  c_segments_pushed_ = metrics_->GetCounter("runtime/segments_pushed");
+  c_output_segments_ = metrics_->GetCounter("runtime/output_segments");
+  c_output_tuples_ = metrics_->GetCounter("runtime/output_tuples");
+  c_inversions_ = metrics_->GetCounter("runtime/inversions");
+  c_tasks_spawned_ = metrics_->GetCounter("runtime/tasks_spawned");
+  c_parallel_cpu_ns_ = metrics_->GetCounter("runtime/parallel_solve_cpu_ns");
+  c_parallel_wall_ns_ =
+      metrics_->GetCounter("runtime/parallel_solve_wall_ns");
+  c_cache_hits_ = metrics_->GetCounter("solve_cache/hits");
+  c_cache_misses_ = metrics_->GetCounter("solve_cache/misses");
+  c_cache_lookups_ = metrics_->GetCounter("solve_cache/lookups");
+  c_cache_uncacheable_ = metrics_->GetCounter("solve_cache/uncacheable");
+}
+
 void PredictiveRuntime::SyncParallelStats() {
   if (pool_ != nullptr) {
-    stats_.tasks_spawned = pool_->tasks_spawned();
-    stats_.parallel_solve_ns = pool_->parallel_ns();
+    c_tasks_spawned_->Store(pool_->tasks_spawned());
+    c_parallel_cpu_ns_->Store(pool_->parallel_cpu_ns());
+    c_parallel_wall_ns_->Store(pool_->parallel_wall_ns());
   }
   if (solve_cache_ != nullptr) {
-    stats_.solve_cache_hits = solve_cache_->hits();
-    stats_.solve_cache_misses = solve_cache_->misses();
+    c_cache_hits_->Store(solve_cache_->hits());
+    c_cache_misses_->Store(solve_cache_->misses());
+    c_cache_lookups_->Store(solve_cache_->lookups());
+    c_cache_uncacheable_->Store(solve_cache_->uncacheable());
   }
+}
+
+RuntimeStats PredictiveRuntime::stats() const {
+  RuntimeStats s;
+  s.tuples_in = c_tuples_in_->value();
+  s.tuples_validated = c_tuples_validated_->value();
+  s.violations = c_violations_->value();
+  s.segments_pushed = c_segments_pushed_->value();
+  s.output_segments = c_output_segments_->value();
+  s.output_tuples = c_output_tuples_->value();
+  s.inversions = c_inversions_->value();
+  if (pool_ != nullptr) {
+    s.tasks_spawned = pool_->tasks_spawned();
+    s.parallel_solve_cpu_ns = pool_->parallel_cpu_ns();
+    s.parallel_solve_wall_ns = pool_->parallel_wall_ns();
+  }
+  if (solve_cache_ != nullptr) {
+    s.solve_cache_hits = solve_cache_->hits();
+    s.solve_cache_misses = solve_cache_->misses();
+    s.solve_cache_lookups = solve_cache_->lookups();
+    s.solve_cache_uncacheable = solve_cache_->uncacheable();
+  }
+  return s;
 }
 
 double PredictiveRuntime::SourceSlack(const std::string& stream,
@@ -160,7 +213,7 @@ Status PredictiveRuntime::HandleOutputs(std::vector<Segment> outputs) {
   const PulsePlan& plan = executor_->plan();
   const std::vector<PulsePlan::NodeId> sinks = plan.SinkNodes();
   for (const Segment& out : outputs) {
-    ++stats_.output_segments;
+    c_output_segments_->Increment();
     // Invert each user bound through whichever sink produced this
     // segment (identified by lineage ownership).
     for (const BoundSpec& spec : options_.bounds) {
@@ -170,7 +223,7 @@ Status PredictiveRuntime::HandleOutputs(std::vector<Segment> outputs) {
         }
         Status st = inverter_->InvertForOutput(sink, out, spec,
                                                bound_registry_.get());
-        if (st.ok()) ++stats_.inversions;
+        if (st.ok()) c_inversions_->Increment();
         break;
       }
     }
@@ -178,7 +231,7 @@ Status PredictiveRuntime::HandleOutputs(std::vector<Segment> outputs) {
       std::vector<std::string> attrs;
       for (const auto& [name, _] : out.attributes) attrs.push_back(name);
       std::vector<Tuple> sampled = sampler_->Sample(out, attrs);
-      stats_.output_tuples += sampled.size();
+      c_output_tuples_->Add(sampled.size());
       if (options_.collect_outputs) {
         output_tuples_.insert(output_tuples_.end(), sampled.begin(),
                               sampled.end());
@@ -227,7 +280,7 @@ PredictiveRuntime::StreamState* PredictiveRuntime::FindStream(
 
 Status PredictiveRuntime::ProcessTuple(const std::string& stream,
                                        const Tuple& tuple) {
-  ++stats_.tuples_in;
+  c_tuples_in_->Increment();
   StreamState* state = FindStream(stream);
   if (state == nullptr) {
     return Status::NotFound("stream '" + stream + "' not declared");
@@ -265,10 +318,10 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
       }
     }
     if (explained) {
-      ++stats_.tuples_validated;
+      c_tuples_validated_->Increment();
       return Status::OK();
     }
-    ++stats_.violations;
+    c_violations_->Increment();
   }
 
   // Rebuild the model from this tuple and reprocess.
@@ -287,8 +340,15 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
   model.segment = segment;
   BindModel(*state, &model);
   RefreshMargins(*state, key, &model);
-  PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
-  ++stats_.segments_pushed;
+  {
+    // Scope spans fired inside the push (PULSE_SPAN sites in the
+    // executor and operators) to this runtime's registry.
+    obs::ScopedMetricsRegistry scoped(metrics_);
+    PULSE_SPAN("runtime/push_segment");
+    PULSE_RETURN_IF_ERROR(
+        executor_->PushSegment(stream, std::move(segment)));
+  }
+  c_segments_pushed_->Increment();
   SyncParallelStats();
   std::vector<Segment> outputs = executor_->TakeOutput();
   const bool produced = !outputs.empty();
@@ -309,7 +369,10 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
 }
 
 Status PredictiveRuntime::Finish() {
-  PULSE_RETURN_IF_ERROR(executor_->Finish());
+  {
+    obs::ScopedMetricsRegistry scoped(metrics_);
+    PULSE_RETURN_IF_ERROR(executor_->Finish());
+  }
   SyncParallelStats();
   return HandleOutputs(executor_->TakeOutput());
 }
@@ -536,6 +599,14 @@ Result<HistoricalRuntime> HistoricalRuntime::Make(const QuerySpec& spec,
     rt.solve_cache_ = std::make_unique<SolveCache>(*rt.options_.solve_cache);
     rt.executor_->set_solve_cache(rt.solve_cache_.get());
   }
+  if (rt.options_.metrics != nullptr) {
+    rt.metrics_ = rt.options_.metrics;
+  } else {
+    rt.owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    rt.metrics_ = rt.owned_metrics_.get();
+  }
+  rt.executor_->set_metrics_registry(rt.metrics_);
+  rt.BindRuntimeCounters();
   for (const auto& [name, stream] : spec.streams()) {
     rt.segmenters_.emplace(name,
                            std::make_unique<MultiAttributeSegmenter>(
@@ -558,7 +629,7 @@ MultiAttributeSegmenter* HistoricalRuntime::FindSegmenter(
 
 Status HistoricalRuntime::ProcessTuple(const std::string& stream,
                                        const Tuple& tuple) {
-  ++stats_.tuples_in;
+  c_tuples_in_->Increment();
   MultiAttributeSegmenter* segmenter = FindSegmenter(stream);
   if (segmenter == nullptr) {
     return Status::NotFound("stream '" + stream + "' not declared");
@@ -570,23 +641,66 @@ Status HistoricalRuntime::ProcessTuple(const std::string& stream,
   return Status::OK();
 }
 
+void HistoricalRuntime::BindRuntimeCounters() {
+  c_tuples_in_ = metrics_->GetCounter("runtime/tuples_in");
+  c_segments_pushed_ = metrics_->GetCounter("runtime/segments_pushed");
+  c_output_segments_ = metrics_->GetCounter("runtime/output_segments");
+  c_tasks_spawned_ = metrics_->GetCounter("runtime/tasks_spawned");
+  c_parallel_cpu_ns_ = metrics_->GetCounter("runtime/parallel_solve_cpu_ns");
+  c_parallel_wall_ns_ =
+      metrics_->GetCounter("runtime/parallel_solve_wall_ns");
+  c_cache_hits_ = metrics_->GetCounter("solve_cache/hits");
+  c_cache_misses_ = metrics_->GetCounter("solve_cache/misses");
+  c_cache_lookups_ = metrics_->GetCounter("solve_cache/lookups");
+  c_cache_uncacheable_ = metrics_->GetCounter("solve_cache/uncacheable");
+}
+
 void HistoricalRuntime::SyncParallelStats() {
   if (pool_ != nullptr) {
-    stats_.tasks_spawned = pool_->tasks_spawned();
-    stats_.parallel_solve_ns = pool_->parallel_ns();
+    c_tasks_spawned_->Store(pool_->tasks_spawned());
+    c_parallel_cpu_ns_->Store(pool_->parallel_cpu_ns());
+    c_parallel_wall_ns_->Store(pool_->parallel_wall_ns());
   }
   if (solve_cache_ != nullptr) {
-    stats_.solve_cache_hits = solve_cache_->hits();
-    stats_.solve_cache_misses = solve_cache_->misses();
+    c_cache_hits_->Store(solve_cache_->hits());
+    c_cache_misses_->Store(solve_cache_->misses());
+    c_cache_lookups_->Store(solve_cache_->lookups());
+    c_cache_uncacheable_->Store(solve_cache_->uncacheable());
   }
+}
+
+RuntimeStats HistoricalRuntime::stats() const {
+  RuntimeStats s;
+  s.tuples_in = c_tuples_in_->value();
+  s.segments_pushed = c_segments_pushed_->value();
+  s.output_segments = c_output_segments_->value();
+  if (pool_ != nullptr) {
+    s.tasks_spawned = pool_->tasks_spawned();
+    s.parallel_solve_cpu_ns = pool_->parallel_cpu_ns();
+    s.parallel_solve_wall_ns = pool_->parallel_wall_ns();
+  }
+  if (solve_cache_ != nullptr) {
+    s.solve_cache_hits = solve_cache_->hits();
+    s.solve_cache_misses = solve_cache_->misses();
+    s.solve_cache_lookups = solve_cache_->lookups();
+    s.solve_cache_uncacheable = solve_cache_->uncacheable();
+  }
+  return s;
 }
 
 Status HistoricalRuntime::ProcessSegment(const std::string& stream,
                                          Segment segment) {
   const size_t before = executor_->total_output();
-  PULSE_RETURN_IF_ERROR(executor_->PushSegment(stream, std::move(segment)));
-  ++stats_.segments_pushed;
-  stats_.output_segments += executor_->total_output() - before;
+  {
+    // Scope spans fired inside the push (PULSE_SPAN sites in the
+    // executor and operators) to this runtime's registry.
+    obs::ScopedMetricsRegistry scoped(metrics_);
+    PULSE_SPAN("runtime/push_segment");
+    PULSE_RETURN_IF_ERROR(
+        executor_->PushSegment(stream, std::move(segment)));
+  }
+  c_segments_pushed_->Increment();
+  c_output_segments_->Add(executor_->total_output() - before);
   SyncParallelStats();
   return Status::OK();
 }
@@ -598,7 +712,10 @@ Status HistoricalRuntime::Finish() {
       PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(s)));
     }
   }
-  PULSE_RETURN_IF_ERROR(executor_->Finish());
+  {
+    obs::ScopedMetricsRegistry scoped(metrics_);
+    PULSE_RETURN_IF_ERROR(executor_->Finish());
+  }
   SyncParallelStats();
   return Status::OK();
 }

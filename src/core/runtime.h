@@ -20,6 +20,7 @@
 #include "core/validation/splits.h"
 #include "engine/tuple.h"
 #include "model/segmentation.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -36,7 +37,12 @@ struct ParallelOptions {
   size_t num_threads = 1;
 };
 
-/// End-to-end counters for a runtime session.
+/// End-to-end counters for a runtime session. Since the observability
+/// rework this is a point-in-time VIEW assembled by stats() from the
+/// runtime's MetricsRegistry handles plus the pool/cache counters — a
+/// plain value, safe to keep after the runtime is gone. The authoritative
+/// counters live in the registry under the names documented in
+/// docs/OBSERVABILITY.md (runtime/..., solve_cache/..., op/...).
 struct RuntimeStats {
   uint64_t tuples_in = 0;
   /// Tuples explained by the current model within bounds/slack — dropped
@@ -50,12 +56,19 @@ struct RuntimeStats {
   uint64_t inversions = 0;
   /// Worker tasks handed to the solver thread pool (0 when serial).
   uint64_t tasks_spawned = 0;
-  /// Wall-clock nanoseconds spent inside parallel solve fan-outs.
-  uint64_t parallel_solve_ns = 0;
-  /// Row solves answered from / missed by the solve cache (both 0 when
-  /// the cache is disabled).
+  /// Nanoseconds summed over every parallel fan-out's full span. Nested
+  /// and concurrent fan-outs each contribute their whole duration, so
+  /// this behaves like CPU time and can exceed wall time.
+  uint64_t parallel_solve_cpu_ns = 0;
+  /// Wall-clock nanoseconds during which at least one parallel fan-out
+  /// was active. Always <= parallel_solve_cpu_ns.
+  uint64_t parallel_solve_wall_ns = 0;
+  /// Solve-cache traffic (all 0 when the cache is disabled). Invariant:
+  /// hits + misses + uncacheable == lookups at any quiescent point.
   uint64_t solve_cache_hits = 0;
   uint64_t solve_cache_misses = 0;
+  uint64_t solve_cache_lookups = 0;
+  uint64_t solve_cache_uncacheable = 0;
 };
 
 /// Online predictive processing (paper Section II-A): models of unseen
@@ -80,6 +93,11 @@ class PredictiveRuntime {
     /// default (exact keys) is deterministic: output is bit-identical to
     /// an uncached run.
     std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
+    /// Registry all runtime/operator counters report through. Must
+    /// outlive the runtime. nullptr (the default) gives the runtime a
+    /// private registry, so counters from concurrent runtimes in one
+    /// process never mix; pass a shared registry to aggregate instead.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   static Result<PredictiveRuntime> Make(const QuerySpec& spec,
@@ -93,7 +111,15 @@ class PredictiveRuntime {
   /// End of input: flush residual operator state.
   Status Finish();
 
-  const RuntimeStats& stats() const { return stats_; }
+  /// Point-in-time view over the registry and pool/cache counters (see
+  /// RuntimeStats). Returned by value: the snapshot stays coherent while
+  /// worker threads keep counting.
+  RuntimeStats stats() const;
+
+  /// The registry this runtime reports through (owned unless
+  /// Options::metrics was set).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   std::vector<Segment> TakeOutputSegments();
   std::vector<Tuple> TakeOutputTuples();
 
@@ -110,8 +136,11 @@ class PredictiveRuntime {
   // Inverts bounds / samples a freshly produced batch of sink outputs and
   // stores it (when collection is enabled).
   Status HandleOutputs(std::vector<Segment> outputs);
-  // Mirrors the pool's cumulative counters into stats_ (slow path only).
+  // Mirrors the pool's and cache's cumulative counters into the registry
+  // namespace (slow path only).
   void SyncParallelStats();
+  // Resolves the runtime/... counter handles out of metrics_.
+  void BindRuntimeCounters();
 
   QuerySpec spec_;
   Options options_;
@@ -157,6 +186,10 @@ class PredictiveRuntime {
   std::unique_ptr<ThreadPool> pool_;
   // Same lifetime rules as pool_: operators hold a raw pointer.
   std::unique_ptr<SolveCache> solve_cache_;
+  // Declared before the executor for the same reason: the executor's
+  // view bindings must release before the registry they point into dies.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<PulseExecutor> executor_;
   std::unique_ptr<QueryInverter> inverter_;
   std::map<std::string, StreamState> streams_;
@@ -169,7 +202,23 @@ class PredictiveRuntime {
   std::optional<Sampler> sampler_;
   std::vector<Segment> output_segments_;
   std::vector<Tuple> output_tuples_;
-  RuntimeStats stats_;
+  // Hot-path counter handles into metrics_ (stable for its lifetime).
+  obs::Counter* c_tuples_in_ = nullptr;
+  obs::Counter* c_tuples_validated_ = nullptr;
+  obs::Counter* c_violations_ = nullptr;
+  obs::Counter* c_segments_pushed_ = nullptr;
+  obs::Counter* c_output_segments_ = nullptr;
+  obs::Counter* c_output_tuples_ = nullptr;
+  obs::Counter* c_inversions_ = nullptr;
+  // Mirrors of the pool/cache cumulative counters (Store()d by
+  // SyncParallelStats so snapshots and exporters see them).
+  obs::Counter* c_tasks_spawned_ = nullptr;
+  obs::Counter* c_parallel_cpu_ns_ = nullptr;
+  obs::Counter* c_parallel_wall_ns_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_cache_lookups_ = nullptr;
+  obs::Counter* c_cache_uncacheable_ = nullptr;
 };
 
 /// Joint multi-attribute online segmentation: one piece breaks when ANY
@@ -260,6 +309,11 @@ class HistoricalRuntime {
     /// heavily — identical difference polynomials recur across what-if
     /// variants of one model set.
     std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
+    /// Registry all runtime/operator counters report through. Must
+    /// outlive the runtime. nullptr (the default) gives the runtime a
+    /// private registry, so counters from concurrent runtimes in one
+    /// process never mix; pass a shared registry to aggregate instead.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   static Result<HistoricalRuntime> Make(const QuerySpec& spec,
@@ -275,7 +329,14 @@ class HistoricalRuntime {
 
   Status Finish();
 
-  const RuntimeStats& stats() const { return stats_; }
+  /// Point-in-time view over the registry and pool/cache counters (see
+  /// RuntimeStats).
+  RuntimeStats stats() const;
+
+  /// The registry this runtime reports through (owned unless
+  /// Options::metrics was set).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   std::vector<Segment> TakeOutputSegments();
   const PulsePlan& plan() const { return executor_->plan(); }
   SolveCache* solve_cache() const { return solve_cache_.get(); }
@@ -287,16 +348,33 @@ class HistoricalRuntime {
   Options options_;
   MultiAttributeSegmenter* FindSegmenter(const std::string& name);
   void SyncParallelStats();
+  void BindRuntimeCounters();
 
   // Declared before the executor: see PredictiveRuntime::pool_.
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SolveCache> solve_cache_;
+  // Declared before the executor: its view bindings must release before
+  // the registry they point into dies.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<PulseExecutor> executor_;
   std::map<std::string, std::unique_ptr<MultiAttributeSegmenter>>
       segmenters_;
   MultiAttributeSegmenter* memo_segmenter_ = nullptr;
   const std::string* memo_segmenter_name_ = nullptr;
-  RuntimeStats stats_;
+  // Hot-path counter handles into metrics_ (stable for its lifetime).
+  obs::Counter* c_tuples_in_ = nullptr;
+  obs::Counter* c_segments_pushed_ = nullptr;
+  obs::Counter* c_output_segments_ = nullptr;
+  // Mirrors of the pool/cache cumulative counters (Store()d by
+  // SyncParallelStats so snapshots and exporters see them).
+  obs::Counter* c_tasks_spawned_ = nullptr;
+  obs::Counter* c_parallel_cpu_ns_ = nullptr;
+  obs::Counter* c_parallel_wall_ns_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_cache_lookups_ = nullptr;
+  obs::Counter* c_cache_uncacheable_ = nullptr;
 };
 
 }  // namespace pulse

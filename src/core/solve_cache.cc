@@ -85,7 +85,11 @@ bool SolveCache::Lookup(const Polynomial& diff, CmpOp op,
                         const Interval& domain, RootMethod method,
                         IntervalSet* out) {
   Key key;
-  if (!MakeKey(diff, op, domain, method, &key)) return false;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (!MakeKey(diff, op, domain, method, &key)) {
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -140,6 +144,8 @@ void SolveCache::Clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  lookups_.store(0, std::memory_order_relaxed);
+  uncacheable_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pulse

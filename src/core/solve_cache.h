@@ -67,7 +67,9 @@ class SolveCache {
 
   /// On hit copies the cached solution into *out and returns true.
   /// Returns false (and counts a miss) otherwise. Rows that are not
-  /// cacheable (degree > 7) return false without counting.
+  /// cacheable (degree > 7) return false and count as `uncacheable`.
+  /// Every call counts as one lookup, so
+  /// hits + misses + uncacheable == lookups at any quiescent point.
   bool Lookup(const Polynomial& diff, CmpOp op, const Interval& domain,
               RootMethod method, IntervalSet* out);
 
@@ -78,6 +80,14 @@ class SolveCache {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
+  }
+  /// Total Lookup calls (hits + misses + uncacheable).
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  /// Lookup calls rejected because the row cannot be keyed (degree > 7).
+  uint64_t uncacheable() const {
+    return uncacheable_.load(std::memory_order_relaxed);
   }
 
   /// Cached entries across shards and generations (approximate under
@@ -130,6 +140,8 @@ class SolveCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> uncacheable_{0};
 };
 
 }  // namespace pulse

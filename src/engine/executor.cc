@@ -10,6 +10,32 @@ Result<Executor> Executor::Make(QueryPlan plan) {
   return exec;
 }
 
+void Executor::set_metrics_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  views_ = obs::ViewGroup();  // drop any previous binding
+  node_hists_.assign(plan_.num_nodes(), nullptr);
+  if (registry == nullptr) return;
+  registry->BindViews(&views_);
+  for (QueryPlan::NodeId id = 0; id < plan_.num_nodes(); ++id) {
+    Operator* op = plan_.node(id);
+    RegisterOperatorViews(views_, op->name(), op->metrics());
+    node_hists_[id] =
+        registry->GetHistogram("op/" + op->name() + "/process_ns");
+  }
+}
+
+Status Executor::RunNode(QueryPlan::NodeId id, size_t port,
+                         const Tuple& tuple, std::vector<Tuple>* out) {
+  Operator* op = plan_.node(id);
+  if constexpr (obs::kMetricsEnabled) {
+    if (registry_ != nullptr) {
+      obs::Span span(node_hists_[id], &op->metrics().processing_ns);
+      return op->Process(port, tuple, out);
+    }
+  }
+  return op->Process(port, tuple, out);
+}
+
 void Executor::DeliverToSink(const Tuple& tuple) {
   ++total_output_;
   if (callback_) callback_(tuple);
@@ -40,8 +66,7 @@ Status Executor::Drain(QueryPlan::NodeId from, std::vector<Tuple> tuples) {
     Work w = std::move(pending.front());
     pending.pop_front();
     outs.clear();
-    PULSE_RETURN_IF_ERROR(
-        plan_.node(w.node)->Process(w.port, w.tuple, &outs));
+    PULSE_RETURN_IF_ERROR(RunNode(w.node, w.port, w.tuple, &outs));
     route(w.node, outs);
   }
   return Status::OK();
@@ -54,8 +79,7 @@ Status Executor::PushTuple(const std::string& stream, const Tuple& tuple) {
   }
   for (const auto& e : bindings) {
     std::vector<Tuple> outs;
-    PULSE_RETURN_IF_ERROR(
-        plan_.node(e.to)->Process(e.port, tuple, &outs));
+    PULSE_RETURN_IF_ERROR(RunNode(e.to, e.port, tuple, &outs));
     PULSE_RETURN_IF_ERROR(Drain(e.to, std::move(outs)));
   }
   return Status::OK();

@@ -8,6 +8,8 @@
 
 #include "engine/plan.h"
 #include "engine/tuple.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/result.h"
 
 namespace pulse {
@@ -49,6 +51,15 @@ class Executor {
   /// not stored (long benchmark runs).
   void set_discard_output(bool discard) { discard_output_ = discard; }
 
+  /// Publishes every operator's counters into `registry` under the same
+  /// op/<name>/... naming scheme the Pulse executor uses
+  /// (docs/OBSERVABILITY.md), making a discrete run of a query directly
+  /// comparable to its Pulse realization, and enables per-operator
+  /// Process latency histograms (op/<name>/process_ns). The registry
+  /// must outlive the executor; pass nullptr to detach.
+  void set_metrics_registry(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+
   const QueryPlan& plan() const { return plan_; }
   QueryPlan& plan() { return plan_; }
 
@@ -59,6 +70,10 @@ class Executor {
   // processing transitively until quiescence.
   Status Drain(QueryPlan::NodeId from, std::vector<Tuple> tuples);
   void DeliverToSink(const Tuple& tuple);
+  // One Process call, timed into the operator's processing_ns counter
+  // and its op/<name>/process_ns histogram when a registry is attached.
+  Status RunNode(QueryPlan::NodeId id, size_t port, const Tuple& tuple,
+                 std::vector<Tuple>* out);
 
   QueryPlan plan_;
   std::vector<QueryPlan::NodeId> topo_order_;
@@ -66,6 +81,11 @@ class Executor {
   uint64_t total_output_ = 0;
   std::function<void(const Tuple&)> callback_;
   bool discard_output_ = false;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::ViewGroup views_;
+  // Parallel to plan_ nodes; resolved once in set_metrics_registry so
+  // the per-tuple path never does a name lookup.
+  std::vector<obs::Histogram*> node_hists_;
 };
 
 }  // namespace pulse

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/metrics.h"
+#include "obs/op_metrics.h"
 #include "engine/schema.h"
 #include "engine/tuple.h"
 #include "util/status.h"

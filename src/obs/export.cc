@@ -1,0 +1,92 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pulse {
+namespace obs {
+
+namespace {
+
+// Prometheus floats: integral values render without exponent noise.
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+void WriteJson(const MetricsSnapshot& snapshot, json::Writer& writer) {
+  writer.BeginObject();
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.Key(name).Uint(value);
+  }
+  writer.EndObject();
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.Key(name).Double(value);
+  }
+  writer.EndObject();
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    writer.Key(name).BeginObject();
+    writer.Key("count").Uint(h.count);
+    writer.Key("sum").Uint(h.sum);
+    writer.Key("max").Uint(h.max);
+    writer.Key("p50").Double(h.p50);
+    writer.Key("p95").Double(h.p95);
+    writer.Key("p99").Double(h.p99);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot, int indent) {
+  json::Writer writer(indent);
+  WriteJson(snapshot, writer);
+  return writer.Take();
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "pulse_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) || c == '_' ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + FormatNumber(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{quantile=\"0.5\"} " + FormatNumber(h.p50) + "\n";
+    out += p + "{quantile=\"0.95\"} " + FormatNumber(h.p95) + "\n";
+    out += p + "{quantile=\"0.99\"} " + FormatNumber(h.p99) + "\n";
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+    out += p + "_max " + std::to_string(h.max) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pulse

@@ -1,0 +1,39 @@
+#ifndef PULSE_OBS_EXPORT_H_
+#define PULSE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace pulse {
+namespace obs {
+
+/// Writes `snapshot` as one JSON object value into an in-progress
+/// document:
+///
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count":..,"sum":..,"max":..,
+///                            "p50":..,"p95":..,"p99":..}, ...}}
+///
+/// bench_util embeds this as the `metrics` block of BENCH_*.json; the
+/// standalone ToJson below wraps it into a full document.
+void WriteJson(const MetricsSnapshot& snapshot, json::Writer& writer);
+
+/// `snapshot` as a complete JSON document.
+std::string ToJson(const MetricsSnapshot& snapshot, int indent = 2);
+
+/// `snapshot` in Prometheus text exposition format (one
+/// `# TYPE`-annotated family per metric; histograms as summaries with
+/// quantile labels plus _sum/_count/_max series). Metric names are
+/// sanitized ([^a-zA-Z0-9_] -> '_') and prefixed with `pulse_`.
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
+
+/// Prometheus-legal series name for a registry metric name (exposed for
+/// golden-file tests).
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace pulse
+
+#endif  // PULSE_OBS_EXPORT_H_

@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pulse {
+namespace obs {
+
+namespace {
+
+// floor(log2(v)) for v >= 1.
+inline int Log2Floor(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(v);
+#else
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Gauge
+
+uint64_t Gauge::ToBits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+double Gauge::FromBits(uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+size_t Histogram::BucketOf(uint64_t value) {
+  if (value < 4) return static_cast<size_t>(value);
+  const int octave = Log2Floor(value);           // in [2, 63]
+  const uint64_t sub = (value >> (octave - 2)) & 3;
+  return static_cast<size_t>((octave - 1) * 4 + sub);
+}
+
+std::pair<uint64_t, uint64_t> Histogram::BucketBounds(size_t b) {
+  if (b < 4) return {b, b + 1};
+  const int octave = static_cast<int>(b / 4 + 1);
+  const uint64_t sub = b % 4;
+  const uint64_t lo = (4 + sub) << (octave - 2);
+  if (b + 1 == kNumBuckets) {
+    // (4+3+1) << 61 would wrap; the top bucket is open-ended.
+    return {lo, UINT64_MAX};
+  }
+  return {lo, lo + (uint64_t{1} << (octave - 2))};
+}
+
+void Histogram::Record(uint64_t value) {
+  if constexpr (!kMetricsEnabled) {
+    (void)value;
+    return;
+  }
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    uint64_t count, double p) {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the p-quantile observation, 1-based; p=0 maps to the first.
+  const double target = std::max(1.0, p / 100.0 * static_cast<double>(count));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      const auto [lo, hi] = Histogram::BucketBounds(b);
+      // Interpolate linearly between the bucket bounds by the fraction of
+      // the bucket's observations below the target rank.
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return static_cast<double>(lo) +
+             frac * (static_cast<double>(hi) - static_cast<double>(lo));
+    }
+    cum += in_bucket;
+  }
+  // Rounding pushed the target past the last populated bucket.
+  for (size_t b = Histogram::kNumBuckets; b-- > 0;) {
+    if (buckets[b] != 0) return static_cast<double>(Histogram::BucketBounds(b).second);
+  }
+  return 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  const double est = PercentileFromBuckets(BucketCounts(), count(), p);
+  // The true order statistic never exceeds the maximum recorded value, so
+  // clamp the bucket upper-bound interpolation to it.
+  const uint64_t mx = max();
+  return std::min(est, static_cast<double>(mx));
+}
+
+// ---------------------------------------------------------------------
+// ViewGroup
+
+ViewGroup::~ViewGroup() { Release(); }
+
+ViewGroup::ViewGroup(ViewGroup&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+ViewGroup& ViewGroup::operator=(ViewGroup&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void ViewGroup::AddCounterView(const std::string& name,
+                               const RelaxedCounter* source) {
+  if (registry_ != nullptr) registry_->AddView(id_, name, source, false);
+}
+
+void ViewGroup::AddGaugeView(const std::string& name,
+                             const RelaxedCounter* source) {
+  if (registry_ != nullptr) registry_->AddView(id_, name, source, true);
+}
+
+void ViewGroup::Release() {
+  if (registry_ != nullptr) {
+    registry_->DropViews(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[name];
+}
+
+void MetricsRegistry::BindViews(ViewGroup* group) {
+  group->Release();
+  std::lock_guard<std::mutex> lock(mu_);
+  group->registry_ = this;
+  group->id_ = next_group_++;
+}
+
+void MetricsRegistry::AddView(uint64_t group, const std::string& name,
+                              const RelaxedCounter* source, bool is_gauge) {
+  if (source == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = name;
+  for (int n = 2; views_.count(key) != 0; ++n) {
+    key = name + "#" + std::to_string(n);
+  }
+  views_[key] = View{source, is_gauge, group};
+}
+
+void MetricsRegistry::DropViews(uint64_t group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = views_.begin(); it != views_.end();) {
+    it = it->second.group == group ? views_.erase(it) : std::next(it);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  if constexpr (!kMetricsEnabled) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h.count();
+    if (s.count > 0) {
+      const auto buckets = h.BucketCounts();
+      s.sum = h.sum();
+      s.max = h.max();
+      const double mx = static_cast<double>(s.max);
+      s.p50 = std::min(PercentileFromBuckets(buckets, s.count, 50.0), mx);
+      s.p95 = std::min(PercentileFromBuckets(buckets, s.count, 95.0), mx);
+      s.p99 = std::min(PercentileFromBuckets(buckets, s.count, 99.0), mx);
+    }
+    snap.histograms[name] = s;
+  }
+  for (const auto& [name, view] : views_) {
+    const uint64_t v = view.source->value();
+    if (view.is_gauge) {
+      snap.gauges[name] = static_cast<double>(v);
+    } else {
+      snap.counters[name] = v;
+    }
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() + views_.size();
+}
+
+MetricsRegistry* DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace pulse

@@ -1,0 +1,249 @@
+#ifndef PULSE_OBS_METRICS_H_
+#define PULSE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/atomic_counter.h"
+
+namespace pulse {
+namespace obs {
+
+// Compile-out switch for the whole observability layer: with
+// -DPULSE_NO_METRICS every Counter/Gauge/Histogram mutation and every
+// PULSE_SPAN becomes an inline no-op (reads return zero, snapshots are
+// empty). scripts/check.sh builds this configuration to measure the
+// instrumentation overhead of the default build (metrics-overhead gate,
+// budget 3%).
+#if defined(PULSE_NO_METRICS)
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Monotonic counter. The hot path is one relaxed fetch_add — safe and
+/// truthful when operators fan out across the ThreadPool (same contract
+/// as RelaxedCounter, see util/atomic_counter.h). Store() exists for
+/// mirroring cumulative counts maintained elsewhere (ThreadPool,
+/// SolveCache) into the registry namespace.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    if constexpr (kMetricsEnabled) {
+      v_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      (void)delta;
+    }
+  }
+  void Increment() { Add(1); }
+  void Store(uint64_t value) {
+    if constexpr (kMetricsEnabled) {
+      v_.store(value, std::memory_order_relaxed);
+    } else {
+      (void)value;
+    }
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Level metric (last-write-wins). Stores double bits in one atomic so
+/// Set/value are lock-free and TSan-clean.
+class Gauge {
+ public:
+  void Set(double value) {
+    if constexpr (kMetricsEnabled) {
+      bits_.store(ToBits(value), std::memory_order_relaxed);
+    } else {
+      (void)value;
+    }
+  }
+  double value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t ToBits(double d);
+  static double FromBits(uint64_t b);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket log-linear latency histogram (HdrHistogram-style): 4
+/// sub-buckets per power of two, so any recorded value lands in a bucket
+/// whose width is at most 25% of its lower bound. Values are intended to
+/// be nanoseconds but the structure is unit-agnostic. Recording is
+/// lock-free (relaxed adds); percentile extraction walks a snapshot of
+/// the bucket array.
+class Histogram {
+ public:
+  /// 4 exact buckets for 0..3, then 4 sub-buckets per octave up to the
+  /// full uint64 range.
+  static constexpr size_t kNumBuckets = 4 + 62 * 4;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Percentile estimate in [0, 100]: locates the bucket holding the
+  /// p-quantile observation and interpolates linearly inside it. The
+  /// estimate is within one sub-bucket (<= 25% relative error) of the
+  /// true order statistic. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Bucket index for a value (exposed for the brute-force oracle in
+  /// tests).
+  static size_t BucketOf(uint64_t value);
+  /// [lo, hi) value range covered by bucket `b`.
+  static std::pair<uint64_t, uint64_t> BucketBounds(size_t b);
+
+  /// Consistent-enough copy of the bucket array for offline percentile
+  /// math (snapshot exporters).
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+ private:
+  friend double PercentileFromBuckets(
+      const std::array<uint64_t, kNumBuckets>& buckets, uint64_t count,
+      double p);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Percentile math shared by Histogram::Percentile and snapshot
+/// extraction.
+double PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    uint64_t count, double p);
+
+/// Point-in-time view of a registry. Plain data: safe to keep after the
+/// registry (or the components feeding its views) are gone.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry;
+
+/// RAII handle for a batch of view metrics (snapshot-time reads of
+/// counters owned elsewhere, e.g. an operator's PulseOperatorMetrics).
+/// Unregisters every view it added when destroyed — the component that
+/// owns the viewed counters binds views through one ViewGroup and lets
+/// its destruction keep the registry free of dangling reads.
+class ViewGroup {
+ public:
+  ViewGroup() = default;
+  ~ViewGroup();
+  ViewGroup(ViewGroup&& other) noexcept;
+  ViewGroup& operator=(ViewGroup&& other) noexcept;
+  ViewGroup(const ViewGroup&) = delete;
+  ViewGroup& operator=(const ViewGroup&) = delete;
+
+  /// Publishes `source` under `name` as a counter. The source must stay
+  /// alive until this group is destroyed or Release()d. Duplicate names
+  /// get a "#2", "#3", ... suffix rather than silently merging.
+  void AddCounterView(const std::string& name, const RelaxedCounter* source);
+  /// Same, surfaced as a gauge (level semantics, e.g. buffered state
+  /// sizes).
+  void AddGaugeView(const std::string& name, const RelaxedCounter* source);
+
+  /// Drops all views of this group from the registry.
+  void Release();
+
+  bool bound() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// Process- or component-scoped metric namespace: named counters,
+/// gauges, and latency histograms with stable addresses. Handle lookup
+/// (Get*) takes a mutex and is meant for wiring time; the returned
+/// pointers are valid for the registry's lifetime and all operations on
+/// them are lock-free.
+///
+/// Both query realizations report through a registry with the same
+/// metric names (docs/OBSERVABILITY.md documents the naming scheme), so
+/// discrete and Pulse runs of one query are directly comparable — the
+/// differential harness asserts behavioral invariants on these names.
+///
+/// Lifetime: a registry must outlive every component holding handles
+/// into it (the ThreadPool/SolveCache convention). View metrics are the
+/// reverse direction — the registry reads counters owned by shorter-
+/// lived components — and are therefore bound through ViewGroup, whose
+/// destructor unregisters them.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Starts a view batch owned by `group` (replacing its previous
+  /// binding, if any).
+  void BindViews(ViewGroup* group);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Number of registered metrics (owned + views); for tests.
+  size_t size() const;
+
+ private:
+  friend class ViewGroup;
+
+  struct View {
+    const RelaxedCounter* source = nullptr;
+    bool is_gauge = false;
+    uint64_t group = 0;
+  };
+
+  void AddView(uint64_t group, const std::string& name,
+               const RelaxedCounter* source, bool is_gauge);
+  void DropViews(uint64_t group);
+
+  mutable std::mutex mu_;
+  // std::map: node addresses are stable across insertions, so handles
+  // returned by Get* never move.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, View> views_;
+  uint64_t next_group_ = 1;
+};
+
+/// Process-wide default registry (spans with no scoped registry record
+/// here).
+MetricsRegistry* DefaultRegistry();
+
+}  // namespace obs
+}  // namespace pulse
+
+#endif  // PULSE_OBS_METRICS_H_

@@ -1,0 +1,35 @@
+#include "obs/op_metrics.h"
+
+#include <sstream>
+
+namespace pulse {
+
+std::string OperatorMetrics::ToString() const {
+  std::ostringstream os;
+  os << "in=" << tuples_in << " out=" << tuples_out
+     << " invocations=" << invocations << " comparisons=" << comparisons
+     << " cpu_s=" << processing_seconds();
+  return os.str();
+}
+
+void RegisterOperatorViews(obs::ViewGroup& group, const std::string& op_name,
+                           const OperatorMetrics& metrics) {
+  const std::string prefix = "op/" + op_name + "/";
+  group.AddCounterView(prefix + "in", &metrics.tuples_in);
+  group.AddCounterView(prefix + "out", &metrics.tuples_out);
+  group.AddCounterView(prefix + "processing_ns", &metrics.processing_ns);
+  group.AddCounterView(prefix + "invocations", &metrics.invocations);
+  group.AddCounterView(prefix + "comparisons", &metrics.comparisons);
+}
+
+void RegisterOperatorViews(obs::ViewGroup& group, const std::string& op_name,
+                           const PulseOperatorMetrics& metrics) {
+  const std::string prefix = "op/" + op_name + "/";
+  group.AddCounterView(prefix + "in", &metrics.segments_in);
+  group.AddCounterView(prefix + "out", &metrics.segments_out);
+  group.AddCounterView(prefix + "processing_ns", &metrics.processing_ns);
+  group.AddCounterView(prefix + "solves", &metrics.solves);
+  group.AddGaugeView(prefix + "state_size", &metrics.state_size);
+}
+
+}  // namespace pulse

@@ -1,0 +1,30 @@
+#include "obs/span.h"
+
+namespace pulse {
+namespace obs {
+
+namespace {
+thread_local MetricsRegistry* g_current_registry = nullptr;
+thread_local uint64_t g_registry_epoch = 0;
+}  // namespace
+
+MetricsRegistry* CurrentRegistry() {
+  return g_current_registry != nullptr ? g_current_registry
+                                       : DefaultRegistry();
+}
+
+uint64_t CurrentRegistryEpoch() { return g_registry_epoch; }
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
+    : previous_(g_current_registry) {
+  g_current_registry = registry;
+  ++g_registry_epoch;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  g_current_registry = previous_;
+  ++g_registry_epoch;
+}
+
+}  // namespace obs
+}  // namespace pulse

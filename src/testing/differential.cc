@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "core/runtime.h"
 #include "core/transform.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace pulse {
@@ -140,6 +142,7 @@ class Reporter {
 struct DiscreteRun {
   std::vector<Tuple> output;
   std::shared_ptr<const Schema> schema;
+  obs::MetricsSnapshot metrics;
 };
 
 Result<DiscreteRun> RunDiscrete(const GeneratedCase& kase) {
@@ -150,7 +153,11 @@ Result<DiscreteRun> RunDiscrete(const GeneratedCase& kase) {
   }
   DiscreteRun run;
   run.schema = dp.sink_schemas[0];
+  // Registry declared before the executor: the executor's view bindings
+  // must release before the registry they point into dies.
+  obs::MetricsRegistry registry;
   PULSE_ASSIGN_OR_RETURN(Executor exec, Executor::Make(std::move(dp.plan)));
+  exec.set_metrics_registry(&registry);
 
   // Merge the per-stream tuple sequences into one arrival order:
   // timestamp-major, stream declaration order within a timestamp (stable
@@ -175,6 +182,7 @@ Result<DiscreteRun> RunDiscrete(const GeneratedCase& kase) {
   }
   PULSE_RETURN_IF_ERROR(exec.Finish());
   run.output = exec.TakeOutput();
+  run.metrics = registry.Snapshot();
   return run;
 }
 
@@ -197,9 +205,14 @@ SegmentFeed MakeSegmentFeed(const GeneratedCase& kase) {
   return feed;
 }
 
-Result<std::vector<Segment>> RunPulse(const GeneratedCase& kase,
-                                      const SegmentFeed& feed,
-                                      size_t num_threads, bool cache) {
+struct PulseRun {
+  std::vector<Segment> segments;
+  obs::MetricsSnapshot metrics;
+  RuntimeStats stats;
+};
+
+Result<PulseRun> RunPulse(const GeneratedCase& kase, const SegmentFeed& feed,
+                          size_t num_threads, bool cache) {
   HistoricalRuntime::Options options;
   options.collect_outputs = true;
   options.parallel.num_threads = num_threads;
@@ -211,7 +224,11 @@ Result<std::vector<Segment>> RunPulse(const GeneratedCase& kase,
         rt.ProcessSegment(kase.workloads[stream_idx].name, segment));
   }
   PULSE_RETURN_IF_ERROR(rt.Finish());
-  return rt.TakeOutputSegments();
+  PulseRun run;
+  run.segments = rt.TakeOutputSegments();
+  run.metrics = rt.metrics()->Snapshot();
+  run.stats = rt.stats();
+  return run;
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +284,109 @@ std::string CompareVariant(const std::vector<Segment>& base,
     }
   }
   return "";
+}
+
+// ---------------------------------------------------------------------
+// Metrics invariants: both realizations report through the same
+// MetricsRegistry namespace (docs/OBSERVABILITY.md), so behavioral
+// properties of the counters themselves are checkable per seed.
+
+uint64_t CounterOr0(const obs::MetricsSnapshot& s, const std::string& name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+// Operator names that registered the common per-operator counter subset
+// (op/<name>/in — the prefix every realization emits).
+std::set<std::string> OpNames(const obs::MetricsSnapshot& s) {
+  std::set<std::string> names;
+  for (const auto& [name, value] : s.counters) {
+    if (name.rfind("op/", 0) != 0) continue;
+    const size_t slash = name.rfind('/');
+    if (name.compare(slash, std::string::npos, "/in") == 0) {
+      names.insert(name.substr(3, slash - 3));
+    }
+  }
+  return names;
+}
+
+void CheckMetricsInvariants(const DiscreteRun& discrete,
+                            const PulseRun& base, const PulseRun& parallel,
+                            DiffReport* report, Reporter* reporter) {
+  if (!obs::kMetricsEnabled) return;  // registry compiled out
+
+  // Name parity: every Pulse plan operator must be visible in the
+  // discrete engine's registry under the same op/<name>/{in,out,
+  // processing_ns} names (the discrete plan may add helper operators,
+  // e.g. the ".key" grouping map, so inclusion is one-directional).
+  const std::set<std::string> pulse_ops = OpNames(base.metrics);
+  const std::set<std::string> discrete_ops = OpNames(discrete.metrics);
+  ++report->metrics_checks;
+  if (pulse_ops.empty()) {
+    reporter->Add(Divergence{"metrics.op_names", 0.0, 0, "", 0.0, 0.0,
+                             "pulse registry exposes no op/<name>/in "
+                             "counters"});
+  }
+  for (const std::string& op : pulse_ops) {
+    ++report->metrics_checks;
+    if (discrete_ops.count(op) == 0) {
+      reporter->Add(Divergence{"metrics.op_names", 0.0, 0, op, 0.0, 0.0,
+                               "operator reported by the Pulse registry "
+                               "but absent from the discrete registry"});
+      continue;
+    }
+    for (const obs::MetricsSnapshot* snap :
+         {&discrete.metrics, &base.metrics}) {
+      for (const char* suffix : {"/out", "/processing_ns"}) {
+        const std::string name = "op/" + op + suffix;
+        if (snap->counters.count(name) == 0) {
+          reporter->Add(Divergence{"metrics.op_names", 0.0, 0, name, 0.0,
+                                   0.0, "common-subset counter missing"});
+        }
+      }
+    }
+  }
+
+  // Solve-cache accounting identity, both serial and parallel runs:
+  // every Lookup is a hit, a miss, or uncacheable.
+  for (const auto& [label, run] :
+       {std::pair<const char*, const PulseRun*>{"serial", &base},
+        {"parallel", &parallel}}) {
+    const uint64_t hits = CounterOr0(run->metrics, "solve_cache/hits");
+    const uint64_t misses = CounterOr0(run->metrics, "solve_cache/misses");
+    const uint64_t uncacheable =
+        CounterOr0(run->metrics, "solve_cache/uncacheable");
+    const uint64_t lookups = CounterOr0(run->metrics, "solve_cache/lookups");
+    ++report->metrics_checks;
+    if (hits + misses + uncacheable != lookups) {
+      reporter->Add(Divergence{
+          "metrics.cache_identity", 0.0, 0, label,
+          static_cast<double>(lookups),
+          static_cast<double>(hits + misses + uncacheable),
+          "hits + misses + uncacheable != lookups"});
+    }
+  }
+
+  // A single-threaded runtime must never hand work to the pool.
+  ++report->metrics_checks;
+  if (base.stats.tasks_spawned != 0 ||
+      CounterOr0(base.metrics, "runtime/tasks_spawned") != 0) {
+    reporter->Add(Divergence{
+        "metrics.serial_tasks", 0.0, 0, "runtime/tasks_spawned", 0.0,
+        static_cast<double>(base.stats.tasks_spawned),
+        "num_threads == 1 but pool tasks were spawned"});
+  }
+
+  // Busy-interval union can never exceed the per-fan-out sum.
+  ++report->metrics_checks;
+  if (parallel.stats.parallel_solve_wall_ns >
+      parallel.stats.parallel_solve_cpu_ns) {
+    reporter->Add(Divergence{
+        "metrics.wall_le_cpu", 0.0, 0, "runtime/parallel_solve_wall_ns",
+        static_cast<double>(parallel.stats.parallel_solve_cpu_ns),
+        static_cast<double>(parallel.stats.parallel_solve_wall_ns),
+        "parallel wall time exceeds accumulated cpu time"});
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -636,9 +756,8 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
   report.discrete_output_tuples = discrete.output.size();
 
   const SegmentFeed feed = MakeSegmentFeed(kase);
-  PULSE_ASSIGN_OR_RETURN(std::vector<Segment> base,
-                         RunPulse(kase, feed, 1, true));
-  report.pulse_output_segments = base.size();
+  PULSE_ASSIGN_OR_RETURN(PulseRun base, RunPulse(kase, feed, 1, true));
+  report.pulse_output_segments = base.segments.size();
 
   // Metamorphic variants: solve cache off, parallel solver, both — each
   // must reproduce the base run byte-identically (modulo segment ids).
@@ -651,22 +770,26 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
       {"parallel", options.parallel_threads, true},
       {"parallel_cache_off", options.parallel_threads, false},
   };
+  PulseRun parallel;  // kept for the metrics invariants below
   for (const auto& v : variants) {
-    PULSE_ASSIGN_OR_RETURN(std::vector<Segment> got,
+    PULSE_ASSIGN_OR_RETURN(PulseRun got,
                            RunPulse(kase, feed, v.threads, v.cache));
-    const std::string mismatch = CompareVariant(base, got);
+    const std::string mismatch = CompareVariant(base.segments, got.segments);
     if (!mismatch.empty()) {
       reporter.Add(Divergence{std::string("metamorphic.") + v.name, 0.0, 0,
                               "", 0.0, 0.0, mismatch});
     }
+    if (v.threads > 1 && v.cache) parallel = std::move(got);
   }
+
+  CheckMetricsInvariants(discrete, base, parallel, &report, &reporter);
 
   if (kase.sink.kind == SinkInfo::Kind::kPointwise) {
     PULSE_RETURN_IF_ERROR(
-        MatchPointwise(kase, discrete, base, &reporter));
+        MatchPointwise(kase, discrete, base.segments, &reporter));
   } else {
     PULSE_RETURN_IF_ERROR(
-        MatchAggregate(kase, discrete, base, &reporter));
+        MatchAggregate(kase, discrete, base.segments, &reporter));
   }
   return report;
 }

@@ -48,6 +48,10 @@ struct DiffReport {
   size_t divergence_count = 0;
   size_t discrete_output_tuples = 0;
   size_t pulse_output_segments = 0;
+  /// Number of metrics invariants evaluated (0 only when the registry is
+  /// compiled out via PULSE_NO_METRICS) — lets tests assert the metrics
+  /// checks are not vacuous.
+  size_t metrics_checks = 0;
 
   bool ok() const { return divergence_count == 0; }
   /// Failure message including the replay seed.
@@ -57,7 +61,11 @@ struct DiffReport {
 /// Runs `kase` through the discrete executor (densely sampled tuples) and
 /// the Pulse runtime (exact model segments, four metamorphic variants),
 /// then matches outputs per kase.sink (see docs/TESTING.md for the oracle
-/// design and tolerance rationale).
+/// design and tolerance rationale). Both runs report through a
+/// MetricsRegistry, and the harness additionally checks the metrics
+/// invariants of docs/OBSERVABILITY.md: per-operator counter name parity
+/// across realizations, the solve-cache accounting identity, no pool
+/// tasks when serial, and parallel wall time <= accumulated cpu time.
 Result<DiffReport> RunDifferential(const GeneratedCase& kase,
                                    const DiffOptions& options = {});
 

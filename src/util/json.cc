@@ -1,0 +1,414 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pulse {
+namespace json {
+
+// ---------------------------------------------------------------------
+// Writer
+
+std::string Writer::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::Newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void Writer::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the separator
+  }
+  if (!stack_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+    Newline();
+  }
+}
+
+Writer& Writer::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(true);
+  has_element_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  const bool had = !has_element_.empty() && has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) Newline();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(false);
+  has_element_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  const bool had = !has_element_.empty() && has_element_.back();
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) Newline();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::Key(const std::string& key) {
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  Newline();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; emit null so documents stay parseable.
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  // %.17g round-trips doubles; trim to %g-style readability when exact.
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string Writer::Take() {
+  if (indent_ > 0) out_ += '\n';
+  std::string out = std::move(out_);
+  out_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Value
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Value Value::MakeNull() { return Value(); }
+
+Value Value::MakeBool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::MakeNumber(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::MakeString(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::MakeObject(std::map<std::string, Value> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    PULSE_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing garbage at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("json: expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        PULSE_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::MakeString(std::move(s));
+      }
+      case 't':
+        PULSE_RETURN_IF_ERROR(ExpectWord("true"));
+        return Value::MakeBool(true);
+      case 'f':
+        PULSE_RETURN_IF_ERROR(ExpectWord("false"));
+        return Value::MakeBool(false);
+      case 'n':
+        PULSE_RETURN_IF_ERROR(ExpectWord("null"));
+        return Value::MakeNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Status ExpectWord(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return Status::InvalidArgument("json: bad literal at offset " +
+                                     std::to_string(pos_));
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("json: bad value at offset " +
+                                     std::to_string(pos_));
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("json: bad number '" + tok + "'");
+    }
+    return Value::MakeNumber(d);
+  }
+
+  Result<std::string> ParseString() {
+    PULSE_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("json: truncated \\u escape");
+          }
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Snapshot names are ASCII; non-ASCII escapes degrade to '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Status::InvalidArgument("json: bad escape");
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<Value> ParseArray() {
+    PULSE_RETURN_IF_ERROR(Expect('['));
+    std::vector<Value> items;
+    SkipSpace();
+    if (Consume(']')) return Value::MakeArray(std::move(items));
+    for (;;) {
+      PULSE_ASSIGN_OR_RETURN(Value v, ParseValue());
+      items.push_back(std::move(v));
+      if (Consume(',')) continue;
+      PULSE_RETURN_IF_ERROR(Expect(']'));
+      return Value::MakeArray(std::move(items));
+    }
+  }
+
+  Result<Value> ParseObject() {
+    PULSE_RETURN_IF_ERROR(Expect('{'));
+    std::map<std::string, Value> members;
+    SkipSpace();
+    if (Consume('}')) return Value::MakeObject(std::move(members));
+    for (;;) {
+      SkipSpace();
+      PULSE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      PULSE_RETURN_IF_ERROR(Expect(':'));
+      PULSE_ASSIGN_OR_RETURN(Value v, ParseValue());
+      members.emplace(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      PULSE_RETURN_IF_ERROR(Expect('}'));
+      return Value::MakeObject(std::move(members));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace json
+}  // namespace pulse

@@ -1,0 +1,112 @@
+#ifndef PULSE_UTIL_JSON_H_
+#define PULSE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pulse {
+namespace json {
+
+/// Streaming JSON writer with automatic comma/indent management. Every
+/// JSON document the project emits (metrics snapshots, BENCH_*.json
+/// files) goes through this one writer so field quoting, separators, and
+/// number formatting cannot drift between call sites.
+///
+///   Writer w;
+///   w.BeginObject();
+///   w.Key("bench").String("solver_hotpath");
+///   w.Key("results").BeginArray();
+///   ...
+///   w.EndArray().EndObject();
+///   std::string doc = w.Take();
+class Writer {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact one-line JSON.
+  explicit Writer(int indent = 2) : indent_(indent) {}
+
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+  Writer& Key(const std::string& key);
+  Writer& String(const std::string& value);
+  Writer& Double(double value);
+  Writer& Uint(uint64_t value);
+  Writer& Int(int64_t value);
+  Writer& Bool(bool value);
+  Writer& Null();
+
+  /// The finished document. The writer must be balanced (all containers
+  /// closed); unbalanced use is a programming error caught by tests via
+  /// Parse().
+  std::string Take();
+
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void BeforeValue();
+  void Newline();
+
+  std::string out_;
+  int indent_ = 2;
+  // One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  // Parallel to stack_: whether the container already has an element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (null, bool, number, string, array, object).
+/// Numbers are stored as double — sufficient for validating the bench
+/// schema and metric snapshots this project produces.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Value>& as_array() const { return array_; }
+  const std::map<std::string, Value>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  static Value MakeNull();
+  static Value MakeBool(bool b);
+  static Value MakeNumber(double d);
+  static Value MakeString(std::string s);
+  static Value MakeArray(std::vector<Value> items);
+  static Value MakeObject(std::map<std::string, Value> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Strict recursive-descent parse of one JSON document (trailing
+/// whitespace allowed, trailing garbage is an error). Used by tests to
+/// validate emitted documents against their schema.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace json
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_JSON_H_

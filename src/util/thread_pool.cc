@@ -74,15 +74,37 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
   return result;
 }
 
+namespace {
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
 Status ThreadPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
-  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t t0 = NowNs();
+  // CPU time sums every call's full span; wall time is the union of the
+  // busy intervals, opened on the 0->1 activity edge and closed on 1->0.
+  // Both use the same end timestamp, so for a single serial call the two
+  // contributions are identical and wall <= cpu holds in every schedule.
+  if (parallel_depth_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    wall_start_ns_.store(t0, std::memory_order_relaxed);
+  }
   auto account = [&](Status st) {
-    const auto dt = std::chrono::steady_clock::now() - t0;
-    parallel_ns_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
-        std::memory_order_relaxed);
+    const uint64_t now = NowNs();
+    parallel_cpu_ns_.fetch_add(now - t0, std::memory_order_relaxed);
+    if (parallel_depth_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const uint64_t start = wall_start_ns_.load(std::memory_order_relaxed);
+      // `start` can postdate `now` if another call re-opened the window
+      // concurrently; drop the sliver rather than wrap.
+      if (now > start) {
+        parallel_wall_ns_.fetch_add(now - start, std::memory_order_relaxed);
+      }
+    }
     return st;
   };
 

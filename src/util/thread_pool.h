@@ -57,10 +57,22 @@ class ThreadPool {
     return tasks_spawned_.load(std::memory_order_relaxed);
   }
 
-  /// Cumulative wall-clock nanoseconds spent inside ParallelFor calls
-  /// (serial fallbacks included). Feeds RuntimeStats::parallel_solve_ns.
-  uint64_t parallel_ns() const {
-    return parallel_ns_.load(std::memory_order_relaxed);
+  /// Cumulative nanoseconds summed over every ParallelFor call's full
+  /// duration (serial fallbacks included). Nested or concurrent calls
+  /// each contribute their whole span, so this behaves like CPU time
+  /// and can exceed wall time. Feeds
+  /// RuntimeStats::parallel_solve_cpu_ns.
+  uint64_t parallel_cpu_ns() const {
+    return parallel_cpu_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall-clock nanoseconds during which at least one ParallelFor was
+  /// active (union of the busy intervals, tracked by an activity depth
+  /// counter). Always <= parallel_cpu_ns(); the two are equal for
+  /// strictly serial, non-overlapping calls. Feeds
+  /// RuntimeStats::parallel_solve_wall_ns.
+  uint64_t parallel_wall_ns() const {
+    return parallel_wall_ns_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -73,7 +85,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::atomic<uint64_t> tasks_spawned_{0};
-  std::atomic<uint64_t> parallel_ns_{0};
+  std::atomic<uint64_t> parallel_cpu_ns_{0};
+  std::atomic<uint64_t> parallel_wall_ns_{0};
+  // Number of ParallelFor calls currently in flight (any thread); the
+  // 0->1 edge stamps wall_start_, the 1->0 edge closes the interval.
+  std::atomic<uint64_t> parallel_depth_{0};
+  std::atomic<uint64_t> wall_start_ns_{0};
 };
 
 }  // namespace pulse

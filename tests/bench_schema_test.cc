@@ -1,0 +1,179 @@
+// Schema contract for BENCH_*.json documents.
+//
+// All persisted bench output goes through bench::BenchReport (the one
+// writer), and scripts/check.sh's regression gate parses the checked-in
+// documents by field name. These tests pin both sides of that contract:
+// the writer's document shape (schema_version 2, params object, results
+// rows, optional metrics block) and the checked-in files themselves —
+// so schema drift fails in ctest instead of silently breaking the gate.
+#include "bench_util.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace pulse {
+namespace {
+
+json::Value ParseOrDie(const std::string& text) {
+  Result<json::Value> doc = json::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.ok() ? *doc : json::Value::MakeNull();
+}
+
+// Asserts the invariants every BenchReport document obeys. ASSERT_*
+// needs a void function, so the parsed value comes back via out-param.
+void CheckReportShape(const std::string& text,
+                      const std::string& expected_name, json::Value* out) {
+  *out = ParseOrDie(text);
+  const json::Value& doc = *out;
+  EXPECT_TRUE(doc.is_object());
+  const json::Value* bench = doc.Find("bench");
+  ASSERT_NE(bench, nullptr) << "missing top-level \"bench\"";
+  EXPECT_EQ(bench->as_string(), expected_name);
+  const json::Value* version = doc.Find("schema_version");
+  ASSERT_NE(version, nullptr) << "missing top-level \"schema_version\"";
+  EXPECT_EQ(version->as_number(), 2.0);
+  const json::Value* params = doc.Find("params");
+  ASSERT_NE(params, nullptr) << "missing top-level \"params\"";
+  EXPECT_TRUE(params->is_object());
+  const json::Value* results = doc.Find("results");
+  ASSERT_NE(results, nullptr) << "missing top-level \"results\"";
+  EXPECT_TRUE(results->is_array());
+  for (const json::Value& row : results->as_array()) {
+    EXPECT_TRUE(row.is_object());
+  }
+}
+
+void ExpectRowFields(const json::Value& doc,
+                     const std::vector<std::string>& fields) {
+  const json::Value* results = doc.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_FALSE(results->as_array().empty());
+  for (const json::Value& row : results->as_array()) {
+    for (const std::string& field : fields) {
+      EXPECT_NE(row.Find(field), nullptr)
+          << "results row missing field \"" << field << "\"";
+    }
+  }
+}
+
+TEST(BenchReportTest, EmitsTheVersionedSchema) {
+  bench::BenchReport report("unit");
+  report.ParamUint("repeats", 3);
+  report.ParamDouble("window_seconds", 2.5);
+  report.ParamString("workload", "synthetic");
+  report.AddRow()
+      .String("scenario", "a")
+      .Uint("tuples", 10)
+      .Double("tuples_per_sec", 123.5)
+      .Bool("core_bound", false);
+  report.AddRow().String("scenario", "b").Uint("tuples", 20).Double(
+      "tuples_per_sec", 456.0);
+
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(report.ToJson(), "unit", &doc));
+  const json::Value* params = doc.Find("params");
+  EXPECT_EQ(params->Find("repeats")->as_number(), 3.0);
+  EXPECT_EQ(params->Find("window_seconds")->as_number(), 2.5);
+  EXPECT_EQ(params->Find("workload")->as_string(), "synthetic");
+  const auto& rows = doc.Find("results")->as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].Find("scenario")->as_string(), "a");
+  EXPECT_FALSE(rows[0].Find("core_bound")->as_bool());
+  EXPECT_EQ(rows[1].Find("tuples_per_sec")->as_number(), 456.0);
+  // No AttachMetrics call: the block is absent, not empty.
+  EXPECT_EQ(doc.Find("metrics"), nullptr);
+}
+
+TEST(BenchReportTest, AttachedMetricsBecomeTheMetricsBlock) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("runtime/tuples_in")->Add(7);
+  registry.GetHistogram("span/solve/batch")->Record(12);
+
+  bench::BenchReport report("unit");
+  report.AddRow().Uint("threads", 1);
+  report.AttachMetrics(registry.Snapshot());
+
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(report.ToJson(), "unit", &doc));
+  const json::Value* metrics = doc.Find("metrics");
+  if (!obs::kMetricsEnabled) {
+    // Compiled-out registry: snapshots are empty and the block is omitted.
+    EXPECT_EQ(metrics, nullptr);
+    return;
+  }
+  ASSERT_NE(metrics, nullptr);
+  const json::Value* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("runtime/tuples_in")->as_number(), 7.0);
+  const json::Value* hists = metrics->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* batch = hists->Find("span/solve/batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->Find("count")->as_number(), 1.0);
+}
+
+TEST(BenchReportTest, EmptySnapshotIsOmitted) {
+  obs::MetricsRegistry registry;
+  bench::BenchReport report("unit");
+  report.AddRow().Uint("threads", 1);
+  report.AttachMetrics(registry.Snapshot());
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(report.ToJson(), "unit", &doc));
+  EXPECT_EQ(doc.Find("metrics"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Checked-in documents: the files scripts/check.sh's bench gate parses.
+// Regenerate with `cd /root/repo && ./build/bench/bench_<name>` after
+// intentional schema or workload changes.
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(CheckedInBenchJsonTest, SolverHotpathMatchesGateSchema) {
+  const std::string text =
+      ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                      "/BENCH_solver_hotpath.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_solver_hotpath.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "solver_hotpath", &doc));
+  // Field names the check.sh regression gate keys on.
+  ExpectRowFields(doc, {"scenario", "tuples", "seconds", "tuples_per_sec",
+                        "calibration_ops_per_sec", "solves",
+                        "poly_heap_allocations", "cache_hits",
+                        "cache_misses", "cache_hit_rate"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("repeats"), nullptr);
+  EXPECT_NE(params->Find("fig7_prechange_tuples_per_sec"), nullptr);
+}
+
+TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
+  const std::string text =
+      ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                      "/BENCH_parallel_scaling.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_parallel_scaling.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "parallel_scaling", &doc));
+  ExpectRowFields(doc, {"threads", "seconds", "tuples_per_sec", "speedup",
+                        "solves", "tasks_spawned", "core_bound"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("workload"), nullptr);
+  EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
+}
+
+}  // namespace
+}  // namespace pulse

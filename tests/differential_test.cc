@@ -110,6 +110,21 @@ TEST(Regression, ZeroDifferenceEqualityJoin) {
   EXPECT_GT(report->pulse_output_segments, 0u);
 }
 
+// The harness checks the docs/OBSERVABILITY.md metrics invariants on
+// every seed (op-name parity across realizations, the solve-cache
+// accounting identity, tasks_spawned == 0 when serial, wall <= cpu on
+// the parallel variant). This pins that those checks actually ran —
+// metrics_checks counts evaluated invariants, and a plan with at least
+// one operator must evaluate the four invariant families plus one
+// name-parity check per operator.
+TEST(MetricsInvariants, ChecksAreEvaluatedPerSeed) {
+  Result<DiffReport> report = RunDifferentialSeed(1000);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->ok()) << report->ToString();
+  EXPECT_GE(report->metrics_checks, 5u) << "metrics invariants were "
+                                           "vacuous for seed 1000";
+}
+
 // Optional extended sweep for soak runs: PULSE_DIFF_EXTRA=N runs N more
 // seeds past the fixed battery. Not part of tier-1 (env-gated).
 TEST(DifferentialExtra, EnvGatedSweep) {

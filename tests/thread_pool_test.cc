@@ -111,11 +111,57 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 64);
 }
 
-TEST(ThreadPoolTest, ParallelForAccumulatesWallClock) {
+TEST(ThreadPoolTest, ParallelForAccumulatesCpuAndWallClock) {
   ThreadPool pool(2);
   ASSERT_TRUE(
       pool.ParallelFor(32, [](size_t) { return Status::OK(); }).ok());
-  EXPECT_GT(pool.parallel_ns(), 0u);
+  EXPECT_GT(pool.parallel_cpu_ns(), 0u);
+  EXPECT_GT(pool.parallel_wall_ns(), 0u);
+  EXPECT_LE(pool.parallel_wall_ns(), pool.parallel_cpu_ns());
+}
+
+// Regression for the parallel_solve_ns accounting bug: the old single
+// counter summed each ParallelFor call's full span, so nested fan-outs
+// (a pool task issuing its own ParallelFor) made the figure exceed wall
+// time. The split reports both: cpu_ns keeps the per-call sum, wall_ns
+// tracks the union of busy intervals, and wall <= cpu must hold under
+// any schedule — nested, concurrent, or serial.
+TEST(ThreadPoolTest, NestedParallelForWallDoesNotExceedCpu) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  Status st = pool.ParallelFor(4, [&](size_t) {
+    return pool.ParallelFor(8, [&](size_t) {
+      // Enough work per leaf that the nested spans measurably overlap.
+      volatile double x = 1.0;
+      for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+      total.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(total.load(), 32);
+  EXPECT_GT(pool.parallel_wall_ns(), 0u);
+  EXPECT_LE(pool.parallel_wall_ns(), pool.parallel_cpu_ns());
+}
+
+// Concurrent ParallelFor calls from independent threads: the per-call
+// sum double-counts the overlap, the wall union must not.
+TEST(ThreadPoolTest, ConcurrentParallelForWallDoesNotExceedCpu) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  auto issue = [&]() {
+    return pool.ParallelFor(16, [&](size_t) {
+      volatile double x = 1.0;
+      for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+      total.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  };
+  std::thread other([&] { ASSERT_TRUE(issue().ok()); });
+  ASSERT_TRUE(issue().ok());
+  other.join();
+  EXPECT_EQ(total.load(), 32);
+  EXPECT_LE(pool.parallel_wall_ns(), pool.parallel_cpu_ns());
 }
 
 // --- Determinism: the acceptance property of the parallel runtime. ---
