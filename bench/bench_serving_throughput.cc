@@ -1,0 +1,244 @@
+// Serving-layer throughput: concurrent sessions under each
+// backpressure policy.
+//
+// A StreamServer runs the Fig. 5-style moving-object filter query while
+// 16 concurrent in-process sessions each replay a piecewise-linear
+// trace through the full serving stack: frame codec -> admission
+// control -> per-stream bounded queues -> micro-batched dispatch into a
+// per-session HistoricalRuntime -> output segments framed back to the
+// client. The same offered load is repeated once per backpressure
+// policy (block / drop_oldest / shed, admission off so the queue policy
+// alone decides what happens at capacity) plus one run with the
+// admission controller shedding ahead of the queues. The rows show what
+// each policy trades away: block keeps every tuple and pays latency,
+// drop_oldest and shed keep latency and pay tuples.
+//
+// Per policy the JSON row records end-to-end throughput (sent tuples /
+// wall seconds), the accepted/dropped/shed accounting from the serve/*
+// counters, and the p99 of the per-frame admission path
+// (span/serve/admit) — the serving-latency number docs/SERVING.md's
+// shedding thresholds are calibrated against. Results go to
+// BENCH_serving_throughput.json (schema v2; tests/bench_schema_test.cc
+// pins the row fields).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/query.h"
+#include "engine/tuple.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+constexpr size_t kSessions = 16;
+constexpr size_t kTuplesPerSession = 4000;
+constexpr size_t kSendChunk = 64;  // tuples per kTupleBatch frame
+
+std::vector<Tuple> MakeTrace() {
+  std::vector<Tuple> trace;
+  trace.reserve(kTuplesPerSession);
+  for (size_t i = 0; i < kTuplesPerSession; ++i) {
+    const double t = i * 0.05;
+    // Triangle wave: the segmenter closes a piece at every knee.
+    const double phase = std::fmod(t, 15.0);
+    const double x = phase < 7.5 ? 2.0 * phase : 30.0 - 2.0 * phase;
+    trace.push_back(Tuple(
+        t, {Value(int64_t{1}), Value(x), Value(0.0), Value(0.0), Value(0.0)}));
+  }
+  return trace;
+}
+
+QuerySpec MakeFilterSpec() {
+  QuerySpec spec;
+  (void)spec.AddStream(MovingObjectGenerator::MakeStreamSpec("objects", 5.0));
+  FilterSpec filter;
+  filter.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(10.0)));
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"), filter);
+  return spec;
+}
+
+struct PolicyResult {
+  std::string policy;
+  double seconds = 0.0;
+  double tuples_per_sec = 0.0;
+  uint64_t sent = 0;
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+  uint64_t shed = 0;
+  uint64_t output_segments = 0;
+  double admit_p99_ns = 0.0;
+  obs::MetricsSnapshot metrics;
+  bool ok = false;
+};
+
+PolicyResult RunPolicy(serve::BackpressurePolicy policy,
+                       bool admission_enabled,
+                       const std::vector<Tuple>& trace) {
+  PolicyResult result;
+  result.policy = serve::BackpressurePolicyToString(policy);
+  if (admission_enabled) result.policy += "+admission";
+  result.sent = kSessions * trace.size();
+
+  serve::ServerOptions options;
+  options.spec = MakeFilterSpec();
+  options.runtime.segmentation.degree = 1;
+  options.runtime.segmentation.max_error = 0.05;
+  options.session.policy = policy;
+  options.session.queue_capacity = 128;
+  options.session.admission.enabled = admission_enabled;
+  Result<std::unique_ptr<serve::StreamServer>> server =
+      serve::StreamServer::Make(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "server setup failed: %s\n",
+                 server.status().ToString().c_str());
+    return result;
+  }
+
+  std::vector<std::unique_ptr<serve::Transport>> transports;
+  for (size_t i = 0; i < kSessions; ++i) {
+    Result<std::unique_ptr<serve::Transport>> conn =
+        (*server)->ConnectInProcess();
+    if (!conn.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   conn.status().ToString().c_str());
+      return result;
+    }
+    transports.push_back(std::move(*conn));
+  }
+
+  std::vector<uint64_t> outputs(kSessions, 0);
+  std::vector<bool> session_ok(kSessions, false);
+  result.seconds = bench::MeasureSeconds([&] {
+    std::vector<std::thread> clients;
+    clients.reserve(kSessions);
+    for (size_t i = 0; i < kSessions; ++i) {
+      clients.emplace_back([&, i] {
+        serve::ServeClient client(std::move(transports[i]));
+        if (!client.Hello().ok()) return;
+        if (!client.OpenStream(1, "objects").ok()) return;
+        for (size_t off = 0; off < trace.size(); off += kSendChunk) {
+          const size_t n = std::min(kSendChunk, trace.size() - off);
+          std::vector<Tuple> chunk(trace.begin() + off,
+                                   trace.begin() + off + n);
+          if (!client.SendBatch(1, chunk).ok()) return;
+        }
+        Result<serve::ServeClient::DrainResult> drained = client.Drain();
+        if (!drained.ok()) return;
+        outputs[i] = drained->output_segments.size();
+        (void)client.Bye();
+        session_ok[i] = true;
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    (*server)->Drain();
+  });
+
+  result.metrics = (*server)->metrics()->Snapshot();
+  result.accepted = result.metrics.counters["serve/queue/accepted"];
+  result.dropped = result.metrics.counters["serve/queue/dropped"];
+  result.shed = result.metrics.counters["serve/queue/shed"];
+  auto it = result.metrics.histograms.find("span/serve/admit");
+  if (it != result.metrics.histograms.end()) {
+    result.admit_p99_ns = it->second.p99;
+  }
+  for (uint64_t n : outputs) result.output_segments += n;
+  result.tuples_per_sec =
+      static_cast<double>(result.sent) / result.seconds;
+  result.ok = true;
+  for (size_t i = 0; i < kSessions; ++i) {
+    if (!session_ok[i]) {
+      std::fprintf(stderr, "session %zu did not complete cleanly\n", i);
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace pulse
+
+int main(int argc, char** argv) {
+  using namespace pulse;
+  std::printf(
+      "Serving throughput: %zu concurrent sessions x %zu tuples, "
+      "moving-object filter\n",
+      kSessions, kTuplesPerSession);
+
+  const std::vector<Tuple> trace = MakeTrace();
+  bench::SeriesTable table(
+      "Serving throughput by backpressure policy", "policy_index",
+      {"tuples_per_sec", "accepted", "dropped", "shed", "admit_p99_ns"});
+
+  std::vector<PolicyResult> results;
+  // Three pure-policy runs (admission off: the queue policy alone
+  // decides what happens at capacity — block stays lossless), then one
+  // run with the admission controller shedding ahead of the queues.
+  const struct {
+    serve::BackpressurePolicy policy;
+    bool admission;
+  } scenarios[] = {{serve::BackpressurePolicy::kBlock, false},
+                   {serve::BackpressurePolicy::kDropOldest, false},
+                   {serve::BackpressurePolicy::kShed, false},
+                   {serve::BackpressurePolicy::kBlock, true}};
+  for (size_t i = 0; i < 4; ++i) {
+    PolicyResult r = RunPolicy(scenarios[i].policy, scenarios[i].admission,
+                               trace);
+    if (!r.ok) return 1;
+    std::printf("  %-12s %.0f tuples/s, accepted=%llu dropped=%llu "
+                "shed=%llu, admit p99 %.0f ns\n",
+                r.policy.c_str(), r.tuples_per_sec,
+                static_cast<unsigned long long>(r.accepted),
+                static_cast<unsigned long long>(r.dropped),
+                static_cast<unsigned long long>(r.shed), r.admit_p99_ns);
+    table.AddRow(static_cast<double>(i),
+                 {r.tuples_per_sec, static_cast<double>(r.accepted),
+                  static_cast<double>(r.dropped),
+                  static_cast<double>(r.shed), r.admit_p99_ns});
+    results.push_back(std::move(r));
+  }
+  table.Print();
+
+  bench::BenchReport report("serving_throughput");
+  report.ParamString("workload", "moving_object_filter");
+  report.ParamUint("sessions", kSessions);
+  report.ParamUint("tuples_per_session", kTuplesPerSession);
+  report.ParamUint("send_chunk", kSendChunk);
+  report.ParamUint("queue_capacity", 128);
+  report.ParamUint("hardware_concurrency",
+                   std::thread::hardware_concurrency());
+  for (const PolicyResult& r : results) {
+    report.AddRow()
+        .String("policy", r.policy)
+        .Double("seconds", r.seconds)
+        .Double("tuples_per_sec", r.tuples_per_sec)
+        .Uint("sent", r.sent)
+        .Uint("accepted", r.accepted)
+        .Uint("dropped", r.dropped)
+        .Uint("shed", r.shed)
+        .Uint("output_segments", r.output_segments)
+        .Double("admit_p99_ns", r.admit_p99_ns);
+  }
+  // The block-policy run's registry: the lossless configuration whose
+  // serve/queue/blocked_ns counter shows the price of keeping every
+  // tuple.
+  report.AttachMetrics(results.front().metrics);
+  if (!report.WriteFile("BENCH_serving_throughput.json")) return 1;
+  std::printf(
+      "\nWrote BENCH_serving_throughput.json. Expected shape: block "
+      "accepts everything\n(accepted == sent) at the lowest throughput; "
+      "drop_oldest and shed trade tuples\nfor latency when the offered "
+      "rate beats the per-session solver; block+admission\nsheds ahead "
+      "of the queues when the host is overloaded.\n");
+  if (!bench::HandleMetricsOutFlag(argc, argv, results.front().metrics)) {
+    return 1;
+  }
+  return 0;
+}

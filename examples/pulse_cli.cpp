@@ -14,17 +14,29 @@
 //
 //   pulse_cli --workload objects --mode historical --tuples 100000 \
 //     --query "select * from objects where x < 2000"
+//
+//   # Full serving stack: StreamServer session over the in-process
+//   # transport (or loopback TCP with --port), paced replay, drain.
+//   pulse_cli --workload objects --mode serve --tuples 20000 \
+//     --policy drop_oldest --rate 50000 \
+//     --query "select * from objects where x < 2000"
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/parser.h"
 #include "core/runtime.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/tcp_transport.h"
 #include "util/stopwatch.h"
 #include "workload/ais.h"
 #include "workload/moving_object.h"
 #include "workload/nyse.h"
+#include "workload/replay.h"
 
 using namespace pulse;
 
@@ -38,14 +50,19 @@ struct CliOptions {
   double sample_rate = 0.0;
   size_t show = 5;
   std::vector<BoundSpec> bounds;
+  // serve mode only:
+  std::string policy = "block";
+  double rate = 0.0;  // paced replay tuples/second; 0 = unpaced
+  int port = -1;      // >= 0: loopback TCP instead of in-process
 };
 
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --query SQL [--workload objects|nyse|ais] [--tuples N]\n"
-      "          [--mode predictive|historical] [--bound attr=frac]...\n"
-      "          [--sample-rate HZ] [--show K]\n",
+      "          [--mode predictive|historical|serve] [--bound attr=frac]...\n"
+      "          [--sample-rate HZ] [--show K]\n"
+      "          [--policy block|drop_oldest|shed] [--rate TPS] [--port P]\n",
       argv0);
   return 2;
 }
@@ -84,6 +101,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next("--show");
       if (v == nullptr) return false;
       out->show = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--policy") {
+      const char* v = next("--policy");
+      if (v == nullptr) return false;
+      out->policy = v;
+    } else if (arg == "--rate") {
+      const char* v = next("--rate");
+      if (v == nullptr) return false;
+      out->rate = std::strtod(v, nullptr);
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      out->port = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--bound") {
       const char* v = next("--bound");
       if (v == nullptr) return false;
@@ -140,6 +169,106 @@ int main(int argc, char** argv) {
   std::printf("parsed query -> %zu operator(s)\n", spec.num_nodes());
 
   Stopwatch watch;
+  if (options.mode == "serve") {
+    serve::BackpressurePolicy policy;
+    if (options.policy == "block") {
+      policy = serve::BackpressurePolicy::kBlock;
+    } else if (options.policy == "drop_oldest") {
+      policy = serve::BackpressurePolicy::kDropOldest;
+    } else if (options.policy == "shed") {
+      policy = serve::BackpressurePolicy::kShed;
+    } else {
+      std::fprintf(stderr, "unknown policy '%s'\n", options.policy.c_str());
+      return Usage(argv[0]);
+    }
+
+    serve::ServerOptions sopts;
+    sopts.spec = spec;
+    sopts.runtime.segmentation.degree = 1;
+    sopts.runtime.segmentation.max_error = 0.1;
+    sopts.runtime.segmentation.max_points_per_segment = 1000;
+    sopts.session.policy = policy;
+    Result<std::unique_ptr<serve::StreamServer>> server =
+        serve::StreamServer::Make(std::move(sopts));
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+      return 1;
+    }
+
+    Result<std::unique_ptr<serve::Transport>> conn = Status::Internal("");
+    if (options.port >= 0) {
+      Status listen =
+          (*server)->ListenTcp(static_cast<uint16_t>(options.port));
+      if (!listen.ok()) {
+        std::fprintf(stderr, "%s\n", listen.ToString().c_str());
+        return 1;
+      }
+      const uint16_t port = (*server)->tcp_port();
+      std::printf("serving on 127.0.0.1:%u (tcp)\n", port);
+      conn = serve::TcpConnect("127.0.0.1", port);
+    } else {
+      std::printf("serving over the in-process transport\n");
+      conn = (*server)->ConnectInProcess();
+    }
+    if (!conn.ok()) {
+      std::fprintf(stderr, "%s\n", conn.status().ToString().c_str());
+      return 1;
+    }
+
+    // Pre-generate the trace so PacedReplay can pace it.
+    std::vector<Tuple> trace;
+    trace.reserve(options.tuples);
+    for (size_t i = 0; i < options.tuples; ++i) trace.push_back(source());
+    PacedReplay replay(std::move(trace), options.rate);
+
+    serve::ServeClient client(std::move(*conn));
+    Status st = client.Hello();
+    if (st.ok()) st = client.OpenStream(1, stream_name);
+    const auto start = std::chrono::steady_clock::now();
+    Tuple t;
+    uint64_t offset_ns = 0;
+    while (st.ok() && replay.Next(&t, &offset_ns)) {
+      if (options.rate > 0.0) {
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(offset_ns));
+      }
+      st = client.SendTuple(1, t);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    Result<serve::ServeClient::DrainResult> drained = client.Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "drain failed: %s\n",
+                   drained.status().ToString().c_str());
+      return 1;
+    }
+    (void)client.Bye();
+    (*server)->Drain();
+
+    obs::MetricsSnapshot snapshot = (*server)->metrics()->Snapshot();
+    std::printf(
+        "serve(%s): %llu sent, %llu accepted, %llu dropped, %llu shed, "
+        "%zu result segments in %.3f s (%.0f tup/s offered)\n",
+        options.policy.c_str(), (unsigned long long)options.tuples,
+        (unsigned long long)snapshot.counters["serve/queue/accepted"],
+        (unsigned long long)drained->dropped,
+        (unsigned long long)drained->shed,
+        drained->output_segments.size(), watch.ElapsedSeconds(),
+        options.tuples / watch.ElapsedSeconds());
+    auto admit = snapshot.histograms.find("span/serve/admit");
+    if (admit != snapshot.histograms.end()) {
+      std::printf("admission p99: %.0f ns over %llu frames\n",
+                  admit->second.p99,
+                  (unsigned long long)admit->second.count);
+    }
+    for (size_t i = 0;
+         i < drained->output_segments.size() && i < options.show; ++i) {
+      std::printf("  %s\n", drained->output_segments[i].ToString().c_str());
+    }
+    return 0;
+  }
   if (options.mode == "historical") {
     HistoricalRuntime::Options hopts;
     hopts.segmentation.degree = 1;

@@ -8,6 +8,8 @@
 #   SKIP_FUZZ=1 scripts/check.sh   # skip the fuzz-smoke stage
 #   SKIP_BENCH=1 scripts/check.sh  # skip the bench regression gate
 #   SKIP_METRICS_GATE=1 ...        # skip the metrics-overhead micro-gate
+#   SKIP_EXAMPLES=1 ...            # skip the examples build-and-smoke stage
+#   SKIP_DOCS=1 ...                # skip the docs link check
 #
 # Run from anywhere; build trees land in <repo>/build, <repo>/build-tsan,
 # <repo>/build-asan, <repo>/build-fuzz and <repo>/build-nometrics.
@@ -28,7 +30,7 @@ else
   cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
     --target metrics_registry_test thread_pool_test runtime_test \
-             solve_cache_test differential_test
+             solve_cache_test differential_test serve_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
   # differential_test runs the metamorphic parallel variants
@@ -45,6 +47,10 @@ else
     "$repo/build-tsan/tests/solve_cache_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/differential_test"
+  # serve_test exercises the full serving stack — concurrent sessions,
+  # blocking queues, teardown under load — the code most likely to race.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/serve_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -212,6 +218,70 @@ EOF
     echo "metrics registry overhead exceeds 3% on the solver hot path" >&2
     exit 1
   fi
+fi
+
+if [[ "${SKIP_EXAMPLES:-0}" == "1" ]]; then
+  echo "== SKIP_EXAMPLES=1: skipping examples build-and-smoke stage =="
+else
+  echo "== examples: build + smoke-run every binary =="
+  cmake --build "$repo/build" -j "$jobs" \
+    --target quickstart macd_monitor vessel_following historical_whatif \
+             predictive_collision pulse_cli
+  for example in quickstart macd_monitor vessel_following \
+                 historical_whatif predictive_collision; do
+    echo "  running $example"
+    "$repo/build/examples/$example" > /dev/null
+  done
+  # pulse_cli needs a query; drive each runtime mode once, including the
+  # serving stack over both transports.
+  echo "  running pulse_cli (predictive, historical, serve)"
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --query "select * from objects where x < 2000" > /dev/null
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --mode historical \
+    --query "select * from objects where x < 2000" > /dev/null
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --mode serve --policy block \
+    --query "select * from objects where x < 2000" > /dev/null
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --mode serve --policy shed --port 0 \
+    --query "select * from objects where x < 2000" > /dev/null
+fi
+
+if [[ "${SKIP_DOCS:-0}" == "1" ]]; then
+  echo "== SKIP_DOCS=1: skipping docs link check =="
+else
+  echo "== docs: relative links and file references resolve =="
+  python3 - "$repo" <<'EOF'
+import os, re, sys
+
+repo = sys.argv[1]
+md_files = []
+for base in (repo, os.path.join(repo, "docs")):
+    for name in sorted(os.listdir(base)):
+        if name.endswith(".md"):
+            md_files.append(os.path.join(base, name))
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+failed = False
+for path in md_files:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, repo)
+            print(f"  {rel}: broken link -> {target}")
+            failed = True
+print(f"  checked {len(md_files)} markdown files")
+sys.exit(1 if failed else 0)
+EOF
 fi
 
 echo "== all checks passed =="

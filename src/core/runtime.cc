@@ -368,6 +368,17 @@ Status PredictiveRuntime::ProcessTuple(const std::string& stream,
   return Status::OK();
 }
 
+Status PredictiveRuntime::ProcessTuples(const std::string& stream,
+                                        const Tuple* tuples, size_t n) {
+  // The per-tuple stream lookup is already memoized across consecutive
+  // same-stream calls, so the loop form is the batch form; the batch
+  // entry point exists for call-site symmetry with HistoricalRuntime.
+  for (size_t i = 0; i < n; ++i) {
+    PULSE_RETURN_IF_ERROR(ProcessTuple(stream, tuples[i]));
+  }
+  return Status::OK();
+}
+
 Status PredictiveRuntime::Finish() {
   {
     obs::ScopedMetricsRegistry scoped(metrics_);
@@ -637,6 +648,24 @@ Status HistoricalRuntime::ProcessTuple(const std::string& stream,
   PULSE_ASSIGN_OR_RETURN(std::optional<Segment> seg, segmenter->Add(tuple));
   if (seg.has_value()) {
     PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(*seg)));
+  }
+  return Status::OK();
+}
+
+Status HistoricalRuntime::ProcessTuples(const std::string& stream,
+                                        const Tuple* tuples, size_t n) {
+  if (n == 0) return Status::OK();
+  MultiAttributeSegmenter* segmenter = FindSegmenter(stream);
+  if (segmenter == nullptr) {
+    return Status::NotFound("stream '" + stream + "' not declared");
+  }
+  c_tuples_in_->Add(n);
+  for (size_t i = 0; i < n; ++i) {
+    PULSE_ASSIGN_OR_RETURN(std::optional<Segment> seg,
+                           segmenter->Add(tuples[i]));
+    if (seg.has_value()) {
+      PULSE_RETURN_IF_ERROR(ProcessSegment(stream, std::move(*seg)));
+    }
   }
   return Status::OK();
 }

@@ -108,6 +108,12 @@ class PredictiveRuntime {
   /// through the equation-system plan.
   Status ProcessTuple(const std::string& stream, const Tuple& tuple);
 
+  /// Batch feed: exactly equivalent to calling ProcessTuple on each
+  /// element in order (the serving micro-batcher's entry point — batch
+  /// boundaries can never change results, see docs/SERVING.md).
+  Status ProcessTuples(const std::string& stream, const Tuple* tuples,
+                       size_t n);
+
   /// End of input: flush residual operator state.
   Status Finish();
 
@@ -322,6 +328,12 @@ class HistoricalRuntime {
   /// Feeds one historical tuple into the modeler; pushes any completed
   /// segment through the plan.
   Status ProcessTuple(const std::string& stream, const Tuple& tuple);
+
+  /// Batch feed: result-equivalent to calling ProcessTuple on each
+  /// element in order, with the segmenter lookup amortized across the
+  /// batch (the serving micro-batcher's entry point).
+  Status ProcessTuples(const std::string& stream, const Tuple* tuples,
+                       size_t n);
 
   /// Pushes an already-fitted segment (segment replay mode — the paper's
   /// "processing segments alone (without modelling)" series in Fig. 9i).

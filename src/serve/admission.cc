@@ -1,0 +1,76 @@
+#include "serve/admission.h"
+
+namespace pulse {
+namespace serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         const obs::Histogram* latency)
+    : options_(options), latency_(latency) {
+  if (options_.queue_low_watermark > options_.queue_high_watermark) {
+    options_.queue_low_watermark = options_.queue_high_watermark;
+  }
+  if (options_.latency_low_ns > options_.latency_high_ns) {
+    options_.latency_low_ns = options_.latency_high_ns;
+  }
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+void AdmissionController::ResampleLatency() {
+  if (latency_ == nullptr) return;
+  const auto buckets = latency_->BucketCounts();
+  const uint64_t count = latency_->count();
+  if (count <= last_count_) {
+    // No new observations since the last sample: the latency signal is
+    // stale, not elevated. Clear it so an idle solver cannot pin the
+    // controller in shedding.
+    interval_p99_ns_ = 0.0;
+    latency_overloaded_ = false;
+    last_buckets_ = buckets;
+    last_count_ = count;
+    return;
+  }
+  std::array<uint64_t, obs::Histogram::kNumBuckets> delta{};
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = buckets[i] - last_buckets_[i];
+  }
+  interval_p99_ns_ =
+      obs::PercentileFromBuckets(delta, count - last_count_, 99.0);
+  last_buckets_ = buckets;
+  last_count_ = count;
+  if (latency_overloaded_) {
+    if (interval_p99_ns_ < static_cast<double>(options_.latency_low_ns)) {
+      latency_overloaded_ = false;
+    }
+  } else if (interval_p99_ns_ >
+             static_cast<double>(options_.latency_high_ns)) {
+    latency_overloaded_ = true;
+  }
+}
+
+AdmitDecision AdmissionController::Admit(size_t total_depth,
+                                         size_t total_capacity) {
+  if (!options_.enabled) return AdmitDecision::kAdmit;
+
+  const double fraction =
+      total_capacity == 0
+          ? 0.0
+          : static_cast<double>(total_depth) /
+                static_cast<double>(total_capacity);
+  if (queue_overloaded_) {
+    if (fraction < options_.queue_low_watermark) queue_overloaded_ = false;
+  } else if (fraction > options_.queue_high_watermark) {
+    queue_overloaded_ = true;
+  }
+
+  if (++admits_since_sample_ >= options_.sample_every) {
+    admits_since_sample_ = 0;
+    ResampleLatency();
+  }
+
+  if (queue_overloaded_) return AdmitDecision::kShedQueue;
+  if (latency_overloaded_) return AdmitDecision::kShedLatency;
+  return AdmitDecision::kAdmit;
+}
+
+}  // namespace serve
+}  // namespace pulse

@@ -1,0 +1,80 @@
+#ifndef PULSE_SERVE_ADMISSION_H_
+#define PULSE_SERVE_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace pulse {
+namespace serve {
+
+/// Load-shedding thresholds. Both signals use watermark hysteresis so
+/// the controller does not flap at the boundary: shedding starts above
+/// the high mark and stops only below the low mark.
+struct AdmissionOptions {
+  /// Master switch; disabled means every well-formed item is admitted
+  /// subject only to the queue policy (the lossless configuration the
+  /// serving differential runs under).
+  bool enabled = true;
+  /// Queue-depth signal: fraction of the session's total queue capacity.
+  double queue_high_watermark = 0.90;
+  double queue_low_watermark = 0.50;
+  /// Solver-latency signal: interval p99 of the session runtime's
+  /// span/runtime/push_segment histogram, in nanoseconds.
+  uint64_t latency_high_ns = 50'000'000;  // 50 ms
+  uint64_t latency_low_ns = 10'000'000;   // 10 ms
+  /// Admissions between latency re-samples (sampling reads 2 KiB of
+  /// bucket counters; once per admission would dominate the hot path).
+  uint64_t sample_every = 64;
+};
+
+enum class AdmitDecision : uint8_t {
+  kAdmit = 0,
+  /// Shed because queue depth is above the high watermark.
+  kShedQueue = 1,
+  /// Shed because solver latency p99 is above the high threshold.
+  kShedLatency = 2,
+};
+
+/// Admission controller for one session. Keyed on the two overload
+/// signals the ISSUE names: aggregate ingest-queue depth (memory /
+/// queueing-delay pressure) and solver latency (the downstream stage's
+/// actual service time, read from the obs histogram the runtime already
+/// maintains). Single-threaded: called only from the session reader.
+///
+/// Latency is measured as an *interval* p99 — the delta of the
+/// histogram's bucket counts since the last sample — so recovery is
+/// visible immediately instead of being averaged away by the cumulative
+/// distribution.
+class AdmissionController {
+ public:
+  /// `latency` may be null (no latency signal, queue depth only); it
+  /// must outlive the controller.
+  AdmissionController(AdmissionOptions options,
+                      const obs::Histogram* latency);
+
+  /// Decision for one arriving frame given current aggregate depth.
+  AdmitDecision Admit(size_t total_depth, size_t total_capacity);
+
+  bool overloaded() const { return queue_overloaded_ || latency_overloaded_; }
+  /// Last sampled interval p99 (ns); 0 before the first sample.
+  double interval_p99_ns() const { return interval_p99_ns_; }
+
+ private:
+  void ResampleLatency();
+
+  AdmissionOptions options_;
+  const obs::Histogram* latency_;
+  std::array<uint64_t, obs::Histogram::kNumBuckets> last_buckets_{};
+  uint64_t last_count_ = 0;
+  uint64_t admits_since_sample_ = 0;
+  double interval_p99_ns_ = 0.0;
+  bool queue_overloaded_ = false;
+  bool latency_overloaded_ = false;
+};
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_ADMISSION_H_

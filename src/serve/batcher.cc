@@ -1,0 +1,56 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pulse {
+namespace serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions options) : options_(options) {
+  if (options_.min_batch == 0) options_.min_batch = 1;
+  if (options_.max_batch < options_.min_batch) {
+    options_.max_batch = options_.min_batch;
+  }
+  if (options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0) {
+    options_.ewma_alpha = 0.125;
+  }
+}
+
+void MicroBatcher::RecordArrival(uint64_t now_ns) {
+  if (have_last_) {
+    const double gap =
+        static_cast<double>(now_ns - std::min(now_ns, last_arrival_ns_));
+    ewma_gap_ns_ = ewma_gap_ns_ == 0.0
+                       ? gap
+                       : ewma_gap_ns_ +
+                             options_.ewma_alpha * (gap - ewma_gap_ns_);
+    published_gap_bits_.store(std::bit_cast<uint64_t>(ewma_gap_ns_),
+                              std::memory_order_relaxed);
+  }
+  last_arrival_ns_ = now_ns;
+  have_last_ = true;
+}
+
+size_t MicroBatcher::TargetBatchSize() const {
+  const double gap = std::bit_cast<double>(
+      published_gap_bits_.load(std::memory_order_relaxed));
+  if (gap <= 0.0) return options_.min_batch;
+  const double target =
+      static_cast<double>(options_.target_batch_ns) / gap;
+  if (target <= static_cast<double>(options_.min_batch)) {
+    return options_.min_batch;
+  }
+  if (target >= static_cast<double>(options_.max_batch)) {
+    return options_.max_batch;
+  }
+  return static_cast<size_t>(target);
+}
+
+double MicroBatcher::ArrivalRatePerSec() const {
+  const double gap = std::bit_cast<double>(
+      published_gap_bits_.load(std::memory_order_relaxed));
+  return gap <= 0.0 ? 0.0 : 1e9 / gap;
+}
+
+}  // namespace serve
+}  // namespace pulse

@@ -1,0 +1,60 @@
+#ifndef PULSE_SERVE_BATCHER_H_
+#define PULSE_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace pulse {
+namespace serve {
+
+/// Micro-batcher tuning. The batch target is the number of tuples the
+/// estimated arrival rate delivers within `target_batch_ns`, clamped to
+/// [min_batch, max_batch] — fast streams amortize segment construction
+/// over large batches, slow streams keep per-tuple latency (a tuple
+/// never waits for a batch to fill: the worker batches only what is
+/// already queued).
+struct BatcherOptions {
+  size_t min_batch = 1;
+  size_t max_batch = 256;
+  /// Coalescing horizon: how much arrival time one batch may span.
+  uint64_t target_batch_ns = 2'000'000;  // 2 ms
+  /// EWMA smoothing for the inter-arrival estimate, in (0, 1]; higher
+  /// adapts faster.
+  double ewma_alpha = 0.125;
+};
+
+/// Adaptive per-stream micro-batcher: estimates the tuple arrival rate
+/// with an EWMA over inter-arrival gaps and derives the batch-size
+/// target above. Thread contract: RecordArrival is called by the
+/// session reader (producer), TargetBatchSize by the worker (consumer);
+/// the estimate crosses threads through one relaxed atomic — staleness
+/// only makes a batch slightly smaller or larger, never incorrect
+/// (batch boundaries cannot change query answers, see docs/SERVING.md).
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherOptions options);
+
+  /// Notes one arrival at `now_ns` (monotonic clock).
+  void RecordArrival(uint64_t now_ns);
+
+  /// Current batch-size target in [min_batch, max_batch].
+  size_t TargetBatchSize() const;
+
+  /// Estimated arrival rate (tuples/s); 0 until two arrivals were seen.
+  double ArrivalRatePerSec() const;
+
+ private:
+  BatcherOptions options_;
+  // Producer-local state (reader thread only).
+  uint64_t last_arrival_ns_ = 0;
+  bool have_last_ = false;
+  double ewma_gap_ns_ = 0.0;
+  // Estimate published to the consumer (bits of the EWMA gap).
+  std::atomic<uint64_t> published_gap_bits_{0};
+};
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_BATCHER_H_

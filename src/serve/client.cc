@@ -1,0 +1,94 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace pulse {
+namespace serve {
+
+ServeClient::ServeClient(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {}
+
+Status ServeClient::Write(const Frame& frame) {
+  write_buf_.clear();
+  EncodeFrame(frame, &write_buf_);
+  return transport_->Write(write_buf_);
+}
+
+Status ServeClient::Hello() { return Write(Frame::Hello()); }
+
+Status ServeClient::OpenStream(uint32_t stream_id, std::string name) {
+  return Write(Frame::OpenStream(stream_id, std::move(name)));
+}
+
+Status ServeClient::SendTuple(uint32_t stream_id, Tuple tuple) {
+  return Write(Frame::OneTuple(stream_id, std::move(tuple)));
+}
+
+Status ServeClient::SendBatch(uint32_t stream_id,
+                              std::vector<Tuple> tuples) {
+  return Write(Frame::TupleBatch(stream_id, std::move(tuples)));
+}
+
+Status ServeClient::SendSegment(uint32_t stream_id, Segment segment) {
+  return Write(Frame::OneSegment(stream_id, std::move(segment)));
+}
+
+Result<std::optional<Frame>> ServeClient::ReadFrame() {
+  char buf[8192];
+  for (;;) {
+    PULSE_ASSIGN_OR_RETURN(std::optional<Frame> frame, reader_.Next());
+    if (frame.has_value()) return frame;
+    PULSE_ASSIGN_OR_RETURN(size_t got,
+                           transport_->Read(buf, sizeof(buf)));
+    if (got == 0) return std::optional<Frame>();  // EOF
+    PULSE_RETURN_IF_ERROR(reader_.Feed(buf, got));
+  }
+}
+
+Result<ServeClient::DrainResult> ServeClient::Drain() {
+  PULSE_RETURN_IF_ERROR(Write(Frame::Drain()));
+  DrainResult result;
+  for (;;) {
+    PULSE_ASSIGN_OR_RETURN(std::optional<Frame> frame, ReadFrame());
+    if (!frame.has_value()) {
+      return Status::IoError("connection closed before kDrained");
+    }
+    switch (frame->type) {
+      case FrameType::kOutputSegment:
+        for (Segment& s : frame->segments) {
+          result.output_segments.push_back(std::move(s));
+        }
+        break;
+      case FrameType::kOutputTuple:
+        for (Tuple& t : frame->tuples) {
+          result.output_tuples.push_back(std::move(t));
+        }
+        break;
+      case FrameType::kFlow:
+        if (frame->flow_event == FlowEvent::kDroppedOldest) {
+          result.dropped += frame->flow_count;
+        } else if (frame->flow_event == FlowEvent::kShed) {
+          result.shed += frame->flow_count;
+        }
+        result.flow_frames.push_back(std::move(*frame));
+        break;
+      case FrameType::kDrained:
+        return result;
+      case FrameType::kError:
+        return Status::Internal("server error: " + frame->text);
+      default:
+        return Status::IoError(
+            std::string("unexpected frame during drain: ") +
+            FrameTypeToString(frame->type));
+    }
+  }
+}
+
+Status ServeClient::Bye() {
+  const Status status = Write(Frame::Bye());
+  transport_->Close();
+  return status;
+}
+
+}  // namespace serve
+}  // namespace pulse

@@ -1,0 +1,73 @@
+#ifndef PULSE_SERVE_CLIENT_H_
+#define PULSE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/frame.h"
+#include "serve/transport.h"
+
+namespace pulse {
+namespace serve {
+
+/// Minimal protocol client over any Transport. Synchronous and
+/// single-threaded by design: tests, the serving differential, and the
+/// CLI serve mode drive sessions through this; the bench adds its own
+/// concurrent reader on top of SendBatch/ReadFrame.
+///
+/// Full-duplex caveat (docs/SERVING.md): a client that only sends and
+/// never reads can deadlock against a kBlock server once the
+/// server->client direction fills with output/flow frames. Either
+/// interleave ReadFrame calls, size the run under the transport buffer,
+/// or read from a second thread.
+class ServeClient {
+ public:
+  explicit ServeClient(std::unique_ptr<Transport> transport);
+
+  /// Protocol handshake; must be the first call.
+  Status Hello();
+  /// Binds `stream_id` (client-chosen) to a declared stream name.
+  Status OpenStream(uint32_t stream_id, std::string name);
+  Status SendTuple(uint32_t stream_id, Tuple tuple);
+  Status SendBatch(uint32_t stream_id, std::vector<Tuple> tuples);
+  Status SendSegment(uint32_t stream_id, Segment segment);
+
+  /// Blocking read of the next server frame; nullopt on clean EOF.
+  Result<std::optional<Frame>> ReadFrame();
+
+  /// Everything the server delivered up to (and including) drain.
+  struct DrainResult {
+    std::vector<Segment> output_segments;
+    std::vector<Tuple> output_tuples;
+    /// Flow-control history in arrival order.
+    std::vector<Frame> flow_frames;
+    /// Sums over the flow frames, for convenience.
+    uint64_t dropped = 0;
+    uint64_t shed = 0;
+  };
+
+  /// Sends kDrain, then reads (collecting outputs and flow frames)
+  /// until the server's kDrained arrives. Fails on kError or premature
+  /// EOF.
+  Result<DrainResult> Drain();
+
+  /// Orderly goodbye (no drain barrier); closes the transport.
+  Status Bye();
+
+  Transport* transport() { return transport_.get(); }
+
+ private:
+  Status Write(const Frame& frame);
+
+  std::unique_ptr<Transport> transport_;
+  FrameReader reader_;
+  std::string write_buf_;
+};
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_CLIENT_H_

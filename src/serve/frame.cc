@@ -1,0 +1,557 @@
+#include "serve/frame.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace pulse {
+namespace serve {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Primitive writers. All integers little-endian; doubles travel as their
+// IEEE-754 bit pattern so values round-trip bit-exactly (the serving
+// differential relies on byte-for-byte output equality).
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers over a bounded cursor. Every read checks the bound;
+// a truncated payload surfaces as DataLoss, never as an out-of-range
+// memory access (the fuzz-friendly contract).
+
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  size_t remaining() const { return size - pos; }
+};
+
+Status Truncated(const char* what) {
+  return Status::IoError(std::string("truncated frame payload: ") + what);
+}
+
+Result<uint8_t> GetU8(Cursor* c, const char* what) {
+  if (c->remaining() < 1) return Truncated(what);
+  return static_cast<uint8_t>(c->data[c->pos++]);
+}
+
+Result<uint16_t> GetU16(Cursor* c, const char* what) {
+  if (c->remaining() < 2) return Truncated(what);
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(static_cast<uint8_t>(c->data[c->pos++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint32_t> GetU32(Cursor* c, const char* what) {
+  if (c->remaining() < 4) return Truncated(what);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(c->data[c->pos++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> GetU64(Cursor* c, const char* what) {
+  if (c->remaining() < 8) return Truncated(what);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(c->data[c->pos++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<int64_t> GetI64(Cursor* c, const char* what) {
+  PULSE_ASSIGN_OR_RETURN(uint64_t v, GetU64(c, what));
+  return static_cast<int64_t>(v);
+}
+
+Result<double> GetF64(Cursor* c, const char* what) {
+  PULSE_ASSIGN_OR_RETURN(uint64_t bits, GetU64(c, what));
+  return std::bit_cast<double>(bits);
+}
+
+Result<std::string> GetString(Cursor* c, const char* what) {
+  PULSE_ASSIGN_OR_RETURN(uint32_t n, GetU32(c, what));
+  if (c->remaining() < n) return Truncated(what);
+  std::string s(c->data + c->pos, n);
+  c->pos += n;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Tuple body: f64 timestamp, u16 field count, then tagged values
+// (u8 tag: 0 = int64, 1 = double, 2 = string).
+
+void PutTuple(std::string* out, const Tuple& tuple) {
+  PutF64(out, tuple.timestamp);
+  PutU16(out, static_cast<uint16_t>(tuple.values.size()));
+  for (const Value& v : tuple.values) {
+    switch (v.type()) {
+      case ValueType::kInt64:
+        PutU8(out, 0);
+        PutI64(out, v.as_int64());
+        break;
+      case ValueType::kDouble:
+        PutU8(out, 1);
+        PutF64(out, v.as_double());
+        break;
+      case ValueType::kString:
+        PutU8(out, 2);
+        PutString(out, v.as_string());
+        break;
+    }
+  }
+}
+
+Result<Tuple> GetTuple(Cursor* c) {
+  Tuple tuple;
+  PULSE_ASSIGN_OR_RETURN(tuple.timestamp, GetF64(c, "tuple timestamp"));
+  PULSE_ASSIGN_OR_RETURN(uint16_t n, GetU16(c, "tuple field count"));
+  tuple.values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    PULSE_ASSIGN_OR_RETURN(uint8_t tag, GetU8(c, "value tag"));
+    switch (tag) {
+      case 0: {
+        PULSE_ASSIGN_OR_RETURN(int64_t v, GetI64(c, "int64 value"));
+        tuple.values.emplace_back(v);
+        break;
+      }
+      case 1: {
+        PULSE_ASSIGN_OR_RETURN(double v, GetF64(c, "double value"));
+        tuple.values.emplace_back(v);
+        break;
+      }
+      case 2: {
+        PULSE_ASSIGN_OR_RETURN(std::string v, GetString(c, "string value"));
+        tuple.values.emplace_back(std::move(v));
+        break;
+      }
+      default:
+        return Status::IoError("unknown value tag " + std::to_string(tag));
+    }
+  }
+  return tuple;
+}
+
+// ---------------------------------------------------------------------
+// Segment body: i64 key, u64 id, range (f64 lo, f64 hi, u8 openness
+// flags), modeled attributes (name + low-order-first coefficients), and
+// unmodeled constants. The zero polynomial is encoded with coefficient
+// count 0 so IsZero() survives the round trip.
+
+void PutSegment(std::string* out, const Segment& s) {
+  PutI64(out, s.key);
+  PutU64(out, s.id);
+  PutF64(out, s.range.lo);
+  PutF64(out, s.range.hi);
+  PutU8(out, static_cast<uint8_t>((s.range.lo_open ? 1 : 0) |
+                                  (s.range.hi_open ? 2 : 0)));
+  PutU16(out, static_cast<uint16_t>(s.attributes.size()));
+  for (const auto& [name, poly] : s.attributes) {
+    PutString(out, name);
+    const uint16_t ncoeff =
+        poly.IsZero() ? 0 : static_cast<uint16_t>(poly.degree() + 1);
+    PutU16(out, ncoeff);
+    for (uint16_t i = 0; i < ncoeff; ++i) PutF64(out, poly.coeff(i));
+  }
+  PutU16(out, static_cast<uint16_t>(s.unmodeled.size()));
+  for (const auto& [name, value] : s.unmodeled) {
+    PutString(out, name);
+    PutF64(out, value);
+  }
+}
+
+Result<Segment> GetSegment(Cursor* c) {
+  Segment s;
+  PULSE_ASSIGN_OR_RETURN(s.key, GetI64(c, "segment key"));
+  PULSE_ASSIGN_OR_RETURN(s.id, GetU64(c, "segment id"));
+  PULSE_ASSIGN_OR_RETURN(s.range.lo, GetF64(c, "segment range lo"));
+  PULSE_ASSIGN_OR_RETURN(s.range.hi, GetF64(c, "segment range hi"));
+  PULSE_ASSIGN_OR_RETURN(uint8_t flags, GetU8(c, "segment range flags"));
+  s.range.lo_open = (flags & 1) != 0;
+  s.range.hi_open = (flags & 2) != 0;
+  PULSE_ASSIGN_OR_RETURN(uint16_t nattrs, GetU16(c, "attribute count"));
+  for (uint16_t i = 0; i < nattrs; ++i) {
+    PULSE_ASSIGN_OR_RETURN(std::string name, GetString(c, "attribute name"));
+    PULSE_ASSIGN_OR_RETURN(uint16_t ncoeff,
+                           GetU16(c, "coefficient count"));
+    if (ncoeff == 0) {
+      s.attributes[std::move(name)] = Polynomial();
+      continue;
+    }
+    std::vector<double> coeffs(ncoeff);
+    for (uint16_t j = 0; j < ncoeff; ++j) {
+      PULSE_ASSIGN_OR_RETURN(coeffs[j], GetF64(c, "coefficient"));
+    }
+    s.attributes[std::move(name)] = Polynomial(std::move(coeffs));
+  }
+  PULSE_ASSIGN_OR_RETURN(uint16_t nunmodeled, GetU16(c, "unmodeled count"));
+  for (uint16_t i = 0; i < nunmodeled; ++i) {
+    PULSE_ASSIGN_OR_RETURN(std::string name, GetString(c, "unmodeled name"));
+    PULSE_ASSIGN_OR_RETURN(double value, GetF64(c, "unmodeled value"));
+    s.unmodeled[std::move(name)] = value;
+  }
+  return s;
+}
+
+Result<Frame> DecodePayload(const char* data, size_t size) {
+  Cursor c{data, size};
+  PULSE_ASSIGN_OR_RETURN(uint8_t type_byte, GetU8(&c, "frame type"));
+  Frame frame;
+  switch (static_cast<FrameType>(type_byte)) {
+    case FrameType::kHello: {
+      frame.type = FrameType::kHello;
+      PULSE_ASSIGN_OR_RETURN(frame.version, GetU32(&c, "hello version"));
+      break;
+    }
+    case FrameType::kOpenStream: {
+      frame.type = FrameType::kOpenStream;
+      PULSE_ASSIGN_OR_RETURN(frame.stream_id, GetU32(&c, "stream id"));
+      PULSE_ASSIGN_OR_RETURN(frame.text, GetString(&c, "stream name"));
+      break;
+    }
+    case FrameType::kTuple: {
+      frame.type = FrameType::kTuple;
+      PULSE_ASSIGN_OR_RETURN(frame.stream_id, GetU32(&c, "stream id"));
+      PULSE_ASSIGN_OR_RETURN(Tuple t, GetTuple(&c));
+      frame.tuples.push_back(std::move(t));
+      break;
+    }
+    case FrameType::kTupleBatch: {
+      frame.type = FrameType::kTupleBatch;
+      PULSE_ASSIGN_OR_RETURN(frame.stream_id, GetU32(&c, "stream id"));
+      PULSE_ASSIGN_OR_RETURN(uint32_t n, GetU32(&c, "batch size"));
+      // Guard: each tuple needs >= 10 payload bytes, so a hostile count
+      // cannot force a huge reserve ahead of the truncation check.
+      if (static_cast<size_t>(n) * 10 > c.remaining()) {
+        return Truncated("tuple batch");
+      }
+      frame.tuples.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        PULSE_ASSIGN_OR_RETURN(Tuple t, GetTuple(&c));
+        frame.tuples.push_back(std::move(t));
+      }
+      break;
+    }
+    case FrameType::kSegment: {
+      frame.type = FrameType::kSegment;
+      PULSE_ASSIGN_OR_RETURN(frame.stream_id, GetU32(&c, "stream id"));
+      PULSE_ASSIGN_OR_RETURN(Segment s, GetSegment(&c));
+      frame.segments.push_back(std::move(s));
+      break;
+    }
+    case FrameType::kFlow: {
+      frame.type = FrameType::kFlow;
+      PULSE_ASSIGN_OR_RETURN(frame.stream_id, GetU32(&c, "stream id"));
+      PULSE_ASSIGN_OR_RETURN(uint8_t event, GetU8(&c, "flow event"));
+      if (event > static_cast<uint8_t>(FlowEvent::kShed)) {
+        return Status::IoError("unknown flow event " +
+                                std::to_string(event));
+      }
+      frame.flow_event = static_cast<FlowEvent>(event);
+      PULSE_ASSIGN_OR_RETURN(frame.flow_count, GetU64(&c, "flow count"));
+      break;
+    }
+    case FrameType::kOutputSegment: {
+      frame.type = FrameType::kOutputSegment;
+      PULSE_ASSIGN_OR_RETURN(Segment s, GetSegment(&c));
+      frame.segments.push_back(std::move(s));
+      break;
+    }
+    case FrameType::kOutputTuple: {
+      frame.type = FrameType::kOutputTuple;
+      PULSE_ASSIGN_OR_RETURN(Tuple t, GetTuple(&c));
+      frame.tuples.push_back(std::move(t));
+      break;
+    }
+    case FrameType::kDrain:
+      frame.type = FrameType::kDrain;
+      break;
+    case FrameType::kDrained:
+      frame.type = FrameType::kDrained;
+      break;
+    case FrameType::kError: {
+      frame.type = FrameType::kError;
+      PULSE_ASSIGN_OR_RETURN(frame.text, GetString(&c, "error message"));
+      break;
+    }
+    case FrameType::kBye:
+      frame.type = FrameType::kBye;
+      break;
+    default:
+      return Status::IoError("unknown frame type " +
+                              std::to_string(type_byte));
+  }
+  if (c.pos != c.size) {
+    return Status::IoError(
+        "frame payload has " + std::to_string(c.size - c.pos) +
+        " trailing byte(s) after " +
+        FrameTypeToString(static_cast<FrameType>(type_byte)));
+  }
+  return frame;
+}
+
+}  // namespace
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "Hello";
+    case FrameType::kOpenStream:
+      return "OpenStream";
+    case FrameType::kTuple:
+      return "Tuple";
+    case FrameType::kTupleBatch:
+      return "TupleBatch";
+    case FrameType::kSegment:
+      return "Segment";
+    case FrameType::kFlow:
+      return "Flow";
+    case FrameType::kOutputSegment:
+      return "OutputSegment";
+    case FrameType::kOutputTuple:
+      return "OutputTuple";
+    case FrameType::kDrain:
+      return "Drain";
+    case FrameType::kDrained:
+      return "Drained";
+    case FrameType::kError:
+      return "Error";
+    case FrameType::kBye:
+      return "Bye";
+  }
+  return "Unknown";
+}
+
+const char* FlowEventToString(FlowEvent event) {
+  switch (event) {
+    case FlowEvent::kPaused:
+      return "Paused";
+    case FlowEvent::kResumed:
+      return "Resumed";
+    case FlowEvent::kDroppedOldest:
+      return "DroppedOldest";
+    case FlowEvent::kShed:
+      return "Shed";
+  }
+  return "Unknown";
+}
+
+Frame Frame::Hello() {
+  Frame f;
+  f.type = FrameType::kHello;
+  return f;
+}
+
+Frame Frame::OpenStream(uint32_t stream_id, std::string name) {
+  Frame f;
+  f.type = FrameType::kOpenStream;
+  f.stream_id = stream_id;
+  f.text = std::move(name);
+  return f;
+}
+
+Frame Frame::OneTuple(uint32_t stream_id, Tuple tuple) {
+  Frame f;
+  f.type = FrameType::kTuple;
+  f.stream_id = stream_id;
+  f.tuples.push_back(std::move(tuple));
+  return f;
+}
+
+Frame Frame::TupleBatch(uint32_t stream_id, std::vector<Tuple> tuples) {
+  Frame f;
+  f.type = FrameType::kTupleBatch;
+  f.stream_id = stream_id;
+  f.tuples = std::move(tuples);
+  return f;
+}
+
+Frame Frame::OneSegment(uint32_t stream_id, Segment segment) {
+  Frame f;
+  f.type = FrameType::kSegment;
+  f.stream_id = stream_id;
+  f.segments.push_back(std::move(segment));
+  return f;
+}
+
+Frame Frame::Flow(uint32_t stream_id, FlowEvent event, uint64_t count) {
+  Frame f;
+  f.type = FrameType::kFlow;
+  f.stream_id = stream_id;
+  f.flow_event = event;
+  f.flow_count = count;
+  return f;
+}
+
+Frame Frame::OutputSegment(Segment segment) {
+  Frame f;
+  f.type = FrameType::kOutputSegment;
+  f.segments.push_back(std::move(segment));
+  return f;
+}
+
+Frame Frame::OutputTuple(Tuple tuple) {
+  Frame f;
+  f.type = FrameType::kOutputTuple;
+  f.tuples.push_back(std::move(tuple));
+  return f;
+}
+
+Frame Frame::Drain() {
+  Frame f;
+  f.type = FrameType::kDrain;
+  return f;
+}
+
+Frame Frame::Drained() {
+  Frame f;
+  f.type = FrameType::kDrained;
+  return f;
+}
+
+Frame Frame::Error(std::string message) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.text = std::move(message);
+  return f;
+}
+
+Frame Frame::Bye() {
+  Frame f;
+  f.type = FrameType::kBye;
+  return f;
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(frame.type));
+  switch (frame.type) {
+    case FrameType::kHello:
+      PutU32(&payload, frame.version);
+      break;
+    case FrameType::kOpenStream:
+      PutU32(&payload, frame.stream_id);
+      PutString(&payload, frame.text);
+      break;
+    case FrameType::kTuple:
+      PutU32(&payload, frame.stream_id);
+      PutTuple(&payload, frame.tuples.at(0));
+      break;
+    case FrameType::kTupleBatch:
+      PutU32(&payload, frame.stream_id);
+      PutU32(&payload, static_cast<uint32_t>(frame.tuples.size()));
+      for (const Tuple& t : frame.tuples) PutTuple(&payload, t);
+      break;
+    case FrameType::kSegment:
+      PutU32(&payload, frame.stream_id);
+      PutSegment(&payload, frame.segments.at(0));
+      break;
+    case FrameType::kFlow:
+      PutU32(&payload, frame.stream_id);
+      PutU8(&payload, static_cast<uint8_t>(frame.flow_event));
+      PutU64(&payload, frame.flow_count);
+      break;
+    case FrameType::kOutputSegment:
+      PutSegment(&payload, frame.segments.at(0));
+      break;
+    case FrameType::kOutputTuple:
+      PutTuple(&payload, frame.tuples.at(0));
+      break;
+    case FrameType::kDrain:
+    case FrameType::kDrained:
+    case FrameType::kBye:
+      break;
+    case FrameType::kError:
+      PutString(&payload, frame.text);
+      break;
+  }
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+std::string EncodeFrameToString(const Frame& frame) {
+  std::string out;
+  EncodeFrame(frame, &out);
+  return out;
+}
+
+FrameReader::FrameReader(DecodeLimits limits) : limits_(limits) {}
+
+Status FrameReader::Feed(const char* data, size_t n) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "frame stream previously failed to decode");
+  }
+  buffer_.append(data, n);
+  return Status::OK();
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "frame stream previously failed to decode");
+  }
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::optional<Frame>{};
+  Cursor c{buffer_.data() + consumed_, available};
+  uint32_t len = *GetU32(&c, "length prefix");
+  if (len > limits_.max_frame_bytes) {
+    poisoned_ = true;
+    return Status::IoError(
+        "frame length " + std::to_string(len) + " exceeds limit " +
+        std::to_string(limits_.max_frame_bytes));
+  }
+  if (available - 4 < len) return std::optional<Frame>{};
+  Result<Frame> frame = DecodePayload(buffer_.data() + consumed_ + 4, len);
+  if (!frame.ok()) {
+    poisoned_ = true;
+    return frame.status();
+  }
+  consumed_ += 4 + len;
+  return std::optional<Frame>(std::move(*frame));
+}
+
+}  // namespace serve
+}  // namespace pulse

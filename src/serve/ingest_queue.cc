@@ -1,0 +1,134 @@
+#include "serve/ingest_queue.h"
+
+#include <chrono>
+#include <utility>
+
+namespace pulse {
+namespace serve {
+
+const char* BackpressurePolicyToString(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop_oldest";
+    case BackpressurePolicy::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+uint64_t WorkSignal::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void WorkSignal::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+uint64_t WorkSignal::Wait(uint64_t seen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return epoch_ != seen; });
+  return epoch_;
+}
+
+IngestQueue::IngestQueue(size_t capacity, WorkSignal* signal)
+    : capacity_(capacity == 0 ? 1 : capacity), signal_(signal) {}
+
+PushResult IngestQueue::TryPush(IngestItem* item, BackpressurePolicy policy,
+                                uint64_t* dropped) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(*item));
+      if (signal_ != nullptr) signal_->Notify();
+      return PushResult::kAccepted;
+    }
+    switch (policy) {
+      case BackpressurePolicy::kBlock:
+        return PushResult::kWouldBlock;
+      case BackpressurePolicy::kShed:
+        return PushResult::kShed;
+      case BackpressurePolicy::kDropOldest: {
+        uint64_t evicted = 0;
+        while (items_.size() >= capacity_) {
+          items_.pop_front();
+          ++evicted;
+        }
+        items_.push_back(std::move(*item));
+        if (dropped != nullptr) *dropped = evicted;
+        if (signal_ != nullptr) signal_->Notify();
+        return PushResult::kDroppedOldest;
+      }
+    }
+  }
+  return PushResult::kShed;  // unreachable
+}
+
+bool IngestQueue::PushBlocking(IngestItem item, uint64_t* blocked_ns) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (blocked_ns != nullptr) {
+      *blocked_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+  }
+  if (signal_ != nullptr) signal_->Notify();
+  return true;
+}
+
+bool IngestQueue::PeekSeq(uint64_t* seq, bool* is_segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  *seq = items_.front().seq;
+  if (is_segment != nullptr) *is_segment = items_.front().is_segment;
+  return true;
+}
+
+bool IngestQueue::Pop(IngestItem* out) {
+  bool freed_space = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    freed_space = true;
+  }
+  if (freed_space) space_cv_.notify_one();
+  return true;
+}
+
+size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();
+  if (signal_ != nullptr) signal_->Notify();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace serve
+}  // namespace pulse

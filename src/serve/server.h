@@ -1,0 +1,103 @@
+#ifndef PULSE_SERVE_SERVER_H_
+#define PULSE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "serve/session.h"
+#include "serve/tcp_transport.h"
+#include "serve/transport.h"
+
+namespace pulse {
+namespace serve {
+
+struct ServerOptions {
+  /// The continuous query every session runs (one dedicated
+  /// HistoricalRuntime per session — sessions never share solver state,
+  /// so one slow client cannot corrupt or stall another's results).
+  QuerySpec spec;
+  /// Per-session runtime template. `metrics` is overridden: each
+  /// session gets a private runtime registry (the admission
+  /// controller's latency signal must be per-session).
+  HistoricalRuntime::Options runtime;
+  SessionOptions session;
+  /// Registry for the server-wide serve/* metric families
+  /// (docs/SERVING.md lists them). nullptr: the server owns a private
+  /// one, reachable via metrics().
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Multi-session streaming front-end over the Pulse runtimes: accepts
+/// client connections (in-process or TCP), runs one Session per
+/// connection, and supports graceful drain of the whole fleet. This is
+/// the serving shape the ROADMAP's "production-scale" north star asks
+/// for; docs/ARCHITECTURE.md places it in the end-to-end dataflow.
+class StreamServer {
+ public:
+  static Result<std::unique_ptr<StreamServer>> Make(ServerOptions options);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Opens an in-process connection and returns the client endpoint
+  /// (tests, benches, and the serving differential connect here — same
+  /// frame bytes as TCP, no sockets).
+  Result<std::unique_ptr<Transport>> ConnectInProcess();
+
+  /// Starts accepting TCP connections on loopback `port` (0 picks an
+  /// ephemeral port; see tcp_port()). One background accept thread.
+  Status ListenTcp(uint16_t port);
+  /// Bound TCP port; 0 when ListenTcp was not called.
+  uint16_t tcp_port() const;
+
+  /// Graceful shutdown: stop accepting, drain every session (process
+  /// all admitted input, deliver outputs), join all threads.
+  void Drain();
+
+  /// Hard shutdown: abort sessions, discard queued input.
+  void Shutdown();
+
+  /// Sessions whose threads are still running.
+  size_t active_sessions() const;
+  /// Sessions ever accepted.
+  uint64_t sessions_opened() const;
+
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  explicit StreamServer(ServerOptions options);
+
+  Status AddSession(std::unique_ptr<Transport> transport);
+  void AcceptLoop();
+  /// Drops finished sessions (join + destroy); called opportunistically
+  /// on connect and from the shutdown paths.
+  void ReapLocked();
+  void UpdateSessionMetricsLocked();
+
+  ServerOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* c_opened_ = nullptr;
+  obs::Counter* c_closed_ = nullptr;
+  obs::Gauge* g_active_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  bool shutdown_ = false;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_SERVER_H_

@@ -1,0 +1,432 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/span.h"
+
+namespace pulse {
+namespace serve {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
+                 HistoricalRuntime runtime, SessionOptions options,
+                 std::vector<std::string> valid_streams,
+                 obs::MetricsRegistry* serve_metrics)
+    : id_(id),
+      transport_(std::move(transport)),
+      runtime_(std::move(runtime)),
+      options_(options),
+      valid_streams_(std::move(valid_streams)),
+      serve_metrics_(serve_metrics),
+      // The latency signal is the session runtime's own solver span —
+      // each session has a private runtime registry, so the controller
+      // reacts to *this* session's solver, not a neighbor's.
+      admission_(options.admission,
+                 runtime_.metrics()->GetHistogram(
+                     "span/runtime/push_segment")) {
+  c_accepted_ = serve_metrics_->GetCounter("serve/queue/accepted");
+  c_dropped_ = serve_metrics_->GetCounter("serve/queue/dropped");
+  c_shed_ = serve_metrics_->GetCounter("serve/queue/shed");
+  c_blocked_ns_ = serve_metrics_->GetCounter("serve/queue/blocked_ns");
+  g_depth_ = serve_metrics_->GetGauge("serve/queue/depth");
+  c_batch_dispatched_ = serve_metrics_->GetCounter("serve/batch/dispatched");
+  c_batch_tuples_ = serve_metrics_->GetCounter("serve/batch/tuples");
+  c_shed_queue_ = serve_metrics_->GetCounter("serve/admission/shed_queue");
+  c_shed_latency_ =
+      serve_metrics_->GetCounter("serve/admission/shed_latency");
+  c_overloaded_ = serve_metrics_->GetCounter("serve/admission/overloaded");
+}
+
+Session::~Session() {
+  Abort();
+  Join();
+}
+
+void Session::Start() {
+  reader_ = std::thread([this] { ReaderLoop(); });
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+bool Session::finished() const {
+  return reader_done_.load() && worker_done_.load();
+}
+
+void Session::Join() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_) return;
+  if (reader_.joinable()) reader_.join();
+  if (worker_.joinable()) worker_.join();
+  joined_ = true;
+}
+
+void Session::BeginDrain() {
+  accepting_.store(false);
+  CloseLaneQueues();
+  drain_requested_.store(true);
+  signal_.Notify();
+}
+
+void Session::Abort() {
+  if (stop_.exchange(true)) return;
+  accepting_.store(false);
+  CloseLaneQueues();
+  transport_->Close();
+  signal_.Notify();
+}
+
+std::string Session::error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+void Session::RecordFatal(const Status& status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (error_.empty()) error_ = status.ToString();
+}
+
+Session::Lane* Session::FindLane(uint32_t stream_id) {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (const auto& lane : lanes_) {
+    if (lane->stream_id == stream_id) return lane.get();
+  }
+  return nullptr;
+}
+
+void Session::TotalDepth(size_t* depth, size_t* capacity) {
+  *depth = 0;
+  *capacity = 0;
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (const auto& lane : lanes_) {
+    *depth += lane->queue.size();
+    *capacity += lane->queue.capacity();
+  }
+}
+
+void Session::CloseLaneQueues() {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (const auto& lane : lanes_) lane->queue.Close();
+}
+
+Status Session::WriteFrame(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  write_buf_.clear();
+  EncodeFrame(frame, &write_buf_);
+  return transport_->Write(write_buf_);
+}
+
+Status Session::FlushOutputs() {
+  std::vector<Segment> outputs = runtime_.TakeOutputSegments();
+  if (outputs.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  write_buf_.clear();
+  for (Segment& segment : outputs) {
+    EncodeFrame(Frame::OutputSegment(std::move(segment)), &write_buf_);
+  }
+  return transport_->Write(write_buf_);
+}
+
+// ---------------------------------------------------------------------
+// Reader: transport bytes -> frames -> admission -> queues.
+
+void Session::ReaderLoop() {
+  // Serve-side spans (serve/admit) land in the server-wide registry,
+  // not the session runtime's.
+  obs::ScopedMetricsRegistry scoped(serve_metrics_);
+  FrameReader frames;
+  char buf[8192];
+  bool reader_exit = false;
+  while (!reader_exit && !stop_.load()) {
+    Result<size_t> got = transport_->Read(buf, sizeof(buf));
+    if (!got.ok()) {
+      if (!stop_.load()) RecordFatal(got.status());
+      break;
+    }
+    if (*got == 0) break;  // clean EOF
+    Status status = frames.Feed(buf, *got);
+    while (status.ok()) {
+      Result<std::optional<Frame>> next = frames.Next();
+      if (!next.ok()) {
+        status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      Frame frame = std::move(**next);
+      const bool was_bye = frame.type == FrameType::kBye;
+      status = HandleFrame(std::move(frame));
+      if (was_bye) {
+        reader_exit = true;
+        break;
+      }
+    }
+    if (!status.ok()) {
+      RecordFatal(status);
+      (void)WriteFrame(Frame::Error(status.message()));
+      Abort();
+      break;
+    }
+  }
+  // No more input will ever be admitted: whatever the exit reason
+  // (EOF, kBye, error, abort), close the queues and let the worker
+  // finish what was accepted.
+  accepting_.store(false);
+  CloseLaneQueues();
+  drain_requested_.store(true);
+  reader_done_.store(true);
+  signal_.Notify();
+}
+
+Status Session::HandleFrame(Frame frame) {
+  if (!saw_hello_ && frame.type != FrameType::kHello) {
+    return Status::FailedPrecondition(
+        "protocol: first frame must be hello");
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      if (saw_hello_) {
+        return Status::FailedPrecondition("protocol: duplicate hello");
+      }
+      if (frame.version != kProtocolVersion) {
+        return Status::InvalidArgument(
+            "protocol version " + std::to_string(frame.version) +
+            " unsupported (want " + std::to_string(kProtocolVersion) + ")");
+      }
+      saw_hello_ = true;
+      return Status::OK();
+    case FrameType::kOpenStream: {
+      if (std::find(valid_streams_.begin(), valid_streams_.end(),
+                    frame.text) == valid_streams_.end()) {
+        return Status::NotFound("unknown stream '" + frame.text + "'");
+      }
+      std::lock_guard<std::mutex> lock(lanes_mu_);
+      for (const auto& lane : lanes_) {
+        if (lane->stream_id == frame.stream_id) {
+          return Status::AlreadyExists(
+              "stream id " + std::to_string(frame.stream_id) +
+              " already open");
+        }
+      }
+      lanes_.push_back(std::make_unique<Lane>(
+          frame.stream_id, std::move(frame.text), options_.queue_capacity,
+          &signal_, options_.batcher));
+      return Status::OK();
+    }
+    case FrameType::kTuple:
+    case FrameType::kTupleBatch:
+    case FrameType::kSegment:
+      return AdmitData(std::move(frame));
+    case FrameType::kDrain:
+      client_drain_.store(true);
+      accepting_.store(false);
+      CloseLaneQueues();
+      drain_requested_.store(true);
+      signal_.Notify();
+      return Status::OK();
+    case FrameType::kBye:
+      // Orderly goodbye without a drain barrier: admitted items still
+      // get processed (the reader exit path drains), but no kDrained
+      // acknowledgment is owed.
+      return Status::OK();
+    default:
+      return Status::InvalidArgument(
+          std::string("protocol: unexpected client frame ") +
+          FrameTypeToString(frame.type));
+  }
+}
+
+Status Session::AdmitData(Frame frame) {
+  const uint64_t items =
+      static_cast<uint64_t>(frame.tuples.size() + frame.segments.size());
+  if (!accepting_.load()) {
+    // Draining or shutting down: refuse politely (not a protocol
+    // error — the client may legitimately race its last sends against
+    // a server-initiated drain).
+    c_shed_->Add(items);
+    return WriteFrame(
+        Frame::Flow(frame.stream_id, FlowEvent::kShed, items));
+  }
+  Lane* lane = FindLane(frame.stream_id);
+  if (lane == nullptr) {
+    return Status::FailedPrecondition(
+        "stream id " + std::to_string(frame.stream_id) + " not open");
+  }
+
+  PULSE_SPAN("serve/admit");
+  size_t depth = 0;
+  size_t capacity = 0;
+  TotalDepth(&depth, &capacity);
+  const AdmitDecision decision = admission_.Admit(depth, capacity);
+  const bool overloaded = admission_.overloaded();
+  if (overloaded && !admission_overloaded_prev_) {
+    c_overloaded_->Increment();
+  }
+  admission_overloaded_prev_ = overloaded;
+  if (decision != AdmitDecision::kAdmit) {
+    (decision == AdmitDecision::kShedQueue ? c_shed_queue_
+                                           : c_shed_latency_)
+        ->Add(items);
+    c_shed_->Add(items);
+    return WriteFrame(
+        Frame::Flow(frame.stream_id, FlowEvent::kShed, items));
+  }
+
+  const uint64_t now_ns = NowNs();
+  for (Tuple& tuple : frame.tuples) {
+    lane->batcher.RecordArrival(now_ns);
+    IngestItem item;
+    item.seq = next_seq_++;
+    item.tuple = std::move(tuple);
+    PULSE_RETURN_IF_ERROR(EnqueueItem(lane, std::move(item)));
+  }
+  for (Segment& segment : frame.segments) {
+    IngestItem item;
+    item.seq = next_seq_++;
+    item.is_segment = true;
+    item.segment = std::move(segment);
+    PULSE_RETURN_IF_ERROR(EnqueueItem(lane, std::move(item)));
+  }
+  g_depth_->Set(static_cast<double>(depth + items));
+  return Status::OK();
+}
+
+Status Session::EnqueueItem(Lane* lane, IngestItem item) {
+  uint64_t dropped = 0;
+  const PushResult result =
+      lane->queue.TryPush(&item, options_.policy, &dropped);
+  switch (result) {
+    case PushResult::kAccepted:
+      c_accepted_->Increment();
+      return Status::OK();
+    case PushResult::kDroppedOldest:
+      c_accepted_->Increment();
+      c_dropped_->Add(dropped);
+      return WriteFrame(Frame::Flow(lane->stream_id,
+                                    FlowEvent::kDroppedOldest, dropped));
+    case PushResult::kShed:
+    case PushResult::kClosed:
+      c_shed_->Increment();
+      return WriteFrame(
+          Frame::Flow(lane->stream_id, FlowEvent::kShed, 1));
+    case PushResult::kWouldBlock:
+      break;
+  }
+  // kBlock slow path: tell the client it is paused, wait for space,
+  // tell it to resume. The pause itself is what pushes backpressure
+  // through the transport — while we block here, no further client
+  // bytes are read, so the client's own sends eventually block too.
+  PULSE_RETURN_IF_ERROR(WriteFrame(Frame::Flow(
+      lane->stream_id, FlowEvent::kPaused, lane->queue.size())));
+  uint64_t blocked_ns = 0;
+  const bool pushed = lane->queue.PushBlocking(std::move(item), &blocked_ns);
+  c_blocked_ns_->Add(blocked_ns);
+  if (!pushed) {
+    c_shed_->Increment();
+    return WriteFrame(Frame::Flow(lane->stream_id, FlowEvent::kShed, 1));
+  }
+  c_accepted_->Increment();
+  return WriteFrame(
+      Frame::Flow(lane->stream_id, FlowEvent::kResumed, 0));
+}
+
+// ---------------------------------------------------------------------
+// Worker: queues -> micro-batches -> runtime -> output frames.
+
+void Session::WorkerLoop() {
+  std::vector<Lane*> lanes;
+  std::vector<Tuple> batch;
+  for (;;) {
+    if (stop_.load()) break;
+    const uint64_t epoch = signal_.epoch();
+    {
+      std::lock_guard<std::mutex> lock(lanes_mu_);
+      lanes.clear();
+      for (const auto& lane : lanes_) lanes.push_back(lane.get());
+    }
+    // Min-seq merge: the lane whose head was admitted earliest goes
+    // first, reproducing the client's arrival order across streams.
+    Lane* best = nullptr;
+    uint64_t best_seq = 0;
+    for (Lane* lane : lanes) {
+      uint64_t seq = 0;
+      if (lane->queue.PeekSeq(&seq) &&
+          (best == nullptr || seq < best_seq)) {
+        best = lane;
+        best_seq = seq;
+      }
+    }
+    if (best == nullptr) {
+      // drain_requested_ is stored only after the queues are closed, so
+      // seeing it with all queues empty means no item can ever arrive.
+      if (drain_requested_.load() || stop_.load()) break;
+      signal_.Wait(epoch);
+      continue;
+    }
+
+    IngestItem item;
+    if (!best->queue.Pop(&item)) continue;
+    Status status;
+    if (item.is_segment) {
+      status = runtime_.ProcessSegment(best->name, std::move(item.segment));
+    } else {
+      batch.clear();
+      batch.push_back(std::move(item.tuple));
+      uint64_t last_seq = item.seq;
+      const size_t target = best->batcher.TargetBatchSize();
+      while (batch.size() < target) {
+        uint64_t seq = 0;
+        bool is_segment = false;
+        // Only items with *consecutive* session seqs may join the
+        // batch: a gap means another stream's item was admitted in
+        // between, and batching across it would reorder arrival order.
+        if (!best->queue.PeekSeq(&seq, &is_segment) ||
+            seq != last_seq + 1 || is_segment) {
+          break;
+        }
+        IngestItem next;
+        if (!best->queue.Pop(&next)) break;
+        batch.push_back(std::move(next.tuple));
+        last_seq = seq;
+      }
+      status = runtime_.ProcessTuples(best->name, batch.data(),
+                                      batch.size());
+      c_batch_dispatched_->Increment();
+      c_batch_tuples_->Add(batch.size());
+    }
+    if (status.ok()) status = FlushOutputs();
+    if (!status.ok()) {
+      RecordFatal(status);
+      (void)WriteFrame(Frame::Error(status.message()));
+      Abort();
+      break;
+    }
+  }
+
+  // Drain epilogue: flush residual operator state and deliver the last
+  // outputs. Skipped on Abort (hard stop discards).
+  if (!stop_.load()) {
+    Status status = runtime_.Finish();
+    if (status.ok()) status = FlushOutputs();
+    if (status.ok() && client_drain_.load()) {
+      status = WriteFrame(Frame::Drained());
+    }
+    if (!status.ok()) RecordFatal(status);
+  }
+  worker_done_.store(true);
+  // Wakes a reader still blocked on a dead peer and signals EOF to the
+  // client after kDrained.
+  transport_->Close();
+}
+
+}  // namespace serve
+}  // namespace pulse

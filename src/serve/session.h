@@ -1,0 +1,170 @@
+#ifndef PULSE_SERVE_SESSION_H_
+#define PULSE_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/frame.h"
+#include "serve/ingest_queue.h"
+#include "serve/transport.h"
+
+namespace pulse {
+namespace serve {
+
+/// Per-session serving knobs (shared by every session of a server;
+/// docs/SERVING.md walks through the policy trade-offs).
+struct SessionOptions {
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Per-stream ingest queue capacity (items).
+  size_t queue_capacity = 256;
+  BatcherOptions batcher;
+  AdmissionOptions admission;
+};
+
+/// One client connection: a protocol reader thread admitting frames
+/// into per-stream bounded queues, and a worker thread draining them in
+/// admission order through a dedicated query runtime.
+///
+///   reader: transport -> FrameReader -> admission control -> queues
+///   worker: queues -> micro-batches -> HistoricalRuntime -> output
+///           segments -> transport
+///
+/// The reader is the single producer for all queues and stamps each
+/// admitted item with a session-global sequence number; the worker
+/// merges queues by minimum head seq, so processing order equals
+/// admission order regardless of how tuples interleave across streams
+/// or how the micro-batcher groups them. That invariant is what the
+/// serving differential checks end to end (byte-identical outputs vs
+/// the batch replay path).
+class Session {
+ public:
+  /// `serve_metrics` is the server-wide serve/* registry;
+  /// `valid_streams` the query's declared input stream names. Both the
+  /// registry and the transport must outlive Join().
+  Session(uint64_t id, std::unique_ptr<Transport> transport,
+          HistoricalRuntime runtime, SessionOptions options,
+          std::vector<std::string> valid_streams,
+          obs::MetricsRegistry* serve_metrics);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Spawns the reader and worker threads. Call exactly once.
+  void Start();
+
+  /// True once both threads have finished (the server reaps on this).
+  bool finished() const;
+
+  /// Blocks until both threads exit (transport EOF / kBye / drain
+  /// complete / Abort). Idempotent.
+  void Join();
+
+  /// Server-initiated graceful drain: stop admitting, process
+  /// everything already accepted, deliver outputs, then close.
+  void BeginDrain();
+
+  /// Hard stop: close queues and transport, wake both threads. Items
+  /// not yet dispatched are discarded.
+  void Abort();
+
+  uint64_t id() const { return id_; }
+  /// First fatal error observed (empty while healthy).
+  std::string error() const;
+
+ private:
+  struct Lane {
+    uint32_t stream_id = 0;
+    std::string name;
+    IngestQueue queue;
+    MicroBatcher batcher;
+    Lane(uint32_t id, std::string n, size_t capacity, WorkSignal* signal,
+         const BatcherOptions& batcher_options)
+        : stream_id(id),
+          name(std::move(n)),
+          queue(capacity, signal),
+          batcher(batcher_options) {}
+  };
+
+  void ReaderLoop();
+  void WorkerLoop();
+  /// Dispatches one control/data frame; a returned error is fatal to
+  /// the session (sent to the client as kError, then Abort).
+  Status HandleFrame(Frame frame);
+  /// Admission control + enqueue for a data frame's items.
+  Status AdmitData(Frame frame);
+  Status EnqueueItem(Lane* lane, IngestItem item);
+  Status WriteFrame(const Frame& frame);
+  /// Moves the runtime's pending output segments to the client.
+  Status FlushOutputs();
+  void RecordFatal(const Status& status);
+
+  Lane* FindLane(uint32_t stream_id);
+  /// Aggregate depth/capacity over all lanes (admission signal).
+  void TotalDepth(size_t* depth, size_t* capacity);
+  void CloseLaneQueues();
+
+  const uint64_t id_;
+  std::unique_ptr<Transport> transport_;
+  HistoricalRuntime runtime_;
+  const SessionOptions options_;
+  const std::vector<std::string> valid_streams_;
+  obs::MetricsRegistry* serve_metrics_;
+  AdmissionController admission_;
+  WorkSignal signal_;
+
+  std::thread reader_;
+  std::thread worker_;
+  std::mutex join_mu_;
+  bool joined_ = false;
+
+  // Lanes are appended by the reader (kOpenStream) and scanned by the
+  // worker; the mutex covers the vector, each lane's queue has its own.
+  std::mutex lanes_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::mutex write_mu_;
+  std::string write_buf_;
+
+  mutable std::mutex error_mu_;
+  std::string error_;
+
+  // Reader-only protocol state.
+  bool saw_hello_ = false;
+  uint64_t next_seq_ = 0;
+  bool admission_overloaded_prev_ = false;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> drain_requested_{false};
+  /// Client asked via kDrain (gets a kDrained reply; Bye/EOF do not).
+  std::atomic<bool> client_drain_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reader_done_{false};
+  std::atomic<bool> worker_done_{false};
+
+  // serve/* handles (shared registry; stable for its lifetime).
+  obs::Counter* c_accepted_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_shed_ = nullptr;
+  obs::Counter* c_blocked_ns_ = nullptr;
+  obs::Gauge* g_depth_ = nullptr;
+  obs::Counter* c_batch_dispatched_ = nullptr;
+  obs::Counter* c_batch_tuples_ = nullptr;
+  obs::Counter* c_shed_queue_ = nullptr;
+  obs::Counter* c_shed_latency_ = nullptr;
+  obs::Counter* c_overloaded_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_SESSION_H_

@@ -1,0 +1,166 @@
+#include "serve/tcp_transport.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace pulse {
+namespace serve {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override {
+    Close();
+    // The descriptor is released only here: the owner destroys the
+    // transport after joining every thread that calls Read()/Write(),
+    // so nothing can race the close or land on a recycled fd.
+    ::close(fd_);
+  }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    for (;;) {
+      const ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r >= 0) return static_cast<size_t>(r);
+      if (errno == EINTR) continue;
+      // A concurrent Close() makes the fd invalid mid-recv; report it
+      // as a clean EOF rather than a spurious error.
+      if (closed_.load()) return size_t{0};
+      return Errno("recv");
+    }
+  }
+
+  Status Write(const char* data, size_t n) override {
+    size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w >= 0) {
+        sent += static_cast<size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (closed_.load()) return Status::IoError("transport closed");
+      return Errno("send");
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (closed_.exchange(true)) return;
+    // shutdown() wakes a reader blocked in recv() with EOF and makes
+    // later send()s fail; the fd stays open until the destructor so a
+    // concurrent Read()/Write() never touches a closed (and possibly
+    // recycled) descriptor.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      SetNoDelay(cfd);
+      return std::unique_ptr<Transport>(new TcpTransport(cfd));
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  if (closed_.exchange(true)) return;
+  // Wakes a blocked accept() (it fails with EINVAL); the fd is
+  // released in the destructor, after the accept thread is joined.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo " + host + ": " +
+                           gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      SetNoDelay(fd);
+      ::freeaddrinfo(res);
+      return std::unique_ptr<Transport>(new TcpTransport(fd));
+    }
+    last = Errno("connect");
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace serve
+}  // namespace pulse

@@ -1,0 +1,54 @@
+#ifndef PULSE_SERVE_TCP_TRANSPORT_H_
+#define PULSE_SERVE_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/transport.h"
+#include "util/result.h"
+
+namespace pulse {
+namespace serve {
+
+/// Listening TCP socket (loopback-friendly; POSIX sockets, no external
+/// dependencies). Accept() blocks until a connection arrives or Close()
+/// is called from another thread.
+class TcpListener {
+ public:
+  /// Binds and listens on `port` (0 picks an ephemeral port — the bench
+  /// and tests use this so nothing collides).
+  static Result<std::unique_ptr<TcpListener>> Listen(uint16_t port);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (resolved when Listen() was given 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocking accept; fails with IoError after Close().
+  Result<std::unique_ptr<Transport>> Accept();
+
+  /// Unblocks a pending Accept(). The descriptor itself is released in
+  /// the destructor, which the owner must run only after the accepting
+  /// thread is joined — closing it here would race an in-flight
+  /// accept() on the same descriptor.
+  void Close();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  const int fd_;
+  uint16_t port_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Connects to `host`:`port` (numeric IPv4 or a resolvable name).
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              uint16_t port);
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_TCP_TRANSPORT_H_

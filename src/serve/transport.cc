@@ -1,0 +1,111 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace pulse {
+namespace serve {
+namespace {
+
+// One direction of an in-process connection: a bounded byte FIFO with
+// socket-like blocking. Shared by the two endpoints via shared_ptr so
+// either side may be destroyed first.
+class ByteChannel {
+ public:
+  explicit ByteChannel(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Status Write(const char* data, size_t n) {
+    size_t written = 0;
+    while (written < n) {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock,
+                     [&] { return closed_ || buf_.size() < capacity_; });
+      if (closed_) {
+        return Status::IoError("in-process transport closed");
+      }
+      const size_t room = capacity_ - buf_.size();
+      const size_t chunk = std::min(room, n - written);
+      buf_.insert(buf_.end(), data + written, data + written + chunk);
+      written += chunk;
+      lock.unlock();
+      data_cv_.notify_one();
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Read(char* out, size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    data_cv_.wait(lock, [&] { return closed_ || !buf_.empty(); });
+    if (buf_.empty()) return size_t{0};  // closed and drained: EOF
+    const size_t chunk = std::min(n, buf_.size());
+    std::copy(buf_.begin(), buf_.begin() + static_cast<long>(chunk), out);
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(chunk));
+    lock.unlock();
+    space_cv_.notify_one();
+    return chunk;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    data_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable data_cv_;
+  std::condition_variable space_cv_;
+  std::deque<char> buf_;
+  bool closed_ = false;
+};
+
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(std::shared_ptr<ByteChannel> in,
+                     std::shared_ptr<ByteChannel> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~InProcessTransport() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    return in_->Read(buf, n);
+  }
+
+  Status Write(const char* data, size_t n) override {
+    return out_->Write(data, n);
+  }
+
+  void Close() override {
+    // Both directions: a closing endpoint stops reading AND signals EOF
+    // to the peer (TCP close semantics, not half-close).
+    in_->Close();
+    out_->Close();
+  }
+
+ private:
+  std::shared_ptr<ByteChannel> in_;
+  std::shared_ptr<ByteChannel> out_;
+};
+
+}  // namespace
+
+TransportPair MakeInProcessPair(size_t buffer_capacity) {
+  auto c2s = std::make_shared<ByteChannel>(buffer_capacity);
+  auto s2c = std::make_shared<ByteChannel>(buffer_capacity);
+  TransportPair pair;
+  pair.client = std::make_unique<InProcessTransport>(s2c, c2s);
+  pair.server = std::make_unique<InProcessTransport>(c2s, s2c);
+  return pair;
+}
+
+}  // namespace serve
+}  // namespace pulse

@@ -1,0 +1,59 @@
+#ifndef PULSE_SERVE_TRANSPORT_H_
+#define PULSE_SERVE_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace pulse {
+namespace serve {
+
+/// Bidirectional byte stream between a client and a session — the only
+/// thing the protocol layer assumes about the network. Two
+/// implementations: the in-process pair below (tests, benches, the
+/// serving differential — no sockets needed) and TCP
+/// (tcp_transport.h). Both ends see the same length-prefixed frame
+/// bytes, so everything above the transport is exercised identically.
+///
+/// Thread contract: one reader thread and one writer thread per
+/// endpoint may operate concurrently (the full-duplex session shape);
+/// concurrent writers must serialize externally. Close() may be called
+/// from any thread and unblocks pending reads and writes.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocking read of up to `n` bytes into `buf`. Returns the count
+  /// actually read (>= 1), or 0 on clean end-of-stream.
+  virtual Result<size_t> Read(char* buf, size_t n) = 0;
+
+  /// Blocking write of exactly `n` bytes (may wait for buffer space /
+  /// socket drain). Fails once the peer or Close() shut the stream.
+  virtual Status Write(const char* data, size_t n) = 0;
+  Status Write(const std::string& bytes) {
+    return Write(bytes.data(), bytes.size());
+  }
+
+  /// Shuts down both directions; pending and future reads return 0 /
+  /// fail, pending and future writes fail. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// The two endpoints of one in-process connection.
+struct TransportPair {
+  std::unique_ptr<Transport> client;
+  std::unique_ptr<Transport> server;
+};
+
+/// In-process transport: two bounded byte channels (one per direction)
+/// with blocking semantics matching a TCP socket, including write-side
+/// backpressure — a full channel blocks the writer, which is how queue
+/// backpressure inside a session reaches an in-process client.
+/// `buffer_capacity` is the per-direction byte budget.
+TransportPair MakeInProcessPair(size_t buffer_capacity = 4u << 20);
+
+}  // namespace serve
+}  // namespace pulse
+
+#endif  // PULSE_SERVE_TRANSPORT_H_

@@ -12,6 +12,8 @@
 #include "core/transform.h"
 #include "engine/executor.h"
 #include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/logging.h"
 
 namespace pulse {
@@ -229,6 +231,45 @@ Result<PulseRun> RunPulse(const GeneratedCase& kase, const SegmentFeed& feed,
   run.metrics = rt.metrics()->Snapshot();
   run.stats = rt.stats();
   return run;
+}
+
+// Drives the same segment feed through the in-process serving stack:
+// frame codec (doubles as IEEE-754 bit patterns), session ingest
+// queues, the min-seq merging micro-batched worker, and drain. The
+// lossless configuration — kBlock backpressure, admission controller
+// off — must deliver outputs byte-identical to the direct
+// ProcessSegment replay above.
+Result<std::vector<Segment>> RunPulseServing(const GeneratedCase& kase,
+                                             const SegmentFeed& feed) {
+  serve::ServerOptions options;
+  options.spec = kase.spec;
+  options.runtime.collect_outputs = true;
+  options.session.policy = serve::BackpressurePolicy::kBlock;
+  options.session.queue_capacity = 64;
+  options.session.admission.enabled = false;
+  PULSE_ASSIGN_OR_RETURN(std::unique_ptr<serve::StreamServer> server,
+                         serve::StreamServer::Make(std::move(options)));
+  PULSE_ASSIGN_OR_RETURN(std::unique_ptr<serve::Transport> conn,
+                         server->ConnectInProcess());
+  serve::ServeClient client(std::move(conn));
+  PULSE_RETURN_IF_ERROR(client.Hello());
+  for (size_t i = 0; i < kase.workloads.size(); ++i) {
+    PULSE_RETURN_IF_ERROR(client.OpenStream(static_cast<uint32_t>(i),
+                                            kase.workloads[i].name));
+  }
+  for (const auto& [stream_idx, segment] : feed.items) {
+    PULSE_RETURN_IF_ERROR(
+        client.SendSegment(static_cast<uint32_t>(stream_idx), segment));
+  }
+  PULSE_ASSIGN_OR_RETURN(serve::ServeClient::DrainResult drained,
+                         client.Drain());
+  if (drained.shed != 0 || drained.dropped != 0) {
+    return Status::Internal(
+        "lossless serving configuration shed/dropped input");
+  }
+  (void)client.Bye();
+  server->Drain();
+  return std::move(drained.output_segments);
 }
 
 // ---------------------------------------------------------------------
@@ -780,6 +821,18 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
                               "", 0.0, 0.0, mismatch});
     }
     if (v.threads > 1 && v.cache) parallel = std::move(got);
+  }
+
+  // Serving-transport variant: same feed, pushed through the frame
+  // codec and a real session (queues, micro-batches, drain).
+  if (options.serving_variant) {
+    PULSE_ASSIGN_OR_RETURN(std::vector<Segment> served,
+                           RunPulseServing(kase, feed));
+    const std::string mismatch = CompareVariant(base.segments, served);
+    if (!mismatch.empty()) {
+      reporter.Add(Divergence{"metamorphic.serving", 0.0, 0, "", 0.0, 0.0,
+                              mismatch});
+    }
   }
 
   CheckMetricsInvariants(discrete, base, parallel, &report, &reporter);

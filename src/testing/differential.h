@@ -34,6 +34,13 @@ struct DiffOptions {
   /// Stop collecting divergences past this count (a broken operator
   /// would otherwise report one per grid point).
   size_t max_divergences = 8;
+  /// Also push the segment feed through the in-process serving
+  /// transport (frame codec -> session queues -> micro-batched worker
+  /// -> drain; lossless kBlock configuration) and require the delivered
+  /// outputs to be byte-identical to the direct replay — proving
+  /// serving-layer batching/backpressure never change query answers,
+  /// only admission (docs/SERVING.md).
+  bool serving_variant = true;
 };
 
 /// Result of one differential run. `ok()` means: the discrete engine and

@@ -73,4 +73,25 @@ std::vector<Tuple> RescaleRate(const std::vector<Tuple>& trace,
   return out;
 }
 
+PacedReplay::PacedReplay(std::vector<Tuple> trace, double tuples_per_second)
+    : trace_(std::move(trace)), rate_(tuples_per_second) {
+  if (!trace_.empty()) t0_ = trace_.front().timestamp;
+}
+
+bool PacedReplay::Next(Tuple* tuple, uint64_t* offset_ns) {
+  if (pos_ >= trace_.size()) return false;
+  const Tuple& next = trace_[pos_];
+  double offset_s;
+  if (rate_ > 0.0) {
+    offset_s = static_cast<double>(pos_) / rate_;
+  } else {
+    offset_s = next.timestamp - t0_;
+    if (offset_s < 0.0) offset_s = 0.0;  // out-of-order event time
+  }
+  *tuple = next;
+  *offset_ns = static_cast<uint64_t>(offset_s * 1e9);
+  ++pos_;
+  return true;
+}
+
 }  // namespace pulse

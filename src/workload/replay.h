@@ -32,6 +32,31 @@ class TraceFile {
 std::vector<Tuple> RescaleRate(const std::vector<Tuple>& trace,
                                double factor);
 
+/// Paced live replay: turns a recorded trace into a wall-clock send
+/// schedule — the traffic generator the serving bench drives sessions
+/// with (docs/SERVING.md). Two pacing modes:
+///  - `tuples_per_second > 0`: uniform pacing at that rate, ignoring
+///    the trace's event time (load testing at a controlled rate);
+///  - `tuples_per_second == 0`: event-time pacing — send offsets follow
+///    the trace's own timestamp deltas (faithful live replay).
+class PacedReplay {
+ public:
+  PacedReplay(std::vector<Tuple> trace, double tuples_per_second);
+
+  /// Next tuple and its send offset from replay start, in nanoseconds
+  /// (monotone non-decreasing). False when the trace is exhausted.
+  bool Next(Tuple* tuple, uint64_t* offset_ns);
+
+  size_t remaining() const { return trace_.size() - pos_; }
+  size_t size() const { return trace_.size(); }
+
+ private:
+  std::vector<Tuple> trace_;
+  double rate_;
+  double t0_ = 0.0;  // event-time origin (event-time pacing)
+  size_t pos_ = 0;
+};
+
 }  // namespace pulse
 
 #endif  // PULSE_WORKLOAD_REPLAY_H_

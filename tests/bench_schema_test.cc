@@ -161,6 +161,26 @@ TEST(CheckedInBenchJsonTest, SolverHotpathMatchesGateSchema) {
   EXPECT_NE(params->Find("fig7_prechange_tuples_per_sec"), nullptr);
 }
 
+TEST(CheckedInBenchJsonTest, ServingThroughputMatchesGateSchema) {
+  const std::string text =
+      ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                      "/BENCH_serving_throughput.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_serving_throughput.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(
+      CheckReportShape(text, "serving_throughput", &doc));
+  ExpectRowFields(doc, {"policy", "seconds", "tuples_per_sec", "sent",
+                        "accepted", "dropped", "shed", "output_segments",
+                        "admit_p99_ns"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("sessions"), nullptr);
+  EXPECT_NE(params->Find("queue_capacity"), nullptr);
+  // The acceptance bar for the serving layer: at least 16 concurrent
+  // sessions sustained, one row per policy plus the admission run.
+  EXPECT_GE(params->Find("sessions")->as_number(), 16.0);
+  EXPECT_GE(doc.Find("results")->as_array().size(), 4u);
+}
+
 TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
   const std::string text =
       ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +

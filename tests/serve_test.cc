@@ -1,0 +1,703 @@
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "model/fitting.h"
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "serve/ingest_queue.h"
+#include "serve/server.h"
+#include "serve/tcp_transport.h"
+#include "serve/transport.h"
+#include "workload/moving_object.h"
+#include "workload/replay.h"
+
+namespace pulse {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared fixtures: the runtime_test filter query over the moving-object
+// stream (fields id, x, y, vx, vy).
+
+QuerySpec FilterQuerySpec(double threshold) {
+  QuerySpec spec;
+  EXPECT_TRUE(
+      spec.AddStream(MovingObjectGenerator::MakeStreamSpec("objects", 5.0))
+          .ok());
+  FilterSpec filter;
+  filter.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(threshold)));
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"), filter);
+  return spec;
+}
+
+Tuple ObjectTuple(double ts, int64_t id, double x, double vx) {
+  return Tuple(ts,
+               {Value(id), Value(x), Value(0.0), Value(vx), Value(0.0)});
+}
+
+// Piecewise-linear x trace that makes the segmenter emit several pieces.
+std::vector<Tuple> PiecewiseTrace(int n) {
+  std::vector<Tuple> trace;
+  trace.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = i * 0.05;
+    const double x = t < 7.5 ? 2.0 * t : 30.0 - 2.0 * t;
+    trace.push_back(ObjectTuple(t, 1, x, 0.0));
+  }
+  return trace;
+}
+
+ServerOptions ObjectsServerOptions(BackpressurePolicy policy) {
+  ServerOptions options;
+  options.spec = FilterQuerySpec(100.0);
+  options.runtime.segmentation.degree = 1;
+  options.runtime.segmentation.max_error = 0.05;
+  options.session.policy = policy;
+  options.session.admission.enabled = false;
+  return options;
+}
+
+void ExpectSameSegments(const std::vector<Segment>& a,
+                        const std::vector<Segment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].range.lo, b[i].range.lo);
+    EXPECT_EQ(a[i].range.hi, b[i].range.hi);
+    EXPECT_EQ(a[i].range.lo_open, b[i].range.lo_open);
+    EXPECT_EQ(a[i].range.hi_open, b[i].range.hi_open);
+    ASSERT_EQ(a[i].attributes.size(), b[i].attributes.size());
+    for (const auto& [name, poly] : a[i].attributes) {
+      auto it = b[i].attributes.find(name);
+      ASSERT_NE(it, b[i].attributes.end()) << name;
+      ASSERT_EQ(poly.IsZero(), it->second.IsZero()) << name;
+      ASSERT_EQ(poly.degree(), it->second.degree()) << name;
+      for (size_t k = 0; k <= poly.degree(); ++k) {
+        EXPECT_EQ(poly.coeff(k), it->second.coeff(k))
+            << name << " coeff " << k;
+      }
+    }
+    EXPECT_EQ(a[i].unmodeled, b[i].unmodeled);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameCodec, TupleRoundTripIsBitExact) {
+  Tuple t(0.1 + 0.2,  // not representable exactly: catches re-parsing
+          {Value(int64_t{-42}), Value(1e-308), Value(std::string("hi")),
+           Value(-0.0)});
+  Frame in = Frame::OneTuple(7, t);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(EncodeFrameToString(in)).ok());
+  Result<std::optional<Frame>> out = reader.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->type, FrameType::kTuple);
+  EXPECT_EQ((*out)->stream_id, 7u);
+  ASSERT_EQ((*out)->tuples.size(), 1u);
+  const Tuple& got = (*out)->tuples[0];
+  // Bit patterns, not approximate equality: the serving differential
+  // depends on the codec being exact.
+  EXPECT_EQ(got.timestamp, t.timestamp);
+  ASSERT_EQ(got.values.size(), t.values.size());
+  EXPECT_EQ(got.values[0].as_int64(), -42);
+  EXPECT_EQ(got.values[1].as_double(), 1e-308);
+  EXPECT_EQ(got.values[2].as_string(), "hi");
+  EXPECT_TRUE(std::signbit(got.values[3].as_double()));
+}
+
+TEST(FrameCodec, SegmentRoundTripPreservesEverything) {
+  Segment s(-3, Interval::ClosedOpen(1.5, 2.5));
+  s.range.lo_open = true;
+  s.range.hi_open = false;
+  s.id = 12345;
+  s.set_attribute("x", Polynomial({0.1, -2.0, 3.5}));
+  s.set_attribute("zero", Polynomial());  // must stay IsZero()
+  s.unmodeled["c"] = 4.25;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(EncodeFrameToString(Frame::OneSegment(1, s))).ok());
+  Result<std::optional<Frame>> out = reader.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  ASSERT_EQ((*out)->segments.size(), 1u);
+  const Segment& got = (*out)->segments[0];
+  EXPECT_EQ(got.key, -3);
+  EXPECT_EQ(got.id, 12345u);
+  EXPECT_EQ(got.range.lo, 1.5);
+  EXPECT_EQ(got.range.hi, 2.5);
+  EXPECT_TRUE(got.range.lo_open);
+  EXPECT_FALSE(got.range.hi_open);
+  ASSERT_EQ(got.attributes.size(), 2u);
+  EXPECT_TRUE(got.attributes.at("zero").IsZero());
+  EXPECT_EQ(got.attributes.at("x").coeff(2), 3.5);
+  EXPECT_EQ(got.unmodeled.at("c"), 4.25);
+}
+
+TEST(FrameCodec, AllControlFramesRoundTrip) {
+  const Frame frames[] = {Frame::Hello(),
+                          Frame::OpenStream(9, "objects"),
+                          Frame::Flow(2, FlowEvent::kDroppedOldest, 17),
+                          Frame::Drain(),
+                          Frame::Drained(),
+                          Frame::Error("boom"),
+                          Frame::Bye()};
+  FrameReader reader;
+  for (const Frame& f : frames) {
+    ASSERT_TRUE(reader.Feed(EncodeFrameToString(f)).ok());
+  }
+  for (const Frame& f : frames) {
+    Result<std::optional<Frame>> out = reader.Next();
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out->has_value());
+    EXPECT_EQ((*out)->type, f.type);
+  }
+  // Exactly consumed.
+  Result<std::optional<Frame>> out = reader.Next();
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodec, ByteAtATimeFeedingReassembles) {
+  const std::string bytes =
+      EncodeFrameToString(Frame::OpenStream(3, "objects"));
+  FrameReader reader;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(reader.Feed(bytes.data() + i, 1).ok());
+    Result<std::optional<Frame>> out = reader.Next();
+    ASSERT_TRUE(out.ok());
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(out->has_value());
+    } else {
+      ASSERT_TRUE(out->has_value());
+      EXPECT_EQ((*out)->text, "objects");
+    }
+  }
+}
+
+TEST(FrameCodec, TruncatedPayloadPoisonsReader) {
+  std::string bytes = EncodeFrameToString(Frame::Error("some message"));
+  // Shrink the payload but keep the length prefix: the declared payload
+  // now ends mid-string.
+  bytes[0] = static_cast<char>(bytes.size() - 4 - 3);
+  bytes.resize(bytes.size() - 3);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes).ok());
+  EXPECT_FALSE(reader.Next().ok());
+  // Sticky: both Next and Feed fail afterwards.
+  EXPECT_FALSE(reader.Next().ok());
+  EXPECT_FALSE(reader.Feed("x", 1).ok());
+}
+
+TEST(FrameCodec, OversizedFrameRejectedBeforeBuffering) {
+  DecodeLimits limits;
+  limits.max_frame_bytes = 64;
+  FrameReader reader(limits);
+  std::string bytes;
+  // Length prefix claims 1 GiB.
+  const uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>(huge >> (8 * i)));
+  }
+  ASSERT_TRUE(reader.Feed(bytes).ok());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodec, TrailingBytesInPayloadRejected) {
+  std::string bytes = EncodeFrameToString(Frame::Drain());
+  // Extend the payload by one byte (and the prefix accordingly).
+  bytes.push_back('\0');
+  bytes[0] = static_cast<char>(2);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes).ok());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodec, UnknownFrameTypeRejected) {
+  std::string bytes;
+  bytes.push_back(1);  // length 1
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(static_cast<char>(0xEE));  // bogus type
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes).ok());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+// ---------------------------------------------------------------------
+// Ingest queue policies.
+
+IngestItem Item(uint64_t seq) {
+  IngestItem item;
+  item.seq = seq;
+  return item;
+}
+
+TEST(IngestQueue, ShedRejectsWhenFull) {
+  IngestQueue q(2, nullptr);
+  IngestItem a = Item(0), b = Item(1), c = Item(2);
+  EXPECT_EQ(q.TryPush(&a, BackpressurePolicy::kShed, nullptr),
+            PushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(&b, BackpressurePolicy::kShed, nullptr),
+            PushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(&c, BackpressurePolicy::kShed, nullptr),
+            PushResult::kShed);
+  EXPECT_EQ(q.size(), 2u);
+  uint64_t seq = 99;
+  EXPECT_TRUE(q.PeekSeq(&seq));
+  EXPECT_EQ(seq, 0u);  // oldest survives under shed
+}
+
+TEST(IngestQueue, DropOldestEvictsHead) {
+  IngestQueue q(2, nullptr);
+  IngestItem a = Item(0), b = Item(1), c = Item(2);
+  ASSERT_EQ(q.TryPush(&a, BackpressurePolicy::kDropOldest, nullptr),
+            PushResult::kAccepted);
+  ASSERT_EQ(q.TryPush(&b, BackpressurePolicy::kDropOldest, nullptr),
+            PushResult::kAccepted);
+  uint64_t dropped = 0;
+  EXPECT_EQ(q.TryPush(&c, BackpressurePolicy::kDropOldest, &dropped),
+            PushResult::kDroppedOldest);
+  EXPECT_EQ(dropped, 1u);
+  uint64_t seq = 0;
+  EXPECT_TRUE(q.PeekSeq(&seq));
+  EXPECT_EQ(seq, 1u);  // newest survives under drop-oldest
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(IngestQueue, BlockPolicyWaitsForConsumer) {
+  WorkSignal signal;
+  IngestQueue q(1, &signal);
+  IngestItem a = Item(0), b = Item(1);
+  ASSERT_EQ(q.TryPush(&a, BackpressurePolicy::kBlock, nullptr),
+            PushResult::kAccepted);
+  EXPECT_EQ(q.TryPush(&b, BackpressurePolicy::kBlock, nullptr),
+            PushResult::kWouldBlock);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    uint64_t blocked_ns = 0;
+    EXPECT_TRUE(q.PushBlocking(Item(1), &blocked_ns));
+    pushed.store(true);
+  });
+  IngestItem out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.seq, 0u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.seq, 1u);
+}
+
+TEST(IngestQueue, CloseUnblocksProducerAndKeepsItemsPoppable) {
+  IngestQueue q(1, nullptr);
+  IngestItem a = Item(0);
+  ASSERT_EQ(q.TryPush(&a, BackpressurePolicy::kBlock, nullptr),
+            PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_FALSE(q.PushBlocking(Item(1), nullptr));  // closed while full
+  });
+  // Give the producer a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  IngestItem out;
+  EXPECT_TRUE(q.Pop(&out));  // drain still sees the admitted item
+  EXPECT_EQ(out.seq, 0u);
+  IngestItem c = Item(2);
+  EXPECT_EQ(q.TryPush(&c, BackpressurePolicy::kBlock, nullptr),
+            PushResult::kClosed);
+}
+
+// ---------------------------------------------------------------------
+// Micro-batcher and admission controller.
+
+TEST(MicroBatcher, TargetTracksArrivalRate) {
+  BatcherOptions options;
+  options.target_batch_ns = 1'000'000;  // 1 ms horizon
+  options.max_batch = 1000;
+  MicroBatcher batcher(options);
+  EXPECT_EQ(batcher.TargetBatchSize(), 1u);  // no estimate yet
+  // 10 us inter-arrival -> 100k tuples/s -> ~100 per 1 ms batch.
+  uint64_t now = 0;
+  for (int i = 0; i < 200; ++i) {
+    batcher.RecordArrival(now);
+    now += 10'000;
+  }
+  EXPECT_NEAR(static_cast<double>(batcher.TargetBatchSize()), 100.0, 2.0);
+  EXPECT_NEAR(batcher.ArrivalRatePerSec(), 1e5, 1e3);
+  // Slowing to 1 tuple/ms shrinks the target back toward min.
+  for (int i = 0; i < 200; ++i) {
+    batcher.RecordArrival(now);
+    now += 1'000'000;
+  }
+  EXPECT_LE(batcher.TargetBatchSize(), 2u);
+}
+
+TEST(MicroBatcher, ClampsToConfiguredBounds) {
+  BatcherOptions options;
+  options.min_batch = 4;
+  options.max_batch = 8;
+  options.target_batch_ns = 1'000'000'000;  // huge horizon
+  MicroBatcher batcher(options);
+  uint64_t now = 0;
+  for (int i = 0; i < 10; ++i) {
+    batcher.RecordArrival(now);
+    now += 10;
+  }
+  EXPECT_EQ(batcher.TargetBatchSize(), 8u);  // clamped to max
+}
+
+TEST(AdmissionController, QueueWatermarkHysteresis) {
+  AdmissionOptions options;
+  options.queue_high_watermark = 0.8;
+  options.queue_low_watermark = 0.4;
+  AdmissionController controller(options, nullptr);
+  EXPECT_EQ(controller.Admit(10, 100), AdmitDecision::kAdmit);
+  EXPECT_EQ(controller.Admit(90, 100), AdmitDecision::kShedQueue);
+  // Still above the low watermark: keeps shedding (hysteresis).
+  EXPECT_EQ(controller.Admit(60, 100), AdmitDecision::kShedQueue);
+  // Below the low watermark: recovers.
+  EXPECT_EQ(controller.Admit(30, 100), AdmitDecision::kAdmit);
+  EXPECT_FALSE(controller.overloaded());
+}
+
+TEST(AdmissionController, LatencySignalShedsAndRecovers) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("span/runtime/push_segment");
+  AdmissionOptions options;
+  options.latency_high_ns = 1000;
+  options.latency_low_ns = 100;
+  options.sample_every = 1;  // resample on every admission
+  AdmissionController controller(options, h);
+  EXPECT_EQ(controller.Admit(0, 100), AdmitDecision::kAdmit);
+  // Slow solver: p99 over the next interval far above the threshold.
+  for (int i = 0; i < 100; ++i) h->Record(50'000);
+  EXPECT_EQ(controller.Admit(0, 100), AdmitDecision::kShedLatency);
+  EXPECT_TRUE(controller.overloaded());
+  // Fast again: interval p99 drops under the low threshold.
+  for (int i = 0; i < 100; ++i) h->Record(10);
+  EXPECT_EQ(controller.Admit(0, 100), AdmitDecision::kAdmit);
+  // Idle solver (no new samples): stays recovered.
+  EXPECT_EQ(controller.Admit(0, 100), AdmitDecision::kAdmit);
+}
+
+TEST(AdmissionController, DisabledAdmitsEverything) {
+  AdmissionOptions options;
+  options.enabled = false;
+  AdmissionController controller(options, nullptr);
+  EXPECT_EQ(controller.Admit(100, 100), AdmitDecision::kAdmit);
+}
+
+// ---------------------------------------------------------------------
+// Incremental fitter: the micro-batching invariance.
+
+TEST(IncrementalFitter, BatchSplitInvariance) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    const double t = 0.1 * i;
+    samples.push_back({t, 3.0 - 2.0 * t + 0.25 * t * t + 0.01 * i});
+  }
+  IncrementalFitter whole(2);
+  whole.AddBatch(samples);
+  IncrementalFitter split(2);
+  // Same order, arbitrary batch boundaries.
+  split.AddBatch(samples.data(), 7);
+  split.AddBatch(samples.data() + 7, 1);
+  split.AddBatch(samples.data() + 8, 42);
+  Result<Polynomial> a = whole.Fit();
+  Result<Polynomial> b = split.Fit();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->degree(), b->degree());
+  for (size_t k = 0; k <= a->degree(); ++k) {
+    // Bit-identical, not just close: the moments are the same ordered
+    // sums regardless of batch boundaries.
+    EXPECT_EQ(a->coeff(k), b->coeff(k)) << k;
+  }
+}
+
+TEST(IncrementalFitter, RecoversExactPolynomial) {
+  IncrementalFitter fitter(1);
+  for (int i = 0; i < 10; ++i) {
+    const double t = 0.5 * i;
+    fitter.Add({t, 2.0 + 3.0 * t});
+  }
+  Result<Polynomial> p = fitter.Fit();
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->coeff(0), 2.0, 1e-9);
+  EXPECT_NEAR(p->coeff(1), 3.0, 1e-9);
+  EXPECT_FALSE(IncrementalFitter(2).Fit().ok());  // too few samples
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sessions over the in-process transport.
+
+TEST(Session, DrainDeliversSameOutputsAsDirectRuntime) {
+  const std::vector<Tuple> trace = PiecewiseTrace(300);
+
+  // Direct path.
+  ServerOptions options = ObjectsServerOptions(BackpressurePolicy::kBlock);
+  Result<HistoricalRuntime> direct =
+      HistoricalRuntime::Make(options.spec, options.runtime);
+  ASSERT_TRUE(direct.ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(direct->ProcessTuple("objects", t).ok());
+  }
+  ASSERT_TRUE(direct->Finish().ok());
+  const std::vector<Segment> expected = direct->TakeOutputSegments();
+  ASSERT_FALSE(expected.empty());
+
+  // Served path.
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(client.SendTuple(1, t).ok());
+  }
+  Result<ServeClient::DrainResult> drained = client.Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->shed, 0u);
+  EXPECT_EQ(drained->dropped, 0u);
+  ExpectSameSegments(expected, drained->output_segments);
+  // No Bye after Drain: the server closes the transport right after
+  // kDrained, so a late goodbye write races the peer's close.
+  (*server)->Drain();
+
+  // Lossless accounting: everything sent was accepted and dispatched.
+  obs::MetricsSnapshot snapshot = (*server)->metrics()->Snapshot();
+  EXPECT_EQ(snapshot.counters["serve/queue/accepted"], trace.size());
+  EXPECT_EQ(snapshot.counters["serve/queue/shed"], 0u);
+  EXPECT_EQ(snapshot.counters["serve/batch/tuples"], trace.size());
+  EXPECT_EQ(snapshot.counters["serve/session/opened"], 1u);
+  EXPECT_EQ(snapshot.counters["serve/session/closed"], 1u);
+}
+
+TEST(Session, SegmentPushPathMatchesDirectReplay) {
+  ServerOptions options = ObjectsServerOptions(BackpressurePolicy::kBlock);
+  options.spec = FilterQuerySpec(5.0);
+  Segment seg(1, Interval::ClosedOpen(0.0, 10.0));
+  seg.set_attribute("x", Polynomial({0.0, 1.0}));
+  seg.set_attribute("y", Polynomial());
+
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(std::move(options));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  ASSERT_TRUE(client.SendSegment(1, seg).ok());
+  Result<ServeClient::DrainResult> drained = client.Drain();
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->output_segments.size(), 1u);
+  // x < 5 truncates the [0, 10) validity to [0, 5).
+  EXPECT_NEAR(drained->output_segments[0].range.hi, 5.0, 1e-9);
+  (*server)->Drain();
+}
+
+TEST(Session, PolicyAccountingConservesTuples) {
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kDropOldest, BackpressurePolicy::kShed}) {
+    ServerOptions options = ObjectsServerOptions(policy);
+    options.session.queue_capacity = 4;  // force pressure
+    Result<std::unique_ptr<StreamServer>> server =
+        StreamServer::Make(std::move(options));
+    ASSERT_TRUE(server.ok());
+    Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    ServeClient client(std::move(*conn));
+    ASSERT_TRUE(client.Hello().ok());
+    ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+    const std::vector<Tuple> trace = PiecewiseTrace(400);
+    ASSERT_TRUE(client.SendBatch(1, trace).ok());
+    Result<ServeClient::DrainResult> drained = client.Drain();
+    ASSERT_TRUE(drained.ok());
+    (*server)->Drain();
+
+    obs::MetricsSnapshot snapshot = (*server)->metrics()->Snapshot();
+    const uint64_t accepted = snapshot.counters["serve/queue/accepted"];
+    const uint64_t shed = snapshot.counters["serve/queue/shed"];
+    const uint64_t dropped = snapshot.counters["serve/queue/dropped"];
+    // Conservation: every sent tuple was either accepted or shed, and
+    // every accepted-minus-evicted tuple was dispatched to the runtime.
+    EXPECT_EQ(accepted + shed, trace.size());
+    EXPECT_EQ(snapshot.counters["serve/batch/tuples"], accepted - dropped);
+    // The client saw the same story via flow frames.
+    EXPECT_EQ(drained->shed, shed);
+    EXPECT_EQ(drained->dropped, dropped);
+    if (policy == BackpressurePolicy::kShed) {
+      EXPECT_EQ(dropped, 0u);
+    }
+  }
+}
+
+TEST(Session, ProtocolViolationGetsErrorFrame) {
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  // No hello: the first data frame is a protocol violation.
+  ASSERT_TRUE(client.SendTuple(1, ObjectTuple(0, 1, 0, 0)).ok());
+  Result<std::optional<Frame>> reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->has_value());
+  EXPECT_EQ((*reply)->type, FrameType::kError);
+  (*server)->Shutdown();
+}
+
+TEST(Session, UnknownStreamNameRejected) {
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "nonexistent").ok());
+  Result<std::optional<Frame>> reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->has_value());
+  EXPECT_EQ((*reply)->type, FrameType::kError);
+  (*server)->Shutdown();
+}
+
+TEST(Session, TeardownUnderLoadDoesNotHang) {
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  // Several concurrent sessions, each sending as fast as it can while
+  // the server is shut down mid-stream.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    clients.emplace_back([transport = std::move(*conn)]() mutable {
+      ServeClient client(std::move(transport));
+      if (!client.Hello().ok()) return;
+      if (!client.OpenStream(1, "objects").ok()) return;
+      for (int i = 0; i < 1'000'000; ++i) {
+        if (!client
+                 .SendTuple(1, ObjectTuple(i * 0.05, 1, i * 0.1, 0.0))
+                 .ok()) {
+          return;  // server went away: expected
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  (*server)->Shutdown();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ((*server)->active_sessions(), 0u);
+}
+
+TEST(Session, ServerDrainFinishesInFlightSessions) {
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  ASSERT_TRUE(client.SendBatch(1, PiecewiseTrace(100)).ok());
+  // Drain only guarantees delivery of *admitted* work, and the batch
+  // sits in the transport buffer until the reader thread decodes it —
+  // wait for admission before draining, or the drain may legitimately
+  // produce nothing.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((*server)->metrics()->Snapshot().counters["serve/queue/accepted"] <
+         100) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Server-side graceful drain: session processes what was admitted
+  // and closes; the client sees output frames then EOF.
+  std::thread drainer([&] { (*server)->Drain(); });
+  size_t outputs = 0;
+  for (;;) {
+    Result<std::optional<Frame>> frame = client.ReadFrame();
+    if (!frame.ok() || !frame->has_value()) break;
+    if ((*frame)->type == FrameType::kOutputSegment) ++outputs;
+  }
+  drainer.join();
+  EXPECT_GT(outputs, 0u);
+  EXPECT_EQ((*server)->active_sessions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// TCP transport.
+
+TEST(TcpTransport, EndToEndSessionOverLoopback) {
+  Result<std::unique_ptr<StreamServer>> server =
+      StreamServer::Make(ObjectsServerOptions(BackpressurePolicy::kBlock));
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->ListenTcp(0).ok());
+  const uint16_t port = (*server)->tcp_port();
+  ASSERT_NE(port, 0);
+
+  Result<std::unique_ptr<Transport>> conn = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(conn.ok());
+  ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  ASSERT_TRUE(client.SendBatch(1, PiecewiseTrace(200)).ok());
+  Result<ServeClient::DrainResult> drained = client.Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_GT(drained->output_segments.size(), 0u);
+  EXPECT_EQ(drained->shed, 0u);
+  ASSERT_TRUE(client.Bye().ok());
+  (*server)->Drain();
+  EXPECT_EQ((*server)->sessions_opened(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Paced replay traffic generator.
+
+TEST(PacedReplay, UniformPacingAtTargetRate) {
+  PacedReplay replay(PiecewiseTrace(10), 1000.0);  // 1k tuples/s
+  Tuple t;
+  uint64_t offset = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(replay.Next(&t, &offset));
+    EXPECT_EQ(offset, static_cast<uint64_t>(i) * 1'000'000u);
+  }
+  EXPECT_FALSE(replay.Next(&t, &offset));
+}
+
+TEST(PacedReplay, EventTimePacingFollowsTimestamps) {
+  std::vector<Tuple> trace = {ObjectTuple(10.0, 1, 0, 0),
+                              ObjectTuple(10.5, 1, 1, 0),
+                              ObjectTuple(12.0, 1, 2, 0)};
+  PacedReplay replay(trace, 0.0);
+  Tuple t;
+  uint64_t offset = 0;
+  ASSERT_TRUE(replay.Next(&t, &offset));
+  EXPECT_EQ(offset, 0u);
+  ASSERT_TRUE(replay.Next(&t, &offset));
+  EXPECT_EQ(offset, 500'000'000u);
+  ASSERT_TRUE(replay.Next(&t, &offset));
+  EXPECT_EQ(offset, 2'000'000'000u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pulse
