@@ -1,28 +1,36 @@
-// Parallel solver scaling on the Fig. 7 proximity-join workload.
+// Parallel solver scaling on the Fig. 7 proximity-join workload, plus
+// shard-per-core scaling on a partitionable per-key aggregate.
 //
-// The workload is the paper's Fig. 7ii moving-object self-join (distance
-// predicate => one degree-4 equation system per overlapping segment
-// pair), driven in historical/segment mode so the equation-system solver
-// dominates and widened to a multi-second window so every pushed segment
-// probes a meaningful partner population. The same trace is replayed at
-// 1/2/4/8 solver threads (ParallelOptions::num_threads); tuples/sec and
-// speedup vs the serial run are printed and written to
-// BENCH_parallel_scaling.json.
+// Sweep 1 (mode "threads"): the paper's Fig. 7ii moving-object
+// self-join (distance predicate => one degree-4 equation system per
+// overlapping segment pair), driven in historical/segment mode so the
+// equation-system solver dominates and widened to a multi-second window
+// so every pushed segment probes a meaningful partner population. The
+// same trace is replayed at 1/2/4/8 solver threads
+// (ParallelOptions::num_threads).
 //
-// Expected shape: near-linear speedup while threads <= physical cores
-// (the per-pair solves are independent; only id assignment and lineage
-// recording stay serial), flattening at the core count. On hosts with
-// fewer cores than a configuration's thread count the extra threads
-// time-slice one core and the speedup stays ~1x — the JSON records
-// hardware_concurrency so trajectories from different hosts stay
-// comparable.
+// Sweep 2 (mode "shards"): the same moving-object trace through a
+// per-key windowed aggregate — a partitionable plan, so the
+// shard::ShardedRuntime spreads keys over num_shards worker shards
+// (docs/SHARDING.md). The Fig. 7 join itself is deliberately NOT used
+// here: require_distinct_keys makes it cross-key, which the router
+// collapses to one shard. num_shards sweeps {1, 2, 4, hw}.
+//
+// Expected shape: near-linear speedup while workers <= physical cores,
+// flattening at the core count. On hosts with fewer cores than a
+// configuration's worker count the extra threads time-slice one core
+// and the speedup stays ~1x — each row's core_bound flag marks those
+// configurations and the JSON records hardware_concurrency, so
+// trajectories from different hosts stay comparable.
 #include <cstdio>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/runtime.h"
 #include "obs/metrics.h"
+#include "shard/sharded_runtime.h"
 #include "workload/moving_object.h"
 
 namespace pulse {
@@ -63,6 +71,7 @@ QuerySpec ProximityJoin() {
 
 struct RunResult {
   size_t threads = 0;
+  size_t num_shards = 1;
   double seconds = 0.0;
   double tuples_per_sec = 0.0;
   uint64_t tasks_spawned = 0;
@@ -71,6 +80,24 @@ struct RunResult {
   // becomes the BENCH JSON `metrics` block (parallel cpu/wall counters).
   obs::MetricsSnapshot metrics;
 };
+
+// The partitionable workload of the sharded sweep: per-key windowed
+// average over the same trace. Every key's state is independent, so
+// AnalyzePartitionability accepts it and the router spreads the keys.
+QuerySpec PerKeyAggregate() {
+  QuerySpec spec;
+  (void)spec.AddStream(MovingObjectGenerator::MakeStreamSpec(
+      "objects", 100.0 * kNumObjects / kRate));
+  AggregateSpec agg;
+  agg.fn = AggFn::kAvg;
+  agg.attribute = "x";
+  agg.output_attribute = "avg_x";
+  agg.window_seconds = 2.0;
+  agg.slide_seconds = 2.0;
+  agg.per_key = true;
+  spec.AddAggregate("agg", QuerySpec::Input::Stream("objects"), agg);
+  return spec;
+}
 
 RunResult RunOnce(const std::vector<Tuple>& trace, size_t threads) {
   const QuerySpec spec = ProximityJoin();
@@ -103,12 +130,56 @@ RunResult RunOnce(const std::vector<Tuple>& trace, size_t threads) {
   return result;
 }
 
+// One sharded-sweep configuration: the per-key aggregate trace pushed
+// through a ShardedRuntime with `num_shards` worker shards, one solver
+// thread per shard (the shard IS the parallelism unit here).
+RunResult RunSharded(const std::vector<Tuple>& trace, size_t num_shards) {
+  const QuerySpec spec = PerKeyAggregate();
+  shard::ShardedRuntimeOptions options;
+  options.num_shards = num_shards;
+  options.runtime.segmentation.degree = 1;
+  options.runtime.segmentation.max_error = 0.5;
+  options.runtime.segmentation.max_points_per_segment = kTuplesPerModel;
+  options.runtime.collect_outputs = false;
+  Result<shard::ShardedRuntime> rt =
+      shard::ShardedRuntime::Make(spec, std::move(options));
+  if (!rt.ok()) {
+    std::fprintf(stderr, "sharded runtime setup failed: %s\n",
+                 rt.status().ToString().c_str());
+    return RunResult{};
+  }
+  RunResult result;
+  result.threads = 1;
+  result.num_shards = rt->num_shards();
+  result.seconds = bench::MeasureSeconds([&] {
+    for (const Tuple& t : trace) {
+      (void)rt->ProcessTuple("objects", t);
+    }
+    (void)rt->Finish();
+  });
+  result.tuples_per_sec = static_cast<double>(trace.size()) / result.seconds;
+  result.tasks_spawned = rt->stats().tasks_spawned;
+  rt->SyncMetrics();
+  result.metrics = rt->metrics()->Snapshot();
+  // Solves summed across shards from the rollup (the sharded runtime has
+  // no single plan to walk; the op/<node>/solves rollup is the same
+  // number aggregated by the metrics layer).
+  for (const auto& [name, value] : result.metrics.counters) {
+    if (name.rfind("op/", 0) == 0 &&
+        name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "/solves") == 0) {
+      result.solves += value;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace pulse
 
 int main(int argc, char** argv) {
   using namespace pulse;
-  const unsigned cores = std::thread::hardware_concurrency();
+  const unsigned cores = bench::HardwareConcurrency();
   std::printf(
       "Parallel scaling: Fig. 7 proximity join, %zu objects, %g s of "
       "stream, window %g s (host reports %u hardware threads)\n",
@@ -149,30 +220,70 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // Sharded sweep: {1, 2, 4, hw} shards (deduplicated) over the
+  // partitionable per-key aggregate. Unlike the thread sweep, counts
+  // beyond the core count still run — the row's core_bound flag marks
+  // them so the check.sh gate knows the speedup number is meaningless
+  // on this host rather than silently comparing it.
+  std::set<size_t> shard_counts = {1, 2, 4};
+  if (cores > 0) shard_counts.insert(static_cast<size_t>(cores));
+  bench::SeriesTable shard_table(
+      "Shard-per-core scaling: per-key aggregate, tuples/sec vs shards",
+      "num_shards", {"tuples_per_sec", "speedup", "solves"});
+  std::vector<RunResult> shard_results;
+  double shard_serial_tps = 0.0;
+  for (size_t shards : shard_counts) {
+    const RunResult r = RunSharded(trace, shards);
+    if (r.num_shards == 0) return 1;
+    if (shards == 1) shard_serial_tps = r.tuples_per_sec;
+    shard_results.push_back(r);
+    shard_table.AddRow(static_cast<double>(shards),
+                       {r.tuples_per_sec, r.tuples_per_sec / shard_serial_tps,
+                        static_cast<double>(r.solves)});
+  }
+  std::printf("\n");
+  shard_table.Print();
+
   bench::BenchReport report("parallel_scaling");
   report.ParamString("workload", "fig7_proximity_join");
+  report.ParamString("sharded_workload", "per_key_aggregate");
   report.ParamUint("num_objects", kNumObjects);
   report.ParamDouble("window_seconds", kWindowSeconds);
   report.ParamUint("tuples", trace.size());
   report.ParamUint("hardware_concurrency", cores);
   for (const RunResult& r : results) {
     report.AddRow()
+        .String("mode", "threads")
         .Uint("threads", r.threads)
+        .Uint("num_shards", 1)
         .Double("seconds", r.seconds)
         .Double("tuples_per_sec", r.tuples_per_sec)
         .Double("speedup", r.tuples_per_sec / serial_tps)
         .Uint("solves", r.solves)
         .Uint("tasks_spawned", r.tasks_spawned)
-        .Bool("core_bound", cores > 0 && r.threads > cores);
+        .Bool("core_bound", bench::CoreBound(r.threads));
   }
-  // The widest configuration's registry snapshot (the run whose
+  for (const RunResult& r : shard_results) {
+    report.AddRow()
+        .String("mode", "shards")
+        .Uint("threads", r.threads)
+        .Uint("num_shards", r.num_shards)
+        .Double("seconds", r.seconds)
+        .Double("tuples_per_sec", r.tuples_per_sec)
+        .Double("speedup", r.tuples_per_sec / shard_serial_tps)
+        .Uint("solves", r.solves)
+        .Uint("tasks_spawned", r.tasks_spawned)
+        .Bool("core_bound", bench::CoreBound(r.num_shards));
+  }
+  // The widest thread configuration's registry snapshot (the run whose
   // runtime/parallel_solve_{cpu,wall}_ns counters matter most).
   report.AttachMetrics(results.back().metrics);
   if (!report.WriteFile("BENCH_parallel_scaling.json")) return 1;
   std::printf(
       "\nWrote BENCH_parallel_scaling.json. Expected shape: near-linear "
-      "speedup up to the\nphysical core count (>= 2.5x at 4 threads on a "
-      ">= 4-core host); ~1x on fewer cores.\n");
+      "speedup up to the\nphysical core count (>= 2.5x at 4 threads or "
+      "shards on a >= 4-core host); ~1x on\nfewer cores (rows marked "
+      "core_bound).\n");
   if (!bench::HandleMetricsOutFlag(argc, argv, results.back().metrics)) {
     return 1;
   }

@@ -4,9 +4,9 @@
 // A StreamServer runs the Fig. 5-style moving-object filter query while
 // 16 concurrent in-process sessions each replay a piecewise-linear
 // trace through the full serving stack: frame codec -> admission
-// control -> per-stream bounded queues -> micro-batched dispatch into a
-// per-session HistoricalRuntime -> output segments framed back to the
-// client. The same offered load is repeated once per backpressure
+// control -> per-stream bounded queues -> micro-batched dispatch into
+// the server's shared shard pool (per-client runtimes sliced across
+// shards) -> output segments framed back to the client. The same offered load is repeated once per backpressure
 // policy (block / drop_oldest / shed, admission off so the queue policy
 // alone decides what happens at capacity) plus one run with the
 // admission controller shedding ahead of the queues. The rows show what
@@ -20,6 +20,13 @@
 // shedding thresholds are calibrated against. Results go to
 // BENCH_serving_throughput.json (schema v2; tests/bench_schema_test.cc
 // pins the row fields).
+//
+// Two extra scenarios exercise the shard-per-core pool under the
+// sessions (docs/SHARDING.md): the same block-policy load on a
+// multi-key trace at 1 shard and at 4 shards. Keys spread over the
+// shards by the routing hash, so on a multi-core host the 4-shard row
+// should beat the 1-shard row; on fewer cores the shards time-slice and
+// the row's core_bound flag marks the comparison as meaningless.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -41,7 +48,10 @@ constexpr size_t kSessions = 16;
 constexpr size_t kTuplesPerSession = 4000;
 constexpr size_t kSendChunk = 64;  // tuples per kTupleBatch frame
 
-std::vector<Tuple> MakeTrace() {
+// `num_keys` > 1 gives the sharded scenarios something to partition:
+// entity ids cycle 1..num_keys, so the routing hash spreads the
+// per-key model state across the pool's shards.
+std::vector<Tuple> MakeTrace(size_t num_keys) {
   std::vector<Tuple> trace;
   trace.reserve(kTuplesPerSession);
   for (size_t i = 0; i < kTuplesPerSession; ++i) {
@@ -49,8 +59,9 @@ std::vector<Tuple> MakeTrace() {
     // Triangle wave: the segmenter closes a piece at every knee.
     const double phase = std::fmod(t, 15.0);
     const double x = phase < 7.5 ? 2.0 * phase : 30.0 - 2.0 * phase;
+    const auto key = static_cast<int64_t>(1 + i % num_keys);
     trace.push_back(Tuple(
-        t, {Value(int64_t{1}), Value(x), Value(0.0), Value(0.0), Value(0.0)}));
+        t, {Value(key), Value(x), Value(0.0), Value(0.0), Value(0.0)}));
   }
   return trace;
 }
@@ -67,6 +78,7 @@ QuerySpec MakeFilterSpec() {
 
 struct PolicyResult {
   std::string policy;
+  size_t num_shards = 1;
   double seconds = 0.0;
   double tuples_per_sec = 0.0;
   uint64_t sent = 0;
@@ -80,11 +92,14 @@ struct PolicyResult {
 };
 
 PolicyResult RunPolicy(serve::BackpressurePolicy policy,
-                       bool admission_enabled,
+                       bool admission_enabled, size_t num_shards,
+                       const std::string& label,
                        const std::vector<Tuple>& trace) {
   PolicyResult result;
   result.policy = serve::BackpressurePolicyToString(policy);
   if (admission_enabled) result.policy += "+admission";
+  result.policy += label;
+  result.num_shards = num_shards;
   result.sent = kSessions * trace.size();
 
   serve::ServerOptions options;
@@ -94,6 +109,7 @@ PolicyResult RunPolicy(serve::BackpressurePolicy policy,
   options.session.policy = policy;
   options.session.queue_capacity = 128;
   options.session.admission.enabled = admission_enabled;
+  options.num_shards = num_shards;
   Result<std::unique_ptr<serve::StreamServer>> server =
       serve::StreamServer::Make(std::move(options));
   if (!server.ok()) {
@@ -172,7 +188,8 @@ int main(int argc, char** argv) {
       "moving-object filter\n",
       kSessions, kTuplesPerSession);
 
-  const std::vector<Tuple> trace = MakeTrace();
+  const std::vector<Tuple> trace = MakeTrace(1);
+  const std::vector<Tuple> multikey_trace = MakeTrace(8);
   bench::SeriesTable table(
       "Serving throughput by backpressure policy", "policy_index",
       {"tuples_per_sec", "accepted", "dropped", "shed", "admit_p99_ns"});
@@ -180,17 +197,31 @@ int main(int argc, char** argv) {
   std::vector<PolicyResult> results;
   // Three pure-policy runs (admission off: the queue policy alone
   // decides what happens at capacity — block stays lossless), then one
-  // run with the admission controller shedding ahead of the queues.
+  // run with the admission controller shedding ahead of the queues,
+  // then the sharded pair: the same block-policy load on an 8-key trace
+  // at 1 shard and at 4 shards (only the shard count varies).
   const struct {
     serve::BackpressurePolicy policy;
     bool admission;
-  } scenarios[] = {{serve::BackpressurePolicy::kBlock, false},
-                   {serve::BackpressurePolicy::kDropOldest, false},
-                   {serve::BackpressurePolicy::kShed, false},
-                   {serve::BackpressurePolicy::kBlock, true}};
-  for (size_t i = 0; i < 4; ++i) {
-    PolicyResult r = RunPolicy(scenarios[i].policy, scenarios[i].admission,
-                               trace);
+    size_t num_shards;
+    const char* label;
+    const std::vector<Tuple>* trace;
+  } scenarios[] = {
+      {serve::BackpressurePolicy::kBlock, false, 1, "", &trace},
+      {serve::BackpressurePolicy::kDropOldest, false, 1, "", &trace},
+      {serve::BackpressurePolicy::kShed, false, 1, "", &trace},
+      {serve::BackpressurePolicy::kBlock, true, 1, "", &trace},
+      {serve::BackpressurePolicy::kBlock, false, 1, "+multikey",
+       &multikey_trace},
+      {serve::BackpressurePolicy::kBlock, false, 4, "+multikey+shards4",
+       &multikey_trace},
+  };
+  constexpr size_t kNumScenarios = sizeof(scenarios) / sizeof(scenarios[0]);
+  for (size_t i = 0; i < kNumScenarios; ++i) {
+    PolicyResult r =
+        RunPolicy(scenarios[i].policy, scenarios[i].admission,
+                  scenarios[i].num_shards, scenarios[i].label,
+                  *scenarios[i].trace);
     if (!r.ok) return 1;
     std::printf("  %-12s %.0f tuples/s, accepted=%llu dropped=%llu "
                 "shed=%llu, admit p99 %.0f ns\n",
@@ -212,11 +243,12 @@ int main(int argc, char** argv) {
   report.ParamUint("tuples_per_session", kTuplesPerSession);
   report.ParamUint("send_chunk", kSendChunk);
   report.ParamUint("queue_capacity", 128);
-  report.ParamUint("hardware_concurrency",
-                   std::thread::hardware_concurrency());
+  report.ParamUint("multikey_keys", 8);
+  report.ParamUint("hardware_concurrency", bench::HardwareConcurrency());
   for (const PolicyResult& r : results) {
     report.AddRow()
         .String("policy", r.policy)
+        .Uint("num_shards", r.num_shards)
         .Double("seconds", r.seconds)
         .Double("tuples_per_sec", r.tuples_per_sec)
         .Uint("sent", r.sent)
@@ -224,7 +256,8 @@ int main(int argc, char** argv) {
         .Uint("dropped", r.dropped)
         .Uint("shed", r.shed)
         .Uint("output_segments", r.output_segments)
-        .Double("admit_p99_ns", r.admit_p99_ns);
+        .Double("admit_p99_ns", r.admit_p99_ns)
+        .Bool("core_bound", bench::CoreBound(r.num_shards));
   }
   // The block-policy run's registry: the lossless configuration whose
   // serve/queue/blocked_ns counter shows the price of keeping every

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "obs/export.h"
 #include "util/json.h"
@@ -13,6 +14,15 @@ double MeasureSeconds(const std::function<void()>& fn) {
   Stopwatch watch;
   fn();
   return watch.ElapsedSeconds();
+}
+
+unsigned HardwareConcurrency() {
+  return std::thread::hardware_concurrency();
+}
+
+bool CoreBound(size_t workers) {
+  const unsigned cores = HardwareConcurrency();
+  return cores > 0 && workers > cores;
 }
 
 QueueSummary SimulateQueue(uint64_t n, double total_service_seconds,

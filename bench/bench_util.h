@@ -15,6 +15,17 @@ namespace pulse::bench {
 /// Measures the wall-clock seconds one call of `fn` takes.
 double MeasureSeconds(const std::function<void()>& fn);
 
+/// std::thread::hardware_concurrency() with the "unknown" 0 preserved —
+/// benches record it verbatim so a reader can distinguish "one core"
+/// from "the host would not say", and key their core_bound flags off it.
+unsigned HardwareConcurrency();
+
+/// True when running `workers` concurrent workers on this host
+/// oversubscribes it (workers exceed the reported core count). Unknown
+/// concurrency (0) is treated as not oversubscribed: the per-row flag
+/// must not claim certainty the host never provided.
+bool CoreBound(size_t workers);
+
 /// Steady-state queueing summary for a stage that needs `total_service`
 /// seconds to process `n` tuples arriving uniformly at `offered_rate`
 /// tuples/second (deterministic arrivals and service, the replay setting

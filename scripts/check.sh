@@ -30,11 +30,14 @@ else
   cmake -B "$repo/build-tsan" -S "$repo" -DPULSE_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
     --target metrics_registry_test thread_pool_test runtime_test \
-             solve_cache_test differential_test serve_test
+             solve_cache_test differential_test serve_test \
+             shard_router_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
-  # differential_test runs the metamorphic parallel variants
-  # (num_threads = 4) of every generated case under TSan;
+  # differential_test runs the metamorphic parallel AND sharded variants
+  # (num_threads = 4, num_shards in {2, 3}) of every generated case under
+  # TSan — the shard pool's exchange queues, completion merge, and
+  # teardown all execute with real worker threads here;
   # metrics_registry_test hammers one registry from 8 writer threads
   # while snapshotting (the registry's lock-free hot path must be clean).
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
@@ -47,10 +50,15 @@ else
     "$repo/build-tsan/tests/solve_cache_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/differential_test"
-  # serve_test exercises the full serving stack — concurrent sessions,
-  # blocking queues, teardown under load — the code most likely to race.
+  # serve_test exercises the full serving stack — concurrent sessions
+  # multiplexed onto the shared shard pool, blocking queues, teardown
+  # under load — the code most likely to race.
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/serve_test"
+  # shard_router_test drives the sharded runtime end to end (router,
+  # exchange, per-shard metrics mirroring) with live worker threads.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/shard_router_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -157,6 +165,69 @@ EOF
     done
     if [[ "$gate_ok" != "1" ]]; then
       echo "solver hot path regressed >10% vs checked-in baseline" >&2
+      exit 1
+    fi
+  fi
+
+  echo "== bench gate: parallel/sharded scaling vs checked-in baseline =="
+  scaling_baseline="$repo/BENCH_parallel_scaling.json"
+  cores="$(nproc 2>/dev/null || echo 0)"
+  if [[ ! -f "$scaling_baseline" ]]; then
+    echo "no checked-in BENCH_parallel_scaling.json; skipping gate"
+  elif [[ "$cores" -lt 2 ]]; then
+    # Speedup on an oversubscribed host measures the scheduler, not the
+    # engine: every multi-worker configuration time-slices one core, so
+    # a comparison against a baseline would gate on noise. The SKIPPED
+    # line is deliberate and visible — silence would look like coverage.
+    echo "  SKIPPED: host is core_bound (hardware_concurrency=$cores);" \
+         "scaling comparisons need >= 2 cores"
+  else
+    cmake --build "$repo/build" -j "$jobs" --target bench_parallel_scaling
+    workdir="$(mktemp -d)"
+    (cd "$workdir" && "$repo/build/bench/bench_parallel_scaling" > /dev/null)
+    # Rows marked core_bound (in either document) are excluded: the flag
+    # records that the measurement was taken on too few cores to mean
+    # anything. Remaining multi-worker rows must keep >= 70% of the
+    # baseline speedup.
+    scaling_ok=0
+    python3 - "$scaling_baseline" "$workdir/BENCH_parallel_scaling.json" \
+      <<'EOF' || scaling_ok=1
+import json, sys
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for r in doc["results"]:
+        out[(r["mode"], r["threads"], r["num_shards"])] = r
+    return out
+
+THRESHOLD = 0.70
+base, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+failed = checked = skipped = 0
+for key, ref in sorted(base.items()):
+    mode, threads, shards = key
+    workers = shards if mode == "shards" else threads
+    if workers <= 1:
+        continue
+    got = fresh.get(key)
+    if got is None or ref.get("core_bound") or got.get("core_bound"):
+        skipped += 1
+        print(f"  SKIPPED {mode} workers={workers}: core_bound or absent")
+        continue
+    checked += 1
+    ratio = got["speedup"] / ref["speedup"] if ref["speedup"] else 1.0
+    flag = "FAIL" if ratio < THRESHOLD else "ok"
+    print(f"  {mode} workers={workers}: speedup {got['speedup']:.2f} vs "
+          f"baseline {ref['speedup']:.2f} ({ratio:.2f}x) {flag}")
+    if ratio < THRESHOLD:
+        failed += 1
+print(f"  scaling gate: {checked} compared, {skipped} skipped")
+sys.exit(1 if failed else 0)
+EOF
+    rm -rf "$workdir"
+    if [[ "$scaling_ok" != "0" ]]; then
+      echo "parallel/sharded scaling regressed vs checked-in baseline" >&2
       exit 1
     fi
   fi

@@ -606,9 +606,13 @@ Result<HistoricalRuntime> HistoricalRuntime::Make(const QuerySpec& spec,
     rt.pool_ = std::make_unique<ThreadPool>(rt.options_.parallel.num_threads);
     rt.executor_->set_thread_pool(rt.pool_.get());
   }
-  if (rt.options_.solve_cache.has_value()) {
+  if (rt.options_.shared_solve_cache != nullptr) {
+    rt.cache_ = rt.options_.shared_solve_cache;
+    rt.executor_->set_solve_cache(rt.cache_);
+  } else if (rt.options_.solve_cache.has_value()) {
     rt.solve_cache_ = std::make_unique<SolveCache>(*rt.options_.solve_cache);
-    rt.executor_->set_solve_cache(rt.solve_cache_.get());
+    rt.cache_ = rt.solve_cache_.get();
+    rt.executor_->set_solve_cache(rt.cache_);
   }
   if (rt.options_.metrics != nullptr) {
     rt.metrics_ = rt.options_.metrics;
@@ -690,11 +694,11 @@ void HistoricalRuntime::SyncParallelStats() {
     c_parallel_cpu_ns_->Store(pool_->parallel_cpu_ns());
     c_parallel_wall_ns_->Store(pool_->parallel_wall_ns());
   }
-  if (solve_cache_ != nullptr) {
-    c_cache_hits_->Store(solve_cache_->hits());
-    c_cache_misses_->Store(solve_cache_->misses());
-    c_cache_lookups_->Store(solve_cache_->lookups());
-    c_cache_uncacheable_->Store(solve_cache_->uncacheable());
+  if (cache_ != nullptr) {
+    c_cache_hits_->Store(cache_->hits());
+    c_cache_misses_->Store(cache_->misses());
+    c_cache_lookups_->Store(cache_->lookups());
+    c_cache_uncacheable_->Store(cache_->uncacheable());
   }
 }
 
@@ -708,11 +712,11 @@ RuntimeStats HistoricalRuntime::stats() const {
     s.parallel_solve_cpu_ns = pool_->parallel_cpu_ns();
     s.parallel_solve_wall_ns = pool_->parallel_wall_ns();
   }
-  if (solve_cache_ != nullptr) {
-    s.solve_cache_hits = solve_cache_->hits();
-    s.solve_cache_misses = solve_cache_->misses();
-    s.solve_cache_lookups = solve_cache_->lookups();
-    s.solve_cache_uncacheable = solve_cache_->uncacheable();
+  if (cache_ != nullptr) {
+    s.solve_cache_hits = cache_->hits();
+    s.solve_cache_misses = cache_->misses();
+    s.solve_cache_lookups = cache_->lookups();
+    s.solve_cache_uncacheable = cache_->uncacheable();
   }
   return s;
 }
@@ -735,6 +739,7 @@ Status HistoricalRuntime::ProcessSegment(const std::string& stream,
 }
 
 Status HistoricalRuntime::Finish() {
+  const size_t finish_tail = executor_->output().size();
   for (auto& [stream, segmenter] : segmenters_) {
     PULSE_ASSIGN_OR_RETURN(std::vector<Segment> segs, segmenter->Flush());
     for (Segment& s : segs) {
@@ -745,6 +750,17 @@ Status HistoricalRuntime::Finish() {
     obs::ScopedMetricsRegistry scoped(metrics_);
     PULSE_RETURN_IF_ERROR(executor_->Finish());
   }
+  // Canonical finish order: the flush above interleaves keys in
+  // segmenter hash order, which is an implementation accident. Sorting
+  // the finish-phase outputs stably by key makes the tail order a
+  // *contract* — and because every key's outputs keep their relative
+  // order, a key-partitioned run (docs/SHARDING.md) can reproduce it
+  // exactly by concatenating per-shard finish outputs and applying the
+  // same stable sort.
+  std::vector<Segment>& out = executor_->output();
+  std::stable_sort(
+      out.begin() + static_cast<std::ptrdiff_t>(finish_tail), out.end(),
+      [](const Segment& a, const Segment& b) { return a.key < b.key; });
   SyncParallelStats();
   return Status::OK();
 }

@@ -315,6 +315,13 @@ class HistoricalRuntime {
     /// heavily — identical difference polynomials recur across what-if
     /// variants of one model set.
     std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
+    /// Externally owned cache used INSTEAD of creating one from
+    /// `solve_cache` (which is then ignored). Must outlive the runtime.
+    /// This is how every client runtime on one shard shares the shard's
+    /// cache (docs/SHARDING.md): with exact keys (quantum == 0) a hit
+    /// replays precisely the solution an owned cache would have
+    /// computed, so sharing never changes any client's answers.
+    SolveCache* shared_solve_cache = nullptr;
     /// Registry all runtime/operator counters report through. Must
     /// outlive the runtime. nullptr (the default) gives the runtime a
     /// private registry, so counters from concurrent runtimes in one
@@ -351,7 +358,8 @@ class HistoricalRuntime {
 
   std::vector<Segment> TakeOutputSegments();
   const PulsePlan& plan() const { return executor_->plan(); }
-  SolveCache* solve_cache() const { return solve_cache_.get(); }
+  /// The cache in use: owned, or Options::shared_solve_cache.
+  SolveCache* solve_cache() const { return cache_; }
 
  private:
   HistoricalRuntime() = default;
@@ -365,6 +373,8 @@ class HistoricalRuntime {
   // Declared before the executor: see PredictiveRuntime::pool_.
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SolveCache> solve_cache_;
+  // Active cache: solve_cache_.get() or Options::shared_solve_cache.
+  SolveCache* cache_ = nullptr;
   // Declared before the executor: its view bindings must release before
   // the registry they point into dies.
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

@@ -136,6 +136,16 @@ size_t SolveCache::size() const {
   return total;
 }
 
+SolveCacheStats SolveCache::stats() const {
+  SolveCacheStats s;
+  s.hits = hits();
+  s.misses = misses();
+  s.lookups = lookups();
+  s.uncacheable = uncacheable();
+  s.entries = size();
+  return s;
+}
+
 void SolveCache::Clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -40,6 +40,20 @@ struct SolveCacheOptions {
   double quantum = 0.0;
 };
 
+/// Point-in-time view of one cache's traffic counters (plain data —
+/// safe to keep after the cache is gone). The shard pool reads these
+/// per-shard snapshots when assembling its `shard/<i>/...` mirrors and
+/// merged rollups (docs/SHARDING.md).
+struct SolveCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t lookups = 0;
+  uint64_t uncacheable = 0;
+  /// Cached entries across shards and generations (approximate under
+  /// concurrent inserts).
+  size_t entries = 0;
+};
+
 /// Memoizes per-row comparison solves: difference polynomial + comparator
 /// + solve domain + root method -> IntervalSet solution.
 ///
@@ -93,6 +107,9 @@ class SolveCache {
   /// Cached entries across shards and generations (approximate under
   /// concurrent inserts).
   size_t size() const;
+
+  /// Coherent-enough snapshot of all traffic counters at once.
+  SolveCacheStats stats() const;
 
   void Clear();
 

@@ -72,6 +72,25 @@ void Histogram::Record(uint64_t value) {
   }
 }
 
+void Histogram::SetTo(const std::array<uint64_t, kNumBuckets>& buckets,
+                      uint64_t count, uint64_t sum, uint64_t max) {
+  if constexpr (!kMetricsEnabled) {
+    (void)buckets;
+    (void)count;
+    (void)sum;
+    (void)max;
+    return;
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(buckets[i], std::memory_order_relaxed);
+  }
+  // count last: a concurrent percentile read that sees the new count
+  // with some old buckets is no worse than any other racy snapshot.
+  sum_.store(sum, std::memory_order_relaxed);
+  max_.store(max, std::memory_order_relaxed);
+  count_.store(count, std::memory_order_relaxed);
+}
+
 std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
   std::array<uint64_t, kNumBuckets> out;
   for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -229,6 +248,114 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
   }
   return snap;
+}
+
+namespace {
+
+/// Raw histogram state lifted out of a registry while its mutex is
+/// held, applied to the destination after release (two registries'
+/// mutexes are never held at once, so MirrorInto/Rollup cannot
+/// deadlock against each other or against Get*).
+struct RawHistogram {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+};
+
+}  // namespace
+
+void MetricsRegistry::MirrorInto(MetricsRegistry* dst,
+                                 const std::string& prefix) const {
+  if constexpr (!kMetricsEnabled) return;
+  if (dst == this || dst == nullptr) return;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, RawHistogram>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size() + views_.size());
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c.value());
+    }
+    for (const auto& [name, g] : gauges_) {
+      gauges.emplace_back(name, g.value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      RawHistogram raw;
+      raw.buckets = h.BucketCounts();
+      raw.count = h.count();
+      raw.sum = h.sum();
+      raw.max = h.max();
+      histograms.emplace_back(name, raw);
+    }
+    for (const auto& [name, view] : views_) {
+      const uint64_t v = view.source->value();
+      if (view.is_gauge) {
+        gauges.emplace_back(name, static_cast<double>(v));
+      } else {
+        counters.emplace_back(name, v);
+      }
+    }
+  }
+  for (const auto& [name, v] : counters) {
+    dst->GetCounter(prefix + name)->Store(v);
+  }
+  for (const auto& [name, v] : gauges) {
+    dst->GetGauge(prefix + name)->Set(v);
+  }
+  for (const auto& [name, raw] : histograms) {
+    dst->GetHistogram(prefix + name)
+        ->SetTo(raw.buckets, raw.count, raw.sum, raw.max);
+  }
+}
+
+void MetricsRegistry::Rollup(
+    const std::vector<const MetricsRegistry*>& sources,
+    MetricsRegistry* dst) {
+  if constexpr (!kMetricsEnabled) return;
+  if (dst == nullptr) return;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, RawHistogram> histograms;
+  for (const MetricsRegistry* src : sources) {
+    if (src == nullptr || src == dst) continue;
+    std::lock_guard<std::mutex> lock(src->mu_);
+    for (const auto& [name, c] : src->counters_) {
+      counters[name] += c.value();
+    }
+    for (const auto& [name, g] : src->gauges_) {
+      gauges[name] += g.value();
+    }
+    for (const auto& [name, h] : src->histograms_) {
+      RawHistogram& acc = histograms[name];
+      const auto buckets = h.BucketCounts();
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        acc.buckets[i] += buckets[i];
+      }
+      acc.count += h.count();
+      acc.sum += h.sum();
+      acc.max = std::max(acc.max, h.max());
+    }
+    for (const auto& [name, view] : src->views_) {
+      const uint64_t v = view.source->value();
+      if (view.is_gauge) {
+        gauges[name] += static_cast<double>(v);
+      } else {
+        counters[name] += v;
+      }
+    }
+  }
+  for (const auto& [name, v] : counters) {
+    dst->GetCounter(name)->Store(v);
+  }
+  for (const auto& [name, v] : gauges) {
+    dst->GetGauge(name)->Set(v);
+  }
+  for (const auto& [name, raw] : histograms) {
+    dst->GetHistogram(name)->SetTo(raw.buckets, raw.count, raw.sum,
+                                   raw.max);
+  }
 }
 
 size_t MetricsRegistry::size() const {

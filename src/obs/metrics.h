@@ -108,6 +108,15 @@ class Histogram {
   /// math (snapshot exporters).
   std::array<uint64_t, kNumBuckets> BucketCounts() const;
 
+  /// Overwrites this histogram with an externally assembled state
+  /// (mirror/rollup targets: the shard pool periodically SetTo()s the
+  /// sum of its per-shard histograms into the pool registry). Readers
+  /// that difference successive observations (interval percentiles)
+  /// stay correct as long as every SetTo source is itself monotone —
+  /// a sum of monotone histograms is monotone.
+  void SetTo(const std::array<uint64_t, kNumBuckets>& buckets,
+             uint64_t count, uint64_t sum, uint64_t max);
+
  private:
   friend double PercentileFromBuckets(
       const std::array<uint64_t, kNumBuckets>& buckets, uint64_t count,
@@ -212,6 +221,23 @@ class MetricsRegistry {
   void BindViews(ViewGroup* group);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Copies every metric of this registry into `dst` under
+  /// `prefix + name` (counters and counter-views via Store, gauges and
+  /// gauge-views via Set, histograms via SetTo — last-write-wins
+  /// overwrite semantics). This is how per-shard registries surface as
+  /// `shard/<i>/...` families in a server-wide registry without the hot
+  /// path ever touching two registries (docs/SHARDING.md). Safe against
+  /// concurrent mutation on either side; `dst` must not be `this`.
+  void MirrorInto(MetricsRegistry* dst, const std::string& prefix) const;
+
+  /// Element-wise sum of `sources` written into `dst` under the plain
+  /// (unprefixed) metric names: counters and counter-views sum into
+  /// counters, gauges and gauge-views into gauges, histograms sum
+  /// bucket-wise (max of maxes). Used for the merged cross-shard
+  /// rollups; sources must not contain `dst`.
+  static void Rollup(const std::vector<const MetricsRegistry*>& sources,
+                     MetricsRegistry* dst);
 
   /// Number of registered metrics (owned + views); for tests.
   size_t size() const;

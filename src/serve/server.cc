@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 namespace pulse {
@@ -26,19 +28,30 @@ Result<std::unique_ptr<StreamServer>> StreamServer::Make(
   probe.metrics = nullptr;
   PULSE_RETURN_IF_ERROR(
       HistoricalRuntime::Make(options.spec, std::move(probe)).status());
-  return std::unique_ptr<StreamServer>(new StreamServer(std::move(options)));
+  auto server =
+      std::unique_ptr<StreamServer>(new StreamServer(std::move(options)));
+  shard::ShardPoolOptions pool_options;
+  pool_options.num_shards =
+      server->options_.num_shards != 0
+          ? server->options_.num_shards
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  pool_options.exchange_capacity = server->options_.exchange_capacity;
+  pool_options.runtime = server->options_.runtime;
+  pool_options.metrics = server->metrics_;
+  PULSE_ASSIGN_OR_RETURN(
+      server->pool_,
+      shard::ShardPool::Make(server->options_.spec, std::move(pool_options)));
+  return server;
 }
 
 StreamServer::~StreamServer() { Shutdown(); }
 
 Status StreamServer::AddSession(std::unique_ptr<Transport> transport) {
-  HistoricalRuntime::Options runtime_options = options_.runtime;
-  // Private registry per session: its span/runtime/push_segment
-  // histogram is the admission controller's latency signal.
-  runtime_options.metrics = nullptr;
-  PULSE_ASSIGN_OR_RETURN(
-      HistoricalRuntime runtime,
-      HistoricalRuntime::Make(options_.spec, std::move(runtime_options)));
+  // A session is a thin router: it gets a ShardClient handle onto the
+  // shared pool, not a runtime of its own. Per-client solver state is
+  // created inside the pool, one slice per shard.
+  PULSE_ASSIGN_OR_RETURN(std::unique_ptr<shard::ShardClient> client,
+                         pool_->AddClient());
   std::vector<std::string> streams;
   for (const auto& [name, spec] : options_.spec.streams()) {
     streams.push_back(name);
@@ -49,7 +62,7 @@ Status StreamServer::AddSession(std::unique_ptr<Transport> transport) {
   }
   ReapLocked();
   auto session = std::make_unique<Session>(
-      next_session_id_++, std::move(transport), std::move(runtime),
+      next_session_id_++, std::move(transport), std::move(client),
       options_.session, std::move(streams), metrics_);
   session->Start();
   sessions_.push_back(std::move(session));

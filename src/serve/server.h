@@ -13,31 +13,41 @@
 #include "serve/session.h"
 #include "serve/tcp_transport.h"
 #include "serve/transport.h"
+#include "shard/shard_pool.h"
 
 namespace pulse {
 namespace serve {
 
 struct ServerOptions {
-  /// The continuous query every session runs (one dedicated
-  /// HistoricalRuntime per session — sessions never share solver state,
-  /// so one slow client cannot corrupt or stall another's results).
+  /// The continuous query every session runs. All sessions multiplex
+  /// onto one shared shard pool; per-client solver state lives in the
+  /// pool's per-shard runtimes (docs/SHARDING.md), so a client's keys
+  /// stay isolated without a dedicated runtime per session.
   QuerySpec spec;
-  /// Per-session runtime template. `metrics` is overridden: each
-  /// session gets a private runtime registry (the admission
-  /// controller's latency signal must be per-session).
+  /// Template for the pool's per-shard client runtimes. `metrics` and
+  /// `shared_solve_cache` are overridden per shard (see
+  /// shard::ShardPoolOptions).
   HistoricalRuntime::Options runtime;
   SessionOptions session;
+  /// Shard (worker thread) count for the shared pool. 0 means auto:
+  /// one shard per hardware thread — the shard-per-core shape.
+  size_t num_shards = 0;
+  /// Per-shard exchange queue capacity (items).
+  size_t exchange_capacity = 256;
   /// Registry for the server-wide serve/* metric families
-  /// (docs/SERVING.md lists them). nullptr: the server owns a private
-  /// one, reachable via metrics().
+  /// (docs/SERVING.md lists them) and the pool's shard/<i>/* mirrors
+  /// plus rollups. nullptr: the server owns a private one, reachable
+  /// via metrics().
   obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Multi-session streaming front-end over the Pulse runtimes: accepts
 /// client connections (in-process or TCP), runs one Session per
-/// connection, and supports graceful drain of the whole fleet. This is
-/// the serving shape the ROADMAP's "production-scale" north star asks
-/// for; docs/ARCHITECTURE.md places it in the end-to-end dataflow.
+/// connection multiplexed onto a shared shard-per-core pool, and
+/// supports graceful drain of the whole fleet. This is the serving
+/// shape the ROADMAP's "production-scale" north star asks for;
+/// docs/ARCHITECTURE.md places it in the end-to-end dataflow and
+/// docs/SHARDING.md specifies the pool underneath.
 class StreamServer {
  public:
   static Result<std::unique_ptr<StreamServer>> Make(ServerOptions options);
@@ -71,6 +81,10 @@ class StreamServer {
 
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// The shared shard pool all sessions route into.
+  const shard::ShardPool& pool() const { return *pool_; }
+  size_t num_shards() const { return pool_->num_shards(); }
+
  private:
   explicit StreamServer(ServerOptions options);
 
@@ -87,6 +101,10 @@ class StreamServer {
   obs::Counter* c_opened_ = nullptr;
   obs::Counter* c_closed_ = nullptr;
   obs::Gauge* g_active_ = nullptr;
+
+  // Declared before sessions_: sessions hold ShardClients into the
+  // pool, so they must be destroyed first (reverse declaration order).
+  std::unique_ptr<shard::ShardPool> pool_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Session>> sessions_;

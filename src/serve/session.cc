@@ -21,20 +21,22 @@ uint64_t NowNs() {
 }  // namespace
 
 Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
-                 HistoricalRuntime runtime, SessionOptions options,
+                 std::unique_ptr<shard::ShardClient> client,
+                 SessionOptions options,
                  std::vector<std::string> valid_streams,
                  obs::MetricsRegistry* serve_metrics)
     : id_(id),
       transport_(std::move(transport)),
-      runtime_(std::move(runtime)),
+      client_(std::move(client)),
       options_(options),
       valid_streams_(std::move(valid_streams)),
       serve_metrics_(serve_metrics),
-      // The latency signal is the session runtime's own solver span —
-      // each session has a private runtime registry, so the controller
-      // reacts to *this* session's solver, not a neighbor's.
+      // The latency signal is the pool-level rollup of every shard's
+      // solver span: sessions share the shard pool, so overload is a
+      // property of the pool, not of one session's private runtime.
+      // AdmitData refreshes the rollup (throttled) before sampling.
       admission_(options.admission,
-                 runtime_.metrics()->GetHistogram(
+                 client_->pool()->metrics()->GetHistogram(
                      "span/runtime/push_segment")) {
   c_accepted_ = serve_metrics_->GetCounter("serve/queue/accepted");
   c_dropped_ = serve_metrics_->GetCounter("serve/queue/dropped");
@@ -82,6 +84,8 @@ void Session::Abort() {
   if (stop_.exchange(true)) return;
   accepting_.store(false);
   CloseLaneQueues();
+  // Drop this session's queued shard work too — hard stop discards.
+  client_->Abort();
   transport_->Close();
   signal_.Notify();
 }
@@ -127,7 +131,7 @@ Status Session::WriteFrame(const Frame& frame) {
 }
 
 Status Session::FlushOutputs() {
-  std::vector<Segment> outputs = runtime_.TakeOutputSegments();
+  std::vector<Segment> outputs = client_->TakeOutputSegments();
   if (outputs.empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(write_mu_);
   write_buf_.clear();
@@ -263,6 +267,9 @@ Status Session::AdmitData(Frame frame) {
   }
 
   PULSE_SPAN("serve/admit");
+  // Refresh the pool rollup the latency signal reads (throttled inside
+  // the pool; most calls are a single relaxed load).
+  client_->pool()->SyncMetrics();
   size_t depth = 0;
   size_t capacity = 0;
   TotalDepth(&depth, &capacity);
@@ -377,7 +384,7 @@ void Session::WorkerLoop() {
     if (!best->queue.Pop(&item)) continue;
     Status status;
     if (item.is_segment) {
-      status = runtime_.ProcessSegment(best->name, std::move(item.segment));
+      status = client_->ProcessSegment(best->name, std::move(item.segment));
     } else {
       batch.clear();
       batch.push_back(std::move(item.tuple));
@@ -398,7 +405,7 @@ void Session::WorkerLoop() {
         batch.push_back(std::move(next.tuple));
         last_seq = seq;
       }
-      status = runtime_.ProcessTuples(best->name, batch.data(),
+      status = client_->ProcessTuples(best->name, batch.data(),
                                       batch.size());
       c_batch_dispatched_->Increment();
       c_batch_tuples_->Add(batch.size());
@@ -412,10 +419,10 @@ void Session::WorkerLoop() {
     }
   }
 
-  // Drain epilogue: flush residual operator state and deliver the last
-  // outputs. Skipped on Abort (hard stop discards).
+  // Drain epilogue: flush residual operator state on every shard and
+  // deliver the last outputs. Skipped on Abort (hard stop discards).
   if (!stop_.load()) {
-    Status status = runtime_.Finish();
+    Status status = client_->Finish();
     if (status.ok()) status = FlushOutputs();
     if (status.ok() && client_drain_.load()) {
       status = WriteFrame(Frame::Drained());

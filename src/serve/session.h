@@ -9,13 +9,13 @@
 #include <thread>
 #include <vector>
 
-#include "core/runtime.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/batcher.h"
 #include "serve/frame.h"
 #include "serve/ingest_queue.h"
 #include "serve/transport.h"
+#include "shard/shard_pool.h"
 
 namespace pulse {
 namespace serve {
@@ -32,26 +32,30 @@ struct SessionOptions {
 
 /// One client connection: a protocol reader thread admitting frames
 /// into per-stream bounded queues, and a worker thread draining them in
-/// admission order through a dedicated query runtime.
+/// admission order into the server's shared shard pool.
 ///
 ///   reader: transport -> FrameReader -> admission control -> queues
-///   worker: queues -> micro-batches -> HistoricalRuntime -> output
-///           segments -> transport
+///   worker: queues -> micro-batches -> ShardClient (key-routed to the
+///           shared shard pool) -> output segments -> transport
 ///
 /// The reader is the single producer for all queues and stamps each
 /// admitted item with a session-global sequence number; the worker
-/// merges queues by minimum head seq, so processing order equals
+/// merges queues by minimum head seq, so dispatch order equals
 /// admission order regardless of how tuples interleave across streams
-/// or how the micro-batcher groups them. That invariant is what the
-/// serving differential checks end to end (byte-identical outputs vs
-/// the batch replay path).
+/// or how the micro-batcher groups them. The ShardClient then restores
+/// that exact order on the output side (docs/SHARDING.md), so the
+/// end-to-end invariant the serving differential checks — outputs
+/// byte-identical to the batch replay path — survives the fan-out to
+/// shards. Sessions no longer own a runtime: each holds a thin routing
+/// handle onto the pool, so solver state is per shard, not per session.
 class Session {
  public:
   /// `serve_metrics` is the server-wide serve/* registry;
-  /// `valid_streams` the query's declared input stream names. Both the
-  /// registry and the transport must outlive Join().
+  /// `valid_streams` the query's declared input stream names. The
+  /// registry, the transport, and the client's pool must outlive
+  /// Join().
   Session(uint64_t id, std::unique_ptr<Transport> transport,
-          HistoricalRuntime runtime, SessionOptions options,
+          std::unique_ptr<shard::ShardClient> client, SessionOptions options,
           std::vector<std::string> valid_streams,
           obs::MetricsRegistry* serve_metrics);
   ~Session();
@@ -104,7 +108,7 @@ class Session {
   Status AdmitData(Frame frame);
   Status EnqueueItem(Lane* lane, IngestItem item);
   Status WriteFrame(const Frame& frame);
-  /// Moves the runtime's pending output segments to the client.
+  /// Moves the shard client's released output segments to the peer.
   Status FlushOutputs();
   void RecordFatal(const Status& status);
 
@@ -115,7 +119,9 @@ class Session {
 
   const uint64_t id_;
   std::unique_ptr<Transport> transport_;
-  HistoricalRuntime runtime_;
+  // Declared before admission_: the controller's latency signal is the
+  // pool-level rollup histogram reached through this handle.
+  std::unique_ptr<shard::ShardClient> client_;
   const SessionOptions options_;
   const std::vector<std::string> valid_streams_;
   obs::MetricsRegistry* serve_metrics_;

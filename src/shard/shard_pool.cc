@@ -1,0 +1,411 @@
+#include "shard/shard_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace pulse {
+namespace shard {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ShardPool
+
+Result<std::unique_ptr<ShardPool>> ShardPool::Make(const QuerySpec& spec,
+                                                   ShardPoolOptions options) {
+  auto pool = std::unique_ptr<ShardPool>(new ShardPool());
+  pool->spec_ = spec;
+  pool->options_ = std::move(options);
+  if (pool->options_.num_shards == 0) pool->options_.num_shards = 1;
+  if (pool->options_.exchange_capacity == 0) {
+    pool->options_.exchange_capacity = 1;
+  }
+  pool->partition_ = AnalyzePartitionability(spec);
+  // A non-partitionable plan degrades to one engine shard (all keys ->
+  // shard 0); worker threads beyond the first would sit idle.
+  const size_t effective =
+      pool->partition_.partitionable ? pool->options_.num_shards : 1;
+  pool->router_ = ShardRouter(effective);
+
+  for (const auto& [name, stream] : spec.streams()) {
+    PULSE_ASSIGN_OR_RETURN(size_t key_index,
+                           stream.schema->IndexOf(stream.key_field));
+    pool->stream_names_.push_back(name);
+    pool->stream_key_index_.push_back(key_index);
+  }
+
+  if (pool->options_.metrics != nullptr) {
+    pool->metrics_ = pool->options_.metrics;
+  } else {
+    pool->owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    pool->metrics_ = pool->owned_metrics_.get();
+  }
+
+  // Cross-client cache sharing is only sound with exact keys: a
+  // quantized hit may replay a *nearby* system's solution, and leaking
+  // those across clients would make one client's answers depend on
+  // another's traffic.
+  const bool share_cache =
+      pool->options_.runtime.solve_cache.has_value() &&
+      pool->options_.runtime.solve_cache->quantum == 0.0 &&
+      pool->options_.runtime.shared_solve_cache == nullptr;
+
+  for (size_t i = 0; i < effective; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->queue = std::make_unique<serve::IngestQueue>(
+        pool->options_.exchange_capacity, &s->signal);
+    s->registry = std::make_unique<obs::MetricsRegistry>();
+    if (share_cache) {
+      s->cache =
+          std::make_unique<SolveCache>(*pool->options_.runtime.solve_cache);
+    }
+    pool->shards_.push_back(std::move(s));
+  }
+  for (size_t i = 0; i < pool->shards_.size(); ++i) {
+    pool->shards_[i]->worker =
+        std::thread([raw = pool.get(), i] { raw->WorkerLoop(i); });
+  }
+  return pool;
+}
+
+ShardPool::~ShardPool() { Shutdown(); }
+
+void ShardPool::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    for (auto& s : shards_) {
+      if (s->worker.joinable()) s->worker.join();
+    }
+    return;
+  }
+  for (auto& s : shards_) {
+    s->queue->Close();
+    s->signal.Notify();
+  }
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+}
+
+obs::MetricsRegistry* ShardPool::shard_metrics(size_t i) const {
+  return i < shards_.size() ? shards_[i]->registry.get() : nullptr;
+}
+
+Result<std::unique_ptr<ShardClient>> ShardPool::AddClient() {
+  if (shutdown_.load()) {
+    return Status::FailedPrecondition("shard pool is shut down");
+  }
+  auto state = std::make_shared<ClientState>();
+  state->finish_outputs.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    HistoricalRuntime::Options rt = options_.runtime;
+    rt.metrics = shards_[i]->registry.get();
+    if (shards_[i]->cache != nullptr) {
+      rt.shared_solve_cache = shards_[i]->cache.get();
+    }
+    PULSE_ASSIGN_OR_RETURN(HistoricalRuntime runtime,
+                           HistoricalRuntime::Make(spec_, std::move(rt)));
+    state->runtimes.push_back(
+        std::make_unique<HistoricalRuntime>(std::move(runtime)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    state->id = next_client_id_++;
+    clients_.emplace(state->id, state);
+  }
+  return std::unique_ptr<ShardClient>(new ShardClient(this, state));
+}
+
+std::shared_ptr<ShardPool::ClientState> ShardPool::FindClient(uint64_t id) {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : it->second;
+}
+
+void ShardPool::RemoveClient(uint64_t id) {
+  std::shared_ptr<ClientState> state;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    state = std::move(it->second);
+    clients_.erase(it);
+  }
+  // `state` (and its runtimes) dies here unless a worker still holds a
+  // reference mid-dispatch, in which case the worker's release frees it.
+}
+
+void ShardPool::ReleaseLocked(ClientState* state) {
+  while (!state->pending.empty() &&
+         state->pending.begin()->first == state->released_seq) {
+    Completion& c = state->pending.begin()->second;
+    state->ready.insert(state->ready.end(),
+                        std::make_move_iterator(c.outputs.begin()),
+                        std::make_move_iterator(c.outputs.end()));
+    state->released_seq += c.count;
+    state->pending.erase(state->pending.begin());
+  }
+}
+
+void ShardPool::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    const uint64_t epoch = shard.signal.epoch();
+    serve::IngestItem item;
+    if (!shard.queue->Pop(&item)) {
+      if (shard.queue->closed()) break;
+      shard.signal.Wait(epoch);
+      continue;
+    }
+    Dispatch(shard_index, std::move(item));
+  }
+}
+
+void ShardPool::Dispatch(size_t shard_index, serve::IngestItem item) {
+  std::shared_ptr<ClientState> client = FindClient(item.client);
+  if (client == nullptr) return;  // client gone: drop
+  HistoricalRuntime* runtime = client->runtimes[shard_index].get();
+
+  if (item.is_finish) {
+    Status status;
+    std::vector<Segment> outputs;
+    if (!client->aborted.load()) {
+      status = runtime->Finish();
+      if (status.ok()) outputs = runtime->TakeOutputSegments();
+    }
+    std::lock_guard<std::mutex> lock(client->mu);
+    if (!status.ok() && client->error.empty()) {
+      client->error = status.ToString();
+    }
+    client->finish_outputs[shard_index] = std::move(outputs);
+    --client->finish_remaining;
+    client->cv.notify_all();
+    return;
+  }
+
+  Status status;
+  std::vector<Segment> outputs;
+  if (!client->aborted.load()) {
+    const std::string& stream = stream_names_[item.stream];
+    if (item.is_segment) {
+      status = runtime->ProcessSegment(stream, std::move(item.segment));
+    } else {
+      status = runtime->ProcessTuple(stream, item.tuple);
+    }
+    if (status.ok()) outputs = runtime->TakeOutputSegments();
+  }
+  std::lock_guard<std::mutex> lock(client->mu);
+  if (!status.ok()) {
+    if (client->error.empty()) client->error = status.ToString();
+    client->aborted.store(true);
+  }
+  client->pending.emplace(item.seq, Completion{1, std::move(outputs)});
+  ReleaseLocked(client.get());
+  client->cv.notify_all();
+}
+
+void ShardPool::SyncMetrics(bool force) {
+  if constexpr (!obs::kMetricsEnabled) return;
+  const uint64_t now = NowNs();
+  uint64_t last = last_sync_ns_.load(std::memory_order_relaxed);
+  if (!force && now - last < options_.metrics_sync_interval_ns) return;
+  if (!last_sync_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    if (!force) return;  // another caller is refreshing right now
+  }
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  std::vector<const obs::MetricsRegistry*> sources;
+  sources.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->registry->MirrorInto(metrics_,
+                                     "shard/" + std::to_string(i) + "/");
+    sources.push_back(shards_[i]->registry.get());
+  }
+  obs::MetricsRegistry::Rollup(sources, metrics_);
+}
+
+// ---------------------------------------------------------------------
+// ShardClient
+
+ShardClient::~ShardClient() {
+  Abort();
+  if (pool_ != nullptr) pool_->RemoveClient(state_->id);
+}
+
+void ShardClient::Abort() { state_->aborted.store(true); }
+
+Status ShardClient::ResolveStream(const std::string& stream,
+                                  uint32_t* index) {
+  if (memo_valid_ && memo_stream_ == stream) {
+    *index = memo_index_;
+    return Status::OK();
+  }
+  const auto& names = pool_->stream_names_;
+  const auto it = std::lower_bound(names.begin(), names.end(), stream);
+  if (it == names.end() || *it != stream) {
+    return Status::NotFound("stream '" + stream + "' not declared");
+  }
+  memo_stream_ = stream;
+  memo_index_ = static_cast<uint32_t>(it - names.begin());
+  memo_valid_ = true;
+  *index = memo_index_;
+  return Status::OK();
+}
+
+Status ShardClient::Route(size_t shard_index, serve::IngestItem item) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->error.empty()) {
+      return Status::Internal("shard worker failed: " + state_->error);
+    }
+  }
+  serve::IngestQueue& queue = *pool_->shards_[shard_index]->queue;
+  uint64_t dropped = 0;
+  const serve::PushResult result =
+      queue.TryPush(&item, serve::BackpressurePolicy::kBlock, &dropped);
+  switch (result) {
+    case serve::PushResult::kAccepted:
+      return Status::OK();
+    case serve::PushResult::kClosed:
+      return Status::FailedPrecondition("shard pool is shut down");
+    case serve::PushResult::kWouldBlock:
+      break;
+    default:
+      return Status::Internal("unexpected exchange push result");
+  }
+  if (queue.PushBlocking(std::move(item), nullptr)) return Status::OK();
+  return Status::FailedPrecondition("shard pool is shut down");
+}
+
+Status ShardClient::ProcessTuple(const std::string& stream,
+                                 const Tuple& tuple) {
+  return ProcessTuples(stream, &tuple, 1);
+}
+
+Status ShardClient::ProcessTuples(const std::string& stream,
+                                  const Tuple* tuples, size_t n) {
+  if (finished_) {
+    return Status::FailedPrecondition("client already finished");
+  }
+  uint32_t index = 0;
+  PULSE_RETURN_IF_ERROR(ResolveStream(stream, &index));
+  const size_t key_index = pool_->stream_key_index_[index];
+  for (size_t i = 0; i < n; ++i) {
+    if (key_index >= tuples[i].values.size()) {
+      return Status::InvalidArgument("tuple missing key field");
+    }
+    const Key key = tuples[i].at(key_index).as_int64();
+    serve::IngestItem item;
+    item.seq = next_seq_++;
+    item.client = state_->id;
+    item.stream = index;
+    item.tuple = tuples[i];
+    PULSE_RETURN_IF_ERROR(
+        Route(pool_->router_.ShardOf(key), std::move(item)));
+  }
+  return Status::OK();
+}
+
+Status ShardClient::ProcessSegment(const std::string& stream,
+                                   Segment segment) {
+  if (finished_) {
+    return Status::FailedPrecondition("client already finished");
+  }
+  uint32_t index = 0;
+  PULSE_RETURN_IF_ERROR(ResolveStream(stream, &index));
+  const Key key = segment.key;
+  serve::IngestItem item;
+  item.seq = next_seq_++;
+  item.client = state_->id;
+  item.stream = index;
+  item.is_segment = true;
+  item.segment = std::move(segment);
+  return Route(pool_->router_.ShardOf(key), std::move(item));
+}
+
+Status ShardClient::Finish() {
+  if (finished_) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->error.empty()
+               ? Status::OK()
+               : Status::Internal("shard worker failed: " + state_->error);
+  }
+  finished_ = true;
+  const size_t shards = pool_->shards_.size();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->finish_remaining = shards;
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    serve::IngestItem item;
+    item.seq = ~uint64_t{0};  // sentinels are outside the data seq space
+    item.client = state_->id;
+    item.is_finish = true;
+    PULSE_RETURN_IF_ERROR(Route(s, std::move(item)));
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->finish_remaining == 0; });
+  // Every data item of this client was dispatched before its shard's
+  // sentinel (FIFO per exchange queue), so the data merge is complete.
+  // Canonical finish merge: concatenate per-shard finish tails, then
+  // the same stable key sort the serial Finish applies. Each key lives
+  // on exactly one shard, so same-key relative order is the shard's ==
+  // the serial runtime's, and the sort makes cross-key order identical.
+  std::vector<Segment> finish;
+  for (std::vector<Segment>& part : state_->finish_outputs) {
+    finish.insert(finish.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+    part.clear();
+  }
+  std::stable_sort(
+      finish.begin(), finish.end(),
+      [](const Segment& a, const Segment& b) { return a.key < b.key; });
+  state_->ready.insert(state_->ready.end(),
+                       std::make_move_iterator(finish.begin()),
+                       std::make_move_iterator(finish.end()));
+  if (!state_->error.empty()) {
+    return Status::Internal("shard worker failed: " + state_->error);
+  }
+  return Status::OK();
+}
+
+std::vector<Segment> ShardClient::TakeOutputSegments() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::vector<Segment> out = std::move(state_->ready);
+  state_->ready.clear();
+  return out;
+}
+
+RuntimeStats ShardClient::stats() const {
+  RuntimeStats sum;
+  for (const auto& runtime : state_->runtimes) {
+    const RuntimeStats s = runtime->stats();
+    sum.tuples_in += s.tuples_in;
+    sum.tuples_validated += s.tuples_validated;
+    sum.violations += s.violations;
+    sum.segments_pushed += s.segments_pushed;
+    sum.output_segments += s.output_segments;
+    sum.output_tuples += s.output_tuples;
+    sum.inversions += s.inversions;
+    sum.tasks_spawned += s.tasks_spawned;
+    sum.parallel_solve_cpu_ns += s.parallel_solve_cpu_ns;
+    sum.parallel_solve_wall_ns += s.parallel_solve_wall_ns;
+    sum.solve_cache_hits += s.solve_cache_hits;
+    sum.solve_cache_misses += s.solve_cache_misses;
+    sum.solve_cache_lookups += s.solve_cache_lookups;
+    sum.solve_cache_uncacheable += s.solve_cache_uncacheable;
+  }
+  return sum;
+}
+
+}  // namespace shard
+}  // namespace pulse

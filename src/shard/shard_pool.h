@@ -1,0 +1,242 @@
+#ifndef PULSE_SHARD_SHARD_POOL_H_
+#define PULSE_SHARD_SHARD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/runtime.h"
+#include "core/solve_cache.h"
+#include "obs/metrics.h"
+#include "serve/ingest_queue.h"
+#include "shard/shard_router.h"
+#include "util/result.h"
+
+namespace pulse {
+namespace shard {
+
+class ShardClient;
+
+struct ShardPoolOptions {
+  /// Worker shards; clamped to at least 1. The shard-per-core shape is
+  /// num_shards == hardware_concurrency.
+  size_t num_shards = 1;
+  /// Per-shard exchange queue capacity (items). Producers block when
+  /// full (lossless; loss policies live at the serving admission edge,
+  /// not inside the engine).
+  size_t exchange_capacity = 256;
+  /// Template for every client runtime the pool creates. `metrics` and
+  /// `shared_solve_cache` are overridden per shard; `solve_cache` (the
+  /// cache geometry) configures each shard's shared cache. A nonzero
+  /// quantum disables cross-client cache sharing — quantized hits could
+  /// leak one client's solutions into another's answers.
+  HistoricalRuntime::Options runtime;
+  /// Registry the pool's SyncMetrics publishes into: per-shard mirrors
+  /// under `shard/<i>/...` plus merged rollups under the plain names.
+  /// nullptr: the pool owns a private one, reachable via metrics().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// SyncMetrics throttle: refreshes closer together than this are
+  /// dropped (callers may invoke it on hot paths).
+  uint64_t metrics_sync_interval_ns = 2'000'000;
+};
+
+/// Key-partitioned shard-per-core engine (docs/SHARDING.md): N worker
+/// threads, each owning one shard — a MetricsRegistry, a SolveCache,
+/// and, per client, a HistoricalRuntime holding exactly the keys the
+/// ShardRouter maps to that shard. Producers (ShardClient routers)
+/// exchange work over the serve-layer bounded ingest queues, one per
+/// shard; workers never block on output, so a full exchange queue
+/// surfaces as producer backpressure, never deadlock.
+///
+/// Determinism contract: for a partitionable plan (AnalyzePartition-
+/// ability), a client's output is byte-identical for every num_shards,
+/// including 1 — the sequence-number merge in ShardClient restores the
+/// exact serial data-phase order, and the canonical finish-phase key
+/// sort (HistoricalRuntime::Finish) makes the finish tail
+/// shard-count-invariant. Non-partitionable plans route every key to
+/// shard 0 and are trivially identical.
+class ShardPool {
+ public:
+  static Result<std::unique_ptr<ShardPool>> Make(const QuerySpec& spec,
+                                                 ShardPoolOptions options);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Registers a new client: builds its per-shard runtimes (sharing the
+  /// shard's cache and registry) and returns the routing handle. Every
+  /// client must be destroyed before the pool.
+  Result<std::unique_ptr<ShardClient>> AddClient();
+
+  /// Closes the exchange queues, lets workers drain what was already
+  /// queued, and joins them. Idempotent; called by the destructor.
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  const PartitionAnalysis& partition() const { return partition_; }
+  const ShardRouter& router() const { return router_; }
+
+  /// The pool-level registry (mirrors + rollups target).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Shard `i`'s own registry (every client runtime on that shard
+  /// reports here).
+  obs::MetricsRegistry* shard_metrics(size_t i) const;
+
+  /// Publishes per-shard registries into metrics() as `shard/<i>/...`
+  /// mirrors plus merged rollups under the plain names (the rollup
+  /// `span/runtime/push_segment` histogram is the serving admission
+  /// controller's latency signal). Throttled by
+  /// metrics_sync_interval_ns unless `force`.
+  void SyncMetrics(bool force = false);
+
+ private:
+  friend class ShardClient;
+
+  /// One routed work item's completion: the output segments produced
+  /// while processing it (usually none). `count` is the number of data
+  /// seqs the record covers (1 today; the field keeps batched shard
+  /// dispatch possible without a protocol change).
+  struct Completion {
+    uint64_t count = 1;
+    std::vector<Segment> outputs;
+  };
+
+  /// Client bookkeeping shared between its router thread and the shard
+  /// workers. Runtimes are indexed by shard and only ever touched by
+  /// that shard's worker; everything ordered lives under `mu`.
+  struct ClientState {
+    uint64_t id = 0;
+    std::atomic<bool> aborted{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Completions not yet released, keyed by first data seq.
+    std::map<uint64_t, Completion> pending;
+    /// Next data seq to release (all seqs below are in `ready`).
+    uint64_t released_seq = 0;
+    /// In-order output prefix (the deterministic merge result).
+    std::vector<Segment> ready;
+    /// Shards that have not yet acknowledged the finish sentinel.
+    size_t finish_remaining = 0;
+    /// Finish-phase outputs per shard, merged canonically by Finish().
+    std::vector<std::vector<Segment>> finish_outputs;
+    std::string error;
+
+    /// Only the owning shard worker touches runtimes[s]; the vector
+    /// itself is immutable after AddClient publishes the state.
+    std::vector<std::unique_ptr<HistoricalRuntime>> runtimes;
+  };
+
+  struct Shard {
+    serve::WorkSignal signal;
+    std::unique_ptr<serve::IngestQueue> queue;
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    std::unique_ptr<SolveCache> cache;  // null when sharing is off
+    std::thread worker;
+  };
+
+  ShardPool() = default;
+
+  void WorkerLoop(size_t shard_index);
+  void Dispatch(size_t shard_index, serve::IngestItem item);
+  std::shared_ptr<ClientState> FindClient(uint64_t id);
+  void RemoveClient(uint64_t id);
+  /// Appends released completions to `ready` in seq order. Caller holds
+  /// `state->mu`.
+  static void ReleaseLocked(ClientState* state);
+
+  QuerySpec spec_;
+  ShardPoolOptions options_;
+  ShardRouter router_{1};
+  PartitionAnalysis partition_;
+  /// Sorted stream table: names (index == IngestItem::stream) and the
+  /// tuple field holding each stream's key.
+  std::vector<std::string> stream_names_;
+  std::vector<size_t> stream_key_index_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex clients_mu_;
+  std::map<uint64_t, std::shared_ptr<ClientState>> clients_;
+  uint64_t next_client_id_ = 1;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex sync_mu_;
+  std::atomic<uint64_t> last_sync_ns_{0};
+};
+
+/// One producer's handle onto the pool: routes items by key to shard
+/// exchange queues, stamps each with a client-global sequence number,
+/// and merges completions back into the exact serial order. All calls
+/// must come from one thread (the same contract as HistoricalRuntime);
+/// the API mirrors HistoricalRuntime so serving sessions and the
+/// ShardedRuntime facade can swap it in.
+class ShardClient {
+ public:
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  Status ProcessTuple(const std::string& stream, const Tuple& tuple);
+  Status ProcessTuples(const std::string& stream, const Tuple* tuples,
+                       size_t n);
+  Status ProcessSegment(const std::string& stream, Segment segment);
+
+  /// End of input: pushes a finish sentinel down every shard lane,
+  /// waits for all of them to flush, then appends the canonically
+  /// merged finish outputs (concatenate per shard, stable-sort by key —
+  /// byte-identical to the serial finish tail). Blocks; returns the
+  /// first error any shard hit.
+  Status Finish();
+
+  /// The in-order released output prefix: everything whose data seq (or
+  /// finish merge) is complete. Safe to call while shards are still
+  /// working — later outputs simply show up on a later call.
+  std::vector<Segment> TakeOutputSegments();
+
+  /// Sums over this client's per-shard runtimes.
+  RuntimeStats stats() const;
+
+  /// Drops this client's queued work: shard workers skip items of an
+  /// aborted client. Already-processed outputs stay takeable.
+  void Abort();
+
+  uint64_t id() const { return state_->id; }
+  ShardPool* pool() const { return pool_; }
+
+ private:
+  friend class ShardPool;
+  ShardClient(ShardPool* pool, std::shared_ptr<ShardPool::ClientState> state)
+      : pool_(pool), state_(std::move(state)) {}
+
+  /// Routes one stamped item to its shard, blocking on a full exchange
+  /// queue. Fails when the pool is shut down or the client errored.
+  Status Route(size_t shard_index, serve::IngestItem item);
+  Status ResolveStream(const std::string& stream, uint32_t* index);
+
+  ShardPool* pool_ = nullptr;
+  std::shared_ptr<ShardPool::ClientState> state_;
+  uint64_t next_seq_ = 0;
+  bool finished_ = false;
+  /// Memoized stream lookup (sessions feed long same-stream runs).
+  std::string memo_stream_;
+  uint32_t memo_index_ = 0;
+  bool memo_valid_ = false;
+};
+
+}  // namespace shard
+}  // namespace pulse
+
+#endif  // PULSE_SHARD_SHARD_POOL_H_

@@ -1,0 +1,66 @@
+#include "shard/shard_router.h"
+
+namespace pulse {
+namespace shard {
+
+uint64_t ShardKeyHash(Key key) {
+  // splitmix64 finalizer (Steele et al.), constants pinned forever —
+  // see the header contract. Keys are int64 entity ids; the cast is a
+  // bit reinterpretation, so negative keys hash fine.
+  uint64_t x = static_cast<uint64_t>(key);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ShardRouter::ShardRouter(size_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+size_t ShardRouter::ShardOf(Key key) const {
+  if (num_shards_ == 1) return 0;
+  // Lemire multiply-shift: maps the 64-bit hash to [0, num_shards)
+  // without modulo bias and without a division on the per-tuple path.
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(ShardKeyHash(key)) *
+      static_cast<unsigned __int128>(num_shards_);
+  return static_cast<size_t>(wide >> 64);
+}
+
+PartitionAnalysis AnalyzePartitionability(const QuerySpec& spec) {
+  PartitionAnalysis analysis;
+  for (const QuerySpec::Node& node : spec.nodes()) {
+    switch (node.kind) {
+      case QuerySpec::OpKind::kFilter:
+      case QuerySpec::OpKind::kMap:
+        // Stateless per segment: any partition works.
+        break;
+      case QuerySpec::OpKind::kJoin:
+        if (!node.join->match_keys) {
+          analysis.reason = "join '" + node.name +
+                            "' matches across keys (no key equi-join)";
+          return analysis;
+        }
+        if (node.join->require_distinct_keys) {
+          // key-matched + distinct-keys is a contradiction the join
+          // resolves by comparing across keys; its state is global.
+          analysis.reason = "join '" + node.name +
+                            "' requires distinct keys (cross-key state)";
+          return analysis;
+        }
+        break;
+      case QuerySpec::OpKind::kAggregate:
+        if (!node.aggregate->per_key) {
+          analysis.reason = "aggregate '" + node.name +
+                            "' folds across keys (no GROUP BY key)";
+          return analysis;
+        }
+        break;
+    }
+  }
+  analysis.partitionable = true;
+  return analysis;
+}
+
+}  // namespace shard
+}  // namespace pulse

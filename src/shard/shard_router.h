@@ -1,0 +1,66 @@
+#ifndef PULSE_SHARD_SHARD_ROUTER_H_
+#define PULSE_SHARD_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/query.h"
+#include "model/segment.h"
+
+namespace pulse {
+namespace shard {
+
+/// Stable 64-bit mix of an entity key — THE routing hash contract
+/// (docs/SHARDING.md). The function is a splitmix64 finalizer with
+/// pinned constants: it is part of the on-disk/test contract and must
+/// never change, because shard_router_test pins golden values and any
+/// change would silently re-partition persistent deployments. Not a
+/// cryptographic hash; adversarial key sets can still skew shards.
+uint64_t ShardKeyHash(Key key);
+
+/// Maps entity keys to shard indices. Stateless and cheap enough to
+/// call per tuple: one multiply-shift over ShardKeyHash (Lemire's
+/// unbiased range reduction), so the mapping for a given
+/// (key, num_shards) pair is a pure function — every producer in the
+/// process routes identically without coordination.
+class ShardRouter {
+ public:
+  /// `num_shards` is clamped to at least 1.
+  explicit ShardRouter(size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard index in [0, num_shards) for `key`. All tuples and segments
+  /// of one key land on the same shard, on both sides of a key-matched
+  /// join (the co-partitioning that makes per-key operator state
+  /// shard-local).
+  size_t ShardOf(Key key) const;
+
+ private:
+  size_t num_shards_;
+};
+
+/// Whether a query's operator state decomposes by entity key — the
+/// precondition for routing different keys to different shards while
+/// keeping output byte-identical to a serial run.
+struct PartitionAnalysis {
+  /// True when every join is a key-equi join without a distinct-keys
+  /// guard and every aggregate groups per key. Filters, maps, and the
+  /// per-key segmenters are always partitionable.
+  bool partitionable = false;
+  /// Human-readable reason when not partitionable (empty otherwise);
+  /// surfaced in logs and docs examples.
+  std::string reason;
+};
+
+/// Static analysis over the logical plan. A plan that fails the check
+/// is still servable: the pool routes every key to shard 0, which is
+/// trivially byte-identical for any num_shards (docs/SHARDING.md
+/// discusses why each operator kind does or does not partition).
+PartitionAnalysis AnalyzePartitionability(const QuerySpec& spec);
+
+}  // namespace shard
+}  // namespace pulse
+
+#endif  // PULSE_SHARD_SHARD_ROUTER_H_

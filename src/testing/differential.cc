@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "shard/sharded_runtime.h"
 #include "util/logging.h"
 
 namespace pulse {
@@ -231,6 +232,32 @@ Result<PulseRun> RunPulse(const GeneratedCase& kase, const SegmentFeed& feed,
   run.metrics = rt.metrics()->Snapshot();
   run.stats = rt.stats();
   return run;
+}
+
+// Replays the same segment feed through the key-partitioned
+// shard-per-core runtime: the ShardRouter spreads keys over
+// `num_shards` worker threads, each running its own HistoricalRuntime,
+// and the sequence-number merge plus canonical finish sort must
+// reassemble the output byte-identically to the serial unsharded run
+// (docs/SHARDING.md).
+Result<std::vector<Segment>> RunPulseSharded(const GeneratedCase& kase,
+                                             const SegmentFeed& feed,
+                                             size_t num_shards,
+                                             size_t num_threads, bool cache) {
+  shard::ShardedRuntimeOptions options;
+  options.num_shards = num_shards;
+  options.runtime.collect_outputs = true;
+  options.runtime.parallel.num_threads = num_threads;
+  if (!cache) options.runtime.solve_cache = std::nullopt;
+  PULSE_ASSIGN_OR_RETURN(
+      shard::ShardedRuntime rt,
+      shard::ShardedRuntime::Make(kase.spec, std::move(options)));
+  for (const auto& [stream_idx, segment] : feed.items) {
+    PULSE_RETURN_IF_ERROR(
+        rt.ProcessSegment(kase.workloads[stream_idx].name, segment));
+  }
+  PULSE_RETURN_IF_ERROR(rt.Finish());
+  return rt.TakeOutputSegments();
 }
 
 // Drives the same segment feed through the in-process serving stack:
@@ -823,8 +850,35 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
     if (v.threads > 1 && v.cache) parallel = std::move(got);
   }
 
+  // Sharded variants: threads x cache x shards grid. Byte-identity
+  // against the serial unsharded base is the determinism guarantee the
+  // whole scale-out design rests on (docs/SHARDING.md).
+  for (const size_t shards : options.shard_counts) {
+    const struct {
+      const char* suffix;
+      size_t threads;
+      bool cache;
+    } shard_variants[] = {
+        {"", 1, true},
+        {"_parallel_cache_off", options.parallel_threads, false},
+    };
+    for (const auto& sv : shard_variants) {
+      PULSE_ASSIGN_OR_RETURN(
+          std::vector<Segment> sharded,
+          RunPulseSharded(kase, feed, shards, sv.threads, sv.cache));
+      const std::string mismatch = CompareVariant(base.segments, sharded);
+      if (!mismatch.empty()) {
+        reporter.Add(Divergence{"metamorphic.shards" +
+                                    std::to_string(shards) + sv.suffix,
+                                0.0, 0, "", 0.0, 0.0, mismatch});
+      }
+    }
+  }
+
   // Serving-transport variant: same feed, pushed through the frame
-  // codec and a real session (queues, micro-batches, drain).
+  // codec and a real session (queues, micro-batches, drain). The
+  // session multiplexes onto the server's shard pool, so this also
+  // covers the tuple/segment routing path end to end.
   if (options.serving_variant) {
     PULSE_ASSIGN_OR_RETURN(std::vector<Segment> served,
                            RunPulseServing(kase, feed));

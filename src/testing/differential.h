@@ -31,6 +31,14 @@ struct DiffOptions {
   /// Thread count of the parallel metamorphic variants (the N in the
   /// threads-1-vs-N comparison).
   size_t parallel_threads = 4;
+  /// Shard counts of the sharded metamorphic variants: the same segment
+  /// feed replayed through the shard-per-core ShardedRuntime must be
+  /// byte-identical to the serial unsharded run for every count
+  /// (docs/SHARDING.md determinism contract). Each count runs twice —
+  /// once serial-per-shard with the solve cache on, once with
+  /// parallel_threads per shard and the cache off — so the grid spans
+  /// threads x cache x shards. Empty disables the sharded variants.
+  std::vector<size_t> shard_counts = {2, 3};
   /// Stop collecting divergences past this count (a broken operator
   /// would otherwise report one per grid point).
   size_t max_divergences = 8;

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -169,16 +170,37 @@ TEST(CheckedInBenchJsonTest, ServingThroughputMatchesGateSchema) {
   json::Value doc;
   ASSERT_NO_FATAL_FAILURE(
       CheckReportShape(text, "serving_throughput", &doc));
-  ExpectRowFields(doc, {"policy", "seconds", "tuples_per_sec", "sent",
-                        "accepted", "dropped", "shed", "output_segments",
-                        "admit_p99_ns"});
+  ExpectRowFields(doc, {"policy", "num_shards", "seconds", "tuples_per_sec",
+                        "sent", "accepted", "dropped", "shed",
+                        "output_segments", "admit_p99_ns", "core_bound"});
   const json::Value* params = doc.Find("params");
   EXPECT_NE(params->Find("sessions"), nullptr);
   EXPECT_NE(params->Find("queue_capacity"), nullptr);
+  EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
   // The acceptance bar for the serving layer: at least 16 concurrent
-  // sessions sustained, one row per policy plus the admission run.
+  // sessions sustained, one row per policy plus the admission run, plus
+  // the sharded pair (1-shard and multi-shard multikey scenarios).
   EXPECT_GE(params->Find("sessions")->as_number(), 16.0);
-  EXPECT_GE(doc.Find("results")->as_array().size(), 4u);
+  const auto& rows = doc.Find("results")->as_array();
+  EXPECT_GE(rows.size(), 6u);
+  bool saw_sharded = false;
+  for (const json::Value& row : rows) {
+    if (row.Find("num_shards")->as_number() > 1.0) saw_sharded = true;
+  }
+  EXPECT_TRUE(saw_sharded) << "no multi-shard serving scenario checked in";
+  // The shard pool publishes per-shard mirrors plus plain-name rollups
+  // into the server registry; the attached metrics block must show the
+  // shard/<i>/... naming contract of docs/SHARDING.md.
+  const json::Value* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr) << "metrics block missing";
+  const json::Value* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  bool saw_shard_metric = false;
+  for (const auto& [name, value] : counters->as_object()) {
+    if (name.rfind("shard/0/", 0) == 0) saw_shard_metric = true;
+  }
+  EXPECT_TRUE(saw_shard_metric)
+      << "no shard/0/... mirror counters in the metrics block";
 }
 
 TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
@@ -188,11 +210,26 @@ TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
   ASSERT_FALSE(text.empty()) << "BENCH_parallel_scaling.json missing";
   json::Value doc;
   ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "parallel_scaling", &doc));
-  ExpectRowFields(doc, {"threads", "seconds", "tuples_per_sec", "speedup",
-                        "solves", "tasks_spawned", "core_bound"});
+  ExpectRowFields(doc, {"mode", "threads", "num_shards", "seconds",
+                        "tuples_per_sec", "speedup", "solves",
+                        "tasks_spawned", "core_bound"});
   const json::Value* params = doc.Find("params");
   EXPECT_NE(params->Find("workload"), nullptr);
+  EXPECT_NE(params->Find("sharded_workload"), nullptr);
   EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
+  // Both sweeps must be present: the solver-thread sweep and the
+  // shard-per-core sweep with at least two distinct shard counts.
+  std::set<double> shard_counts;
+  bool saw_threads_mode = false;
+  for (const json::Value& row : doc.Find("results")->as_array()) {
+    if (row.Find("mode")->as_string() == "threads") saw_threads_mode = true;
+    if (row.Find("mode")->as_string() == "shards") {
+      shard_counts.insert(row.Find("num_shards")->as_number());
+    }
+  }
+  EXPECT_TRUE(saw_threads_mode);
+  EXPECT_GE(shard_counts.size(), 2u)
+      << "sharded sweep needs >= 2 distinct shard counts";
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Pins the shard routing contract of docs/SHARDING.md: the key hash is
+// a stable on-disk-grade constant (golden values), the router spreads
+// keys evenly and deterministically, partitionability analysis accepts
+// exactly the plan shapes whose state is per-key, and the sharded
+// runtime reproduces the serial runtime byte-identically.
+
+#include "shard/shard_router.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/sharded_runtime.h"
+#include "testing/differential.h"
+#include "testing/plan_gen.h"
+
+namespace pulse {
+namespace shard {
+namespace {
+
+// Golden values for the splitmix64 finalizer. These pin the hash
+// constants themselves: any change to ShardKeyHash silently reshuffles
+// every key-to-shard assignment, so it must fail loudly here instead.
+TEST(ShardKeyHash, GoldenValues) {
+  EXPECT_EQ(ShardKeyHash(0), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(ShardKeyHash(1), 0x910a2dec89025cc1ull);
+  EXPECT_EQ(ShardKeyHash(7), 0x63cbe1e459320dd7ull);
+  EXPECT_EQ(ShardKeyHash(42), 0xbdd732262feb6e95ull);
+  EXPECT_EQ(ShardKeyHash(-1), 0xe4d971771b652c20ull);
+  EXPECT_EQ(ShardKeyHash(123456789), 0x223c74d93deb7679ull);
+}
+
+TEST(ShardRouter, ClampsToAtLeastOneShard) {
+  EXPECT_EQ(ShardRouter(0).num_shards(), 1u);
+  EXPECT_EQ(ShardRouter(1).num_shards(), 1u);
+  EXPECT_EQ(ShardRouter(5).num_shards(), 5u);
+}
+
+TEST(ShardRouter, SingleShardTakesEverything) {
+  ShardRouter router(1);
+  for (Key key = -100; key <= 100; ++key) {
+    EXPECT_EQ(router.ShardOf(key), 0u);
+  }
+}
+
+TEST(ShardRouter, Deterministic) {
+  ShardRouter a(4);
+  ShardRouter b(4);
+  for (Key key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.ShardOf(key), b.ShardOf(key));
+  }
+}
+
+// Sequential keys (the common entity-id shape) must spread close to
+// uniformly: with 10k keys over 4 shards, each shard expects 2500; a
+// [2200, 2800] band is ~12 sigma for a uniform hash, so a failure means
+// the hash or the range reduction is broken, not bad luck.
+TEST(ShardRouter, SpreadsSequentialKeysEvenly) {
+  ShardRouter router(4);
+  std::vector<size_t> counts(4, 0);
+  for (Key key = 0; key < 10000; ++key) {
+    const size_t shard = router.ShardOf(key);
+    ASSERT_LT(shard, 4u);
+    ++counts[shard];
+  }
+  for (size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(counts[shard], 2200u) << "shard " << shard;
+    EXPECT_LT(counts[shard], 2800u) << "shard " << shard;
+  }
+}
+
+// A hot key is pinned: every occurrence lands on one shard (per-key
+// state never splits), whatever the shard count.
+TEST(ShardRouter, HotKeyStaysOnOneShard) {
+  for (size_t shards : {2u, 3u, 4u, 7u, 16u}) {
+    ShardRouter router(shards);
+    const size_t home = router.ShardOf(42);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(router.ShardOf(42), home) << shards << " shards";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Partitionability: per-key state shapes pass, cross-key shapes do not.
+
+TEST(AnalyzePartitionability, EmptyPlanIsPartitionable) {
+  QuerySpec spec;
+  EXPECT_TRUE(AnalyzePartitionability(spec).partitionable);
+}
+
+TEST(AnalyzePartitionability, FilterAndPerKeyAggregatePass) {
+  QuerySpec spec;
+  spec.AddFilter("f", QuerySpec::Input::Stream("s"), FilterSpec{});
+  AggregateSpec agg;
+  agg.per_key = true;
+  spec.AddAggregate("a", QuerySpec::Input::Node(0), agg);
+  const PartitionAnalysis analysis = AnalyzePartitionability(spec);
+  EXPECT_TRUE(analysis.partitionable) << analysis.reason;
+}
+
+TEST(AnalyzePartitionability, KeyMatchedJoinPasses) {
+  QuerySpec spec;
+  JoinSpec join;
+  join.match_keys = true;
+  spec.AddJoin("j", QuerySpec::Input::Stream("l"),
+               QuerySpec::Input::Stream("r"), join);
+  const PartitionAnalysis analysis = AnalyzePartitionability(spec);
+  EXPECT_TRUE(analysis.partitionable) << analysis.reason;
+}
+
+TEST(AnalyzePartitionability, CrossKeyJoinRejected) {
+  QuerySpec spec;
+  JoinSpec join;
+  join.match_keys = false;
+  spec.AddJoin("j", QuerySpec::Input::Stream("l"),
+               QuerySpec::Input::Stream("r"), join);
+  const PartitionAnalysis analysis = AnalyzePartitionability(spec);
+  EXPECT_FALSE(analysis.partitionable);
+  EXPECT_FALSE(analysis.reason.empty());
+}
+
+TEST(AnalyzePartitionability, DistinctKeySelfJoinRejected) {
+  QuerySpec spec;
+  JoinSpec join;
+  join.match_keys = true;
+  join.require_distinct_keys = true;
+  spec.AddJoin("j", QuerySpec::Input::Stream("s"),
+               QuerySpec::Input::Stream("s"), join);
+  EXPECT_FALSE(AnalyzePartitionability(spec).partitionable);
+}
+
+TEST(AnalyzePartitionability, CrossKeyAggregateRejected) {
+  QuerySpec spec;
+  AggregateSpec agg;
+  agg.per_key = false;
+  spec.AddAggregate("a", QuerySpec::Input::Stream("s"), agg);
+  EXPECT_FALSE(AnalyzePartitionability(spec).partitionable);
+}
+
+// ---------------------------------------------------------------------
+// End to end: the sharded runtime equals the serial one byte for byte.
+// The differential suite pins this across 200 seeds and a full
+// threads x cache x shards grid; this is the fast smoke plus the
+// non-partitionable fallback and the shard metrics naming contract.
+
+TEST(ShardedRuntime, NonPartitionablePlanCollapsesToOneShard) {
+  // Seeds with a cross-key sink (the generator's join archetype uses
+  // require_distinct_keys) still run — on one effective shard.
+  auto kase = testing::GenerateCase(1001);
+  ASSERT_TRUE(kase.ok()) << kase.status().message();
+  ShardedRuntimeOptions options;
+  options.num_shards = 4;
+  options.runtime.collect_outputs = true;
+  auto rt = ShardedRuntime::Make(kase->spec, std::move(options));
+  ASSERT_TRUE(rt.ok()) << rt.status().message();
+  if (!rt->partitionable()) {
+    EXPECT_EQ(rt->num_shards(), 1u);
+  } else {
+    EXPECT_EQ(rt->num_shards(), 4u);
+  }
+}
+
+TEST(ShardedRuntime, ShardMetricsNamesPublished) {
+  auto kase = testing::GenerateCase(1002);
+  ASSERT_TRUE(kase.ok()) << kase.status().message();
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.runtime.collect_outputs = true;
+  auto rt = ShardedRuntime::Make(kase->spec, std::move(options));
+  ASSERT_TRUE(rt.ok()) << rt.status().message();
+  for (size_t i = 0; i < kase->workloads.size(); ++i) {
+    for (const Segment& s : kase->workloads[i].ToSegments()) {
+      ASSERT_TRUE(
+          rt->ProcessSegment(kase->workloads[i].name, s).ok());
+    }
+  }
+  ASSERT_TRUE(rt->Finish().ok());
+  rt->SyncMetrics();
+  const obs::MetricsSnapshot snap = rt->metrics()->Snapshot();
+  if (!obs::kMetricsEnabled) return;
+  // Per-shard mirrors for every effective shard, plus the plain-name
+  // rollup the serving admission controller reads.
+  for (size_t shard = 0; shard < rt->num_shards(); ++shard) {
+    const std::string prefix = "shard/" + std::to_string(shard) + "/";
+    bool found = false;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind(prefix, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no counters under " << prefix;
+  }
+  EXPECT_TRUE(snap.histograms.count("span/runtime/push_segment") > 0 ||
+              snap.counters.count("runtime/segments_in") > 0);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace pulse
