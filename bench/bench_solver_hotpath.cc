@@ -42,6 +42,7 @@
 #include "core/runtime.h"
 #include "math/polynomial.h"
 #include "obs/metrics.h"
+#include "util/cpu_features.h"
 #include "workload/ais.h"
 #include "workload/moving_object.h"
 #include "workload/queries.h"
@@ -387,6 +388,8 @@ int main(int argc, char** argv) {
 
   bench::BenchReport report("solver_hotpath");
   report.ParamUint("repeats", static_cast<uint64_t>(kRepeats));
+  report.ParamString("solver_kernel",
+                     SimdLevelName(ActiveSimdLevel()));
   report.ParamDouble("fig7_prechange_tuples_per_sec",
                      kFig7PreChangeTuplesPerSec);
   for (const ScenarioResult* r : {&fig7, &ais, &replay}) {

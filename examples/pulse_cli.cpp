@@ -32,6 +32,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/tcp_transport.h"
+#include "util/cpu_features.h"
 #include "util/stopwatch.h"
 #include "workload/ais.h"
 #include "workload/moving_object.h"
@@ -167,6 +168,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("parsed query -> %zu operator(s)\n", spec.num_nodes());
+  std::printf("solver kernel: %s (detected %s)\n",
+              SimdLevelName(ActiveSimdLevel()),
+              SimdLevelName(DetectedSimdLevel()));
 
   Stopwatch watch;
   if (options.mode == "serve") {

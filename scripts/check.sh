@@ -3,6 +3,7 @@
 # performance gate.
 #
 #   scripts/check.sh               # build + ctest + TSan + ASan + fuzz + bench
+#   SKIP_SCALAR=1 scripts/check.sh # skip the forced-scalar solver pass
 #   SKIP_TSAN=1 scripts/check.sh   # skip the ThreadSanitizer pass
 #   SKIP_ASAN=1 scripts/check.sh   # skip the ASan/UBSan pass
 #   SKIP_FUZZ=1 scripts/check.sh   # skip the fuzz-smoke stage
@@ -22,6 +23,24 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "${SKIP_SCALAR:-0}" == "1" ]]; then
+  echo "== SKIP_SCALAR=1: skipping forced-scalar pass =="
+else
+  echo "== forced scalar: solver tests with PULSE_FORCE_SCALAR=1 =="
+  # The batched kernels promise bit-identity with the scalar closed
+  # forms (docs/PERFORMANCE.md, "Batched solver kernels"). The tier-1
+  # run above exercises whichever SIMD tier the host dispatches to;
+  # this pass re-runs the solver-adjacent subset with dispatch pinned
+  # to the scalar fallback so both sides of the contract stay covered
+  # regardless of host ISA.
+  for t in batch_kernels_test roots_test equation_system_test \
+           solve_cache_test predicate_test pulse_filter_test \
+           pulse_join_test runtime_test differential_test; do
+    echo "  PULSE_FORCE_SCALAR=1 $t"
+    PULSE_FORCE_SCALAR=1 "$repo/build/tests/$t" --gtest_brief=1
+  done
+fi
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer pass =="

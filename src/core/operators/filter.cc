@@ -28,14 +28,32 @@ Status PulseFilter::Process(size_t port, const Segment& segment,
   ++metrics_.segments_in;
   ++metrics_.solves;
   const AttrResolver resolver = MakeUnaryResolver(segment);
-  // Filters solve on the pushing thread only, so one warm scratch (and
-  // its reused solution set) serves every Process call.
-  static thread_local SolveScratch scratch;
-  IntervalSet solution;
-  PULSE_RETURN_IF_ERROR(predicate_.SolveInto(resolver, segment.range,
-                                             method_, &scratch,
-                                             solve_cache_, &solution));
-  for (const Interval& iv : solution.intervals()) {
+  IntervalSet tree_solution;
+  const IntervalSet* solution = &tree_solution;
+  if (predicate_.IsConjunctive()) {
+    // Conjunctions map onto one equation system and route through the
+    // batched solver (ISSUE 7): rows of equal degree share SIMD lanes,
+    // and the solution is identical to the recursive per-term solve —
+    // each row's time ranges are already clipped to the segment range,
+    // so intersecting them in row order matches intersecting them under
+    // the domain accumulator.
+    PULSE_RETURN_IF_ERROR(
+        predicate_.BuildSystemInto(resolver, &task_scratch_.system));
+    task_scratch_.domain = segment.range;
+    PULSE_RETURN_IF_ERROR(SolveSystemsInto(&task_scratch_, 1, method_,
+                                           /*pool=*/nullptr, solve_cache_,
+                                           &solution_scratch_));
+    solution = &solution_scratch_[0];
+  } else {
+    // Boolean trees solve recursively on the pushing thread; one warm
+    // scratch serves every Process call.
+    static thread_local SolveScratch scratch;
+    PULSE_RETURN_IF_ERROR(predicate_.SolveInto(resolver, segment.range,
+                                               method_, &scratch,
+                                               solve_cache_,
+                                               &tree_solution));
+  }
+  for (const Interval& iv : solution->intervals()) {
     Segment result = segment;
     result.id = NextSegmentId();
     result.range = iv;

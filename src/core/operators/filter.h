@@ -2,6 +2,7 @@
 #define PULSE_CORE_OPERATORS_FILTER_H_
 
 #include <string>
+#include <vector>
 
 #include "core/operators/pulse_operator.h"
 #include "core/predicate.h"
@@ -38,6 +39,11 @@ class PulseFilter : public PulseOperator {
  private:
   Predicate predicate_;
   RootMethod method_;
+  // Per-push scratch for the conjunctive solve path, reused across
+  // pushes so system construction and solution collection stop
+  // allocating once warm. Process runs on the pushing thread only.
+  EquationSystemTask task_scratch_;
+  std::vector<IntervalSet> solution_scratch_;
 };
 
 /// Builds the resolver mapping kLeft attribute references onto one

@@ -37,6 +37,100 @@ PulseJoin::PulseJoin(std::string name, Predicate predicate,
       options_(std::move(options)) {
   PULSE_CHECK(options_.window_seconds > 0.0);
   PULSE_CHECK(!(options_.match_keys && options_.require_distinct_keys));
+  CompilePredicate();
+}
+
+PulseJoin::SlotRef PulseJoin::SlotRefFor(const AttrRef& ref) {
+  std::vector<std::string>& names =
+      slot_names_[ref.side == Side::kLeft ? 0 : 1];
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == ref.name) return SlotRef{ref.side, i};
+  }
+  names.push_back(ref.name);
+  return SlotRef{ref.side, names.size() - 1};
+}
+
+void PulseJoin::CompilePredicate() {
+  if (!predicate_.IsConjunctive()) return;
+  // Flatten in AppendSystemRows order: depth-first, children in order.
+  auto flatten = [this](auto&& self, const Predicate& p) -> void {
+    if (p.kind() == Predicate::Kind::kComparison) {
+      const ComparisonTerm& t = p.term();
+      CompiledRow row;
+      row.kind = t.kind;
+      row.op = t.op;
+      if (t.kind == ComparisonTerm::Kind::kSimple) {
+        row.lhs = SlotRefFor(t.lhs);
+        if (t.rhs.kind == Operand::Kind::kAttribute) {
+          row.rhs_is_attr = true;
+          row.rhs = SlotRefFor(t.rhs.attr);
+        } else {
+          row.rhs_constant = t.rhs.constant;
+        }
+      } else {
+        row.x1 = SlotRefFor(t.x1);
+        row.y1 = SlotRefFor(t.y1);
+        row.x2 = SlotRefFor(t.x2);
+        row.y2 = SlotRefFor(t.y2);
+        row.threshold = t.threshold;
+      }
+      compiled_rows_.push_back(std::move(row));
+      return;
+    }
+    for (const Predicate& c : p.children()) self(self, c);
+  };
+  flatten(flatten, predicate_);
+  compiled_ = true;
+}
+
+PulseJoin::ResolvedAttrs PulseJoin::Resolve(Side side,
+                                            const Segment& segment) const {
+  ResolvedAttrs r;
+  const std::vector<std::string>& names =
+      slot_names_[side == Side::kLeft ? 0 : 1];
+  r.ptr.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = segment.attributes.find(name);
+    if (it == segment.attributes.end()) return r;  // complete = false
+    r.ptr.push_back(&it->second);
+  }
+  r.complete = true;
+  return r;
+}
+
+void PulseJoin::BuildCompiledSystem(const ResolvedAttrs& left,
+                                    const ResolvedAttrs& right,
+                                    EquationSystem* out) const {
+  out->Clear();
+  auto poly = [&left, &right](const SlotRef& s) -> const Polynomial& {
+    return *(s.side == Side::kLeft ? left : right).ptr[s.slot];
+  };
+  for (const CompiledRow& row : compiled_rows_) {
+    if (row.kind == ComparisonTerm::Kind::kSimple) {
+      Polynomial lhs = poly(row.lhs);
+      if (row.rhs_is_attr) {
+        out->AddRow(
+            MakeDifferenceEquation(std::move(lhs), row.op, poly(row.rhs)));
+      } else {
+        out->AddRow(MakeDifferenceEquation(
+            std::move(lhs), row.op, Polynomial::Constant(row.rhs_constant)));
+      }
+      continue;
+    }
+    // Distance term, same op sequence as Predicate::BuildRow:
+    // (x1-x2)^2 + (y1-y2)^2 - c^2 R 0.
+    Polynomial dx = poly(row.x1);
+    dx.SubInPlace(poly(row.x2));
+    Polynomial dy = poly(row.y1);
+    dy.SubInPlace(poly(row.y2));
+    Polynomial diff;
+    Polynomial::Mul(dx, dx, &diff);
+    Polynomial dy2;
+    Polynomial::Mul(dy, dy, &dy2);
+    diff.AddInPlace(dy2);
+    diff.SubInPlace(Polynomial::Constant(row.threshold * row.threshold));
+    out->AddRow(DifferenceEquation{std::move(diff), row.op});
+  }
 }
 
 bool PulseJoin::KeysAdmissible(const Segment& a, const Segment& b) const {
@@ -47,13 +141,17 @@ bool PulseJoin::KeysAdmissible(const Segment& a, const Segment& b) const {
 
 void PulseJoin::Expire(double now) {
   const double horizon = now - options_.window_seconds;
-  auto expire_side = [horizon](std::deque<Segment>* side) {
+  auto expire_side = [horizon](std::deque<Segment>* side,
+                               std::deque<ResolvedAttrs>* resolved) {
     while (!side->empty() && side->front().range.hi < horizon) {
       side->pop_front();
+      // Kept in lockstep with the segment deque (empty when the
+      // predicate is not compiled).
+      if (!resolved->empty()) resolved->pop_front();
     }
   };
-  expire_side(&left_);
-  expire_side(&right_);
+  expire_side(&left_, &left_resolved_);
+  expire_side(&right_, &right_resolved_);
   if (options_.use_segment_index) {
     left_index_.ExpireBefore(horizon);
     right_index_.ExpireBefore(horizon);
@@ -91,21 +189,30 @@ Segment PulseJoin::MakeJoined(const Segment& left, const Segment& right,
 
 Status PulseJoin::MatchPartners(size_t port, const Segment& segment,
                                 const std::vector<const Segment*>& partners,
+                                const ResolvedAttrs* probe_resolved,
+                                const std::deque<ResolvedAttrs>* partner_resolved,
                                 SegmentBatch* out) {
   struct Pair {
     const Segment* left;
     const Segment* right;
+    const ResolvedAttrs* left_resolved;
+    const ResolvedAttrs* right_resolved;
     Interval overlap;
   };
   std::vector<Pair> pairs;
   pairs.reserve(partners.size());
-  for (const Segment* partner : partners) {
+  for (size_t idx = 0; idx < partners.size(); ++idx) {
+    const Segment* partner = partners[idx];
     if (!KeysAdmissible(segment, *partner)) continue;
+    const ResolvedAttrs* partner_res =
+        partner_resolved != nullptr ? &(*partner_resolved)[idx] : nullptr;
     const Segment* left = (port == 0) ? &segment : partner;
     const Segment* right = (port == 0) ? partner : &segment;
+    const ResolvedAttrs* lr = (port == 0) ? probe_resolved : partner_res;
+    const ResolvedAttrs* rr = (port == 0) ? partner_res : probe_resolved;
     const Interval overlap = left->range.Intersect(right->range);
     if (overlap.IsEmpty()) continue;
-    pairs.push_back(Pair{left, right, overlap});
+    pairs.push_back(Pair{left, right, lr, rr, overlap});
   }
   if (pairs.empty()) return Status::OK();
   metrics_.solves += pairs.size();
@@ -124,8 +231,17 @@ Status PulseJoin::MatchPartners(size_t port, const Segment& segment,
     }
     for (size_t i = 0; i < pairs.size(); ++i) {
       const Pair& p = pairs[i];
-      PULSE_RETURN_IF_ERROR(predicate_.BuildSystemInto(
-          MakeBinaryResolver(*p.left, *p.right), &task_scratch_[i].system));
+      // Compiled fast path when both sides resolved every referenced
+      // attribute; resolver path otherwise (identical rows and, when an
+      // attribute is missing, identical error statuses).
+      if (p.left_resolved != nullptr && p.left_resolved->complete &&
+          p.right_resolved != nullptr && p.right_resolved->complete) {
+        BuildCompiledSystem(*p.left_resolved, *p.right_resolved,
+                            &task_scratch_[i].system);
+      } else {
+        PULSE_RETURN_IF_ERROR(predicate_.BuildSystemInto(
+            MakeBinaryResolver(*p.left, *p.right), &task_scratch_[i].system));
+      }
       task_scratch_[i].domain = p.overlap;
     }
     PULSE_RETURN_IF_ERROR(SolveSystemsInto(task_scratch_.data(),
@@ -175,7 +291,9 @@ Status PulseJoin::Process(size_t port, const Segment& segment,
   Expire(latest_time_);
   if (options_.use_segment_index) {
     // Indexed probing (future-work extension): only partner segments
-    // overlapping the newcomer's range are examined.
+    // overlapping the newcomer's range are examined. The index owns its
+    // own segment storage, so no resolved tables exist for it — pairs
+    // build through the resolver path.
     const SegmentIndex& partners =
         (port == 0) ? right_index_ : left_index_;
     std::vector<const Segment*> overlaps;
@@ -184,7 +302,9 @@ Status PulseJoin::Process(size_t port, const Segment& segment,
     } else {
       partners.QueryOverlaps(segment.range, &overlaps);
     }
-    PULSE_RETURN_IF_ERROR(MatchPartners(port, segment, overlaps, out));
+    PULSE_RETURN_IF_ERROR(MatchPartners(port, segment, overlaps,
+                                        /*probe_resolved=*/nullptr,
+                                        /*partner_resolved=*/nullptr, out));
     if (port == 0) {
       left_index_.Insert(segment);
     } else {
@@ -197,11 +317,29 @@ Status PulseJoin::Process(size_t port, const Segment& segment,
   std::vector<const Segment*> candidates;
   candidates.reserve(partners.size());
   for (const Segment& partner : partners) candidates.push_back(&partner);
-  PULSE_RETURN_IF_ERROR(MatchPartners(port, segment, candidates, out));
+  ResolvedAttrs probe_resolved;
+  const ResolvedAttrs* probe = nullptr;
+  const std::deque<ResolvedAttrs>* partner_resolved = nullptr;
+  if (compiled_) {
+    probe_resolved =
+        Resolve(port == 0 ? Side::kLeft : Side::kRight, segment);
+    probe = &probe_resolved;
+    partner_resolved = (port == 0) ? &right_resolved_ : &left_resolved_;
+  }
+  PULSE_RETURN_IF_ERROR(
+      MatchPartners(port, segment, candidates, probe, partner_resolved, out));
   if (port == 0) {
     left_.push_back(segment);
+    // Resolve against the stored copy: its attribute-map nodes are the
+    // ones the pointer table must outlive-match.
+    if (compiled_) {
+      left_resolved_.push_back(Resolve(Side::kLeft, left_.back()));
+    }
   } else {
     right_.push_back(segment);
+    if (compiled_) {
+      right_resolved_.push_back(Resolve(Side::kRight, right_.back()));
+    }
   }
   metrics_.state_size = left_.size() + right_.size();
   return Status::OK();

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "core/operators/pulse_operator.h"
 #include "core/predicate.h"
@@ -76,13 +77,62 @@ class PulseJoin : public PulseOperator {
   const SegmentIndex& right_index() const { return right_index_; }
 
  private:
+  // --- Compiled predicate row program -------------------------------
+  // Conjunctive predicates are flattened once at construction into
+  // comparison rows whose attribute references are slot indices into
+  // per-side name tables. Stored segments then carry tables of resolved
+  // `const Polynomial*` (attribute-map nodes are pointer-stable and
+  // deque elements never move), so the per-pair system build is pointer
+  // dereferences instead of a resolver std::function, per-row attribute
+  // map probes, and Result<Polynomial> copies — the dominant non-solve
+  // cost of the Fig. 7 join hot path. Pairs touching a segment that
+  // lacks a referenced attribute fall back to the resolver path, so
+  // error statuses are identical to the uncompiled build.
+  struct SlotRef {
+    Side side = Side::kLeft;
+    size_t slot = 0;
+  };
+  struct CompiledRow {
+    ComparisonTerm::Kind kind = ComparisonTerm::Kind::kSimple;
+    CmpOp op = CmpOp::kEq;
+    // kSimple operands.
+    SlotRef lhs;
+    bool rhs_is_attr = false;
+    SlotRef rhs;
+    double rhs_constant = 0.0;
+    // kDistance2 operands.
+    SlotRef x1, y1, x2, y2;
+    double threshold = 0.0;
+  };
+  // Slot -> polynomial table for one side of one segment. `complete` is
+  // false when any referenced attribute is absent from the segment.
+  struct ResolvedAttrs {
+    std::vector<const Polynomial*> ptr;
+    bool complete = false;
+  };
+
+  void CompilePredicate();
+  SlotRef SlotRefFor(const AttrRef& ref);
+  ResolvedAttrs Resolve(Side side, const Segment& segment) const;
+  // Rebuilds *out from resolved operand pointers with the exact
+  // polynomial-arithmetic sequence of Predicate::BuildRow, so the rows
+  // (and everything solved from them) are bit-identical to the resolver
+  // path's.
+  void BuildCompiledSystem(const ResolvedAttrs& left,
+                           const ResolvedAttrs& right,
+                           EquationSystem* out) const;
+
   // Solves `segment` (arrived on `port`) against every admissible stored
   // partner. Root-finding fans out across the operator's thread pool
   // when one is installed; emission (ids, lineage, output order) stays
   // on the calling thread in partner order, so parallel and serial runs
-  // produce identical batches.
+  // produce identical batches. `probe_resolved` / `partner_resolved`
+  // (nullable) carry the compiled row program's pointer tables for the
+  // incoming segment and the partner deque (parallel to `partners`).
   Status MatchPartners(size_t port, const Segment& segment,
                        const std::vector<const Segment*>& partners,
+                       const ResolvedAttrs* probe_resolved,
+                       const std::deque<ResolvedAttrs>* partner_resolved,
                        SegmentBatch* out);
   bool KeysAdmissible(const Segment& a, const Segment& b) const;
   void Expire(double now);
@@ -91,6 +141,13 @@ class PulseJoin : public PulseOperator {
 
   Predicate predicate_;
   PulseJoinOptions options_;
+  bool compiled_ = false;
+  std::vector<CompiledRow> compiled_rows_;
+  std::vector<std::string> slot_names_[2];  // [0] = left, [1] = right
+  // Resolved tables for the stored segments, kept in lockstep with
+  // left_ / right_ (maintained only when compiled_).
+  std::deque<ResolvedAttrs> left_resolved_;
+  std::deque<ResolvedAttrs> right_resolved_;
   // Per-push scratch for the conjunctive fan-out, reused across pushes
   // so pair-system construction and solution collection stop allocating
   // once warm (docs/PERFORMANCE.md). Only MatchPartners (serial, calling

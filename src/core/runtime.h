@@ -90,9 +90,11 @@ class PredictiveRuntime {
     /// Solver fan-out; default is serial execution.
     ParallelOptions parallel;
     /// Difference-polynomial solve memoization; nullopt disables. The
-    /// default (exact keys) is deterministic: output is bit-identical to
-    /// an uncached run.
-    std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
+    /// default (exact keys, min_degree = 3 so the batched closed-form
+    /// kernels own low degrees) is deterministic: output is
+    /// bit-identical to an uncached run.
+    std::optional<SolveCacheOptions> solve_cache =
+        DefaultRuntimeSolveCacheOptions();
     /// Registry all runtime/operator counters report through. Must
     /// outlive the runtime. nullptr (the default) gives the runtime a
     /// private registry, so counters from concurrent runtimes in one
@@ -313,8 +315,11 @@ class HistoricalRuntime {
     /// Difference-polynomial solve memoization; nullopt disables. Replay
     /// runs (ProcessSegment over a previously fitted trace) hit the cache
     /// heavily — identical difference polynomials recur across what-if
-    /// variants of one model set.
-    std::optional<SolveCacheOptions> solve_cache = SolveCacheOptions{};
+    /// variants of one model set. Low-degree rows are excluded by the
+    /// default min_degree = 3: the batched closed forms resolve them
+    /// faster than a hit (docs/PERFORMANCE.md "replay_cached anomaly").
+    std::optional<SolveCacheOptions> solve_cache =
+        DefaultRuntimeSolveCacheOptions();
     /// Externally owned cache used INSTEAD of creating one from
     /// `solve_cache` (which is then ignored). Must outlive the runtime.
     /// This is how every client runtime on one shard shares the shard's

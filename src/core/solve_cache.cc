@@ -23,6 +23,15 @@ double Quantize(double v, double quantum) {
 
 }  // namespace
 
+SolveCacheOptions DefaultRuntimeSolveCacheOptions() {
+  SolveCacheOptions options;
+  // Degree <= 2 closed forms are cheaper than a cache hit (ISSUE 7's
+  // replay_cached anomaly) and the batched kernels solve them in bulk;
+  // reserve cache capacity for the rows that are actually expensive.
+  options.min_degree = 3;
+  return options;
+}
+
 SolveCache::SolveCache(SolveCacheOptions options)
     : options_(options) {
   if (options_.shards == 0) options_.shards = 1;
@@ -41,6 +50,8 @@ bool SolveCache::MakeKey(const Polynomial& diff, CmpOp op,
                          Key* key) const {
   const size_t n = diff.IsZero() ? 0 : diff.degree() + 1;
   if (n > Polynomial::kInlineCoefficients) return false;
+  const size_t degree = n == 0 ? 0 : n - 1;
+  if (degree < options_.min_degree) return false;
   key->coeffs.fill(0);
   const bool quantized = options_.quantum > 0.0;
   for (size_t i = 0; i < n; ++i) {
@@ -57,28 +68,28 @@ bool SolveCache::MakeKey(const Polynomial& diff, CmpOp op,
   key->method = static_cast<uint8_t>(method);
   key->lo_open = domain.lo_open ? 1 : 0;
   key->hi_open = domain.hi_open ? 1 : 0;
-  return true;
-}
-
-size_t SolveCache::KeyHash::operator()(const Key& k) const {
-  // FNV-1a over the packed words; the key is plain old data.
+  // FNV-1a over the packed words; computed once here so the shard pick
+  // and both generation probes reuse it (the hash was the single
+  // largest cost of a hit on low-degree rows).
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t word) {
     h ^= word;
     h *= 1099511628211ull;
   };
-  for (uint64_t w : k.coeffs) mix(w);
-  mix(k.domain_lo);
-  mix(k.domain_hi);
-  mix(static_cast<uint64_t>(k.size) | (static_cast<uint64_t>(k.op) << 32) |
-      (static_cast<uint64_t>(k.method) << 40) |
-      (static_cast<uint64_t>(k.lo_open) << 48) |
-      (static_cast<uint64_t>(k.hi_open) << 56));
-  return static_cast<size_t>(h);
+  for (uint64_t w : key->coeffs) mix(w);
+  mix(key->domain_lo);
+  mix(key->domain_hi);
+  mix(static_cast<uint64_t>(key->size) |
+      (static_cast<uint64_t>(key->op) << 32) |
+      (static_cast<uint64_t>(key->method) << 40) |
+      (static_cast<uint64_t>(key->lo_open) << 48) |
+      (static_cast<uint64_t>(key->hi_open) << 56));
+  key->hash = h;
+  return true;
 }
 
 SolveCache::Shard& SolveCache::ShardFor(const Key& key) {
-  return *shards_[KeyHash{}(key) % shards_.size()];
+  return *shards_[key.hash % shards_.size()];
 }
 
 bool SolveCache::Lookup(const Polynomial& diff, CmpOp op,

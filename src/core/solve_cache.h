@@ -38,7 +38,26 @@ struct SolveCacheOptions {
   /// quantum/2 away per coefficient. See docs/PERFORMANCE.md for the
   /// trade-off discussion. Determinism tests run with quantum == 0.
   double quantum = 0.0;
+
+  /// Rows whose difference polynomial has degree below this are not
+  /// cached (they count as `uncacheable`, preserving
+  /// hits + misses + uncacheable == lookups). Rationale (ISSUE 7): a
+  /// degree <= 2 closed-form solve is a handful of register ops — cheaper
+  /// than the key copy + hash + shard lock + map probe + IntervalSet copy
+  /// a hit costs — and the batched SIMD kernels make low-degree rows
+  /// cheaper still. The struct default keeps everything cacheable (unit
+  /// tests exercise low degrees); runtimes default to
+  /// DefaultRuntimeSolveCacheOptions(), which sets 3 so the cache covers
+  /// exactly the degrees the closed-form kernels do not (Sturm chains,
+  /// transcendental-heavy cubics). See docs/PERFORMANCE.md
+  /// "replay_cached anomaly".
+  size_t min_degree = 0;
 };
+
+/// The SolveCacheOptions runtimes construct by default: exact keys with
+/// min_degree = 3, so the cache serves only rows the batched closed-form
+/// kernels cannot solve faster than a lookup.
+SolveCacheOptions DefaultRuntimeSolveCacheOptions();
 
 /// Point-in-time view of one cache's traffic counters (plain data —
 /// safe to keep after the cache is gone). The shard pool reads these
@@ -81,8 +100,8 @@ class SolveCache {
 
   /// On hit copies the cached solution into *out and returns true.
   /// Returns false (and counts a miss) otherwise. Rows that are not
-  /// cacheable (degree > 7) return false and count as `uncacheable`.
-  /// Every call counts as one lookup, so
+  /// cacheable (degree > 7, or degree < options.min_degree) return false
+  /// and count as `uncacheable`. Every call counts as one lookup, so
   /// hits + misses + uncacheable == lookups at any quiescent point.
   bool Lookup(const Polynomial& diff, CmpOp op, const Interval& domain,
               RootMethod method, IntervalSet* out);
@@ -99,7 +118,8 @@ class SolveCache {
   uint64_t lookups() const {
     return lookups_.load(std::memory_order_relaxed);
   }
-  /// Lookup calls rejected because the row cannot be keyed (degree > 7).
+  /// Lookup calls rejected because the row cannot be keyed (degree > 7)
+  /// or falls under the min_degree cache policy.
   uint64_t uncacheable() const {
     return uncacheable_.load(std::memory_order_relaxed);
   }
@@ -122,6 +142,10 @@ class SolveCache {
     std::array<uint64_t, Polynomial::kInlineCoefficients> coeffs;
     uint64_t domain_lo = 0;
     uint64_t domain_hi = 0;
+    // FNV-1a over the other fields, filled by MakeKey so a Lookup hashes
+    // once instead of three times (shard pick + two generation probes).
+    // Equal keys derive equal hashes, so the defaulted == stays correct.
+    uint64_t hash = 0;
     uint32_t size = 0;
     uint8_t op = 0;
     uint8_t method = 0;
@@ -132,7 +156,9 @@ class SolveCache {
   };
 
   struct KeyHash {
-    size_t operator()(const Key& k) const;
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.hash);
+    }
   };
 
   using Map = std::unordered_map<Key, IntervalSet, KeyHash>;

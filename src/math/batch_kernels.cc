@@ -1,0 +1,323 @@
+#include "math/batch_kernels.h"
+
+#include <array>
+
+#include "math/roots_internal.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>  // SSE2: x86-64 baseline, no extra flags needed
+#define PULSE_BATCH_HAVE_SSE2 1
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define PULSE_BATCH_HAVE_NEON 1
+#endif
+
+namespace pulse {
+namespace batch_internal {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier: thin SoA loops over the roots.cc closed forms.
+// Every vector tier must match these bit for bit; the unit contract for
+// unused root slots (zeroed) lives here too.
+// ---------------------------------------------------------------------------
+
+void ScalarHorner(const double* const* c, size_t degree, const double* t,
+                  double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // Pinned to Polynomial::Evaluate: acc starts at 0.0 so the top
+    // coefficient passes through one acc * t + c step (matters at ±inf).
+    double acc = 0.0;
+    const double ti = t[i];
+    for (size_t j = degree + 1; j-- > 0;) {
+      acc = acc * ti + c[j][i];
+    }
+    out[i] = acc;
+  }
+}
+
+void ScalarLinearRoots(const double* c0, const double* c1, double* r0,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double r[1];
+    roots_internal::LinearRoot(c0[i], c1[i], r);
+    r0[i] = r[0];
+  }
+}
+
+void ScalarQuadraticRoots(const double* c0, const double* c1,
+                          const double* c2, double* r0, double* r1,
+                          uint8_t* count, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double r[2] = {0.0, 0.0};
+    const int m = roots_internal::QuadraticRoots(c0[i], c1[i], c2[i], r);
+    r0[i] = r[0];
+    r1[i] = r[1];
+    count[i] = static_cast<uint8_t>(m);
+  }
+}
+
+void ScalarCubicRoots(const double* c0, const double* c1, const double* c2,
+                      const double* c3, double* r0, double* r1, double* r2,
+                      uint8_t* count, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double r[3] = {0.0, 0.0, 0.0};
+    const int m =
+        roots_internal::CubicRoots(c0[i], c1[i], c2[i], c3[i], r);
+    r0[i] = r[0];
+    r1[i] = r[1];
+    r2[i] = r[2];
+    count[i] = static_cast<uint8_t>(m);
+  }
+}
+
+namespace {
+
+// Delegates the trailing lanes a vector kernel cannot fill to the scalar
+// reference. `i` is the first unprocessed lane.
+void HornerTail(const double* const* c, size_t degree, const double* t,
+                double* out, size_t i, size_t n) {
+  if (i >= n) return;
+  std::array<const double*, 8> shifted;
+  for (size_t j = 0; j <= degree; ++j) shifted[j] = c[j] + i;
+  ScalarHorner(shifted.data(), degree, t + i, out + i, n - i);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSE2 tier (x86-64 baseline, 2 lanes).
+// ---------------------------------------------------------------------------
+
+#if defined(PULSE_BATCH_HAVE_SSE2)
+namespace {
+
+inline __m128d Select2(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+void Sse2Horner(const double* const* c, size_t degree, const double* t,
+                double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d ti = _mm_loadu_pd(t + i);
+    __m128d acc = _mm_setzero_pd();
+    for (size_t j = degree + 1; j-- > 0;) {
+      acc = _mm_add_pd(_mm_mul_pd(acc, ti), _mm_loadu_pd(c[j] + i));
+    }
+    _mm_storeu_pd(out + i, acc);
+  }
+  HornerTail(c, degree, t, out, i, n);
+}
+
+void Sse2LinearRoots(const double* c0, const double* c1, double* r0,
+                     size_t n) {
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d neg_c0 = _mm_xor_pd(_mm_loadu_pd(c0 + i), sign_mask);
+    _mm_storeu_pd(r0 + i, _mm_div_pd(neg_c0, _mm_loadu_pd(c1 + i)));
+  }
+  if (i < n) ScalarLinearRoots(c0 + i, c1 + i, r0 + i, n - i);
+}
+
+void Sse2QuadraticRoots(const double* c0, const double* c1,
+                        const double* c2, double* r0, double* r1,
+                        uint8_t* count, size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d sign_mask = _mm_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d a = _mm_loadu_pd(c2 + i);
+    const __m128d b = _mm_loadu_pd(c1 + i);
+    const __m128d c = _mm_loadu_pd(c0 + i);
+    // disc = b * b - (4.0 * a) * c, in the scalar evaluation order.
+    const __m128d disc = _mm_sub_pd(
+        _mm_mul_pd(b, b),
+        _mm_mul_pd(_mm_mul_pd(_mm_set1_pd(4.0), a), c));
+    // Ordered compares: both masks false for NaN disc, exactly like the
+    // scalar `disc < 0.0` / `disc == 0.0` branches.
+    const __m128d m_neg = _mm_cmplt_pd(disc, zero);
+    const __m128d m_eq = _mm_cmpeq_pd(disc, zero);
+    // copysign(sqrt(disc), b) as bit ops (exact).
+    const __m128d sq = _mm_sqrt_pd(disc);
+    const __m128d cs =
+        _mm_or_pd(_mm_andnot_pd(sign_mask, sq), _mm_and_pd(sign_mask, b));
+    const __m128d q = _mm_mul_pd(_mm_set1_pd(-0.5), _mm_add_pd(b, cs));
+    const __m128d r0_gen = _mm_div_pd(q, a);
+    // q == 0.0 selects the scalar else-branch value 0.0 (andnot zeroes
+    // the lane); NaN q compares false and keeps c / q, like `q != 0.0`.
+    const __m128d q_zero = _mm_cmpeq_pd(q, zero);
+    const __m128d r1_gen = _mm_andnot_pd(q_zero, _mm_div_pd(c, q));
+    const __m128d r0_eq =
+        _mm_div_pd(_mm_xor_pd(b, sign_mask),
+                   _mm_mul_pd(_mm_set1_pd(2.0), a));
+    __m128d r0v = Select2(m_eq, r0_eq, r0_gen);
+    r0v = _mm_andnot_pd(m_neg, r0v);
+    const __m128d r1v = _mm_andnot_pd(_mm_or_pd(m_neg, m_eq), r1_gen);
+    _mm_storeu_pd(r0 + i, r0v);
+    _mm_storeu_pd(r1 + i, r1v);
+    const int neg_mask = _mm_movemask_pd(m_neg);
+    const int eq_mask = _mm_movemask_pd(m_eq);
+    for (int lane = 0; lane < 2; ++lane) {
+      count[i + lane] = ((neg_mask >> lane) & 1)
+                            ? 0
+                            : (((eq_mask >> lane) & 1) ? 1 : 2);
+    }
+  }
+  if (i < n) {
+    ScalarQuadraticRoots(c0 + i, c1 + i, c2 + i, r0 + i, r1 + i, count + i,
+                         n - i);
+  }
+}
+
+}  // namespace
+#endif  // PULSE_BATCH_HAVE_SSE2
+
+// ---------------------------------------------------------------------------
+// NEON tier (aarch64 baseline, 2 lanes).
+// ---------------------------------------------------------------------------
+
+#if defined(PULSE_BATCH_HAVE_NEON)
+namespace {
+
+inline float64x2_t AndNotF64(uint64x2_t mask, float64x2_t v) {
+  return vreinterpretq_f64_u64(vbicq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+void NeonHorner(const double* const* c, size_t degree, const double* t,
+                double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t ti = vld1q_f64(t + i);
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t j = degree + 1; j-- > 0;) {
+      // Separate mul + add; vfmaq would fuse and break bit-identity.
+      acc = vaddq_f64(vmulq_f64(acc, ti), vld1q_f64(c[j] + i));
+    }
+    vst1q_f64(out + i, acc);
+  }
+  HornerTail(c, degree, t, out, i, n);
+}
+
+void NeonLinearRoots(const double* c0, const double* c1, double* r0,
+                     size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(r0 + i,
+              vdivq_f64(vnegq_f64(vld1q_f64(c0 + i)), vld1q_f64(c1 + i)));
+  }
+  if (i < n) ScalarLinearRoots(c0 + i, c1 + i, r0 + i, n - i);
+}
+
+void NeonQuadraticRoots(const double* c0, const double* c1,
+                        const double* c2, double* r0, double* r1,
+                        uint8_t* count, size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const uint64x2_t sign_mask = vdupq_n_u64(0x8000000000000000ull);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t a = vld1q_f64(c2 + i);
+    const float64x2_t b = vld1q_f64(c1 + i);
+    const float64x2_t c = vld1q_f64(c0 + i);
+    const float64x2_t disc = vsubq_f64(
+        vmulq_f64(b, b), vmulq_f64(vmulq_f64(vdupq_n_f64(4.0), a), c));
+    const uint64x2_t m_neg = vcltq_f64(disc, zero);
+    const uint64x2_t m_eq = vceqq_f64(disc, zero);
+    const float64x2_t sq = vsqrtq_f64(disc);
+    // copysign via bit-select of the sign bit from b.
+    const float64x2_t cs = vbslq_f64(sign_mask, b, sq);
+    const float64x2_t q = vmulq_f64(vdupq_n_f64(-0.5), vaddq_f64(b, cs));
+    const float64x2_t r0_gen = vdivq_f64(q, a);
+    const uint64x2_t q_zero = vceqq_f64(q, zero);
+    const float64x2_t r1_gen = AndNotF64(q_zero, vdivq_f64(c, q));
+    const float64x2_t r0_eq =
+        vdivq_f64(vnegq_f64(b), vmulq_f64(vdupq_n_f64(2.0), a));
+    float64x2_t r0v = vbslq_f64(m_eq, r0_eq, r0_gen);
+    r0v = AndNotF64(m_neg, r0v);
+    const float64x2_t r1v = AndNotF64(vorrq_u64(m_neg, m_eq), r1_gen);
+    vst1q_f64(r0 + i, r0v);
+    vst1q_f64(r1 + i, r1v);
+    const uint64_t neg0 = vgetq_lane_u64(m_neg, 0);
+    const uint64_t neg1 = vgetq_lane_u64(m_neg, 1);
+    const uint64_t eq0 = vgetq_lane_u64(m_eq, 0);
+    const uint64_t eq1 = vgetq_lane_u64(m_eq, 1);
+    count[i] = neg0 ? 0 : (eq0 ? 1 : 2);
+    count[i + 1] = neg1 ? 0 : (eq1 ? 1 : 2);
+  }
+  if (i < n) {
+    ScalarQuadraticRoots(c0 + i, c1 + i, c2 + i, r0 + i, r1 + i, count + i,
+                         n - i);
+  }
+}
+
+}  // namespace
+#endif  // PULSE_BATCH_HAVE_NEON
+
+}  // namespace batch_internal
+
+namespace {
+
+const BatchKernels kScalarKernels = {
+    "scalar",
+    &batch_internal::ScalarHorner,
+    &batch_internal::ScalarLinearRoots,
+    &batch_internal::ScalarQuadraticRoots,
+    &batch_internal::ScalarCubicRoots,
+};
+
+#if defined(PULSE_BATCH_HAVE_SSE2)
+const BatchKernels kSse2Kernels = {
+    "sse2",
+    &batch_internal::Sse2Horner,
+    &batch_internal::Sse2LinearRoots,
+    &batch_internal::Sse2QuadraticRoots,
+    &batch_internal::ScalarCubicRoots,  // lane-scalar: libm transcendentals
+};
+#endif
+
+#if defined(PULSE_BATCH_HAVE_NEON)
+const BatchKernels kNeonKernels = {
+    "neon",
+    &batch_internal::NeonHorner,
+    &batch_internal::NeonLinearRoots,
+    &batch_internal::NeonQuadraticRoots,
+    &batch_internal::ScalarCubicRoots,  // lane-scalar: libm transcendentals
+};
+#endif
+
+}  // namespace
+
+const BatchKernels& ScalarBatchKernels() { return kScalarKernels; }
+
+const BatchKernels& BatchKernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2: {
+      const BatchKernels* avx2 = batch_internal::Avx2BatchKernelsOrNull();
+      if (avx2 != nullptr) return *avx2;
+      return BatchKernelsFor(SimdLevel::kSse2);
+    }
+    case SimdLevel::kSse2:
+#if defined(PULSE_BATCH_HAVE_SSE2)
+      return kSse2Kernels;
+#else
+      return kScalarKernels;
+#endif
+    case SimdLevel::kNeon:
+#if defined(PULSE_BATCH_HAVE_NEON)
+      return kNeonKernels;
+#else
+      return kScalarKernels;
+#endif
+    case SimdLevel::kScalar:
+      return kScalarKernels;
+  }
+  return kScalarKernels;
+}
+
+const BatchKernels& ActiveBatchKernels() {
+  return BatchKernelsFor(ActiveSimdLevel());
+}
+
+}  // namespace pulse

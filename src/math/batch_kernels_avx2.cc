@@ -1,0 +1,137 @@
+// AVX2 tier of the batched solver kernels. This is the only translation
+// unit compiled with -mavx2 (see src/CMakeLists.txt); everything else in
+// the binary stays at baseline flags so the dispatcher can safely fall
+// back on non-AVX2 hosts. Deliberately no -mfma and no fused intrinsics:
+// every operation here is a correctly-rounded IEEE-754 add/sub/mul/div/
+// sqrt or a bit operation, in the exact order of the scalar closed forms
+// in roots.cc, so results are bit-identical to the scalar tier.
+// Remainder lanes delegate to the batch_internal::Scalar* entry points,
+// which live in batch_kernels.cc and are compiled with baseline flags.
+
+#include "math/batch_kernels.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstddef>
+
+namespace pulse {
+namespace batch_internal {
+namespace {
+
+inline __m256d Select4(__m256d mask, __m256d a, __m256d b) {
+  return _mm256_blendv_pd(b, a, mask);
+}
+
+void Avx2Horner(const double* const* c, size_t degree, const double* t,
+                double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ti = _mm256_loadu_pd(t + i);
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t j = degree + 1; j-- > 0;) {
+      // Separate mul + add; _mm256_fmadd_pd would fuse and break
+      // bit-identity with Polynomial::Evaluate.
+      acc = _mm256_add_pd(_mm256_mul_pd(acc, ti),
+                          _mm256_loadu_pd(c[j] + i));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  if (i < n) {
+    std::array<const double*, 8> shifted;
+    for (size_t j = 0; j <= degree; ++j) shifted[j] = c[j] + i;
+    ScalarHorner(shifted.data(), degree, t + i, out + i, n - i);
+  }
+}
+
+void Avx2LinearRoots(const double* c0, const double* c1, double* r0,
+                     size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d neg_c0 = _mm256_xor_pd(_mm256_loadu_pd(c0 + i), sign_mask);
+    _mm256_storeu_pd(r0 + i, _mm256_div_pd(neg_c0, _mm256_loadu_pd(c1 + i)));
+  }
+  if (i < n) ScalarLinearRoots(c0 + i, c1 + i, r0 + i, n - i);
+}
+
+void Avx2QuadraticRoots(const double* c0, const double* c1,
+                        const double* c2, double* r0, double* r1,
+                        uint8_t* count, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(c2 + i);
+    const __m256d b = _mm256_loadu_pd(c1 + i);
+    const __m256d c = _mm256_loadu_pd(c0 + i);
+    // disc = b * b - (4.0 * a) * c, in the scalar evaluation order.
+    const __m256d disc = _mm256_sub_pd(
+        _mm256_mul_pd(b, b),
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(4.0), a), c));
+    // Ordered-quiet compares: false for NaN disc, exactly like the
+    // scalar `disc < 0.0` / `disc == 0.0` branches.
+    const __m256d m_neg = _mm256_cmp_pd(disc, zero, _CMP_LT_OQ);
+    const __m256d m_eq = _mm256_cmp_pd(disc, zero, _CMP_EQ_OQ);
+    // copysign(sqrt(disc), b) as bit ops (exact).
+    const __m256d sq = _mm256_sqrt_pd(disc);
+    const __m256d cs = _mm256_or_pd(_mm256_andnot_pd(sign_mask, sq),
+                                    _mm256_and_pd(sign_mask, b));
+    const __m256d q =
+        _mm256_mul_pd(_mm256_set1_pd(-0.5), _mm256_add_pd(b, cs));
+    const __m256d r0_gen = _mm256_div_pd(q, a);
+    // q == 0.0 selects the scalar else-branch value 0.0; NaN q compares
+    // false and keeps c / q, matching `q != 0.0`.
+    const __m256d q_zero = _mm256_cmp_pd(q, zero, _CMP_EQ_OQ);
+    const __m256d r1_gen = _mm256_andnot_pd(q_zero, _mm256_div_pd(c, q));
+    const __m256d r0_eq =
+        _mm256_div_pd(_mm256_xor_pd(b, sign_mask),
+                      _mm256_mul_pd(_mm256_set1_pd(2.0), a));
+    __m256d r0v = Select4(m_eq, r0_eq, r0_gen);
+    r0v = _mm256_andnot_pd(m_neg, r0v);
+    const __m256d r1v =
+        _mm256_andnot_pd(_mm256_or_pd(m_neg, m_eq), r1_gen);
+    _mm256_storeu_pd(r0 + i, r0v);
+    _mm256_storeu_pd(r1 + i, r1v);
+    const int neg_mask = _mm256_movemask_pd(m_neg);
+    const int eq_mask = _mm256_movemask_pd(m_eq);
+    for (int lane = 0; lane < 4; ++lane) {
+      count[i + lane] = ((neg_mask >> lane) & 1)
+                            ? 0
+                            : (((eq_mask >> lane) & 1) ? 1 : 2);
+    }
+  }
+  if (i < n) {
+    ScalarQuadraticRoots(c0 + i, c1 + i, c2 + i, r0 + i, r1 + i, count + i,
+                         n - i);
+  }
+}
+
+const BatchKernels kAvx2Kernels = {
+    "avx2",
+    &Avx2Horner,
+    &Avx2LinearRoots,
+    &Avx2QuadraticRoots,
+    &ScalarCubicRoots,  // lane-scalar: libm transcendentals
+};
+
+}  // namespace
+
+const BatchKernels* Avx2BatchKernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace batch_internal
+}  // namespace pulse
+
+#else  // !(__AVX2__ && x86-64)
+
+namespace pulse {
+namespace batch_internal {
+
+const BatchKernels* Avx2BatchKernelsOrNull() { return nullptr; }
+
+}  // namespace batch_internal
+}  // namespace pulse
+
+#endif

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/roots_internal.h"
 #include "util/logging.h"
 
 namespace pulse {
 
+namespace roots_internal {
+
 namespace {
-
 constexpr double kPi = 3.14159265358979323846;
+}  // namespace
 
-// Deduplicates a sorted root list to kRootTolerance.
 void DedupeRoots(std::vector<double>* roots) {
   std::sort(roots->begin(), roots->end());
   auto last = std::unique(roots->begin(), roots->end(),
@@ -21,8 +23,6 @@ void DedupeRoots(std::vector<double>* roots) {
   roots->erase(last, roots->end());
 }
 
-// Keeps only roots inside the closed [lo, hi] (with tolerance snap at the
-// boundary so closed-form roundoff does not drop boundary roots).
 void ClipRoots(double lo, double hi, std::vector<double>* roots) {
   size_t w = 0;
   for (double r : *roots) {
@@ -32,41 +32,39 @@ void ClipRoots(double lo, double hi, std::vector<double>* roots) {
   roots->resize(w);
 }
 
-// Closed-form roots of degree <= 3, appended to *roots (unclipped).
-void ClosedFormRootsInto(const Polynomial& p, std::vector<double>* out) {
-  std::vector<double>& roots = *out;
-  const size_t d = p.degree();
-  if (p.IsZero() || d == 0) return;
-  if (d == 1) {
-    roots.push_back(-p.coeff(0) / p.coeff(1));
-    return;
+int LinearRoot(double c0, double c1, double* r) {
+  r[0] = -c0 / c1;
+  return 1;
+}
+
+int QuadraticRoots(double c0, double c1, double c2, double* r) {
+  const double a = c2;
+  const double b = c1;
+  const double c = c0;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return 0;
+  if (disc == 0.0) {
+    r[0] = -b / (2.0 * a);
+    return 1;
   }
-  if (d == 2) {
-    const double a = p.coeff(2);
-    const double b = p.coeff(1);
-    const double c = p.coeff(0);
-    const double disc = b * b - 4.0 * a * c;
-    if (disc < 0.0) return;
-    if (disc == 0.0) {
-      roots.push_back(-b / (2.0 * a));
-      return;
-    }
-    // Numerically stable quadratic formula (avoid cancellation).
-    const double q = -0.5 * (b + std::copysign(std::sqrt(disc), b));
-    roots.push_back(q / a);
-    if (q != 0.0) {
-      roots.push_back(c / q);
-    } else {
-      roots.push_back(0.0);
-    }
-    return;
+  // Numerically stable quadratic formula (avoid cancellation).
+  const double q = -0.5 * (b + std::copysign(std::sqrt(disc), b));
+  r[0] = q / a;
+  if (q != 0.0) {
+    r[1] = c / q;
+  } else {
+    r[1] = 0.0;
   }
+  return 2;
+}
+
+int CubicRoots(double c0, double c1, double c2, double c3, double* out) {
   // Cubic: normalize to t^3 + a2 t^2 + a1 t + a0, depress, then use the
   // trigonometric method (three real roots) or Cardano (one real root).
-  const double inv = 1.0 / p.coeff(3);
-  const double a2 = p.coeff(2) * inv;
-  const double a1 = p.coeff(1) * inv;
-  const double a0 = p.coeff(0) * inv;
+  const double inv = 1.0 / c3;
+  const double a2 = c2 * inv;
+  const double a1 = c1 * inv;
+  const double a0 = c0 * inv;
   const double shift = a2 / 3.0;
   const double q = a1 - a2 * a2 / 3.0;
   const double r =
@@ -76,24 +74,152 @@ void ClosedFormRootsInto(const Polynomial& p, std::vector<double>* out) {
     const double sq = std::sqrt(disc);
     const double u = std::cbrt(-r / 2.0 + sq);
     const double v = std::cbrt(-r / 2.0 - sq);
-    roots.push_back(u + v - shift);
-  } else if (disc == 0.0) {
+    out[0] = u + v - shift;
+    return 1;
+  }
+  if (disc == 0.0) {
     if (r == 0.0 && q == 0.0) {
-      roots.push_back(-shift);
-    } else {
-      const double u = std::cbrt(-r / 2.0);
-      roots.push_back(2.0 * u - shift);
-      roots.push_back(-u - shift);
+      out[0] = -shift;
+      return 1;
     }
+    const double u = std::cbrt(-r / 2.0);
+    out[0] = 2.0 * u - shift;
+    out[1] = -u - shift;
+    return 2;
+  }
+  const double rho = std::sqrt(-q * q * q / 27.0);
+  const double theta = std::acos(std::clamp(-r / (2.0 * rho), -1.0, 1.0));
+  const double mag = 2.0 * std::sqrt(-q / 3.0);
+  for (int k = 0; k < 3; ++k) {
+    out[k] = mag * std::cos((theta + 2.0 * kPi * k) / 3.0) - shift;
+  }
+  return 3;
+}
+
+void ClosedFormRootsInto(const Polynomial& p, std::vector<double>* out) {
+  const size_t d = p.degree();
+  if (p.IsZero() || d == 0) return;
+  double r[3];
+  int n;
+  if (d == 1) {
+    n = LinearRoot(p.coeff(0), p.coeff(1), r);
+  } else if (d == 2) {
+    n = QuadraticRoots(p.coeff(0), p.coeff(1), p.coeff(2), r);
   } else {
-    const double rho = std::sqrt(-q * q * q / 27.0);
-    const double theta = std::acos(std::clamp(-r / (2.0 * rho), -1.0, 1.0));
-    const double mag = 2.0 * std::sqrt(-q / 3.0);
-    for (int k = 0; k < 3; ++k) {
-      roots.push_back(mag * std::cos((theta + 2.0 * kPi * k) / 3.0) - shift);
+    n = CubicRoots(p.coeff(0), p.coeff(1), p.coeff(2), p.coeff(3), r);
+  }
+  for (int i = 0; i < n; ++i) out->push_back(r[i]);
+}
+
+bool SolveComparisonTrivial(const Polynomial& p, CmpOp op,
+                            const Interval& domain, IntervalSet* out) {
+  if (domain.IsEmpty()) {
+    out->Clear();
+    return true;
+  }
+  // Everywhere-zero polynomial: predicate truth is constant in t.
+  if (p.IsZero()) {
+    if (op == CmpOp::kEq || op == CmpOp::kLe || op == CmpOp::kGe) {
+      out->AssignInterval(domain);
+    } else {
+      out->Clear();
+    }
+    return true;
+  }
+  // Constant non-zero polynomial.
+  if (p.degree() == 0) {
+    const double v = p.coeff(0);
+    const bool holds = (op == CmpOp::kLt && v < 0.0) ||
+                       (op == CmpOp::kLe && v <= 0.0) ||
+                       (op == CmpOp::kEq && v == 0.0) ||
+                       (op == CmpOp::kNe && v != 0.0) ||
+                       (op == CmpOp::kGe && v >= 0.0) ||
+                       (op == CmpOp::kGt && v > 0.0);
+    if (holds) {
+      out->AssignInterval(domain);
+    } else {
+      out->Clear();
+    }
+    return true;
+  }
+  return false;
+}
+
+void AssembleEquality(const double* roots, size_t num_roots,
+                      const Interval& domain, std::vector<Interval>* cells,
+                      IntervalSet* out) {
+  cells->clear();
+  for (size_t i = 0; i < num_roots; ++i) {
+    const double r = roots[i];
+    if (domain.Contains(r)) cells->push_back(Interval::Point(r));
+  }
+  out->Assign(cells);
+}
+
+size_t BuildCuts(const double* roots, size_t num_roots,
+                 const Interval& domain, std::vector<double>* cuts) {
+  cuts->clear();
+  cuts->push_back(domain.lo);
+  for (size_t i = 0; i < num_roots; ++i) {
+    const double r = roots[i];
+    if (r > domain.lo && r < domain.hi) cuts->push_back(r);
+  }
+  cuts->push_back(domain.hi);
+  size_t retained = 0;
+  for (size_t i = 0; i + 1 < cuts->size(); ++i) {
+    if ((*cuts)[i + 1] > (*cuts)[i]) ++retained;
+  }
+  return retained;
+}
+
+void AssembleInequality(const Polynomial& p, CmpOp op,
+                        const Interval& domain, const double* roots,
+                        size_t num_roots, const double* cuts,
+                        size_t num_cuts, const double* mid_values,
+                        std::vector<Interval>* cells_out, IntervalSet* out) {
+  // Sign-test the open cells between consecutive roots.
+  const bool want_negative = (op == CmpOp::kLt || op == CmpOp::kLe);
+  const bool include_boundary = CmpOpIncludesEquality(op);
+  std::vector<Interval>& cells = *cells_out;
+  cells.clear();
+  size_t mid_index = 0;
+  for (size_t i = 0; i + 1 < num_cuts; ++i) {
+    const double a = cuts[i];
+    const double b = cuts[i + 1];
+    if (b <= a) continue;
+    double v;
+    if (mid_values != nullptr) {
+      v = mid_values[mid_index++];
+    } else {
+      const double mid = 0.5 * (a + b);
+      v = p.Evaluate(mid);
+    }
+    const bool holds = want_negative ? (v < 0.0) : (v > 0.0);
+    if (!holds) continue;
+    Interval cell;
+    cell.lo = a;
+    cell.hi = b;
+    // Interior cuts are roots: open for strict ops, closed otherwise.
+    const bool a_is_domain = (i == 0);
+    const bool b_is_domain = (i + 2 == num_cuts);
+    cell.lo_open = a_is_domain ? domain.lo_open : !include_boundary;
+    cell.hi_open = b_is_domain ? domain.hi_open : !include_boundary;
+    cells.push_back(cell);
+  }
+  // Non-strict ops additionally admit boundary roots even when no adjacent
+  // cell holds (e.g. tangency points of p <= 0 with p > 0 around them).
+  if (include_boundary) {
+    for (size_t i = 0; i < num_roots; ++i) {
+      const double r = roots[i];
+      if (domain.Contains(r)) cells.push_back(Interval::Point(r));
     }
   }
+  out->Assign(&cells);
 }
+
+}  // namespace roots_internal
+
+namespace {
 
 // Plain bisection on a bracket with sign(f(a)) != sign(f(b)).
 double Bisect(const Polynomial& p, double a, double b, double tol) {
@@ -346,9 +472,9 @@ void FindRealRootsInto(const Polynomial& p, double lo, double hi,
   const bool closed_form_ok = d <= 3;
   if ((method == RootMethod::kAuto || method == RootMethod::kClosedForm) &&
       closed_form_ok) {
-    ClosedFormRootsInto(p, &roots);
-    ClipRoots(lo, hi, &roots);
-    DedupeRoots(&roots);
+    roots_internal::ClosedFormRootsInto(p, &roots);
+    roots_internal::ClipRoots(lo, hi, &roots);
+    roots_internal::DedupeRoots(&roots);
     return;
   }
   if (method == RootMethod::kClosedForm) {
@@ -371,8 +497,8 @@ void FindRealRootsInto(const Polynomial& p, double lo, double hi,
   // roots in (a, b]).
   IsolateAndSolve(scratch->square_free, scratch->sturm,
                   lo - kRootTolerance, hi + kRootTolerance, method, &roots);
-  ClipRoots(lo, hi, &roots);
-  DedupeRoots(&roots);
+  roots_internal::ClipRoots(lo, hi, &roots);
+  roots_internal::DedupeRoots(&roots);
 }
 
 Result<double> BrentRoot(const std::function<double(double)>& f, double a,
@@ -470,35 +596,7 @@ IntervalSet SolveComparison(const Polynomial& p, CmpOp op,
 void SolveComparisonInto(const Polynomial& p, CmpOp op,
                          const Interval& domain, RootMethod method,
                          RootScratch* scratch, IntervalSet* out) {
-  if (domain.IsEmpty()) {
-    out->Clear();
-    return;
-  }
-  // Everywhere-zero polynomial: predicate truth is constant in t.
-  if (p.IsZero()) {
-    if (op == CmpOp::kEq || op == CmpOp::kLe || op == CmpOp::kGe) {
-      out->AssignInterval(domain);
-    } else {
-      out->Clear();
-    }
-    return;
-  }
-  // Constant non-zero polynomial.
-  if (p.degree() == 0) {
-    const double v = p.coeff(0);
-    const bool holds = (op == CmpOp::kLt && v < 0.0) ||
-                       (op == CmpOp::kLe && v <= 0.0) ||
-                       (op == CmpOp::kEq && v == 0.0) ||
-                       (op == CmpOp::kNe && v != 0.0) ||
-                       (op == CmpOp::kGe && v >= 0.0) ||
-                       (op == CmpOp::kGt && v > 0.0);
-    if (holds) {
-      out->AssignInterval(domain);
-    } else {
-      out->Clear();
-    }
-    return;
-  }
+  if (roots_internal::SolveComparisonTrivial(p, op, domain, out)) return;
 
   if (op == CmpOp::kNe) {
     SolveComparisonInto(p, CmpOp::kEq, domain, method, scratch,
@@ -509,54 +607,20 @@ void SolveComparisonInto(const Polynomial& p, CmpOp op,
 
   FindRealRootsInto(p, domain.lo, domain.hi, method, scratch);
   const std::vector<double>& roots = scratch->roots;
-  std::vector<Interval>& cells = scratch->cells;
-  cells.clear();
 
   if (op == CmpOp::kEq) {
-    for (double r : roots) {
-      if (domain.Contains(r)) cells.push_back(Interval::Point(r));
-    }
-    out->Assign(&cells);
+    roots_internal::AssembleEquality(roots.data(), roots.size(), domain,
+                                     &scratch->cells, out);
     return;
   }
 
-  // Inequalities: sign-test the open cells between consecutive roots.
-  const bool want_negative = (op == CmpOp::kLt || op == CmpOp::kLe);
-  const bool include_boundary = CmpOpIncludesEquality(op);
-  std::vector<double>& cuts = scratch->cuts;
-  cuts.clear();
-  cuts.push_back(domain.lo);
-  for (double r : roots) {
-    if (r > domain.lo && r < domain.hi) cuts.push_back(r);
-  }
-  cuts.push_back(domain.hi);
-
-  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
-    const double a = cuts[i];
-    const double b = cuts[i + 1];
-    if (b <= a) continue;
-    const double mid = 0.5 * (a + b);
-    const double v = p.Evaluate(mid);
-    const bool holds = want_negative ? (v < 0.0) : (v > 0.0);
-    if (!holds) continue;
-    Interval cell;
-    cell.lo = a;
-    cell.hi = b;
-    // Interior cuts are roots: open for strict ops, closed otherwise.
-    const bool a_is_domain = (i == 0);
-    const bool b_is_domain = (i + 2 == cuts.size());
-    cell.lo_open = a_is_domain ? domain.lo_open : !include_boundary;
-    cell.hi_open = b_is_domain ? domain.hi_open : !include_boundary;
-    cells.push_back(cell);
-  }
-  // Non-strict ops additionally admit boundary roots even when no adjacent
-  // cell holds (e.g. tangency points of p <= 0 with p > 0 around them).
-  if (include_boundary) {
-    for (double r : roots) {
-      if (domain.Contains(r)) cells.push_back(Interval::Point(r));
-    }
-  }
-  out->Assign(&cells);
+  roots_internal::BuildCuts(roots.data(), roots.size(), domain,
+                            &scratch->cuts);
+  roots_internal::AssembleInequality(p, op, domain, roots.data(),
+                                     roots.size(), scratch->cuts.data(),
+                                     scratch->cuts.size(),
+                                     /*mid_values=*/nullptr, &scratch->cells,
+                                     out);
 }
 
 }  // namespace pulse

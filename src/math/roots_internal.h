@@ -1,0 +1,73 @@
+#ifndef PULSE_MATH_ROOTS_INTERNAL_H_
+#define PULSE_MATH_ROOTS_INTERNAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/interval_set.h"
+#include "math/polynomial.h"
+#include "math/roots.h"
+
+// Shared internals of the comparison solver. roots.cc owns the single
+// definition of every closed form and assembly step; the batched SoA
+// path (math/batch_kernels.cc, core/equation_system.cc) calls the same
+// functions so its per-lane results are bit-identical to the per-row
+// scalar path by construction, not by reimplementation.
+
+namespace pulse {
+namespace roots_internal {
+
+/// Sorts and deduplicates a root list to kRootTolerance.
+void DedupeRoots(std::vector<double>* roots);
+
+/// Keeps only roots inside the closed [lo, hi] (with tolerance snap at
+/// the boundary so closed-form roundoff does not drop boundary roots).
+void ClipRoots(double lo, double hi, std::vector<double>* roots);
+
+/// Coefficient-level closed forms. Roots are written to r[] in the
+/// exact push order of ClosedFormRootsInto; the return value is the
+/// root count. These are the scalar reference lanes of the batched
+/// kernels (math/batch_kernels.h).
+int LinearRoot(double c0, double c1, double* r);                    // 1
+int QuadraticRoots(double c0, double c1, double c2, double* r);     // 0..2
+int CubicRoots(double c0, double c1, double c2, double c3,
+               double* r);                                          // 1..3
+
+/// Closed-form roots of degree <= 3, appended to *out (unclipped).
+void ClosedFormRootsInto(const Polynomial& p, std::vector<double>* out);
+
+/// Handles the rows SolveComparisonInto answers without root finding:
+/// empty domain, the everywhere-zero polynomial, and constant non-zero
+/// polynomials. Returns true when the row was fully solved into *out.
+bool SolveComparisonTrivial(const Polynomial& p, CmpOp op,
+                            const Interval& domain, IntervalSet* out);
+
+/// kEq assembly: point intervals for every (clipped, deduped) root
+/// inside the domain. `cells` is caller scratch.
+void AssembleEquality(const double* roots, size_t num_roots,
+                      const Interval& domain, std::vector<Interval>* cells,
+                      IntervalSet* out);
+
+/// Builds the inequality sign-test cut list (domain.lo, interior roots,
+/// domain.hi) into *cuts. Returns the number of retained cells —
+/// adjacent cut pairs with hi > lo — which is exactly the number of
+/// midpoint values AssembleInequality will consume.
+size_t BuildCuts(const double* roots, size_t num_roots,
+                 const Interval& domain, std::vector<double>* cuts);
+
+/// Inequality assembly from the cut list. `mid_values`, when non-null,
+/// supplies one value of p per retained cell in cut order; each must be
+/// p evaluated at exactly 0.5 * (cuts[i] + cuts[i+1]) with the pinned
+/// Horner recurrence (Polynomial::Evaluate or a batched kernel matching
+/// it bit for bit). A null `mid_values` evaluates p inline — the scalar
+/// path. `cells` is caller scratch.
+void AssembleInequality(const Polynomial& p, CmpOp op,
+                        const Interval& domain, const double* roots,
+                        size_t num_roots, const double* cuts,
+                        size_t num_cuts, const double* mid_values,
+                        std::vector<Interval>* cells, IntervalSet* out);
+
+}  // namespace roots_internal
+}  // namespace pulse
+
+#endif  // PULSE_MATH_ROOTS_INTERNAL_H_

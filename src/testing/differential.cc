@@ -15,6 +15,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "shard/sharded_runtime.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 
 namespace pulse {
@@ -871,6 +872,51 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
         reporter.Add(Divergence{"metamorphic.shards" +
                                     std::to_string(shards) + sv.suffix,
                                 0.0, 0, "", 0.0, 0.0, mismatch});
+      }
+    }
+  }
+
+  // Forced-scalar variants (ISSUE 7): replaying with solver dispatch
+  // pinned to the scalar kernels — serial, parallel + cache-off, and
+  // sharded — must reproduce the SIMD-batched base run byte-identically.
+  // This is the bit-for-bit determinism contract of the batched kernels.
+  if (options.forced_scalar_variant) {
+    struct ScopedScalarDispatch {
+      ScopedScalarDispatch() {
+        SetSimdOverrideForTesting(SimdLevel::kScalar);
+      }
+      ~ScopedScalarDispatch() { SetSimdOverrideForTesting(std::nullopt); }
+    } scoped;
+    const struct {
+      const char* name;
+      size_t threads;
+      bool cache;
+    } scalar_variants[] = {
+        {"forced_scalar", 1, true},
+        {"forced_scalar_parallel_cache_off", options.parallel_threads,
+         false},
+    };
+    for (const auto& v : scalar_variants) {
+      PULSE_ASSIGN_OR_RETURN(PulseRun got,
+                             RunPulse(kase, feed, v.threads, v.cache));
+      const std::string mismatch =
+          CompareVariant(base.segments, got.segments);
+      if (!mismatch.empty()) {
+        reporter.Add(Divergence{std::string("metamorphic.") + v.name, 0.0,
+                                0, "", 0.0, 0.0, mismatch});
+      }
+    }
+    if (!options.shard_counts.empty()) {
+      PULSE_ASSIGN_OR_RETURN(
+          std::vector<Segment> sharded,
+          RunPulseSharded(kase, feed, options.shard_counts.front(), 1,
+                          true));
+      const std::string mismatch = CompareVariant(base.segments, sharded);
+      if (!mismatch.empty()) {
+        reporter.Add(Divergence{
+            "metamorphic.forced_scalar_shards" +
+                std::to_string(options.shard_counts.front()),
+            0.0, 0, "", 0.0, 0.0, mismatch});
       }
     }
   }

@@ -49,6 +49,13 @@ struct DiffOptions {
   /// serving-layer batching/backpressure never change query answers,
   /// only admission (docs/SERVING.md).
   bool serving_variant = true;
+  /// Replay the feed with solver dispatch pinned to the scalar kernels
+  /// (SetSimdOverrideForTesting) — serial, parallel + cache-off, and
+  /// sharded — and require byte-identity with the SIMD-batched base run.
+  /// This is the determinism contract of the batched kernels: vector
+  /// lanes reproduce the scalar closed forms bit for bit
+  /// (docs/PERFORMANCE.md, "Batched solver kernels").
+  bool forced_scalar_variant = true;
 };
 
 /// Result of one differential run. `ok()` means: the discrete engine and

@@ -1,0 +1,81 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pulse {
+
+namespace {
+
+SimdLevel Detect() {
+#if defined(__aarch64__) || defined(_M_ARM64)
+  // NEON is part of the aarch64 baseline.
+  return SimdLevel::kNeon;
+#elif defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  // SSE2 is part of the x86-64 baseline.
+  return SimdLevel::kSse2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel BaseLevel() {
+  // Cached on first call: hardware detection plus the PULSE_FORCE_SCALAR
+  // environment override, both immutable for the process lifetime.
+  static const SimdLevel level = [] {
+    const char* force = std::getenv("PULSE_FORCE_SCALAR");
+    if (force != nullptr && std::strcmp(force, "1") == 0) {
+      return SimdLevel::kScalar;
+    }
+    return Detect();
+  }();
+  return level;
+}
+
+// -1 encodes "no override"; otherwise the SimdLevel enum value.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = Detect();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int override_level = g_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<SimdLevel>(override_level);
+  return BaseLevel();
+}
+
+void SetSimdOverrideForTesting(std::optional<SimdLevel> level) {
+  if (!level.has_value()) {
+    g_override.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  SimdLevel clamped = *level;
+  if (static_cast<int>(clamped) > static_cast<int>(DetectedSimdLevel())) {
+    clamped = DetectedSimdLevel();
+  }
+  g_override.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+}  // namespace pulse

@@ -1,0 +1,45 @@
+#ifndef PULSE_UTIL_CPU_FEATURES_H_
+#define PULSE_UTIL_CPU_FEATURES_H_
+
+#include <optional>
+
+namespace pulse {
+
+/// Instruction-set tier the batched solver kernels can dispatch to
+/// (math/batch_kernels.h). Ordered weakest to strongest; on any given
+/// host exactly one tier is active.
+enum class SimdLevel {
+  kScalar,
+  kSse2,  // x86-64 baseline (always available there)
+  kNeon,  // aarch64 baseline
+  kAvx2,
+};
+
+/// "scalar" | "sse2" | "neon" | "avx2" — the value surfaced in
+/// pulse_cli startup output and BenchReport's `solver_kernel` param.
+const char* SimdLevelName(SimdLevel level);
+
+/// The strongest tier this hardware supports, detected once (cached
+/// after the first call; thread-safe). Ignores every override below.
+SimdLevel DetectedSimdLevel();
+
+/// The tier the dispatcher should use right now:
+///   1. a SetSimdOverrideForTesting override, when set;
+///   2. kScalar when PULSE_FORCE_SCALAR=1 was in the environment at
+///      first call (read once, cached);
+///   3. DetectedSimdLevel() otherwise.
+/// Cost is one relaxed atomic load on the no-override path, so callers
+/// may consult it per batch flush.
+SimdLevel ActiveSimdLevel();
+
+/// Test hook: forces ActiveSimdLevel() to `level` until cleared with
+/// std::nullopt. Used by the differential oracle's forced_scalar
+/// metamorphic variant to pin scalar-vs-SIMD byte-identity without
+/// re-execing under PULSE_FORCE_SCALAR. Levels above
+/// DetectedSimdLevel() are clamped to it (requesting avx2 on a
+/// non-avx2 host must not dispatch illegal instructions).
+void SetSimdOverrideForTesting(std::optional<SimdLevel> level);
+
+}  // namespace pulse
+
+#endif  // PULSE_UTIL_CPU_FEATURES_H_

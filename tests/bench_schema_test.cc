@@ -160,6 +160,14 @@ TEST(CheckedInBenchJsonTest, SolverHotpathMatchesGateSchema) {
   const json::Value* params = doc.Find("params");
   EXPECT_NE(params->Find("repeats"), nullptr);
   EXPECT_NE(params->Find("fig7_prechange_tuples_per_sec"), nullptr);
+  // Which batched-kernel tier produced the numbers (ISSUE 7): one of the
+  // SimdLevelName strings — "scalar", "sse2", "neon", "avx2".
+  const json::Value* kernel = params->Find("solver_kernel");
+  ASSERT_NE(kernel, nullptr);
+  const std::string name = kernel->as_string();
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "neon" ||
+              name == "avx2")
+      << "unexpected solver_kernel: " << name;
 }
 
 TEST(CheckedInBenchJsonTest, ServingThroughputMatchesGateSchema) {

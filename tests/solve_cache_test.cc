@@ -80,6 +80,44 @@ TEST(SolveCacheTest, HighDegreeRowsAreNotCached) {
   EXPECT_EQ(cache.misses(), 0u);
 }
 
+// Regression guard for the ISSUE 7 "replay_cached anomaly": a 100%-hit
+// cache replay ran SLOWER than recomputing, because a low-degree
+// closed-form solve is cheaper than key hashing + shard locking + map
+// probing + IntervalSet copying. Runtimes now default to min_degree = 3
+// so degree <= 2 rows bypass the cache entirely.
+TEST(SolveCacheTest, MinDegreeRowsBypassCacheAsUncacheable) {
+  SolveCache cache(DefaultRuntimeSolveCacheOptions());
+  ASSERT_EQ(cache.options().min_degree, 3u);
+  const Polynomial quadratic({-4.0, 0.0, 1.0});
+  const IntervalSet solution =
+      SolveComparison(quadratic, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(quadratic, CmpOp::kLt, kDomain, RootMethod::kAuto,
+               solution);
+  EXPECT_EQ(cache.size(), 0u);
+  IntervalSet out;
+  EXPECT_FALSE(cache.Lookup(quadratic, CmpOp::kLt, kDomain,
+                            RootMethod::kAuto, &out));
+  // Low-degree rows count as uncacheable, not misses, so the accounting
+  // identity hits + misses + uncacheable == lookups still holds.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.uncacheable(), 1u);
+  EXPECT_EQ(cache.lookups(), 1u);
+
+  // Degree >= min_degree rows still cache normally.
+  const Polynomial cubic({-8.0, 0.0, 0.0, 1.0});
+  const IntervalSet cubic_solution =
+      SolveComparison(cubic, CmpOp::kLt, kDomain, RootMethod::kAuto);
+  cache.Insert(cubic, CmpOp::kLt, kDomain, RootMethod::kAuto,
+               cubic_solution);
+  EXPECT_TRUE(cache.Lookup(cubic, CmpOp::kLt, kDomain, RootMethod::kAuto,
+                           &out));
+  EXPECT_EQ(out, cubic_solution);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.hits() + cache.misses() + cache.uncacheable(),
+            cache.lookups());
+}
+
 TEST(SolveCacheTest, GenerationSweepBoundsSizeAndKeepsRecentEntries) {
   SolveCacheOptions options;
   options.capacity = 64;
@@ -226,6 +264,9 @@ TEST(SolveCacheDeterminismTest, Fig7JoinOutputIdenticalCacheOnAndOff) {
     opts.segmentation.max_error = 0.5;
     opts.segmentation.max_points_per_segment = 20;
     opts.collect_outputs = true;
+    // This test exercises cache mechanics on degree-2 rows; the runtime
+    // default min_degree = 3 would route them around the cache.
+    opts.solve_cache->min_degree = 0;
     if (!with_cache) opts.solve_cache.reset();
     Result<HistoricalRuntime> rt = HistoricalRuntime::Make(Fig7Spec(), opts);
     EXPECT_TRUE(rt.ok()) << rt.status();
@@ -273,6 +314,9 @@ TEST(SolveCacheDeterminismTest, SegmentReplayHitsTheCache) {
   opts.segmentation.max_error = 0.5;
   opts.segmentation.max_points_per_segment = 20;
   opts.collect_outputs = false;
+  // Replay rows are degree 2; drop the runtime min_degree policy so the
+  // replay actually goes through the cache under test.
+  opts.solve_cache->min_degree = 0;
   StreamSpec stream = MovingObjectGenerator::MakeStreamSpec("objects", 10.0);
   MultiAttributeSegmenter modeler(stream, opts.segmentation);
   std::vector<Segment> segments;
