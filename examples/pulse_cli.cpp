@@ -1,6 +1,6 @@
 // pulse_cli — run an ad-hoc StreamSQL query over a built-in workload.
 //
-//   pulse_cli --workload objects|nyse|ais --tuples N
+//   pulse_cli --workload objects|nyse|ais|telemetry --tuples N
 //             --query "select * from objects where x < 500"
 //             [--mode predictive|historical] [--bound attr=0.01]
 //             [--sample-rate HZ] [--show K]
@@ -38,6 +38,7 @@
 #include "workload/moving_object.h"
 #include "workload/nyse.h"
 #include "workload/replay.h"
+#include "workload/telemetry.h"
 
 using namespace pulse;
 
@@ -60,7 +61,8 @@ struct CliOptions {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --query SQL [--workload objects|nyse|ais] [--tuples N]\n"
+      "usage: %s --query SQL [--workload objects|nyse|ais|telemetry] "
+      "[--tuples N]\n"
       "          [--mode predictive|historical|serve] [--bound attr=frac]...\n"
       "          [--sample-rate HZ] [--show K]\n"
       "          [--policy block|drop_oldest|shed] [--rate TPS] [--port P]\n",
@@ -154,6 +156,11 @@ int main(int argc, char** argv) {
   } else if (options.workload == "ais") {
     (void)spec.AddStream(AisGenerator::MakeStreamSpec("ais", 30.0));
     auto gen = std::make_shared<AisGenerator>(AisOptions{});
+    source = [gen] { return gen->NextTuple(); };
+  } else if (options.workload == "telemetry") {
+    (void)spec.AddStream(
+        TelemetryGenerator::MakeStreamSpec("telemetry", 5.0));
+    auto gen = std::make_shared<TelemetryGenerator>(TelemetryOptions{});
     source = [gen] { return gen->NextTuple(); };
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n",

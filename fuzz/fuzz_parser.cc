@@ -51,10 +51,11 @@ std::string TokenSoup(pulse::fuzz::FuzzInput& in) {
       "select", "from",   "where", "join",  "on",     "group", "by",
       "having", "as",     "model", "and",   "or",     "not",   "avg",
       "min",    "max",    "sum",   "count", "dist",   "size",  "advance",
-      "slide",  "*",      ",",     ".",     "(",      ")",     "[",
-      "]",      "<",      "<=",    "=",     "<>",     ">=",    ">",
-      "-",      "+",      "s",     "t",     "u",      "id",    "x",
-      "y",      "1",      "2.5",   "0.5",   "10",     "-3",    "1e9",
+      "slide",  "epoch",  "distinct",       "*",      ",",     ".",
+      "(",      ")",      "[",     "]",     "<",      "<=",    "=",
+      "<>",     ">=",     ">",     "-",     "+",      "s",     "t",
+      "u",      "id",     "x",     "y",     "1",      "2.5",   "0.5",
+      "10",     "-3",     "1e9",
   };
   constexpr size_t kNumTokens = sizeof(kTokens) / sizeof(kTokens[0]);
   std::string text;

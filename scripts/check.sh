@@ -34,9 +34,14 @@ else
   # this pass re-runs the solver-adjacent subset with dispatch pinned
   # to the scalar fallback so both sides of the contract stay covered
   # regardless of host ISA.
+  # epoch_distinct_test, telemetry_test and equivalence_test ride along:
+  # the epoch/distinct operators and the detection queries sit directly on
+  # the root isolator, so the scalar fallback must reproduce their
+  # boundary semantics bit for bit too.
   for t in batch_kernels_test roots_test equation_system_test \
            solve_cache_test predicate_test pulse_filter_test \
-           pulse_join_test runtime_test differential_test; do
+           pulse_join_test runtime_test differential_test \
+           epoch_distinct_test telemetry_test equivalence_test; do
     echo "  PULSE_FORCE_SCALAR=1 $t"
     PULSE_FORCE_SCALAR=1 "$repo/build/tests/$t" --gtest_brief=1
   done
@@ -50,7 +55,7 @@ else
   cmake --build "$repo/build-tsan" -j "$jobs" \
     --target metrics_registry_test thread_pool_test runtime_test \
              solve_cache_test differential_test serve_test \
-             shard_router_test
+             shard_router_test epoch_distinct_test telemetry_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
   # differential_test runs the metamorphic parallel AND sharded variants
@@ -78,6 +83,15 @@ else
   # exchange, per-shard metrics mirroring) with live worker threads.
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/shard_router_test"
+  # The telemetry family: epoch/distinct operators plus the detection
+  # queries end to end on both realizations. Mostly single-threaded, but
+  # differential_test above re-runs the same plans through the threaded
+  # and sharded executors, so a clean pass here plus a clean
+  # differential pass covers the telemetry battery under TSan.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/epoch_distinct_test"
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/telemetry_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -250,6 +264,57 @@ EOF
       exit 1
     fi
   fi
+
+  echo "== bench gate: telemetry detection vs checked-in baseline =="
+  telemetry_baseline="$repo/BENCH_telemetry.json"
+  if [[ ! -f "$telemetry_baseline" ]]; then
+    echo "no checked-in BENCH_telemetry.json; skipping gate"
+  else
+    cmake --build "$repo/build" -j "$jobs" --target bench_telemetry
+    workdir="$(mktemp -d)"
+    (cd "$workdir" && "$repo/build/bench/bench_telemetry" > /dev/null)
+    # Detection latency is measured in trace time (alert timestamp minus
+    # ground-truth onset), not wall-clock, so it is deterministic for a
+    # given binary and host load cannot fake a pass: a row that misses
+    # attacks or whose p99 drifts more than 250 ms past the baseline is
+    # a real detection regression (e.g. the slack-mode blindness this
+    # bench originally caught), never scheduler noise. Raw tuples/sec is
+    # deliberately not gated here — the solver gate above owns that.
+    telemetry_ok=0
+    python3 - "$telemetry_baseline" "$workdir/BENCH_telemetry.json" \
+      <<'EOF' || telemetry_ok=1
+import json, sys
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["query"], r["realization"]): r for r in doc["results"]}
+
+SLACK_MS = 250.0
+base, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+failed = False
+for key, ref in sorted(base.items()):
+    query, realization = key
+    got = fresh.get(key)
+    if got is None:
+        print(f"  {query}/{realization}: missing from fresh run")
+        failed = True
+        continue
+    miss = got["detected"] < got["attacks"]
+    drift = got["p99_ms"] > ref["p99_ms"] + SLACK_MS
+    flag = "FAIL" if miss or drift else "ok"
+    print(f"  {query}/{realization}: detected {got['detected']}/"
+          f"{got['attacks']}, p99 {got['p99_ms']:.0f} ms vs baseline "
+          f"{ref['p99_ms']:.0f} ms {flag}")
+    failed = failed or miss or drift
+sys.exit(1 if failed else 0)
+EOF
+    rm -rf "$workdir"
+    if [[ "$telemetry_ok" != "0" ]]; then
+      echo "telemetry detection regressed vs checked-in baseline" >&2
+      exit 1
+    fi
+  fi
 fi
 
 if [[ "${SKIP_METRICS_GATE:-0}" == "1" ]]; then
@@ -336,6 +401,10 @@ else
   "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
     --mode serve --policy shed --port 0 \
     --query "select * from objects where x < 2000" > /dev/null
+  # Telemetry workload through a detection-shaped epoch/distinct query.
+  "$repo/build/examples/pulse_cli" --workload telemetry --tuples 2000 \
+    --query "select distinct * from telemetry epoch 1 where telemetry.port_spread > 100" \
+    > /dev/null
 fi
 
 if [[ "${SKIP_DOCS:-0}" == "1" ]]; then

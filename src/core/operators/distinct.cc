@@ -1,0 +1,41 @@
+#include "core/operators/distinct.h"
+
+#include <algorithm>
+
+#include "engine/epoch.h"
+#include "util/logging.h"
+
+namespace pulse {
+
+PulseDistinct::PulseDistinct(std::string name, double epoch_seconds)
+    : PulseOperator(std::move(name)), epoch_seconds_(epoch_seconds) {
+  PULSE_CHECK(epoch_seconds_ > 0.0);
+}
+
+Status PulseDistinct::Process(size_t port, const Segment& segment,
+                              SegmentBatch* out) {
+  PULSE_CHECK(port == 0);
+  ++metrics_.segments_in;
+  const double lo = segment.range.lo;
+  const double hi = segment.range.hi;
+  for (int64_t k = EpochIndexOf(lo, epoch_seconds_);
+       static_cast<double>(k) * epoch_seconds_ < hi; ++k) {
+    const double e_lo = static_cast<double>(k) * epoch_seconds_;
+    const double e_hi = static_cast<double>(k + 1) * epoch_seconds_;
+    Segment piece = segment.ClipTo(
+        Interval::ClosedOpen(std::max(lo, e_lo), e_hi));
+    if (piece.range.IsEmpty()) continue;
+    auto [it, inserted] = last_emitted_.emplace(segment.key, k);
+    if (!inserted) {
+      if (it->second >= k) continue;  // epoch already represented
+      it->second = k;
+    }
+    piece.id = NextSegmentId();
+    lineage_.Record(piece.id, piece.range, {LineageEntry{0, segment}});
+    out->push_back(std::move(piece));
+    ++metrics_.segments_out;
+  }
+  return Status::OK();
+}
+
+}  // namespace pulse

@@ -1,0 +1,43 @@
+#ifndef PULSE_CORE_OPERATORS_DISTINCT_H_
+#define PULSE_CORE_OPERATORS_DISTINCT_H_
+
+#include <map>
+#include <string>
+
+#include "core/operators/pulse_operator.h"
+
+namespace pulse {
+
+/// Continuous-time realization of the per-epoch `distinct` operator, a
+/// new equation form over models: for each (epoch, key) it emits the
+/// *first* validity run of the key's model inside that epoch and
+/// suppresses the rest. Its input is typically a PulseFilter output, so
+/// a validity run means "the key's model satisfies the predicate"; the
+/// emitted segment's range.lo is then the first instant the model enters
+/// the predicate region during the epoch — the continuous analogue of
+/// the first passing tuple the discrete EpochDistinct forwards.
+///
+/// Epoch splitting is self-contained (same tumbling [k*E, (k+1)*E)
+/// grid as PulseEpoch) so the operator is correct whether or not a
+/// PulseEpoch ran upstream. State is the latest emitted epoch per key:
+/// segments arrive per key in range.lo order, so "first in epoch" is
+/// exactly "epoch greater than the last emitted one" and memory stays
+/// O(keys).
+class PulseDistinct : public PulseOperator {
+ public:
+  PulseDistinct(std::string name, double epoch_seconds);
+
+  Status Process(size_t port, const Segment& segment,
+                 SegmentBatch* out) override;
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  double epoch_seconds_;
+  // Latest epoch a segment was emitted for, per key.
+  std::map<Key, int64_t> last_emitted_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_OPERATORS_DISTINCT_H_

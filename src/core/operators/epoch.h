@@ -1,0 +1,36 @@
+#ifndef PULSE_CORE_OPERATORS_EPOCH_H_
+#define PULSE_CORE_OPERATORS_EPOCH_H_
+
+#include <string>
+
+#include "core/operators/pulse_operator.h"
+
+namespace pulse {
+
+/// Continuous-time realization of the tumbling `epoch` operator: splits
+/// every incoming segment at epoch boundaries k*E (origin 0, half-open
+/// [k*E, (k+1)*E) epochs) so that no output segment straddles a boundary.
+/// Attributes pass through unchanged — polynomials are in absolute time,
+/// so clipping a validity range never re-bases coefficients.
+///
+/// Unlike the discrete EpochMark, no `epoch` attribute is added: the
+/// epoch index of an output segment is recoverable as
+/// EpochIndexOf(range.lo, E), and adding an integer column to a
+/// continuous segment would have no polynomial meaning. Downstream
+/// per-epoch operators (PulseDistinct) re-derive the index the same way.
+class PulseEpoch : public PulseOperator {
+ public:
+  PulseEpoch(std::string name, double epoch_seconds);
+
+  Status Process(size_t port, const Segment& segment,
+                 SegmentBatch* out) override;
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  double epoch_seconds_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_CORE_OPERATORS_EPOCH_H_

@@ -65,18 +65,23 @@ PulseMap::PulseMap(std::string name, std::vector<ComputedAttr> outputs,
       outputs_(std::move(outputs)),
       keep_inputs_(keep_inputs) {}
 
-Status PulseMap::Process(size_t port, const Segment& segment,
-                         SegmentBatch* out) {
-  PULSE_CHECK(port == 0);
-  ++metrics_.segments_in;
+Result<Segment> PulseMap::Apply(const Segment& segment) const {
   const AttrResolver resolver = MakeUnaryResolver(segment);
   Segment result = segment;
-  result.id = NextSegmentId();
   if (!keep_inputs_) result.attributes.clear();
   for (const ComputedAttr& attr : outputs_) {
     PULSE_ASSIGN_OR_RETURN(Polynomial poly, attr.BuildPolynomial(resolver));
     result.set_attribute(attr.name, std::move(poly));
   }
+  return result;
+}
+
+Status PulseMap::Process(size_t port, const Segment& segment,
+                         SegmentBatch* out) {
+  PULSE_CHECK(port == 0);
+  ++metrics_.segments_in;
+  PULSE_ASSIGN_OR_RETURN(Segment result, Apply(segment));
+  result.id = NextSegmentId();
   lineage_.Record(result.id, result.range, {LineageEntry{0, segment}});
   out->push_back(std::move(result));
   ++metrics_.segments_out;

@@ -52,6 +52,12 @@ class PulseMap : public PulseOperator {
   Status Process(size_t port, const Segment& segment,
                  SegmentBatch* out) override;
 
+  /// The pure transform Process applies: the input segment extended (or
+  /// replaced) with the computed attributes, with no id assignment,
+  /// lineage record, or metrics. Lets the runtime's slack analysis see
+  /// through the map without polluting operator state.
+  Result<Segment> Apply(const Segment& segment) const;
+
   Result<std::vector<AllocatedBound>> InvertBound(
       const Segment& output, const std::string& attribute, double margin,
       const SplitHeuristic& split) const override;

@@ -132,6 +132,8 @@ struct Source {
   // Window attached in the text ([size W advance S]); 0 when absent.
   double window_size = 0.0;
   double window_slide = 0.0;
+  // Tumbling epoch length (EPOCH E after the window); 0 when absent.
+  double epoch_seconds = 0.0;
 };
 
 class Parser {
@@ -436,6 +438,14 @@ Result<Source> Parser::ParseSource() {
     PULSE_ASSIGN_OR_RETURN(src.window_slide, ExpectNumber());
     PULSE_RETURN_IF_ERROR(ExpectSymbol("]"));
   }
+  // Optional tumbling epoch: "EPOCH E" (the Sonata operator; resets
+  // per-epoch state downstream, e.g. SELECT DISTINCT dedup).
+  if (MatchKeyword("epoch")) {
+    PULSE_ASSIGN_OR_RETURN(src.epoch_seconds, ExpectNumber());
+    if (src.epoch_seconds <= 0.0) {
+      return Error("EPOCH length must be positive");
+    }
+  }
   if (MatchKeyword("as")) {
     PULSE_ASSIGN_OR_RETURN(src.alias, ExpectIdent());
   }
@@ -581,6 +591,7 @@ Result<Predicate> Parser::ParsePredicateOnly(std::string_view left_alias,
 
 Result<QuerySpec::NodeId> Parser::ParseStatement() {
   PULSE_RETURN_IF_ERROR(ExpectKeyword("select"));
+  const bool distinct = MatchKeyword("distinct");
   PULSE_ASSIGN_OR_RETURN(std::vector<SelectItem> items, ParseSelectList());
   PULSE_RETURN_IF_ERROR(ExpectKeyword("from"));
   PULSE_ASSIGN_OR_RETURN(Source left, ParseSource());
@@ -632,6 +643,21 @@ Result<QuerySpec::NodeId> Parser::ParseStatement() {
   }
 
   // ---- assemble nodes ----------------------------------------------------
+  // EPOCH on a source wraps it in an epoch node before anything consumes
+  // it, so every downstream operator sees epoch-aligned input (the
+  // discrete plan gains the epoch column; the Pulse plan splits segments
+  // at epoch boundaries).
+  auto wrap_epoch = [&](Source* s) {
+    if (s->epoch_seconds <= 0.0) return;
+    EpochSpec spec;
+    spec.epoch_seconds = s->epoch_seconds;
+    const QuerySpec::NodeId en =
+        spec_->AddEpoch("epoch(" + s->alias + ")", s->input, spec);
+    s->input = QuerySpec::Input::Node(en);
+  };
+  wrap_epoch(&left);
+  if (have_join) wrap_epoch(&*right);
+
   QuerySpec::Input current = left.input;
 
   if (have_join) {
@@ -727,6 +753,21 @@ Result<QuerySpec::NodeId> Parser::ParseStatement() {
     const QuerySpec::NodeId hnode =
         spec_->AddFilter("having", current, filter);
     current = QuerySpec::Input::Node(hnode);
+  }
+
+  // SELECT DISTINCT: per-epoch key dedup at the statement tail — one
+  // result per key per epoch, timestamped at the first qualifying
+  // instant. The epoch length comes from the source's EPOCH clause.
+  if (distinct) {
+    if (left.epoch_seconds <= 0.0) {
+      return Status::InvalidArgument(
+          "SELECT DISTINCT requires EPOCH on its source (e.g. FROM s "
+          "EPOCH 1)");
+    }
+    DistinctSpec dspec;
+    dspec.epoch_seconds = left.epoch_seconds;
+    current = QuerySpec::Input::Node(
+        spec_->AddDistinct("distinct", current, dspec));
   }
 
   if (current.is_stream) {

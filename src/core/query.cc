@@ -76,6 +76,28 @@ QuerySpec::NodeId QuerySpec::AddMap(std::string name, Input input,
   return nodes_.size() - 1;
 }
 
+QuerySpec::NodeId QuerySpec::AddEpoch(std::string name, Input input,
+                                      EpochSpec spec) {
+  Node node;
+  node.kind = OpKind::kEpoch;
+  node.name = std::move(name);
+  node.inputs = {std::move(input)};
+  node.epoch = std::make_shared<EpochSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+QuerySpec::NodeId QuerySpec::AddDistinct(std::string name, Input input,
+                                         DistinctSpec spec) {
+  Node node;
+  node.kind = OpKind::kDistinct;
+  node.name = std::move(name);
+  node.inputs = {std::move(input)};
+  node.distinct = std::make_shared<DistinctSpec>(std::move(spec));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
 Result<StreamSpec> QuerySpec::stream(const std::string& name) const {
   auto it = streams_.find(name);
   if (it == streams_.end()) {

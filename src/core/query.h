@@ -75,13 +75,36 @@ struct AggregateSpec {
   bool per_key = false;
 };
 
+/// Tumbling epoch marker (the Sonata-style `epoch` operator): time is
+/// partitioned into half-open epochs [k*E, (k+1)*E) with origin 0. The
+/// discrete realization appends an int64 `epoch` column (floor(t / E));
+/// the Pulse realization splits every segment at epoch boundaries so no
+/// output validity range straddles an epoch — downstream per-epoch state
+/// (distinct) then resets exactly at the boundary instant, which belongs
+/// to the *next* epoch.
+struct EpochSpec {
+  double epoch_seconds = 1.0;
+  /// Name of the appended discrete epoch-index column.
+  std::string output_attribute = "epoch";
+};
+
+/// Per-epoch key dedup (the Sonata-style `distinct` operator). The
+/// discrete realization emits the first tuple per (epoch, key) and drops
+/// the rest. The Pulse realization is a new equation form: per (epoch,
+/// key) it emits the first validity run of the key's model — the output
+/// segment's range.lo is the first instant the model enters the upstream
+/// predicate region within that epoch — and suppresses every later run.
+struct DistinctSpec {
+  double epoch_seconds = 1.0;
+};
+
 /// A logical query: a DAG whose leaves are named streams. Node ids are
 /// dense indices.
 class QuerySpec {
  public:
   using NodeId = size_t;
 
-  enum class OpKind { kFilter, kJoin, kAggregate, kMap };
+  enum class OpKind { kFilter, kJoin, kAggregate, kMap, kEpoch, kDistinct };
 
   /// Reference to a node input: either an external stream or another node.
   struct Input {
@@ -112,6 +135,8 @@ class QuerySpec {
     std::shared_ptr<JoinSpec> join;
     std::shared_ptr<AggregateSpec> aggregate;
     std::shared_ptr<MapSpec> map;
+    std::shared_ptr<EpochSpec> epoch;
+    std::shared_ptr<DistinctSpec> distinct;
   };
 
   /// Registers a source stream; name must be unique.
@@ -121,6 +146,8 @@ class QuerySpec {
   NodeId AddJoin(std::string name, Input left, Input right, JoinSpec spec);
   NodeId AddAggregate(std::string name, Input input, AggregateSpec spec);
   NodeId AddMap(std::string name, Input input, MapSpec spec);
+  NodeId AddEpoch(std::string name, Input input, EpochSpec spec);
+  NodeId AddDistinct(std::string name, Input input, DistinctSpec spec);
 
   size_t num_nodes() const { return nodes_.size(); }
   const Node& node(NodeId id) const { return nodes_[id]; }

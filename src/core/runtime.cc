@@ -6,8 +6,11 @@
 #include <set>
 
 #include "core/operators/aggregate.h"
+#include "core/operators/distinct.h"
+#include "core/operators/epoch.h"
 #include "core/operators/filter.h"
 #include "core/operators/join.h"
+#include "core/operators/map.h"
 #include "math/linear_system.h"
 #include "model/fitting.h"
 #include "obs/span.h"
@@ -44,6 +47,10 @@ std::set<std::string> CollectStreamAttributes(const QuerySpec& spec,
       }
       case QuerySpec::OpKind::kAggregate:
         used.insert(node.aggregate->attribute);
+        break;
+      case QuerySpec::OpKind::kEpoch:
+      case QuerySpec::OpKind::kDistinct:
+        // Time-only operators: they read timestamps, not attributes.
         break;
       case QuerySpec::OpKind::kMap:
         for (const ComputedAttr& ca : node.map->outputs) {
@@ -182,29 +189,80 @@ RuntimeStats PredictiveRuntime::stats() const {
   return s;
 }
 
+namespace {
+
+// Slack contributed by the consumer behind one plan edge: the smallest
+// value deviation of `segment` that could change some selective gate's
+// answer. Walks THROUGH operators that reshape segments without gating
+// on values — epoch and distinct pass attributes unchanged, map derives
+// new attributes by a pure transform — so a detection chain like
+// stream -> epoch -> filter -> distinct yields the filter's threshold
+// distance, not infinity. An infinite slack here would let a stale
+// baseline model "explain" an attack for the rest of its horizon
+// (tuples deviating by any amount are skipped), which is exactly the
+// failure the telemetry workload exposed.
+double EdgeSlack(const PulsePlan& plan, const PulsePlan::Edge& e,
+                 const Segment& segment, int depth);
+
+double DownstreamSlack(const PulsePlan& plan, PulsePlan::NodeId id,
+                       const Segment& segment, int depth) {
+  double slack = std::numeric_limits<double>::infinity();
+  for (const PulsePlan::Edge& e : plan.downstream(id)) {
+    slack = std::min(slack, EdgeSlack(plan, e, segment, depth));
+  }
+  return slack;
+}
+
+double EdgeSlack(const PulsePlan& plan, const PulsePlan::Edge& e,
+                 const Segment& segment, int depth) {
+  if (depth > 8) return 0.0;  // cycle guard: force revalidation
+  PulseOperator* op = plan.node(e.to);
+  if (auto* filter = dynamic_cast<PulseFilter*>(op)) {
+    Result<double> s = filter->ComputeSlack(segment);
+    return s.ok() ? *s : std::numeric_limits<double>::infinity();
+  }
+  if (auto* join = dynamic_cast<PulseJoin*>(op)) {
+    Result<double> s = join->ComputeSlack(e.port, segment);
+    return s.ok() ? *s : std::numeric_limits<double>::infinity();
+  }
+  if (auto* agg = dynamic_cast<PulseMinMaxAggregate*>(op)) {
+    Result<double> s = agg->ComputeSlack(segment);
+    return s.ok() ? *s : std::numeric_limits<double>::infinity();
+  }
+  if (dynamic_cast<PulseEpoch*>(op) != nullptr ||
+      dynamic_cast<PulseDistinct*>(op) != nullptr) {
+    // Pure time-reshaping: attribute polynomials pass through unchanged,
+    // so the gate (if any) lives further downstream.
+    return DownstreamSlack(plan, e.to, segment, depth + 1);
+  }
+  if (auto* map = dynamic_cast<PulseMap*>(op)) {
+    Result<Segment> mapped = map->Apply(segment);
+    if (!mapped.ok()) return 0.0;
+    // Deviations of d in each input move a difference output by at most
+    // 2d, so half the downstream slack is safe for differences.
+    // distance2 has value-dependent gradients, so the same halving is
+    // heuristic there — an over-large slack only postpones revalidation
+    // within the segment horizon, the same precision trade slack mode
+    // already makes (paper Section IV).
+    return 0.5 * DownstreamSlack(plan, e.to, *mapped, depth + 1);
+  }
+  // Operators without a selective gate (sum/avg aggregates and their
+  // group-bys) produce no "near miss" notion: a null result there
+  // only means the window has not warmed up. Leave the slack infinite
+  // so the model keeps explaining tuples; accuracy margins take over
+  // once the query produces results and bounds are inverted, and the
+  // segment horizon bounds model staleness regardless.
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
 double PredictiveRuntime::SourceSlack(const std::string& stream,
                                       const Segment& segment) {
   double slack = std::numeric_limits<double>::infinity();
   const PulsePlan& plan = executor_->plan();
   for (const PulsePlan::Edge& e : plan.source_bindings(stream)) {
-    PulseOperator* op = plan.node(e.to);
-    if (auto* filter = dynamic_cast<PulseFilter*>(op)) {
-      Result<double> s = filter->ComputeSlack(segment);
-      if (s.ok()) slack = std::min(slack, *s);
-    } else if (auto* join = dynamic_cast<PulseJoin*>(op)) {
-      Result<double> s = join->ComputeSlack(e.port, segment);
-      if (s.ok()) slack = std::min(slack, *s);
-    } else if (auto* agg = dynamic_cast<PulseMinMaxAggregate*>(op)) {
-      Result<double> s = agg->ComputeSlack(segment);
-      if (s.ok()) slack = std::min(slack, *s);
-    } else {
-      // Operators without a selective gate (sum/avg aggregates and their
-      // group-bys) produce no "near miss" notion: a null result there
-      // only means the window has not warmed up. Leave the slack infinite
-      // so the model keeps explaining tuples; accuracy margins take over
-      // once the query produces results and bounds are inverted, and the
-      // segment horizon bounds model staleness regardless.
-    }
+    slack = std::min(slack, EdgeSlack(plan, e, segment, 0));
   }
   return slack;
 }

@@ -3,10 +3,14 @@
 #include <limits>
 
 #include "core/operators/aggregate.h"
+#include "core/operators/distinct.h"
+#include "core/operators/epoch.h"
 #include "core/operators/filter.h"
 #include "core/operators/group_by.h"
 #include "core/operators/join.h"
 #include "core/operators/map.h"
+#include "engine/distinct.h"
+#include "engine/epoch.h"
 #include "engine/filter.h"
 #include "engine/group_by.h"
 #include "engine/join.h"
@@ -280,6 +284,33 @@ Result<DiscretePlan> BuildDiscretePlan(const QuerySpec& spec) {
             Resolved{false, "", nid, op->output_schema(), key_index};
         break;
       }
+      case QuerySpec::OpKind::kEpoch: {
+        PULSE_ASSIGN_OR_RETURN(Resolved in, resolve_input(node.inputs[0]));
+        auto op = std::make_shared<EpochMark>(node.name, in.schema,
+                                              node.epoch->epoch_seconds,
+                                              node.epoch->output_attribute);
+        const QueryPlan::NodeId nid = out.plan.AddOperator(op);
+        PULSE_RETURN_IF_ERROR(connect(in, nid, 0));
+        // Epoch marking appends a column, so the key's index is stable.
+        resolved[id] =
+            Resolved{false, "", nid, op->output_schema(), in.key_index};
+        break;
+      }
+      case QuerySpec::OpKind::kDistinct: {
+        PULSE_ASSIGN_OR_RETURN(Resolved in, resolve_input(node.inputs[0]));
+        if (in.key_index == kNoKey) {
+          return Status::InvalidArgument(
+              "distinct node '" + node.name +
+              "' requires a keyed input (no key survives upstream)");
+        }
+        auto op = std::make_shared<EpochDistinct>(
+            node.name, in.schema, node.distinct->epoch_seconds,
+            in.key_index);
+        const QueryPlan::NodeId nid = out.plan.AddOperator(op);
+        PULSE_RETURN_IF_ERROR(connect(in, nid, 0));
+        resolved[id] = Resolved{false, "", nid, in.schema, in.key_index};
+        break;
+      }
     }
   }
 
@@ -367,6 +398,18 @@ Result<TransformedPlan> BuildPulsePlan(const QuerySpec& spec) {
       case QuerySpec::OpKind::kMap: {
         nid = out.plan.AddOperator(std::make_shared<PulseMap>(
             node.name, node.map->outputs, node.map->keep_inputs));
+        PULSE_RETURN_IF_ERROR(connect(node.inputs[0], nid, 0));
+        break;
+      }
+      case QuerySpec::OpKind::kEpoch: {
+        nid = out.plan.AddOperator(std::make_shared<PulseEpoch>(
+            node.name, node.epoch->epoch_seconds));
+        PULSE_RETURN_IF_ERROR(connect(node.inputs[0], nid, 0));
+        break;
+      }
+      case QuerySpec::OpKind::kDistinct: {
+        nid = out.plan.AddOperator(std::make_shared<PulseDistinct>(
+            node.name, node.distinct->epoch_seconds));
         PULSE_RETURN_IF_ERROR(connect(node.inputs[0], nid, 0));
         break;
       }

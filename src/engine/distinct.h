@@ -1,0 +1,48 @@
+#ifndef PULSE_ENGINE_DISTINCT_H_
+#define PULSE_ENGINE_DISTINCT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/operator.h"
+
+namespace pulse {
+
+/// Discrete per-epoch key dedup (the Sonata `distinct` operator): emits
+/// the first tuple per (epoch, key) and drops every later one in the
+/// same epoch; the next epoch starts fresh. Schema passes through
+/// unchanged.
+///
+/// State is one epoch index per key. Tuples reach an operator in event
+/// time order (the executor is push-based over timestamp-ordered
+/// streams), so per key the epoch index is non-decreasing and "first in
+/// epoch" is exactly "epoch greater than the last emitted one" — the
+/// seen-set never needs to hold more than the latest epoch per key, so
+/// memory is O(keys), not O(keys x epochs).
+class EpochDistinct : public Operator {
+ public:
+  EpochDistinct(std::string name, std::shared_ptr<const Schema> schema,
+                double epoch_seconds, size_t key_index);
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  double epoch_seconds_;
+  size_t key_index_;
+  // Latest epoch a tuple was emitted for, per key (int64 entity id).
+  std::map<int64_t, int64_t> last_emitted_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_DISTINCT_H_

@@ -1,0 +1,44 @@
+#ifndef PULSE_ENGINE_EPOCH_H_
+#define PULSE_ENGINE_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/operator.h"
+
+namespace pulse {
+
+/// Epoch index of absolute time `t` under tumbling epochs of length
+/// `epoch_seconds` with origin 0: floor(t / E). Epochs are half-open
+/// [k*E, (k+1)*E) — the boundary instant belongs to the *next* epoch.
+/// Shared by the discrete operator, the Pulse operator and the
+/// differential oracle so all three agree bitwise on attribution.
+int64_t EpochIndexOf(double t, double epoch_seconds);
+
+/// Discrete tumbling-epoch marker (the Sonata `epoch` operator): appends
+/// an int64 epoch-index column to every tuple and passes it through. The
+/// column is what downstream per-epoch operators (distinct, per-epoch
+/// grouping) key their state resets on.
+class EpochMark : public Operator {
+ public:
+  EpochMark(std::string name, std::shared_ptr<const Schema> input_schema,
+            double epoch_seconds, std::string output_attribute = "epoch");
+
+  std::shared_ptr<const Schema> output_schema() const override {
+    return schema_;
+  }
+
+  Status Process(size_t port, const Tuple& input,
+                 std::vector<Tuple>* out) override;
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  double epoch_seconds_;
+};
+
+}  // namespace pulse
+
+#endif  // PULSE_ENGINE_EPOCH_H_

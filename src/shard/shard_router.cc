@@ -33,7 +33,12 @@ PartitionAnalysis AnalyzePartitionability(const QuerySpec& spec) {
     switch (node.kind) {
       case QuerySpec::OpKind::kFilter:
       case QuerySpec::OpKind::kMap:
+      case QuerySpec::OpKind::kEpoch:
         // Stateless per segment: any partition works.
+        break;
+      case QuerySpec::OpKind::kDistinct:
+        // Per-epoch dedup keeps one epoch index per key; a key-hash
+        // partition keeps every key's state on one shard.
         break;
       case QuerySpec::OpKind::kJoin:
         if (!node.join->match_keys) {

@@ -10,6 +10,7 @@
 #include "core/operators/join.h"
 #include "core/runtime.h"
 #include "core/transform.h"
+#include "engine/epoch.h"
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
@@ -784,6 +785,177 @@ Status MatchAggregate(const GeneratedCase& kase, const DiscreteRun& discrete,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------
+// Distinct-series matcher (epoch -> filter -> distinct sinks)
+//
+// Semantics under test: at most one event per (epoch, key), timestamped
+// at the key's first qualifying instant in the epoch. The discrete side
+// is held to exact agreement with a grid oracle — the engine evaluates
+// the same polynomials at the same grid instants, so its first passing
+// tuple per (epoch, key) is bit-predictable. The Pulse side emits the
+// first validity run of the epoch; its range.lo must not trail the
+// first *robustly* passing grid instant (crossings between grid points
+// legitimately precede it), and must never sit where the ground-truth
+// model robustly fails the predicate.
+
+Status MatchDistinct(const GeneratedCase& kase, const DiscreteRun& discrete,
+                     const std::vector<Segment>& pulse,
+                     Reporter* reporter) {
+  const SinkInfo& sink = kase.sink;
+  const StreamWorkload& ws = kase.workloads[0];
+  const double epoch_len = sink.epoch_seconds;
+  const std::string& attr = sink.distinct_attribute;
+  const double thr = sink.distinct_threshold;
+  const CmpOp op = sink.distinct_op;
+  // A grid pass is "robust" when the value clears the threshold by more
+  // than the solver's value tolerance — only those force a Pulse run to
+  // have opened by that instant (a marginal pass may round either way
+  // in root refinement).
+  const double entry_tol = Tol(ws.value_bound);
+  // Value slack for probing a Pulse run boundary: solver tolerance plus
+  // how far the bounded-slope signal can move across the probe offset.
+  const double probe_tol =
+      entry_tol + ws.derivative_bound * 2.0 * kTimeGuard;
+
+  PULSE_ASSIGN_OR_RETURN(size_t key_idx,
+                         discrete.schema->IndexOf(sink.key_field));
+  PULSE_ASSIGN_OR_RETURN(size_t epoch_idx, discrete.schema->IndexOf("epoch"));
+
+  // Ground truth per (epoch, key): the first passing grid instant (the
+  // discrete witness, exact) and the first robust one (the Pulse
+  // deadline).
+  struct Truth {
+    double first_pass = std::numeric_limits<double>::infinity();
+    double first_robust = std::numeric_limits<double>::infinity();
+  };
+  std::map<std::pair<int64_t, Key>, Truth> truth;
+  for (const double t : SampleGrid(ws, kase.sample_dt)) {
+    const int64_t e = EpochIndexOf(t, epoch_len);
+    for (const KeyTrack& track : ws.tracks) {
+      const TrackPiece* piece = track.PieceAt(t);
+      if (piece == nullptr) continue;
+      const double v = piece->attrs.at(attr).Evaluate(t);
+      if (!CmpHolds(v, op, thr)) continue;
+      Truth& tr = truth[{e, track.key}];
+      if (t < tr.first_pass) tr.first_pass = t;
+      if (std::fabs(v - thr) > entry_tol && t < tr.first_robust) {
+        tr.first_robust = t;
+      }
+    }
+  }
+
+  // Discrete events, keyed by the engine's own epoch column (which must
+  // agree with the shared EpochIndexOf on the tuple's timestamp).
+  std::map<std::pair<int64_t, Key>, double> discrete_events;
+  for (const Tuple& tuple : discrete.output) {
+    if (reporter->full()) return Status::OK();
+    const Key key = tuple.at(key_idx).as_int64();
+    const int64_t e = tuple.at(epoch_idx).as_int64();
+    if (e != EpochIndexOf(tuple.timestamp, epoch_len)) {
+      reporter->Add(Divergence{
+          "distinct.epoch_column", tuple.timestamp, key, "epoch",
+          static_cast<double>(EpochIndexOf(tuple.timestamp, epoch_len)),
+          static_cast<double>(e),
+          "epoch column disagrees with EpochIndexOf(timestamp)"});
+    }
+    auto [it, inserted] = discrete_events.insert({{e, key}, tuple.timestamp});
+    if (!inserted) {
+      reporter->Add(Divergence{
+          "distinct.duplicate", tuple.timestamp, key, "", it->second,
+          tuple.timestamp, "second discrete event for one (epoch, key)"});
+    }
+  }
+
+  // Discrete vs oracle: exact two-way set match, first-pass timestamps.
+  for (const auto& [ek, tr] : truth) {
+    if (reporter->full()) return Status::OK();
+    auto it = discrete_events.find(ek);
+    if (it == discrete_events.end()) {
+      reporter->Add(Divergence{"distinct.missing", tr.first_pass, ek.second,
+                               attr, tr.first_pass, 0.0,
+                               "grid oracle passes in epoch " +
+                                   std::to_string(ek.first) +
+                                   " but no discrete event"});
+      continue;
+    }
+    if (!Near(it->second, tr.first_pass, kGridEps)) {
+      reporter->Add(Divergence{"distinct.first_time", it->second, ek.second,
+                               attr, tr.first_pass, it->second,
+                               "discrete event is not the first passing "
+                               "grid instant of the epoch"});
+    }
+  }
+  for (const auto& [ek, t] : discrete_events) {
+    if (reporter->full()) return Status::OK();
+    if (truth.count(ek) == 0) {
+      reporter->Add(Divergence{"distinct.unexpected", t, ek.second, attr,
+                               0.0, t,
+                               "discrete event in epoch " +
+                                   std::to_string(ek.first) +
+                                   " where the grid oracle never passes"});
+    }
+  }
+
+  // Pulse events: one segment per (epoch, key), attributed by range
+  // midpoint (strictly inside the run, hence inside its epoch).
+  std::map<std::pair<int64_t, Key>, const Segment*> pulse_events;
+  for (const Segment& s : pulse) {
+    if (reporter->full()) return Status::OK();
+    if (s.range.IsEmpty()) continue;
+    const double mid = s.range.lo + 0.5 * s.range.Length();
+    const int64_t e = EpochIndexOf(mid, epoch_len);
+    const double e_lo = static_cast<double>(e) * epoch_len;
+    const double e_hi = static_cast<double>(e + 1) * epoch_len;
+    if (s.range.lo < e_lo - kTimeGuard || s.range.hi > e_hi + kTimeGuard) {
+      reporter->Add(Divergence{"distinct.pulse_epoch_range", s.range.lo,
+                               s.key, attr, 0.0, 0.0,
+                               "output run " + s.range.ToString() +
+                                   " straddles an epoch boundary"});
+    }
+    auto [it, inserted] = pulse_events.insert({{e, s.key}, &s});
+    if (!inserted) {
+      reporter->Add(Divergence{
+          "distinct.pulse_duplicate", s.range.lo, s.key, "",
+          it->second->range.lo, s.range.lo,
+          "second Pulse event for one (epoch, key)"});
+    }
+    // The model must actually qualify just inside the run: probe at
+    // lo + guard (capped at the midpoint) and reject robust failures.
+    const double t_probe = std::min(s.range.lo + kTimeGuard, mid);
+    const std::optional<double> v = ws.Value(s.key, attr, t_probe);
+    if (v.has_value() && !CmpHolds(*v, op, thr) &&
+        std::fabs(*v - thr) > probe_tol) {
+      reporter->Add(Divergence{"distinct.pulse_spurious", s.range.lo, s.key,
+                               attr, thr, *v,
+                               "ground-truth model robustly fails the "
+                               "predicate just inside the emitted run"});
+    }
+  }
+
+  // Pulse presence/deadline: a robust grid pass forces an event whose
+  // run opened by that instant.
+  for (const auto& [ek, tr] : truth) {
+    if (reporter->full()) return Status::OK();
+    if (!std::isfinite(tr.first_robust)) continue;
+    auto it = pulse_events.find(ek);
+    if (it == pulse_events.end()) {
+      reporter->Add(Divergence{"distinct.pulse_missing", tr.first_robust,
+                               ek.second, attr, tr.first_robust, 0.0,
+                               "robust grid pass in epoch " +
+                                   std::to_string(ek.first) +
+                                   " but no Pulse event"});
+      continue;
+    }
+    if (it->second->range.lo > tr.first_robust + kTimeGuard) {
+      reporter->Add(Divergence{
+          "distinct.pulse_late", it->second->range.lo, ek.second, attr,
+          tr.first_robust, it->second->range.lo,
+          "Pulse first-entry instant trails the first robust grid pass"});
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string Divergence::ToString() const {
@@ -937,12 +1109,19 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
 
   CheckMetricsInvariants(discrete, base, parallel, &report, &reporter);
 
-  if (kase.sink.kind == SinkInfo::Kind::kPointwise) {
-    PULSE_RETURN_IF_ERROR(
-        MatchPointwise(kase, discrete, base.segments, &reporter));
-  } else {
-    PULSE_RETURN_IF_ERROR(
-        MatchAggregate(kase, discrete, base.segments, &reporter));
+  switch (kase.sink.kind) {
+    case SinkInfo::Kind::kPointwise:
+      PULSE_RETURN_IF_ERROR(
+          MatchPointwise(kase, discrete, base.segments, &reporter));
+      break;
+    case SinkInfo::Kind::kAggregateSeries:
+      PULSE_RETURN_IF_ERROR(
+          MatchAggregate(kase, discrete, base.segments, &reporter));
+      break;
+    case SinkInfo::Kind::kDistinctSeries:
+      PULSE_RETURN_IF_ERROR(
+          MatchDistinct(kase, discrete, base.segments, &reporter));
+      break;
   }
   return report;
 }

@@ -19,6 +19,10 @@ const char* PlanArchetypeToString(PlanArchetype a) {
       return "aggregate";
     case PlanArchetype::kGroupBy:
       return "group_by";
+    case PlanArchetype::kEpochMark:
+      return "epoch_mark";
+    case PlanArchetype::kEpochDistinct:
+      return "epoch_distinct";
   }
   return "unknown";
 }
@@ -155,6 +159,14 @@ double PickSlide(Rng& rng) {
   return kS[rng.UniformInt(0, 2)];
 }
 
+// Epoch lengths deliberately include values that are and are not
+// multiples of sample_dt, so epoch boundaries land both on and between
+// grid instants.
+double PickEpoch(Rng& rng) {
+  static const double kE[] = {0.5, 0.75, 1.0, 1.5};
+  return kE[rng.UniformInt(0, 3)];
+}
+
 }  // namespace
 
 Result<GeneratedCase> GenerateCase(uint64_t seed,
@@ -171,6 +183,11 @@ Result<GeneratedCase> GenerateCase(uint64_t seed,
   const double join_window = 0.5 * options.sample_dt;
 
   if (options.archetypes.empty()) {
+    // Frozen default mix: seeds are bug-report identifiers (see
+    // differential_test.cc), so this list must never be reordered or
+    // extended — the historical seed -> case mapping would silently
+    // change. Later archetypes (kEpochMark, kEpochDistinct) run in
+    // their own frozen batteries via options.archetypes.
     static const PlanArchetype kAll[] = {
         PlanArchetype::kFilterChain, PlanArchetype::kJoin,
         PlanArchetype::kSelfJoin, PlanArchetype::kAggregate,
@@ -319,6 +336,66 @@ Result<GeneratedCase> GenerateCase(uint64_t seed,
         desc << " having[" << fs.predicate.ToString() << "]";
         out.spec.AddFilter("having", cur, std::move(fs));
       }
+      break;
+    }
+
+    case PlanArchetype::kEpochMark: {
+      // Boundary splitting must be answer-invariant: the discrete plan
+      // gains an epoch column (ignored by the matcher), the Pulse plan
+      // splits segments at epoch boundaries — sampled values must be
+      // byte-identical to the unsplit stream's.
+      WorkloadGenOptions wo = options.workload;
+      wo.telemetry = true;
+      StreamWorkload ws = GenerateStreamWorkload(
+          rng, "s", {"x", "y"}, RandomKeys(rng, options.workload, 1), wo);
+      PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(ws)));
+      EpochSpec es;
+      es.epoch_seconds = PickEpoch(rng);
+      desc << " epoch=" << es.epoch_seconds;
+      out.spec.AddEpoch("epoch", QuerySpec::Input::Stream("s"), es);
+      out.workloads.push_back(std::move(ws));
+      out.sink.kind = SinkInfo::Kind::kPointwise;
+      out.sink.key_field = "id";
+      break;
+    }
+
+    case PlanArchetype::kEpochDistinct: {
+      // The Sonata detection shape: epoch -> filter -> distinct over a
+      // bursty telemetry stream. The filter is a single atom (attr cmp
+      // const) so the matcher can derive ground-truth region entries
+      // from the workload tracks directly.
+      WorkloadGenOptions wo = options.workload;
+      wo.telemetry = true;
+      StreamWorkload ws = GenerateStreamWorkload(
+          rng, "s", {"x", "y"}, RandomKeys(rng, options.workload, 2), wo);
+      PULSE_RETURN_IF_ERROR(out.spec.AddStream(MakeStreamSpec(ws)));
+
+      EpochSpec es;
+      es.epoch_seconds = PickEpoch(rng);
+      const QuerySpec::NodeId en =
+          out.spec.AddEpoch("epoch", QuerySpec::Input::Stream("s"), es);
+
+      out.sink.kind = SinkInfo::Kind::kDistinctSeries;
+      out.sink.key_field = "id";
+      out.sink.epoch_seconds = es.epoch_seconds;
+      out.sink.distinct_attribute = Pick(rng, ws.attributes);
+      out.sink.distinct_op = RandomIneqOp(rng);
+      // Between the telemetry baseline (< 0.15 * scale) and burst
+      // (> 0.5 * scale) bands: kGt/kGe detect bursts, kLt/kLe detect
+      // quiet keys — both directions have non-trivial region entries.
+      out.sink.distinct_threshold = rng.Uniform(0.2, 0.45) * scale;
+      FilterSpec fs{Predicate::Comparison(ComparisonTerm::Simple(
+          AttrRef::Left(out.sink.distinct_attribute), out.sink.distinct_op,
+          Operand::Constant(out.sink.distinct_threshold)))};
+      desc << " epoch=" << es.epoch_seconds << " detect["
+           << fs.predicate.ToString() << "]";
+      const QuerySpec::NodeId fn = out.spec.AddFilter(
+          "detect", QuerySpec::Input::Node(en), std::move(fs));
+
+      DistinctSpec ds;
+      ds.epoch_seconds = es.epoch_seconds;
+      out.spec.AddDistinct("distinct", QuerySpec::Input::Node(fn), ds);
+      out.workloads.push_back(std::move(ws));
       break;
     }
   }

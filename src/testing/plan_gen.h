@@ -26,6 +26,14 @@ enum class PlanArchetype {
   kAggregate,
   /// stream -> per-key aggregate (GROUP BY id) [-> HAVING filter].
   kGroupBy,
+  /// stream -> epoch (tumbling boundary marker; output matched
+  /// pointwise — the discrete epoch column is invisible to the matcher,
+  /// the Pulse boundary splits must not change any sampled value).
+  kEpochMark,
+  /// stream -> epoch -> filter(attr cmp const) -> distinct: one event
+  /// per (epoch, key), timestamped at the key's first qualifying
+  /// instant. Uses bursty telemetry-mode workloads.
+  kEpochDistinct,
 };
 
 const char* PlanArchetypeToString(PlanArchetype a);
@@ -40,6 +48,11 @@ struct SinkInfo {
     /// the match is at window-close times with discretization-aware
     /// tolerances.
     kAggregateSeries,
+    /// Sink emits at most one event per (epoch, key): the first instant
+    /// the key's model enters the predicate region in that epoch. The
+    /// match compares event sets against the ground-truth first
+    /// crossing, with grid-resolution slack on the timestamps.
+    kDistinctSeries,
   };
   Kind kind = Kind::kPointwise;
 
@@ -59,6 +72,13 @@ struct SinkInfo {
   bool having = false;
   CmpOp having_op = CmpOp::kGt;
   double having_threshold = 0.0;
+
+  // kDistinctSeries only: the single-atom predicate guarding the
+  // distinct, and the epoch length both realizations dedup on.
+  std::string distinct_attribute = "x";
+  CmpOp distinct_op = CmpOp::kGt;
+  double distinct_threshold = 0.0;
+  double epoch_seconds = 1.0;
 };
 
 /// One generated differential case: a logical query plus the ground-truth

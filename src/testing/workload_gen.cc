@@ -26,6 +26,27 @@ Polynomial RandomPiecePolynomial(Rng& rng, size_t degree, double scale) {
   return p;
 }
 
+// Telemetry-mode piece polynomial (piece-local time): a near-zero
+// baseline or a burst near value_scale, with a bounded linear drift.
+// The two bands are separated by design (baseline < 0.15 * scale,
+// burst > 0.5 * scale over typical piece lengths), so thresholds in
+// between give clean region entries for epoch/distinct plans.
+Polynomial TelemetryPiecePolynomial(Rng& rng, double scale,
+                                    double burst_probability) {
+  const bool burst = rng.Bernoulli(burst_probability);
+  std::vector<double> coeffs;
+  if (burst) {
+    coeffs.push_back(rng.Uniform(0.6 * scale, scale));
+    coeffs.push_back(rng.Uniform(-0.05 * scale, 0.05 * scale));
+  } else {
+    coeffs.push_back(rng.Uniform(0.0, 0.08 * scale));
+    coeffs.push_back(rng.Uniform(-0.01 * scale, 0.01 * scale));
+  }
+  Polynomial p(std::move(coeffs));
+  p.TrimInPlace();
+  return p;
+}
+
 }  // namespace
 
 const TrackPiece* KeyTrack::PieceAt(double t) const {
@@ -182,13 +203,20 @@ StreamWorkload GenerateStreamWorkload(Rng& rng, std::string name,
       TrackPiece piece;
       piece.range = Interval::ClosedOpen(cuts[i], cuts[i + 1]);
       for (const std::string& attr : ws.attributes) {
-        const size_t degree = static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(options.max_degree)));
         // Generate in piece-local time, then shift to absolute time
         // (exactly how SegmentModelBuilder publishes MODEL clauses).
-        piece.attrs[attr] =
-            RandomPiecePolynomial(rng, degree, options.value_scale)
-                .Shift(-cuts[i]);
+        if (options.telemetry) {
+          piece.attrs[attr] =
+              TelemetryPiecePolynomial(rng, options.value_scale,
+                                       options.burst_probability)
+                  .Shift(-cuts[i]);
+        } else {
+          const size_t degree = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(options.max_degree)));
+          piece.attrs[attr] =
+              RandomPiecePolynomial(rng, degree, options.value_scale)
+                  .Shift(-cuts[i]);
+        }
       }
       track.pieces.push_back(std::move(piece));
     }

@@ -31,6 +31,15 @@ struct WorkloadGenOptions {
   /// Constant-term scale; higher-order coefficients shrink with order so
   /// values stay O(value_scale) over a piece.
   double value_scale = 10.0;
+  /// Telemetry mode: instead of free random polynomials, each piece is
+  /// either a near-zero baseline or a burst near value_scale (degree <=
+  /// 1, slopes bounded) — the on/off shape of attack traffic. Thresholds
+  /// placed between the bands make epoch/distinct detections non-trivial
+  /// in both directions. Tracks stay exact piecewise polynomials, so the
+  /// differential oracles apply unchanged.
+  bool telemetry = false;
+  /// Probability a telemetry piece is a burst rather than baseline.
+  double burst_probability = 0.35;
 };
 
 /// One polynomial piece of a key's track. `range` is half-open [lo, hi);

@@ -1,0 +1,156 @@
+#ifndef PULSE_WORKLOAD_TELEMETRY_H_
+#define PULSE_WORKLOAD_TELEMETRY_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/tuple.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace pulse {
+
+/// Synthetic network-telemetry feed: per-host traffic counters reported
+/// as rates plus rate derivatives, so linear models fit each report
+/// exactly (the network analogue of the paper's AIS position/velocity
+/// feed). Each host carries five modeled metrics:
+///
+///   syn_rate     TCP SYNs/sec arriving at the host
+///   ack_rate     TCP ACKs/sec completing handshakes
+///   in_rate      total inbound packets/sec
+///   port_spread  distinct destination ports probed/sec
+///   fanout       distinct destination hosts contacted/sec
+///
+/// Metrics idle at a small per-host baseline; a configurable set of
+/// attacks ramps one metric to a peak far above the detection
+/// thresholds, holds, and ramps back down. Tracks are piecewise linear
+/// and the reported derivative is the true slope, so both realizations
+/// see the same underlying function. Ground truth (which host, which
+/// kind, when) is exposed for detection-latency measurement.
+struct TelemetryOptions {
+  size_t num_hosts = 64;
+  /// Aggregate report rate across all hosts (tuples/second).
+  double tuple_rate = 1000.0;
+  /// Trace length; attacks are scheduled to finish inside it.
+  double duration = 30.0;
+  double start_time = 0.0;
+  /// Number of attacks of each kind (distinct victim hosts).
+  size_t syn_floods = 2;
+  size_t port_scans = 2;
+  size_t ddos_victims = 2;
+  size_t super_spreaders = 2;
+  /// Seconds an attack lasts, onset to quiet.
+  double attack_duration = 4.0;
+  /// Seconds to ramp from baseline to peak (and back down).
+  double ramp_seconds = 0.5;
+  /// Mean idle level of every metric, per host.
+  double baseline = 20.0;
+  /// Per-host baseline spread: levels are uniform in baseline +/- jitter.
+  double baseline_jitter = 10.0;
+  /// Attack amplitude added on top of the baseline at full ramp.
+  double peak = 400.0;
+  uint64_t seed = 42;
+};
+
+/// One scheduled attack, the generator's ground truth.
+struct AttackEvent {
+  enum class Kind { kSynFlood, kPortScan, kDdosVictim, kSuperSpreader };
+  Kind kind = Kind::kSynFlood;
+  int64_t host = 0;
+  /// Time the metric starts ramping off baseline.
+  double onset = 0.0;
+  /// Time the metric is back to baseline.
+  double end = 0.0;
+};
+
+class TelemetryGenerator {
+ public:
+  explicit TelemetryGenerator(TelemetryOptions options);
+
+  /// Schema (id:int64, then value/derivative pairs for the five
+  /// metrics: syn_rate, syn_rate_d, ack_rate, ack_rate_d, in_rate,
+  /// in_rate_d, port_spread, port_spread_d, fanout, fanout_d).
+  static std::shared_ptr<const Schema> TupleSchema();
+
+  /// Stream spec with MODELs m = m + m_d * t for each metric.
+  static StreamSpec MakeStreamSpec(std::string name,
+                                   double segment_horizon);
+
+  Tuple NextTuple();
+  std::vector<Tuple> Generate(size_t n);
+  /// The full trace: duration * tuple_rate tuples from start_time.
+  std::vector<Tuple> GenerateAll();
+
+  double now() const { return now_; }
+  const TelemetryOptions& options() const { return options_; }
+  const std::vector<AttackEvent>& attacks() const { return attacks_; }
+
+ private:
+  static constexpr size_t kNumMetrics = 5;
+
+  struct MetricSample {
+    double value = 0.0;
+    double slope = 0.0;
+  };
+  MetricSample Eval(size_t host, size_t metric, double t) const;
+
+  TelemetryOptions options_;
+  Rng rng_;
+  // Per-host idle level of each metric.
+  std::vector<std::array<double, kNumMetrics>> baseline_;
+  std::vector<AttackEvent> attacks_;
+  size_t next_host_ = 0;
+  double now_ = 0.0;
+};
+
+/// Thresholds and epoching shared by the Sonata-style detection queries.
+/// Defaults sit well above the baseline band (baseline + jitter) and
+/// well below the attack peak, so detection hinges on catching the ramp,
+/// not on tuning.
+struct TelemetryQueryParams {
+  std::string stream = "telemetry";
+  double epoch_seconds = 1.0;
+  double syn_excess_threshold = 100.0;
+  double port_spread_threshold = 100.0;
+  double in_rate_threshold = 100.0;
+  double fanout_threshold = 100.0;
+  /// Heavy-hitter windowed average (the one non-epoch detection).
+  double heavy_window = 4.0;
+  double heavy_slide = 1.0;
+  double heavy_threshold = 100.0;
+};
+
+/// SYN flood: hosts whose SYN rate runs far ahead of their ACK rate
+/// (half-open connections piling up). Plan: map syn_excess =
+/// syn_rate - ack_rate, epoch, filter syn_excess > T, distinct — one
+/// alert per host per epoch, timestamped at first crossing.
+Result<QuerySpec::NodeId> AddSynFloodQuery(
+    QuerySpec* spec, const TelemetryQueryParams& params);
+
+/// Port scan: hosts probing too many distinct ports per second.
+/// Plan: epoch, filter port_spread > T, distinct.
+Result<QuerySpec::NodeId> AddPortScanQuery(
+    QuerySpec* spec, const TelemetryQueryParams& params);
+
+/// DDoS victim: hosts whose inbound packet rate spikes.
+/// Plan: epoch, filter in_rate > T, distinct.
+Result<QuerySpec::NodeId> AddDdosVictimQuery(
+    QuerySpec* spec, const TelemetryQueryParams& params);
+
+/// Super-spreader: hosts contacting too many distinct destinations.
+/// Plan: epoch, filter fanout > T, distinct.
+Result<QuerySpec::NodeId> AddSuperSpreaderQuery(
+    QuerySpec* spec, const TelemetryQueryParams& params);
+
+/// Heavy hitter: hosts with a sustained high inbound average (windowed
+/// avg + HAVING, the pre-existing aggregate machinery; flags the DDoS
+/// victims' sustained load rather than the instantaneous spike).
+Result<QuerySpec::NodeId> AddHeavyHitterQuery(
+    QuerySpec* spec, const TelemetryQueryParams& params);
+
+}  // namespace pulse
+
+#endif  // PULSE_WORKLOAD_TELEMETRY_H_

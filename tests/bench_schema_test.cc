@@ -240,5 +240,43 @@ TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
       << "sharded sweep needs >= 2 distinct shard counts";
 }
 
+TEST(CheckedInBenchJsonTest, TelemetryMatchesGateSchema) {
+  const std::string text = ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                                           "/BENCH_telemetry.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_telemetry.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "telemetry", &doc));
+  ExpectRowFields(doc, {"query", "realization", "tuples", "seconds",
+                        "tuples_per_sec", "attacks", "detected", "p50_ms",
+                        "p95_ms", "p99_ms", "core_bound"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("hosts"), nullptr);
+  EXPECT_NE(params->Find("tuple_rate"), nullptr);
+  EXPECT_NE(params->Find("epoch_seconds"), nullptr);
+  EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
+  // Detection-latency percentiles for at least 3 distinct detection
+  // queries, each measured on both realizations, with every scheduled
+  // attack detected (the thresholds sit between the baseline band and
+  // the attack peak, so a miss is a pipeline bug, not tuning).
+  std::set<std::string> queries;
+  std::set<std::string> realizations;
+  for (const json::Value& row : doc.Find("results")->as_array()) {
+    queries.insert(row.Find("query")->as_string());
+    realizations.insert(row.Find("realization")->as_string());
+    EXPECT_EQ(row.Find("detected")->as_number(),
+              row.Find("attacks")->as_number())
+        << row.Find("query")->as_string() << "/"
+        << row.Find("realization")->as_string() << " missed attacks";
+    EXPECT_GT(row.Find("attacks")->as_number(), 0.0);
+    EXPECT_LE(row.Find("p50_ms")->as_number(),
+              row.Find("p99_ms")->as_number());
+  }
+  EXPECT_GE(queries.size(), 3u)
+      << "need latency percentiles for >= 3 detection queries";
+  EXPECT_TRUE(realizations.count("discrete") &&
+              realizations.count("pulse"))
+      << "both realizations must be benchmarked";
+}
+
 }  // namespace
 }  // namespace pulse

@@ -54,6 +54,66 @@ INSTANTIATE_TEST_SUITE_P(Fixed, DifferentialSuite,
                            return "seed" + std::to_string(info.param);
                          });
 
+// Epoch/distinct battery: 200 more frozen seeds restricted to the
+// telemetry archetypes (stream -> epoch, and the Sonata detection shape
+// stream -> epoch -> filter -> distinct over bursty telemetry-mode
+// workloads). Kept separate from the Fixed battery so its seed -> case
+// mapping stays frozen too, and so every seed here exercises the new
+// operators across the full metamorphic grid (threads x cache x shards
+// x forced-scalar x serving) rather than a 2-in-7 slice of a mixed run.
+void RunTelemetrySeed(uint64_t seed) {
+  PlanGenOptions gen;
+  gen.archetypes = {PlanArchetype::kEpochMark,
+                    PlanArchetype::kEpochDistinct};
+  Result<DiffReport> report = RunDifferentialSeed(seed, gen);
+  ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                           << report.status().message();
+  EXPECT_TRUE(report->ok()) << report->ToString();
+}
+
+class TelemetryDifferentialSuite
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TelemetryDifferentialSuite, EpochDistinctAgree) {
+  RunTelemetrySeed(GetParam());
+}
+
+// Base offset 3000: disjoint from the Fixed battery (1000+) and the
+// env-gated sweep (10000+), and frozen for the same reason.
+std::vector<uint64_t> TelemetrySeeds() {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(200);
+  for (uint64_t i = 0; i < 200; ++i) seeds.push_back(3000 + i);
+  return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Telemetry, TelemetryDifferentialSuite,
+                         ::testing::ValuesIn(TelemetrySeeds()),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Guards the distinct oracle against passing vacuously: across the
+// first slice of the telemetry battery, detection events must actually
+// flow on both sides (the generator's burst probability and threshold
+// band are tuned so epoch_distinct cases fire routinely).
+TEST(TelemetryDifferential, DetectionEventsAreNotVacuous) {
+  PlanGenOptions gen;
+  gen.archetypes = {PlanArchetype::kEpochDistinct};
+  size_t with_events = 0;
+  for (uint64_t seed = 3000; seed < 3020; ++seed) {
+    Result<DiffReport> report = RunDifferentialSeed(seed, gen);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_TRUE(report->ok()) << report->ToString();
+    if (report->discrete_output_tuples > 0 &&
+        report->pulse_output_segments > 0) {
+      ++with_events;
+    }
+  }
+  EXPECT_GE(with_events, 10u)
+      << "most epoch_distinct cases should produce detection events";
+}
+
 // Regression: HAVING after min/max leaked stale envelope slices. The
 // eager changed-range protocol gives aggregate output streams override
 // semantics (a later segment replaces earlier coverage where ranges

@@ -1,0 +1,203 @@
+// Unit tests for the epoch/distinct operator pair in both realizations:
+// the discrete EpochMark/EpochDistinct (tuple-at-a-time) and the Pulse
+// PulseEpoch/PulseDistinct (segment splitting / first-validity-run).
+// Equivalence between the two is proved end-to-end by differential_test;
+// this file pins the local semantics each realization promises.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/operators/distinct.h"
+#include "core/operators/epoch.h"
+#include "engine/distinct.h"
+#include "engine/epoch.h"
+#include "engine/schema.h"
+#include "engine/tuple.h"
+
+namespace pulse {
+namespace {
+
+std::shared_ptr<const Schema> IdXSchema() {
+  return Schema::Make({{"id", ValueType::kInt64}, {"x", ValueType::kDouble}});
+}
+
+Tuple IdXTuple(double ts, int64_t id, double x) {
+  return Tuple(ts, {Value(id), Value(x)});
+}
+
+Segment Seg(Key key, double lo, double hi, Polynomial x) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.id = NextSegmentId();
+  s.set_attribute("x", std::move(x));
+  return s;
+}
+
+TEST(EpochIndex, TumblingHalfOpenGrid) {
+  EXPECT_EQ(EpochIndexOf(0.0, 1.0), 0);
+  EXPECT_EQ(EpochIndexOf(0.999, 1.0), 0);
+  // The boundary instant belongs to the *next* epoch.
+  EXPECT_EQ(EpochIndexOf(1.0, 1.0), 1);
+  EXPECT_EQ(EpochIndexOf(2.5, 1.0), 2);
+  // Non-unit epoch lengths.
+  EXPECT_EQ(EpochIndexOf(1.4, 0.75), 1);
+  EXPECT_EQ(EpochIndexOf(1.5, 0.75), 2);
+  EXPECT_EQ(EpochIndexOf(-0.25, 0.5), -1);
+}
+
+TEST(EpochMark, AppendsEpochColumn) {
+  EpochMark mark("epoch", IdXSchema(), 0.5);
+  ASSERT_EQ(mark.output_schema()->num_fields(), 3u);
+  EXPECT_EQ(mark.output_schema()->field(2).name, "epoch");
+  EXPECT_EQ(mark.output_schema()->field(2).type, ValueType::kInt64);
+
+  std::vector<Tuple> out;
+  ASSERT_TRUE(mark.Process(0, IdXTuple(1.3, 7, 2.0), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 1.3);
+  EXPECT_EQ(out[0].at(0).as_int64(), 7);
+  EXPECT_DOUBLE_EQ(out[0].at(1).as_double(), 2.0);
+  EXPECT_EQ(out[0].at(2).as_int64(), EpochIndexOf(1.3, 0.5));
+}
+
+TEST(EpochMark, CustomAttributeName) {
+  EpochMark mark("epoch", IdXSchema(), 1.0, "bucket");
+  EXPECT_EQ(mark.output_schema()->field(2).name, "bucket");
+}
+
+TEST(EpochDistinct, FirstTuplePerEpochPerKey) {
+  // Schema unchanged; key field at index 0.
+  EpochDistinct distinct("distinct", IdXSchema(), 1.0, /*key_index=*/0);
+  std::vector<Tuple> out;
+  // Epoch 0: first tuple of key 1 passes, repeats are dropped; key 2 is
+  // independent state.
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(0.1, 1, 5.0), &out).ok());
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(0.2, 1, 6.0), &out).ok());
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(0.2, 2, 7.0), &out).ok());
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(0.9, 1, 8.0), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 0.1);
+  EXPECT_EQ(out[0].at(0).as_int64(), 1);
+  EXPECT_DOUBLE_EQ(out[1].timestamp, 0.2);
+  EXPECT_EQ(out[1].at(0).as_int64(), 2);
+
+  // Epoch 1 starts fresh: the same keys re-emit once each.
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(1.0, 1, 9.0), &out).ok());
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(1.1, 1, 9.5), &out).ok());
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(1.4, 2, 9.9), &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[2].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(out[3].timestamp, 1.4);
+
+  // A key can skip an epoch entirely and still fire in a later one.
+  ASSERT_TRUE(distinct.Process(0, IdXTuple(3.2, 2, 1.0), &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[4].timestamp, 3.2);
+}
+
+TEST(PulseEpoch, SplitsSegmentsAtBoundaries) {
+  PulseEpoch epoch("epoch", 1.0);
+  SegmentBatch out;
+  // [0.4, 2.5) crosses boundaries at 1.0 and 2.0 -> three pieces.
+  ASSERT_TRUE(epoch.Process(0, Seg(1, 0.4, 2.5, Polynomial({1.0, 2.0})),
+                            &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.4);
+  EXPECT_DOUBLE_EQ(out[0].range.hi, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].range.lo, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].range.hi, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].range.lo, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].range.hi, 2.5);
+  // Polynomials are in absolute time: splitting must not re-base them.
+  for (const Segment& s : out) {
+    ASSERT_TRUE(s.has_attribute("x"));
+    const double mid = 0.5 * (s.range.lo + s.range.hi);
+    EXPECT_DOUBLE_EQ(s.attribute("x")->Evaluate(mid), 1.0 + 2.0 * mid);
+    EXPECT_EQ(s.key, 1);
+  }
+}
+
+TEST(PulseEpoch, SegmentInsideOneEpochPassesThrough) {
+  PulseEpoch epoch("epoch", 1.0);
+  SegmentBatch out;
+  ASSERT_TRUE(epoch.Process(0, Seg(3, 1.25, 1.75, Polynomial({2.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 1.25);
+  EXPECT_DOUBLE_EQ(out[0].range.hi, 1.75);
+}
+
+TEST(PulseEpoch, BoundaryAlignedSegmentIsNotSplit) {
+  PulseEpoch epoch("epoch", 0.5);
+  SegmentBatch out;
+  // Exactly one epoch [1.0, 1.5): no empty slivers on either side.
+  ASSERT_TRUE(epoch.Process(0, Seg(1, 1.0, 1.5, Polynomial({0.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 1.0);
+  EXPECT_DOUBLE_EQ(out[0].range.hi, 1.5);
+}
+
+TEST(PulseDistinct, FirstValidityRunPerEpochPerKey) {
+  PulseDistinct distinct("distinct", 1.0);
+  SegmentBatch out;
+  // Key 1, epoch 0: two disjoint validity runs — only the first emits,
+  // and its range.lo is the region-entry instant.
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 0.2, 0.4, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 0.6, 0.9, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.2);
+  EXPECT_DOUBLE_EQ(out[0].range.hi, 0.4);
+
+  // Another key in the same epoch keeps its own state.
+  ASSERT_TRUE(distinct.Process(0, Seg(2, 0.7, 0.8, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].key, 2);
+
+  // Next epoch starts fresh for key 1.
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 1.3, 1.5, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2].range.lo, 1.3);
+}
+
+TEST(PulseDistinct, SelfSplitsEpochStraddlingRuns) {
+  // No PulseEpoch upstream: a run crossing a boundary must still produce
+  // one event per epoch, each clipped to its epoch.
+  PulseDistinct distinct("distinct", 1.0);
+  SegmentBatch out;
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 0.5, 2.25, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.5);
+  EXPECT_DOUBLE_EQ(out[0].range.hi, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].range.lo, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].range.hi, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].range.lo, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].range.hi, 2.25);
+
+  // The epochs are now consumed for key 1: later runs in them drop.
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 2.5, 2.75, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 3u);
+}
+
+TEST(PulseDistinct, RunTouchingBoundaryDoesNotConsumeNextEpoch) {
+  PulseDistinct distinct("distinct", 1.0);
+  SegmentBatch out;
+  // [0.2, 1.0) ends exactly at the boundary: epoch 1 must stay fresh.
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 0.2, 1.0, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_TRUE(distinct.Process(0, Seg(1, 1.7, 1.9, Polynomial({1.0})), &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].range.lo, 1.7);
+}
+
+}  // namespace
+}  // namespace pulse

@@ -5,14 +5,18 @@
 // the discretization differences of Section IV-A, which dense sampling
 // away from roots avoids).
 #include <cmath>
+#include <map>
 #include <optional>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "core/operators/aggregate.h"
+#include "core/operators/distinct.h"
 #include "core/operators/filter.h"
 #include "core/operators/group_by.h"
 #include "core/operators/join.h"
+#include "engine/epoch.h"
 #include "testing/workload_gen.h"
 #include "util/rng.h"
 
@@ -367,6 +371,166 @@ TEST_P(RandomGroupByEquivalence, PerGroupAggregateMatchesGroundTruth) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGroupByEquivalence,
                          ::testing::Values(71, 72, 73), SeedName);
+
+// --- Distinct-over-models boundary semantics ---------------------------
+// distinct over epoched models is a new equation form: the output is the
+// first instant each key's model enters the predicate region within an
+// epoch. These tests pin the knife-edge cases — the model entering or
+// exiting the region exactly at a segment or epoch boundary — where the
+// half-open [kE, (k+1)E) convention decides which epoch (if any) alerts.
+
+Segment BoundarySeg(Key key, double lo, double hi, Polynomial x) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.id = NextSegmentId();
+  s.set_attribute("x", std::move(x));
+  return s;
+}
+
+// Filter -> distinct over one key; returns the distinct events.
+SegmentBatch RunDistinctChain(const SegmentBatch& input, CmpOp op,
+                              double threshold, double epoch_seconds) {
+  PulseFilter filter("f", Predicate::Comparison(ComparisonTerm::Simple(
+                              AttrRef::Left("x"), op,
+                              Operand::Constant(threshold))));
+  PulseDistinct distinct("d", epoch_seconds);
+  SegmentBatch out;
+  for (const Segment& seg : input) {
+    SegmentBatch passed;
+    EXPECT_TRUE(filter.Process(0, seg, &passed).ok());
+    for (const Segment& p : passed) {
+      EXPECT_TRUE(distinct.Process(0, p, &out).ok());
+    }
+  }
+  return out;
+}
+
+TEST(DistinctBoundary, EntryExactlyAtEpochBoundary) {
+  // x(t) = t - 1 enters x >= 0 at exactly t = 1, the epoch boundary.
+  // Half-open epochs put the entry instant in epoch 1; epoch 0 stays
+  // silent (the region's first instant is not part of it).
+  SegmentBatch in;
+  in.push_back(BoundarySeg(1, 0.0, 2.0, Polynomial({-1.0, 1.0})));
+  const SegmentBatch out = RunDistinctChain(in, CmpOp::kGe, 0.0, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 1.0);
+  EXPECT_EQ(EpochIndexOf(out[0].range.lo, 1.0), 1);
+}
+
+TEST(DistinctBoundary, ExitExactlyAtEpochBoundary) {
+  // x(t) = 1 - t leaves x > 0 at exactly t = 1: the run is [0, 1), which
+  // touches but does not enter epoch 1. One alert, epoch 0, at t = 0.
+  SegmentBatch in;
+  in.push_back(BoundarySeg(1, 0.0, 2.0, Polynomial({1.0, -1.0})));
+  const SegmentBatch out = RunDistinctChain(in, CmpOp::kGt, 0.0, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.0);
+  EXPECT_LE(out[0].range.hi, 1.0 + 1e-12);
+}
+
+TEST(DistinctBoundary, EntryExactlyAtSegmentBoundary) {
+  // The model enters the region at the instant one segment hands off to
+  // the next (both inside one epoch): the entry instant is the second
+  // segment's range.lo, bitwise.
+  SegmentBatch in;
+  in.push_back(BoundarySeg(1, 0.0, 1.0, Polynomial({-1.0})));
+  in.push_back(BoundarySeg(1, 1.0, 2.0, Polynomial({1.0})));
+  const SegmentBatch out = RunDistinctChain(in, CmpOp::kGt, 0.0, 2.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 1.0);
+  EXPECT_EQ(EpochIndexOf(out[0].range.lo, 2.0), 0);
+}
+
+TEST(DistinctBoundary, ContinuousRunAcrossSegmentBoundaryAlertsOnce) {
+  // The model stays inside the region across a segment boundary: a new
+  // segment is not a new entry, so the epoch alerts exactly once, at the
+  // run's true start.
+  SegmentBatch in;
+  in.push_back(BoundarySeg(1, 0.0, 1.0, Polynomial({1.0})));
+  in.push_back(BoundarySeg(1, 1.0, 2.0, Polynomial({1.0})));
+  const SegmentBatch out = RunDistinctChain(in, CmpOp::kGt, 0.0, 2.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.0);
+}
+
+TEST(DistinctBoundary, RunCrossingEpochBoundaryReentersAtBoundary) {
+  // A run straddling an epoch boundary alerts in both epochs; the second
+  // alert's instant is exactly the boundary (the first instant of the
+  // new epoch the model is in the region).
+  SegmentBatch in;
+  in.push_back(BoundarySeg(1, 0.5, 1.5, Polynomial({1.0})));
+  const SegmentBatch out = RunDistinctChain(in, CmpOp::kGt, 0.0, 1.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].range.lo, 0.5);
+  EXPECT_DOUBLE_EQ(out[1].range.lo, 1.0);
+  EXPECT_EQ(EpochIndexOf(out[1].range.lo, 1.0), 1);
+}
+
+class RandomDistinctEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDistinctEquivalence, FirstEntryInstantsMatchPointwise) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t keys = static_cast<size_t>(rng.UniformInt(1, 3));
+    testing::StreamWorkload ws =
+        testing::GenerateStreamWorkload(rng, "s", {"x"}, keys);
+    const double epoch = 0.5 + 0.25 * rng.UniformInt(0, 3);
+    const double thr = rng.Uniform(-0.4, 0.4) * ws.value_bound;
+    const double tol = 1e-6 * std::max(1.0, ws.value_bound);
+
+    PulseFilter filter("f", Predicate::Comparison(ComparisonTerm::Simple(
+                                AttrRef::Left("x"), CmpOp::kGt,
+                                Operand::Constant(thr))));
+    PulseDistinct distinct("d", epoch);
+    SegmentBatch out;
+    for (const Segment& seg : ws.ToSegments()) {
+      SegmentBatch passed;
+      ASSERT_TRUE(filter.Process(0, seg, &passed).ok());
+      for (const Segment& p : passed) {
+        ASSERT_TRUE(distinct.Process(0, p, &out).ok());
+      }
+    }
+
+    // At most one event per (epoch, key), attributed by range midpoint
+    // (strictly interior, so boundary rounding cannot misfile it).
+    std::map<std::pair<int64_t, Key>, double> events;
+    for (const Segment& s : out) {
+      const int64_t e =
+          EpochIndexOf(s.range.lo + 0.5 * s.range.Length(), epoch);
+      auto [it, inserted] =
+          events.emplace(std::make_pair(e, s.key), s.range.lo);
+      EXPECT_TRUE(inserted)
+          << "seed " << GetParam() << " trial " << trial
+          << ": duplicate distinct event for epoch " << e << " key "
+          << s.key;
+    }
+
+    // Pointwise ground truth: wherever the model is robustly inside the
+    // region, that (epoch, key) must have an event, and the event starts
+    // no later than the first observed inside instant.
+    for (const testing::KeyTrack& track : ws.tracks) {
+      std::map<int64_t, double> first_pass;
+      for (double t = ws.t_begin + 1e-4; t < ws.t_end; t += 0.0137) {
+        const std::optional<double> v = track.Value("x", t);
+        if (!v.has_value() || *v - thr <= tol) continue;
+        first_pass.emplace(EpochIndexOf(t, epoch), t);
+      }
+      for (const auto& [e, t] : first_pass) {
+        auto it = events.find({e, track.key});
+        ASSERT_NE(it, events.end())
+            << "seed " << GetParam() << " trial " << trial << " epoch "
+            << e << " key " << track.key
+            << ": model robustly in region at t=" << t
+            << " but no distinct event";
+        EXPECT_LE(it->second, t + 1e-9)
+            << "seed " << GetParam() << " trial " << trial
+            << ": event after the first observed entry instant";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistinctEquivalence,
+                         ::testing::Values(81, 82, 83, 84), SeedName);
 
 }  // namespace
 }  // namespace pulse

@@ -271,5 +271,96 @@ TEST(ParseQuery, Errors) {
                    .ok());
 }
 
+TEST(ParseQuery, EpochClauseWrapsSource) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec, "select * from objects epoch 2 where x < 500");
+  ASSERT_TRUE(sink.ok());
+  // epoch node, then the filter.
+  ASSERT_EQ(spec.num_nodes(), 2u);
+  const QuerySpec::Node& filter = spec.node(*sink);
+  EXPECT_EQ(filter.kind, QuerySpec::OpKind::kFilter);
+  const QuerySpec::Node& epoch = spec.node(filter.inputs[0].node);
+  ASSERT_EQ(epoch.kind, QuerySpec::OpKind::kEpoch);
+  EXPECT_DOUBLE_EQ(epoch.epoch->epoch_seconds, 2.0);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, SelectDistinctBuildsDedupTail) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec, "select distinct * from objects epoch 1.5 where x > 100");
+  ASSERT_TRUE(sink.ok());
+  // epoch -> filter -> distinct.
+  ASSERT_EQ(spec.num_nodes(), 3u);
+  const QuerySpec::Node& distinct = spec.node(*sink);
+  ASSERT_EQ(distinct.kind, QuerySpec::OpKind::kDistinct);
+  EXPECT_DOUBLE_EQ(distinct.distinct->epoch_seconds, 1.5);
+  const QuerySpec::Node& filter = spec.node(distinct.inputs[0].node);
+  EXPECT_EQ(filter.kind, QuerySpec::OpKind::kFilter);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, SelectDistinctWithoutWhere) {
+  // A bare dedup: every key alive in an epoch reports once.
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink =
+      QueryParser::Parse(&spec, "select distinct * from objects epoch 1");
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(spec.node(*sink).kind, QuerySpec::OpKind::kDistinct);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, EpochAndDistinctErrors) {
+  // DISTINCT needs an epoch to scope the dedup.
+  QuerySpec spec = ObjectSpec();
+  EXPECT_FALSE(
+      QueryParser::Parse(&spec, "select distinct * from objects").ok());
+  // Epoch length must be a positive number.
+  QuerySpec spec2 = ObjectSpec();
+  EXPECT_FALSE(
+      QueryParser::Parse(&spec2, "select * from objects epoch 0").ok());
+  QuerySpec spec3 = ObjectSpec();
+  EXPECT_FALSE(
+      QueryParser::Parse(&spec3, "select * from objects epoch").ok());
+}
+
+TEST(ParseQuery, DistinctOverAggregateSubselect) {
+  // The SYN-flood shape when the predicate needs a derived attribute:
+  // compute it in a sub-select, epoch the sub-select's output, then
+  // dedup. EPOCH sits between the sub-select and its alias.
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec,
+      "select distinct * from (select id, avg(x) as ax from objects "
+      "[size 1 advance 1] group by id) epoch 1 as d where d.ax > 100");
+  ASSERT_TRUE(sink.ok()) << sink.status().message();
+  EXPECT_EQ(spec.node(*sink).kind, QuerySpec::OpKind::kDistinct);
+  EXPECT_TRUE(BuildPulsePlan(spec).ok());
+  EXPECT_TRUE(BuildDiscretePlan(spec).ok());
+}
+
+TEST(ParseQuery, ParsedDistinctExecutesPerEpoch) {
+  QuerySpec spec = ObjectSpec();
+  Result<QuerySpec::NodeId> sink = QueryParser::Parse(
+      &spec, "select distinct * from objects epoch 1 where x > 4");
+  ASSERT_TRUE(sink.ok());
+  Result<TransformedPlan> plan = BuildPulsePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  Result<PulseExecutor> exec = PulseExecutor::Make(std::move(plan->plan));
+  ASSERT_TRUE(exec.ok());
+  Segment seg(1, Interval::ClosedOpen(0.0, 3.0));
+  seg.set_attribute("x", Polynomial({0.0, 2.0}));  // x = 2t, crosses 4 at 2
+  seg.set_attribute("y", Polynomial({0.0}));
+  ASSERT_TRUE(exec->PushSegment("objects", seg).ok());
+  // x > 4 holds on (2, 3): one first-entry event in epoch 2 only.
+  ASSERT_EQ(exec->output().size(), 1u);
+  EXPECT_NEAR(exec->output()[0].range.lo, 2.0, 1e-9);
+  EXPECT_EQ(exec->output()[0].key, 1);
+}
+
 }  // namespace
 }  // namespace pulse

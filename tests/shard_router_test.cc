@@ -14,6 +14,7 @@
 #include "shard/sharded_runtime.h"
 #include "testing/differential.h"
 #include "testing/plan_gen.h"
+#include "workload/telemetry.h"
 
 namespace pulse {
 namespace shard {
@@ -139,11 +140,63 @@ TEST(AnalyzePartitionability, CrossKeyAggregateRejected) {
   EXPECT_FALSE(AnalyzePartitionability(spec).partitionable);
 }
 
+TEST(AnalyzePartitionability, EpochDistinctDetectionChainPasses) {
+  // The Sonata detection shape — epoch -> filter -> distinct — is
+  // per-key throughout: epoch is stateless and distinct keeps one
+  // last-emitted-epoch per key, so a key-hash partition preserves the
+  // output exactly.
+  QuerySpec spec;
+  ASSERT_TRUE(
+      spec.AddStream(TelemetryGenerator::MakeStreamSpec("telemetry", 5.0))
+          .ok());
+  ASSERT_TRUE(AddPortScanQuery(&spec, TelemetryQueryParams{}).ok());
+  const PartitionAnalysis analysis = AnalyzePartitionability(spec);
+  EXPECT_TRUE(analysis.partitionable) << analysis.reason;
+}
+
 // ---------------------------------------------------------------------
 // End to end: the sharded runtime equals the serial one byte for byte.
 // The differential suite pins this across 200 seeds and a full
 // threads x cache x shards grid; this is the fast smoke plus the
 // non-partitionable fallback and the shard metrics naming contract.
+
+// Detection output is shard-count invariant: the epoch/distinct chain
+// run over telemetry-mode model segments produces byte-identical events
+// at 1, 2, and 3 shards (per-key distinct state never observes a key it
+// doesn't own, and the canonical merge restores one global order).
+TEST(ShardedRuntime, EpochDistinctDetectionIsShardCountInvariant) {
+  testing::PlanGenOptions gen;
+  gen.archetypes = {testing::PlanArchetype::kEpochDistinct};
+  auto kase = testing::GenerateCase(3010, gen);
+  ASSERT_TRUE(kase.ok()) << kase.status().message();
+
+  auto run = [&](size_t shards) -> std::vector<std::string> {
+    ShardedRuntimeOptions options;
+    options.num_shards = shards;
+    options.runtime.collect_outputs = true;
+    auto rt = ShardedRuntime::Make(kase->spec, std::move(options));
+    EXPECT_TRUE(rt.ok()) << rt.status().message();
+    EXPECT_TRUE(rt->partitionable());
+    EXPECT_EQ(rt->num_shards(), shards);
+    for (const auto& ws : kase->workloads) {
+      for (const Segment& s : ws.ToSegments()) {
+        EXPECT_TRUE(rt->ProcessSegment(ws.name, s).ok());
+      }
+    }
+    EXPECT_TRUE(rt->Finish().ok());
+    std::vector<std::string> events;
+    for (const Segment& s : rt->TakeOutputSegments()) {
+      events.push_back(s.ToString());
+    }
+    return events;
+  };
+
+  const std::vector<std::string> serial = run(1);
+  EXPECT_FALSE(serial.empty())
+      << "seed 3010 should produce detection events (vacuous otherwise)";
+  EXPECT_EQ(run(2), serial) << "2-shard detection output diverged";
+  EXPECT_EQ(run(3), serial) << "3-shard detection output diverged";
+}
 
 TEST(ShardedRuntime, NonPartitionablePlanCollapsesToOneShard) {
   // Seeds with a cross-key sink (the generator's join archetype uses
