@@ -20,10 +20,21 @@
 //   pulse_cli --workload objects --mode serve --tuples 20000 \
 //     --policy drop_oldest --rate 50000 \
 //     --query "select * from objects where x < 2000"
+//
+//   # Durable serving: admitted inputs land in DIR/segments.log before
+//   # dispatch, the drain seals a checkpoint, and a later --recover
+//   # replays the log into a fresh runtime and prints the recovery
+//   # report (docs/STORAGE.md).
+//   pulse_cli --workload objects --mode serve --tuples 20000 \
+//     --store-dir /tmp/pulse_store \
+//     --query "select * from objects where x < 2000"
+//   pulse_cli --workload objects --recover --store-dir /tmp/pulse_store \
+//     --query "select * from objects where x < 2000"
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -32,6 +43,8 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/tcp_transport.h"
+#include "store/recovery.h"
+#include "store/store.h"
 #include "util/cpu_features.h"
 #include "util/stopwatch.h"
 #include "workload/ais.h"
@@ -56,6 +69,9 @@ struct CliOptions {
   std::string policy = "block";
   double rate = 0.0;  // paced replay tuples/second; 0 = unpaced
   int port = -1;      // >= 0: loopback TCP instead of in-process
+  // durable store (serve mode and --recover):
+  std::string store_dir;
+  bool recover = false;
 };
 
 int Usage(const char* argv0) {
@@ -65,7 +81,8 @@ int Usage(const char* argv0) {
       "[--tuples N]\n"
       "          [--mode predictive|historical|serve] [--bound attr=frac]...\n"
       "          [--sample-rate HZ] [--show K]\n"
-      "          [--policy block|drop_oldest|shed] [--rate TPS] [--port P]\n",
+      "          [--policy block|drop_oldest|shed] [--rate TPS] [--port P]\n"
+      "          [--store-dir DIR] [--recover]\n",
       argv0);
   return 2;
 }
@@ -116,6 +133,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next("--port");
       if (v == nullptr) return false;
       out->port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--store-dir") {
+      const char* v = next("--store-dir");
+      if (v == nullptr) return false;
+      out->store_dir = v;
+    } else if (arg == "--recover") {
+      out->recover = true;
     } else if (arg == "--bound") {
       const char* v = next("--bound");
       if (v == nullptr) return false;
@@ -180,6 +203,37 @@ int main(int argc, char** argv) {
               SimdLevelName(DetectedSimdLevel()));
 
   Stopwatch watch;
+  if (options.recover) {
+    if (options.store_dir.empty()) {
+      std::fprintf(stderr, "--recover requires --store-dir DIR\n");
+      return Usage(argv[0]);
+    }
+    HistoricalRuntime::Options hopts;
+    hopts.segmentation.degree = 1;
+    hopts.segmentation.max_error = 0.1;
+    hopts.segmentation.max_points_per_segment = 1000;
+    Result<store::RecoveredHistorical> rec = store::RecoverHistorical(
+        spec, hopts, store::StoreOptions{.dir = options.store_dir});
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("recovery: %s\n", rec->report.ToString().c_str());
+    std::printf(
+        "state %s; %llu records replayed, %llu outputs already "
+        "delivered, %zu pending in %.3f s\n",
+        rec->state_verified ? "verified"
+                            : ("NOT verified: " + rec->verify_detail).c_str(),
+        (unsigned long long)rec->store.log_records(),
+        (unsigned long long)rec->report.effective_delivered,
+        rec->pending_outputs.size(), watch.ElapsedSeconds());
+    for (size_t i = 0;
+         i < rec->pending_outputs.size() && i < options.show; ++i) {
+      std::printf("  %s\n", rec->pending_outputs[i].ToString().c_str());
+    }
+    return rec->state_verified ? 0 : 1;
+  }
   if (options.mode == "serve") {
     serve::BackpressurePolicy policy;
     if (options.policy == "block") {
@@ -193,12 +247,38 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
 
+    // Durable mode: every admitted input is appended to the store's log
+    // before dispatch, and the drain below seals a `finished`
+    // checkpoint. The store must outlive the server.
+    std::optional<store::SegmentStore> durable;
+    if (!options.store_dir.empty()) {
+      Result<store::SegmentStore> opened = store::SegmentStore::Open(
+          store::StoreOptions{.dir = options.store_dir});
+      if (opened.ok()) {
+        durable.emplace(std::move(*opened));
+      } else {
+        // Existing log: reopen through recovery (torn-tail repair +
+        // checkpoint reconcile) and keep appending.
+        Result<store::RecoveredStore> rec = store::SegmentStore::Recover(
+            store::StoreOptions{.dir = options.store_dir});
+        if (!rec.ok()) {
+          std::fprintf(stderr, "store open failed: %s\n",
+                       rec.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("reopened store: %s\n", rec->report.ToString().c_str());
+        durable.emplace(std::move(rec->store));
+      }
+      std::printf("durable store: %s\n", durable->dir().c_str());
+    }
+
     serve::ServerOptions sopts;
     sopts.spec = spec;
     sopts.runtime.segmentation.degree = 1;
     sopts.runtime.segmentation.max_error = 0.1;
     sopts.runtime.segmentation.max_points_per_segment = 1000;
     sopts.session.policy = policy;
+    if (durable.has_value()) sopts.store = &*durable;
     Result<std::unique_ptr<serve::StreamServer>> server =
         serve::StreamServer::Make(std::move(sopts));
     if (!server.ok()) {

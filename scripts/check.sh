@@ -55,7 +55,8 @@ else
   cmake --build "$repo/build-tsan" -j "$jobs" \
     --target metrics_registry_test thread_pool_test runtime_test \
              solve_cache_test differential_test serve_test \
-             shard_router_test epoch_distinct_test telemetry_test
+             shard_router_test epoch_distinct_test telemetry_test \
+             store_recovery_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
   # differential_test runs the metamorphic parallel AND sharded variants
@@ -92,6 +93,12 @@ else
     "$repo/build-tsan/tests/epoch_distinct_test"
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/telemetry_test"
+  # store_recovery_test's kill-and-restore scenarios run the sharded
+  # runtime (live worker threads + Barrier) against the shared durable
+  # store, and differential_test above runs the kill-restore variant of
+  # every generated case — both must be race-free.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/store_recovery_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -111,11 +118,11 @@ else
   echo "== fuzz smoke: corpus replay + bounded random runs (-DPULSE_FUZZ=ON) =="
   cmake -B "$repo/build-fuzz" -S "$repo" -DPULSE_FUZZ=ON -DPULSE_ASAN=ON
   cmake --build "$repo/build-fuzz" -j "$jobs" \
-    --target fuzz_parser fuzz_roots fuzz_interval_set
+    --target fuzz_parser fuzz_roots fuzz_interval_set fuzz_store_log
 
   have_libfuzzer="$(grep -c '^PULSE_HAVE_LIBFUZZER:INTERNAL=1' \
     "$repo/build-fuzz/CMakeCache.txt" || true)"
-  for target in parser roots interval_set; do
+  for target in parser roots interval_set store_log; do
     bin="$repo/build-fuzz/fuzz/fuzz_$target"
     corpus="$repo/tests/corpus/$target"
     export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0 ${ASAN_OPTIONS:-}"
@@ -315,6 +322,80 @@ EOF
       exit 1
     fi
   fi
+
+  echo "== bench gate: storage recovery + tree speedup vs checked-in baseline =="
+  storage_baseline="$repo/BENCH_storage.json"
+  if [[ ! -f "$storage_baseline" ]]; then
+    echo "no checked-in BENCH_storage.json; skipping gate"
+  else
+    cmake --build "$repo/build" -j "$jobs" --target bench_storage
+    # Two absolutes and one relative: the fresh run's tree_query row must
+    # keep the >= 5x tree-over-replay floor (both sides timed in the same
+    # process, so host speed cancels — load cannot fake a pass or a
+    # fail), its answers must have matched the replay baseline (the bench
+    # aborts on drift), and each recover row's calibration-normalized
+    # records/sec must hold >= 70% of the checked-in baseline. Transient
+    # load skew is absorbed by up to 3 attempts.
+    storage_ok=0
+    for attempt in 1 2 3; do
+      workdir="$(mktemp -d)"
+      (cd "$workdir" && "$repo/build/bench/bench_storage" > /dev/null)
+      if python3 - "$storage_baseline" "$workdir/BENCH_storage.json" <<'EOF'
+import json, sys
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["scenario"], r["log_records"]): r for r in doc["results"]}
+
+def norm(row):
+    calib = row.get("calibration_ops_per_sec", 0.0)
+    return row["records_per_sec"] / calib if calib > 0 else None
+
+THRESHOLD = 0.70
+MIN_SPEEDUP = 5.0
+base, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+failed = False
+speedup = None
+for key, got in sorted(fresh.items()):
+    if key[0] == "tree_query":
+        speedup = got["speedup"]
+if speedup is None:
+    print("  tree_query row missing from fresh run"); failed = True
+else:
+    flag = "FAIL" if speedup < MIN_SPEEDUP else "ok"
+    print(f"  tree vs replay speedup: {speedup:.1f}x "
+          f"(required >= {MIN_SPEEDUP:.0f}x) {flag}")
+    failed = failed or speedup < MIN_SPEEDUP
+for key, ref in sorted(base.items()):
+    if key[0] != "recover":
+        continue
+    got = fresh.get(key)
+    if got is None:
+        print(f"  recover n={key[1]}: missing from fresh run"); failed = True
+        continue
+    raw = got["records_per_sec"] / ref["records_per_sec"]
+    ref_n, got_n = norm(ref), norm(got)
+    ratio = max(raw, got_n / ref_n if ref_n and got_n else raw)
+    flag = "FAIL" if ratio < THRESHOLD else "ok"
+    print(f"  recover n={key[1]}: {got['records_per_sec']:.0f} vs baseline "
+          f"{ref['records_per_sec']:.0f} records/s ({ratio:.2f}x) {flag}")
+    failed = failed or ratio < THRESHOLD
+sys.exit(1 if failed else 0)
+EOF
+      then
+        storage_ok=1
+        rm -rf "$workdir"
+        break
+      fi
+      rm -rf "$workdir"
+      echo "  storage gate attempt $attempt failed; retrying..."
+    done
+    if [[ "$storage_ok" != "1" ]]; then
+      echo "storage recovery or tree speedup regressed vs baseline" >&2
+      exit 1
+    fi
+  fi
 fi
 
 if [[ "${SKIP_METRICS_GATE:-0}" == "1" ]]; then
@@ -405,6 +486,18 @@ else
   "$repo/build/examples/pulse_cli" --workload telemetry --tuples 2000 \
     --query "select distinct * from telemetry epoch 1 where telemetry.port_spread > 100" \
     > /dev/null
+  # Durable serving + recovery round trip: log under a temp store dir,
+  # drain (seals the checkpoint), then --recover must verify the
+  # replayed state (non-zero exit on divergence).
+  echo "  running pulse_cli (durable serve + recover)"
+  store_dir="$(mktemp -d)"
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --mode serve --policy block --store-dir "$store_dir" \
+    --query "select * from objects where x < 2000" > /dev/null
+  "$repo/build/examples/pulse_cli" --workload objects --recover \
+    --store-dir "$store_dir" \
+    --query "select * from objects where x < 2000" > /dev/null
+  rm -rf "$store_dir"
 fi
 
 if [[ "${SKIP_DOCS:-0}" == "1" ]]; then

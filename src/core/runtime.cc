@@ -782,6 +782,9 @@ RuntimeStats HistoricalRuntime::stats() const {
 Status HistoricalRuntime::ProcessSegment(const std::string& stream,
                                          Segment segment) {
   const size_t before = executor_->total_output();
+  const bool observing = options_.output_observer != nullptr &&
+                         options_.collect_outputs && !finishing_;
+  const size_t observed_before = observing ? executor_->output().size() : 0;
   {
     // Scope spans fired inside the push (PULSE_SPAN sites in the
     // executor and operators) to this runtime's registry.
@@ -792,12 +795,22 @@ Status HistoricalRuntime::ProcessSegment(const std::string& stream,
   }
   c_segments_pushed_->Increment();
   c_output_segments_->Add(executor_->total_output() - before);
+  if (observing) {
+    const std::vector<Segment>& out = executor_->output();
+    for (size_t i = observed_before; i < out.size(); ++i) {
+      options_.output_observer(out[i]);
+    }
+  }
   SyncParallelStats();
   return Status::OK();
 }
 
 Status HistoricalRuntime::Finish() {
   const size_t finish_tail = executor_->output().size();
+  // Flush-phase outputs land inside the sorted finish tail below, so
+  // the observer must not see them yet (its contract is
+  // TakeOutputSegments order).
+  finishing_ = true;
   for (auto& [stream, segmenter] : segmenters_) {
     PULSE_ASSIGN_OR_RETURN(std::vector<Segment> segs, segmenter->Flush());
     for (Segment& s : segs) {
@@ -819,6 +832,12 @@ Status HistoricalRuntime::Finish() {
   std::stable_sort(
       out.begin() + static_cast<std::ptrdiff_t>(finish_tail), out.end(),
       [](const Segment& a, const Segment& b) { return a.key < b.key; });
+  finishing_ = false;
+  if (options_.output_observer != nullptr && options_.collect_outputs) {
+    for (size_t i = finish_tail; i < out.size(); ++i) {
+      options_.output_observer(out[i]);
+    }
+  }
   SyncParallelStats();
   return Status::OK();
 }

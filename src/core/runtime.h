@@ -1,6 +1,7 @@
 #ifndef PULSE_CORE_RUNTIME_H_
 #define PULSE_CORE_RUNTIME_H_
 
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <memory>
@@ -332,6 +333,12 @@ class HistoricalRuntime {
     /// private registry, so counters from concurrent runtimes in one
     /// process never mix; pass a shared registry to aggregate instead.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Invoked once per output segment, in exactly the order
+    /// TakeOutputSegments returns them (finish-phase outputs are
+    /// observed after the canonical key sort). Requires
+    /// collect_outputs. The durable store's delivered-output watermark
+    /// (src/store/) hangs off this hook.
+    std::function<void(const Segment&)> output_observer;
   };
 
   static Result<HistoricalRuntime> Make(const QuerySpec& spec,
@@ -371,6 +378,9 @@ class HistoricalRuntime {
 
   QuerySpec spec_;
   Options options_;
+  /// True while Finish() runs: segmenter-flush outputs are part of the
+  /// finish tail, observed only after the canonical sort.
+  bool finishing_ = false;
   MultiAttributeSegmenter* FindSegmenter(const std::string& name);
   void SyncParallelStats();
   void BindRuntimeCounters();

@@ -4,6 +4,9 @@
 #include <thread>
 #include <utility>
 
+#include "store/store.h"
+#include "util/logging.h"
+
 namespace pulse {
 namespace serve {
 
@@ -63,7 +66,7 @@ Status StreamServer::AddSession(std::unique_ptr<Transport> transport) {
   ReapLocked();
   auto session = std::make_unique<Session>(
       next_session_id_++, std::move(transport), std::move(client),
-      options_.session, std::move(streams), metrics_);
+      options_.session, std::move(streams), metrics_, options_.store);
   session->Start();
   sessions_.push_back(std::move(session));
   c_opened_->Increment();
@@ -140,6 +143,15 @@ void StreamServer::Drain() {
   if (accept_thread_.joinable()) accept_thread_.join();
   for (Session* session : draining) session->BeginDrain();
   for (Session* session : draining) session->Join();
+  // Every session has flushed its runtimes and delivered its outputs:
+  // seal the store so recovery knows this was an orderly stop.
+  if (options_.store != nullptr) {
+    Status status = options_.store->WriteCheckpoint(/*finished=*/true);
+    if (!status.ok()) {
+      metrics_->GetCounter("serve/checkpoint/failed")->Increment();
+      PULSE_LOG(Warning) << "drain checkpoint failed: " << status.ToString();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ReapLocked();
   UpdateSessionMetricsLocked();

@@ -16,6 +16,9 @@
 #include "shard/shard_pool.h"
 
 namespace pulse {
+namespace store {
+class SegmentStore;
+}  // namespace store
 namespace serve {
 
 struct ServerOptions {
@@ -39,6 +42,14 @@ struct ServerOptions {
   /// plus rollups. nullptr: the server owns a private one, reachable
   /// via metrics().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional durable mode: every session appends admitted input to
+  /// this shared segment store before dispatch, delivered outputs
+  /// advance its checkpoint watermark, and Drain() seals it with a
+  /// finished checkpoint. With several concurrent sessions the log is
+  /// a stream of record across all of them (recovery rebuilds state by
+  /// replay; per-connection delivery order is not resumed — see
+  /// docs/STORAGE.md). Not owned; must outlive the server.
+  store::SegmentStore* store = nullptr;
 };
 
 /// Multi-session streaming front-end over the Pulse runtimes: accepts

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/span.h"
+#include "store/store.h"
 
 namespace pulse {
 namespace serve {
@@ -24,13 +25,15 @@ Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
                  std::unique_ptr<shard::ShardClient> client,
                  SessionOptions options,
                  std::vector<std::string> valid_streams,
-                 obs::MetricsRegistry* serve_metrics)
+                 obs::MetricsRegistry* serve_metrics,
+                 store::SegmentStore* store)
     : id_(id),
       transport_(std::move(transport)),
       client_(std::move(client)),
       options_(options),
       valid_streams_(std::move(valid_streams)),
       serve_metrics_(serve_metrics),
+      store_(store),
       // The latency signal is the pool-level rollup of every shard's
       // solver span: sessions share the shard pool, so overload is a
       // property of the pool, not of one session's private runtime.
@@ -133,12 +136,21 @@ Status Session::WriteFrame(const Frame& frame) {
 Status Session::FlushOutputs() {
   std::vector<Segment> outputs = client_->TakeOutputSegments();
   if (outputs.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(write_mu_);
-  write_buf_.clear();
-  for (Segment& segment : outputs) {
-    EncodeFrame(Frame::OutputSegment(std::move(segment)), &write_buf_);
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    write_buf_.clear();
+    for (const Segment& segment : outputs) {
+      EncodeFrame(Frame::OutputSegment(segment), &write_buf_);
+    }
+    PULSE_RETURN_IF_ERROR(transport_->Write(write_buf_));
   }
-  return transport_->Write(write_buf_);
+  // The watermark advances only after the transport accepted the
+  // bytes: a crash between write and note redelivers (at-least-once),
+  // never suppresses an output the client did not see.
+  if (store_ != nullptr) {
+    for (const Segment& segment : outputs) store_->NoteDelivered(segment);
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------
@@ -286,6 +298,20 @@ Status Session::AdmitData(Frame frame) {
     c_shed_->Add(items);
     return WriteFrame(
         Frame::Flow(frame.stream_id, FlowEvent::kShed, items));
+  }
+
+  // Durable mode: the log append precedes the enqueue, so an item is
+  // never dispatched to a runtime without first being on disk — the
+  // property the kill-and-restore differential depends on. An append
+  // failure is fatal to the session (better to drop the connection
+  // than to process input that recovery could not replay).
+  if (store_ != nullptr) {
+    for (const Tuple& tuple : frame.tuples) {
+      PULSE_RETURN_IF_ERROR(store_->AppendTuple(lane->name, tuple));
+    }
+    for (const Segment& segment : frame.segments) {
+      PULSE_RETURN_IF_ERROR(store_->AppendSegment(lane->name, segment));
+    }
   }
 
   const uint64_t now_ns = NowNs();

@@ -18,6 +18,9 @@
 #include "shard/shard_pool.h"
 
 namespace pulse {
+namespace store {
+class SegmentStore;
+}  // namespace store
 namespace serve {
 
 /// Per-session serving knobs (shared by every session of a server;
@@ -53,11 +56,15 @@ class Session {
   /// `serve_metrics` is the server-wide serve/* registry;
   /// `valid_streams` the query's declared input stream names. The
   /// registry, the transport, and the client's pool must outlive
-  /// Join().
+  /// Join(). `store` (optional) makes the session durable: every
+  /// admitted item is appended to the shared segment log before it is
+  /// dispatched, and delivered outputs advance the store's checkpoint
+  /// watermark (docs/STORAGE.md).
   Session(uint64_t id, std::unique_ptr<Transport> transport,
           std::unique_ptr<shard::ShardClient> client, SessionOptions options,
           std::vector<std::string> valid_streams,
-          obs::MetricsRegistry* serve_metrics);
+          obs::MetricsRegistry* serve_metrics,
+          store::SegmentStore* store = nullptr);
   ~Session();
 
   Session(const Session&) = delete;
@@ -125,6 +132,8 @@ class Session {
   const SessionOptions options_;
   const std::vector<std::string> valid_streams_;
   obs::MetricsRegistry* serve_metrics_;
+  /// Shared durable log; nullptr in the default in-memory mode.
+  store::SegmentStore* store_ = nullptr;
   AdmissionController admission_;
   WorkSignal signal_;
 

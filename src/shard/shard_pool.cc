@@ -332,6 +332,19 @@ Status ShardClient::ProcessSegment(const std::string& stream,
   return Route(pool_->router_.ShardOf(key), std::move(item));
 }
 
+Status ShardClient::Barrier() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  // Workers emplace a completion for every data seq — even for aborted
+  // clients — so released_seq always catches up to next_seq_ and the
+  // wait cannot hang.
+  state_->cv.wait(lock, [&] {
+    return state_->released_seq >= next_seq_ || !state_->error.empty();
+  });
+  return state_->error.empty()
+             ? Status::OK()
+             : Status::Internal("shard worker failed: " + state_->error);
+}
+
 Status ShardClient::Finish() {
   if (finished_) {
     std::lock_guard<std::mutex> lock(state_->mu);

@@ -201,6 +201,14 @@ class ShardClient {
   /// first error any shard hit.
   Status Finish();
 
+  /// Mid-run synchronization point: blocks until every item routed so
+  /// far has been processed and its outputs released, WITHOUT the
+  /// finish sentinel — processing may continue afterwards. The released
+  /// prefix is then deterministic (byte-identical to a serial replay of
+  /// the same items), which is what lets the segment store checkpoint a
+  /// sharded run mid-stream (docs/STORAGE.md).
+  Status Barrier();
+
   /// The in-order released output prefix: everything whose data seq (or
   /// finish merge) is complete. Safe to call while shards are still
   /// working — later outputs simply show up on a later call.

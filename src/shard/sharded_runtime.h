@@ -53,6 +53,11 @@ class ShardedRuntime {
   /// TakeOutputSegments holds the complete, canonically merged output.
   Status Finish() { return client_->Finish(); }
 
+  /// Mid-run barrier (see ShardClient::Barrier): waits for everything
+  /// routed so far without ending input; afterwards TakeOutputSegments
+  /// holds the deterministic prefix for exactly those items.
+  Status Barrier() { return client_->Barrier(); }
+
   std::vector<Segment> TakeOutputSegments() {
     return client_->TakeOutputSegments();
   }

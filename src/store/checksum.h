@@ -1,0 +1,42 @@
+#ifndef PULSE_STORE_CHECKSUM_H_
+#define PULSE_STORE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "model/segment.h"
+
+namespace pulse {
+namespace store {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over `data`.
+/// This is the per-record integrity check of the segment log and the
+/// checkpoint file (docs/STORAGE.md): a record whose stored CRC does
+/// not match is treated as the start of a torn tail, never decoded.
+/// Software table implementation — no hardware or library dependency —
+/// so the on-disk format is identical on every host.
+uint32_t Crc32c(const char* data, size_t n);
+
+inline uint32_t Crc32c(const std::string& s) {
+  return Crc32c(s.data(), s.size());
+}
+
+/// FNV-1a 64 offset basis: the seed of every canonical output hash
+/// chain (a checkpoint with no delivered outputs stores this value).
+constexpr uint64_t kCanonicalHashSeed = 14695981039346656037ull;
+
+/// Folds `bytes` into an FNV-1a 64 chain.
+uint64_t FnvMix(const char* data, size_t n, uint64_t h);
+
+/// Chains segment `s` into hash `h` over its canonical wire encoding
+/// with the engine-assigned id zeroed — ids are an execution accident
+/// (the differential oracle excludes them too), so a replayed run
+/// hashes identically to the original even though ids differ.
+uint64_t CanonicalSegmentHash(const Segment& s,
+                              uint64_t h = kCanonicalHashSeed);
+
+}  // namespace store
+}  // namespace pulse
+
+#endif  // PULSE_STORE_CHECKSUM_H_

@@ -1,0 +1,119 @@
+#include "store/recovery.h"
+
+#include <utility>
+
+#include "store/checksum.h"
+
+namespace pulse {
+namespace store {
+
+namespace {
+
+template <typename RuntimeT>
+Status ReplayRecords(const std::vector<LogRecord>& records, RuntimeT* rt) {
+  for (const LogRecord& record : records) {
+    switch (record.type) {
+      case LogRecordType::kSegment:
+        PULSE_RETURN_IF_ERROR(
+            rt->ProcessSegment(record.stream, record.segment));
+        break;
+      case LogRecordType::kTuple:
+        PULSE_RETURN_IF_ERROR(rt->ProcessTuple(record.stream, record.tuple));
+        break;
+      case LogRecordType::kBackfill:
+        // Backfill patches the store's historical view only; the live
+        // dataflow saw the original segments (docs/STORAGE.md).
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Splits `replayed` at the delivered watermark: verifies the prefix
+/// hash against the checkpoint and returns the suffix as pending. On
+/// any mismatch everything is pending (at-least-once redelivery, never
+/// silent divergence) and `verified` stays false with a diagnosis.
+std::vector<Segment> ReconcileOutputs(std::vector<Segment> replayed,
+                                      const RecoveryReport& report,
+                                      bool* verified,
+                                      std::string* detail) {
+  const uint64_t delivered = report.effective_delivered;
+  if (delivered == 0) {
+    *verified = report.clean() || !report.checkpoint_found;
+    return replayed;
+  }
+  if (replayed.size() < delivered) {
+    *verified = false;
+    *detail = "checkpoint says " + std::to_string(delivered) +
+              " output(s) were delivered but replay reproduced only " +
+              std::to_string(replayed.size()) + "; redelivering all";
+    return replayed;
+  }
+  uint64_t hash = kCanonicalHashSeed;
+  for (uint64_t i = 0; i < delivered; ++i) {
+    hash = CanonicalSegmentHash(replayed[i], hash);
+  }
+  if (hash != report.checkpoint.output_hash) {
+    *verified = false;
+    *detail = "replayed output prefix hash mismatch (replayed " +
+              std::to_string(hash) + ", checkpoint " +
+              std::to_string(report.checkpoint.output_hash) +
+              "); redelivering all";
+    return replayed;
+  }
+  *verified = true;
+  replayed.erase(replayed.begin(),
+                 replayed.begin() + static_cast<std::ptrdiff_t>(delivered));
+  return replayed;
+}
+
+}  // namespace
+
+Result<RecoveredHistorical> RecoverHistorical(
+    const QuerySpec& spec, HistoricalRuntime::Options options,
+    StoreOptions store_options) {
+  PULSE_ASSIGN_OR_RETURN(RecoveredStore recovered,
+                         SegmentStore::Recover(std::move(store_options)));
+  options.collect_outputs = true;
+  PULSE_ASSIGN_OR_RETURN(HistoricalRuntime runtime,
+                         HistoricalRuntime::Make(spec, std::move(options)));
+  PULSE_RETURN_IF_ERROR(ReplayRecords(recovered.records, &runtime));
+  if (recovered.report.checkpoint_found &&
+      recovered.report.checkpoint.finished &&
+      !recovered.report.checkpoint_ahead) {
+    PULSE_RETURN_IF_ERROR(runtime.Finish());
+  }
+  RecoveredHistorical out{std::move(recovered.store), std::move(runtime),
+                          std::move(recovered.report), {}, false, {}};
+  out.pending_outputs =
+      ReconcileOutputs(out.runtime.TakeOutputSegments(), out.report,
+                       &out.state_verified, &out.verify_detail);
+  return out;
+}
+
+Result<RecoveredSharded> RecoverSharded(const QuerySpec& spec,
+                                        shard::ShardedRuntimeOptions options,
+                                        StoreOptions store_options) {
+  PULSE_ASSIGN_OR_RETURN(RecoveredStore recovered,
+                         SegmentStore::Recover(std::move(store_options)));
+  options.runtime.collect_outputs = true;
+  PULSE_ASSIGN_OR_RETURN(shard::ShardedRuntime runtime,
+                         shard::ShardedRuntime::Make(spec, std::move(options)));
+  PULSE_RETURN_IF_ERROR(ReplayRecords(recovered.records, &runtime));
+  if (recovered.report.checkpoint_found &&
+      recovered.report.checkpoint.finished &&
+      !recovered.report.checkpoint_ahead) {
+    PULSE_RETURN_IF_ERROR(runtime.Finish());
+  } else {
+    PULSE_RETURN_IF_ERROR(runtime.Barrier());
+  }
+  RecoveredSharded out{std::move(recovered.store), std::move(runtime),
+                       std::move(recovered.report), {}, false, {}};
+  out.pending_outputs =
+      ReconcileOutputs(out.runtime.TakeOutputSegments(), out.report,
+                       &out.state_verified, &out.verify_detail);
+  return out;
+}
+
+}  // namespace store
+}  // namespace pulse

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <sstream>
@@ -16,6 +18,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "shard/sharded_runtime.h"
+#include "store/recovery.h"
 #include "util/cpu_features.h"
 #include "util/logging.h"
 
@@ -299,6 +302,91 @@ Result<std::vector<Segment>> RunPulseServing(const GeneratedCase& kase,
   (void)client.Bye();
   server->Drain();
   return std::move(drained.output_segments);
+}
+
+// Kill-and-restore: feed the first k items through a durable runtime,
+// checkpoint, destroy all process state, recover from disk, feed the
+// rest, and stitch the three output stretches together. `verified` is
+// recovery's own claim that the replayed prefix hash matched the
+// checkpoint watermark; the caller additionally compares the stitched
+// outputs against the uninterrupted base run.
+struct KillRestoreRun {
+  std::vector<Segment> segments;
+  bool verified = false;
+  std::string detail;
+};
+
+Result<KillRestoreRun> RunPulseKillRestore(const GeneratedCase& kase,
+                                           const SegmentFeed& feed) {
+  // A private temp directory per run: differential seeds execute
+  // concurrently in the suite, so the store must not be shared.
+  std::string dir_template =
+      (std::filesystem::temp_directory_path() / "pulse_diff_store_XXXXXX")
+          .string();
+  if (mkdtemp(dir_template.data()) == nullptr) {
+    return Status::IoError("mkdtemp failed for kill-restore variant");
+  }
+  struct DirCleanup {
+    std::string dir;
+    ~DirCleanup() {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  } cleanup{dir_template};
+
+  // Seed-derived midpoint: every seed kills at a different offset, so
+  // the suite collectively covers early, middle, and late crashes.
+  const size_t n = feed.items.size();
+  const size_t k = n < 2 ? n : 1 + kase.seed % (n - 1);
+
+  store::StoreOptions store_options;
+  store_options.dir = dir_template;
+  KillRestoreRun run;
+
+  // Phase 1 — the doomed process: durable appends, partial delivery,
+  // one mid-run checkpoint, then oblivion (scope exit drops the
+  // runtime, the store, and the log writer without any orderly Finish).
+  {
+    PULSE_ASSIGN_OR_RETURN(store::SegmentStore store,
+                           store::SegmentStore::Open(store_options));
+    HistoricalRuntime::Options options;
+    options.collect_outputs = true;
+    PULSE_ASSIGN_OR_RETURN(HistoricalRuntime rt,
+                           HistoricalRuntime::Make(kase.spec, options));
+    for (size_t i = 0; i < k; ++i) {
+      const auto& [stream_idx, segment] = feed.items[i];
+      const std::string& stream = kase.workloads[stream_idx].name;
+      PULSE_RETURN_IF_ERROR(store.AppendSegment(stream, segment));
+      PULSE_RETURN_IF_ERROR(rt.ProcessSegment(stream, segment));
+    }
+    std::vector<Segment> delivered = rt.TakeOutputSegments();
+    for (const Segment& segment : delivered) store.NoteDelivered(segment);
+    PULSE_RETURN_IF_ERROR(store.WriteCheckpoint(/*finished=*/false));
+    run.segments = std::move(delivered);
+  }
+
+  // Phase 2 — the restarted process: recover from disk alone and
+  // finish the feed.
+  PULSE_ASSIGN_OR_RETURN(
+      store::RecoveredHistorical recovered,
+      store::RecoverHistorical(kase.spec, {}, store_options));
+  run.verified = recovered.state_verified;
+  run.detail = recovered.verify_detail;
+  if (!run.verified) return run;
+  for (Segment& segment : recovered.pending_outputs) {
+    run.segments.push_back(std::move(segment));
+  }
+  for (size_t i = k; i < n; ++i) {
+    const auto& [stream_idx, segment] = feed.items[i];
+    const std::string& stream = kase.workloads[stream_idx].name;
+    PULSE_RETURN_IF_ERROR(recovered.store.AppendSegment(stream, segment));
+    PULSE_RETURN_IF_ERROR(recovered.runtime.ProcessSegment(stream, segment));
+  }
+  PULSE_RETURN_IF_ERROR(recovered.runtime.Finish());
+  for (Segment& segment : recovered.runtime.TakeOutputSegments()) {
+    run.segments.push_back(std::move(segment));
+  }
+  return run;
 }
 
 // ---------------------------------------------------------------------
@@ -1104,6 +1192,28 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
     if (!mismatch.empty()) {
       reporter.Add(Divergence{"metamorphic.serving", 0.0, 0, "", 0.0, 0.0,
                               mismatch});
+    }
+  }
+
+  // Kill-and-restore variant: a crash at a seed-derived midpoint,
+  // recovered purely from the durable log + checkpoint, must be
+  // invisible in the output stream.
+  if (options.kill_restore_variant) {
+    PULSE_ASSIGN_OR_RETURN(KillRestoreRun restored,
+                           RunPulseKillRestore(kase, feed));
+    if (!restored.verified) {
+      reporter.Add(Divergence{"metamorphic.kill_restore", 0.0, 0, "", 0.0,
+                              0.0,
+                              "recovery could not verify the delivered "
+                              "prefix: " +
+                                  restored.detail});
+    } else {
+      const std::string mismatch =
+          CompareVariant(base.segments, restored.segments);
+      if (!mismatch.empty()) {
+        reporter.Add(Divergence{"metamorphic.kill_restore", 0.0, 0, "",
+                                0.0, 0.0, mismatch});
+      }
     }
   }
 

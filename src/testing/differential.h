@@ -49,6 +49,14 @@ struct DiffOptions {
   /// serving-layer batching/backpressure never change query answers,
   /// only admission (docs/SERVING.md).
   bool serving_variant = true;
+  /// Kill-and-restore variant (docs/STORAGE.md): run the feed to a
+  /// seed-derived midpoint against a durable SegmentStore in a private
+  /// temp directory, checkpoint, destroy every piece of process state,
+  /// recover from disk, then finish the remainder of the feed. The
+  /// concatenation delivered-prefix ++ recovered-pending ++
+  /// post-restore outputs must be byte-identical to the uninterrupted
+  /// run — the crash-consistency contract of the tiered segment store.
+  bool kill_restore_variant = true;
   /// Replay the feed with solver dispatch pinned to the scalar kernels
   /// (SetSimdOverrideForTesting) — serial, parallel + cache-off, and
   /// sharded — and require byte-identity with the SIMD-batched base run.

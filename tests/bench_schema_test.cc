@@ -240,6 +240,44 @@ TEST(CheckedInBenchJsonTest, ParallelScalingMatchesGateSchema) {
       << "sharded sweep needs >= 2 distinct shard counts";
 }
 
+TEST(CheckedInBenchJsonTest, StorageMatchesGateSchema) {
+  const std::string text = ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                                           "/BENCH_storage.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_storage.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "storage", &doc));
+  ExpectRowFields(doc, {"scenario", "log_records", "log_bytes", "seconds",
+                        "records_per_sec", "queries_per_sec", "speedup",
+                        "calibration_ops_per_sec", "core_bound"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("repeats"), nullptr);
+  EXPECT_NE(params->Find("epoch_length"), nullptr);
+  EXPECT_NE(params->Find("query_leaves"), nullptr);
+  EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
+  // The storage acceptance bar: recovery timed at >= 3 distinct log
+  // sizes (the recovery-time-vs-log-size curve), and the pre-aggregated
+  // tree at least 5x faster than the per-query timeline replay.
+  std::set<double> recover_sizes;
+  double tree_speedup = 0.0;
+  bool saw_replay = false;
+  for (const json::Value& row : doc.Find("results")->as_array()) {
+    const std::string scenario = row.Find("scenario")->as_string();
+    if (scenario == "recover") {
+      recover_sizes.insert(row.Find("log_records")->as_number());
+      EXPECT_GT(row.Find("records_per_sec")->as_number(), 0.0);
+    } else if (scenario == "tree_query") {
+      tree_speedup = row.Find("speedup")->as_number();
+    } else if (scenario == "replay_query") {
+      saw_replay = true;
+    }
+  }
+  EXPECT_GE(recover_sizes.size(), 3u)
+      << "recovery curve needs >= 3 distinct log sizes";
+  EXPECT_TRUE(saw_replay) << "no replay_query baseline row";
+  EXPECT_GE(tree_speedup, 5.0)
+      << "pre-aggregated tree must be >= 5x the replay baseline";
+}
+
 TEST(CheckedInBenchJsonTest, TelemetryMatchesGateSchema) {
   const std::string text = ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
                                            "/BENCH_telemetry.json");

@@ -1,5 +1,7 @@
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -14,6 +16,8 @@
 #include "serve/server.h"
 #include "serve/tcp_transport.h"
 #include "serve/transport.h"
+#include "store/recovery.h"
+#include "store/store.h"
 #include "workload/moving_object.h"
 #include "workload/replay.h"
 
@@ -696,6 +700,124 @@ TEST(PacedReplay, EventTimePacingFollowsTimestamps) {
   EXPECT_EQ(offset, 500'000'000u);
   ASSERT_TRUE(replay.Next(&t, &offset));
   EXPECT_EQ(offset, 2'000'000'000u);
+}
+
+// ---------------------------------------------------------------------
+// Durable serving mode (docs/STORAGE.md): admitted input hits the
+// shared segment log before dispatch, delivered outputs advance the
+// checkpoint watermark, and Drain seals a finished checkpoint that
+// recovery verifies byte-for-byte.
+
+class DurableServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "pulse_serve_store_XXXXXX")
+            .string();
+    ASSERT_NE(mkdtemp(templ.data()), nullptr);
+    dir_ = templ;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(DurableServeTest, SessionLogsAdmissionsAndDrainSealsCheckpoint) {
+  const std::vector<Tuple> trace = PiecewiseTrace(300);
+  ServerOptions options = ObjectsServerOptions(BackpressurePolicy::kBlock);
+  std::vector<Segment> delivered;
+  {
+    Result<store::SegmentStore> st = store::SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    options.store = &*st;
+    Result<std::unique_ptr<StreamServer>> server =
+        StreamServer::Make(options);
+    ASSERT_TRUE(server.ok());
+    Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    ServeClient client(std::move(*conn));
+    ASSERT_TRUE(client.Hello().ok());
+    ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+    for (const Tuple& t : trace) {
+      ASSERT_TRUE(client.SendTuple(1, t).ok());
+    }
+    Result<ServeClient::DrainResult> drained = client.Drain();
+    ASSERT_TRUE(drained.ok());
+    EXPECT_EQ(drained->shed, 0u);
+    delivered = std::move(drained->output_segments);
+    ASSERT_FALSE(delivered.empty());
+    (*server)->Drain();
+    // Every admitted tuple was logged; every delivered output noted.
+    EXPECT_EQ(st->log_records(), trace.size());
+    EXPECT_EQ(st->delivered_outputs(), delivered.size());
+  }
+
+  // Recovery replays the log into a fresh runtime and must verify the
+  // delivered prefix against the finished checkpoint — and because the
+  // checkpoint covered everything, nothing is pending.
+  Result<store::RecoveredHistorical> recovered = store::RecoverHistorical(
+      options.spec, options.runtime, {.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.clean());
+  EXPECT_TRUE(recovered->report.checkpoint.finished);
+  EXPECT_EQ(recovered->report.log_records, trace.size());
+  EXPECT_TRUE(recovered->state_verified) << recovered->verify_detail;
+  EXPECT_TRUE(recovered->pending_outputs.empty());
+}
+
+TEST_F(DurableServeTest, KilledServerRedeliversUndeliveredOutputs) {
+  const std::vector<Tuple> trace = PiecewiseTrace(300);
+  ServerOptions options = ObjectsServerOptions(BackpressurePolicy::kBlock);
+
+  // The uninterrupted direct run is the ground truth.
+  Result<HistoricalRuntime> direct =
+      HistoricalRuntime::Make(options.spec, options.runtime);
+  ASSERT_TRUE(direct.ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(direct->ProcessTuple("objects", t).ok());
+  }
+  ASSERT_TRUE(direct->Finish().ok());
+  const std::vector<Segment> expected = direct->TakeOutputSegments();
+
+  // Serve the feed durably, then Shutdown() instead of Drain(): the
+  // hard stop never seals a checkpoint (the mid-flight crash shape).
+  {
+    Result<store::SegmentStore> st = store::SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(st.ok());
+    options.store = &*st;
+    Result<std::unique_ptr<StreamServer>> server =
+        StreamServer::Make(options);
+    ASSERT_TRUE(server.ok());
+    Result<std::unique_ptr<Transport>> conn = (*server)->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    ServeClient client(std::move(*conn));
+    ASSERT_TRUE(client.Hello().ok());
+    ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+    for (const Tuple& t : trace) {
+      ASSERT_TRUE(client.SendTuple(1, t).ok());
+    }
+    // Client drain forces all input through admission (and thus into
+    // the log) before the "crash".
+    ASSERT_TRUE(client.Drain().ok());
+    (*server)->Shutdown();
+    EXPECT_EQ(st->log_records(), trace.size());
+  }
+
+  // No checkpoint: recovery redelivers the full output set, which must
+  // equal the uninterrupted run's.
+  Result<store::RecoveredHistorical> recovered = store::RecoverHistorical(
+      options.spec, options.runtime, {.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->report.checkpoint_found);
+  EXPECT_TRUE(recovered->state_verified) << recovered->verify_detail;
+  ASSERT_TRUE(recovered->runtime.Finish().ok());
+  std::vector<Segment> outputs = std::move(recovered->pending_outputs);
+  for (Segment& s : recovered->runtime.TakeOutputSegments()) {
+    outputs.push_back(std::move(s));
+  }
+  ExpectSameSegments(expected, outputs);
 }
 
 }  // namespace

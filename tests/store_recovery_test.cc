@@ -1,0 +1,539 @@
+// Fault-injection tests for the tiered segment store (docs/STORAGE.md):
+// every corruption scenario — torn final record, truncated log,
+// bit-flipped checksum, missing checkpoint, checkpoint newer than the
+// log — must recover to the last consistent prefix with a structured
+// report, never a crash or a silent divergence. The kill-and-restore
+// tests prove recovered runtime state answers byte-identically to an
+// uninterrupted run.
+#include "store/recovery.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/checkpoint.h"
+#include "store/checksum.h"
+#include "store/log.h"
+#include "store/store.h"
+#include "testing/plan_gen.h"
+
+namespace pulse {
+namespace store {
+namespace {
+
+class StoreRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "pulse_store_test_XXXXXX")
+            .string();
+    ASSERT_NE(mkdtemp(templ.data()), nullptr);
+    dir_ = templ;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string LogPath() const { return dir_ + "/segments.log"; }
+  std::string CheckpointPath() const { return dir_ + "/checkpoint.bin"; }
+
+  std::string ReadFile(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& path, const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+Segment MakeSeg(Key key, double lo, double hi, double a0, double a1) {
+  Segment s(key, Interval::ClosedOpen(lo, hi));
+  s.attributes["x"] = Polynomial({a0, a1});
+  return s;
+}
+
+// Appends `count` segments on stream "s" and returns their encoded
+// record images (byte-identical to what the writer persisted, so tests
+// can compute exact corruption offsets).
+std::vector<std::string> AppendSegments(SegmentStore* store, int count) {
+  std::vector<std::string> images;
+  for (int i = 0; i < count; ++i) {
+    Segment seg = MakeSeg(7, i, i + 1.0, i * 1.0, 0.5);
+    EXPECT_TRUE(store->AppendSegment("s", seg).ok());
+    LogRecord record;
+    record.type = LogRecordType::kSegment;
+    record.stream = "s";
+    record.segment = seg;
+    std::string image;
+    EncodeLogRecord(record, &image);
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+TEST_F(StoreRecoveryTest, WriterRoundTrip) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    AppendSegments(&*store, 3);
+    Tuple t(1.5, {Value(int64_t{7}), Value(2.5)});
+    ASSERT_TRUE(store->AppendTuple("s", t).ok());
+    ASSERT_TRUE(store->Sync().ok());
+    EXPECT_EQ(store->log_records(), 4u);
+  }
+  Result<LogScan> scan = ScanLogFile(LogPath());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->clean());
+  ASSERT_EQ(scan->records.size(), 4u);
+  EXPECT_EQ(scan->records[0].type, LogRecordType::kSegment);
+  EXPECT_EQ(scan->records[3].type, LogRecordType::kTuple);
+  EXPECT_EQ(scan->records[3].tuple.timestamp, 1.5);
+  for (const LogRecord& r : scan->records) EXPECT_EQ(r.stream, "s");
+}
+
+TEST_F(StoreRecoveryTest, CheckpointRoundTripAndAtomicReplace) {
+  Checkpoint ckp;
+  ckp.log_records = 42;
+  ckp.log_bytes = 4242;
+  ckp.delivered_outputs = 7;
+  ckp.output_hash = 0xdeadbeefcafef00dull;
+  ckp.finished = true;
+  ASSERT_TRUE(WriteCheckpointFile(CheckpointPath(), ckp).ok());
+  Result<Checkpoint> got = ReadCheckpointFile(CheckpointPath());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->log_records, 42u);
+  EXPECT_EQ(got->delivered_outputs, 7u);
+  EXPECT_EQ(got->output_hash, ckp.output_hash);
+  EXPECT_TRUE(got->finished);
+  // Replacing leaves no .tmp behind and reads back the new image.
+  ckp.log_records = 43;
+  ckp.finished = false;
+  ASSERT_TRUE(WriteCheckpointFile(CheckpointPath(), ckp).ok());
+  EXPECT_FALSE(std::filesystem::exists(CheckpointPath() + ".tmp"));
+  got = ReadCheckpointFile(CheckpointPath());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->log_records, 43u);
+  EXPECT_FALSE(got->finished);
+}
+
+TEST_F(StoreRecoveryTest, ReadMissingCheckpointIsNotFound) {
+  Result<Checkpoint> got = ReadCheckpointFile(CheckpointPath());
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreRecoveryTest, OpenRefusesDirectoryWithExistingLog) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    AppendSegments(&*store, 1);
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  Result<SegmentStore> again = SegmentStore::Open({.dir = dir_});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StoreRecoveryTest, RecoverFreshDirectory) {
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.log_missing);
+  EXPECT_FALSE(recovered->report.checkpoint_found);
+  EXPECT_TRUE(recovered->records.empty());
+  // The recovered store is immediately usable.
+  AppendSegments(&recovered->store, 2);
+  EXPECT_EQ(recovered->store.log_records(), 2u);
+}
+
+// Scenario 1: the process died mid-append — the final record is torn.
+TEST_F(StoreRecoveryTest, TornFinalRecordIsTruncated) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    AppendSegments(&*store, 3);
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  const std::string intact = ReadFile(LogPath());
+  // A torn append: frame + half the payload of a fourth record.
+  LogRecord extra;
+  extra.type = LogRecordType::kSegment;
+  extra.stream = "s";
+  extra.segment = MakeSeg(7, 3.0, 4.0, 1.0, 0.5);
+  std::string image;
+  EncodeLogRecord(extra, &image);
+  WriteFile(LogPath(), intact + image.substr(0, image.size() / 2));
+
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->report.tail, LogTailState::kTornRecord);
+  EXPECT_EQ(recovered->records.size(), 3u);
+  EXPECT_GT(recovered->report.truncated_bytes, 0u);
+  EXPECT_FALSE(recovered->report.clean());
+  // The file was repaired to the consistent prefix...
+  EXPECT_EQ(std::filesystem::file_size(LogPath()), intact.size());
+  // ...and appending resumes cleanly from there.
+  AppendSegments(&recovered->store, 1);
+  ASSERT_TRUE(recovered->store.Sync().ok());
+  Result<LogScan> rescan = ScanLogFile(LogPath());
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan->clean());
+  EXPECT_EQ(rescan->records.size(), 4u);
+}
+
+// Scenario 2: the log lost records the checkpoint already covered
+// (e.g. the log device rolled back further than the checkpoint).
+TEST_F(StoreRecoveryTest, CheckpointNewerThanLogIsFlagged) {
+  std::vector<std::string> images;
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    images = AppendSegments(&*store, 4);
+    store->NoteDelivered(MakeSeg(7, 0.0, 1.0, 0.0, 0.5));
+    ASSERT_TRUE(store->WriteCheckpoint(false).ok());
+  }
+  // Drop the last two records: the log is now behind the checkpoint.
+  const std::string full = ReadFile(LogPath());
+  const size_t keep = EncodeLogHeader().size() + images[0].size() +
+                      images[1].size();
+  WriteFile(LogPath(), full.substr(0, keep));
+
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.checkpoint_found);
+  EXPECT_TRUE(recovered->report.checkpoint_ahead);
+  EXPECT_FALSE(recovered->report.clean());
+  // The delivered watermark is ignored: everything will be redelivered.
+  EXPECT_EQ(recovered->report.effective_delivered, 0u);
+  EXPECT_EQ(recovered->records.size(), 2u);
+  EXPECT_NE(recovered->report.ToString().find("ahead of log"),
+            std::string::npos);
+}
+
+// Scenario 3: a bit flip in the middle of the log.
+TEST_F(StoreRecoveryTest, BitFlippedChecksumStopsAtLastConsistentRecord) {
+  std::vector<std::string> images;
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    images = AppendSegments(&*store, 4);
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  std::string bytes = ReadFile(LogPath());
+  // Flip one payload bit inside record 1 (0-based): everything from
+  // that record on is unusable, record 0 survives.
+  const size_t offset =
+      EncodeLogHeader().size() + images[0].size() + 8 + images[1].size() / 3;
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x40);
+  WriteFile(LogPath(), bytes);
+
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->report.tail, LogTailState::kBadChecksum);
+  EXPECT_EQ(recovered->records.size(), 1u);
+  EXPECT_EQ(recovered->report.truncated_bytes,
+            images[1].size() + images[2].size() + images[3].size());
+  Result<LogScan> rescan = ScanLogFile(LogPath());
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan->clean());
+  EXPECT_EQ(rescan->records.size(), 1u);
+}
+
+// Scenario 4: no checkpoint at all — replay everything, deliver
+// everything.
+TEST_F(StoreRecoveryTest, MissingCheckpointRedeliversAll) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    AppendSegments(&*store, 3);
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->report.checkpoint_found);
+  EXPECT_EQ(recovered->report.effective_delivered, 0u);
+  EXPECT_EQ(recovered->records.size(), 3u);
+  EXPECT_NE(recovered->report.ToString().find("checkpoint: missing"),
+            std::string::npos);
+}
+
+// Scenario 5: checkpoint present but corrupt.
+TEST_F(StoreRecoveryTest, CorruptCheckpointIsReportedNotTrusted) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    AppendSegments(&*store, 2);
+    store->NoteDelivered(MakeSeg(7, 0.0, 1.0, 0.0, 0.5));
+    ASSERT_TRUE(store->WriteCheckpoint(false).ok());
+  }
+  std::string bytes = ReadFile(CheckpointPath());
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x01);
+  WriteFile(CheckpointPath(), bytes);
+
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.checkpoint_found);
+  EXPECT_FALSE(recovered->report.checkpoint_error.empty());
+  EXPECT_EQ(recovered->report.effective_delivered, 0u);
+  EXPECT_FALSE(recovered->report.clean());
+  EXPECT_NE(recovered->report.ToString().find("unreadable"),
+            std::string::npos);
+}
+
+TEST_F(StoreRecoveryTest, RecoveredStoreRebuildsTimelinesAndTrees) {
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    AppendSegments(&*store, 5);
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  Result<RecoveredStore> recovered = SegmentStore::Recover({.dir = dir_});
+  ASSERT_TRUE(recovered.ok());
+  SegmentStore& store = recovered->store;
+  ASSERT_EQ(store.KeysOf("s"), std::vector<Key>{7});
+  const std::vector<Segment>* timeline = store.Timeline("s", 7);
+  ASSERT_NE(timeline, nullptr);
+  EXPECT_EQ(timeline->size(), 5u);
+  // x(t) = i + 0.5 (t - i) on [i, i+1): integral over [0, 5) is exact.
+  RangeAggregate agg = store.QueryRange("s", 7, "x", 0.0, 5.0);
+  EXPECT_EQ(agg.count, 5u);
+  EXPECT_NEAR(agg.coverage, 5.0, 1e-12);
+  double expected_integral = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    // ∫_i^{i+1} (i + 0.5 t) dt — AppendSegments builds a0 = i, a1 = 0.5.
+    expected_integral += i + 0.5 * (i + 0.5);
+  }
+  EXPECT_NEAR(agg.integral, expected_integral, 1e-9);
+}
+
+TEST_F(StoreRecoveryTest, BackfillPatchesClosedEpochAndRepublishes) {
+  Result<SegmentStore> store =
+      SegmentStore::Open({.dir = dir_, .epoch_length = 1.0});
+  ASSERT_TRUE(store.ok());
+  AppendSegments(&*store, 4);  // [0,1) [1,2) [2,3) [3,4)
+  RangeAggregate before = store->QueryRange("s", 7, "x", 1.0, 2.0);
+  // A late correction rewrites [1.25, 1.75) to the constant 100.
+  Segment patch = MakeSeg(7, 1.25, 1.75, 100.0, 0.0);
+  Result<BackfillResult> result = store->Backfill("s", patch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected.lo, 1.25);
+  // Only epoch [1, 2) is affected at epoch_length 1.0.
+  ASSERT_EQ(result->republished.size(), 1u);
+  EXPECT_EQ(result->republished[0].epoch, 1);
+  EXPECT_EQ(result->republished[0].attribute, "x");
+  const RangeAggregate& after = result->republished[0].aggregate;
+  EXPECT_GT(after.max, before.max);
+  EXPECT_NEAR(after.max, 100.0, 1e-12);
+  // The patched epoch's integral reflects the rewrite exactly:
+  // old ∫ over [1.25, 1.75) was ∫ (1 + 0.5 t) dt, new is 100 * 0.5.
+  const double old_piece = 0.5 * 1.0 + 0.5 * (1.75 * 1.75 - 1.25 * 1.25) / 2;
+  EXPECT_NEAR(after.integral, before.integral - old_piece + 50.0, 1e-9);
+  // The patch survives recovery: it is in the log as a kBackfill record.
+  ASSERT_TRUE(store->Sync().ok());
+  Result<LogScan> scan = ScanLogFile(LogPath());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 5u);
+  EXPECT_EQ(scan->records[4].type, LogRecordType::kBackfill);
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-restore: recovered runtime state must answer byte-identically
+// to an uninterrupted run (segment ids excluded — execution accidents).
+
+bool SameSegmentModuloId(const Segment& a, const Segment& b) {
+  if (a.key != b.key || a.range.lo != b.range.lo ||
+      a.range.hi != b.range.hi || a.range.lo_open != b.range.lo_open ||
+      a.range.hi_open != b.range.hi_open ||
+      a.attributes.size() != b.attributes.size() ||
+      a.unmodeled != b.unmodeled) {
+    return false;
+  }
+  for (const auto& [name, poly] : a.attributes) {
+    auto it = b.attributes.find(name);
+    if (it == b.attributes.end()) return false;
+    if (poly.degree() != it->second.degree()) return false;
+    for (size_t i = 0; i <= poly.degree(); ++i) {
+      if (poly.coeff(i) != it->second.coeff(i)) return false;
+    }
+  }
+  return true;
+}
+
+void ExpectSameOutputs(const std::vector<Segment>& base,
+                       const std::vector<Segment>& got) {
+  ASSERT_EQ(base.size(), got.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(SameSegmentModuloId(base[i], got[i]))
+        << "output segment " << i << " differs";
+  }
+}
+
+struct Feed {
+  testing::GeneratedCase kase;
+  std::vector<std::pair<std::string, Segment>> items;  // (stream, segment)
+};
+
+Feed MakeFeed(uint64_t seed) {
+  Result<testing::GeneratedCase> kase = testing::GenerateCase(seed);
+  EXPECT_TRUE(kase.ok());
+  Feed feed;
+  feed.kase = std::move(*kase);
+  for (const auto& workload : feed.kase.workloads) {
+    for (Segment& s : workload.ToSegments()) {
+      feed.items.push_back({workload.name, std::move(s)});
+    }
+  }
+  std::stable_sort(feed.items.begin(), feed.items.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.range.lo < b.second.range.lo;
+                   });
+  return feed;
+}
+
+std::vector<Segment> RunUninterrupted(const Feed& feed) {
+  HistoricalRuntime::Options options;
+  options.collect_outputs = true;
+  Result<HistoricalRuntime> rt =
+      HistoricalRuntime::Make(feed.kase.spec, options);
+  EXPECT_TRUE(rt.ok());
+  for (const auto& [stream, segment] : feed.items) {
+    EXPECT_TRUE(rt->ProcessSegment(stream, segment).ok());
+  }
+  EXPECT_TRUE(rt->Finish().ok());
+  return rt->TakeOutputSegments();
+}
+
+TEST_F(StoreRecoveryTest, KillRestoreHistoricalIsByteIdentical) {
+  const Feed feed = MakeFeed(11);
+  const std::vector<Segment> base = RunUninterrupted(feed);
+  ASSERT_FALSE(feed.items.empty());
+  const size_t k = feed.items.size() / 2;
+
+  std::vector<Segment> outputs;
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    HistoricalRuntime::Options options;
+    options.collect_outputs = true;
+    Result<HistoricalRuntime> rt =
+        HistoricalRuntime::Make(feed.kase.spec, options);
+    ASSERT_TRUE(rt.ok());
+    for (size_t i = 0; i < k; ++i) {
+      const auto& [stream, segment] = feed.items[i];
+      ASSERT_TRUE(store->AppendSegment(stream, segment).ok());
+      ASSERT_TRUE(rt->ProcessSegment(stream, segment).ok());
+    }
+    outputs = rt->TakeOutputSegments();
+    for (const Segment& s : outputs) store->NoteDelivered(s);
+    ASSERT_TRUE(store->WriteCheckpoint(false).ok());
+    // Scope exit = the crash: no Finish, no orderly close.
+  }
+
+  Result<RecoveredHistorical> recovered =
+      RecoverHistorical(feed.kase.spec, {}, {.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->state_verified) << recovered->verify_detail;
+  EXPECT_TRUE(recovered->report.clean());
+  for (Segment& s : recovered->pending_outputs) {
+    outputs.push_back(std::move(s));
+  }
+  for (size_t i = k; i < feed.items.size(); ++i) {
+    const auto& [stream, segment] = feed.items[i];
+    ASSERT_TRUE(recovered->store.AppendSegment(stream, segment).ok());
+    ASSERT_TRUE(recovered->runtime.ProcessSegment(stream, segment).ok());
+  }
+  ASSERT_TRUE(recovered->runtime.Finish().ok());
+  for (Segment& s : recovered->runtime.TakeOutputSegments()) {
+    outputs.push_back(std::move(s));
+  }
+  ExpectSameOutputs(base, outputs);
+}
+
+TEST_F(StoreRecoveryTest, KillRestoreShardedIsByteIdentical) {
+  const Feed feed = MakeFeed(23);
+  const std::vector<Segment> base = RunUninterrupted(feed);
+  ASSERT_FALSE(feed.items.empty());
+  const size_t k = feed.items.size() / 3;
+
+  std::vector<Segment> outputs;
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    shard::ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.runtime.collect_outputs = true;
+    Result<shard::ShardedRuntime> rt =
+        shard::ShardedRuntime::Make(feed.kase.spec, std::move(options));
+    ASSERT_TRUE(rt.ok());
+    for (size_t i = 0; i < k; ++i) {
+      const auto& [stream, segment] = feed.items[i];
+      ASSERT_TRUE(store->AppendSegment(stream, segment).ok());
+      ASSERT_TRUE(rt->ProcessSegment(stream, segment).ok());
+    }
+    // Barrier makes the released output prefix deterministic — the
+    // prerequisite for a mid-run sharded checkpoint.
+    ASSERT_TRUE(rt->Barrier().ok());
+    outputs = rt->TakeOutputSegments();
+    for (const Segment& s : outputs) store->NoteDelivered(s);
+    ASSERT_TRUE(store->WriteCheckpoint(false).ok());
+  }
+
+  shard::ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  Result<RecoveredSharded> recovered =
+      RecoverSharded(feed.kase.spec, std::move(options), {.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->state_verified) << recovered->verify_detail;
+  for (Segment& s : recovered->pending_outputs) {
+    outputs.push_back(std::move(s));
+  }
+  for (size_t i = k; i < feed.items.size(); ++i) {
+    const auto& [stream, segment] = feed.items[i];
+    ASSERT_TRUE(recovered->store.AppendSegment(stream, segment).ok());
+    ASSERT_TRUE(recovered->runtime.ProcessSegment(stream, segment).ok());
+  }
+  ASSERT_TRUE(recovered->runtime.Finish().ok());
+  for (Segment& s : recovered->runtime.TakeOutputSegments()) {
+    outputs.push_back(std::move(s));
+  }
+  ExpectSameOutputs(base, outputs);
+}
+
+// A finished checkpoint restores the post-Finish state: recovery
+// replays, Finishes, and the pending outputs equal the full run's.
+TEST_F(StoreRecoveryTest, FinishedCheckpointRestoresFinalState) {
+  const Feed feed = MakeFeed(5);
+  const std::vector<Segment> base = RunUninterrupted(feed);
+
+  {
+    Result<SegmentStore> store = SegmentStore::Open({.dir = dir_});
+    ASSERT_TRUE(store.ok());
+    for (const auto& [stream, segment] : feed.items) {
+      ASSERT_TRUE(store->AppendSegment(stream, segment).ok());
+    }
+    ASSERT_TRUE(store->WriteCheckpoint(/*finished=*/true).ok());
+  }
+  Result<RecoveredHistorical> recovered =
+      RecoverHistorical(feed.kase.spec, {}, {.dir = dir_});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->state_verified) << recovered->verify_detail;
+  EXPECT_TRUE(recovered->report.checkpoint.finished);
+  ExpectSameOutputs(base, recovered->pending_outputs);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace pulse
