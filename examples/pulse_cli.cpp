@@ -21,6 +21,14 @@
 //     --policy drop_oldest --rate 50000 \
 //     --query "select * from objects where x < 2000"
 //
+//   # Adaptive precision (docs/PRECISION.md): the session widens the
+//   # error budget under load, emits provisional answers, and settles
+//   # them as confirm/retract at drain. --tier 1 pins the widened tier
+//   # so the side-band is exercised deterministically.
+//   pulse_cli --workload objects --mode serve --tuples 20000 \
+//     --precision adaptive --tier 1 \
+//     --query "select * from objects where x < 2000"
+//
 //   # Durable serving: admitted inputs land in DIR/segments.log before
 //   # dispatch, the drain seals a checkpoint, and a later --recover
 //   # replays the log into a fresh runtime and prints the recovery
@@ -69,6 +77,9 @@ struct CliOptions {
   std::string policy = "block";
   double rate = 0.0;  // paced replay tuples/second; 0 = unpaced
   int port = -1;      // >= 0: loopback TCP instead of in-process
+  // adaptive precision (serve mode only; docs/PRECISION.md):
+  std::string precision = "static";
+  int tier = -1;  // >= 0 pins the precision tier (deterministic runs)
   // durable store (serve mode and --recover):
   std::string store_dir;
   bool recover = false;
@@ -82,6 +93,7 @@ int Usage(const char* argv0) {
       "          [--mode predictive|historical|serve] [--bound attr=frac]...\n"
       "          [--sample-rate HZ] [--show K]\n"
       "          [--policy block|drop_oldest|shed] [--rate TPS] [--port P]\n"
+      "          [--precision static|adaptive] [--tier N]\n"
       "          [--store-dir DIR] [--recover]\n",
       argv0);
   return 2;
@@ -133,6 +145,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next("--port");
       if (v == nullptr) return false;
       out->port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--precision") {
+      const char* v = next("--precision");
+      if (v == nullptr) return false;
+      out->precision = v;
+    } else if (arg.rfind("--precision=", 0) == 0) {
+      out->precision = arg.substr(std::strlen("--precision="));
+    } else if (arg == "--tier") {
+      const char* v = next("--tier");
+      if (v == nullptr) return false;
+      out->tier = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--store-dir") {
       const char* v = next("--store-dir");
       if (v == nullptr) return false;
@@ -278,6 +300,18 @@ int main(int argc, char** argv) {
     sopts.runtime.segmentation.max_error = 0.1;
     sopts.runtime.segmentation.max_points_per_segment = 1000;
     sopts.session.policy = policy;
+    if (options.precision == "adaptive") {
+      // Adaptive precision (docs/PRECISION.md): under pressure the
+      // session widens the error budget and emits provisional answers,
+      // settling them as confirm/retract after the exact replay.
+      // --tier pins the controller for deterministic demonstrations.
+      sopts.session.precision.enabled = true;
+      sopts.session.precision.forced_tier = options.tier;
+    } else if (options.precision != "static") {
+      std::fprintf(stderr, "unknown precision mode '%s'\n",
+                   options.precision.c_str());
+      return Usage(argv[0]);
+    }
     if (durable.has_value()) sopts.store = &*durable;
     Result<std::unique_ptr<serve::StreamServer>> server =
         serve::StreamServer::Make(std::move(sopts));
@@ -353,6 +387,18 @@ int main(int argc, char** argv) {
       std::printf("admission p99: %.0f ns over %llu frames\n",
                   admit->second.p99,
                   (unsigned long long)admit->second.count);
+    }
+    if (options.precision == "adaptive") {
+      // Conservation identity (docs/PRECISION.md): every provisional
+      // lineage settles as exactly one confirm or retract by drain.
+      const size_t open = drained->provisionals.size() -
+                          drained->confirmed.size() -
+                          drained->retracted.size();
+      std::printf(
+          "precision(adaptive): %zu provisional, %zu confirmed, "
+          "%zu retracted, %zu open\n",
+          drained->provisionals.size(), drained->confirmed.size(),
+          drained->retracted.size(), open);
     }
     for (size_t i = 0;
          i < drained->output_segments.size() && i < options.show; ++i) {

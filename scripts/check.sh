@@ -9,6 +9,7 @@
 #   SKIP_FUZZ=1 scripts/check.sh   # skip the fuzz-smoke stage
 #   SKIP_BENCH=1 scripts/check.sh  # skip the bench regression gate
 #   SKIP_METRICS_GATE=1 ...        # skip the metrics-overhead micro-gate
+#   SKIP_PRECISION=1 ...           # skip the adaptive-precision gate
 #   SKIP_EXAMPLES=1 ...            # skip the examples build-and-smoke stage
 #   SKIP_DOCS=1 ...                # skip the docs link check
 #
@@ -56,7 +57,7 @@ else
     --target metrics_registry_test thread_pool_test runtime_test \
              solve_cache_test differential_test serve_test \
              shard_router_test epoch_distinct_test telemetry_test \
-             store_recovery_test
+             store_recovery_test precision_test
 
   # halt_on_error makes a race fail the script, not just print a warning.
   # differential_test runs the metamorphic parallel AND sharded variants
@@ -99,6 +100,12 @@ else
   # every generated case — both must be race-free.
   TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$repo/build-tsan/tests/store_recovery_test"
+  # precision_test runs an adaptive session against a static session over
+  # live transports — reader thread stamping tiers, worker applying them,
+  # the provisional/confirm/retract side-band flushed concurrently with
+  # admission — the new cross-thread surface of the precision stage.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$repo/build-tsan/tests/precision_test"
 fi
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
@@ -398,6 +405,52 @@ EOF
   fi
 fi
 
+if [[ "${SKIP_PRECISION:-0}" == "1" ]]; then
+  echo "== SKIP_PRECISION=1: skipping adaptive-precision gate =="
+else
+  echo "== precision gate: settled byte-identity + frontier schema =="
+  # Two halves of the docs/PRECISION.md contract. (1) Determinism: the
+  # adaptive runtime's settled output must be byte-identical to a static
+  # run and every retraction must reference a prior provisional — the
+  # dedicated precision_test suites assert both at the runtime and the
+  # wire level (the 200-seed differential battery in tier-1 covers the
+  # same invariants across generated plans). (2) The checked-in
+  # frontier: BENCH_precision.json must parse, conserve
+  # provisional == confirmed + retracted per widened tier, and show the
+  # >= 1.3x widest-tier live-throughput lever — asserted by
+  # bench_schema_test's PrecisionMatchesGateSchema, re-run here by name
+  # so a stale document fails this stage even when ctest is skipped.
+  cmake --build "$repo/build" -j "$jobs" --target precision_test \
+    bench_schema_test bench_precision
+  "$repo/build/tests/precision_test" --gtest_brief=1 \
+    --gtest_filter='AdaptiveRuntime.*:AdaptiveSession.*:PrecisionFrames.*'
+  "$repo/build/tests/bench_schema_test" --gtest_brief=1 \
+    --gtest_filter='CheckedInBenchJsonTest.PrecisionMatchesGateSchema'
+  # Fresh-run conservation smoke: the live binary must still conserve
+  # lineage on this host (throughput ratios are NOT gated on a fresh run
+  # — host load would make that flaky; the checked-in document carries
+  # the frontier claim).
+  workdir="$(mktemp -d)"
+  (cd "$workdir" && "$repo/build/bench/bench_precision" > /dev/null)
+  python3 - "$workdir/BENCH_precision.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+failed = False
+for row in doc["results"]:
+    if row["tier"] == 0:
+        continue
+    open_count = row["provisional"] - row["confirmed"] - row["retracted"]
+    flag = "FAIL" if open_count != 0 else "ok"
+    print(f"  tier {row['tier']}: provisional {row['provisional']} = "
+          f"confirmed {row['confirmed']} + retracted {row['retracted']} "
+          f"(open {open_count}) {flag}")
+    failed = failed or open_count != 0
+sys.exit(1 if failed else 0)
+EOF
+  rm -rf "$workdir"
+fi
+
 if [[ "${SKIP_METRICS_GATE:-0}" == "1" ]]; then
   echo "== SKIP_METRICS_GATE=1: skipping metrics-overhead micro-gate =="
 else
@@ -413,8 +466,12 @@ else
   # transient load skew is absorbed by up to 3 attempts.
   cmake --build "$repo/build" -j "$jobs" --target bench_solver_hotpath
   cmake -B "$repo/build-nometrics" -S "$repo" -DPULSE_NO_METRICS=ON
+  # precision_test rides along: the adaptive-precision stage mirrors its
+  # state into the registry, and the compiled-out build must still
+  # compile and pass (the mirrors become no-ops, the contract does not).
   cmake --build "$repo/build-nometrics" -j "$jobs" \
-    --target bench_solver_hotpath
+    --target bench_solver_hotpath precision_test
+  "$repo/build-nometrics/tests/precision_test" --gtest_brief=1
   metrics_gate_ok=0
   for attempt in 1 2 3; do
     workdir="$(mktemp -d)"
@@ -482,6 +539,13 @@ else
   "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
     --mode serve --policy shed --port 0 \
     --query "select * from objects where x < 2000" > /dev/null
+  # Adaptive precision over the serving stack: forced widened tier so
+  # the provisional/confirm/retract side-band is exercised and the
+  # printed conservation totals are deterministic (docs/PRECISION.md).
+  "$repo/build/examples/pulse_cli" --workload objects --tuples 2000 \
+    --mode serve --policy block --precision adaptive --tier 1 \
+    --query "select * from objects where x < 2000" | grep -q \
+    "precision(adaptive):"
   # Telemetry workload through a detection-shaped epoch/distinct query.
   "$repo/build/examples/pulse_cli" --workload telemetry --tuples 2000 \
     --query "select distinct * from telemetry epoch 1 where telemetry.port_spread > 100" \

@@ -72,6 +72,23 @@ Result<ServeClient::DrainResult> ServeClient::Drain() {
         }
         result.flow_frames.push_back(std::move(*frame));
         break;
+      case FrameType::kProvisional: {
+        ProvisionalFrame provisional;
+        provisional.lineage = frame->lineage;
+        provisional.bound = frame->bound;
+        if (!frame->segments.empty()) {
+          provisional.segment = std::move(frame->segments.front());
+        }
+        result.provisionals.push_back(std::move(provisional));
+        break;
+      }
+      case FrameType::kConfirm:
+        result.confirmed.push_back(frame->lineage);
+        break;
+      case FrameType::kRetract:
+        result.retracted.emplace_back(frame->lineage,
+                                      frame->retract_reason);
+        break;
       case FrameType::kDrained:
         return result;
       case FrameType::kError:

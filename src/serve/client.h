@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/frame.h"
@@ -38,6 +39,15 @@ class ServeClient {
   /// Blocking read of the next server frame; nullopt on clean EOF.
   Result<std::optional<Frame>> ReadFrame();
 
+  /// One provisional answer received from an adaptive session
+  /// (docs/PRECISION.md): the segment plus its lineage id and the
+  /// error bound it was advertised under.
+  struct ProvisionalFrame {
+    uint64_t lineage = 0;
+    double bound = 0.0;
+    Segment segment;
+  };
+
   /// Everything the server delivered up to (and including) drain.
   struct DrainResult {
     std::vector<Segment> output_segments;
@@ -47,6 +57,14 @@ class ServeClient {
     /// Sums over the flow frames, for convenience.
     uint64_t dropped = 0;
     uint64_t shed = 0;
+    /// Adaptive-precision side-band, in arrival order (empty for
+    /// static sessions). Conservation: provisionals.size() ==
+    /// confirmed.size() + retracted.size() once kDrained arrives.
+    std::vector<ProvisionalFrame> provisionals;
+    /// Lineage ids confirmed within their advertised bound.
+    std::vector<uint64_t> confirmed;
+    /// (lineage, reason) pairs; reason 0 = deviation, 1 = spurious.
+    std::vector<std::pair<uint64_t, uint8_t>> retracted;
   };
 
   /// Sends kDrain, then reads (collecting outputs and flow frames)

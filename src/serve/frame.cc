@@ -118,6 +118,31 @@ Result<Frame> DecodePayload(const char* data, size_t size) {
     case FrameType::kBye:
       frame.type = FrameType::kBye;
       break;
+    case FrameType::kProvisional: {
+      frame.type = FrameType::kProvisional;
+      PULSE_ASSIGN_OR_RETURN(frame.lineage, GetU64(&c, "lineage id"));
+      PULSE_ASSIGN_OR_RETURN(frame.bound, GetF64(&c, "provisional bound"));
+      PULSE_ASSIGN_OR_RETURN(Segment s, GetSegment(&c));
+      frame.segments.push_back(std::move(s));
+      break;
+    }
+    case FrameType::kConfirm: {
+      frame.type = FrameType::kConfirm;
+      PULSE_ASSIGN_OR_RETURN(frame.lineage, GetU64(&c, "lineage id"));
+      break;
+    }
+    case FrameType::kRetract: {
+      frame.type = FrameType::kRetract;
+      PULSE_ASSIGN_OR_RETURN(frame.lineage, GetU64(&c, "lineage id"));
+      PULSE_ASSIGN_OR_RETURN(frame.retract_reason,
+                             GetU8(&c, "retract reason"));
+      if (frame.retract_reason > 1) {
+        return Status::IoError(
+            "unknown retract reason " +
+            std::to_string(frame.retract_reason));
+      }
+      break;
+    }
     default:
       return Status::IoError("unknown frame type " +
                               std::to_string(type_byte));
@@ -159,6 +184,12 @@ const char* FrameTypeToString(FrameType type) {
       return "Error";
     case FrameType::kBye:
       return "Bye";
+    case FrameType::kProvisional:
+      return "Provisional";
+    case FrameType::kConfirm:
+      return "Confirm";
+    case FrameType::kRetract:
+      return "Retract";
   }
   return "Unknown";
 }
@@ -263,6 +294,30 @@ Frame Frame::Bye() {
   return f;
 }
 
+Frame Frame::Provisional(uint64_t lineage, double bound, Segment segment) {
+  Frame f;
+  f.type = FrameType::kProvisional;
+  f.lineage = lineage;
+  f.bound = bound;
+  f.segments.push_back(std::move(segment));
+  return f;
+}
+
+Frame Frame::Confirm(uint64_t lineage) {
+  Frame f;
+  f.type = FrameType::kConfirm;
+  f.lineage = lineage;
+  return f;
+}
+
+Frame Frame::Retract(uint64_t lineage, uint8_t reason) {
+  Frame f;
+  f.type = FrameType::kRetract;
+  f.lineage = lineage;
+  f.retract_reason = reason;
+  return f;
+}
+
 void EncodeFrame(const Frame& frame, std::string* out) {
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(frame.type));
@@ -304,6 +359,18 @@ void EncodeFrame(const Frame& frame, std::string* out) {
       break;
     case FrameType::kError:
       PutString(&payload, frame.text);
+      break;
+    case FrameType::kProvisional:
+      PutU64(&payload, frame.lineage);
+      PutF64(&payload, frame.bound);
+      PutSegment(&payload, frame.segments.at(0));
+      break;
+    case FrameType::kConfirm:
+      PutU64(&payload, frame.lineage);
+      break;
+    case FrameType::kRetract:
+      PutU64(&payload, frame.lineage);
+      PutU8(&payload, frame.retract_reason);
       break;
   }
   PutU32(out, static_cast<uint32_t>(payload.size()));

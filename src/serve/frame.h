@@ -46,6 +46,18 @@ enum class FrameType : uint8_t {
   kError = 11,
   /// Either direction: orderly goodbye; the peer closes the transport.
   kBye = 12,
+  /// Server->client: a provisional answer emitted under a widened
+  /// precision budget (docs/PRECISION.md). Payload: u64 lineage id,
+  /// f64 bound, segment. The answer is advisory until a later kConfirm
+  /// or kRetract carries the same lineage id.
+  kProvisional = 13,
+  /// Server->client: the provisional with this lineage id matched the
+  /// exact computation within its bound. Payload: u64 lineage id.
+  kConfirm = 14,
+  /// Server->client: the provisional with this lineage id deviated (or
+  /// the exact computation never produced it). Payload: u64 lineage id,
+  /// u8 reason (0 = deviation, 1 = spurious).
+  kRetract = 15,
 };
 
 const char* FrameTypeToString(FrameType type);
@@ -86,6 +98,12 @@ struct Frame {
   /// kFlow.
   FlowEvent flow_event = FlowEvent::kPaused;
   uint64_t flow_count = 0;
+  /// kProvisional / kConfirm / kRetract: lineage id (> 0).
+  uint64_t lineage = 0;
+  /// kProvisional: the emitting tier's output bound.
+  double bound = 0.0;
+  /// kRetract: reason code (core/precision.h RetractReason values).
+  uint8_t retract_reason = 0;
 
   static Frame Hello();
   static Frame OpenStream(uint32_t stream_id, std::string name);
@@ -99,6 +117,9 @@ struct Frame {
   static Frame Drained();
   static Frame Error(std::string message);
   static Frame Bye();
+  static Frame Provisional(uint64_t lineage, double bound, Segment segment);
+  static Frame Confirm(uint64_t lineage);
+  static Frame Retract(uint64_t lineage, uint8_t reason);
 };
 
 /// Decoder guards. A frame whose declared payload length exceeds

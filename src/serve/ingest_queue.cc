@@ -90,11 +90,13 @@ bool IngestQueue::PushBlocking(IngestItem item, uint64_t* blocked_ns) {
   return true;
 }
 
-bool IngestQueue::PeekSeq(uint64_t* seq, bool* is_segment) const {
+bool IngestQueue::PeekSeq(uint64_t* seq, bool* is_segment,
+                          uint8_t* tier) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (items_.empty()) return false;
   *seq = items_.front().seq;
   if (is_segment != nullptr) *is_segment = items_.front().is_segment;
+  if (tier != nullptr) *tier = items_.front().tier;
   return true;
 }
 

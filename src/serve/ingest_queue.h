@@ -45,6 +45,12 @@ struct IngestItem {
   /// of the target stream in the pool's sorted stream-name table.
   uint64_t client = 0;
   uint32_t stream = 0;
+  /// Precision tier stamped at admission by the session reader
+  /// (adaptive sessions only; docs/PRECISION.md). The worker applies
+  /// tier changes at item boundaries, so tier transitions are a pure
+  /// function of the admission sequence — deterministic for a given
+  /// arrival order. Always 0 on the shard exchange and in static mode.
+  uint8_t tier = 0;
   bool is_segment = false;
   /// Shard exchange only: finish sentinel (no payload).
   bool is_finish = false;
@@ -107,11 +113,13 @@ class IngestQueue {
   /// when the queue was closed before space appeared.
   bool PushBlocking(IngestItem item, uint64_t* blocked_ns);
 
-  /// Consumer side: copies the head's seq (and, when `is_segment` is
-  /// non-null, its payload kind) without popping; false when empty.
-  /// (The min-seq merge across a session's queues needs only this, not
-  /// the payload.)
-  bool PeekSeq(uint64_t* seq, bool* is_segment = nullptr) const;
+  /// Consumer side: copies the head's seq (and, when `is_segment` /
+  /// `tier` are non-null, its payload kind and precision tier) without
+  /// popping; false when empty. (The min-seq merge across a session's
+  /// queues needs only this, not the payload; the micro-batcher uses
+  /// the tier to keep a batch from crossing a tier change.)
+  bool PeekSeq(uint64_t* seq, bool* is_segment = nullptr,
+               uint8_t* tier = nullptr) const;
 
   /// Pops the head into `*out`; false when empty.
   bool Pop(IngestItem* out);

@@ -55,6 +55,17 @@ Status StreamServer::AddSession(std::unique_ptr<Transport> transport) {
   // created inside the pool, one slice per shard.
   PULSE_ASSIGN_OR_RETURN(std::unique_ptr<shard::ShardClient> client,
                          pool_->AddClient());
+  // Adaptive-precision sessions dispatch into a session-owned runtime
+  // (the tier lever needs a single sequential call stream to defer and
+  // replay; docs/PRECISION.md), so each one gets its own AdaptiveRuntime
+  // instead of using its slice of the shared shard pool.
+  std::unique_ptr<AdaptiveRuntime> adaptive;
+  if (options_.session.precision.enabled) {
+    PULSE_ASSIGN_OR_RETURN(
+        adaptive,
+        AdaptiveRuntime::Make(options_.spec, options_.runtime,
+                              options_.session.precision_runtime));
+  }
   std::vector<std::string> streams;
   for (const auto& [name, spec] : options_.spec.streams()) {
     streams.push_back(name);
@@ -66,7 +77,8 @@ Status StreamServer::AddSession(std::unique_ptr<Transport> transport) {
   ReapLocked();
   auto session = std::make_unique<Session>(
       next_session_id_++, std::move(transport), std::move(client),
-      options_.session, std::move(streams), metrics_, options_.store);
+      options_.session, std::move(streams), metrics_, options_.store,
+      std::move(adaptive));
   session->Start();
   sessions_.push_back(std::move(session));
   c_opened_->Increment();

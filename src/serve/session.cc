@@ -19,6 +19,21 @@ uint64_t NowNs() {
           .count());
 }
 
+// The precision controller runs only when the session actually has an
+// adaptive runtime to apply the tier to, and never offers more tiers
+// than the runtime ladder has rungs.
+PrecisionOptions EffectivePrecision(const SessionOptions& options,
+                                    const AdaptiveRuntime* adaptive) {
+  PrecisionOptions precision = options.precision;
+  if (adaptive == nullptr) {
+    precision.enabled = false;
+  } else {
+    precision.num_tiers = std::min(
+        precision.num_tiers, adaptive->precision_options().ladder.size());
+  }
+  return precision;
+}
+
 }  // namespace
 
 Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
@@ -26,10 +41,12 @@ Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
                  SessionOptions options,
                  std::vector<std::string> valid_streams,
                  obs::MetricsRegistry* serve_metrics,
-                 store::SegmentStore* store)
+                 store::SegmentStore* store,
+                 std::unique_ptr<AdaptiveRuntime> adaptive)
     : id_(id),
       transport_(std::move(transport)),
       client_(std::move(client)),
+      adaptive_(std::move(adaptive)),
       options_(options),
       valid_streams_(std::move(valid_streams)),
       serve_metrics_(serve_metrics),
@@ -38,9 +55,19 @@ Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
       // solver span: sessions share the shard pool, so overload is a
       // property of the pool, not of one session's private runtime.
       // AdmitData refreshes the rollup (throttled) before sampling.
+      // Adaptive sessions own their runtime, so both controllers read
+      // its private registry instead.
       admission_(options.admission,
-                 client_->pool()->metrics()->GetHistogram(
-                     "span/runtime/push_segment")) {
+                 adaptive_ != nullptr
+                     ? adaptive_->metrics()->GetHistogram(
+                           "span/runtime/push_segment")
+                     : client_->pool()->metrics()->GetHistogram(
+                           "span/runtime/push_segment")),
+      precision_ctl_(EffectivePrecision(options, adaptive_.get()),
+                     adaptive_ != nullptr
+                         ? adaptive_->metrics()->GetHistogram(
+                               "span/runtime/push_segment")
+                         : nullptr) {
   c_accepted_ = serve_metrics_->GetCounter("serve/queue/accepted");
   c_dropped_ = serve_metrics_->GetCounter("serve/queue/dropped");
   c_shed_ = serve_metrics_->GetCounter("serve/queue/shed");
@@ -52,6 +79,20 @@ Session::Session(uint64_t id, std::unique_ptr<Transport> transport,
   c_shed_latency_ =
       serve_metrics_->GetCounter("serve/admission/shed_latency");
   c_overloaded_ = serve_metrics_->GetCounter("serve/admission/overloaded");
+  if (adaptive_ != nullptr) {
+    c_provisional_ = serve_metrics_->GetCounter("precision/provisional");
+    c_confirmed_ = serve_metrics_->GetCounter("precision/confirmed");
+    c_retracted_ = serve_metrics_->GetCounter("precision/retracted");
+    c_widened_ = serve_metrics_->GetCounter("precision/widened");
+    c_tightened_ = serve_metrics_->GetCounter("precision/tightened");
+    c_deferred_ = serve_metrics_->GetCounter("precision/deferred_items");
+    c_replayed_ = serve_metrics_->GetCounter("precision/replayed_items");
+    c_retract_deviation_ =
+        serve_metrics_->GetCounter("retract/deviation");
+    c_retract_spurious_ = serve_metrics_->GetCounter("retract/spurious");
+    g_tier_ = serve_metrics_->GetGauge("precision/tier");
+    g_open_ = serve_metrics_->GetGauge("precision/open");
+  }
 }
 
 Session::~Session() {
@@ -134,13 +175,41 @@ Status Session::WriteFrame(const Frame& frame) {
 }
 
 Status Session::FlushOutputs() {
-  std::vector<Segment> outputs = client_->TakeOutputSegments();
-  if (outputs.empty()) return Status::OK();
+  std::vector<Segment> outputs;
+  std::vector<ProvisionalRecord> provisionals;
+  std::vector<VerdictRecord> verdicts;
+  if (adaptive_ != nullptr) {
+    outputs = adaptive_->TakeSettledOutputs();
+    provisionals = adaptive_->TakeProvisionals();
+    verdicts = adaptive_->TakeVerdicts();
+    if (outputs.empty() && provisionals.empty() && verdicts.empty()) {
+      return Status::OK();
+    }
+  } else {
+    outputs = client_->TakeOutputSegments();
+    if (outputs.empty()) return Status::OK();
+  }
   {
     std::lock_guard<std::mutex> lock(write_mu_);
     write_buf_.clear();
+    // Settled outputs ride the same kOutputSegment frames as a static
+    // session — only the provisional/verdict side-band is new, so the
+    // settled stream stays byte-comparable across precision modes.
     for (const Segment& segment : outputs) {
       EncodeFrame(Frame::OutputSegment(segment), &write_buf_);
+    }
+    for (const ProvisionalRecord& record : provisionals) {
+      EncodeFrame(Frame::Provisional(record.lineage, record.bound,
+                                     record.segment),
+                  &write_buf_);
+    }
+    for (const VerdictRecord& verdict : verdicts) {
+      EncodeFrame(verdict.confirmed
+                      ? Frame::Confirm(verdict.lineage)
+                      : Frame::Retract(
+                            verdict.lineage,
+                            static_cast<uint8_t>(verdict.reason)),
+                  &write_buf_);
     }
     PULSE_RETURN_IF_ERROR(transport_->Write(write_buf_));
   }
@@ -149,6 +218,26 @@ Status Session::FlushOutputs() {
   // never suppresses an output the client did not see.
   if (store_ != nullptr) {
     for (const Segment& segment : outputs) store_->NoteDelivered(segment);
+  }
+  if (adaptive_ != nullptr) {
+    for (const VerdictRecord& verdict : verdicts) {
+      if (!verdict.confirmed) {
+        (verdict.reason == RetractReason::kDeviation
+             ? c_retract_deviation_
+             : c_retract_spurious_)
+            ->Increment();
+      }
+    }
+    const PrecisionStats& stats = adaptive_->stats();
+    c_provisional_->Store(stats.provisional);
+    c_confirmed_->Store(stats.confirmed);
+    c_retracted_->Store(stats.retracted);
+    c_widened_->Store(stats.widen_events);
+    c_tightened_->Store(stats.tighten_events);
+    c_deferred_->Store(stats.deferred_items);
+    c_replayed_->Store(stats.replayed_items);
+    g_tier_->Set(static_cast<double>(adaptive_->tier()));
+    g_open_->Set(static_cast<double>(stats.open()));
   }
   return Status::OK();
 }
@@ -280,8 +369,9 @@ Status Session::AdmitData(Frame frame) {
 
   PULSE_SPAN("serve/admit");
   // Refresh the pool rollup the latency signal reads (throttled inside
-  // the pool; most calls are a single relaxed load).
-  client_->pool()->SyncMetrics();
+  // the pool; most calls are a single relaxed load). Adaptive sessions
+  // read their own runtime's registry, which needs no sync.
+  if (adaptive_ == nullptr) client_->pool()->SyncMetrics();
   size_t depth = 0;
   size_t capacity = 0;
   TotalDepth(&depth, &capacity);
@@ -314,17 +404,26 @@ Status Session::AdmitData(Frame frame) {
     }
   }
 
+  // Precision stage: the tier decided here is stamped onto every item
+  // of the frame, so the worker applies tier changes at exact
+  // admission-order boundaries (docs/PRECISION.md). A frame never
+  // straddles a tier change.
+  const uint8_t tier =
+      static_cast<uint8_t>(precision_ctl_.Update(depth, capacity));
+
   const uint64_t now_ns = NowNs();
   for (Tuple& tuple : frame.tuples) {
     lane->batcher.RecordArrival(now_ns);
     IngestItem item;
     item.seq = next_seq_++;
+    item.tier = tier;
     item.tuple = std::move(tuple);
     PULSE_RETURN_IF_ERROR(EnqueueItem(lane, std::move(item)));
   }
   for (Segment& segment : frame.segments) {
     IngestItem item;
     item.seq = next_seq_++;
+    item.tier = tier;
     item.is_segment = true;
     item.segment = std::move(segment);
     PULSE_RETURN_IF_ERROR(EnqueueItem(lane, std::move(item)));
@@ -409,8 +508,19 @@ void Session::WorkerLoop() {
     IngestItem item;
     if (!best->queue.Pop(&item)) continue;
     Status status;
-    if (item.is_segment) {
-      status = client_->ProcessSegment(best->name, std::move(item.segment));
+    // Adaptive sessions apply the admission-stamped tier at the item
+    // boundary, before the item itself is dispatched.
+    if (adaptive_ != nullptr) {
+      status = adaptive_->SetTier(item.tier);
+    }
+    if (!status.ok()) {
+      // fall through to the fatal-error path below
+    } else if (item.is_segment) {
+      status = adaptive_ != nullptr
+                   ? adaptive_->ProcessSegment(best->name,
+                                               std::move(item.segment))
+                   : client_->ProcessSegment(best->name,
+                                             std::move(item.segment));
     } else {
       batch.clear();
       batch.push_back(std::move(item.tuple));
@@ -419,11 +529,14 @@ void Session::WorkerLoop() {
       while (batch.size() < target) {
         uint64_t seq = 0;
         bool is_segment = false;
+        uint8_t tier = 0;
         // Only items with *consecutive* session seqs may join the
         // batch: a gap means another stream's item was admitted in
         // between, and batching across it would reorder arrival order.
-        if (!best->queue.PeekSeq(&seq, &is_segment) ||
-            seq != last_seq + 1 || is_segment) {
+        // A tier change is also a batch boundary: the whole batch must
+        // be processed under one precision tier.
+        if (!best->queue.PeekSeq(&seq, &is_segment, &tier) ||
+            seq != last_seq + 1 || is_segment || tier != item.tier) {
           break;
         }
         IngestItem next;
@@ -431,8 +544,11 @@ void Session::WorkerLoop() {
         batch.push_back(std::move(next.tuple));
         last_seq = seq;
       }
-      status = client_->ProcessTuples(best->name, batch.data(),
-                                      batch.size());
+      status = adaptive_ != nullptr
+                   ? adaptive_->ProcessTuples(best->name, batch.data(),
+                                              batch.size())
+                   : client_->ProcessTuples(best->name, batch.data(),
+                                            batch.size());
       c_batch_dispatched_->Increment();
       c_batch_tuples_->Add(batch.size());
     }
@@ -447,8 +563,11 @@ void Session::WorkerLoop() {
 
   // Drain epilogue: flush residual operator state on every shard and
   // deliver the last outputs. Skipped on Abort (hard stop discards).
+  // In adaptive mode Finish also settles every open provisional, so
+  // the final flush carries the last confirm/retract verdicts.
   if (!stop_.load()) {
-    Status status = client_->Finish();
+    Status status =
+        adaptive_ != nullptr ? adaptive_->Finish() : client_->Finish();
     if (status.ok()) status = FlushOutputs();
     if (status.ok() && client_drain_.load()) {
       status = WriteFrame(Frame::Drained());

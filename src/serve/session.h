@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/precision.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/batcher.h"
@@ -31,6 +32,15 @@ struct SessionOptions {
   size_t queue_capacity = 256;
   BatcherOptions batcher;
   AdmissionOptions admission;
+  /// Precision stage ahead of load shedding (docs/PRECISION.md). When
+  /// `precision.enabled`, the server gives each session a session-owned
+  /// AdaptiveRuntime instead of a shard-pool slice, the reader stamps
+  /// every admitted item with the controller's tier, and the worker
+  /// emits provisional/confirm/retract frames alongside the settled
+  /// output stream.
+  PrecisionOptions precision;
+  /// Runtime-side ladder for adaptive sessions (error scales + bounds).
+  AdaptivePrecisionOptions precision_runtime;
 };
 
 /// One client connection: a protocol reader thread admitting frames
@@ -59,12 +69,17 @@ class Session {
   /// Join(). `store` (optional) makes the session durable: every
   /// admitted item is appended to the shared segment log before it is
   /// dispatched, and delivered outputs advance the store's checkpoint
-  /// watermark (docs/STORAGE.md).
+  /// watermark (docs/STORAGE.md). `adaptive` (optional, built by the
+  /// server when `options.precision.enabled`) switches the session to
+  /// adaptive precision: the worker dispatches into it instead of the
+  /// shard client, and the precision controller's tier stamps ride each
+  /// admitted item (docs/PRECISION.md).
   Session(uint64_t id, std::unique_ptr<Transport> transport,
           std::unique_ptr<shard::ShardClient> client, SessionOptions options,
           std::vector<std::string> valid_streams,
           obs::MetricsRegistry* serve_metrics,
-          store::SegmentStore* store = nullptr);
+          store::SegmentStore* store = nullptr,
+          std::unique_ptr<AdaptiveRuntime> adaptive = nullptr);
   ~Session();
 
   Session(const Session&) = delete;
@@ -126,15 +141,21 @@ class Session {
 
   const uint64_t id_;
   std::unique_ptr<Transport> transport_;
-  // Declared before admission_: the controller's latency signal is the
-  // pool-level rollup histogram reached through this handle.
+  // Declared before admission_/precision_ctl_: the controllers' latency
+  // signal is a histogram reached through one of these handles (the
+  // adaptive runtime's own registry when present, the pool-level rollup
+  // otherwise).
   std::unique_ptr<shard::ShardClient> client_;
+  /// Session-owned adaptive runtime; nullptr = static precision, and
+  /// the worker dispatches into client_ as before.
+  std::unique_ptr<AdaptiveRuntime> adaptive_;
   const SessionOptions options_;
   const std::vector<std::string> valid_streams_;
   obs::MetricsRegistry* serve_metrics_;
   /// Shared durable log; nullptr in the default in-memory mode.
   store::SegmentStore* store_ = nullptr;
   AdmissionController admission_;
+  PrecisionController precision_ctl_;
   WorkSignal signal_;
 
   std::thread reader_;
@@ -177,6 +198,20 @@ class Session {
   obs::Counter* c_shed_queue_ = nullptr;
   obs::Counter* c_shed_latency_ = nullptr;
   obs::Counter* c_overloaded_ = nullptr;
+
+  // precision/* + retract/* handles (adaptive sessions only; cumulative
+  // runtime stats are mirrored with Counter::Store after each flush).
+  obs::Counter* c_provisional_ = nullptr;
+  obs::Counter* c_confirmed_ = nullptr;
+  obs::Counter* c_retracted_ = nullptr;
+  obs::Counter* c_widened_ = nullptr;
+  obs::Counter* c_tightened_ = nullptr;
+  obs::Counter* c_deferred_ = nullptr;
+  obs::Counter* c_replayed_ = nullptr;
+  obs::Counter* c_retract_deviation_ = nullptr;
+  obs::Counter* c_retract_spurious_ = nullptr;
+  obs::Gauge* g_tier_ = nullptr;
+  obs::Gauge* g_open_ = nullptr;
 };
 
 }  // namespace serve

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/operators/join.h"
+#include "core/precision.h"
 #include "core/runtime.h"
 #include "core/transform.h"
 #include "engine/epoch.h"
@@ -387,6 +388,113 @@ Result<KillRestoreRun> RunPulseKillRestore(const GeneratedCase& kase,
     run.segments.push_back(std::move(segment));
   }
   return run;
+}
+
+// Adaptive-precision variant (docs/PRECISION.md): the same feed pushed
+// through an AdaptiveRuntime under a seed-derived tier schedule. The
+// middle third of the feed runs widened, with the tier rotating through
+// the ladder every few items — so every seed exercises widening from
+// exact, tier-to-tier episode switches, and the reconcile back to tier
+// 0 — while the first and last thirds pin the schedule's endpoints so
+// reconciliation and Finish-time settlement always both run.
+struct PrecisionRun {
+  std::vector<Segment> settled;
+  std::vector<ProvisionalRecord> provisionals;
+  std::vector<VerdictRecord> verdicts;
+  PrecisionStats stats;
+};
+
+Result<PrecisionRun> RunPulsePrecision(const GeneratedCase& kase,
+                                       const SegmentFeed& feed) {
+  HistoricalRuntime::Options exact;
+  exact.collect_outputs = true;
+  PULSE_ASSIGN_OR_RETURN(std::unique_ptr<AdaptiveRuntime> rt,
+                         AdaptiveRuntime::Make(kase.spec, exact));
+  const size_t ladder = rt->precision_options().ladder.size();
+  const size_t n = feed.items.size();
+  const size_t third = n / 3;
+  PrecisionRun run;
+  for (size_t i = 0; i < n; ++i) {
+    size_t tier = 0;
+    if (third > 0 && i >= third && i < 2 * third) {
+      tier = 1 + (kase.seed + i / 4) % ladder;
+    }
+    PULSE_RETURN_IF_ERROR(rt->SetTier(tier));
+    const auto& [stream_idx, segment] = feed.items[i];
+    PULSE_RETURN_IF_ERROR(
+        rt->ProcessSegment(kase.workloads[stream_idx].name, segment));
+    // Interleaved harvests mirror the serving worker's per-item flush
+    // and pin the emission order (provisionals strictly before their
+    // verdicts).
+    for (Segment& s : rt->TakeSettledOutputs()) {
+      run.settled.push_back(std::move(s));
+    }
+    for (ProvisionalRecord& p : rt->TakeProvisionals()) {
+      run.provisionals.push_back(std::move(p));
+    }
+    for (VerdictRecord& v : rt->TakeVerdicts()) {
+      run.verdicts.push_back(v);
+    }
+  }
+  PULSE_RETURN_IF_ERROR(rt->Finish());
+  for (Segment& s : rt->TakeSettledOutputs()) {
+    run.settled.push_back(std::move(s));
+  }
+  for (ProvisionalRecord& p : rt->TakeProvisionals()) {
+    run.provisionals.push_back(std::move(p));
+  }
+  for (VerdictRecord& v : rt->TakeVerdicts()) {
+    run.verdicts.push_back(v);
+  }
+  run.stats = rt->stats();
+  return run;
+}
+
+// The precision variant's bookkeeping checks: emission-order lineage
+// discipline and the conservation identity. Returns an empty string
+// when everything holds.
+std::string CheckPrecisionAccounting(const PrecisionRun& run) {
+  if (run.provisionals.size() != run.stats.provisional) {
+    return "provisional records (" + std::to_string(run.provisionals.size()) +
+           ") != stats.provisional (" +
+           std::to_string(run.stats.provisional) + ")";
+  }
+  if (run.stats.provisional !=
+      run.stats.confirmed + run.stats.retracted) {
+    return "conservation: provisional " +
+           std::to_string(run.stats.provisional) + " != confirmed " +
+           std::to_string(run.stats.confirmed) + " + retracted " +
+           std::to_string(run.stats.retracted);
+  }
+  if (run.stats.open() != 0) {
+    return "open provisionals after Finish: " +
+           std::to_string(run.stats.open());
+  }
+  if (run.verdicts.size() != run.stats.confirmed + run.stats.retracted) {
+    return "verdict records (" + std::to_string(run.verdicts.size()) +
+           ") != confirmed + retracted";
+  }
+  std::set<uint64_t> emitted;
+  for (const ProvisionalRecord& p : run.provisionals) {
+    if (p.lineage == 0) return "provisional with lineage 0";
+    if (!emitted.insert(p.lineage).second) {
+      return "duplicate provisional lineage " + std::to_string(p.lineage);
+    }
+  }
+  std::set<uint64_t> settled;
+  for (const VerdictRecord& v : run.verdicts) {
+    if (emitted.count(v.lineage) == 0) {
+      return "verdict for unknown lineage " + std::to_string(v.lineage);
+    }
+    if (!settled.insert(v.lineage).second) {
+      return "lineage " + std::to_string(v.lineage) + " settled twice";
+    }
+  }
+  if (settled.size() != emitted.size()) {
+    return "lineages left unsettled: " +
+           std::to_string(emitted.size() - settled.size());
+  }
+  return "";
 }
 
 // ---------------------------------------------------------------------
@@ -1192,6 +1300,25 @@ Result<DiffReport> RunDifferential(const GeneratedCase& kase,
     if (!mismatch.empty()) {
       reporter.Add(Divergence{"metamorphic.serving", 0.0, 0, "", 0.0, 0.0,
                               mismatch});
+    }
+  }
+
+  // Adaptive-precision variant: a seed-derived tier schedule must leave
+  // the settled output stream byte-identical to the static run, with
+  // every provisional settled exactly once (docs/PRECISION.md).
+  if (options.precision_variant) {
+    PULSE_ASSIGN_OR_RETURN(PrecisionRun precise,
+                           RunPulsePrecision(kase, feed));
+    const std::string mismatch =
+        CompareVariant(base.segments, precise.settled);
+    if (!mismatch.empty()) {
+      reporter.Add(Divergence{"metamorphic.precision_settled", 0.0, 0, "",
+                              0.0, 0.0, mismatch});
+    }
+    const std::string accounting = CheckPrecisionAccounting(precise);
+    if (!accounting.empty()) {
+      reporter.Add(Divergence{"metamorphic.precision_accounting", 0.0, 0,
+                              "", 0.0, 0.0, accounting});
     }
   }
 

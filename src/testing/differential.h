@@ -64,6 +64,15 @@ struct DiffOptions {
   /// lanes reproduce the scalar closed forms bit for bit
   /// (docs/PERFORMANCE.md, "Batched solver kernels").
   bool forced_scalar_variant = true;
+  /// Adaptive-precision variant (docs/PRECISION.md): replay the feed
+  /// through an AdaptiveRuntime under a seed-derived tier schedule
+  /// (exact / widened / tier-to-tier moves across the middle third) and
+  /// require (a) the settled output stream byte-identical to the static
+  /// base run, (b) conservation — every provisional settles exactly
+  /// once, provisional == confirmed + retracted and nothing open after
+  /// Finish — and (c) every confirm/retract references a previously
+  /// emitted provisional lineage.
+  bool precision_variant = true;
 };
 
 /// Result of one differential run. `ok()` means: the discrete engine and

@@ -316,5 +316,49 @@ TEST(CheckedInBenchJsonTest, TelemetryMatchesGateSchema) {
       << "both realizations must be benchmarked";
 }
 
+TEST(CheckedInBenchJsonTest, PrecisionMatchesGateSchema) {
+  const std::string text = ReadFileOrEmpty(std::string(PULSE_REPO_ROOT) +
+                                           "/BENCH_precision.json");
+  ASSERT_FALSE(text.empty()) << "BENCH_precision.json missing";
+  json::Value doc;
+  ASSERT_NO_FATAL_FAILURE(CheckReportShape(text, "precision", &doc));
+  ExpectRowFields(doc, {"tier", "error_scale", "output_bound",
+                        "live_seconds", "tuples_per_sec", "throughput_ratio",
+                        "settle_seconds", "provisional", "confirmed",
+                        "retracted", "deferred_items", "core_bound"});
+  const json::Value* params = doc.Find("params");
+  EXPECT_NE(params->Find("workload"), nullptr);
+  EXPECT_NE(params->Find("tight_max_error"), nullptr);
+  EXPECT_NE(params->Find("ladder_tiers"), nullptr);
+  EXPECT_NE(params->Find("hardware_concurrency"), nullptr);
+  // The precision-lever acceptance bar (docs/PRECISION.md): one row per
+  // tier including the exact baseline, live throughput at the widest
+  // tier >= 1.3x tier 0, and conservation on every widened row
+  // (provisional == confirmed + retracted once settled).
+  const auto& rows = doc.Find("results")->as_array();
+  ASSERT_GE(rows.size(), 3u) << "need tier 0 plus >= 2 widened tiers";
+  double tier0_tps = 0.0;
+  double widest_ratio = 0.0;
+  for (const json::Value& row : rows) {
+    const double tier = row.Find("tier")->as_number();
+    if (tier == 0.0) {
+      tier0_tps = row.Find("tuples_per_sec")->as_number();
+      EXPECT_EQ(row.Find("provisional")->as_number(), 0.0)
+          << "tier 0 must not emit provisionals";
+    } else {
+      EXPECT_GT(row.Find("error_scale")->as_number(), 1.0);
+      EXPECT_GT(row.Find("output_bound")->as_number(), 0.0);
+      EXPECT_EQ(row.Find("provisional")->as_number(),
+                row.Find("confirmed")->as_number() +
+                    row.Find("retracted")->as_number())
+          << "conservation violated at tier " << tier;
+    }
+    widest_ratio = row.Find("throughput_ratio")->as_number();
+  }
+  EXPECT_GT(tier0_tps, 0.0);
+  EXPECT_GE(widest_ratio, 1.3)
+      << "widest tier must sustain >= 1.3x the tier-0 live throughput";
+}
+
 }  // namespace
 }  // namespace pulse

@@ -1,0 +1,554 @@
+// Adaptive precision (docs/PRECISION.md): the controller's hysteresis,
+// the AdaptiveRuntime's settled-output identity and conservation
+// accounting, the provisional/confirm/retract frame codec, and the
+// end-to-end adaptive serving session.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/precision.h"
+#include "core/runtime.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "serve/server.h"
+#include "workload/moving_object.h"
+
+namespace pulse {
+namespace {
+
+using serve::EncodeFrameToString;
+using serve::Frame;
+using serve::FrameReader;
+using serve::FrameType;
+using serve::PrecisionController;
+using serve::PrecisionOptions;
+
+// ---------------------------------------------------------------------
+// Shared fixtures (same filter query the serving tests use).
+
+QuerySpec FilterQuerySpec(double threshold) {
+  QuerySpec spec;
+  EXPECT_TRUE(
+      spec.AddStream(MovingObjectGenerator::MakeStreamSpec("objects", 5.0))
+          .ok());
+  FilterSpec filter;
+  filter.predicate = Predicate::Comparison(ComparisonTerm::Simple(
+      AttrRef::Left("x"), CmpOp::kLt, Operand::Constant(threshold)));
+  spec.AddFilter("f", QuerySpec::Input::Stream("objects"), filter);
+  return spec;
+}
+
+Tuple ObjectTuple(double ts, int64_t id, double x, double vx) {
+  return Tuple(ts,
+               {Value(id), Value(x), Value(0.0), Value(vx), Value(0.0)});
+}
+
+// Piecewise-linear x trace with mild curvature changes, long enough to
+// produce several segments per precision episode.
+std::vector<Tuple> PiecewiseTrace(int n) {
+  std::vector<Tuple> trace;
+  trace.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = i * 0.05;
+    const double x = t < 7.5 ? 2.0 * t : 30.0 - 2.0 * t;
+    trace.push_back(ObjectTuple(t, 1, x, 0.0));
+  }
+  return trace;
+}
+
+HistoricalRuntime::Options TightOptions() {
+  HistoricalRuntime::Options options;
+  options.segmentation.degree = 1;
+  options.segmentation.max_error = 0.05;
+  options.collect_outputs = true;
+  return options;
+}
+
+void ExpectSameSegments(const std::vector<Segment>& a,
+                        const std::vector<Segment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << "segment " << i;
+    EXPECT_EQ(a[i].range.lo, b[i].range.lo) << "segment " << i;
+    EXPECT_EQ(a[i].range.hi, b[i].range.hi) << "segment " << i;
+    EXPECT_EQ(a[i].range.lo_open, b[i].range.lo_open) << "segment " << i;
+    EXPECT_EQ(a[i].range.hi_open, b[i].range.hi_open) << "segment " << i;
+    ASSERT_EQ(a[i].attributes.size(), b[i].attributes.size());
+    for (const auto& [name, poly] : a[i].attributes) {
+      auto it = b[i].attributes.find(name);
+      ASSERT_NE(it, b[i].attributes.end()) << name;
+      ASSERT_EQ(poly.degree(), it->second.degree()) << name;
+      for (size_t k = 0; k <= poly.degree(); ++k) {
+        EXPECT_EQ(poly.coeff(k), it->second.coeff(k))
+            << name << " coeff " << k;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// PrecisionController hysteresis.
+
+TEST(PrecisionController, WidensUnderQueuePressureAndTightensOnRelief) {
+  PrecisionOptions options;
+  options.enabled = true;
+  options.num_tiers = 2;
+  options.cooldown = 0;  // test the watermarks alone
+  PrecisionController controller(options, nullptr);
+  EXPECT_EQ(controller.Update(10, 100), 0u);
+  // Above the widen watermark (0.60): one tier per update.
+  EXPECT_EQ(controller.Update(70, 100), 1u);
+  EXPECT_EQ(controller.Update(70, 100), 2u);
+  // Clamped at the ladder top.
+  EXPECT_EQ(controller.Update(99, 100), 2u);
+  // Inside the dead zone [tighten, widen]: holds.
+  EXPECT_EQ(controller.Update(40, 100), 2u);
+  // Below the tighten watermark (0.25): steps back down.
+  EXPECT_EQ(controller.Update(10, 100), 1u);
+  EXPECT_EQ(controller.Update(10, 100), 0u);
+  EXPECT_EQ(controller.widen_events(), 2u);
+  EXPECT_EQ(controller.tighten_events(), 2u);
+}
+
+TEST(PrecisionController, CooldownHoldsTierThroughStepLoad) {
+  PrecisionOptions options;
+  options.enabled = true;
+  options.num_tiers = 2;
+  options.cooldown = 100;
+  PrecisionController controller(options, nullptr);
+  // A step to sustained pressure: the tier must ramp monotonically, one
+  // move per cooldown window — never flap.
+  size_t prev = 0;
+  size_t moves = 0;
+  for (int i = 0; i < 500; ++i) {
+    const size_t tier = controller.Update(80, 100);
+    ASSERT_GE(tier, prev) << "tier must not drop under sustained pressure";
+    if (tier != prev) ++moves;
+    prev = tier;
+  }
+  EXPECT_EQ(prev, 2u);
+  EXPECT_EQ(moves, 2u);
+  // Step back to idle: same discipline downward.
+  moves = 0;
+  for (int i = 0; i < 500; ++i) {
+    const size_t tier = controller.Update(5, 100);
+    ASSERT_LE(tier, prev) << "tier must not rise after the load steps off";
+    if (tier != prev) ++moves;
+    prev = tier;
+  }
+  EXPECT_EQ(prev, 0u);
+  EXPECT_EQ(moves, 2u);
+}
+
+TEST(PrecisionController, OscillatingLoadInsideDeadZoneNeverMoves) {
+  PrecisionOptions options;
+  options.enabled = true;
+  options.num_tiers = 2;
+  options.cooldown = 0;
+  PrecisionController controller(options, nullptr);
+  // Depth flapping across the middle of the band but never beyond a
+  // watermark: the dead zone absorbs it entirely.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(controller.Update(i % 2 == 0 ? 30 : 55, 100), 0u);
+  }
+  EXPECT_EQ(controller.widen_events(), 0u);
+  EXPECT_EQ(controller.tighten_events(), 0u);
+}
+
+TEST(PrecisionController, ForcedTierPinsAndIgnoresSignals) {
+  PrecisionOptions options;
+  options.enabled = true;
+  options.num_tiers = 2;
+  options.forced_tier = 1;
+  PrecisionController controller(options, nullptr);
+  EXPECT_EQ(controller.Update(0, 100), 1u);
+  EXPECT_EQ(controller.Update(100, 100), 1u);
+  EXPECT_EQ(controller.widen_events(), 0u);
+}
+
+TEST(PrecisionController, DisabledStaysAtTierZero) {
+  PrecisionOptions options;
+  options.enabled = false;
+  PrecisionController controller(options, nullptr);
+  EXPECT_EQ(controller.Update(100, 100), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Frame codec for the precision side-band.
+
+TEST(PrecisionFrames, ProvisionalRoundTripPreservesLineageBoundSegment) {
+  Segment s(-3, Interval::ClosedOpen(1.5, 2.5));
+  s.id = 77;
+  s.set_attribute("x", Polynomial({0.1, -2.0, 3.5}));
+  s.unmodeled["c"] = 4.25;
+  Frame in = Frame::Provisional(0xDEADBEEFCAFEull, 0.125, s);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(EncodeFrameToString(in)).ok());
+  Result<std::optional<Frame>> out = reader.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->type, FrameType::kProvisional);
+  EXPECT_EQ((*out)->lineage, 0xDEADBEEFCAFEull);
+  EXPECT_EQ((*out)->bound, 0.125);  // bit-exact, like every codec double
+  ASSERT_EQ((*out)->segments.size(), 1u);
+  EXPECT_EQ((*out)->segments[0].key, -3);
+  EXPECT_EQ((*out)->segments[0].attributes.at("x").coeff(2), 3.5);
+  EXPECT_EQ((*out)->segments[0].unmodeled.at("c"), 4.25);
+}
+
+TEST(PrecisionFrames, ConfirmAndRetractRoundTrip) {
+  FrameReader reader;
+  ASSERT_TRUE(
+      reader.Feed(EncodeFrameToString(Frame::Confirm(42))).ok());
+  ASSERT_TRUE(
+      reader.Feed(EncodeFrameToString(Frame::Retract(43, 1))).ok());
+  Result<std::optional<Frame>> confirm = reader.Next();
+  ASSERT_TRUE(confirm.ok());
+  ASSERT_TRUE(confirm->has_value());
+  EXPECT_EQ((*confirm)->type, FrameType::kConfirm);
+  EXPECT_EQ((*confirm)->lineage, 42u);
+  Result<std::optional<Frame>> retract = reader.Next();
+  ASSERT_TRUE(retract.ok());
+  ASSERT_TRUE(retract->has_value());
+  EXPECT_EQ((*retract)->type, FrameType::kRetract);
+  EXPECT_EQ((*retract)->lineage, 43u);
+  EXPECT_EQ((*retract)->retract_reason, 1);
+}
+
+TEST(PrecisionFrames, RetractReasonOutOfRangeRejected) {
+  Frame bad = Frame::Retract(1, 0);
+  std::string bytes = EncodeFrameToString(bad);
+  bytes[bytes.size() - 1] = 2;  // reason byte is the last payload byte
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes).ok());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+// ---------------------------------------------------------------------
+// AdaptiveRuntime: settled identity + conservation.
+
+TEST(AdaptiveRuntime, TierZeroIsPassthrough) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  const std::vector<Tuple> trace = PiecewiseTrace(300);
+
+  Result<HistoricalRuntime> direct =
+      HistoricalRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(direct.ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(direct->ProcessTuple("objects", t).ok());
+  }
+  ASSERT_TRUE(direct->Finish().ok());
+  const std::vector<Segment> expected = direct->TakeOutputSegments();
+  ASSERT_FALSE(expected.empty());
+
+  Result<std::unique_ptr<AdaptiveRuntime>> adaptive =
+      AdaptiveRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(adaptive.ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE((*adaptive)->ProcessTuple("objects", t).ok());
+  }
+  ASSERT_TRUE((*adaptive)->Finish().ok());
+  ExpectSameSegments(expected, (*adaptive)->TakeSettledOutputs());
+  EXPECT_EQ((*adaptive)->stats().provisional, 0u);
+  EXPECT_EQ((*adaptive)->TakeProvisionals().size(), 0u);
+  EXPECT_EQ((*adaptive)->TakeVerdicts().size(), 0u);
+}
+
+TEST(AdaptiveRuntime, WidenedEpisodeSettlesIdenticallyAndConserves) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  const std::vector<Tuple> trace = PiecewiseTrace(600);
+
+  Result<HistoricalRuntime> direct =
+      HistoricalRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(direct.ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(direct->ProcessTuple("objects", t).ok());
+  }
+  ASSERT_TRUE(direct->Finish().ok());
+  const std::vector<Segment> expected = direct->TakeOutputSegments();
+
+  Result<std::unique_ptr<AdaptiveRuntime>> made =
+      AdaptiveRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(made.ok());
+  AdaptiveRuntime& rt = **made;
+  std::vector<Segment> settled;
+  std::vector<ProvisionalRecord> provisionals;
+  std::vector<VerdictRecord> verdicts;
+  auto harvest = [&] {
+    for (Segment& s : rt.TakeSettledOutputs()) {
+      settled.push_back(std::move(s));
+    }
+    for (ProvisionalRecord& p : rt.TakeProvisionals()) {
+      provisionals.push_back(std::move(p));
+    }
+    for (VerdictRecord& v : rt.TakeVerdicts()) verdicts.push_back(v);
+  };
+  // Exact third / widened third (tier 1 then 2) / exact third: covers
+  // widen-from-exact, a tier-to-tier episode switch, the reconcile back
+  // to exact, and Finish-time settlement.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    size_t tier = 0;
+    if (i >= 200 && i < 300) tier = 1;
+    if (i >= 300 && i < 400) tier = 2;
+    ASSERT_TRUE(rt.SetTier(tier).ok());
+    ASSERT_TRUE(rt.ProcessTuple("objects", trace[i]).ok());
+    harvest();
+  }
+  ASSERT_TRUE(rt.Finish().ok());
+  harvest();
+
+  // The settled stream is byte-identical to the static run: the lever
+  // changed when the exact work happened, never its result.
+  ExpectSameSegments(expected, settled);
+
+  // The widened stretch actually produced provisionals, and every one
+  // settled exactly once (conservation).
+  const PrecisionStats& stats = rt.stats();
+  ASSERT_GT(stats.provisional, 0u);
+  EXPECT_EQ(stats.provisional, provisionals.size());
+  EXPECT_EQ(stats.provisional, stats.confirmed + stats.retracted);
+  EXPECT_EQ(stats.open(), 0u);
+  EXPECT_EQ(verdicts.size(), provisionals.size());
+  EXPECT_GE(stats.widen_events, 1u);
+  EXPECT_GE(stats.tighten_events, 1u);
+  EXPECT_EQ(stats.deferred_items, stats.replayed_items);
+
+  // Every verdict references a previously emitted provisional lineage,
+  // and the provisional always precedes its verdict in emission order.
+  std::set<uint64_t> seen;
+  size_t next_provisional = 0;
+  std::set<uint64_t> judged;
+  for (const VerdictRecord& v : verdicts) {
+    while (next_provisional < provisionals.size() &&
+           seen.count(v.lineage) == 0) {
+      seen.insert(provisionals[next_provisional++].lineage);
+    }
+    EXPECT_TRUE(seen.count(v.lineage) > 0)
+        << "verdict for lineage " << v.lineage
+        << " arrived before its provisional";
+    EXPECT_TRUE(judged.insert(v.lineage).second)
+        << "lineage " << v.lineage << " settled twice";
+  }
+}
+
+// Curved trace: degree-1 segmentation cannot represent it exactly, so
+// the widened budget's longer pieces genuinely deviate from the exact
+// fit — unlike PiecewiseTrace, where both budgets recover the same line
+// and every probe deviation is zero.
+std::vector<Tuple> CurvedTrace(int n) {
+  std::vector<Tuple> trace;
+  trace.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = i * 0.05;
+    trace.push_back(ObjectTuple(t, 1, 0.15 * t * t, 0.0));
+  }
+  return trace;
+}
+
+TEST(AdaptiveRuntime, HonestBoundsConfirmTightBoundsRetract) {
+  const QuerySpec spec = FilterQuerySpec(1e9);
+  const std::vector<Tuple> trace = CurvedTrace(600);
+
+  // A generous bound must confirm everything...
+  AdaptivePrecisionOptions generous;
+  generous.ladder = {PrecisionTier{8.0, 1e6}};
+  Result<std::unique_ptr<AdaptiveRuntime>> big =
+      AdaptiveRuntime::Make(spec, TightOptions(), generous);
+  ASSERT_TRUE(big.ok());
+  // ...and an absurdly tight one must retract whatever actually
+  // deviates (the coarse model differs from the exact one by
+  // construction on this trace).
+  AdaptivePrecisionOptions strict;
+  strict.ladder = {PrecisionTier{8.0, 1e-12}};
+  Result<std::unique_ptr<AdaptiveRuntime>> small =
+      AdaptiveRuntime::Make(spec, TightOptions(), strict);
+  ASSERT_TRUE(small.ok());
+
+  for (AdaptiveRuntime* rt : {big->get(), small->get()}) {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      ASSERT_TRUE(
+          rt->SetTier(i >= 200 && i < 400 ? 1 : 0).ok());
+      ASSERT_TRUE(rt->ProcessTuple("objects", trace[i]).ok());
+    }
+    ASSERT_TRUE(rt->Finish().ok());
+    ASSERT_GT(rt->stats().provisional, 0u);
+    EXPECT_EQ(rt->stats().open(), 0u);
+  }
+  EXPECT_EQ((*big)->stats().retracted, 0u);
+  EXPECT_GT((*small)->stats().retracted, 0u);
+  for (const VerdictRecord& v : (*small)->TakeVerdicts()) {
+    if (!v.confirmed) {
+      EXPECT_EQ(v.reason, RetractReason::kDeviation);
+    }
+  }
+}
+
+TEST(AdaptiveRuntime, MaxDeferredBackstopForcesReconcile) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  AdaptivePrecisionOptions precision;
+  precision.max_deferred = 32;
+  Result<std::unique_ptr<AdaptiveRuntime>> made =
+      AdaptiveRuntime::Make(spec, TightOptions(), precision);
+  ASSERT_TRUE(made.ok());
+  AdaptiveRuntime& rt = **made;
+  ASSERT_TRUE(rt.SetTier(1).ok());
+  const std::vector<Tuple> trace = PiecewiseTrace(200);
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(rt.ProcessTuple("objects", t).ok());
+  }
+  // The cap (32) is far below the feed size: the backstop must have
+  // reconciled, bounding deferred memory, and dropped the runtime back
+  // to the exact tier (re-widening is the controller's call — in the
+  // serving path the next admitted item's tier stamp makes it).
+  EXPECT_GE(rt.stats().forced_reconciles, 1u);
+  EXPECT_EQ(rt.tier(), 0u);
+  EXPECT_LE(rt.stats().deferred_items, trace.size());
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_EQ(rt.stats().open(), 0u);
+  // Everything deferred was replayed; items arriving after the forced
+  // reconcile took the exact path directly.
+  EXPECT_EQ(rt.stats().replayed_items, rt.stats().deferred_items);
+}
+
+TEST(AdaptiveRuntime, RejectsDegenerateLadders) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  AdaptivePrecisionOptions empty;
+  empty.ladder.clear();
+  EXPECT_FALSE(AdaptiveRuntime::Make(spec, TightOptions(), empty).ok());
+  AdaptivePrecisionOptions shrink;
+  shrink.ladder = {PrecisionTier{0.5, 1.0}};
+  EXPECT_FALSE(AdaptiveRuntime::Make(spec, TightOptions(), shrink).ok());
+  AdaptivePrecisionOptions free_lunch;
+  free_lunch.ladder = {PrecisionTier{4.0, 0.0}};
+  EXPECT_FALSE(
+      AdaptiveRuntime::Make(spec, TightOptions(), free_lunch).ok());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end adaptive serving session.
+
+serve::ServerOptions AdaptiveServerOptions(int forced_tier) {
+  serve::ServerOptions options;
+  options.spec = FilterQuerySpec(100.0);
+  options.runtime.segmentation.degree = 1;
+  options.runtime.segmentation.max_error = 0.05;
+  options.session.policy = serve::BackpressurePolicy::kBlock;
+  options.session.admission.enabled = false;
+  options.session.precision.enabled = true;
+  options.session.precision.forced_tier = forced_tier;
+  return options;
+}
+
+TEST(AdaptiveSession, SettledStreamMatchesStaticSessionOverTheWire) {
+  const std::vector<Tuple> trace = PiecewiseTrace(400);
+
+  // Static session.
+  serve::ServerOptions static_options = AdaptiveServerOptions(0);
+  static_options.session.precision.enabled = false;
+  Result<std::unique_ptr<serve::StreamServer>> static_server =
+      serve::StreamServer::Make(std::move(static_options));
+  ASSERT_TRUE(static_server.ok());
+  Result<std::unique_ptr<serve::Transport>> static_conn =
+      (*static_server)->ConnectInProcess();
+  ASSERT_TRUE(static_conn.ok());
+  serve::ServeClient static_client(std::move(*static_conn));
+  ASSERT_TRUE(static_client.Hello().ok());
+  ASSERT_TRUE(static_client.OpenStream(1, "objects").ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(static_client.SendTuple(1, t).ok());
+  }
+  Result<serve::ServeClient::DrainResult> static_drained =
+      static_client.Drain();
+  ASSERT_TRUE(static_drained.ok());
+  (*static_server)->Drain();
+  ASSERT_FALSE(static_drained->output_segments.empty());
+  EXPECT_TRUE(static_drained->provisionals.empty());
+
+  // Adaptive session pinned to a widened tier for the whole run: every
+  // answer is provisional until the drain-time reconcile settles them.
+  Result<std::unique_ptr<serve::StreamServer>> adaptive_server =
+      serve::StreamServer::Make(AdaptiveServerOptions(1));
+  ASSERT_TRUE(adaptive_server.ok());
+  Result<std::unique_ptr<serve::Transport>> conn =
+      (*adaptive_server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(client.SendTuple(1, t).ok());
+  }
+  Result<serve::ServeClient::DrainResult> drained = client.Drain();
+  ASSERT_TRUE(drained.ok());
+
+  // Same settled bytes on the same frame type, despite the detour
+  // through the coarse model and the provisional side-band.
+  ExpectSameSegments(static_drained->output_segments,
+                     drained->output_segments);
+
+  // Wire-level conservation: every provisional got exactly one verdict
+  // by the time kDrained arrived, and verdicts only name emitted
+  // lineages.
+  ASSERT_FALSE(drained->provisionals.empty());
+  EXPECT_EQ(drained->provisionals.size(),
+            drained->confirmed.size() + drained->retracted.size());
+  std::set<uint64_t> emitted;
+  for (const auto& p : drained->provisionals) {
+    EXPECT_TRUE(emitted.insert(p.lineage).second);
+    EXPECT_GT(p.bound, 0.0);
+  }
+  std::set<uint64_t> judged;
+  for (const uint64_t lineage : drained->confirmed) {
+    EXPECT_TRUE(emitted.count(lineage) > 0);
+    EXPECT_TRUE(judged.insert(lineage).second);
+  }
+  for (const auto& [lineage, reason] : drained->retracted) {
+    EXPECT_TRUE(emitted.count(lineage) > 0);
+    EXPECT_TRUE(judged.insert(lineage).second);
+    EXPECT_LE(reason, 1);
+  }
+  EXPECT_EQ(judged.size(), emitted.size());
+
+  // The serve registry mirrors the runtime's accounting (moot in the
+  // -DPULSE_NO_METRICS build, where snapshots are empty by design).
+  obs::MetricsSnapshot snapshot = (*adaptive_server)->metrics()->Snapshot();
+  (*adaptive_server)->Drain();
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(snapshot.counters["precision/provisional"],
+              drained->provisionals.size());
+    EXPECT_EQ(snapshot.counters["precision/confirmed"],
+              drained->confirmed.size());
+    EXPECT_EQ(snapshot.counters["precision/retracted"],
+              drained->retracted.size());
+  }
+}
+
+TEST(AdaptiveSession, DisabledPrecisionEmitsNoSideBand) {
+  const std::vector<Tuple> trace = PiecewiseTrace(100);
+  serve::ServerOptions options = AdaptiveServerOptions(0);
+  options.session.precision.enabled = false;
+  Result<std::unique_ptr<serve::StreamServer>> server =
+      serve::StreamServer::Make(std::move(options));
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<serve::Transport>> conn =
+      (*server)->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  serve::ServeClient client(std::move(*conn));
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.OpenStream(1, "objects").ok());
+  for (const Tuple& t : trace) {
+    ASSERT_TRUE(client.SendTuple(1, t).ok());
+  }
+  Result<serve::ServeClient::DrainResult> drained = client.Drain();
+  ASSERT_TRUE(drained.ok());
+  (*server)->Drain();
+  EXPECT_TRUE(drained->provisionals.empty());
+  EXPECT_TRUE(drained->confirmed.empty());
+  EXPECT_TRUE(drained->retracted.empty());
+}
+
+}  // namespace
+}  // namespace pulse
