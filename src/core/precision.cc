@@ -100,14 +100,25 @@ Status AdaptiveRuntime::CloseEpisode() {
 }
 
 void AdaptiveRuntime::HarvestSettled() {
+  // Timelines exist only to answer probes from open provisionals, and a
+  // provisional's range never predates its coarse episode — so segments
+  // settled while nothing is open can never be probed. Retaining them
+  // anyway would copy the entire output stream for the session lifetime
+  // in the tier-0 steady state.
+  const bool retain = !open_.empty();
   for (Segment& segment : exact_->TakeOutputSegments()) {
-    timelines_[segment.key].push_back(segment);
+    if (retain) timelines_[segment.key].push_back(segment);
     settled_out_.push_back(std::move(segment));
   }
 }
 
-Status AdaptiveRuntime::Reconcile() {
-  PULSE_RETURN_IF_ERROR(CloseEpisode());
+size_t AdaptiveRuntime::probe_timeline_segments() const {
+  size_t total = 0;
+  for (const auto& [key, timeline] : timelines_) total += timeline.size();
+  return total;
+}
+
+Status AdaptiveRuntime::DrainDeferred() {
   for (DeferredItem& item : deferred_) {
     if (item.is_segment) {
       PULSE_RETURN_IF_ERROR(
@@ -118,6 +129,12 @@ Status AdaptiveRuntime::Reconcile() {
     ++stats_.replayed_items;
   }
   deferred_.clear();
+  return Status::OK();
+}
+
+Status AdaptiveRuntime::Reconcile() {
+  PULSE_RETURN_IF_ERROR(CloseEpisode());
+  PULSE_RETURN_IF_ERROR(DrainDeferred());
   HarvestSettled();
   SettleOpen(/*final_pass=*/false);
   PruneTimelines();
@@ -183,6 +200,14 @@ void AdaptiveRuntime::SettleOpen(bool final_pass) {
       verdict.confirmed = false;
       verdict.reason = RetractReason::kSpurious;
     } else if (within) {
+      if (covered < probes && !final_pass) {
+        // Only part of the range is answerable yet — the same pending
+        // window tail the covered == 0 branch waits on. The uncovered
+        // remainder could still deviate, and a confirm cannot be
+        // retracted, so stay open until coverage completes or Finish.
+        ++it;
+        continue;
+      }
       verdict.confirmed = true;
     } else {
       verdict.confirmed = false;
@@ -192,6 +217,12 @@ void AdaptiveRuntime::SettleOpen(bool final_pass) {
     verdict_out_.push_back(verdict);
     it = open_.erase(it);
   }
+}
+
+void AdaptiveRuntime::SettlePending() {
+  if (open_.empty()) return;
+  SettleOpen(/*final_pass=*/false);
+  PruneTimelines();
 }
 
 void AdaptiveRuntime::PruneTimelines() {
@@ -241,8 +272,12 @@ Status AdaptiveRuntime::Defer(const std::string& stream, const Tuple* tuple,
 Status AdaptiveRuntime::ProcessTuple(const std::string& stream,
                                      const Tuple& tuple) {
   if (tier_ == 0) {
+    // Defense in depth: anything still buffered must reach the exact
+    // runtime before new input to preserve arrival order.
+    PULSE_RETURN_IF_ERROR(DrainDeferred());
     PULSE_RETURN_IF_ERROR(exact_->ProcessTuple(stream, tuple));
     HarvestSettled();
+    SettlePending();
     return Status::OK();
   }
   PULSE_RETURN_IF_ERROR(coarse_->ProcessTuple(stream, tuple));
@@ -253,14 +288,30 @@ Status AdaptiveRuntime::ProcessTuple(const std::string& stream,
 Status AdaptiveRuntime::ProcessTuples(const std::string& stream,
                                       const Tuple* tuples, size_t n) {
   if (tier_ == 0) {
+    PULSE_RETURN_IF_ERROR(DrainDeferred());
     PULSE_RETURN_IF_ERROR(exact_->ProcessTuples(stream, tuples, n));
     HarvestSettled();
+    SettlePending();
     return Status::OK();
   }
   PULSE_RETURN_IF_ERROR(coarse_->ProcessTuples(stream, tuples, n));
   HarvestProvisionals();
   for (size_t i = 0; i < n; ++i) {
     PULSE_RETURN_IF_ERROR(Defer(stream, &tuples[i], nullptr));
+    if (tier_ == 0) {
+      // The max_deferred backstop reconciled mid-batch (tuples 0..i
+      // replayed, episode closed). The batch tail must take the exact
+      // path now: deferring it at tier 0 would strand it behind later
+      // direct input, losing both arrival order and — since nothing at
+      // tier 0 triggers a reconcile — the tuples themselves.
+      if (i + 1 < n) {
+        PULSE_RETURN_IF_ERROR(
+            exact_->ProcessTuples(stream, tuples + i + 1, n - i - 1));
+      }
+      HarvestSettled();
+      SettlePending();
+      return Status::OK();
+    }
   }
   return Status::OK();
 }
@@ -268,9 +319,11 @@ Status AdaptiveRuntime::ProcessTuples(const std::string& stream,
 Status AdaptiveRuntime::ProcessSegment(const std::string& stream,
                                        Segment segment) {
   if (tier_ == 0) {
+    PULSE_RETURN_IF_ERROR(DrainDeferred());
     PULSE_RETURN_IF_ERROR(
         exact_->ProcessSegment(stream, std::move(segment)));
     HarvestSettled();
+    SettlePending();
     return Status::OK();
   }
   // The coarse side cannot re-segment an already-fitted model, so a
@@ -301,7 +354,11 @@ Status AdaptiveRuntime::SetTier(size_t tier) {
 
 Status AdaptiveRuntime::Finish() {
   if (finished_) return Status::OK();
-  if (tier_ != 0) PULSE_RETURN_IF_ERROR(Reconcile());
+  if (tier_ != 0) {
+    PULSE_RETURN_IF_ERROR(Reconcile());
+  } else {
+    PULSE_RETURN_IF_ERROR(DrainDeferred());
+  }
   PULSE_RETURN_IF_ERROR(exact_->Finish());
   HarvestSettled();
   SettleOpen(/*final_pass=*/true);

@@ -154,6 +154,10 @@ class AdaptiveRuntime {
   std::vector<VerdictRecord> TakeVerdicts();
 
   const PrecisionStats& stats() const { return stats_; }
+  /// Settled segments currently retained for provisional probing. Stays
+  /// 0 while nothing is open — the tier-0 steady state must not grow a
+  /// copy of the output stream (test hook; see HarvestSettled).
+  size_t probe_timeline_segments() const;
   const AdaptivePrecisionOptions& precision_options() const {
     return precision_;
   }
@@ -172,6 +176,9 @@ class AdaptiveRuntime {
 
   Status Defer(const std::string& stream, const Tuple* tuple,
                const Segment* segment);
+  /// Replays every buffered item through the exact runtime in arrival
+  /// order and empties the buffer. No-op when nothing is deferred.
+  Status DrainDeferred();
   Status StartEpisode(size_t tier);
   /// Finish the live coarse episode, harvesting its tail as provisionals.
   Status CloseEpisode();
@@ -184,6 +191,11 @@ class AdaptiveRuntime {
   /// `final_pass`, uncovered provisionals retract as spurious instead of
   /// staying open.
   void SettleOpen(bool final_pass);
+  /// Tier-0 housekeeping after a harvest: settles what new coverage
+  /// allows and prunes the probe timelines, so provisionals left open by
+  /// a reconcile (exact tail pending) resolve as soon as their range is
+  /// covered instead of waiting for the next tier change.
+  void SettlePending();
   /// Drops settled-timeline segments no open provisional can probe.
   void PruneTimelines();
 

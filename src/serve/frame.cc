@@ -363,7 +363,10 @@ void EncodeFrame(const Frame& frame, std::string* out) {
     case FrameType::kProvisional:
       PutU64(&payload, frame.lineage);
       PutF64(&payload, frame.bound);
-      PutSegment(&payload, frame.segments.at(0));
+      // A hand-built provisional with no segment encodes an empty one
+      // rather than throwing out_of_range from inside the encoder.
+      PutSegment(&payload,
+                 frame.segments.empty() ? Segment() : frame.segments[0]);
       break;
     case FrameType::kConfirm:
       PutU64(&payload, frame.lineage);

@@ -218,6 +218,24 @@ TEST(PrecisionFrames, ConfirmAndRetractRoundTrip) {
   EXPECT_EQ((*retract)->retract_reason, 1);
 }
 
+TEST(PrecisionFrames, ProvisionalWithoutSegmentEncodesEmptySegment) {
+  // A hand-built provisional frame with no segment must not throw from
+  // inside the encoder; it round-trips as an empty segment.
+  Frame in;
+  in.type = FrameType::kProvisional;
+  in.lineage = 9;
+  in.bound = 0.5;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(EncodeFrameToString(in)).ok());
+  Result<std::optional<Frame>> out = reader.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->type, FrameType::kProvisional);
+  EXPECT_EQ((*out)->lineage, 9u);
+  ASSERT_EQ((*out)->segments.size(), 1u);
+  EXPECT_TRUE((*out)->segments[0].attributes.empty());
+}
+
 TEST(PrecisionFrames, RetractReasonOutOfRangeRejected) {
   Frame bad = Frame::Retract(1, 0);
   std::string bytes = EncodeFrameToString(bad);
@@ -411,6 +429,107 @@ TEST(AdaptiveRuntime, MaxDeferredBackstopForcesReconcile) {
   // Everything deferred was replayed; items arriving after the forced
   // reconcile took the exact path directly.
   EXPECT_EQ(rt.stats().replayed_items, rt.stats().deferred_items);
+}
+
+// Regression: when the backstop reconciles in the middle of a
+// ProcessTuples batch, the batch tail must still reach the exact
+// runtime in order — an early version left it stranded in the deferral
+// buffer (never replayed at tier 0), silently dropping settled output.
+TEST(AdaptiveRuntime, BackstopMidBatchLosesNothing) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  const std::vector<Tuple> trace = PiecewiseTrace(300);
+
+  Result<HistoricalRuntime> direct =
+      HistoricalRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(
+      direct->ProcessTuples("objects", trace.data(), trace.size()).ok());
+  ASSERT_TRUE(direct->Finish().ok());
+  const std::vector<Segment> expected = direct->TakeOutputSegments();
+  ASSERT_FALSE(expected.empty());
+
+  AdaptivePrecisionOptions precision;
+  precision.max_deferred = 32;  // fires mid-batch, several times
+  Result<std::unique_ptr<AdaptiveRuntime>> made =
+      AdaptiveRuntime::Make(spec, TightOptions(), precision);
+  ASSERT_TRUE(made.ok());
+  AdaptiveRuntime& rt = **made;
+  ASSERT_TRUE(rt.SetTier(1).ok());
+  // One batch far larger than the cap: tuples past the forced reconcile
+  // must take the exact path directly.
+  ASSERT_TRUE(rt.ProcessTuples("objects", trace.data(), trace.size()).ok());
+  EXPECT_GE(rt.stats().forced_reconciles, 1u);
+  EXPECT_EQ(rt.tier(), 0u);
+  ASSERT_TRUE(rt.Finish().ok());
+  ExpectSameSegments(expected, rt.TakeSettledOutputs());
+  EXPECT_EQ(rt.stats().replayed_items, rt.stats().deferred_items);
+  EXPECT_EQ(rt.stats().open(), 0u);
+}
+
+// Regression: a non-final reconcile must not confirm a provisional whose
+// range the exact replay has only partially covered — the uncovered tail
+// (the exact runtime's in-flight final piece) could still deviate, and a
+// confirm cannot be retracted. It stays open and settles once later
+// tier-0 output completes the coverage.
+TEST(AdaptiveRuntime, PartialCoverageStaysOpenAcrossReconcile) {
+  const QuerySpec spec = FilterQuerySpec(1e9);
+  const std::vector<Tuple> trace = CurvedTrace(600);
+
+  AdaptivePrecisionOptions precision;
+  precision.ladder = {PrecisionTier{64.0, 1e6}};
+  // Dense probes: the last provisional's tail — beyond the exact side's
+  // last emitted breakpoint at reconcile time — is sure to catch one.
+  precision.probe_points = 64;
+  Result<std::unique_ptr<AdaptiveRuntime>> made =
+      AdaptiveRuntime::Make(spec, TightOptions(), precision);
+  ASSERT_TRUE(made.ok());
+  AdaptiveRuntime& rt = **made;
+
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(rt.SetTier(i >= 100 ? 1 : 0).ok());
+    ASSERT_TRUE(rt.ProcessTuple("objects", trace[i]).ok());
+  }
+  ASSERT_TRUE(rt.SetTier(0).ok());  // mid-stream reconcile
+  ASSERT_GT(rt.stats().provisional, 0u);
+  // The trailing provisional's coverage is incomplete: it must still be
+  // open, not confirmed on the covered prefix alone.
+  EXPECT_GT(rt.stats().open(), 0u);
+
+  for (size_t i = 300; i < trace.size(); ++i) {
+    ASSERT_TRUE(rt.ProcessTuple("objects", trace[i]).ok());
+  }
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_EQ(rt.stats().open(), 0u);
+  EXPECT_EQ(rt.stats().provisional,
+            rt.stats().confirmed + rt.stats().retracted);
+}
+
+// Regression: the tier-0 steady state (and any stretch with nothing
+// open) must not retain probe-timeline copies of the output stream —
+// that is unbounded growth in exactly the mode meant to be free.
+TEST(AdaptiveRuntime, TierZeroRetainsNoProbeTimelines) {
+  const QuerySpec spec = FilterQuerySpec(100.0);
+  const std::vector<Tuple> trace = PiecewiseTrace(600);
+  Result<std::unique_ptr<AdaptiveRuntime>> made =
+      AdaptiveRuntime::Make(spec, TightOptions());
+  ASSERT_TRUE(made.ok());
+  AdaptiveRuntime& rt = **made;
+  // Pure tier-0 session: no copies, ever.
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(rt.ProcessTuple("objects", trace[i]).ok());
+    ASSERT_EQ(rt.probe_timeline_segments(), 0u);
+  }
+  // A widen/reconcile cycle may retain while provisionals are open, but
+  // once everything settles the index must drain back to empty.
+  for (size_t i = 300; i < trace.size(); ++i) {
+    ASSERT_TRUE(rt.SetTier(i < 450 ? 1 : 0).ok());
+    ASSERT_TRUE(rt.ProcessTuple("objects", trace[i]).ok());
+    if (rt.stats().open() == 0) {
+      EXPECT_EQ(rt.probe_timeline_segments(), 0u) << "tuple " << i;
+    }
+  }
+  ASSERT_TRUE(rt.Finish().ok());
+  EXPECT_EQ(rt.probe_timeline_segments(), 0u);
 }
 
 TEST(AdaptiveRuntime, RejectsDegenerateLadders) {
